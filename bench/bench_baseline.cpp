@@ -1,0 +1,81 @@
+// E5 — our all-pairs structure vs the naive comparator (paper §1).
+// The paper positions its structure against answering queries with
+// repeated single-source / single-pair computations. Series: all-pairs
+// build via the §9 builder vs repeated Dijkstra over the track graph, and
+// per-query cost after construction vs a fresh Dijkstra per query
+// (the Guha–Stout / ElGindy–Mitra-style comparison point). Expected shape:
+// the builder wins on construction asymptotically, and queries win by
+// orders of magnitude — the crossover is after a handful of queries.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/dijkstra.h"
+#include "core/query.h"
+#include "io/gen.h"
+
+namespace rsp {
+namespace {
+
+void BM_AllPairsBuilder(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Scene scene = gen_uniform(n, 11);
+  for (auto _ : state) {
+    RayShooter shooter(scene);
+    Tracer tracer(scene, shooter);
+    AllPairsData d = build_all_pairs(scene, shooter, tracer);
+    benchmark::DoNotOptimize(d.dist);
+  }
+}
+
+void BM_AllPairsRepeatedDijkstra(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Scene scene = gen_uniform(n, 11);
+  for (auto _ : state) {
+    Matrix d = all_pairs_repeated_dijkstra(scene);
+    benchmark::DoNotOptimize(d);
+  }
+}
+
+void BM_QueryViaStructure(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  static std::map<size_t, std::shared_ptr<AllPairsSP>> cache;
+  if (!cache.count(n)) {
+    cache[n] = std::make_shared<AllPairsSP>(gen_uniform(n, 11));
+  }
+  auto sp = cache[n];
+  auto pts = random_free_points(sp->scene(), 32, 5);
+  size_t i = 0;
+  for (auto _ : state) {
+    Length v = sp->length(pts[i % 32], pts[(i + 9) % 32]);
+    benchmark::DoNotOptimize(v);
+    ++i;
+  }
+}
+
+void BM_QueryViaFreshDijkstra(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Scene scene = gen_uniform(n, 11);
+  auto pts = random_free_points(scene, 32, 5);
+  size_t i = 0;
+  for (auto _ : state) {
+    Length v = oracle_length(scene, pts[i % 32], pts[(i + 9) % 32]);
+    benchmark::DoNotOptimize(v);
+    ++i;
+  }
+}
+
+}  // namespace
+
+
+BENCHMARK(BM_AllPairsBuilder)->RangeMultiplier(2)->Range(8, 64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AllPairsRepeatedDijkstra)->RangeMultiplier(2)->Range(8, 64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_QueryViaStructure)->RangeMultiplier(4)->Range(8, 128);
+BENCHMARK(BM_QueryViaFreshDijkstra)->RangeMultiplier(4)->Range(8, 128)
+    ->Unit(benchmark::kMicrosecond);
+
+
+}  // namespace rsp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// E2 — data structure construction (paper §5/§6 parallel, §9 sequential).
+// Series: build time vs n for (a) the §9 all-pairs V_R builder, (b) the
+// pool-parallel driver, (c) the §5 D&C boundary-matrix builder. The paper
+// predicts O(n^2)-ish growth for (a)/(b) (we carry an extra log from the
+// stabbing trees) and quadratic total work for (c); the PRAM work/depth
+// counters accompany (c).
+
+#include <benchmark/benchmark.h>
+
+#include "core/dnc_builder.h"
+#include "core/seq_builder.h"
+#include "io/gen.h"
+#include "pram/parallel.h"
+
+namespace rsp {
+namespace {
+
+void BM_BuildSeq(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Scene scene = gen_uniform(n, 7);
+  RayShooter shooter(scene);
+  Tracer tracer(scene, shooter);
+  for (auto _ : state) {
+    AllPairsData d = build_all_pairs(scene, shooter, tracer);
+    benchmark::DoNotOptimize(d.dist);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["vertices"] = static_cast<double>(4 * n);
+}
+
+void BM_BuildPar(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Scene scene = gen_uniform(n, 7);
+  RayShooter shooter(scene);
+  Tracer tracer(scene, shooter);
+  ThreadPool pool(static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    AllPairsData d = build_all_pairs(pool, scene, shooter, tracer);
+    benchmark::DoNotOptimize(d.dist);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(1));
+}
+
+void BM_BuildDnc(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Scene scene = gen_uniform(n, 7);
+  DncStats stats;
+  PramCost cost{};
+  for (auto _ : state) {
+    pram_reset();
+    PramCostScope scope;
+    DncResult r = build_boundary_structure(scene);
+    benchmark::DoNotOptimize(r.root);
+    stats = r.stats;
+    cost = scope.cost();
+  }
+  state.counters["pram_work"] = static_cast<double>(cost.work);
+  state.counters["pram_depth"] = static_cast<double>(cost.depth);
+  state.counters["nodes"] = static_cast<double>(stats.nodes);
+  state.counters["depth"] = static_cast<double>(stats.max_depth);
+  state.counters["maxB"] = static_cast<double>(stats.max_boundary);
+  state.counters["monge_mults"] = static_cast<double>(stats.monge_multiplies);
+  state.counters["monge_fallbacks"] =
+      static_cast<double>(stats.monge_fallbacks);
+}
+
+}  // namespace
+
+
+BENCHMARK(BM_BuildSeq)->RangeMultiplier(2)->Range(8, 256)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BuildPar)
+    ->ArgsProduct({{64}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BuildDnc)->RangeMultiplier(2)->Range(8, 128)
+    ->Unit(benchmark::kMillisecond);
+
+
+}  // namespace rsp
+
+BENCHMARK_MAIN();

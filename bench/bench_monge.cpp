@@ -1,0 +1,76 @@
+// E7 — the Monge (min,+) engine (paper Lemmas 3–5, §10(iii)).
+// Monge multiply (per-row SMAWK, O(a(b+z))) vs the naive O(abz) product:
+// the gap should widen linearly with the inner dimension z — this is what
+// keeps the paper's conquer work quadratic instead of cubic.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "monge/monge.h"
+#include "monge/smawk.h"
+
+namespace rsp {
+namespace {
+
+Matrix random_monge(size_t rows, size_t cols, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Length> d(0, 20);
+  Matrix m(rows, cols, 0);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = cols; j-- > 0;) {
+      Length acc = d(rng);
+      if (i > 0) acc += m(i - 1, j);
+      if (j + 1 < cols) acc += m(i, j + 1);
+      if (i > 0 && j + 1 < cols) acc -= m(i - 1, j + 1);
+      m(i, j) = acc;
+    }
+  }
+  return m;
+}
+
+void BM_MinplusMonge(benchmark::State& state) {
+  const size_t s = static_cast<size_t>(state.range(0));
+  Matrix a = random_monge(s, s, 1);
+  Matrix b = random_monge(s, s, 2);
+  for (auto _ : state) {
+    Matrix c = minplus_monge(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.counters["cells"] = static_cast<double>(s * s);
+}
+
+void BM_MinplusNaive(benchmark::State& state) {
+  const size_t s = static_cast<size_t>(state.range(0));
+  Matrix a = random_monge(s, s, 1);
+  Matrix b = random_monge(s, s, 2);
+  for (auto _ : state) {
+    Matrix c = minplus_naive(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.counters["cells"] = static_cast<double>(s * s);
+}
+
+void BM_Smawk(benchmark::State& state) {
+  const size_t s = static_cast<size_t>(state.range(0));
+  Matrix a = random_monge(s, s, 3);
+  for (auto _ : state) {
+    auto arg = smawk(s, s, [&](size_t i, size_t j) { return a(i, j); });
+    benchmark::DoNotOptimize(arg);
+  }
+}
+
+}  // namespace
+
+
+BENCHMARK(BM_MinplusMonge)->RangeMultiplier(2)->Range(32, 1024)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MinplusNaive)->RangeMultiplier(2)->Range(32, 1024)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Smawk)->RangeMultiplier(2)->Range(32, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+
+}  // namespace rsp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// E6 — PRAM primitive cost model (paper §2: parallel prefix [18,19],
+// merging [35], sorting [10], Brent's theorem [7]).
+// Counters report the idealized PRAM work/depth charged by each primitive;
+// work should grow linearly (n log n for sort) and depth logarithmically
+// (log^2 for sort), independent of wall-clock and thread count.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "pram/parallel.h"
+
+namespace rsp {
+namespace {
+
+void BM_Scan(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<long long> base(n, 1);
+  PramCost cost{};
+  for (auto _ : state) {
+    std::vector<long long> v = base;
+    pram_reset();
+    PramCostScope scope;
+    long long total = exclusive_scan(v);
+    benchmark::DoNotOptimize(total);
+    cost = scope.cost();
+  }
+  state.counters["pram_work"] = static_cast<double>(cost.work);
+  state.counters["pram_depth"] = static_cast<double>(cost.depth);
+}
+
+void BM_Merge(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::mt19937_64 rng(1);
+  std::vector<long long> a(n), b(n);
+  for (auto& x : a) x = static_cast<long long>(rng() % 100000);
+  for (auto& x : b) x = static_cast<long long>(rng() % 100000);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  PramCost cost{};
+  for (auto _ : state) {
+    std::vector<long long> out;
+    pram_reset();
+    PramCostScope scope;
+    parallel_merge(ThreadPool::global(), a, b, out);
+    benchmark::DoNotOptimize(out);
+    cost = scope.cost();
+  }
+  state.counters["pram_work"] = static_cast<double>(cost.work);
+  state.counters["pram_depth"] = static_cast<double>(cost.depth);
+}
+
+void BM_Sort(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::mt19937_64 rng(2);
+  std::vector<long long> base(n);
+  for (auto& x : base) x = static_cast<long long>(rng());
+  PramCost cost{};
+  for (auto _ : state) {
+    std::vector<long long> v = base;
+    pram_reset();
+    PramCostScope scope;
+    parallel_sort(v);
+    benchmark::DoNotOptimize(v);
+    cost = scope.cost();
+  }
+  state.counters["pram_work"] = static_cast<double>(cost.work);
+  state.counters["pram_depth"] = static_cast<double>(cost.depth);
+}
+
+}  // namespace
+
+
+BENCHMARK(BM_Scan)->RangeMultiplier(4)->Range(1 << 10, 1 << 20);
+BENCHMARK(BM_Merge)->RangeMultiplier(4)->Range(1 << 10, 1 << 20);
+BENCHMARK(BM_Sort)->RangeMultiplier(4)->Range(1 << 10, 1 << 18);
+
+
+}  // namespace rsp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// E3/E4 — query costs (paper §6.4, §8).
+// E3: vertex-pair length queries are O(1) (flat across n); arbitrary-point
+// queries are logarithmic-ish (one ray shot + curve walk + 4 lookups).
+// E4: path reporting scales linearly in k (the segment count), and the
+// chunked level-ancestor emission produces ⌈k/chunk⌉ pieces.
+
+#include <benchmark/benchmark.h>
+
+#include "core/query.h"
+#include "io/gen.h"
+
+namespace rsp {
+namespace {
+
+std::shared_ptr<AllPairsSP> shared_sp(size_t n, SceneGen gen, uint64_t seed) {
+  static std::map<std::tuple<size_t, SceneGen, uint64_t>,
+                  std::shared_ptr<AllPairsSP>>
+      cache;
+  auto key = std::make_tuple(n, gen, seed);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  auto sp = std::make_shared<AllPairsSP>(gen(n, seed));
+  cache.emplace(key, sp);
+  return sp;
+}
+
+void BM_VertexLength(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto sp = shared_sp(n, gen_uniform, 3);
+  size_t m = sp->num_vertices();
+  size_t i = 0;
+  for (auto _ : state) {
+    Length v = sp->vertex_length(i % m, (i * 7 + 3) % m);
+    benchmark::DoNotOptimize(v);
+    ++i;
+  }
+}
+
+void BM_ArbitraryLength(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto sp = shared_sp(n, gen_uniform, 3);
+  auto pts = random_free_points(sp->scene(), 64, 9);
+  size_t i = 0;
+  for (auto _ : state) {
+    Length v = sp->length(pts[i % 64], pts[(i + 17) % 64]);
+    benchmark::DoNotOptimize(v);
+    ++i;
+  }
+}
+
+void BM_VertexPath(benchmark::State& state) {
+  // Corridor scenes: path segment count k grows with n; report time/k.
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto sp = shared_sp(n, gen_corridors, 5);
+  const auto& verts = sp->scene().obstacle_vertices();
+  size_t lo = 0, hi = 0;
+  for (size_t v = 0; v < verts.size(); ++v) {
+    if (verts[v].y < verts[lo].y) lo = v;
+    if (verts[v].y > verts[hi].y) hi = v;
+  }
+  size_t k = 0;
+  for (auto _ : state) {
+    auto path = sp->vertex_path(lo, hi);
+    benchmark::DoNotOptimize(path);
+    k = path.size();
+  }
+  state.counters["k_segments"] = static_cast<double>(k);
+  state.counters["us_per_segment"] = benchmark::Counter(
+      static_cast<double>(k), benchmark::Counter::kIsIterationInvariantRate |
+                                  benchmark::Counter::kInvert);
+}
+
+void BM_ChunkedChain(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto sp = shared_sp(n, gen_corridors, 5);
+  SpTrees trees(sp->scene(), sp->tracer(), sp->data());
+  // Deepest predecessor chain: the k >> log n regime §8 targets.
+  size_t lo = 0, hi = 0;
+  int best = -1;
+  for (size_t a = 0; a < sp->num_vertices(); a += 7) {
+    for (size_t b2 = 0; b2 < sp->num_vertices(); ++b2) {
+      int d = trees.hops(a, b2);
+      if (d > best) {
+        best = d;
+        lo = a;
+        hi = b2;
+      }
+    }
+  }
+  int chunk = std::max<int>(1, static_cast<int>(std::log2(4.0 * n)));
+  size_t pieces = 0;
+  for (auto _ : state) {
+    auto c = trees.chunked_chain(lo, hi, chunk);
+    benchmark::DoNotOptimize(c);
+    pieces = c.size();
+  }
+  state.counters["chunk_logn"] = static_cast<double>(chunk);
+  state.counters["pieces"] = static_cast<double>(pieces);
+}
+
+}  // namespace
+
+
+BENCHMARK(BM_VertexLength)->RangeMultiplier(4)->Range(8, 128);
+BENCHMARK(BM_ArbitraryLength)->RangeMultiplier(4)->Range(8, 128);
+BENCHMARK(BM_VertexPath)->RangeMultiplier(2)->Range(8, 64)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ChunkedChain)->RangeMultiplier(2)->Range(8, 64);
+
+
+}  // namespace rsp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// E1 — Staircase Separator Theorem (paper §3, Theorem 2).
+// Verifies empirically: O(log n)-time-shaped construction cost, O(n)
+// segments, and the <= 7n/8 balance, across generators and sizes.
+// Counters: worst_ratio (max side / n), segments (separator size).
+
+#include <benchmark/benchmark.h>
+
+#include "core/separator.h"
+#include "io/gen.h"
+
+namespace rsp {
+namespace {
+
+void BM_Separator(benchmark::State& state, SceneGen gen) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Scene scene = gen(n, 42);
+  RayShooter shooter(scene);
+  Tracer tracer(scene, shooter);
+  double worst_ratio = 0;
+  size_t segments = 0;
+  for (auto _ : state) {
+    SeparatorResult r = staircase_separator(scene, tracer);
+    benchmark::DoNotOptimize(r.sep);
+    worst_ratio = std::max(
+        worst_ratio,
+        static_cast<double>(std::max(r.above.size(), r.below.size())) /
+            static_cast<double>(n));
+    segments = r.sep.num_segments();
+  }
+  state.counters["balance_worst"] = worst_ratio;
+  state.counters["balance_bound"] = 7.0 / 8.0;
+  state.counters["segments"] = static_cast<double>(segments);
+  state.counters["segs_per_n"] = static_cast<double>(segments) /
+                                 static_cast<double>(n);
+}
+
+}  // namespace
+
+
+BENCHMARK_CAPTURE(BM_Separator, uniform, gen_uniform)
+    ->RangeMultiplier(2)
+    ->Range(8, 512);
+BENCHMARK_CAPTURE(BM_Separator, grid, gen_grid)
+    ->RangeMultiplier(2)
+    ->Range(8, 512);
+BENCHMARK_CAPTURE(BM_Separator, corridors, gen_corridors)
+    ->RangeMultiplier(2)
+    ->Range(8, 256);
+BENCHMARK_CAPTURE(BM_Separator, clustered, gen_clustered)
+    ->RangeMultiplier(2)
+    ->Range(8, 512);
+
+
+}  // namespace rsp
+
+BENCHMARK_MAIN();

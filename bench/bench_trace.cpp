@@ -1,0 +1,65 @@
+// E8 — path tracing (paper §3 Lemma 6, §6.1 pre-processing).
+// Forest construction is near-linear (n ray shots through the stabbing
+// trees); individual trace extraction is one ray shot plus O(bends).
+// Counters: avg_bends of traced escape paths.
+
+#include <benchmark/benchmark.h>
+
+#include "core/trace.h"
+#include "io/gen.h"
+
+namespace rsp {
+namespace {
+
+void BM_TracerBuild(benchmark::State& state, SceneGen gen) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Scene scene = gen(n, 23);
+  RayShooter shooter(scene);
+  for (auto _ : state) {
+    Tracer tracer(scene, shooter);
+    benchmark::DoNotOptimize(tracer.forest(TraceKind::NE));
+  }
+}
+
+void BM_TraceExtract(benchmark::State& state, SceneGen gen) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Scene scene = gen(n, 23);
+  RayShooter shooter(scene);
+  Tracer tracer(scene, shooter);
+  auto pts = random_free_points(scene, 64, 3);
+  size_t i = 0;
+  size_t bends = 0, traces = 0;
+  for (auto _ : state) {
+    TraceKind k = kAllTraceKinds[i % 8];
+    auto path = tracer.trace(pts[(i / 8) % 64], k);
+    benchmark::DoNotOptimize(path);
+    bends += path.size();
+    ++traces;
+    ++i;
+  }
+  state.counters["avg_bends"] =
+      static_cast<double>(bends) / static_cast<double>(traces);
+}
+
+}  // namespace
+
+
+BENCHMARK_CAPTURE(BM_TracerBuild, uniform, gen_uniform)
+    ->RangeMultiplier(2)
+    ->Range(16, 1024)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_TracerBuild, corridors, gen_corridors)
+    ->RangeMultiplier(2)
+    ->Range(16, 512)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_TraceExtract, uniform, gen_uniform)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024);
+BENCHMARK_CAPTURE(BM_TraceExtract, corridors, gen_corridors)
+    ->RangeMultiplier(4)
+    ->Range(16, 256);
+
+
+}  // namespace rsp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Wire-layout scenario (the paper's §1 motivation: "wire layout, circuit
+// design"): macro blocks on a die are obstacles; we estimate rectilinear
+// net lengths between pin pairs. One AllPairsSP build serves every net —
+// the paper's all-pairs data structure is exactly what a router's
+// length-estimation inner loop wants.
+
+#include <iostream>
+
+#include "core/query.h"
+#include "io/gen.h"
+#include "io/svg.h"
+
+int main() {
+  using namespace rsp;
+
+  // A die with macro blocks (grid-perturbed placement, as in row-based
+  // layouts).
+  Scene die = gen_grid(24, 2024);
+  AllPairsSP sp{Scene{die}};
+
+  // Nets: pin pairs sampled from the free area.
+  auto pins = random_free_points(die, 12, 7);
+  std::cout << "net  pin A        pin B        wirelength  detour_vs_L1\n";
+  Length total = 0;
+  for (size_t i = 0; i + 1 < pins.size(); i += 2) {
+    Length len = sp.length(pins[i], pins[i + 1]);
+    Length l1 = dist1(pins[i], pins[i + 1]);
+    total += len;
+    std::cout << i / 2 << "    " << pins[i] << "  " << pins[i + 1] << "  "
+              << len << "        +" << (len - l1) << "\n";
+  }
+  std::cout << "total wirelength: " << total << "\n";
+
+  // Render the die with the routed nets.
+  SvgCanvas svg(die.container().bbox().expanded(2));
+  svg.add_scene(die);
+  const char* colors[] = {"#c00", "#06c", "#080", "#a0a", "#f80", "#0aa"};
+  for (size_t i = 0; i + 1 < pins.size(); i += 2) {
+    auto path = sp.path(pins[i], pins[i + 1]);
+    svg.add_polyline(path, colors[(i / 2) % 6], 2.5);
+    svg.add_point(pins[i], colors[(i / 2) % 6]);
+    svg.add_point(pins[i + 1], colors[(i / 2) % 6]);
+  }
+  svg.write("circuit_routing.svg");
+  std::cout << "wrote circuit_routing.svg\n";
+  return 0;
+}

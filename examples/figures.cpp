@@ -1,0 +1,78 @@
+// Regenerates the paper's illustrative figures from live geometry:
+//   fig1  — MAX_NE / MAX_SW staircases of a rectangle set (paper Fig. 1)
+//   fig2  — envelope / rectilinear hull (paper Fig. 2)
+//   fig5  — NE(p) and WS(p) escape paths (paper Fig. 5)
+//   fig6  — the staircase separator construction (paper Fig. 6)
+//   fig9  — the divide step: separator and the two sides (paper Fig. 9)
+
+#include <iostream>
+
+#include "core/separator.h"
+#include "geom/envelope.h"
+#include "io/gen.h"
+#include "io/svg.h"
+
+using namespace rsp;
+
+static void fig_staircases() {
+  std::vector<Rect> rects{{2, 10, 8, 16}, {12, 4, 18, 9},
+                          {22, 12, 27, 20}, {6, 24, 13, 28}};
+  Scene s = Scene::with_bbox(rects, 6);
+  SvgCanvas svg(s.container().bbox());
+  svg.add_scene(s);
+  svg.add_staircase(Staircase::max_staircase(rects, Quadrant::NE), "#c00");
+  svg.add_staircase(Staircase::max_staircase(rects, Quadrant::SW), "#06c");
+  svg.add_label({3, 29}, "MAX_NE", "#c00");
+  svg.add_label({3, 3}, "MAX_SW", "#06c");
+  svg.write("fig1_max_staircases.svg");
+}
+
+static void fig_envelope() {
+  std::vector<Rect> rects{{0, 0, 5, 4}, {8, 6, 12, 11}, {3, 9, 6, 13}};
+  Envelope env = Envelope::compute(rects);
+  Scene s = Scene::with_bbox(rects, 4);
+  SvgCanvas svg(s.container().bbox());
+  svg.add_scene(s);
+  if (env.hull_exists) svg.add_polygon(env.boundary, "#080");
+  svg.write("fig2_envelope.svg");
+}
+
+static void fig_escape_paths() {
+  Scene s = gen_uniform(10, 4);
+  RayShooter shooter(s);
+  Tracer tracer(s, shooter);
+  auto pts = random_free_points(s, 1, 8);
+  SvgCanvas svg(s.container().bbox());
+  svg.add_scene(s);
+  svg.add_polyline(tracer.trace(pts[0], TraceKind::NE), "#c00", 2.5);
+  svg.add_polyline(tracer.trace(pts[0], TraceKind::WS), "#06c", 2.5);
+  svg.add_point(pts[0], "#000", 4);
+  svg.add_label(pts[0], "p");
+  svg.write("fig5_escape_paths.svg");
+}
+
+static void fig_separator(const char* name, SceneGen gen, uint64_t seed) {
+  Scene s = gen(16, seed);
+  RayShooter shooter(s);
+  Tracer tracer(s, shooter);
+  SeparatorResult r = staircase_separator(s, tracer);
+  SvgCanvas svg(s.container().bbox());
+  // Color sides.
+  for (int id : r.above) svg.add_rect(s.obstacle(id), "#fbb");
+  for (int id : r.below) svg.add_rect(s.obstacle(id), "#bbf");
+  svg.add_polygon(s.container().vertices(), "#222");
+  svg.add_staircase(r.sep, "#080", 3.0);
+  svg.add_point(r.pivot, "#000", 4);
+  svg.write(name);
+}
+
+int main() {
+  fig_staircases();
+  fig_envelope();
+  fig_escape_paths();
+  fig_separator("fig6_separator.svg", gen_uniform, 6);
+  fig_separator("fig9_divide.svg", gen_clustered, 3);
+  std::cout << "wrote fig1_max_staircases.svg fig2_envelope.svg "
+               "fig5_escape_paths.svg fig6_separator.svg fig9_divide.svg\n";
+  return 0;
+}

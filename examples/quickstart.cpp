@@ -1,0 +1,36 @@
+// Quickstart: build the all-pairs shortest-path structure for a small
+// scene, then run the three kinds of queries the paper supports:
+// vertex-to-vertex lengths (O(1)), arbitrary-point lengths (O(log n)-ish),
+// and actual shortest paths.
+
+#include <iostream>
+
+#include "core/query.h"
+
+int main() {
+  using namespace rsp;
+
+  // A rectilinear convex container with three rectangular obstacles.
+  RectilinearPolygon container = RectilinearPolygon::from_vertices(
+      {{0, 0}, {40, 0}, {40, 26}, {30, 26}, {30, 30}, {0, 30}});
+  Scene scene({Rect{5, 5, 11, 12}, Rect{16, 9, 24, 15}, Rect{28, 18, 33, 23}},
+              container);
+
+  AllPairsSP sp(std::move(scene));
+
+  std::cout << "obstacle vertices: " << sp.num_vertices() << "\n";
+
+  // O(1) vertex-pair query: vertex ids are 4*rect + {ll, lr, ur, ul}.
+  std::cout << "dist(rect0.ll, rect2.ur) = " << sp.vertex_length(0, 10)
+            << "\n";
+
+  // Arbitrary points anywhere in the free space.
+  Point s{1, 1}, t{39, 25};
+  std::cout << "dist(" << s << ", " << t << ") = " << sp.length(s, t) << "\n";
+
+  // The actual shortest path, as a polyline.
+  std::cout << "path:";
+  for (const Point& p : sp.path(s, t)) std::cout << " " << p;
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+#include "baseline/dijkstra.h"
+
+namespace rsp {
+
+Length oracle_length(const Scene& scene, const Point& s, const Point& t) {
+  std::vector<Point> extra{s, t};
+  TrackGraph g(scene.obstacles(), &scene.container(), extra);
+  return g.shortest_length(s, t);
+}
+
+std::vector<Point> oracle_path(const Scene& scene, const Point& s,
+                               const Point& t) {
+  std::vector<Point> extra{s, t};
+  TrackGraph g(scene.obstacles(), &scene.container(), extra);
+  auto p = g.shortest_path(s, t);
+  RSP_CHECK_MSG(p.has_value(), "oracle: query points disconnected");
+  return *p;
+}
+
+Matrix all_pairs_repeated_dijkstra(const Scene& scene) {
+  TrackGraph g(scene.obstacles(), &scene.container());
+  const auto& verts = scene.obstacle_vertices();
+  const size_t m = verts.size();
+  Matrix d(m, m, kInf);
+  for (size_t a = 0; a < m; ++a) {
+    std::vector<Length> dist = g.single_source(verts[a]);
+    for (size_t b = 0; b < m; ++b) {
+      int node = g.node_at(verts[b]);
+      RSP_CHECK(node >= 0);
+      d(a, b) = dist[static_cast<size_t>(node)];
+    }
+  }
+  return d;
+}
+
+}  // namespace rsp

@@ -1,0 +1,31 @@
+#pragma once
+// Baselines and the test oracle.
+//
+// oracle_length / oracle_path: Dijkstra on the Hanan track graph — the
+// ground truth every algorithm in this library is tested against.
+//
+// repeated-Dijkstra all-pairs: the naive comparator the paper's data
+// structure is measured against in bench_baseline (the paper's intro
+// positions the structure against repeated single-source/single-pair
+// computations such as [11] run n times, or Guha–Stout/ElGindy–Mitra
+// single-pair runs per query).
+
+#include "core/scene.h"
+#include "grid/trackgraph.h"
+#include "monge/matrix.h"
+
+namespace rsp {
+
+// Ground-truth shortest path length between two free points (container
+// constrained). O(n^2 log n) per call — test oracle, not a fast path.
+Length oracle_length(const Scene& scene, const Point& s, const Point& t);
+
+// Ground-truth path polyline.
+std::vector<Point> oracle_path(const Scene& scene, const Point& s,
+                               const Point& t);
+
+// All-pairs V_R-to-V_R by repeated Dijkstra on one shared track graph.
+// The baseline for bench_baseline (E5).
+Matrix all_pairs_repeated_dijkstra(const Scene& scene);
+
+}  // namespace rsp

@@ -1,0 +1,54 @@
+#pragma once
+// Common scalar types, the infinity sentinel, and the fail-fast check macro
+// used across the rsp library.
+//
+// Coordinates are 64-bit integers: every length produced by the algorithms
+// is a sum of coordinate differences, so integer arithmetic keeps all
+// results exact (no epsilon tuning anywhere in the library).
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rsp {
+
+using Coord = long long;
+using Length = long long;
+
+// Additive-safe infinity: kInf + kInf does not overflow signed 64-bit.
+inline constexpr Length kInf = std::numeric_limits<Length>::max() / 4;
+
+namespace detail {
+[[noreturn]] inline void check_fail(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "RSP_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+}  // namespace detail
+
+// Fail-fast invariant check. Active in all build types: the algorithms in
+// this library are subtle enough that silent corruption is far worse than
+// the branch cost.
+#define RSP_CHECK(cond)                                               \
+  do {                                                                \
+    if (!(cond)) ::rsp::detail::check_fail(#cond, __FILE__, __LINE__, \
+                                           std::string{});            \
+  } while (0)
+
+#define RSP_CHECK_MSG(cond, msg)                                      \
+  do {                                                                \
+    if (!(cond)) ::rsp::detail::check_fail(#cond, __FILE__, __LINE__, \
+                                           (msg));                    \
+  } while (0)
+
+// Saturating (min,+) addition: kInf absorbs.
+inline Length add_len(Length a, Length b) {
+  if (a >= kInf || b >= kInf) return kInf;
+  return a + b;
+}
+
+}  // namespace rsp

@@ -1,0 +1,65 @@
+#pragma once
+// Boundary discretization B(Q) (paper Definition 1, Fig. 3) and the
+// Discretization Lemma (Lemma 7) query structure.
+//
+// B(Q) holds, in CCW boundary order: the region's vertices, plus every
+// boundary point horizontally or vertically visible from an obstacle
+// vertex or a region vertex. Between two adjacent B(Q) points the boundary
+// is a straight uniform interval (no visibility event), which is what makes
+// the four-candidate query of Lemma 7 exact and the conquer matrices Monge
+// after the paper's partitioning.
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/rayshoot.h"
+#include "core/scene.h"
+#include "geom/polygon.h"
+#include "monge/matrix.h"
+
+namespace rsp {
+
+// All boundary points of `region` visible from an obstacle vertex or a
+// region vertex within the sub-scene (obstacles given by `scene`, which
+// must use `region` as its container). Returned CCW-ordered, deduplicated,
+// region vertices included.
+std::vector<Point> discretize_boundary(const Scene& scene,
+                                       const RayShooter& shooter);
+
+// The per-node result of the §5 divide-and-conquer, and the query side of
+// Lemma 7.
+class BoundaryStructure {
+ public:
+  BoundaryStructure() = default;
+  BoundaryStructure(RectilinearPolygon region, std::vector<Point> pts,
+                    Matrix d);
+
+  const RectilinearPolygon& region() const { return region_; }
+  const std::vector<Point>& points() const { return pts_; }
+  const Matrix& matrix() const { return d_; }
+
+  // Index of a B(Q) point; -1 if absent.
+  int index_of(const Point& p) const;
+  Length between(const Point& a, const Point& b) const {
+    int ia = index_of(a), ib = index_of(b);
+    RSP_CHECK(ia >= 0 && ib >= 0);
+    return d_(ia, ib);
+  }
+
+  // Lemma 7: shortest-path length (within the region) between two
+  // arbitrary boundary points, in O(log |B|) plus one visibility test.
+  // `scene` must be the sub-scene this structure was built for.
+  Length query(const Scene& scene, const Point& b1, const Point& b2) const;
+
+ private:
+  // Neighbouring B indices bracketing a boundary point (equal if p ∈ B).
+  std::pair<size_t, size_t> bracket(const Point& p) const;
+
+  RectilinearPolygon region_;
+  std::vector<Point> pts_;                 // CCW boundary order
+  std::vector<std::pair<size_t, Length>> arc_;  // arc key per point
+  Matrix d_;
+  std::unordered_map<Point, int, PointHash> index_;
+};
+
+}  // namespace rsp

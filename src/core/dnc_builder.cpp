@@ -1,0 +1,360 @@
+#include "core/dnc_builder.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/region.h"
+#include "core/separator.h"
+#include "grid/trackgraph.h"
+#include "monge/monge.h"
+#include "pram/parallel.h"
+
+namespace rsp {
+
+namespace {
+
+// Where a ray from v in direction d first meets the separator, if it does
+// so inside `region` and before any obstacle. Generates the separator's
+// discretization ("Middle"): the paper's staircase-extension Cross points.
+std::optional<Point> sep_crossing(const Staircase& sep,
+                                  const RectilinearPolygon& region,
+                                  const RayShooter& shooter, const Point& v,
+                                  Dir d) {
+  const auto& pts = sep.points();
+  Point cross;
+  switch (d) {
+    case Dir::North:
+    case Dir::South: {
+      if (v.x < pts.front().x || v.x > pts.back().x) return std::nullopt;
+      auto [lo, hi] = sep.y_interval_at(v.x);
+      if (d == Dir::North) {
+        if (lo < v.y) return std::nullopt;
+        cross = {v.x, lo};
+      } else {
+        if (hi > v.y) return std::nullopt;
+        cross = {v.x, hi};
+      }
+      break;
+    }
+    case Dir::East:
+    case Dir::West: {
+      Coord ymin = std::min(pts.front().y, pts.back().y);
+      Coord ymax = std::max(pts.front().y, pts.back().y);
+      if (v.y < ymin || v.y > ymax) return std::nullopt;
+      auto [lo, hi] = sep.x_interval_at(v.y);
+      if (d == Dir::East) {
+        if (lo < v.x) return std::nullopt;
+        cross = {lo, v.y};
+      } else {
+        if (hi > v.x) return std::nullopt;
+        cross = {hi, v.y};
+      }
+      break;
+    }
+  }
+  if (!region.contains(cross)) return std::nullopt;
+  auto hit = shooter.shoot_obstacle(v, d);
+  if (hit) {
+    bool blocked = false;
+    switch (d) {
+      case Dir::North: blocked = hit->hit.y < cross.y; break;
+      case Dir::South: blocked = hit->hit.y > cross.y; break;
+      case Dir::East: blocked = hit->hit.x < cross.x; break;
+      case Dir::West: blocked = hit->hit.x > cross.x; break;
+    }
+    if (blocked) return std::nullopt;
+  }
+  return cross;
+}
+
+// Orders points along a monotone staircase (ascending x; y per orientation).
+void sort_along(std::vector<Point>& v, const Staircase& s) {
+  bool inc = s.increasing();
+  std::sort(v.begin(), v.end(), [inc](const Point& a, const Point& b) {
+    if (a.x != b.x) return a.x < b.x;
+    return inc ? a.y < b.y : a.y > b.y;
+  });
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+struct Builder {
+  const DncOptions& opt;
+  DncStats stats;
+
+  BoundaryStructure solve(RectilinearPolygon region, std::vector<Rect> rects,
+                          std::vector<Point> required, size_t depth) {
+    ++stats.nodes;
+    stats.max_depth = std::max(stats.max_depth, depth);
+
+    Scene scene(std::move(rects), std::move(region));
+    RayShooter shooter(scene);
+
+    // B(Q): own discretization plus points required by the parent.
+    std::vector<Point> b = discretize_boundary(scene, shooter);
+    for (const auto& p : required) {
+      RSP_CHECK_MSG(scene.container().on_boundary(p),
+                    "required boundary point off the region boundary");
+      b.push_back(p);
+    }
+    {
+      std::vector<std::pair<std::pair<size_t, Length>, Point>> keyed;
+      keyed.reserve(b.size());
+      for (const auto& p : b)
+        keyed.push_back({arc_position(scene.container(), p), p});
+      std::sort(keyed.begin(), keyed.end());
+      b.clear();
+      for (const auto& [k, p] : keyed) {
+        if (b.empty() || b.back() != p) b.push_back(p);
+      }
+    }
+    stats.max_boundary = std::max(stats.max_boundary, b.size());
+
+    if (scene.num_obstacles() <= opt.leaf_size) {
+      return leaf(scene, std::move(b));
+    }
+
+    Tracer tracer(scene, shooter);
+    SeparatorResult sep = staircase_separator(scene, tracer);
+
+    // Components of each side (a separator traced around this node's
+    // obstacles may leave and re-enter the region).
+    std::vector<RectilinearPolygon> comps = side_components(
+        scene.container(), sep.sep, +1);
+    {
+      auto lower = side_components(scene.container(), sep.sep, -1);
+      for (auto& c : lower) comps.push_back(std::move(c));
+    }
+    RSP_CHECK_MSG(!comps.empty(), "separator produced no components");
+
+    // Assign each obstacle to the unique component containing it.
+    std::vector<std::vector<Rect>> comp_rects(comps.size());
+    for (const auto& r : scene.obstacles()) {
+      int owner = -1;
+      for (size_t c = 0; c < comps.size(); ++c) {
+        if (comps[c].contains(r)) {
+          // Prefer the component containing the interior (a corner may
+          // touch a neighbouring component's boundary on the separator).
+          Point probe{r.xmin, r.ymin};
+          int sd = sep.sep.side_of(probe);
+          int cd = 0;
+          for (const auto& v : comps[c].vertices()) {
+            int s2 = sep.sep.side_of(v);
+            if (s2 != 0) {
+              cd = s2;
+              break;
+            }
+          }
+          if (owner < 0 || (sd != 0 && sd == cd)) owner = static_cast<int>(c);
+        }
+      }
+      RSP_CHECK_MSG(owner >= 0, "obstacle not contained in any component");
+      comp_rects[owner].push_back(r);
+    }
+
+    // Per-component required points: parent B on its boundary, plus the
+    // projections of those points / obstacle corners / component vertices
+    // onto the separator within the component (Middle, a.k.a. the
+    // staircase-extension Cross points).
+    std::vector<BoundaryStructure> children(comps.size());
+    for (size_t c = 0; c < comps.size(); ++c) {
+      std::vector<Point> req;
+      std::vector<Point> sources;
+      for (const auto& p : b) {
+        if (comps[c].on_boundary(p)) {
+          req.push_back(p);
+          sources.push_back(p);
+        }
+      }
+      for (const auto& r : comp_rects[c])
+        for (const auto& v : r.vertices()) sources.push_back(v);
+      for (const auto& v : comps[c].vertices()) sources.push_back(v);
+      for (const auto& v : sources) {
+        for (Dir d : {Dir::North, Dir::South, Dir::East, Dir::West}) {
+          if (auto x = sep_crossing(sep.sep, comps[c], shooter, v, d)) {
+            req.push_back(*x);
+          }
+        }
+      }
+      children[c] = solve(comps[c], comp_rects[c], std::move(req), depth + 1);
+    }
+
+    BoundaryStructure out = conquer(scene, std::move(b), sep.sep, children);
+    if (opt.validate_nodes) validate(scene, out);
+    return out;
+  }
+
+  BoundaryStructure leaf(const Scene& scene, std::vector<Point> b) {
+    ++stats.leaves;
+    TrackGraph g(scene.obstacles(), &scene.container(), b);
+    Matrix d(b.size(), b.size(), kInf);
+    pram_charge(b.size() * g.num_nodes(), b.size());
+    for (size_t i = 0; i < b.size(); ++i) {
+      std::vector<Length> dist = g.single_source(b[i]);
+      for (size_t j = 0; j < b.size(); ++j) {
+        int node = g.node_at(b[j]);
+        RSP_CHECK(node >= 0);
+        d(i, j) = dist[static_cast<size_t>(node)];
+      }
+    }
+    return BoundaryStructure(scene.container(), std::move(b), std::move(d));
+  }
+
+  // Theorem 3, generalized to component lists: same-component pairs come
+  // from the children (single-intersection lemma); everything else routes
+  // through the separator hub, where the along-separator distance between
+  // two of its points inside Q is exactly their L1 distance (the staircase
+  // is a monotone geodesic; Containment Lemma deforms it into Q).
+  BoundaryStructure conquer(const Scene& scene, std::vector<Point> b,
+                            const Staircase& sep,
+                            const std::vector<BoundaryStructure>& children) {
+    const size_t m = b.size();
+    Matrix d(m, m, kInf);
+    for (size_t i = 0; i < m; ++i) d(i, i) = 0;
+
+    // Per-"port" data: for every child c, Lc = parent points on c's
+    // boundary, Midc = c's boundary points on the separator. An extra
+    // virtual component represents the separator itself: its ports are the
+    // parent points lying on the separator (pure L1 rows).
+    struct Port {
+      std::vector<size_t> rows;  // indices into b
+      std::vector<Point> mids;   // hub points, ordered along the separator
+      Matrix reach;              // rows x mids
+    };
+    std::vector<Port> ports;
+
+    for (const auto& child : children) {
+      Port port;
+      std::vector<int> row_idx;
+      for (size_t i = 0; i < m; ++i) {
+        int ci = child.index_of(b[i]);
+        if (ci >= 0) {
+          port.rows.push_back(i);
+          row_idx.push_back(ci);
+        }
+      }
+      for (const auto& p : child.points()) {
+        if (sep.side_of(p) == 0) port.mids.push_back(p);
+      }
+      sort_along(port.mids, sep);
+      // Same-component pairs straight from the child.
+      for (size_t a = 0; a < port.rows.size(); ++a) {
+        for (size_t c2 = 0; c2 < port.rows.size(); ++c2) {
+          Length v = child.matrix()(row_idx[a], row_idx[c2]);
+          if (v < d(port.rows[a], port.rows[c2])) {
+            d(port.rows[a], port.rows[c2]) = v;
+          }
+        }
+      }
+      if (port.mids.empty() || port.rows.empty()) continue;
+      port.reach = Matrix(port.rows.size(), port.mids.size());
+      for (size_t a = 0; a < port.rows.size(); ++a) {
+        for (size_t k = 0; k < port.mids.size(); ++k) {
+          port.reach(a, k) =
+              child.matrix()(row_idx[a], child.index_of(port.mids[k]));
+        }
+      }
+      ports.push_back(std::move(port));
+    }
+    {
+      // Virtual separator component.
+      Port port;
+      for (size_t i = 0; i < m; ++i) {
+        if (sep.side_of(b[i]) == 0) {
+          port.rows.push_back(i);
+          port.mids.push_back(b[i]);
+        }
+      }
+      sort_along(port.mids, sep);
+      if (!port.rows.empty()) {
+        port.reach = Matrix(port.rows.size(), port.mids.size());
+        for (size_t a = 0; a < port.rows.size(); ++a)
+          for (size_t k = 0; k < port.mids.size(); ++k)
+            port.reach(a, k) = dist1(b[port.rows[a]], port.mids[k]);
+        ports.push_back(std::move(port));
+      }
+    }
+
+    // Coverage check: every parent point is on some child boundary or on
+    // the separator.
+    {
+      std::vector<char> covered(m, 0);
+      for (const auto& port : ports)
+        for (size_t r : port.rows) covered[r] = 1;
+      for (size_t i = 0; i < m; ++i) {
+        RSP_CHECK_MSG(covered[i], "parent boundary point uncovered");
+      }
+    }
+
+    // Hub routing: for each ordered port pair, Pi ⊗ H ⊗ Pj^T where
+    // H(m1,m2) = dist1 (Monge along the separator order).
+    for (size_t pi = 0; pi < ports.size(); ++pi) {
+      for (size_t pj = 0; pj < ports.size(); ++pj) {
+        const Port& a = ports[pi];
+        const Port& c = ports[pj];
+        if (a.rows.empty() || c.rows.empty() || a.mids.empty() ||
+            c.mids.empty()) {
+          continue;
+        }
+        Matrix h(a.mids.size(), c.mids.size());
+        for (size_t x = 0; x < a.mids.size(); ++x)
+          for (size_t y = 0; y < c.mids.size(); ++y)
+            h(x, y) = dist1(a.mids[x], c.mids[y]);
+        // reach ⊗ H: the second factor is Monge, so the SMAWK row path
+        // always applies; the final ⊗ reach^T is checked (and counted).
+        ++stats.monge_multiplies;
+        Matrix s1 = opt.pool != nullptr ? minplus_monge(*opt.pool, a.reach, h)
+                                        : minplus_monge(a.reach, h);
+        Matrix ct = c.reach.transposed();
+        Matrix t;
+        if (is_monge(ct)) {
+          ++stats.monge_multiplies;
+          t = opt.pool != nullptr ? minplus_monge(*opt.pool, s1, ct)
+                                  : minplus_monge(s1, ct);
+        } else {
+          ++stats.monge_fallbacks;
+          t = minplus_naive(s1, ct);
+        }
+        for (size_t x = 0; x < a.rows.size(); ++x) {
+          for (size_t y = 0; y < c.rows.size(); ++y) {
+            if (t(x, y) < d(a.rows[x], c.rows[y])) {
+              d(a.rows[x], c.rows[y]) = t(x, y);
+            }
+          }
+        }
+      }
+    }
+    return BoundaryStructure(scene.container(), std::move(b), std::move(d));
+  }
+
+  void validate(const Scene& scene, const BoundaryStructure& st) {
+    const auto& b = st.points();
+    TrackGraph g(scene.obstacles(), &scene.container(), b);
+    for (size_t i = 0; i < b.size(); ++i) {
+      std::vector<Length> dist = g.single_source(b[i]);
+      for (size_t j = 0; j < b.size(); ++j) {
+        int node = g.node_at(b[j]);
+        RSP_CHECK(node >= 0);
+        if (st.matrix()(i, j) != dist[node]) {
+          std::ostringstream os;
+          os << "D&C node mismatch at |R|=" << scene.num_obstacles()
+             << " pair " << b[i] << " -> " << b[j] << ": got "
+             << st.matrix()(i, j) << " want " << dist[node];
+          throw std::logic_error(os.str());
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+DncResult build_boundary_structure(const Scene& scene,
+                                   const DncOptions& opt) {
+  Builder builder{opt, {}};
+  std::vector<Rect> rects = scene.obstacles();
+  BoundaryStructure root =
+      builder.solve(scene.container(), std::move(rects), {}, 0);
+  return {std::move(root), builder.stats};
+}
+
+}  // namespace rsp

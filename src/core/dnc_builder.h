@@ -1,0 +1,56 @@
+#pragma once
+// The §5 divide-and-conquer builder: computes the matrix D_Q of shortest
+// path lengths between all pairs of B(Q) points on the boundary of the
+// container, recursing on staircase separators (Theorem 2) and conquering
+// with Monge (min,+) multiplications through the separator's discretization
+// points ("Middle", Theorem 3).
+//
+// Faithfulness notes:
+//  * separator, B(Q), Middle, single-intersection conquer and the Monge
+//    products are the paper's; child boundary sets are synchronized by
+//    computing the separator projections at the parent (instead of Lemma 7
+//    re-queries at conquer time) — same points, simpler indexing.
+//  * leaves (<= leaf_size obstacles) use a local track-graph Dijkstra,
+//    playing the role of the paper's trivial base case.
+//  * conquer verifies the Monge property of both factor matrices (a paper
+//    claim) and falls back to the naive product if it ever fails; the
+//    statistics expose how often each path ran (bench E7 reports them).
+
+#include <memory>
+
+#include "core/boundary.h"
+#include "core/scene.h"
+#include "pram/thread_pool.h"
+
+namespace rsp {
+
+struct DncOptions {
+  size_t leaf_size = 3;       // max obstacles solved by the base case
+  ThreadPool* pool = nullptr;  // parallel conquer rows
+  // Debug/test hook: re-derive every internal node's matrix with a local
+  // track-graph Dijkstra and fail fast on the first mismatch. Quadratic
+  // slowdown; off by default.
+  bool validate_nodes = false;
+};
+
+struct DncStats {
+  size_t nodes = 0;
+  size_t leaves = 0;
+  size_t max_depth = 0;
+  size_t monge_multiplies = 0;
+  size_t monge_fallbacks = 0;  // conquer pairs that failed the Monge check
+  size_t max_boundary = 0;     // largest |B(Q)| seen
+};
+
+struct DncResult {
+  BoundaryStructure root;
+  DncStats stats;
+};
+
+// Computes D_P for scene.container(). The resulting structure answers
+// boundary-to-boundary length queries: B(P) pairs by index, arbitrary
+// boundary pairs via Lemma 7 (BoundaryStructure::query).
+DncResult build_boundary_structure(const Scene& scene,
+                                   const DncOptions& opt = {});
+
+}  // namespace rsp

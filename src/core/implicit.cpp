@@ -1,0 +1,116 @@
+#include "core/implicit.h"
+
+#include <algorithm>
+
+namespace rsp {
+
+ImplicitBoundaryLengths::ImplicitBoundaryLengths(const AllPairsSP& sp)
+    : sp_(&sp) {
+  const Scene& scene = sp.scene();
+  const auto& verts = scene.obstacle_vertices();
+  RSP_CHECK(!verts.empty());
+  Rect env = bounding_box(scene.obstacles().begin(), scene.obstacles().end());
+  const Rect& bb = scene.container().bbox();
+
+  // Candidate transfer positions: obstacle vertex coordinates (the
+  // projections of B(Env(R)) onto the lines use exactly these).
+  std::vector<Coord> xs, ys;
+  for (const auto& v : verts) {
+    xs.push_back(v.x);
+    ys.push_back(v.y);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  struct Spec {
+    bool horizontal;
+    Coord line;
+    int side;
+  };
+  std::vector<Spec> specs;
+  if (env.ymax < bb.ymax) specs.push_back({true, env.ymax, +1});   // top
+  if (env.ymin > bb.ymin) specs.push_back({true, env.ymin, -1});   // bottom
+  if (env.xmax < bb.xmax) specs.push_back({false, env.xmax, +1});  // right
+  if (env.xmin > bb.xmin) specs.push_back({false, env.xmin, -1});  // left
+
+  for (const Spec& s : specs) {
+    Chunk c;
+    c.horizontal = s.horizontal;
+    c.line = s.line;
+    c.side = s.side;
+    const auto& pos = s.horizontal ? xs : ys;
+    for (Coord t : pos) {
+      Point k = s.horizontal ? Point{t, s.line} : Point{s.line, t};
+      if (scene.point_free(k)) c.ks.push_back(t);
+    }
+    if (c.ks.empty()) continue;
+    const size_t m = verts.size();
+    c.to_vertex = Matrix(c.ks.size(), m, kInf);
+    for (size_t i = 0; i < c.ks.size(); ++i) {
+      Point k = s.horizontal ? Point{c.ks[i], s.line}
+                             : Point{s.line, c.ks[i]};
+      for (size_t v = 0; v < m; ++v) {
+        c.to_vertex(i, v) = sp.length(k, verts[v]);
+      }
+    }
+    // Prefix structures for O(log) queries:
+    //   query(p, v) = min_i |pos(p) - ks[i]| + to_vertex(i, v)
+    //              = min( pos(p) + prefix_lo over ks <= pos(p),
+    //                     prefix_hi over ks >= pos(p) - pos(p) ).
+    c.prefix_lo = Matrix(c.ks.size(), m, kInf);
+    c.prefix_hi = Matrix(c.ks.size(), m, kInf);
+    for (size_t v = 0; v < m; ++v) {
+      Length run = kInf;
+      for (size_t i = 0; i < c.ks.size(); ++i) {
+        run = std::min(run, c.to_vertex(i, v) - c.ks[i]);
+        c.prefix_lo(i, v) = run;
+      }
+      run = kInf;
+      for (size_t i = c.ks.size(); i-- > 0;) {
+        run = std::min(run, c.to_vertex(i, v) + c.ks[i]);
+        c.prefix_hi(i, v) = run;
+      }
+    }
+    chunks_.push_back(std::move(c));
+  }
+}
+
+size_t ImplicitBoundaryLengths::transfer_points() const {
+  size_t total = 0;
+  for (const auto& c : chunks_) total += c.ks.size();
+  return total;
+}
+
+Length ImplicitBoundaryLengths::to_vertex(const Point& p,
+                                          size_t vertex_id) const {
+  const auto& verts = sp_->scene().obstacle_vertices();
+  RSP_CHECK(vertex_id < verts.size());
+  for (const auto& c : chunks_) {
+    Coord along = c.horizontal ? p.x : p.y;
+    Coord across = c.horizontal ? p.y : p.x;
+    bool in_chunk = c.side > 0 ? across >= c.line : across <= c.line;
+    if (!in_chunk) continue;
+    // Any path from p to the vertex crosses the chunk line; the region
+    // beyond the line is obstacle-free, so it can be deformed through a
+    // transfer point without growing. Cost = |across - line| to reach the
+    // line plus the 1-D transfer minimum.
+    Length cross = std::llabs(across - c.line);
+    auto it = std::upper_bound(c.ks.begin(), c.ks.end(), along);
+    Length best = kInf;
+    if (it != c.ks.begin()) {
+      size_t i = static_cast<size_t>(it - c.ks.begin()) - 1;
+      best = std::min(best, add_len(c.prefix_lo(i, vertex_id), along));
+    }
+    if (it != c.ks.end()) {
+      size_t i = static_cast<size_t>(it - c.ks.begin());
+      best = std::min(best, add_len(c.prefix_hi(i, vertex_id), -along));
+    }
+    return add_len(cross, best);
+  }
+  // Beside the envelope: exact §6.4 reduction.
+  return sp_->length(p, verts[vertex_id]);
+}
+
+}  // namespace rsp

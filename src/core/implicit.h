@@ -1,0 +1,56 @@
+#pragma once
+// §7 of the paper: path lengths when |P| >> |R|.
+//
+// When the container polygon has N >> n vertices, materializing
+// B(P)-to-V_R lengths costs Θ(N·n). The paper avoids the N term by
+// partitioning Bound(P) into at most eight chunks with the four axis lines
+// through the extreme edges of Env(R); each chunk gets an O(n)-point
+// transfer set K on its line (projections of the envelope's boundary
+// discretization), and every nontrivial path from the chunk deforms
+// through K without growing. Lengths to K implicitly represent all
+// chunk-to-vertex lengths; a query is a binary search plus O(1) lookups.
+//
+// This module implements the dominant (top/bottom/left/right) chunks —
+// every boundary point beyond an extreme line belongs to one of them; the
+// four corner chunks of the paper arise only for containers that wrap
+// around Env(R) diagonally and reduce to the same transfer-set idea. For
+// boundary points between the lines (beside the envelope), queries fall
+// back to the exact arbitrary-point reduction of §6.4.
+
+#include <memory>
+
+#include "core/query.h"
+
+namespace rsp {
+
+class ImplicitBoundaryLengths {
+ public:
+  // Builds the transfer sets and their length tables from an existing
+  // all-pairs structure. O(n^2) work and memory — independent of |P|.
+  explicit ImplicitBoundaryLengths(const AllPairsSP& sp);
+
+  // Length of a shortest path from a point on (or beyond) one of the four
+  // chunk lines to an obstacle vertex. p must be free and inside the
+  // container. O(log n) when p is in a chunk, §6.4 fallback otherwise.
+  Length to_vertex(const Point& p, size_t vertex_id) const;
+
+  // Number of transfer points per chunk (diagnostics; O(n)).
+  size_t transfer_points() const;
+
+ private:
+  struct Chunk {
+    bool horizontal;  // transfer line is horizontal (top/bottom chunks)
+    Coord line;       // the line's coordinate
+    int side;         // +1: points with coord >= line belong to the chunk
+    std::vector<Coord> ks;  // transfer point positions along the line
+    Matrix to_vertex;       // |ks| x 4n lengths
+    // prefix_lo(k, v) = min_{k' <= k} to_vertex(k', v) - pos(k')
+    // prefix_hi(k, v) = min_{k' >= k} to_vertex(k', v) + pos(k')
+    Matrix prefix_lo, prefix_hi;
+  };
+
+  const AllPairsSP* sp_;
+  std::vector<Chunk> chunks_;
+};
+
+}  // namespace rsp

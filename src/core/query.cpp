@@ -1,0 +1,227 @@
+#include "core/query.h"
+
+#include <algorithm>
+
+namespace rsp {
+
+namespace {
+
+void emit(std::vector<Point>& out, const Point& q) {
+  if (!out.empty() && out.back() == q) return;
+  while (out.size() >= 2) {
+    const Point& x = out[out.size() - 2];
+    const Point& y = out.back();
+    if ((x.x == y.x && y.x == q.x) || (x.y == y.y && y.y == q.y)) {
+      out.pop_back();
+    } else {
+      break;
+    }
+  }
+  out.push_back(q);
+}
+
+}  // namespace
+
+AllPairsSP::AllPairsSP(Scene scene, const Options& opt)
+    : scene_(std::move(scene)),
+      shooter_(scene_),
+      tracer_(scene_, shooter_),
+      data_(opt.pool != nullptr
+                ? build_all_pairs(*opt.pool, scene_, shooter_, tracer_)
+                : build_all_pairs(scene_, shooter_, tracer_)),
+      trees_(scene_, tracer_, data_) {
+  const auto& verts = scene_.obstacle_vertices();
+  vertex_ids_.reserve(verts.size());
+  for (size_t i = 0; i < verts.size(); ++i) vertex_ids_.emplace(verts[i], i);
+}
+
+std::optional<size_t> AllPairsSP::vertex_id(const Point& p) const {
+  auto it = vertex_ids_.find(p);
+  if (it == vertex_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+AllPairsSP::Resolution AllPairsSP::resolve(const Point& src,
+                                           const Point& tgt) const {
+  // The four escape curves of the source (paper §6.4 uses NE(q) etc.).
+  Staircase ne = tracer_.trace_staircase(src, TraceKind::NE);
+  Staircase nw = tracer_.trace_staircase(src, TraceKind::NW);
+  Staircase se = tracer_.trace_staircase(src, TraceKind::SE);
+  Staircase sw = tracer_.trace_staircase(src, TraceKind::SW);
+
+  // Classify tgt into one of the four escape-path regions. Prefer a region
+  // containing tgt strictly: side 0 can come from a curve's sentinel
+  // extension (e.g. the vertical line below src for NE/NW), and treating
+  // such phantom boundary contact as region membership triggers false
+  // "direct" answers. A weak match is only trusted when no strict region
+  // exists — then tgt genuinely lies on a real curve and the direct
+  // geometry is exact.
+  int sne = ne.side_of(tgt), snw = nw.side_of(tgt);
+  int sse = se.side_of(tgt), ssw = sw.side_of(tgt);
+  int pass = -1;
+  if (sne < 0 && sse > 0) pass = 0;       // E, strict
+  else if (snw < 0 && ssw > 0) pass = 1;  // W, strict
+  else if (sne > 0 && snw > 0) pass = 2;  // N, strict
+  else if (sse < 0 && ssw < 0) pass = 3;  // S, strict
+  else if (sne <= 0 && sse >= 0) pass = 0;
+  else if (snw <= 0 && ssw >= 0) pass = 1;
+  else if (sne >= 0 && snw >= 0) pass = 2;
+  else if (sse <= 0 && ssw <= 0) pass = 3;
+  RSP_CHECK_MSG(pass >= 0, "escape-path regions failed to cover target");
+
+  PassGeometry g = pass_geometry(pass);
+  const Staircase* hi = nullptr;
+  const Staircase* lo = nullptr;
+  switch (pass) {
+    case 0: hi = &ne; lo = &se; break;
+    case 1: hi = &nw; lo = &sw; break;
+    case 2: hi = &ne; lo = &nw; break;
+    case 3: hi = &se; lo = &sw; break;
+  }
+
+  Resolution r;
+  r.pass = pass;
+  Dir back;
+  if (g.x_monotone) {
+    back = g.ascending ? Dir::West : Dir::East;
+  } else {
+    back = g.ascending ? Dir::South : Dir::North;
+  }
+  const Staircase* curve;
+  if (g.x_monotone) {
+    curve = (tgt.y >= src.y) ? hi : lo;
+    r.kind = (tgt.y >= src.y) ? g.curve_hi : g.curve_lo;
+    auto iv = curve->x_interval_at(tgt.y);
+    r.cross = {g.ascending ? iv.second : iv.first, tgt.y};
+  } else {
+    curve = (tgt.x >= src.x) ? hi : lo;
+    r.kind = (tgt.x >= src.x) ? g.curve_hi : g.curve_lo;
+    auto iv = curve->y_interval_at(tgt.x);
+    r.cross = {tgt.x, g.ascending ? iv.second : iv.first};
+  }
+
+  auto hit = shooter_.shoot_obstacle(tgt, back);
+  if (!hit) {
+    r.direct = true;
+    return r;
+  }
+  Length cross_c = g.x_monotone ? r.cross.x : r.cross.y;
+  Length hit_c = g.x_monotone ? hit->hit.x : hit->hit.y;
+  r.direct = g.ascending ? (cross_c >= hit_c) : (cross_c <= hit_c);
+  if (!r.direct) {
+    r.hit = hit->hit;
+    int rect = hit->rect;
+    switch (back) {
+      case Dir::West: r.u1 = 4 * rect + 1; r.u2 = 4 * rect + 2; break;
+      case Dir::East: r.u1 = 4 * rect + 0; r.u2 = 4 * rect + 3; break;
+      case Dir::South: r.u1 = 4 * rect + 3; r.u2 = 4 * rect + 2; break;
+      case Dir::North: r.u1 = 4 * rect + 0; r.u2 = 4 * rect + 1; break;
+    }
+  }
+  return r;
+}
+
+Length AllPairsSP::from_vertex(size_t v, const Point& tgt,
+                               std::vector<Point>* out_path) const {
+  const auto& verts = scene_.obstacle_vertices();
+  const Point pv = verts[v];
+  if (tgt == pv) {
+    if (out_path) *out_path = {pv};
+    return 0;
+  }
+  if (auto id = vertex_id(tgt)) {
+    if (out_path) *out_path = trees_.path(v, *id);
+    return data_.dist(v, *id);
+  }
+  Resolution r = resolve(pv, tgt);
+  if (r.direct) {
+    if (out_path) emit_direct(pv, r, tgt, *out_path);
+    return dist1(pv, tgt);
+  }
+  Length c1 = add_len(data_.dist(v, static_cast<size_t>(r.u1)),
+                      dist1(verts[r.u1], tgt));
+  Length c2 = add_len(data_.dist(v, static_cast<size_t>(r.u2)),
+                      dist1(verts[r.u2], tgt));
+  size_t u = c1 <= c2 ? r.u1 : r.u2;
+  if (out_path) {
+    *out_path = trees_.path(v, u);
+    emit(*out_path, r.hit);
+    emit(*out_path, tgt);
+  }
+  return std::min(c1, c2);
+}
+
+void AllPairsSP::emit_direct(const Point& src, const Resolution& r,
+                             const Point& tgt, std::vector<Point>& out) const {
+  std::vector<Point> bends = tracer_.trace(src, r.kind);
+  for (size_t i = 0; i < bends.size(); ++i) {
+    emit(out, bends[i]);
+    if (i + 1 < bends.size() &&
+        Segment{bends[i], bends[i + 1]}.contains(r.cross)) {
+      break;
+    }
+  }
+  emit(out, r.cross);
+  emit(out, tgt);
+}
+
+Length AllPairsSP::length(const Point& s, const Point& t) const {
+  RSP_CHECK_MSG(scene_.point_free(s) && scene_.point_free(t),
+                "query points must be free and inside the container");
+  if (s == t) return 0;
+  auto sid = vertex_id(s);
+  auto tid = vertex_id(t);
+  if (sid && tid) return data_.dist(*sid, *tid);
+  if (sid) return from_vertex(*sid, t, nullptr);
+  if (tid) return from_vertex(*tid, s, nullptr);
+  // Both arbitrary: reduce t's side first (paper §6.4, two levels).
+  Resolution r = resolve(s, t);
+  if (r.direct) return dist1(s, t);
+  const auto& verts = scene_.obstacle_vertices();
+  Length c1 = add_len(from_vertex(static_cast<size_t>(r.u1), s, nullptr),
+                      dist1(verts[r.u1], t));
+  Length c2 = add_len(from_vertex(static_cast<size_t>(r.u2), s, nullptr),
+                      dist1(verts[r.u2], t));
+  return std::min(c1, c2);
+}
+
+std::vector<Point> AllPairsSP::vertex_path(size_t a, size_t b) const {
+  return trees_.path(a, b);
+}
+
+std::vector<Point> AllPairsSP::path(const Point& s, const Point& t) const {
+  RSP_CHECK_MSG(scene_.point_free(s) && scene_.point_free(t),
+                "query points must be free and inside the container");
+  std::vector<Point> out;
+  if (s == t) return {s};
+  auto sid = vertex_id(s);
+  auto tid = vertex_id(t);
+  if (sid && tid) return trees_.path(*sid, *tid);
+  if (sid) {
+    from_vertex(*sid, t, &out);
+    return out;
+  }
+  if (tid) {
+    from_vertex(*tid, s, &out);
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+  Resolution r = resolve(s, t);
+  if (r.direct) {
+    emit_direct(s, r, t, out);
+    return out;
+  }
+  const auto& verts = scene_.obstacle_vertices();
+  Length c1 = add_len(from_vertex(static_cast<size_t>(r.u1), s, nullptr),
+                      dist1(verts[r.u1], t));
+  Length c2 = add_len(from_vertex(static_cast<size_t>(r.u2), s, nullptr),
+                      dist1(verts[r.u2], t));
+  size_t u = c1 <= c2 ? r.u1 : r.u2;
+  from_vertex(u, s, &out);        // path u -> s
+  std::reverse(out.begin(), out.end());  // s -> u
+  emit(out, r.hit);
+  emit(out, t);
+  return out;
+}
+
+}  // namespace rsp

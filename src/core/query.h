@@ -1,0 +1,85 @@
+#pragma once
+// Public facade: the all-pairs shortest-path data structure of the paper.
+//
+//   AllPairsSP sp(scene);
+//   sp.vertex_length(a, b);          // O(1), obstacle vertices
+//   sp.length(p, q);                 // arbitrary points (§6.4 reduction)
+//   sp.path(p, q);                   // actual shortest path polyline (§8)
+//
+// Arbitrary-point queries follow the paper's two-step reduction: shoot the
+// backward ray from the query point; either it crosses the other point's
+// escape-path pair first (then the distance is the plain L1 distance), or
+// it hits an obstacle edge and the answer goes through one of that edge's
+// two endpoints — reducing, after at most two levels, to the V_R-to-V_R
+// matrix.
+
+#include <optional>
+#include <unordered_map>
+
+#include "core/scene.h"
+#include "core/seq_builder.h"
+#include "core/sptree.h"
+
+namespace rsp {
+
+class AllPairsSP {
+ public:
+  struct Options {
+    // Fan the independent per-source computations over this pool
+    // (nullptr: sequential §9 build).
+    ThreadPool* pool = nullptr;
+  };
+
+  explicit AllPairsSP(Scene scene) : AllPairsSP(std::move(scene), Options{}) {}
+  AllPairsSP(Scene scene, const Options& opt);
+
+  const Scene& scene() const { return scene_; }
+  const AllPairsData& data() const { return data_; }
+  const Tracer& tracer() const { return tracer_; }
+  const RayShooter& shooter() const { return shooter_; }
+  size_t num_vertices() const { return data_.m; }
+
+  // O(1): length between obstacle vertices (ids per obstacle_vertices()).
+  Length vertex_length(size_t a, size_t b) const { return data_.dist(a, b); }
+
+  // Vertex id of a point, if it is an obstacle vertex.
+  std::optional<size_t> vertex_id(const Point& p) const;
+
+  // Length between arbitrary free points inside the container.
+  Length length(const Point& s, const Point& t) const;
+
+  // Actual shortest path between obstacle vertices / arbitrary points.
+  // The polyline's L1 length always equals the corresponding length().
+  std::vector<Point> vertex_path(size_t a, size_t b) const;
+  std::vector<Point> path(const Point& s, const Point& t) const;
+
+ private:
+  // Outcome of one §6.4 reduction level for (source, target).
+  struct Resolution {
+    bool direct = false;
+    int pass = -1;
+    TraceKind kind = TraceKind::NE;  // source escape curve used
+    Point cross;                     // backward-ray crossing (direct case)
+    int u1 = -1, u2 = -1;            // candidate edge vertices (else)
+    Point hit;                       // backward-ray hit point (else)
+  };
+  Resolution resolve(const Point& src, const Point& tgt) const;
+
+  // Length from an obstacle vertex to an arbitrary point; optionally also
+  // reconstructs the polyline from vertex v to tgt.
+  Length from_vertex(size_t v, const Point& tgt,
+                     std::vector<Point>* out_path) const;
+
+  // Appends the direct-case geometry: src's curve to `cross`, then to tgt.
+  void emit_direct(const Point& src, const Resolution& r, const Point& tgt,
+                   std::vector<Point>& out) const;
+
+  Scene scene_;
+  RayShooter shooter_;
+  Tracer tracer_;
+  AllPairsData data_;
+  SpTrees trees_;
+  std::unordered_map<Point, size_t, PointHash> vertex_ids_;
+};
+
+}  // namespace rsp

@@ -1,0 +1,192 @@
+#include "core/rayshoot.h"
+
+#include <algorithm>
+#include <climits>
+
+namespace rsp {
+
+// ---------------------------------------------------------------------------
+// StabbingTree
+// ---------------------------------------------------------------------------
+
+RayShooter::StabbingTree::StabbingTree(size_t n_positions) {
+  while (leaves_ < std::max<size_t>(1, n_positions)) leaves_ *= 2;
+  nodes_.resize(2 * leaves_);
+}
+
+void RayShooter::StabbingTree::add(size_t lo, size_t hi, Length key, int id) {
+  if (lo > hi) return;
+  // Canonical segment-tree decomposition of [lo, hi].
+  size_t l = lo + leaves_, r = hi + leaves_ + 1;
+  while (l < r) {
+    if (l & 1) nodes_[l++].push_back({key, id});
+    if (r & 1) nodes_[--r].push_back({key, id});
+    l /= 2;
+    r /= 2;
+  }
+}
+
+void RayShooter::StabbingTree::build() {
+  for (auto& v : nodes_) std::sort(v.begin(), v.end());
+}
+
+std::optional<std::pair<Length, int>>
+RayShooter::StabbingTree::min_key_at_least(size_t pos, Length q) const {
+  std::optional<std::pair<Length, int>> best;
+  for (size_t v = pos + leaves_; v >= 1; v /= 2) {
+    const auto& list = nodes_[v];
+    auto it = std::lower_bound(list.begin(), list.end(),
+                               std::make_pair(q, INT_MIN));
+    if (it != list.end() && (!best || *it < *best)) best = *it;
+  }
+  return best;
+}
+
+std::optional<std::pair<Length, int>>
+RayShooter::StabbingTree::max_key_at_most(size_t pos, Length q) const {
+  std::optional<std::pair<Length, int>> best;
+  for (size_t v = pos + leaves_; v >= 1; v /= 2) {
+    const auto& list = nodes_[v];
+    auto it = std::upper_bound(list.begin(), list.end(),
+                               std::make_pair(q, INT_MAX));
+    if (it != list.begin()) {
+      --it;
+      if (!best || it->first > best->first) best = *it;
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// RayShooter
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<Coord> collect(const Scene& s, bool x_axis) {
+  std::vector<Coord> v;
+  v.reserve(2 * s.num_obstacles());
+  for (const auto& r : s.obstacles()) {
+    v.push_back(x_axis ? r.xmin : r.ymin);
+    v.push_back(x_axis ? r.xmax : r.ymax);
+  }
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+// Position of coordinate c among 2M-1 slots: even = exact value, odd = gap.
+// Values outside the coordinate range clamp to the end gaps (no obstacle
+// covers those, so queries correctly find nothing).
+size_t position_of(const std::vector<Coord>& coords, Coord c) {
+  if (coords.empty() || c < coords.front()) return 0;
+  if (c > coords.back()) return 2 * coords.size() - 2;
+  auto it = std::lower_bound(coords.begin(), coords.end(), c);
+  size_t i = static_cast<size_t>(it - coords.begin());
+  if (*it == c) return 2 * i;
+  return 2 * i - 1;  // gap below *it
+}
+
+}  // namespace
+
+RayShooter::RayShooter(const Scene& scene)
+    : scene_(&scene),
+      xcoords_(collect(scene, true)),
+      ycoords_(collect(scene, false)),
+      north_(std::max<size_t>(1, 2 * xcoords_.size())),
+      south_(std::max<size_t>(1, 2 * xcoords_.size())),
+      east_(std::max<size_t>(1, 2 * ycoords_.size())),
+      west_(std::max<size_t>(1, 2 * ycoords_.size())) {
+  for (size_t i = 0; i < scene.num_obstacles(); ++i) {
+    const Rect& r = scene.obstacle(i);
+    int id = static_cast<int>(i);
+    // Open x-interval (xmin, xmax) -> positions strictly between the two
+    // even slots.
+    size_t xa = 2 * (std::lower_bound(xcoords_.begin(), xcoords_.end(),
+                                      r.xmin) -
+                     xcoords_.begin());
+    size_t xb = 2 * (std::lower_bound(xcoords_.begin(), xcoords_.end(),
+                                      r.xmax) -
+                     xcoords_.begin());
+    if (xa + 1 <= xb - 1) {
+      north_.add(xa + 1, xb - 1, r.ymin, id);  // bottom edge blocks N rays
+      south_.add(xa + 1, xb - 1, r.ymax, id);  // top edge blocks S rays
+    }
+    size_t ya = 2 * (std::lower_bound(ycoords_.begin(), ycoords_.end(),
+                                      r.ymin) -
+                     ycoords_.begin());
+    size_t yb = 2 * (std::lower_bound(ycoords_.begin(), ycoords_.end(),
+                                      r.ymax) -
+                     ycoords_.begin());
+    if (ya + 1 <= yb - 1) {
+      east_.add(ya + 1, yb - 1, r.xmin, id);  // left edge blocks E rays
+      west_.add(ya + 1, yb - 1, r.xmax, id);  // right edge blocks W rays
+    }
+  }
+  north_.build();
+  south_.build();
+  east_.build();
+  west_.build();
+}
+
+size_t RayShooter::xpos(Coord x) const { return position_of(xcoords_, x); }
+size_t RayShooter::ypos(Coord y) const { return position_of(ycoords_, y); }
+
+std::optional<RayHit> RayShooter::shoot_obstacle(const Point& p,
+                                                 Dir d) const {
+  std::optional<std::pair<Length, int>> found;
+  switch (d) {
+    case Dir::North:
+      found = north_.min_key_at_least(xpos(p.x), p.y);
+      if (found) return RayHit{{p.x, found->first}, found->second};
+      break;
+    case Dir::South:
+      found = south_.max_key_at_most(xpos(p.x), p.y);
+      if (found) return RayHit{{p.x, found->first}, found->second};
+      break;
+    case Dir::East:
+      found = east_.min_key_at_least(ypos(p.y), p.x);
+      if (found) return RayHit{{found->first, p.y}, found->second};
+      break;
+    case Dir::West:
+      found = west_.max_key_at_most(ypos(p.y), p.x);
+      if (found) return RayHit{{found->first, p.y}, found->second};
+      break;
+  }
+  return std::nullopt;
+}
+
+RayHit RayShooter::shoot(const Point& p, Dir d) const {
+  const RectilinearPolygon& poly = scene_->container();
+  RSP_CHECK_MSG(poly.contains(p), "ray origin outside container");
+  Point boundary_hit;
+  switch (d) {
+    case Dir::North:
+      boundary_hit = {p.x, poly.y_range_at(p.x).second};
+      break;
+    case Dir::South:
+      boundary_hit = {p.x, poly.y_range_at(p.x).first};
+      break;
+    case Dir::East:
+      boundary_hit = {poly.x_range_at(p.y).second, p.y};
+      break;
+    case Dir::West:
+      boundary_hit = {poly.x_range_at(p.y).first, p.y};
+      break;
+  }
+  auto obs = shoot_obstacle(p, d);
+  if (obs) {
+    // The obstacle hit wins iff it is not past the container boundary.
+    bool closer = false;
+    switch (d) {
+      case Dir::North: closer = obs->hit.y <= boundary_hit.y; break;
+      case Dir::South: closer = obs->hit.y >= boundary_hit.y; break;
+      case Dir::East: closer = obs->hit.x <= boundary_hit.x; break;
+      case Dir::West: closer = obs->hit.x >= boundary_hit.x; break;
+    }
+    if (closer) return *obs;
+  }
+  return RayHit{boundary_hit, -1};
+}
+
+}  // namespace rsp

@@ -1,0 +1,68 @@
+#pragma once
+// Orthogonal ray shooting among rectangular obstacles (paper §6.4, §8).
+//
+// The paper preprocesses two planar subdivisions H1/H2 (trapezoidal edges +
+// obstacle boundaries) for O(log n) point-location-based ray shooting. We
+// provide the same query interface — "which obstacle does a horizontal or
+// vertical ray from p hit first?" — with a segment tree over the coordinate
+// strips whose nodes hold sorted edge keys: O(log^2 n) per query, O(n log n)
+// space. Every consumer in the library (path tracing, the sequential
+// builder's Hit(e) sets, arbitrary-point queries, shortest path trees) goes
+// through this structure.
+
+#include <optional>
+#include <vector>
+
+#include "core/scene.h"
+
+namespace rsp {
+
+enum class Dir { North, South, East, West };
+
+struct RayHit {
+  Point hit;      // first point of the blocking edge / container boundary
+  int rect = -1;  // blocking obstacle id, or -1 for the container boundary
+};
+
+class RayShooter {
+ public:
+  explicit RayShooter(const Scene& scene);
+
+  // First obstacle edge or container boundary hit by the ray from p in
+  // direction d. p must lie in the container and outside all obstacle
+  // interiors; grazing contact (ray along an obstacle edge) does not block.
+  RayHit shoot(const Point& p, Dir d) const;
+
+  // Obstacle-only variant: nullopt if the ray escapes to the boundary.
+  std::optional<RayHit> shoot_obstacle(const Point& p, Dir d) const;
+
+ private:
+  // A stabbing structure over 2M-1 positions (coordinate values and the
+  // gaps between them); intervals carry a key and an id; queries ask for
+  // the min key >= q (or max key <= q) over intervals covering a position.
+  class StabbingTree {
+   public:
+    explicit StabbingTree(size_t n_positions);
+    void add(size_t lo, size_t hi, Length key, int id);  // inclusive range
+    void build();
+    std::optional<std::pair<Length, int>> min_key_at_least(size_t pos,
+                                                           Length q) const;
+    std::optional<std::pair<Length, int>> max_key_at_most(size_t pos,
+                                                          Length q) const;
+
+   private:
+    size_t leaves_ = 1;
+    std::vector<std::vector<std::pair<Length, int>>> nodes_;
+  };
+
+  const Scene* scene_;
+  // Positions: even = coordinate index*2, odd = gap. xpos for vertical rays
+  // (N/S), ypos for horizontal rays (E/W).
+  std::vector<Coord> xcoords_, ycoords_;
+  size_t xpos(Coord x) const;
+  size_t ypos(Coord y) const;
+
+  StabbingTree north_, south_, east_, west_;
+};
+
+}  // namespace rsp

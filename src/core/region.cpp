@@ -1,0 +1,263 @@
+#include "core/region.h"
+
+#include <algorithm>
+
+namespace rsp {
+
+std::vector<Point> clip_staircase(const RectilinearPolygon& q,
+                                  const Staircase& s) {
+  // Clip each chain segment against the region; convexity makes the union
+  // of clipped pieces one contiguous polyline.
+  std::vector<Point> out;
+  auto push = [&](const Point& p) {
+    if (out.empty() || out.back() != p) out.push_back(p);
+  };
+  const Rect& bb = q.bbox();
+  const auto& pts = s.points();
+  for (size_t i = 0; i + 1 < pts.size(); ++i) {
+    Point a = pts[i], b = pts[i + 1];
+    if (a.x == b.x) {  // vertical
+      if (a.x < bb.xmin || a.x > bb.xmax) continue;
+      auto [lo, hi] = q.y_range_at(a.x);
+      Coord y0 = std::max(lo, std::min(a.y, b.y));
+      Coord y1 = std::min(hi, std::max(a.y, b.y));
+      if (y0 > y1) continue;
+      if (a.y <= b.y) {
+        push({a.x, y0});
+        push({a.x, y1});
+      } else {
+        push({a.x, y1});
+        push({a.x, y0});
+      }
+    } else {  // horizontal
+      if (a.y < bb.ymin || a.y > bb.ymax) continue;
+      auto [lo, hi] = q.x_range_at(a.y);
+      Coord x0 = std::max(lo, std::min(a.x, b.x));
+      Coord x1 = std::min(hi, std::max(a.x, b.x));
+      if (x0 > x1) continue;
+      push({x0, a.y});  // chains run with ascending x
+      push({x1, a.y});
+    }
+  }
+  RSP_CHECK_MSG(out.size() >= 2, "staircase does not cross the region");
+  RSP_CHECK_MSG(q.on_boundary(out.front()) && q.on_boundary(out.back()),
+                "clipped chain must start and end on the region boundary");
+  return out;
+}
+
+std::vector<RectilinearPolygon> side_components(const RectilinearPolygon& q,
+                                                const Staircase& s,
+                                                int side) {
+  RSP_CHECK(side == +1 || side == -1);
+  const Rect& bb = q.bbox();
+  // Sweep strips: zero-width columns at every breakpoint abscissa and open
+  // strips between consecutive ones. Within an open strip both the region
+  // boundary and the staircase are horizontal, so the side interval is
+  // constant there; unimodality of the convex region's boundaries lets us
+  // evaluate open-strip values from the closed values at the two borders.
+  std::vector<Coord> xs{bb.xmin, bb.xmax};
+  for (const auto& v : q.vertices()) xs.push_back(v.x);
+  for (const auto& p : s.points()) {
+    if (p.x >= bb.xmin && p.x <= bb.xmax) xs.push_back(p.x);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+
+  struct Strip {
+    Coord xa, xb;   // closed [xa, xb]; xa == xb for border columns
+    Coord lo, hi;   // side interval; empty iff lo > hi
+    bool breaker = false;  // interval collapsed onto the staircase: such a
+                           // pinch joins blobs only along the separator, so
+                           // it separates components (hub routing covers it)
+  };
+  const Coord chain_lo_x = s.points().front().x;
+  const Coord chain_hi_x = s.points().back().x;
+  // Side of the half-plane beyond the chain's x-range.
+  const int left_side = s.increasing() ? +1 : -1;
+  const int right_side = -left_side;
+
+  std::vector<Strip> strips;
+  // occ: the staircase's y-occupancy over the strip, or nullopt when the
+  // strip lies beyond the chain's x-range (then `full_side` says which side
+  // the whole column belongs to).
+  auto add_strip = [&](Coord xa, Coord xb, Coord qlo, Coord qhi,
+                       std::optional<std::pair<Coord, Coord>> occ,
+                       int full_side) {
+    Coord lo = qlo, hi = qhi;
+    bool breaker = false;
+    if (!occ) {
+      if (full_side != side) hi = lo - 1;  // empty
+    } else if (side == +1) {
+      lo = std::max(qlo, occ->second);  // y >= top of occupancy
+      breaker = (lo == hi && lo == occ->second && qlo != qhi);
+    } else {
+      hi = std::min(qhi, occ->first);   // y <= bottom of occupancy
+      breaker = (lo == hi && hi == occ->first && qlo != qhi);
+    }
+    strips.push_back({xa, xb, lo, hi, breaker});
+  };
+  for (size_t i = 0; i < xs.size(); ++i) {
+    {  // border column [x, x]
+      Coord x = xs[i];
+      auto [qlo, qhi] = q.y_range_at(x);
+      if (x < chain_lo_x) {
+        add_strip(x, x, qlo, qhi, std::nullopt, left_side);
+      } else if (x > chain_hi_x) {
+        add_strip(x, x, qlo, qhi, std::nullopt, right_side);
+      } else {
+        add_strip(x, x, qlo, qhi, s.y_interval_at(x), 0);
+      }
+    }
+    if (i + 1 < xs.size() && xs[i] < xs[i + 1]) {  // open strip (a, b)
+      Coord a = xs[i], bx = xs[i + 1];
+      auto ra = q.y_range_at(a);
+      auto rb = q.y_range_at(bx);
+      Coord qlo = std::max(ra.first, rb.first);    // lower bd unimodal (V)
+      Coord qhi = std::min(ra.second, rb.second);  // upper bd unimodal (Λ)
+      if (bx <= chain_lo_x) {
+        add_strip(a, bx, qlo, qhi, std::nullopt, left_side);
+      } else if (a >= chain_hi_x) {
+        add_strip(a, bx, qlo, qhi, std::nullopt, right_side);
+      } else {
+        // The chain is horizontal on the open strip at height h; h is both
+        // the top of the occupancy at `a` and the bottom at `b` (for either
+        // orientation the min/max below collapse to h).
+        auto oa = s.y_interval_at(a);
+        auto ob = s.y_interval_at(bx);
+        Coord h_top = std::min(oa.second, ob.second);
+        Coord h_bot = std::max(oa.first, ob.first);
+        add_strip(a, bx, qlo, qhi, std::make_pair(h_bot, h_top), 0);
+      }
+    }
+  }
+
+  // Group maximal runs of nonempty, non-breaker strips whose intervals
+  // chain-overlap.
+  std::vector<RectilinearPolygon> out;
+  size_t i = 0;
+  while (i < strips.size()) {
+    if (strips[i].lo > strips[i].hi || strips[i].breaker) {
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    while (j + 1 < strips.size() && strips[j + 1].lo <= strips[j + 1].hi &&
+           !strips[j + 1].breaker &&
+           std::max(strips[j].lo, strips[j + 1].lo) <=
+               std::min(strips[j].hi, strips[j + 1].hi)) {
+      ++j;
+    }
+    // Assemble the component polygon from strips [i..j].
+    std::vector<Point> bottom, top;
+    bool has_area = false;
+    for (size_t k = i; k <= j; ++k) {
+      const Strip& st = strips[k];
+      bottom.push_back({st.xa, st.lo});
+      bottom.push_back({st.xb, st.lo});
+      top.push_back({st.xa, st.hi});
+      top.push_back({st.xb, st.hi});
+      if (st.xa < st.xb && st.lo < st.hi) has_area = true;
+    }
+    if (has_area) {
+      std::vector<Point> cycle = bottom;
+      std::reverse(top.begin(), top.end());
+      cycle.insert(cycle.end(), top.begin(), top.end());
+      // Drop consecutive duplicates before validation.
+      cycle.erase(std::unique(cycle.begin(), cycle.end()), cycle.end());
+      while (cycle.size() > 1 && cycle.front() == cycle.back()) {
+        cycle.pop_back();
+      }
+      out.push_back(RectilinearPolygon::from_vertices(std::move(cycle)));
+    }
+    i = j + 1;
+  }
+  return out;
+}
+
+std::pair<size_t, Length> arc_position(const RectilinearPolygon& q,
+                                       const Point& p) {
+  for (size_t i = 0; i < q.size(); ++i) {
+    Segment e = q.edge(i);
+    if (e.contains(p)) return {i, dist1(e.a, p)};
+  }
+  RSP_CHECK_MSG(false, "point is not on the region boundary");
+  return {};
+}
+
+std::pair<RectilinearPolygon, RectilinearPolygon> split_region(
+    const RectilinearPolygon& q, const Staircase& s,
+    const std::vector<Point>& clip) {
+  const Point c0 = clip.front();
+  const Point c1 = clip.back();
+  RSP_CHECK(c0 != c1);
+
+  // Boundary cycle with c0 and c1 inserted on their edges.
+  std::vector<Point> cycle;
+  for (size_t i = 0; i < q.size(); ++i) {
+    Segment e = q.edge(i);
+    cycle.push_back(e.a);
+    // Insert whichever of c0/c1 lie strictly inside this edge, nearest
+    // first.
+    std::vector<Point> ins;
+    if (e.contains(c0) && c0 != e.a && c0 != e.b) ins.push_back(c0);
+    if (e.contains(c1) && c1 != e.a && c1 != e.b) ins.push_back(c1);
+    if (ins.size() == 2 && dist1(e.a, ins[0]) > dist1(e.a, ins[1])) {
+      std::swap(ins[0], ins[1]);
+    }
+    for (const auto& p : ins) cycle.push_back(p);
+  }
+
+  auto find_pt = [&](const Point& p) {
+    auto it = std::find(cycle.begin(), cycle.end(), p);
+    RSP_CHECK_MSG(it != cycle.end(), "split point missing from cycle");
+    return static_cast<size_t>(it - cycle.begin());
+  };
+  size_t i0 = find_pt(c0);
+  size_t i1 = find_pt(c1);
+
+  // Two boundary arcs (CCW): c0 -> c1 and c1 -> c0.
+  auto arc = [&](size_t from, size_t to) {
+    std::vector<Point> out;
+    for (size_t k = from;; k = (k + 1) % cycle.size()) {
+      out.push_back(cycle[k]);
+      if (k == to) break;
+    }
+    return out;
+  };
+  std::vector<Point> arc01 = arc(i0, i1);
+  std::vector<Point> arc10 = arc(i1, i0);
+
+  // Close each arc with the separator chain (reversed as needed).
+  auto close_with_chain = [&](std::vector<Point> boundary_arc,
+                              bool chain_forward) {
+    std::vector<Point> cycle_pts = std::move(boundary_arc);
+    std::vector<Point> ch = clip;
+    if (!chain_forward) std::reverse(ch.begin(), ch.end());
+    // ch now runs from the arc's end back to its start.
+    cycle_pts.insert(cycle_pts.end(), ch.begin() + 1, ch.end() - 1);
+    return RectilinearPolygon::from_vertices(std::move(cycle_pts));
+  };
+  // arc01 runs c0 -> c1 CCW; the closing chain must run c1 -> c0, i.e. the
+  // clip reversed. arc10 closes with the forward clip (c0 -> c1)... it runs
+  // c1 -> c0, so the chain runs c0 -> c1: forward.
+  RectilinearPolygon polyA = close_with_chain(arc01, /*chain_forward=*/false);
+  RectilinearPolygon polyB = close_with_chain(arc10, /*chain_forward=*/true);
+
+  // Decide which polygon is on the separator's positive side: test any
+  // cycle vertex that is strictly off the chain.
+  auto side_of_poly = [&](const RectilinearPolygon& poly) {
+    for (const auto& p : poly.vertices()) {
+      int sd = s.side_of(p);
+      if (sd != 0) return sd;
+    }
+    return 0;
+  };
+  int sa = side_of_poly(polyA);
+  int sb = side_of_poly(polyB);
+  RSP_CHECK_MSG(sa * sb <= 0 && (sa != 0 || sb != 0),
+                "split sides are ambiguous");
+  if (sa > 0 || sb < 0) return {std::move(polyA), std::move(polyB)};
+  return {std::move(polyB), std::move(polyA)};
+}
+
+}  // namespace rsp

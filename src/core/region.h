@@ -1,0 +1,50 @@
+#pragma once
+// Convex-region operations for the §5 divide-and-conquer: clipping a
+// staircase separator to a region and splitting the region along it.
+//
+// Regions are rectilinear convex polygons throughout (the root is the
+// container P; splitting a convex region along a monotone staircase yields
+// two convex regions, see §2 of the paper).
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "geom/polygon.h"
+#include "geom/staircase.h"
+
+namespace rsp {
+
+// The contiguous portion of staircase `s` inside region `q`, as an ordered
+// polyline (first and last points lie on Bound(q)). Requires the staircase
+// to cross the region in one connected piece (use side_components for the
+// general case).
+std::vector<Point> clip_staircase(const RectilinearPolygon& q,
+                                  const Staircase& s);
+
+// Splits `q` along the clipped separator chain. Returns {above, below}:
+// the sub-region on the staircase's positive side (side_of == +1) and the
+// one on its negative side. The chain becomes part of both boundaries.
+// Requires both sides connected; see side_components for the general case.
+std::pair<RectilinearPolygon, RectilinearPolygon> split_region(
+    const RectilinearPolygon& q, const Staircase& s,
+    const std::vector<Point>& clip);
+
+// General splitting: the connected components of one side of `q` relative
+// to the staircase (side=+1: the region where side_of >= 0; side=-1:
+// side_of <= 0). A separator traced around only this region's obstacles
+// may leave and re-enter the region, so a side can have several
+// components; each component is itself a rectilinear convex polygon whose
+// boundary consists of pieces of Bound(q) and pieces of the staircase.
+// Components of zero area (the staircase running along the boundary) are
+// omitted.
+std::vector<RectilinearPolygon> side_components(const RectilinearPolygon& q,
+                                                const Staircase& s,
+                                                int side);
+
+// Position of p along the CCW boundary walk of q: (edge index, offset
+// along that edge). p must lie on the boundary.
+std::pair<size_t, Length> arc_position(const RectilinearPolygon& q,
+                                       const Point& p);
+
+}  // namespace rsp

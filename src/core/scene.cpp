@@ -1,0 +1,72 @@
+#include "core/scene.h"
+
+#include <algorithm>
+
+namespace rsp {
+
+Scene::Scene(std::vector<Rect> obstacles, RectilinearPolygon container)
+    : obstacles_(std::move(obstacles)), container_(std::move(container)) {
+  // O(n log n) disjointness check by sweeping x.
+  std::vector<size_t> order(obstacles_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return obstacles_[a].xmin < obstacles_[b].xmin;
+  });
+  // Simple sweep with active list (obstacle counts are moderate; an
+  // interval tree would be overkill here).
+  std::vector<size_t> active;
+  for (size_t idx : order) {
+    const Rect& r = obstacles_[idx];
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [&](size_t a) {
+                                  return obstacles_[a].xmax <= r.xmin;
+                                }),
+                 active.end());
+    for (size_t a : active) {
+      RSP_CHECK_MSG(!obstacles_[a].interior_intersects(r),
+                    "obstacles must be interior-disjoint");
+    }
+    active.push_back(idx);
+  }
+  for (const auto& r : obstacles_) {
+    RSP_CHECK_MSG(container_.contains(r), "obstacle outside container");
+    verts_.push_back(r.ll());
+    verts_.push_back(r.lr());
+    verts_.push_back(r.ur());
+    verts_.push_back(r.ul());
+  }
+}
+
+Scene Scene::with_bbox(std::vector<Rect> obstacles, Coord margin) {
+  RSP_CHECK_MSG(!obstacles.empty(), "scene needs at least one obstacle");
+  Rect bb = bounding_box(obstacles.begin(), obstacles.end());
+  return Scene(std::move(obstacles),
+               RectilinearPolygon::rectangle(bb.expanded(margin)));
+}
+
+bool Scene::point_free(const Point& p) const {
+  if (!container_.contains(p)) return false;
+  for (const auto& r : obstacles_) {
+    if (r.contains_strict(p)) return false;
+  }
+  return true;
+}
+
+bool Scene::segment_free(const Point& a, const Point& b) const {
+  if (a.x != b.x && a.y != b.y) return false;
+  if (!container_.contains(a) || !container_.contains(b)) return false;
+  Segment s{a, b};
+  for (const auto& r : obstacles_) {
+    if (s.pierces(r)) return false;
+  }
+  return true;
+}
+
+bool Scene::path_free(std::span<const Point> path) const {
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!segment_free(path[i], path[i + 1])) return false;
+  }
+  return true;
+}
+
+}  // namespace rsp

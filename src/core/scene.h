@@ -1,0 +1,47 @@
+#pragma once
+// The problem instance (paper §2): a rectilinear convex polygon P containing
+// n pairwise-disjoint axis-parallel rectangular obstacles R.
+
+#include <span>
+#include <vector>
+
+#include "geom/polygon.h"
+#include "geom/rect.h"
+
+namespace rsp {
+
+class Scene {
+ public:
+  Scene() = default;
+
+  // Validates: obstacles interior-disjoint, all inside the container.
+  // If `container` is empty, a bounding rectangle with margin is used.
+  Scene(std::vector<Rect> obstacles, RectilinearPolygon container);
+  static Scene with_bbox(std::vector<Rect> obstacles, Coord margin = 4);
+
+  size_t num_obstacles() const { return obstacles_.size(); }
+  const std::vector<Rect>& obstacles() const { return obstacles_; }
+  const Rect& obstacle(size_t i) const { return obstacles_[i]; }
+  const RectilinearPolygon& container() const { return container_; }
+
+  // V_R: the 4n obstacle vertices, in obstacle order (ll, lr, ur, ul per
+  // obstacle). vertex_id = 4*rect + corner.
+  const std::vector<Point>& obstacle_vertices() const { return verts_; }
+  Point vertex(size_t id) const { return verts_[id]; }
+  size_t rect_of_vertex(size_t id) const { return id / 4; }
+
+  // True iff p avoids all obstacle interiors and lies in the container.
+  bool point_free(const Point& p) const;
+  // True iff the axis-parallel segment a-b avoids all obstacle interiors
+  // and stays in the container. O(n) — for validation, not hot paths.
+  bool segment_free(const Point& a, const Point& b) const;
+  // Validates an entire polyline path (also checks axis-parallelism).
+  bool path_free(std::span<const Point> path) const;
+
+ private:
+  std::vector<Rect> obstacles_;
+  RectilinearPolygon container_;
+  std::vector<Point> verts_;
+};
+
+}  // namespace rsp

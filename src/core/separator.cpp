@@ -1,0 +1,152 @@
+#include "core/separator.h"
+
+#include <algorithm>
+
+namespace rsp {
+
+namespace {
+
+// Median coordinate of the 4n obstacle vertices along one axis.
+Coord median_coord(const Scene& scene, bool x_axis) {
+  std::vector<Coord> v;
+  v.reserve(4 * scene.num_obstacles());
+  for (const auto& p : scene.obstacle_vertices())
+    v.push_back(x_axis ? p.x : p.y);
+  auto mid = v.begin() + v.size() / 2;
+  std::nth_element(v.begin(), mid, v.end());
+  return *mid;
+}
+
+// Obstacles properly crossed by the axis line at c.
+std::vector<int> crossers(const Scene& scene, bool x_axis, Coord c) {
+  std::vector<int> out;
+  for (size_t i = 0; i < scene.num_obstacles(); ++i) {
+    const Rect& r = scene.obstacle(i);
+    bool crosses = x_axis ? (r.xmin < c && c < r.xmax)
+                          : (r.ymin < c && c < r.ymax);
+    if (crosses) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+// Builds the separator staircase as trace(p, k1) reversed + trace(p, k2),
+// both with their unbounded sentinel tails.
+Staircase join_traces(const Tracer& tracer, const Point& p, TraceKind down,
+                      TraceKind up) {
+  std::vector<Point> a = tracer.trace_with_tail(p, down);  // to smaller x
+  std::vector<Point> b = tracer.trace_with_tail(p, up);    // to larger x
+  std::reverse(a.begin(), a.end());
+  a.insert(a.end(), b.begin() + 1, b.end());  // both start at p
+  return Staircase::from_chain(std::move(a), Tracer::orient_of(up));
+}
+
+}  // namespace
+
+SeparatorResult staircase_separator(const Scene& scene,
+                                    const Tracer& tracer) {
+  const size_t n = scene.num_obstacles();
+  RSP_CHECK_MSG(n >= 2, "separator needs at least two obstacles");
+
+  Coord vx = median_coord(scene, true);
+  std::vector<int> vcross = crossers(scene, true, vx);
+  Point pivot;
+  TraceKind kind_down = TraceKind::WS, kind_up = TraceKind::NE;
+  bool pivot_set = false;
+
+  auto mid_free_point = [&](const std::vector<int>& ids, bool x_axis,
+                            Coord c) {
+    // The crossers' intervals on the line are pairwise disjoint; pick a
+    // point between the two middle ones.
+    std::vector<std::pair<Coord, Coord>> spans;
+    spans.reserve(ids.size());
+    for (int id : ids) {
+      const Rect& r = scene.obstacle(id);
+      spans.push_back(x_axis ? std::make_pair(r.ymin, r.ymax)
+                             : std::make_pair(r.xmin, r.xmax));
+    }
+    std::sort(spans.begin(), spans.end());
+    size_t k = spans.size() / 2;
+    Coord lo = spans[k - 1].second;
+    Coord hi = spans[k].first;
+    RSP_CHECK_MSG(lo <= hi, "crossing obstacles overlap");
+    Coord m = lo + (hi - lo) / 2;
+    return x_axis ? Point{c, m} : Point{m, c};
+  };
+
+  if (vcross.size() >= std::max<size_t>(1, n / 4) && vcross.size() >= 2) {
+    pivot = mid_free_point(vcross, true, vx);
+    kind_down = TraceKind::SW;
+    kind_up = TraceKind::NE;
+    pivot_set = true;
+  }
+
+  Coord hy = median_coord(scene, false);
+  if (!pivot_set) {
+    std::vector<int> hcross = crossers(scene, false, hy);
+    if (hcross.size() >= std::max<size_t>(1, n / 4) && hcross.size() >= 2) {
+      pivot = mid_free_point(hcross, false, hy);
+      kind_down = TraceKind::SW;
+      kind_up = TraceKind::NE;
+      pivot_set = true;
+    }
+  }
+
+  if (!pivot_set) {
+    Point p{vx, hy};
+    // Nudge out of an obstacle interior (paper: "easily modified").
+    for (const auto& r : scene.obstacles()) {
+      if (r.contains_strict(p)) {
+        p.y = r.ymax;
+        break;
+      }
+    }
+    // Clamp into the container (the medians always are, given obstacles
+    // inside P, but stay defensive).
+    RSP_CHECK(scene.container().contains(p));
+    // Quadrant census around p.
+    size_t rne = 0, rnw = 0, rse = 0, rsw = 0;
+    for (const auto& r : scene.obstacles()) {
+      if (r.xmin >= p.x && r.ymin >= p.y) ++rne;
+      else if (r.xmax <= p.x && r.ymin >= p.y) ++rnw;
+      else if (r.xmin >= p.x && r.ymax <= p.y) ++rse;
+      else if (r.xmax <= p.x && r.ymax <= p.y) ++rsw;
+    }
+    size_t mx = std::max({rne, rnw, rse, rsw});
+    if (mx == rnw || mx == rse) {
+      kind_down = TraceKind::WS;  // increasing: NE(p) ∪ WS(p)
+      kind_up = TraceKind::NE;
+    } else {
+      kind_down = TraceKind::NW;  // decreasing: NW(p) ∪ ES(p)
+      kind_up = TraceKind::ES;
+    }
+    pivot = p;
+    pivot_set = true;
+  }
+
+  SeparatorResult res;
+  res.pivot = pivot;
+  res.sep = join_traces(tracer, pivot, kind_down, kind_up);
+
+  for (size_t i = 0; i < n; ++i) {
+    const Rect& r = scene.obstacle(i);
+    int pos = 0, neg = 0;
+    for (const auto& c : r.vertices()) {
+      int s = res.sep.side_of(c);
+      pos += (s > 0);
+      neg += (s < 0);
+    }
+    RSP_CHECK_MSG(!(pos > 0 && neg > 0), "separator pierces an obstacle");
+    if (pos > 0) {
+      res.above.push_back(static_cast<int>(i));
+    } else if (neg > 0) {
+      res.below.push_back(static_cast<int>(i));
+    } else {
+      // All four corners on the separator cannot happen for a full
+      // rectangle crossed by a monotone chain; defensively place above.
+      res.above.push_back(static_cast<int>(i));
+    }
+  }
+  return res;
+}
+
+}  // namespace rsp

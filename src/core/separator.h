@@ -1,0 +1,32 @@
+#pragma once
+// The Staircase Separator Theorem (paper §3, Theorem 2): an unbounded clear
+// staircase of O(n) segments with at most 7n/8 obstacles on either side,
+// found in O(log n) PRAM time with O(n) processors.
+//
+// Algorithm (paper-faithful): median vertical line V; if >= n/4 obstacles
+// cross it, split them evenly around a free point p on V and return
+// NE(p) ∪ SW(p). Else the median horizontal line H likewise. Else p = V∩H
+// (nudged to an obstacle edge if p falls inside one); with R_NW or R_SE the
+// largest quadrant the separator is NE(p) ∪ WS(p); with R_NE or R_SW it is
+// the mirrored NW(p) ∪ ES(p). The counting argument in the paper then
+// guarantees >= n/8 obstacles on each side.
+
+#include <vector>
+
+#include "core/trace.h"
+
+namespace rsp {
+
+struct SeparatorResult {
+  Staircase sep;             // clear unbounded staircase
+  Point pivot;               // the point p the two traces started from
+  std::vector<int> above;    // obstacle ids with sep.side_of == +1 side
+  std::vector<int> below;
+};
+
+// Requires n >= 2 obstacles. The returned staircase never pierces an
+// obstacle; every obstacle is classified onto exactly one side (obstacles
+// touched by the separator go to the side containing their interior).
+SeparatorResult staircase_separator(const Scene& scene, const Tracer& tracer);
+
+}  // namespace rsp

@@ -1,0 +1,220 @@
+#include "core/seq_builder.h"
+
+#include <algorithm>
+
+#include "pram/parallel.h"
+
+namespace rsp {
+
+namespace {
+
+struct PassConfig {
+  TraceKind curve_hi;  // escape path used for targets with coord >= source's
+  TraceKind curve_lo;  // escape path for the other half
+  Dir back;            // backward ray direction from the target
+  bool x_monotone;     // sweep axis
+  bool ascending;      // topological processing order along the sweep axis
+};
+
+constexpr PassConfig kPasses[4] = {
+    // E: right of NE(v) ∪ SE(v); backward ray west; process x ascending.
+    {TraceKind::NE, TraceKind::SE, Dir::West, true, true},
+    // W: left of NW(v) ∪ SW(v); backward ray east; process x descending.
+    {TraceKind::NW, TraceKind::SW, Dir::East, true, false},
+    // N: above NE(v) ∪ NW(v); backward ray south; process y ascending.
+    {TraceKind::NE, TraceKind::NW, Dir::South, false, true},
+    // S: below SE(v) ∪ SW(v); backward ray north; process y descending.
+    {TraceKind::SE, TraceKind::SW, Dir::North, false, false},
+};
+
+// Membership of w in the pass's target region (on-boundary included).
+bool in_region(int pass, const Staircase& hi, const Staircase& lo,
+               const Point& w) {
+  switch (pass) {
+    case 0: return hi.side_of(w) <= 0 && lo.side_of(w) >= 0;  // E
+    case 1: return hi.side_of(w) <= 0 && lo.side_of(w) >= 0;  // W
+    case 2: return hi.side_of(w) >= 0 && lo.side_of(w) >= 0;  // N
+    case 3: return hi.side_of(w) <= 0 && lo.side_of(w) <= 0;  // S
+  }
+  return false;
+}
+
+// The two vertex ids of the obstacle edge blocking w's backward ray.
+// Vertex ids follow Scene: 4*rect + {0:ll, 1:lr, 2:ur, 3:ul}.
+std::pair<int, int> edge_vertices(int rect, Dir back) {
+  switch (back) {
+    case Dir::West: return {4 * rect + 1, 4 * rect + 2};   // lr, ur
+    case Dir::East: return {4 * rect + 0, 4 * rect + 3};   // ll, ul
+    case Dir::South: return {4 * rect + 3, 4 * rect + 2};  // ul, ur
+    case Dir::North: return {4 * rect + 0, 4 * rect + 1};  // ll, lr
+  }
+  return {-1, -1};
+}
+
+struct SourceScratch {
+  std::vector<Length> dist;  // per-pass distances
+  std::vector<int32_t> pred;
+  const std::vector<size_t>* order = nullptr;  // sweep order for this pass
+};
+
+// One monotone-DAG sweep for source vertex id `src` and pass `pi`.
+// `hits[d][w]` are the precomputed backward-ray results per direction.
+void run_pass(const Scene& scene, const Tracer& tracer, size_t src, int pi,
+              const std::vector<std::optional<RayHit>>* hits,
+              SourceScratch& scr, AllPairsData& out) {
+  const PassConfig& cfg = kPasses[pi];
+  const auto& verts = scene.obstacle_vertices();
+  const size_t m = verts.size();
+  const Point pv = verts[src];
+
+  Staircase hi = tracer.trace_staircase(pv, cfg.curve_hi);
+  Staircase lo = tracer.trace_staircase(pv, cfg.curve_lo);
+
+  std::fill(scr.dist.begin(), scr.dist.end(), kInf);
+  std::fill(scr.pred.begin(), scr.pred.end(), -1);
+  scr.dist[src] = 0;
+
+  // Topological order: coordinate order along the monotone axis
+  // (precomputed once per pass direction by the caller).
+  const auto& back_hits = hits[static_cast<size_t>(cfg.back)];
+
+  for (size_t w : *scr.order) {
+    if (w == src) continue;
+    const Point pw = verts[w];
+    if (!in_region(pi, hi, lo, pw)) continue;
+    const auto& hit = back_hits[w];
+
+    // Where the backward ray from w first meets the escape-path pair.
+    // Pick the curve covering w's cross-axis coordinate.
+    Length cross;
+    if (cfg.x_monotone) {
+      const Staircase& c = (pw.y >= pv.y) ? hi : lo;
+      auto iv = c.x_interval_at(pw.y);
+      cross = cfg.ascending ? iv.second : iv.first;
+    } else {
+      const Staircase& c = (pw.x >= pv.x) ? hi : lo;
+      auto iv = c.y_interval_at(pw.x);
+      cross = cfg.ascending ? iv.second : iv.first;
+    }
+
+    bool direct;
+    if (!hit) {
+      direct = true;  // ray to infinity always crosses the unbounded pair
+    } else {
+      Length hit_coord = cfg.x_monotone ? hit->hit.x : hit->hit.y;
+      direct = cfg.ascending ? (cross >= hit_coord) : (cross <= hit_coord);
+    }
+    if (direct) {
+      scr.dist[w] = dist1(pv, pw);
+      scr.pred[w] = -1;
+      continue;
+    }
+    auto [u1, u2] = edge_vertices(hit->rect, cfg.back);
+    Length c1 = add_len(scr.dist[u1], dist1(verts[u1], pw));
+    Length c2 = add_len(scr.dist[u2], dist1(verts[u2], pw));
+    if (c1 <= c2) {
+      scr.dist[w] = c1;
+      scr.pred[w] = u1;
+    } else {
+      scr.dist[w] = c2;
+      scr.pred[w] = u2;
+    }
+  }
+
+  // Fold into the output row.
+  for (size_t w = 0; w < m; ++w) {
+    if (scr.dist[w] < out.dist(src, w)) {
+      out.dist(src, w) = scr.dist[w];
+      out.pred[src * m + w] = scr.pred[w];
+      out.pass[src * m + w] = static_cast<int8_t>(pi);
+    }
+  }
+}
+
+// Shared pre-processing: backward-ray hits for all vertices and directions
+// (independent of the source — the paper's Hit(e) sets, §9 item (6)).
+std::vector<std::vector<std::optional<RayHit>>> precompute_hits(
+    const Scene& scene, const RayShooter& shooter) {
+  const auto& verts = scene.obstacle_vertices();
+  std::vector<std::vector<std::optional<RayHit>>> hits(
+      4, std::vector<std::optional<RayHit>>(verts.size()));
+  for (Dir d : {Dir::North, Dir::South, Dir::East, Dir::West}) {
+    auto& row = hits[static_cast<size_t>(d)];
+    for (size_t w = 0; w < verts.size(); ++w) {
+      row[w] = shooter.shoot_obstacle(verts[w], d);
+    }
+  }
+  return hits;
+}
+
+// Sweep orders shared by all sources: ids sorted by x asc, x desc, y asc,
+// y desc (matching kPasses).
+std::vector<std::vector<size_t>> sweep_orders(const Scene& scene) {
+  const auto& verts = scene.obstacle_vertices();
+  std::vector<size_t> base(verts.size());
+  for (size_t i = 0; i < base.size(); ++i) base[i] = i;
+  std::vector<std::vector<size_t>> orders(4, base);
+  std::sort(orders[0].begin(), orders[0].end(), [&](size_t a, size_t b) {
+    return verts[a].x != verts[b].x ? verts[a].x < verts[b].x : a < b;
+  });
+  orders[1] = orders[0];
+  std::reverse(orders[1].begin(), orders[1].end());
+  std::sort(orders[2].begin(), orders[2].end(), [&](size_t a, size_t b) {
+    return verts[a].y != verts[b].y ? verts[a].y < verts[b].y : a < b;
+  });
+  orders[3] = orders[2];
+  std::reverse(orders[3].begin(), orders[3].end());
+  return orders;
+}
+
+AllPairsData build_impl(ThreadPool* pool, const Scene& scene,
+                        const RayShooter& shooter, const Tracer& tracer) {
+  const size_t m = scene.obstacle_vertices().size();
+  AllPairsData out;
+  out.m = m;
+  out.dist = Matrix(m, m, kInf);
+  out.pred.assign(m * m, -1);
+  out.pass.assign(m * m, -1);
+
+  auto hits = precompute_hits(scene, shooter);
+  auto orders = sweep_orders(scene);
+
+  auto do_source = [&](size_t src) {
+    SourceScratch scr;
+    scr.dist.resize(m);
+    scr.pred.resize(m);
+    out.dist(src, src) = 0;
+    for (int pi = 0; pi < 4; ++pi) {
+      scr.order = &orders[pi];
+      run_pass(scene, tracer, src, pi, hits.data(), scr, out);
+    }
+  };
+
+  if (pool != nullptr) {
+    parallel_for(*pool, 0, m, do_source, /*grain=*/1);
+  } else {
+    for (size_t src = 0; src < m; ++src) do_source(src);
+  }
+  return out;
+}
+
+}  // namespace
+
+PassGeometry pass_geometry(int pass) {
+  RSP_CHECK(pass >= 0 && pass < 4);
+  const PassConfig& c = kPasses[pass];
+  return {c.curve_hi, c.curve_lo, c.x_monotone, c.ascending};
+}
+
+AllPairsData build_all_pairs(const Scene& scene, const RayShooter& shooter,
+                             const Tracer& tracer) {
+  return build_impl(nullptr, scene, shooter, tracer);
+}
+
+AllPairsData build_all_pairs(ThreadPool& pool, const Scene& scene,
+                             const RayShooter& shooter,
+                             const Tracer& tracer) {
+  return build_impl(&pool, scene, shooter, tracer);
+}
+
+}  // namespace rsp

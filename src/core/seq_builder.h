@@ -1,0 +1,71 @@
+#pragma once
+// All-pairs V_R-to-V_R shortest path lengths (paper §9; parallel driver per
+// DESIGN.md's documented substitution for §6.3).
+//
+// For each source vertex v, four monotone-DAG relaxations — one per case of
+// the de Rezende–Lee–Wu monotonicity property [11]:
+//   E: x-monotone paths, v the left endpoint  (targets right of NE(v)∪SE(v))
+//   W: x-monotone paths, v the right endpoint (targets left of NW(v)∪SW(v))
+//   N: y-monotone paths, v the lower endpoint (targets above NE(v)∪NW(v))
+//   S: y-monotone paths, v the upper endpoint (targets below SE(v)∪SW(v))
+// In each case, a target w either sees the source's escape-path pair with an
+// unobstructed backward ray (then dist = d(v,w)) or its backward ray hits an
+// obstacle edge e, and the shortest path enters w through one of e's two
+// endpoints (the DAG edges). Processing targets in coordinate order makes a
+// single relaxation sweep exact.
+//
+// Distances are computed in the infinite plane; by the Containment Lemma
+// (paper Lemma 10) they equal the inside-P distances for points inside P.
+//
+// The same sweep records predecessor pointers: the union over targets is
+// precisely the shortest path tree rooted at v that §8 builds, which is how
+// actual paths are reported.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trace.h"
+#include "monge/matrix.h"
+#include "pram/thread_pool.h"
+
+namespace rsp {
+
+struct AllPairsData {
+  // dist(a, b): length of a shortest obstacle-avoiding path between
+  // obstacle vertices a and b (ids as in Scene::obstacle_vertices()).
+  Matrix dist;
+  // pred[a*m + b]: vertex preceding b on a shortest a-to-b path, or -1 when
+  // the path reaches b directly off a's escape-path pair ("via curve").
+  std::vector<int32_t> pred;
+  // pass[a*m + b]: which monotone case realized the minimum
+  // (0=E, 1=W, 2=N, 3=S, -1 for b==a or untouched).
+  std::vector<int8_t> pass;
+
+  size_t m = 0;  // number of vertices (4n)
+
+  int32_t pred_of(size_t a, size_t b) const { return pred[a * m + b]; }
+  int8_t pass_of(size_t a, size_t b) const { return pass[a * m + b]; }
+};
+
+// Geometry of one monotone case, shared with path reconstruction (§8).
+struct PassGeometry {
+  TraceKind curve_hi;  // escape path for targets with cross-coord >= source
+  TraceKind curve_lo;
+  bool x_monotone;     // x-monotone case (else y-monotone)
+  bool ascending;      // sweep order along the monotone axis
+};
+PassGeometry pass_geometry(int pass);
+
+// Sequential builder (paper §9): O(n^2 log n) with our ray-shooting
+// structures (the paper's O(n^2) uses precomputed Hit(e) sets; the log is
+// the stabbing-tree query).
+AllPairsData build_all_pairs(const Scene& scene, const RayShooter& shooter,
+                             const Tracer& tracer);
+
+// Parallel driver: the n sources are independent after the shared
+// pre-processing, so they fan out over the pool (documented substitution
+// for the paper's §6.3 flow pipeline: same O(n^2) work, linear span).
+AllPairsData build_all_pairs(ThreadPool& pool, const Scene& scene,
+                             const RayShooter& shooter, const Tracer& tracer);
+
+}  // namespace rsp

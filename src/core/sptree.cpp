@@ -1,0 +1,144 @@
+#include "core/sptree.h"
+
+#include <algorithm>
+
+namespace rsp {
+
+SpTrees::SpTrees(const Scene& scene, const Tracer& tracer,
+                 const AllPairsData& data)
+    : scene_(&scene), tracer_(&tracer), data_(&data) {}
+
+SpTrees::RootData& SpTrees::root_data(size_t a) const {
+  auto it = cache_.find(a);
+  if (it != cache_.end()) return it->second;
+  const size_t m = data_->m;
+  std::vector<int> parent(m, -1);
+  for (size_t b = 0; b < m; ++b) {
+    parent[b] = data_->pred_of(a, b);
+  }
+  RootData rd;
+  rd.forest = std::make_unique<Forest>(std::move(parent));
+  rd.la = std::make_unique<LevelAncestor>(*rd.forest);
+  return cache_.emplace(a, std::move(rd)).first->second;
+}
+
+const Forest& SpTrees::tree(size_t a) const { return *root_data(a).forest; }
+
+int SpTrees::hops(size_t a, size_t b) const {
+  return root_data(a).forest->depth(static_cast<int>(b));
+}
+
+namespace {
+
+// Appends q to out, merging collinear runs and dropping duplicates.
+void emit(std::vector<Point>& out, const Point& q) {
+  if (!out.empty() && out.back() == q) return;
+  while (out.size() >= 2) {
+    const Point& x = out[out.size() - 2];
+    const Point& y = out.back();
+    if ((x.x == y.x && y.x == q.x) || (x.y == y.y && y.y == q.y)) {
+      out.pop_back();
+    } else {
+      break;
+    }
+  }
+  out.push_back(q);
+}
+
+}  // namespace
+
+std::vector<Point> SpTrees::path(size_t a, size_t b) const {
+  const auto& verts = scene_->obstacle_vertices();
+  const size_t m = data_->m;
+  RSP_CHECK(a < m && b < m);
+  std::vector<Point> out;
+  if (a == b) return {verts[a]};
+
+  // Collect the pred chain b -> ... -> u0 (pred(u0) == -1 or u0 == a).
+  std::vector<size_t> chain;
+  for (int cur = static_cast<int>(b); cur >= 0;
+       cur = data_->pred_of(a, static_cast<size_t>(cur))) {
+    chain.push_back(static_cast<size_t>(cur));
+    if (static_cast<size_t>(cur) == a) break;
+  }
+  size_t u0 = chain.back();
+
+  // Head of the path: from a to u0. If u0 != a it is "direct via curve":
+  // ride a's escape path of u0's winning pass to the backward-ray crossing
+  // point, then straight to u0.
+  emit(out, verts[a]);
+  if (u0 != a) {
+    int pi = data_->pass_of(a, u0);
+    RSP_CHECK_MSG(pi >= 0, "vertices disconnected in pred structure");
+    PassGeometry g = pass_geometry(pi);
+    const Point pa = verts[a];
+    const Point pu = verts[u0];
+    TraceKind kind;
+    if (g.x_monotone) {
+      kind = (pu.y >= pa.y) ? g.curve_hi : g.curve_lo;
+    } else {
+      kind = (pu.x >= pa.x) ? g.curve_hi : g.curve_lo;
+    }
+    Staircase curve = tracer_->trace_staircase(pa, kind);
+    Point cross;
+    if (g.x_monotone) {
+      auto iv = curve.x_interval_at(pu.y);
+      cross = {g.ascending ? iv.second : iv.first, pu.y};
+    } else {
+      auto iv = curve.y_interval_at(pu.x);
+      cross = {pu.x, g.ascending ? iv.second : iv.first};
+    }
+    // Walk the explicit trace from a until the bend beyond the crossing,
+    // then cut at the crossing point.
+    std::vector<Point> bends = tracer_->trace(pa, kind);
+    for (size_t i = 0; i < bends.size(); ++i) {
+      emit(out, bends[i]);
+      if (i + 1 < bends.size() &&
+          Segment{bends[i], bends[i + 1]}.contains(cross)) {
+        break;
+      }
+    }
+    emit(out, cross);
+    emit(out, pu);
+  }
+
+  // Expand each hop u -> w with its L-shaped leg; hop geometry follows w's
+  // winning pass (x-monotone: corner shares u's x; y-monotone: u's y).
+  for (size_t i = chain.size() - 1; i > 0; --i) {
+    size_t u = chain[i];
+    size_t w = chain[i - 1];
+    int pi = data_->pass_of(a, w);
+    RSP_CHECK(pi >= 0);
+    PassGeometry g = pass_geometry(pi);
+    Point corner = g.x_monotone ? Point{verts[u].x, verts[w].y}
+                                : Point{verts[w].x, verts[u].y};
+    emit(out, verts[u]);
+    emit(out, corner);
+    emit(out, verts[w]);
+  }
+  emit(out, verts[b]);
+  return out;
+}
+
+std::vector<std::vector<int>> SpTrees::chunked_chain(size_t a, size_t b,
+                                                     int chunk) const {
+  RSP_CHECK(chunk >= 1);
+  RootData& rd = root_data(a);
+  int depth = rd.forest->depth(static_cast<int>(b));
+  int total = depth + 1;  // nodes on the chain
+  int pieces = (total + chunk - 1) / chunk;
+  std::vector<std::vector<int>> out(pieces);
+  for (int p = 0; p < pieces; ++p) {
+    // Piece p covers chain offsets [p*chunk, min(total, (p+1)*chunk)).
+    int lo = p * chunk;
+    int hi = std::min(total, lo + chunk);
+    int node = rd.la->query(static_cast<int>(b), lo);  // O(1) locate
+    for (int off = lo; off < hi; ++off) {
+      out[p].push_back(node);
+      node = rd.forest->parent(node);
+    }
+  }
+  return out;
+}
+
+}  // namespace rsp

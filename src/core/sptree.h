@@ -1,0 +1,56 @@
+#pragma once
+// Shortest path trees and actual-path reporting (paper §8).
+//
+// The predecessor pointers recorded by the builder form, for each source
+// vertex v, a shortest path tree over V_R (the paper builds the same trees
+// from the lengths matrix plus ray shooting). Reporting a path walks the
+// tree and expands each hop into its L-shaped leg; the terminal hop rides
+// the source's escape path to the crossing point. The paper's parallel
+// reporting — ⌈k/log n⌉ processors each emitting an O(log n) piece located
+// by a level-ancestor query — is exposed as chunked_chain().
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/seq_builder.h"
+#include "trees/level_ancestor.h"
+
+namespace rsp {
+
+class SpTrees {
+ public:
+  SpTrees(const Scene& scene, const Tracer& tracer, const AllPairsData& data);
+
+  // Polyline of a shortest path from vertex a to vertex b (ids as in
+  // Scene::obstacle_vertices()); its L1 length equals data.dist(a, b).
+  std::vector<Point> path(size_t a, size_t b) const;
+
+  // Number of tree hops from b up to its direct ancestor in a's tree.
+  int hops(size_t a, size_t b) const;
+
+  // §8 chunked emission: the predecessor chain from b toward a's tree
+  // roots, cut into ⌈len/chunk⌉ pieces, each located with one O(1)
+  // level-ancestor query and emitted independently (here: sequentially;
+  // pieces concatenate to the full chain).
+  std::vector<std::vector<int>> chunked_chain(size_t a, size_t b,
+                                              int chunk) const;
+
+  // The shortest path tree rooted at a (parents are pred pointers; direct
+  // nodes and a itself are roots). Built once per requested root, cached.
+  const Forest& tree(size_t a) const;
+
+ private:
+  struct RootData {
+    std::unique_ptr<Forest> forest;
+    std::unique_ptr<LevelAncestor> la;
+  };
+  RootData& root_data(size_t a) const;
+
+  const Scene* scene_;
+  const Tracer* tracer_;
+  const AllPairsData* data_;
+  mutable std::unordered_map<size_t, RootData> cache_;
+};
+
+}  // namespace rsp

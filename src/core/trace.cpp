@@ -1,0 +1,129 @@
+#include "core/trace.h"
+
+#include <algorithm>
+
+namespace rsp {
+
+namespace {
+
+Dir primary_of(TraceKind k) {
+  switch (k) {
+    case TraceKind::NE:
+    case TraceKind::NW: return Dir::North;
+    case TraceKind::SE:
+    case TraceKind::SW: return Dir::South;
+    case TraceKind::EN:
+    case TraceKind::ES: return Dir::East;
+    case TraceKind::WN:
+    case TraceKind::WS: return Dir::West;
+  }
+  return Dir::North;
+}
+
+// The corner of the blocking obstacle where the detour ends and the primary
+// direction resumes.
+Point detour_corner(const Rect& r, TraceKind k) {
+  switch (k) {
+    case TraceKind::NE: return r.lr();  // north blocked by bottom, go east
+    case TraceKind::NW: return r.ll();
+    case TraceKind::SE: return r.ur();  // south blocked by top, go east
+    case TraceKind::SW: return r.ul();
+    case TraceKind::EN: return r.ul();  // east blocked by left, go north
+    case TraceKind::ES: return r.ll();
+    case TraceKind::WN: return r.ur();  // west blocked by right, go north
+    case TraceKind::WS: return r.lr();
+  }
+  return r.ll();
+}
+
+// Where the primary ray from `from` lands on obstacle r's blocking edge.
+Point edge_hit(const Rect& r, TraceKind k, const Point& from) {
+  switch (primary_of(k)) {
+    case Dir::North: return {from.x, r.ymin};
+    case Dir::South: return {from.x, r.ymax};
+    case Dir::East: return {r.xmin, from.y};
+    case Dir::West: return {r.xmax, from.y};
+  }
+  return from;
+}
+
+}  // namespace
+
+StairOrient Tracer::orient_of(TraceKind k) {
+  switch (k) {
+    case TraceKind::NE:
+    case TraceKind::SW:
+    case TraceKind::EN:
+    case TraceKind::WS: return StairOrient::Increasing;
+    case TraceKind::NW:
+    case TraceKind::SE:
+    case TraceKind::ES:
+    case TraceKind::WN: return StairOrient::Decreasing;
+  }
+  return StairOrient::Increasing;
+}
+
+Tracer::Tracer(const Scene& scene, const RayShooter& shooter)
+    : scene_(&scene), shooter_(&shooter) {
+  // Per-kind parent forests: parent(r) = obstacle hit when resuming the
+  // primary direction from r's detour corner.
+  forests_.reserve(8);
+  const int n = static_cast<int>(scene.num_obstacles());
+  for (TraceKind k : kAllTraceKinds) {
+    std::vector<int> parent(n, -1);
+    for (int r = 0; r < n; ++r) {
+      Point corner = detour_corner(scene.obstacle(r), k);
+      auto hit = shooter.shoot_obstacle(corner, primary_of(k));
+      if (hit) parent[r] = hit->rect;
+    }
+    forests_.emplace_back(std::move(parent));
+  }
+}
+
+std::vector<Point> Tracer::trace(const Point& p, TraceKind k) const {
+  std::vector<Point> path{p};
+  auto push = [&](const Point& q) {
+    if (q != path.back()) path.push_back(q);
+  };
+  auto first = shooter_->shoot_obstacle(p, primary_of(k));
+  if (!first) return path;
+  push(first->hit);
+  const Forest& f = forest(k);
+  for (int r = first->rect; r >= 0;) {
+    Point corner = detour_corner(scene_->obstacle(r), k);
+    push(corner);
+    int pr = f.parent(r);
+    if (pr >= 0) push(edge_hit(scene_->obstacle(pr), k, corner));
+    r = pr;
+  }
+  return path;
+}
+
+std::vector<Point> Tracer::trace_with_tail(const Point& p,
+                                           TraceKind k) const {
+  std::vector<Point> path = trace(p, k);
+  Point tail = path.back();
+  switch (primary_of(k)) {
+    case Dir::North: tail.y = Staircase::kBig; break;
+    case Dir::South: tail.y = -Staircase::kBig; break;
+    case Dir::East: tail.x = Staircase::kBig; break;
+    case Dir::West: tail.x = -Staircase::kBig; break;
+  }
+  path.push_back(tail);
+  return path;
+}
+
+Staircase Tracer::trace_staircase(const Point& p, TraceKind k) const {
+  std::vector<Point> path = trace_with_tail(p, k);
+  StairOrient orient = orient_of(k);
+  if (path.front().x > path.back().x ||
+      (path.front().x == path.back().x &&
+       ((orient == StairOrient::Increasing && path.front().y > path.back().y) ||
+        (orient == StairOrient::Decreasing &&
+         path.front().y < path.back().y)))) {
+    std::reverse(path.begin(), path.end());
+  }
+  return Staircase::from_chain(std::move(path), orient);
+}
+
+}  // namespace rsp

@@ -1,0 +1,61 @@
+#pragma once
+// The eight escape paths X(p) of the paper (§3, Fig. 5; pre-processing of
+// §6.1): NE(p) goes north whenever it can and detours east around blocking
+// obstacles; EN(p) goes east and detours north; etc. Each is an unbounded
+// monotone staircase in the plane (the paper's setting — by the Containment
+// Lemma these plane paths give the right distances for points inside P).
+//
+// The paper computes these via trapezoidal decomposition + Euler-tour
+// forest walks (Lemma 6). We build the same per-obstacle parent forests
+// (one per kind, n ray shots each); a path is then one ray shot plus a
+// forest walk at O(1) per bend.
+//
+// Requires the paper's general-position assumption (no two distinct edges
+// collinear); generators in io/gen.h enforce it.
+
+#include <vector>
+
+#include "core/rayshoot.h"
+#include "core/scene.h"
+#include "geom/staircase.h"
+#include "trees/euler.h"
+
+namespace rsp {
+
+enum class TraceKind { NE, NW, SE, SW, EN, ES, WN, WS };
+inline constexpr TraceKind kAllTraceKinds[] = {
+    TraceKind::NE, TraceKind::NW, TraceKind::SE, TraceKind::SW,
+    TraceKind::EN, TraceKind::ES, TraceKind::WN, TraceKind::WS};
+
+class Tracer {
+ public:
+  Tracer(const Scene& scene, const RayShooter& shooter);
+
+  // The traced path from p: explicit bend points only (p first); the path
+  // continues to infinity in the primary direction after the last bend.
+  // p must not lie strictly inside an obstacle.
+  std::vector<Point> trace(const Point& p, TraceKind k) const;
+
+  // As trace(), with the unbounded tail materialized as a final sentinel
+  // point in the primary direction.
+  std::vector<Point> trace_with_tail(const Point& p, TraceKind k) const;
+
+  // Same path as an unbounded staircase (sentinel tails materialized).
+  Staircase trace_staircase(const Point& p, TraceKind k) const;
+
+  // Parent forest over obstacle ids for kind k: parent(r) is the obstacle
+  // the trace runs into after detouring around r, or -1 if it escapes
+  // (paper Lemma 6's forest).
+  const Forest& forest(TraceKind k) const {
+    return forests_[static_cast<size_t>(k)];
+  }
+
+  static StairOrient orient_of(TraceKind k);
+
+ private:
+  const Scene* scene_;
+  const RayShooter* shooter_;
+  std::vector<Forest> forests_;
+};
+
+}  // namespace rsp

@@ -1,0 +1,145 @@
+#include "geom/envelope.h"
+
+#include <algorithm>
+
+namespace rsp {
+
+namespace {
+
+// Expand a list of Pareto-maximal points into the hull boundary chain
+// between consecutive maxima. `bend(a, b)` supplies the intermediate corner.
+template <typename BendFn>
+std::vector<Point> expand_chain(const std::vector<Point>& maxima,
+                                BendFn bend) {
+  std::vector<Point> chain;
+  chain.reserve(maxima.size() * 2);
+  for (size_t i = 0; i < maxima.size(); ++i) {
+    chain.push_back(maxima[i]);
+    if (i + 1 < maxima.size()) chain.push_back(bend(maxima[i], maxima[i + 1]));
+  }
+  return chain;
+}
+
+void append_walk(std::vector<Point>& boundary, const std::vector<Point>& walk) {
+  for (const auto& p : walk) {
+    if (!boundary.empty() && boundary.back() == p) continue;
+    boundary.push_back(p);
+  }
+}
+
+}  // namespace
+
+Envelope Envelope::compute(std::span<const Rect> rects) {
+  RSP_CHECK_MSG(!rects.empty(), "envelope of empty set");
+  Envelope env;
+  env.ne = Staircase::max_staircase(rects, Quadrant::NE);
+  env.nw = Staircase::max_staircase(rects, Quadrant::NW);
+  env.se = Staircase::max_staircase(rects, Quadrant::SE);
+  env.sw = Staircase::max_staircase(rects, Quadrant::SW);
+
+  // Hull existence (paper: fails iff MAX_NE ∩ MAX_SW or MAX_NW ∩ MAX_SE
+  // properly cross, pinching the region). Operationally: sweep the hull's
+  // x-extent; the hull exists iff every column's [L(x), U(x)] interval is
+  // nonempty and consecutive columns' intervals overlap, where
+  // U = min(top of NE, top of NW) and L = max(bottom of SE, bottom of SW).
+  Rect bb = bounding_box(rects.begin(), rects.end());
+  std::vector<Coord> xs;
+  for (const auto& r : rects) {
+    xs.push_back(r.xmin);
+    xs.push_back(r.xmax);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  std::vector<Coord> cols;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    cols.push_back(xs[i]);
+    if (i + 1 < xs.size() && xs[i] + 1 < xs[i + 1]) {
+      cols.push_back(xs[i] + (xs[i + 1] - xs[i]) / 2);
+    }
+  }
+  auto column = [&](Coord x) -> std::pair<Coord, Coord> {
+    Coord hi = std::min(env.ne.y_interval_at(x).second,
+                        env.nw.y_interval_at(x).second);
+    Coord lo = std::max(env.se.y_interval_at(x).first,
+                        env.sw.y_interval_at(x).first);
+    // Sentinel tails leak past the hull's y-extent; the true boundary at
+    // the extreme columns coincides with the bounding box.
+    return {std::max(lo, bb.ymin), std::min(hi, bb.ymax)};
+  };
+  env.hull_exists = true;
+  std::pair<Coord, Coord> prev{0, 0};
+  for (size_t i = 0; i < cols.size(); ++i) {
+    Coord x = cols[i];
+    auto cur = column(x);
+    if (cur.first > cur.second) env.hull_exists = false;
+    if (i > 0 && env.hull_exists &&
+        (cur.first > prev.second || prev.first > cur.second)) {
+      env.hull_exists = false;  // diagonal disconnect between columns
+    }
+    // Classify which staircase pair pinches (for the degenerate bridge).
+    Coord hi_ne = std::min(env.ne.y_interval_at(x).second, bb.ymax);
+    Coord lo_sw = std::max(env.sw.y_interval_at(x).first, bb.ymin);
+    if (hi_ne < lo_sw) env.bridge_ne = true;
+    prev = cur;
+  }
+  if (!env.hull_exists) return env;
+
+  std::vector<Point> corners;
+  corners.reserve(rects.size() * 4);
+  for (const auto& r : rects)
+    for (const auto& v : r.vertices()) corners.push_back(v);
+
+  // The four maximal chains, each sorted by ascending x:
+  //   NW: leftmost(top) -> topmost(left);  NE: topmost(right) -> rightmost(top)
+  //   SW: leftmost(bottom) -> bottommost;  SE: bottommost -> rightmost(bottom)
+  auto nw_m = pareto_maxima(corners, Quadrant::NW);
+  auto ne_m = pareto_maxima(corners, Quadrant::NE);
+  auto se_m = pareto_maxima(corners, Quadrant::SE);
+  auto sw_m = pareto_maxima(corners, Quadrant::SW);
+
+  // Clockwise walk W -> N -> E -> S (reversed to CCW at the end). Bend
+  // shapes follow the lowest-rightmost / lowest-leftmost / ... rules of the
+  // MAX staircases (see Fig. 1/2 of the paper), so each boundary piece is
+  // exactly the clipped MAX staircase and the walk agrees with contains().
+  std::vector<Point>& b = env.boundary;
+  // NW chain, walked from leftmost to topmost: horizontal then vertical.
+  append_walk(b, expand_chain(nw_m, [](const Point& a, const Point& c) {
+                return Point{c.x, a.y};
+              }));
+  // NE chain from topmost to rightmost: vertical drop, then horizontal.
+  append_walk(b, expand_chain(ne_m, [](const Point& a, const Point& c) {
+                return Point{a.x, c.y};
+              }));
+  // SE chain from rightmost down to bottommost: reverse of ascending-x walk.
+  {
+    auto walk = expand_chain(se_m, [](const Point& a, const Point& c) {
+      return Point{a.x, c.y};
+    });
+    std::reverse(walk.begin(), walk.end());
+    append_walk(b, walk);
+  }
+  // SW chain from bottommost back to leftmost: reverse of ascending-x walk.
+  {
+    auto walk = expand_chain(sw_m, [](const Point& a, const Point& c) {
+      return Point{c.x, a.y};
+    });
+    std::reverse(walk.begin(), walk.end());
+    append_walk(b, walk);
+  }
+  if (b.size() > 1 && b.front() == b.back()) b.pop_back();
+  std::reverse(b.begin(), b.end());
+  return env;
+}
+
+bool Envelope::contains(const Point& p) const {
+  bool in_region = ne.side_of(p) <= 0 && nw.side_of(p) <= 0 &&
+                   se.side_of(p) >= 0 && sw.side_of(p) >= 0;
+  if (in_region || hull_exists) return in_region;
+  // Degenerate cases: the envelope additionally includes the finite bridge
+  // segments of MAX_NE (case i: NE and SW pinch) or MAX_NW (case ii).
+  const Staircase& bridge = bridge_ne ? ne : nw;
+  return bridge.side_of(p) == 0 && std::llabs(p.x) < Staircase::kBig &&
+         std::llabs(p.y) < Staircase::kBig;
+}
+
+}  // namespace rsp

@@ -1,0 +1,39 @@
+#pragma once
+// Envelopes Env(R') of rectangle sets (paper §2, Fig. 2).
+//
+// The rectilinear convex hull of a set of rectangles may not exist; the
+// paper's envelope generalizes it. We compute the four MAX staircases, test
+// hull existence (hull fails iff MAX_NE ∩ MAX_SW ≠ ∅ or MAX_NW ∩ MAX_SE ≠ ∅),
+// and — when the hull exists — produce an explicit closed CCW boundary
+// polygon. In the degenerate case the containment predicate still follows
+// the paper's definition (convex region union the finite bridge segments of
+// the intersecting staircase), but no simple boundary polygon exists, so
+// `boundary` is left empty.
+
+#include <span>
+#include <vector>
+
+#include "geom/rect.h"
+#include "geom/staircase.h"
+
+namespace rsp {
+
+struct Envelope {
+  Staircase ne, nw, se, sw;   // MAX_NE, MAX_NW, MAX_SE, MAX_SW
+  bool hull_exists = false;
+  // In the degenerate case: true for the paper's case (i) (MAX_NE and
+  // MAX_SW pinch; the bridge is MAX_NE's finite part), false for case (ii).
+  bool bridge_ne = false;
+  // Closed CCW boundary walk (first vertex not repeated at the end);
+  // non-empty only when hull_exists.
+  std::vector<Point> boundary;
+
+  static Envelope compute(std::span<const Rect> rects);
+
+  // Paper-faithful containment: the convex region below NE/NW and above
+  // SE/SW, union (in the degenerate cases) the finite segments of MAX_NE
+  // (case i) or MAX_NW (case ii).
+  bool contains(const Point& p) const;
+};
+
+}  // namespace rsp

@@ -1,0 +1,55 @@
+#pragma once
+// Points in the plane with integer coordinates and the L1 metric.
+
+#include <compare>
+#include <cstdlib>
+#include <functional>
+#include <ostream>
+
+#include "common.h"
+
+namespace rsp {
+
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+  // Lexicographic (x, then y); the natural order for sweeps.
+  friend auto operator<=>(const Point&, const Point&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ',' << p.y << ')';
+}
+
+// L1 (rectilinear) distance. Every obstacle-free staircase between p and q
+// realizes exactly this length (paper §2).
+inline Length dist1(const Point& p, const Point& q) {
+  return std::llabs(p.x - q.x) + std::llabs(p.y - q.y);
+}
+
+// True if p dominates q in the given quadrant sense.
+// NE: p.x>=q.x && p.y>=q.y, etc. Used by the Pareto-maxima staircases.
+enum class Quadrant { NE, NW, SE, SW };
+
+inline bool dominates(Quadrant q, const Point& a, const Point& b) {
+  switch (q) {
+    case Quadrant::NE: return a.x >= b.x && a.y >= b.y;
+    case Quadrant::NW: return a.x <= b.x && a.y >= b.y;
+    case Quadrant::SE: return a.x >= b.x && a.y <= b.y;
+    case Quadrant::SW: return a.x <= b.x && a.y <= b.y;
+  }
+  return false;
+}
+
+struct PointHash {
+  size_t operator()(const Point& p) const {
+    uint64_t h = static_cast<uint64_t>(p.x) * 0x9E3779B97F4A7C15ull;
+    h ^= static_cast<uint64_t>(p.y) + 0x9E3779B97F4A7C15ull + (h << 6) +
+         (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace rsp

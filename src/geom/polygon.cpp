@@ -1,0 +1,201 @@
+#include "geom/polygon.h"
+
+#include <algorithm>
+
+namespace rsp {
+
+namespace {
+
+// Signed area (shoelace); positive for CCW cycles.
+long long signed_area2(const std::vector<Point>& v) {
+  long long a = 0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    const Point& p = v[i];
+    const Point& q = v[(i + 1) % v.size()];
+    a += p.x * q.y - q.x * p.y;
+  }
+  return a;
+}
+
+// Cyclic slice v[i..j] inclusive.
+std::vector<Point> portion(const std::vector<Point>& v, size_t i, size_t j) {
+  std::vector<Point> out;
+  for (size_t k = i;; k = (k + 1) % v.size()) {
+    out.push_back(v[k]);
+    if (k == j) break;
+  }
+  return out;
+}
+
+bool monotone(const std::vector<Point>& c, int sx, int sy) {
+  for (size_t i = 0; i + 1 < c.size(); ++i) {
+    Coord dx = c[i + 1].x - c[i].x, dy = c[i + 1].y - c[i].y;
+    if (sx * dx < 0 || sy * dy < 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+RectilinearPolygon RectilinearPolygon::from_vertices(std::vector<Point> v) {
+  RSP_CHECK_MSG(v.size() >= 4, "polygon needs at least 4 vertices");
+  // Normalize to CCW.
+  if (signed_area2(v) < 0) std::reverse(v.begin(), v.end());
+  RSP_CHECK_MSG(signed_area2(v) > 0, "degenerate polygon");
+  // Merge collinear runs (cyclically) and reject duplicate vertices.
+  std::vector<Point> w;
+  for (size_t i = 0; i < v.size(); ++i) {
+    const Point& prev = v[(i + v.size() - 1) % v.size()];
+    const Point& cur = v[i];
+    const Point& next = v[(i + 1) % v.size()];
+    RSP_CHECK_MSG(cur != next, "duplicate polygon vertex");
+    RSP_CHECK_MSG(cur.x == next.x || cur.y == next.y,
+                  "polygon edge not axis-parallel");
+    bool collinear = (prev.x == cur.x && cur.x == next.x) ||
+                     (prev.y == cur.y && cur.y == next.y);
+    if (!collinear) w.push_back(cur);
+  }
+  v = std::move(w);
+  RSP_CHECK(v.size() >= 4);
+
+  RectilinearPolygon poly;
+  poly.verts_ = v;
+  poly.bbox_ = Rect{v[0].x, v[0].y, v[0].x, v[0].y};
+  for (const auto& p : v) {
+    poly.bbox_.xmin = std::min(poly.bbox_.xmin, p.x);
+    poly.bbox_.xmax = std::max(poly.bbox_.xmax, p.x);
+    poly.bbox_.ymin = std::min(poly.bbox_.ymin, p.y);
+    poly.bbox_.ymax = std::max(poly.bbox_.ymax, p.y);
+  }
+
+  // Extreme vertices splitting the boundary into four monotone chains:
+  //   A: min x (tie: max y)   B: min y (tie: max x)
+  //   C: max x (tie: max y)   D: max y (tie: min x)
+  auto find_idx = [&](auto better) {
+    size_t best = 0;
+    for (size_t i = 1; i < v.size(); ++i)
+      if (better(v[i], v[best])) best = i;
+    return best;
+  };
+  size_t ia = find_idx([](const Point& p, const Point& q) {
+    return p.x != q.x ? p.x < q.x : p.y > q.y;
+  });
+  size_t ib = find_idx([](const Point& p, const Point& q) {
+    return p.y != q.y ? p.y < q.y : p.x > q.x;
+  });
+  size_t ic = find_idx([](const Point& p, const Point& q) {
+    return p.x != q.x ? p.x > q.x : p.y > q.y;
+  });
+  size_t id = find_idx([](const Point& p, const Point& q) {
+    return p.y != q.y ? p.y > q.y : p.x < q.x;
+  });
+
+  // CCW walk visits A (leftmost-top), B (bottommost-right), C
+  // (rightmost-top), D (topmost-left) in that cyclic order. Each portion
+  // must be a monotone staircase; that is exactly rectilinear convexity.
+  poly.a_ = v[ia];
+  poly.b_ = v[ib];
+  poly.c_ = v[ic];
+  poly.d_ = v[id];
+  auto ws = portion(v, ia, ib);  // x+, y-
+  auto se = portion(v, ib, ic);  // x+, y+
+  auto nc = portion(v, ic, id);  // x-, y+   (reversed: decreasing chain D->C)
+  auto wn = portion(v, id, ia);  // x-, y-   (reversed: increasing chain A->D)
+  RSP_CHECK_MSG(monotone(ws, +1, -1) && monotone(se, +1, +1) &&
+                    monotone(nc, -1, +1) && monotone(wn, -1, -1),
+                "polygon is not rectilinearly convex");
+  std::reverse(nc.begin(), nc.end());
+  std::reverse(wn.begin(), wn.end());
+  if (ws.size() >= 2)
+    poly.ws_ = Staircase::from_chain(std::move(ws), StairOrient::Decreasing);
+  if (se.size() >= 2)
+    poly.se_ = Staircase::from_chain(std::move(se), StairOrient::Increasing);
+  if (nc.size() >= 2)
+    poly.ne_ = Staircase::from_chain(std::move(nc), StairOrient::Decreasing);
+  if (wn.size() >= 2)
+    poly.wn_ = Staircase::from_chain(std::move(wn), StairOrient::Increasing);
+  return poly;
+}
+
+RectilinearPolygon RectilinearPolygon::rectangle(const Rect& r) {
+  RSP_CHECK(r.width() > 0 && r.height() > 0);
+  return from_vertices({r.ll(), r.lr(), r.ur(), r.ul()});
+}
+
+Length RectilinearPolygon::perimeter() const {
+  Length sum = 0;
+  for (size_t i = 0; i < verts_.size(); ++i) sum += edge(i).length();
+  return sum;
+}
+
+std::pair<Coord, Coord> RectilinearPolygon::y_range_at(Coord x) const {
+  RSP_CHECK(x >= bbox_.xmin && x <= bbox_.xmax);
+  auto present = [](const Staircase& s) { return !s.points().empty(); };
+  // Upper boundary: wn chain over [A.x, D.x], ne chain over [D.x, C.x].
+  Coord hi = bbox_.ymin;
+  if (present(wn_) && x >= a_.x && x <= d_.x)
+    hi = std::max(hi, wn_.y_interval_at(x).second);
+  if (present(ne_) && x >= d_.x && x <= c_.x)
+    hi = std::max(hi, ne_.y_interval_at(x).second);
+  if (!present(wn_) && !present(ne_)) hi = bbox_.ymax;
+  // Lower boundary: ws chain over [A.x, B.x], se chain over [B.x, C.x].
+  Coord lo = bbox_.ymax;
+  if (present(ws_) && x >= a_.x && x <= b_.x)
+    lo = std::min(lo, ws_.y_interval_at(x).first);
+  if (present(se_) && x >= b_.x && x <= c_.x)
+    lo = std::min(lo, se_.y_interval_at(x).first);
+  if (!present(ws_) && !present(se_)) lo = bbox_.ymin;
+  // Chain sentinel tails can leak ±kBig at the extreme columns; the true
+  // boundary there coincides with the bbox, so clamping is exact.
+  lo = std::max(lo, bbox_.ymin);
+  hi = std::min(hi, bbox_.ymax);
+  RSP_CHECK(lo <= hi);
+  return {lo, hi};
+}
+
+std::pair<Coord, Coord> RectilinearPolygon::x_range_at(Coord y) const {
+  RSP_CHECK(y >= bbox_.ymin && y <= bbox_.ymax);
+  auto present = [](const Staircase& s) { return !s.points().empty(); };
+  // Right boundary: se chain over y in [B.y, C.y], ne over [C.y, D.y].
+  Coord hi = bbox_.xmin;
+  if (present(se_) && y >= b_.y && y <= c_.y)
+    hi = std::max(hi, se_.x_interval_at(y).second);
+  if (present(ne_) && y >= c_.y && y <= d_.y)
+    hi = std::max(hi, ne_.x_interval_at(y).second);
+  if (!present(se_) && !present(ne_)) hi = bbox_.xmax;
+  // Left boundary: ws chain over [B.y, A.y], wn over [A.y, D.y].
+  Coord lo = bbox_.xmax;
+  if (present(ws_) && y >= b_.y && y <= a_.y)
+    lo = std::min(lo, ws_.x_interval_at(y).first);
+  if (present(wn_) && y >= a_.y && y <= d_.y)
+    lo = std::min(lo, wn_.x_interval_at(y).first);
+  if (!present(ws_) && !present(wn_)) lo = bbox_.xmin;
+  lo = std::max(lo, bbox_.xmin);
+  hi = std::min(hi, bbox_.xmax);
+  RSP_CHECK(lo <= hi);
+  return {lo, hi};
+}
+
+bool RectilinearPolygon::contains(const Point& p) const {
+  if (!bbox_.contains(p)) return false;
+  auto present = [](const Staircase& s) { return !s.points().empty(); };
+  if (present(ws_) && ws_.side_of(p) < 0) return false;
+  if (present(se_) && se_.side_of(p) < 0) return false;
+  if (present(ne_) && ne_.side_of(p) > 0) return false;
+  if (present(wn_) && wn_.side_of(p) > 0) return false;
+  return true;
+}
+
+bool RectilinearPolygon::on_boundary(const Point& p) const {
+  if (!contains(p)) return false;
+  auto present = [](const Staircase& s) { return !s.points().empty(); };
+  // A contained point is on the boundary iff some chain passes through it.
+  // Chain sentinels extend outside the bbox, so the earlier bbox/containment
+  // filter removes false positives from the extensions.
+  return (present(ws_) && ws_.side_of(p) == 0) ||
+         (present(se_) && se_.side_of(p) == 0) ||
+         (present(ne_) && ne_.side_of(p) == 0) ||
+         (present(wn_) && wn_.side_of(p) == 0);
+}
+
+}  // namespace rsp

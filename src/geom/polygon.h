@@ -1,0 +1,70 @@
+#pragma once
+// Rectilinear convex polygons (the paper's container polygon P, §2).
+//
+// Stored as a closed CCW vertex cycle with axis-parallel edges. Convexity
+// (in the rectilinear sense: intersection with every axis-parallel line is
+// contiguous) is validated on construction by decomposing the boundary at
+// the four extreme vertices into four monotone staircase chains; those
+// chains also power O(log V) containment tests.
+
+#include <span>
+#include <vector>
+
+#include "geom/rect.h"
+#include "geom/staircase.h"
+
+namespace rsp {
+
+class RectilinearPolygon {
+ public:
+  RectilinearPolygon() = default;
+
+  // `verts` is the CCW cycle (last vertex implicitly connects to the first).
+  // Checks axis-parallel edges and rectilinear convexity.
+  static RectilinearPolygon from_vertices(std::vector<Point> verts);
+
+  static RectilinearPolygon rectangle(const Rect& r);
+
+  const std::vector<Point>& vertices() const { return verts_; }
+  size_t size() const { return verts_.size(); }
+
+  Segment edge(size_t i) const {
+    return {verts_[i], verts_[(i + 1) % verts_.size()]};
+  }
+
+  const Rect& bbox() const { return bbox_; }
+  Length perimeter() const;
+
+  // The contiguous y-interval of the polygon on the vertical line at x
+  // (convexity makes it contiguous). x must be within [bbox.xmin, bbox.xmax].
+  std::pair<Coord, Coord> y_range_at(Coord x) const;
+  // Symmetric: the x-interval on the horizontal line at y.
+  std::pair<Coord, Coord> x_range_at(Coord y) const;
+
+  // Boundary-inclusive containment, O(log V).
+  bool contains(const Point& p) const;
+  bool contains(const Rect& r) const {
+    return contains(r.ll()) && contains(r.ur()) && contains(r.lr()) &&
+           contains(r.ul());
+  }
+  bool on_boundary(const Point& p) const;
+
+  // The four monotone boundary chains as unbounded staircases (the interior
+  // lies above ws/se and below ne/wn):
+  //   ws: leftmost -> bottommost (decreasing)   se: bottommost -> rightmost
+  //   ne: topmost  -> rightmost (decreasing)    wn: leftmost -> topmost
+  const Staircase& chain_ws() const { return ws_; }
+  const Staircase& chain_se() const { return se_; }
+  const Staircase& chain_ne() const { return ne_; }
+  const Staircase& chain_wn() const { return wn_; }
+
+ private:
+  std::vector<Point> verts_;
+  Rect bbox_;
+  Staircase ws_, se_, ne_, wn_;
+  // Chain split vertices: A leftmost(-top), B bottommost(-right),
+  // C rightmost(-top), D topmost(-left).
+  Point a_, b_, c_, d_;
+};
+
+}  // namespace rsp

@@ -1,0 +1,80 @@
+#pragma once
+// Axis-parallel rectangles (the obstacles of the paper).
+
+#include <algorithm>
+#include <array>
+#include <ostream>
+
+#include "geom/point.h"
+
+namespace rsp {
+
+struct Rect {
+  Coord xmin = 0, ymin = 0, xmax = 0, ymax = 0;
+
+  Rect() = default;
+  Rect(Coord x0, Coord y0, Coord x1, Coord y1)
+      : xmin(x0), ymin(y0), xmax(x1), ymax(y1) {
+    RSP_CHECK_MSG(xmin <= xmax && ymin <= ymax, "degenerate rectangle");
+  }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+
+  Point ll() const { return {xmin, ymin}; }  // lower-left
+  Point lr() const { return {xmax, ymin}; }  // lower-right
+  Point ul() const { return {xmin, ymax}; }  // upper-left
+  Point ur() const { return {xmax, ymax}; }  // upper-right
+
+  // Vertices in counterclockwise order starting at the lower-left.
+  std::array<Point, 4> vertices() const { return {ll(), lr(), ur(), ul()}; }
+
+  Coord width() const { return xmax - xmin; }
+  Coord height() const { return ymax - ymin; }
+
+  bool contains(const Point& p) const {
+    return xmin <= p.x && p.x <= xmax && ymin <= p.y && p.y <= ymax;
+  }
+  bool contains_strict(const Point& p) const {
+    return xmin < p.x && p.x < xmax && ymin < p.y && p.y < ymax;
+  }
+  bool contains(const Rect& r) const {
+    return xmin <= r.xmin && r.xmax <= xmax && ymin <= r.ymin &&
+           r.ymax <= ymax;
+  }
+
+  // Closed-set intersection test (shared edges count as intersecting).
+  bool intersects(const Rect& r) const {
+    return xmin <= r.xmax && r.xmin <= xmax && ymin <= r.ymax &&
+           r.ymin <= ymax;
+  }
+  // Open-set (interior) intersection test: true iff the interiors overlap.
+  // Obstacles touching along edges are still "pairwise disjoint" for the
+  // paper's purposes, so this is the disjointness predicate that matters.
+  bool interior_intersects(const Rect& r) const {
+    return xmin < r.xmax && r.xmin < xmax && ymin < r.ymax && r.ymin < ymax;
+  }
+
+  Rect united(const Rect& r) const {
+    return Rect{std::min(xmin, r.xmin), std::min(ymin, r.ymin),
+                std::max(xmax, r.xmax), std::max(ymax, r.ymax)};
+  }
+  Rect expanded(Coord margin) const {
+    return Rect{xmin - margin, ymin - margin, xmax + margin, ymax + margin};
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << "[" << r.xmin << ',' << r.ymin << " .. " << r.xmax << ','
+            << r.ymax << "]";
+}
+
+// Bounding box of a range of rectangles. Range must be non-empty.
+template <typename It>
+Rect bounding_box(It first, It last) {
+  RSP_CHECK(first != last);
+  Rect bb = *first;
+  for (It it = std::next(first); it != last; ++it) bb = bb.united(*it);
+  return bb;
+}
+
+}  // namespace rsp

@@ -1,0 +1,54 @@
+#pragma once
+// Axis-parallel segments. All paths in the library are chains of these.
+
+#include <ostream>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace rsp {
+
+struct Segment {
+  Point a, b;
+
+  Segment() = default;
+  Segment(Point a_, Point b_) : a(a_), b(b_) {
+    RSP_CHECK_MSG(a.x == b.x || a.y == b.y, "segment must be axis-parallel");
+  }
+
+  friend bool operator==(const Segment&, const Segment&) = default;
+
+  bool horizontal() const { return a.y == b.y && a.x != b.x; }
+  bool vertical() const { return a.x == b.x && a.y != b.y; }
+  bool degenerate() const { return a == b; }
+
+  Length length() const { return dist1(a, b); }
+
+  Coord lo_x() const { return std::min(a.x, b.x); }
+  Coord hi_x() const { return std::max(a.x, b.x); }
+  Coord lo_y() const { return std::min(a.y, b.y); }
+  Coord hi_y() const { return std::max(a.y, b.y); }
+
+  bool contains(const Point& p) const {
+    return lo_x() <= p.x && p.x <= hi_x() && lo_y() <= p.y && p.y <= hi_y() &&
+           (a.x == b.x ? p.x == a.x : p.y == a.y);
+  }
+
+  // True iff this segment's interior intersects the rectangle's interior
+  // (i.e. the segment actually penetrates the obstacle; sliding along a
+  // boundary edge is allowed).
+  bool pierces(const Rect& r) const {
+    if (degenerate()) return r.contains_strict(a);
+    if (horizontal()) {
+      return a.y > r.ymin && a.y < r.ymax && lo_x() < r.xmax &&
+             hi_x() > r.xmin;
+    }
+    return a.x > r.xmin && a.x < r.xmax && lo_y() < r.ymax && hi_y() > r.ymin;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Segment& s) {
+  return os << s.a << "->" << s.b;
+}
+
+}  // namespace rsp

@@ -1,0 +1,274 @@
+#include "geom/staircase.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace rsp {
+
+namespace {
+
+// Reflection helpers: fold every quadrant onto NE, compute there, unfold.
+Point reflect(Point p, Quadrant q) {
+  switch (q) {
+    case Quadrant::NE: return p;
+    case Quadrant::NW: return {-p.x, p.y};
+    case Quadrant::SE: return {p.x, -p.y};
+    case Quadrant::SW: return {-p.x, -p.y};
+  }
+  return p;
+}
+
+bool flips_x(Quadrant q) { return q == Quadrant::NW || q == Quadrant::SW; }
+bool flips_y(Quadrant q) { return q == Quadrant::SE || q == Quadrant::SW; }
+
+}  // namespace
+
+std::vector<Point> pareto_maxima(std::span<const Point> pts, Quadrant q) {
+  std::vector<Point> v(pts.begin(), pts.end());
+  for (auto& p : v) p = reflect(p, q);
+  // NE maxima: sweep by x descending, keep points whose y exceeds the max
+  // seen so far.
+  std::sort(v.begin(), v.end(), [](const Point& a, const Point& b) {
+    return a.x != b.x ? a.x > b.x : a.y > b.y;
+  });
+  std::vector<Point> out;
+  Coord best_y = -Staircase::kBig * 2;
+  for (const auto& p : v) {
+    if (p.y > best_y) {
+      out.push_back(p);
+      best_y = p.y;
+    }
+  }
+  for (auto& p : out) p = reflect(p, q);
+  std::sort(out.begin(), out.end(),
+            [](const Point& a, const Point& b) { return a.x < b.x; });
+  return out;
+}
+
+Staircase Staircase::from_chain(std::vector<Point> bends, StairOrient orient) {
+  RSP_CHECK_MSG(bends.size() >= 2, "staircase needs at least two points");
+  // Drop exact duplicates.
+  bends.erase(std::unique(bends.begin(), bends.end()), bends.end());
+  RSP_CHECK(bends.size() >= 2);
+
+  // Synthesize semi-infinite sentinel ends by extending the first and last
+  // segment directions, unless the ends are already at sentinel magnitude.
+  auto at_sentinel = [](const Point& p) {
+    return std::llabs(p.x) >= kBig || std::llabs(p.y) >= kBig;
+  };
+  if (!at_sentinel(bends.front())) {
+    Point a = bends[0], b = bends[1];
+    if (a.y == b.y) {  // first segment horizontal: extend to x = -kBig
+      bends.insert(bends.begin(), Point{-kBig, a.y});
+    } else {  // vertical: extend away from b
+      Coord dir = (b.y > a.y) ? -1 : +1;
+      bends.insert(bends.begin(), Point{a.x, dir * kBig});
+    }
+  }
+  if (!at_sentinel(bends.back())) {
+    Point a = bends[bends.size() - 2], b = bends.back();
+    if (a.y == b.y) {
+      bends.push_back(Point{kBig, b.y});
+    } else {
+      Coord dir = (b.y > a.y) ? +1 : -1;
+      bends.push_back(Point{b.x, dir * kBig});
+    }
+  }
+
+  // Merge collinear runs.
+  std::vector<Point> merged;
+  merged.reserve(bends.size());
+  for (const auto& p : bends) {
+    while (merged.size() >= 2) {
+      const Point& a = merged[merged.size() - 2];
+      const Point& b = merged.back();
+      if ((a.x == b.x && b.x == p.x) || (a.y == b.y && b.y == p.y)) {
+        merged.pop_back();
+      } else {
+        break;
+      }
+    }
+    merged.push_back(p);
+  }
+
+  Staircase s;
+  s.pts_ = std::move(merged);
+  s.orient_ = orient;
+  s.check_valid();
+  return s;
+}
+
+Staircase Staircase::max_staircase(std::span<const Rect> rects, Quadrant q) {
+  std::vector<Point> corners;
+  corners.reserve(rects.size() * 4);
+  for (const auto& r : rects)
+    for (const auto& v : r.vertices()) corners.push_back(v);
+  return max_staircase(corners, q);
+}
+
+Staircase Staircase::max_staircase(std::span<const Point> pts, Quadrant q) {
+  RSP_CHECK_MSG(!pts.empty(), "max staircase of empty set");
+  std::vector<Point> mx = pareto_maxima(pts, q);
+  // Build the NE-frame chain (decreasing step function through the maxima),
+  // then reflect back.
+  std::vector<Point> ne;
+  ne.reserve(mx.size());
+  for (const auto& p : mx) ne.push_back(reflect(p, q));
+  std::sort(ne.begin(), ne.end(),
+            [](const Point& a, const Point& b) { return a.x < b.x; });
+  // In the NE frame the maxima have strictly increasing x and strictly
+  // decreasing y.
+  std::vector<Point> chain;
+  chain.push_back({-kBig, ne.front().y});
+  for (size_t i = 0; i < ne.size(); ++i) {
+    chain.push_back(ne[i]);
+    if (i + 1 < ne.size()) chain.push_back({ne[i].x, ne[i + 1].y});
+  }
+  chain.push_back({ne.back().x, -kBig});
+
+  for (auto& p : chain) p = reflect(p, q);
+  if (flips_x(q)) std::reverse(chain.begin(), chain.end());
+  // NE and SW maxima staircases are decreasing; NW and SE are increasing.
+  StairOrient orient = (flips_x(q) != flips_y(q)) ? StairOrient::Increasing
+                                                  : StairOrient::Decreasing;
+  return from_chain(std::move(chain), orient);
+}
+
+std::pair<Coord, Coord> Staircase::y_interval_at(Coord x) const {
+  RSP_CHECK(x >= pts_.front().x && x <= pts_.back().x);
+  auto it = std::lower_bound(
+      pts_.begin(), pts_.end(), x,
+      [](const Point& p, Coord xv) { return p.x < xv; });
+  RSP_CHECK(it != pts_.end());
+  if (it->x > x) {
+    // Strictly inside a horizontal segment.
+    RSP_CHECK(it != pts_.begin());
+    return {std::prev(it)->y, std::prev(it)->y};
+  }
+  Coord lo = it->y, hi = it->y;
+  for (auto jt = it; jt != pts_.end() && jt->x == x; ++jt) {
+    lo = std::min(lo, jt->y);
+    hi = std::max(hi, jt->y);
+  }
+  return {lo, hi};
+}
+
+std::pair<Coord, Coord> Staircase::x_interval_at(Coord y) const {
+  // The chain's y is monotone along ascending x: non-decreasing for
+  // increasing staircases, non-increasing for decreasing ones.
+  const bool inc = increasing();
+  RSP_CHECK(y >= std::min(pts_.front().y, pts_.back().y) &&
+            y <= std::max(pts_.front().y, pts_.back().y));
+  auto first_reaching = std::partition_point(
+      pts_.begin(), pts_.end(), [&](const Point& p) {
+        return inc ? p.y < y : p.y > y;
+      });
+  RSP_CHECK(first_reaching != pts_.end());
+  if (first_reaching->y != y) {
+    // y is strictly inside a vertical segment.
+    return {first_reaching->x, first_reaching->x};
+  }
+  Coord lo = first_reaching->x, hi = first_reaching->x;
+  for (auto jt = first_reaching; jt != pts_.end() && jt->y == y; ++jt) {
+    lo = std::min(lo, jt->x);
+    hi = std::max(hi, jt->x);
+  }
+  return {lo, hi};
+}
+
+int Staircase::side_of(const Point& p) const {
+  if (p.x < pts_.front().x) {
+    // Left of a vertical sentinel start: the up-left region for increasing
+    // staircases, the down-left region for decreasing ones.
+    return increasing() ? +1 : -1;
+  }
+  if (p.x > pts_.back().x) {
+    return increasing() ? -1 : +1;
+  }
+  auto [lo, hi] = y_interval_at(p.x);
+  if (p.y > hi) return +1;
+  if (p.y < lo) return -1;
+  return 0;
+}
+
+bool Staircase::pierces(const Rect& r) const {
+  for (size_t i = 0; i + 1 < pts_.size(); ++i) {
+    if (Segment{pts_[i], pts_[i + 1]}.pierces(r)) return true;
+  }
+  return false;
+}
+
+bool Staircase::intersects(const Rect& r) const {
+  for (size_t i = 0; i + 1 < pts_.size(); ++i) {
+    Segment s{pts_[i], pts_[i + 1]};
+    if (s.lo_x() <= r.xmax && s.hi_x() >= r.xmin && s.lo_y() <= r.ymax &&
+        s.hi_y() >= r.ymin) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// Shared sweep for cross_point / chains_intersect: scan the union of bend
+// abscissae; between consecutive bend abscissae both chains are horizontal,
+// so a first intersection can only appear at a bend abscissa.
+std::optional<Point> first_common_point(const Staircase& s1,
+                                        const Staircase& s2) {
+  std::vector<Coord> xs;
+  xs.reserve(s1.points().size() + s2.points().size());
+  Coord lo = std::max(s1.points().front().x, s2.points().front().x);
+  Coord hi = std::min(s1.points().back().x, s2.points().back().x);
+  for (const auto& p : s1.points())
+    if (p.x >= lo && p.x <= hi) xs.push_back(p.x);
+  for (const auto& p : s2.points())
+    if (p.x >= lo && p.x <= hi) xs.push_back(p.x);
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  for (Coord x : xs) {
+    auto [l1, h1] = s1.y_interval_at(x);
+    auto [l2, h2] = s2.y_interval_at(x);
+    Coord olo = std::max(l1, l2), ohi = std::min(h1, h2);
+    if (olo <= ohi) return Point{x, olo};
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Point Staircase::cross_point(const Staircase& s1, const Staircase& s2) {
+  auto p = first_common_point(s1, s2);
+  RSP_CHECK_MSG(p.has_value(), "staircases do not intersect");
+  return *p;
+}
+
+bool Staircase::chains_intersect(const Staircase& s1, const Staircase& s2) {
+  return first_common_point(s1, s2).has_value();
+}
+
+size_t Staircase::num_real_bends() const {
+  size_t c = 0;
+  for (const auto& p : pts_) {
+    if (std::llabs(p.x) < kBig && std::llabs(p.y) < kBig) ++c;
+  }
+  return c;
+}
+
+void Staircase::check_valid() const {
+  RSP_CHECK(pts_.size() >= 2);
+  for (size_t i = 0; i + 1 < pts_.size(); ++i) {
+    const Point& a = pts_[i];
+    const Point& b = pts_[i + 1];
+    RSP_CHECK_MSG(a.x == b.x || a.y == b.y, "bend not axis-aligned");
+    RSP_CHECK_MSG(a != b, "duplicate bend");
+    RSP_CHECK_MSG(a.x <= b.x, "chain not x-monotone");
+    if (increasing()) {
+      RSP_CHECK_MSG(a.y <= b.y, "increasing chain not y-monotone");
+    } else {
+      RSP_CHECK_MSG(a.y >= b.y, "decreasing chain not y-monotone");
+    }
+  }
+}
+
+}  // namespace rsp

@@ -1,0 +1,101 @@
+#pragma once
+// Unbounded monotone staircases (the paper's "convex paths", §2).
+//
+// A staircase is an x-monotone, y-monotone chain of axis-parallel segments.
+// Increasing staircases rise from southwest to northeast; decreasing ones
+// fall from northwest to southeast. Unbounded staircases start and end with
+// semi-infinite segments; we materialize those with sentinel coordinates at
+// ±kBig, which keeps every operation a plain finite-polyline computation.
+//
+// The four MAX staircases of a rectangle set (MAX_NE, MAX_NW, MAX_SE,
+// MAX_SW — Fig. 1 of the paper) are built from Pareto-maximal corners.
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "geom/segment.h"
+
+namespace rsp {
+
+enum class StairOrient { Increasing, Decreasing };
+
+// Pareto-maximal elements of a point set for the given quadrant sense
+// (e.g. NE: p is maximal iff no other point q has q.x>=p.x and q.y>=p.y).
+// Returned sorted by x ascending. O(m log m).
+std::vector<Point> pareto_maxima(std::span<const Point> pts, Quadrant q);
+
+class Staircase {
+ public:
+  // Sentinel magnitude for the semi-infinite end segments. All real
+  // coordinates handled by the library must be < kBig/2 in magnitude.
+  static constexpr Coord kBig = 1'000'000'000'000'000LL;  // 1e15
+
+  Staircase() = default;
+
+  // Build from explicit bend points (sentinels included or not; if the
+  // first/last points are finite, semi-infinite ends are synthesized by
+  // extending the first/last segment direction). Consecutive points must be
+  // axis-aligned; the chain must be x- and y-monotone. Collinear runs are
+  // merged.
+  static Staircase from_chain(std::vector<Point> bends, StairOrient orient);
+
+  // The MAX_X staircase (paper Fig. 1) of a set of rectangles:
+  //   NE: lowest-leftmost decreasing staircase above all rectangles
+  //   NW: lowest-rightmost increasing staircase above all rectangles
+  //   SE: highest-leftmost increasing staircase below all rectangles
+  //   SW: highest-rightmost decreasing staircase below all rectangles
+  static Staircase max_staircase(std::span<const Rect> rects, Quadrant q);
+  // Same, but over an arbitrary point set.
+  static Staircase max_staircase(std::span<const Point> pts, Quadrant q);
+
+  StairOrient orient() const { return orient_; }
+  bool increasing() const { return orient_ == StairOrient::Increasing; }
+
+  // Bend points, sentinels included, ordered by ascending x.
+  const std::vector<Point>& points() const { return pts_; }
+  size_t num_segments() const { return pts_.size() - 1; }
+  Segment segment(size_t i) const { return {pts_[i], pts_[i + 1]}; }
+
+  // The (closed) interval of y-values the staircase occupies at abscissa x.
+  // x must lie in [-kBig, kBig].
+  std::pair<Coord, Coord> y_interval_at(Coord x) const;
+  // Symmetric: interval of x-values at ordinate y.
+  std::pair<Coord, Coord> x_interval_at(Coord y) const;
+
+  // +1 if p is strictly above the staircase (larger y at p's abscissa),
+  //  0 if p lies on it, -1 if strictly below.
+  int side_of(const Point& p) const;
+
+  // True iff the staircase penetrates the rectangle's interior. A clear
+  // staircase (paper §2) pierces no obstacle.
+  bool pierces(const Rect& r) const;
+
+  // First point (smallest x, then smallest y) at which this staircase
+  // intersects the closed rectangle boundary-or-interior; nullopt-like
+  // behaviour via bool. Used for clipping.
+  bool intersects(const Rect& r) const;
+
+  // The point where an increasing and a decreasing staircase cross. The two
+  // staircases must actually cross (checked). By Lemma 12-style reasoning a
+  // monotone pair crosses in one contiguous component; we return the
+  // lexicographically smallest crossing point.
+  static Point cross_point(const Staircase& s1, const Staircase& s2);
+
+  // Whether the two chains share at least one point.
+  static bool chains_intersect(const Staircase& s1, const Staircase& s2);
+
+  // Total number of bends that are real (non-sentinel) points.
+  size_t num_real_bends() const;
+
+  // Validation used by tests: monotonicity + axis-parallel steps.
+  void check_valid() const;
+
+ private:
+  std::vector<Point> pts_;
+  StairOrient orient_ = StairOrient::Increasing;
+};
+
+}  // namespace rsp

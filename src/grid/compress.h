@@ -1,0 +1,46 @@
+#pragma once
+// Coordinate compression.
+
+#include <algorithm>
+#include <vector>
+
+#include "common.h"
+
+namespace rsp {
+
+class CoordIndex {
+ public:
+  CoordIndex() = default;
+  explicit CoordIndex(std::vector<Coord> values) : vals_(std::move(values)) {
+    std::sort(vals_.begin(), vals_.end());
+    vals_.erase(std::unique(vals_.begin(), vals_.end()), vals_.end());
+  }
+
+  size_t size() const { return vals_.size(); }
+  Coord value(size_t i) const { return vals_[i]; }
+  const std::vector<Coord>& values() const { return vals_; }
+
+  bool contains(Coord v) const {
+    auto it = std::lower_bound(vals_.begin(), vals_.end(), v);
+    return it != vals_.end() && *it == v;
+  }
+
+  // Index of v; v must be present.
+  size_t index(Coord v) const {
+    auto it = std::lower_bound(vals_.begin(), vals_.end(), v);
+    RSP_CHECK_MSG(it != vals_.end() && *it == v, "coordinate not compressed");
+    return static_cast<size_t>(it - vals_.begin());
+  }
+
+  // Largest index with value <= v; v must be >= the smallest value.
+  size_t floor_index(Coord v) const {
+    auto it = std::upper_bound(vals_.begin(), vals_.end(), v);
+    RSP_CHECK(it != vals_.begin());
+    return static_cast<size_t>(it - vals_.begin()) - 1;
+  }
+
+ private:
+  std::vector<Coord> vals_;
+};
+
+}  // namespace rsp

@@ -1,0 +1,202 @@
+#include "grid/trackgraph.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace rsp {
+
+TrackGraph::TrackGraph(std::span<const Rect> obstacles,
+                       const RectilinearPolygon* container,
+                       std::span<const Point> extra) {
+  std::vector<Coord> xs, ys;
+  for (const auto& r : obstacles) {
+    xs.push_back(r.xmin);
+    xs.push_back(r.xmax);
+    ys.push_back(r.ymin);
+    ys.push_back(r.ymax);
+  }
+  for (const auto& p : extra) {
+    xs.push_back(p.x);
+    ys.push_back(p.y);
+  }
+  RectilinearPolygon box;
+  if (container == nullptr) {
+    Rect bb = obstacles.empty()
+                  ? Rect{0, 0, 1, 1}
+                  : bounding_box(obstacles.begin(), obstacles.end());
+    for (const auto& p : extra) {
+      bb.xmin = std::min(bb.xmin, p.x);
+      bb.ymin = std::min(bb.ymin, p.y);
+      bb.xmax = std::max(bb.xmax, p.x);
+      bb.ymax = std::max(bb.ymax, p.y);
+    }
+    box = RectilinearPolygon::rectangle(bb.expanded(1));
+    container = &box;
+  }
+  for (const auto& v : container->vertices()) {
+    xs.push_back(v.x);
+    ys.push_back(v.y);
+  }
+  xs_ = CoordIndex(std::move(xs));
+  ys_ = CoordIndex(std::move(ys));
+  const size_t nx = xs_.size(), ny = ys_.size();
+  RSP_CHECK(nx >= 2 && ny >= 2);
+
+  // Cell ownership: each grid cell is covered by at most one obstacle
+  // interior (obstacles are interior-disjoint and cells are atomic).
+  cell_owner_.assign((nx - 1) * (ny - 1), -1);
+  for (size_t r = 0; r < obstacles.size(); ++r) {
+    const Rect& o = obstacles[r];
+    if (o.width() == 0 || o.height() == 0) continue;  // no interior
+    size_t x0 = xs_.index(o.xmin), x1 = xs_.index(o.xmax);
+    size_t y0 = ys_.index(o.ymin), y1 = ys_.index(o.ymax);
+    for (size_t yi = y0; yi < y1; ++yi) {
+      for (size_t xi = x0; xi < x1; ++xi) {
+        int& owner = cell_owner_[yi * (nx - 1) + xi];
+        RSP_CHECK_MSG(owner == -1, "obstacle interiors overlap");
+        owner = static_cast<int>(r);
+      }
+    }
+  }
+
+  // Nodes: grid vertices inside the container and not strictly inside an
+  // obstacle (a vertex is strictly inside iff all four incident cells have
+  // the same owner != -1).
+  node_id_.assign(nx * ny, -1);
+  auto cell = [&](size_t xi, size_t yi) -> int {
+    if (xi >= nx - 1 || yi >= ny - 1) return -1;
+    return cell_owner_[yi * (nx - 1) + xi];
+  };
+  for (size_t yi = 0; yi < ny; ++yi) {
+    for (size_t xi = 0; xi < nx; ++xi) {
+      Point p{xs_.value(xi), ys_.value(yi)};
+      if (!container->contains(p)) continue;
+      if (xi > 0 && yi > 0) {
+        int a = cell(xi - 1, yi - 1), b = cell(xi, yi - 1),
+            c = cell(xi - 1, yi), d = cell(xi, yi);
+        if (a >= 0 && a == b && b == c && c == d) continue;  // interior
+      }
+      node_id_[yi * nx + xi] = static_cast<int>(node_pt_.size());
+      node_pt_.push_back(p);
+    }
+  }
+  node_count_ = node_pt_.size();
+
+  // Edges. A horizontal edge between adjacent grid columns at row yi is
+  // blocked iff the cells above and below it share an owner (then the open
+  // segment lies strictly inside that obstacle); running along an obstacle
+  // edge (different or absent owners on the two sides) is allowed. Edges
+  // along the container boundary are fine because Bound(P) is clear.
+  std::vector<std::vector<std::pair<int, Length>>> adj(node_count_);
+  auto add_edge = [&](int u, int v, Length w) {
+    adj[u].push_back({v, w});
+    adj[v].push_back({u, w});
+    ++edge_count_;
+  };
+  for (size_t yi = 0; yi < ny; ++yi) {
+    for (size_t xi = 0; xi + 1 < nx; ++xi) {
+      int u = grid_node(xi, yi), v = grid_node(xi + 1, yi);
+      if (u < 0 || v < 0) continue;
+      int below = yi > 0 ? cell(xi, yi - 1) : -1;
+      int above = cell(xi, yi);
+      if (below >= 0 && below == above) continue;
+      // Also require the segment to stay inside the container: with a
+      // rectilinearly convex container and both endpoints inside, the
+      // segment is inside by definition.
+      add_edge(u, v, xs_.value(xi + 1) - xs_.value(xi));
+    }
+  }
+  for (size_t xi = 0; xi < nx; ++xi) {
+    for (size_t yi = 0; yi + 1 < ny; ++yi) {
+      int u = grid_node(xi, yi), v = grid_node(xi, yi + 1);
+      if (u < 0 || v < 0) continue;
+      int left = xi > 0 ? cell(xi - 1, yi) : -1;
+      int right = cell(xi, yi);
+      if (left >= 0 && left == right) continue;
+      add_edge(u, v, ys_.value(yi + 1) - ys_.value(yi));
+    }
+  }
+
+  // CSR.
+  adj_start_.assign(node_count_ + 1, 0);
+  for (size_t u = 0; u < node_count_; ++u)
+    adj_start_[u + 1] = adj_start_[u] + static_cast<int>(adj[u].size());
+  adj_.resize(adj_start_[node_count_]);
+  for (size_t u = 0; u < node_count_; ++u) {
+    std::copy(adj[u].begin(), adj[u].end(), adj_.begin() + adj_start_[u]);
+  }
+}
+
+int TrackGraph::node_at(const Point& p) const {
+  if (!xs_.contains(p.x) || !ys_.contains(p.y)) return -1;
+  return node_id_[ys_.index(p.y) * xs_.size() + xs_.index(p.x)];
+}
+
+Point TrackGraph::point_of(int node) const {
+  RSP_CHECK(node >= 0 && node < static_cast<int>(node_count_));
+  return node_pt_[node];
+}
+
+TrackGraph::Dij TrackGraph::dijkstra(int src) const {
+  Dij d;
+  d.dist.assign(node_count_, kInf);
+  d.pred.assign(node_count_, -1);
+  using Item = std::pair<Length, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  d.dist[src] = 0;
+  pq.push({0, src});
+  while (!pq.empty()) {
+    auto [du, u] = pq.top();
+    pq.pop();
+    if (du != d.dist[u]) continue;
+    for (int e = adj_start_[u]; e < adj_start_[u + 1]; ++e) {
+      auto [v, w] = adj_[e];
+      if (du + w < d.dist[v]) {
+        d.dist[v] = du + w;
+        d.pred[v] = u;
+        pq.push({d.dist[v], v});
+      }
+    }
+  }
+  return d;
+}
+
+std::vector<Length> TrackGraph::single_source(const Point& s) const {
+  int u = node_at(s);
+  RSP_CHECK_MSG(u >= 0, "source is not a free grid vertex");
+  return dijkstra(u).dist;
+}
+
+Length TrackGraph::shortest_length(const Point& s, const Point& t) const {
+  int u = node_at(s), v = node_at(t);
+  RSP_CHECK_MSG(u >= 0 && v >= 0, "query point is not a free grid vertex");
+  return dijkstra(u).dist[v];
+}
+
+std::optional<std::vector<Point>> TrackGraph::shortest_path(
+    const Point& s, const Point& t) const {
+  int u = node_at(s), v = node_at(t);
+  RSP_CHECK_MSG(u >= 0 && v >= 0, "query point is not a free grid vertex");
+  Dij d = dijkstra(u);
+  if (d.dist[v] >= kInf) return std::nullopt;
+  std::vector<Point> rev;
+  for (int w = v; w >= 0; w = d.pred[w]) rev.push_back(node_pt_[w]);
+  std::reverse(rev.begin(), rev.end());
+  // Merge collinear runs.
+  std::vector<Point> out;
+  for (const auto& p : rev) {
+    while (out.size() >= 2) {
+      const Point& a = out[out.size() - 2];
+      const Point& b = out.back();
+      if ((a.x == b.x && b.x == p.x) || (a.y == b.y && b.y == p.y)) {
+        out.pop_back();
+      } else {
+        break;
+      }
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace rsp

@@ -1,0 +1,73 @@
+#pragma once
+// The Hanan track graph: ground truth for rectilinear shortest paths.
+//
+// Classic fact (used by all the sequential comparators the paper cites,
+// e.g. de Rezende–Lee–Wu [11] and Larson–Li [20]): an L1 shortest
+// obstacle-avoiding path between two points can be chosen to run on the
+// grid induced by the x/y coordinates of all obstacle edges plus the two
+// endpoints. This module materializes that grid inside the container and
+// runs Dijkstra on it. It is deliberately simple and independent of every
+// paper-specific technique, which makes it the correctness oracle for the
+// whole library; it is also the "repeated single-source/single-pair" bench
+// baseline.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geom/polygon.h"
+#include "geom/rect.h"
+#include "grid/compress.h"
+
+namespace rsp {
+
+class TrackGraph {
+ public:
+  // Builds the grid over the obstacle coordinates plus `extra` points
+  // (query endpoints must be passed here so they become graph nodes).
+  // `container`, if non-null, restricts nodes to the polygon; otherwise a
+  // bounding box with a margin is used.
+  TrackGraph(std::span<const Rect> obstacles,
+             const RectilinearPolygon* container,
+             std::span<const Point> extra = {});
+
+  size_t num_nodes() const { return node_count_; }
+  size_t num_edges() const { return edge_count_; }
+
+  // Node id of a point, or -1 if it is not a free grid vertex.
+  int node_at(const Point& p) const;
+  Point point_of(int node) const;
+
+  // Dijkstra from s to all nodes. Unreachable entries are kInf.
+  std::vector<Length> single_source(const Point& s) const;
+
+  // Shortest path length between two grid points (kInf if unreachable).
+  Length shortest_length(const Point& s, const Point& t) const;
+
+  // An actual shortest path as a polyline with collinear runs merged;
+  // nullopt if unreachable.
+  std::optional<std::vector<Point>> shortest_path(const Point& s,
+                                                  const Point& t) const;
+
+ private:
+  struct Dij {
+    std::vector<Length> dist;
+    std::vector<int> pred;
+  };
+  Dij dijkstra(int src) const;
+  int grid_node(size_t xi, size_t yi) const {
+    return node_id_[yi * xs_.size() + xi];
+  }
+
+  CoordIndex xs_, ys_;
+  std::vector<int> node_id_;      // (yi * |xs| + xi) -> node id or -1
+  std::vector<Point> node_pt_;    // node id -> point
+  std::vector<int> cell_owner_;   // cell (yi * (|xs|-1) + xi) -> rect id/-1
+  // CSR adjacency.
+  std::vector<int> adj_start_;
+  std::vector<std::pair<int, Length>> adj_;
+  size_t node_count_ = 0;
+  size_t edge_count_ = 0;
+};
+
+}  // namespace rsp

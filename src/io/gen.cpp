@@ -1,0 +1,216 @@
+#include "io/gen.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace rsp {
+
+namespace {
+
+using Rng = std::mt19937_64;
+
+Coord uniform_coord(Rng& rng, Coord lo, Coord hi) {
+  return std::uniform_int_distribution<Coord>(lo, hi)(rng);
+}
+
+// Tracks used edge coordinates per axis to keep general position.
+struct CoordPool {
+  std::unordered_set<Coord> used_x, used_y;
+  bool claim_x(Coord a, Coord b) {
+    if (a == b || used_x.count(a) || used_x.count(b)) return false;
+    used_x.insert(a);
+    used_x.insert(b);
+    return true;
+  }
+  bool claim_y(Coord a, Coord b) {
+    if (a == b || used_y.count(a) || used_y.count(b)) return false;
+    used_y.insert(a);
+    used_y.insert(b);
+    return true;
+  }
+  void release(const Rect& r) {
+    used_x.erase(r.xmin);
+    used_x.erase(r.xmax);
+    used_y.erase(r.ymin);
+    used_y.erase(r.ymax);
+  }
+};
+
+bool overlaps_any(const Rect& r, const std::vector<Rect>& rects) {
+  for (const auto& o : rects) {
+    if (o.interior_intersects(r)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Scene gen_uniform(size_t n, uint64_t seed) {
+  RSP_CHECK(n >= 1);
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 1);
+  const Coord span = static_cast<Coord>(24 * n + 64);
+  const Coord max_side = std::max<Coord>(4, span / 8);
+  std::vector<Rect> rects;
+  CoordPool pool;
+  size_t attempts = 0;
+  while (rects.size() < n) {
+    RSP_CHECK_MSG(++attempts < 200 * n + 10000, "generator stuck");
+    Coord x1 = uniform_coord(rng, 0, span);
+    Coord y1 = uniform_coord(rng, 0, span);
+    Coord x2 = x1 + uniform_coord(rng, 1, max_side);
+    Coord y2 = y1 + uniform_coord(rng, 1, max_side);
+    if (!pool.claim_x(x1, x2)) continue;
+    if (!pool.claim_y(y1, y2)) {
+      pool.used_x.erase(x1);
+      pool.used_x.erase(x2);
+      continue;
+    }
+    Rect r{x1, y1, x2, y2};
+    if (overlaps_any(r, rects)) {
+      pool.release(r);
+      continue;
+    }
+    rects.push_back(r);
+  }
+  return Scene::with_bbox(std::move(rects), /*margin=*/5);
+}
+
+Scene gen_grid(size_t n, uint64_t seed) {
+  RSP_CHECK(n >= 1);
+  Rng rng(seed * 0x2545F4914F6CDD1Dull + 7);
+  const size_t cols = static_cast<size_t>(std::max(
+      1.0, std::ceil(std::sqrt(static_cast<double>(n)))));
+  const size_t rows = (n + cols - 1) / cols;
+  // Disjoint coordinate sub-ranges per cell keep every edge coordinate
+  // globally unique: cell (c, r) draws x from [c*W + r*w, c*W + (r+1)*w)
+  // and y from [r*H + c*h, r*H + (c+1)*h).
+  const Coord w = 12, h = 12;
+  const Coord W = static_cast<Coord>(rows) * w + 8;
+  const Coord H = static_cast<Coord>(cols) * h + 8;
+  std::vector<Rect> rects;
+  for (size_t i = 0; i < n; ++i) {
+    size_t c = i % cols, r = i / cols;
+    Coord x0 = static_cast<Coord>(c) * W + static_cast<Coord>(r) * w;
+    Coord y0 = static_cast<Coord>(r) * H + static_cast<Coord>(c) * h;
+    Coord x1 = x0 + uniform_coord(rng, 0, 3);
+    Coord x2 = x1 + uniform_coord(rng, 1, w - 5);
+    Coord y1 = y0 + uniform_coord(rng, 0, 3);
+    Coord y2 = y1 + uniform_coord(rng, 1, h - 5);
+    rects.push_back(Rect{x1, y1, x2, y2});
+  }
+  return Scene::with_bbox(std::move(rects), /*margin=*/5);
+}
+
+Scene gen_corridors(size_t n, uint64_t seed) {
+  RSP_CHECK(n >= 1);
+  Rng rng(seed * 0xDA942042E4DD58B5ull + 3);
+  // Slab i spans most of the width, attached alternately to the left or
+  // right container wall, leaving a gap on the other side. Every edge
+  // coordinate is offset by the slab index to stay in general position.
+  const Coord width = static_cast<Coord>(16 * n + 128);
+  std::vector<Rect> rects;
+  Coord y = 0;
+  for (size_t i = 0; i < n; ++i) {
+    Coord idx = static_cast<Coord>(i);
+    Coord thick = 2 + idx % 3;
+    // The slab index enters every edge coordinate so that all of them are
+    // globally unique (general position).
+    Coord gap = 6 + 2 * idx;
+    Rect r = (i % 2 == 0) ? Rect{-idx - 1, y, width - gap, y + thick}
+                          : Rect{gap, y, width + idx + 1, y + thick};
+    rects.push_back(r);
+    y += thick + 3 + uniform_coord(rng, 0, 2);
+  }
+  return Scene::with_bbox(std::move(rects), /*margin=*/5);
+}
+
+Scene gen_clustered(size_t n, uint64_t seed) {
+  RSP_CHECK(n >= 1);
+  Rng rng(seed * 0x94D049BB133111EBull + 11);
+  const size_t clusters = std::max<size_t>(1, n / 16);
+  const Coord spread = static_cast<Coord>(200 * clusters + 100);
+  std::vector<Point> centers;
+  for (size_t c = 0; c < clusters; ++c) {
+    centers.push_back(
+        {uniform_coord(rng, 0, spread), uniform_coord(rng, 0, spread)});
+  }
+  std::vector<Rect> rects;
+  CoordPool pool;
+  size_t attempts = 0;
+  while (rects.size() < n) {
+    RSP_CHECK_MSG(++attempts < 400 * n + 10000, "generator stuck");
+    const Point& ctr = centers[rects.size() % clusters];
+    Coord x1 = ctr.x + uniform_coord(rng, -40, 40);
+    Coord y1 = ctr.y + uniform_coord(rng, -40, 40);
+    Coord x2 = x1 + uniform_coord(rng, 1, 9);
+    Coord y2 = y1 + uniform_coord(rng, 1, 9);
+    if (!pool.claim_x(x1, x2)) continue;
+    if (!pool.claim_y(y1, y2)) {
+      pool.used_x.erase(x1);
+      pool.used_x.erase(x2);
+      continue;
+    }
+    Rect r{x1, y1, x2, y2};
+    if (overlaps_any(r, rects)) {
+      pool.release(r);
+      continue;
+    }
+    rects.push_back(r);
+  }
+  return Scene::with_bbox(std::move(rects), /*margin=*/5);
+}
+
+Scene gen_uniform_convex(size_t n, uint64_t seed) {
+  Scene base = gen_uniform(n, seed);
+  Rng rng(seed * 0xBF58476D1CE4E5B9ull + 23);
+  Rect bb = base.container().bbox();
+  // Corner-cut the bounding rectangle with random monotone staircases that
+  // stay outside the obstacle area (cuts live in an extra margin band).
+  const Coord band = std::max<Coord>(8, (bb.xmax - bb.xmin) / 6);
+  Rect outer = bb.expanded(band);
+  auto cut = [&](Coord max_d) {
+    return uniform_coord(rng, 1, std::max<Coord>(1, max_d));
+  };
+  // Build the CCW vertex cycle with one staircase step per corner.
+  Coord dx1 = cut(band - 1), dy1 = cut(band - 1);  // SW corner
+  Coord dx2 = cut(band - 1), dy2 = cut(band - 1);  // SE
+  Coord dx3 = cut(band - 1), dy3 = cut(band - 1);  // NE
+  Coord dx4 = cut(band - 1), dy4 = cut(band - 1);  // NW
+  std::vector<Point> v{
+      {outer.xmin + dx1, outer.ymin},           // SW cut, bottom end
+      {outer.xmax - dx2, outer.ymin},           // SE cut, bottom end
+      {outer.xmax - dx2, outer.ymin + dy2 / 2 + 1},
+      {outer.xmax, outer.ymin + dy2 / 2 + 1},   // SE cut, right end
+      {outer.xmax, outer.ymax - dy3},           // NE cut, right end
+      {outer.xmax - dx3 / 2 - 1, outer.ymax - dy3},
+      {outer.xmax - dx3 / 2 - 1, outer.ymax},   // NE cut, top end
+      {outer.xmin + dx4, outer.ymax},           // NW cut, top end
+      {outer.xmin + dx4, outer.ymax - dy4 / 2 - 1},
+      {outer.xmin, outer.ymax - dy4 / 2 - 1},   // NW cut, left end
+      {outer.xmin, outer.ymin + dy1},           // SW cut, left end
+      {outer.xmin + dx1, outer.ymin + dy1},
+  };
+  RectilinearPolygon poly = RectilinearPolygon::from_vertices(std::move(v));
+  return Scene(std::vector<Rect>(base.obstacles()), std::move(poly));
+}
+
+std::vector<Point> random_free_points(const Scene& scene, size_t count,
+                                      uint64_t seed) {
+  Rng rng(seed * 0xD6E8FEB86659FD93ull + 31);
+  const Rect& bb = scene.container().bbox();
+  std::unordered_set<Point, PointHash> taken;
+  for (const auto& p : scene.obstacle_vertices()) taken.insert(p);
+  std::vector<Point> out;
+  size_t attempts = 0;
+  while (out.size() < count) {
+    RSP_CHECK_MSG(++attempts < 1000 * count + 10000, "point sampling stuck");
+    Point p{uniform_coord(rng, bb.xmin, bb.xmax),
+            uniform_coord(rng, bb.ymin, bb.ymax)};
+    if (!scene.point_free(p) || taken.count(p)) continue;
+    taken.insert(p);
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace rsp

@@ -1,0 +1,53 @@
+#pragma once
+// Workload generators. Every generator produces scenes in the paper's
+// general position (no two distinct obstacle edges collinear: all 2n
+// x-edge-coordinates are distinct, likewise y), which the path tracer
+// relies on (§1 of the paper makes the same assumption).
+
+#include <cstdint>
+#include <random>
+
+#include "core/scene.h"
+
+namespace rsp {
+
+// Uniformly scattered disjoint rectangles (rejection sampling) in a
+// rectangular container.
+Scene gen_uniform(size_t n, uint64_t seed);
+
+// One rectangle per cell of a jittered ~sqrt(n) x sqrt(n) grid; dense and
+// regular, the worst case for separator balance.
+Scene gen_grid(size_t n, uint64_t seed);
+
+// Staggered wall-to-wall slabs forming a serpentine corridor: shortest
+// paths have Theta(n) segments (the long-k workload for path reporting).
+Scene gen_corridors(size_t n, uint64_t seed);
+
+// A few tight clusters of small rectangles with empty space between: very
+// unbalanced median splits, stress for the separator.
+Scene gen_clustered(size_t n, uint64_t seed);
+
+// Like gen_uniform but inside a randomly corner-cut rectilinear convex
+// polygon (exercises non-rectangular containers P).
+Scene gen_uniform_convex(size_t n, uint64_t seed);
+
+// `count` distinct free lattice points in the container (none coincides
+// with an obstacle vertex).
+std::vector<Point> random_free_points(const Scene& scene, size_t count,
+                                      uint64_t seed);
+
+// All generators by name, for parameterized tests.
+using SceneGen = Scene (*)(size_t, uint64_t);
+struct NamedGen {
+  const char* name;
+  SceneGen fn;
+};
+inline constexpr NamedGen kAllGens[] = {
+    {"uniform", gen_uniform},
+    {"grid", gen_grid},
+    {"corridors", gen_corridors},
+    {"clustered", gen_clustered},
+    {"uniform_convex", gen_uniform_convex},
+};
+
+}  // namespace rsp

@@ -1,0 +1,108 @@
+#include "io/svg.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace rsp {
+
+SvgCanvas::SvgCanvas(Rect world, int pixel_width) : world_(world) {
+  RSP_CHECK(world.width() > 0 && world.height() > 0);
+  w_ = pixel_width;
+  scale_ = static_cast<double>(w_) / static_cast<double>(world.width());
+  h_ = static_cast<int>(scale_ * static_cast<double>(world.height())) + 1;
+}
+
+double SvgCanvas::sx(Coord x) const {
+  return (static_cast<double>(x - world_.xmin)) * scale_;
+}
+double SvgCanvas::sy(Coord y) const {
+  return static_cast<double>(h_) -
+         (static_cast<double>(y - world_.ymin)) * scale_;
+}
+
+void SvgCanvas::add_rect(const Rect& r, const std::string& fill,
+                         const std::string& stroke) {
+  std::ostringstream os;
+  os << "<rect x='" << sx(r.xmin) << "' y='" << sy(r.ymax) << "' width='"
+     << (sx(r.xmax) - sx(r.xmin)) << "' height='" << (sy(r.ymin) - sy(r.ymax))
+     << "' fill='" << fill << "' stroke='" << stroke << "'/>\n";
+  body_ += os.str();
+}
+
+void SvgCanvas::add_polyline(const std::vector<Point>& pts,
+                             const std::string& stroke, double width,
+                             bool dashed) {
+  if (pts.size() < 2) return;
+  std::ostringstream os;
+  os << "<polyline fill='none' stroke='" << stroke << "' stroke-width='"
+     << width << "'";
+  if (dashed) os << " stroke-dasharray='6,4'";
+  os << " points='";
+  for (const auto& p : pts) os << sx(p.x) << ',' << sy(p.y) << ' ';
+  os << "'/>\n";
+  body_ += os.str();
+}
+
+void SvgCanvas::add_polygon(const std::vector<Point>& pts,
+                            const std::string& stroke,
+                            const std::string& fill) {
+  if (pts.size() < 3) return;
+  std::ostringstream os;
+  os << "<polygon fill='" << fill << "' stroke='" << stroke
+     << "' stroke-width='2' points='";
+  for (const auto& p : pts) os << sx(p.x) << ',' << sy(p.y) << ' ';
+  os << "'/>\n";
+  body_ += os.str();
+}
+
+void SvgCanvas::add_staircase(const Staircase& s, const std::string& stroke,
+                              double width, bool dashed) {
+  // Clamp sentinel coordinates into the (slightly expanded) world rect.
+  Rect clip = world_.expanded(std::max<Coord>(2, world_.width() / 20));
+  std::vector<Point> pts;
+  for (Point p : s.points()) {
+    p.x = std::clamp(p.x, clip.xmin, clip.xmax);
+    p.y = std::clamp(p.y, clip.ymin, clip.ymax);
+    if (pts.empty() || pts.back() != p) pts.push_back(p);
+  }
+  add_polyline(pts, stroke, width, dashed);
+}
+
+void SvgCanvas::add_point(const Point& p, const std::string& fill,
+                          double radius) {
+  std::ostringstream os;
+  os << "<circle cx='" << sx(p.x) << "' cy='" << sy(p.y) << "' r='" << radius
+     << "' fill='" << fill << "'/>\n";
+  body_ += os.str();
+}
+
+void SvgCanvas::add_label(const Point& p, const std::string& text,
+                          const std::string& color) {
+  std::ostringstream os;
+  os << "<text x='" << sx(p.x) + 5 << "' y='" << sy(p.y) - 5 << "' fill='"
+     << color << "' font-size='14'>" << text << "</text>\n";
+  body_ += os.str();
+}
+
+void SvgCanvas::add_scene(const Scene& scene) {
+  add_polygon(scene.container().vertices(), "#222", "#fdfdf5");
+  for (const auto& r : scene.obstacles()) add_rect(r);
+}
+
+std::string SvgCanvas::str() const {
+  std::ostringstream os;
+  os << "<svg xmlns='http://www.w3.org/2000/svg' width='" << w_
+     << "' height='" << h_ << "' viewBox='0 0 " << w_ << ' ' << h_ << "'>\n"
+     << "<rect width='100%' height='100%' fill='white'/>\n"
+     << body_ << "</svg>\n";
+  return os.str();
+}
+
+void SvgCanvas::write(const std::string& path) const {
+  std::ofstream f(path);
+  RSP_CHECK_MSG(f.good(), "cannot open SVG output file");
+  f << str();
+}
+
+}  // namespace rsp

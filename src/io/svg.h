@@ -1,0 +1,47 @@
+#pragma once
+// Small SVG renderer: regenerates the paper's illustrative figures
+// (staircases, envelopes, separators, escape paths, shortest paths) from
+// live geometry. Used by examples/figures.cpp.
+
+#include <string>
+#include <vector>
+
+#include "core/scene.h"
+#include "geom/envelope.h"
+#include "geom/staircase.h"
+
+namespace rsp {
+
+class SvgCanvas {
+ public:
+  // World-coordinate viewport; y is flipped so +y is up like the paper.
+  SvgCanvas(Rect world, int pixel_width = 800);
+
+  void add_rect(const Rect& r, const std::string& fill = "#888",
+                const std::string& stroke = "#333");
+  void add_polyline(const std::vector<Point>& pts, const std::string& stroke,
+                    double width = 2.0, bool dashed = false);
+  void add_polygon(const std::vector<Point>& pts, const std::string& stroke,
+                   const std::string& fill = "none");
+  // Staircases are clipped to the world rect before drawing.
+  void add_staircase(const Staircase& s, const std::string& stroke,
+                     double width = 2.0, bool dashed = false);
+  void add_point(const Point& p, const std::string& fill = "#c00",
+                 double radius = 3.0);
+  void add_label(const Point& p, const std::string& text,
+                 const std::string& color = "#000");
+  void add_scene(const Scene& scene);
+
+  std::string str() const;
+  void write(const std::string& path) const;
+
+ private:
+  double sx(Coord x) const;
+  double sy(Coord y) const;
+  Rect world_;
+  int w_, h_;
+  double scale_;
+  std::string body_;
+};
+
+}  // namespace rsp

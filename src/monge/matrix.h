@@ -1,0 +1,44 @@
+#pragma once
+// Dense (min,+) length matrices.
+
+#include <vector>
+
+#include "common.h"
+
+namespace rsp {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, Length fill = kInf)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  Length& operator()(size_t i, size_t j) { return data_[i * cols_ + j]; }
+  Length operator()(size_t i, size_t j) const { return data_[i * cols_ + j]; }
+
+  Length at(size_t i, size_t j) const {
+    RSP_CHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  Matrix transposed() const {
+    Matrix t(cols_, rows_);
+    for (size_t i = 0; i < rows_; ++i)
+      for (size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+    return t;
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  size_t rows_ = 0, cols_ = 0;
+  std::vector<Length> data_;
+};
+
+}  // namespace rsp

@@ -1,0 +1,79 @@
+#include "monge/monge.h"
+
+#include "monge/smawk.h"
+#include "pram/parallel.h"
+
+namespace rsp {
+
+bool is_monge(const Matrix& m) {
+  for (size_t i = 0; i + 1 < m.rows(); ++i) {
+    for (size_t j = 0; j + 1 < m.cols(); ++j) {
+      Length lhs = add_len(m(i, j), m(i + 1, j + 1));
+      Length rhs = add_len(m(i, j + 1), m(i + 1, j));
+      if (lhs > rhs) return false;
+    }
+  }
+  return true;
+}
+
+Matrix minplus_naive(const Matrix& a, const Matrix& b) {
+  RSP_CHECK(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols(), kInf);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      Length aik = a(i, k);
+      if (aik >= kInf) continue;
+      for (size_t j = 0; j < b.cols(); ++j) {
+        Length v = add_len(aik, b(k, j));
+        if (v < c(i, j)) c(i, j) = v;
+      }
+    }
+  }
+  return c;
+}
+
+namespace {
+
+// One output row i of the Monge product: column minima of the Monge matrix
+// D(k,j) = A(i,k) + B(k,j), i.e. row minima of its transpose, via SMAWK.
+//
+// Additions are deliberately NOT saturating: clamping +inf sums to a common
+// value collapses ties on all-infinite rows and breaks the leftmost-argmin
+// monotonicity SMAWK relies on. Entries are <= kInf, so a two-term sum is
+// <= 2*kInf and cannot overflow; the output is clamped back to kInf.
+void product_row(const Matrix& a, const Matrix& b, size_t i, Matrix& c) {
+  const size_t z = a.cols();
+  auto value = [&](size_t j, size_t k) { return a(i, k) + b(k, j); };
+  std::vector<size_t> arg = smawk(b.cols(), z, value);
+  for (size_t j = 0; j < b.cols(); ++j) {
+    c(i, j) = std::min(kInf, a(i, arg[j]) + b(arg[j], j));
+  }
+}
+
+}  // namespace
+
+Matrix minplus_monge(const Matrix& a, const Matrix& b) {
+  RSP_CHECK(a.cols() == b.rows());
+#ifdef RSP_MONGE_VERIFY
+  RSP_CHECK_MSG(is_monge(a) && is_monge(b), "inputs to minplus_monge");
+#endif
+  Matrix c(a.rows(), b.cols(), kInf);
+  if (a.rows() == 0 || b.cols() == 0 || a.cols() == 0) return c;
+  pram_charge(a.rows() * (b.cols() + a.cols()),
+              pram_detail::log2_ceil(a.cols()));
+  for (size_t i = 0; i < a.rows(); ++i) product_row(a, b, i, c);
+  return c;
+}
+
+Matrix minplus_monge(ThreadPool& pool, const Matrix& a, const Matrix& b) {
+  RSP_CHECK(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols(), kInf);
+  if (a.rows() == 0 || b.cols() == 0 || a.cols() == 0) return c;
+  pram_charge(a.rows() * (b.cols() + a.cols()),
+              pram_detail::log2_ceil(a.cols()));
+  parallel_for(pool, 0, a.rows(), [&](size_t i) { product_row(a, b, i, c); },
+               /*grain=*/1);
+  return c;
+}
+
+}  // namespace rsp

@@ -1,0 +1,33 @@
+#pragma once
+// Monge-matrix predicates and (min,+) products (paper §2, Lemmas 3–5).
+//
+// All products are in the (min,+) closed semi-ring:
+//   (A * B)(i,j) = min_k { A(i,k) + B(k,j) }.
+// When A and B are Monge the product is Monge and computable in O(ab) work
+// (vs O(abc) naively) — that is the paper's key to a quadratic-work conquer
+// step (§10(iii)). Our Monge multiply runs one SMAWK per output row; rows
+// are independent, so the parallel variant is a parallel_for over rows,
+// matching Lemma 3's O(log z) time / O(ab) work shape.
+
+#include "monge/matrix.h"
+#include "pram/thread_pool.h"
+
+namespace rsp {
+
+// Checks the Monge condition on every adjacent 2x2 submatrix:
+//   M(i,j) + M(i+1,j+1) <= M(i,j+1) + M(i+1,j).
+// Entries >= kInf are treated as +infinity (saturating adds).
+bool is_monge(const Matrix& m);
+
+// Reference O(a*c*b) product; the ablation baseline and correctness oracle.
+Matrix minplus_naive(const Matrix& a, const Matrix& b);
+
+// Monge product via per-row SMAWK column minima. Both inputs should be
+// Monge; with RSP_MONGE_VERIFY defined the property is checked eagerly.
+// Sequential: O(rows * (cols + inner)) evaluations.
+Matrix minplus_monge(const Matrix& a, const Matrix& b);
+
+// Parallel variant: independent rows fanned out over the pool.
+Matrix minplus_monge(ThreadPool& pool, const Matrix& a, const Matrix& b);
+
+}  // namespace rsp

@@ -1,0 +1,20 @@
+#pragma once
+// SMAWK: row minima of an implicit totally monotone matrix in O(rows+cols)
+// evaluations. Monge matrices (paper §2, [1]) are totally monotone, so this
+// is the engine behind the Monge (min,+) multiplication of Lemma 3.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common.h"
+
+namespace rsp {
+
+// Returns, for each row i in [0, nrows), the column index of the leftmost
+// minimum of row i. `value(i, j)` evaluates the matrix entry.
+std::vector<size_t> smawk(
+    size_t nrows, size_t ncols,
+    const std::function<Length(size_t, size_t)>& value);
+
+}  // namespace rsp

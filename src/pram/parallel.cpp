@@ -1,0 +1,10 @@
+#include "pram/parallel.h"
+
+namespace rsp {
+
+void pram_reset() {
+  pram_detail::g_work.store(0, std::memory_order_relaxed);
+  pram_detail::g_depth.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace rsp

@@ -1,0 +1,286 @@
+#pragma once
+// CREW-PRAM primitive toolkit: parallel for / reduce / scan / merge / sort,
+// plus the PRAM cost-model instrumentation used by the benchmarks.
+//
+// The paper states all bounds as (time, processors) pairs on a CREW-PRAM and
+// composes parallel-prefix [18,19], parallel merging [35], and parallel
+// sorting [10] as black boxes. We provide those boxes on a thread pool and
+// additionally *account* their idealized PRAM cost: every primitive adds its
+// textbook work and depth to a global PramCost tally. Wall-clock speedup on
+// this container is meaningless (one core), so the benchmarks report the
+// tally: work should track the paper's processor×time products and depth the
+// paper's time bounds.
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common.h"
+#include "pram/thread_pool.h"
+
+namespace rsp {
+
+// ---------------------------------------------------------------------------
+// PRAM cost model accounting.
+// ---------------------------------------------------------------------------
+
+struct PramCost {
+  uint64_t work = 0;   // total operations
+  uint64_t depth = 0;  // parallel time with unbounded processors
+
+  PramCost operator-(const PramCost& o) const {
+    return {work - o.work, depth - o.depth};
+  }
+};
+
+namespace pram_detail {
+inline std::atomic<uint64_t> g_work{0};
+inline std::atomic<uint64_t> g_depth{0};
+
+inline uint64_t log2_ceil(uint64_t n) {
+  return n <= 1 ? 1 : std::bit_width(n - 1);
+}
+}  // namespace pram_detail
+
+// Charges `work` operations executed in `depth` synchronous steps.
+// Primitives call this once per invocation (sequential composition model:
+// depth adds across calls issued from the coordinating thread).
+inline void pram_charge(uint64_t work, uint64_t depth) {
+  pram_detail::g_work.fetch_add(work, std::memory_order_relaxed);
+  pram_detail::g_depth.fetch_add(depth, std::memory_order_relaxed);
+}
+
+inline PramCost pram_cost_now() {
+  return {pram_detail::g_work.load(std::memory_order_relaxed),
+          pram_detail::g_depth.load(std::memory_order_relaxed)};
+}
+
+// Resets the global tally (benchmark setup).
+void pram_reset();
+
+// Measures the PRAM cost charged while the scope is alive.
+class PramCostScope {
+ public:
+  PramCostScope() : start_(pram_cost_now()) {}
+  PramCost cost() const { return pram_cost_now() - start_; }
+
+ private:
+  PramCost start_;
+};
+
+// ---------------------------------------------------------------------------
+// parallel_for
+// ---------------------------------------------------------------------------
+
+// Runs fn(i) for i in [begin, end). PRAM cost: work = n, depth = 1.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, size_t begin, size_t end, Fn&& fn,
+                  size_t grain = 1024) {
+  if (begin >= end) return;
+  size_t n = end - begin;
+  pram_charge(n, 1);
+  size_t chunks = std::min(pool.num_threads() * 4, (n + grain - 1) / grain);
+  if (chunks <= 1) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  size_t per = (n + chunks - 1) / chunks;
+  pool.run(chunks, [&](size_t c) {
+    size_t lo = begin + c * per;
+    size_t hi = std::min(end, lo + per);
+    for (size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+template <typename Fn>
+void parallel_for(size_t begin, size_t end, Fn&& fn, size_t grain = 1024) {
+  parallel_for(ThreadPool::global(), begin, end, std::forward<Fn>(fn), grain);
+}
+
+// ---------------------------------------------------------------------------
+// reduce
+// ---------------------------------------------------------------------------
+
+// Tree reduction. PRAM cost: work = n, depth = ceil(log2 n).
+template <typename T, typename Fn>
+T parallel_reduce(ThreadPool& pool, size_t begin, size_t end, T identity,
+                  Fn&& combine, const std::function<T(size_t)>& item,
+                  size_t grain = 2048) {
+  if (begin >= end) return identity;
+  size_t n = end - begin;
+  pram_charge(n, pram_detail::log2_ceil(n));
+  size_t chunks = std::min(pool.num_threads() * 4, (n + grain - 1) / grain);
+  if (chunks <= 1) {
+    T acc = identity;
+    for (size_t i = begin; i < end; ++i) acc = combine(acc, item(i));
+    return acc;
+  }
+  size_t per = (n + chunks - 1) / chunks;
+  std::vector<T> partial(chunks, identity);
+  pool.run(chunks, [&](size_t c) {
+    size_t lo = begin + c * per;
+    size_t hi = std::min(end, lo + per);
+    T acc = identity;
+    for (size_t i = lo; i < hi; ++i) acc = combine(acc, item(i));
+    partial[c] = acc;
+  });
+  T acc = identity;
+  for (const T& p : partial) acc = combine(acc, p);
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// scan (parallel prefix, [18,19])
+// ---------------------------------------------------------------------------
+
+// Exclusive prefix sums of v under +. Returns the total.
+// PRAM cost: work = 2n, depth = 2 ceil(log2 n).
+template <typename T>
+T exclusive_scan(ThreadPool& pool, std::vector<T>& v, T identity = T{}) {
+  size_t n = v.size();
+  if (n == 0) return identity;
+  pram_charge(2 * n, 2 * pram_detail::log2_ceil(n));
+  size_t chunks = std::min(pool.num_threads() * 4, (n + 2047) / 2048);
+  if (chunks <= 1) {
+    T acc = identity;
+    for (size_t i = 0; i < n; ++i) {
+      T next = acc + v[i];
+      v[i] = acc;
+      acc = next;
+    }
+    return acc;
+  }
+  size_t per = (n + chunks - 1) / chunks;
+  std::vector<T> sums(chunks, identity);
+  pool.run(chunks, [&](size_t c) {
+    size_t lo = c * per, hi = std::min(n, lo + per);
+    T acc = identity;
+    for (size_t i = lo; i < hi; ++i) acc = acc + v[i];
+    sums[c] = acc;
+  });
+  T total = identity;
+  for (size_t c = 0; c < chunks; ++c) {
+    T next = total + sums[c];
+    sums[c] = total;
+    total = next;
+  }
+  pool.run(chunks, [&](size_t c) {
+    size_t lo = c * per, hi = std::min(n, lo + per);
+    T acc = sums[c];
+    for (size_t i = lo; i < hi; ++i) {
+      T next = acc + v[i];
+      v[i] = acc;
+      acc = next;
+    }
+  });
+  return total;
+}
+
+template <typename T>
+T exclusive_scan(std::vector<T>& v, T identity = T{}) {
+  return exclusive_scan(ThreadPool::global(), v, identity);
+}
+
+// ---------------------------------------------------------------------------
+// merge (Shiloach–Vishkin style splitting, [35])
+// ---------------------------------------------------------------------------
+
+// Merges sorted [a] and [b] into out (resized). Stable between inputs.
+// PRAM cost: work = |a|+|b|, depth = ceil(log2(|a|+|b|)).
+template <typename T, typename Less = std::less<T>>
+void parallel_merge(ThreadPool& pool, const std::vector<T>& a,
+                    const std::vector<T>& b, std::vector<T>& out,
+                    Less less = Less{}) {
+  size_t n = a.size() + b.size();
+  out.resize(n);
+  if (n == 0) return;
+  pram_charge(n, pram_detail::log2_ceil(n));
+  size_t chunks = std::min(pool.num_threads() * 4, (n + 4095) / 4096);
+  if (chunks <= 1) {
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), out.begin(), less);
+    return;
+  }
+  // Chunk c handles output positions [c*per, ...): find the (ai, bi) split
+  // realizing output rank k by binary search on the diagonal.
+  size_t per = (n + chunks - 1) / chunks;
+  auto split_at = [&](size_t k) -> std::pair<size_t, size_t> {
+    size_t lo = k > b.size() ? k - b.size() : 0;
+    size_t hi = std::min(k, a.size());
+    while (lo < hi) {
+      size_t ai = lo + (hi - lo) / 2;
+      size_t bi = k - ai;
+      if (bi > 0 && ai < a.size() && less(a[ai], b[bi - 1])) {
+        lo = ai + 1;  // a[ai] sorts before b[bi-1]: take more from a
+      } else if (ai > 0 && bi < b.size() && less(b[bi], a[ai - 1])) {
+        hi = ai;      // b[bi] sorts before a[ai-1]: take fewer from a
+      } else {
+        return {ai, bi};
+      }
+    }
+    return {lo, k - lo};
+  };
+  pool.run(chunks, [&](size_t c) {
+    size_t k0 = c * per, k1 = std::min(n, k0 + per);
+    auto [a0, b0] = split_at(k0);
+    auto [a1, b1] = split_at(k1);
+    std::merge(a.begin() + a0, a.begin() + a1, b.begin() + b0,
+               b.begin() + b1, out.begin() + k0, less);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// sort (Cole's merge sort stand-in, [10])
+// ---------------------------------------------------------------------------
+
+// Bottom-up parallel merge sort.
+// PRAM cost: work = n ceil(log2 n), depth = ceil(log2 n)^2 (charged via the
+// per-round merges plus one charge for the base pass).
+template <typename T, typename Less = std::less<T>>
+void parallel_sort(ThreadPool& pool, std::vector<T>& v, Less less = Less{}) {
+  size_t n = v.size();
+  if (n <= 1) return;
+  size_t base = std::max<size_t>(1, n / (pool.num_threads() * 4));
+  base = std::max<size_t>(base, 1024);
+  if (base >= n) {
+    pram_charge(n * pram_detail::log2_ceil(n),
+                pram_detail::log2_ceil(n) * pram_detail::log2_ceil(n));
+    std::sort(v.begin(), v.end(), less);
+    return;
+  }
+  size_t n_runs = (n + base - 1) / base;
+  pram_charge(n * pram_detail::log2_ceil(base), pram_detail::log2_ceil(base));
+  pool.run(n_runs, [&](size_t r) {
+    size_t lo = r * base, hi = std::min(n, lo + base);
+    std::sort(v.begin() + lo, v.begin() + hi, less);
+  });
+  std::vector<T> tmp(n);
+  std::vector<T>* src = &v;
+  std::vector<T>* dst = &tmp;
+  for (size_t width = base; width < n; width *= 2) {
+    size_t pairs = (n + 2 * width - 1) / (2 * width);
+    for (size_t p = 0; p < pairs; ++p) {
+      size_t lo = p * 2 * width;
+      size_t mid = std::min(n, lo + width);
+      size_t hi = std::min(n, lo + 2 * width);
+      // Reuse parallel_merge across the pool for each pair in turn: with a
+      // handful of runs the merges themselves are the parallel dimension.
+      std::vector<T> a(src->begin() + lo, src->begin() + mid);
+      std::vector<T> b(src->begin() + mid, src->begin() + hi);
+      std::vector<T> m;
+      parallel_merge(pool, a, b, m, less);
+      std::copy(m.begin(), m.end(), dst->begin() + lo);
+    }
+    std::swap(src, dst);
+  }
+  if (src != &v) v = *src;
+}
+
+template <typename T, typename Less = std::less<T>>
+void parallel_sort(std::vector<T>& v, Less less = Less{}) {
+  parallel_sort(ThreadPool::global(), v, less);
+}
+
+}  // namespace rsp

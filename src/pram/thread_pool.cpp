@@ -1,0 +1,107 @@
+#include "pram/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+#include "common.h"
+
+namespace rsp {
+
+struct ThreadPool::Batch {
+  size_t n_tasks = 0;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  const std::function<void(size_t)>* fn = nullptr;
+  std::exception_ptr error;  // first error wins
+  std::mutex mu;
+  std::condition_variable done_cv;
+
+  // Pull tasks until the index space is exhausted.
+  void work() {
+    for (;;) {
+      size_t i = next.fetch_add(1);
+      if (i >= n_tasks) return;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu);
+        if (!error) error = std::current_exception();
+      }
+      if (done.fetch_add(1) + 1 == n_tasks) {
+        std::lock_guard<std::mutex> lk(mu);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t extra = num_threads > 0 ? num_threads - 1 : 0;
+  workers_.reserve(extra);
+  for (size_t i = 0; i < extra; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Batch> b;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      b = batch_;  // may be null if the batch was already retired
+    }
+    if (b) b->work();
+  }
+}
+
+void ThreadPool::run(size_t n_tasks, const std::function<void(size_t)>& fn) {
+  if (n_tasks == 0) return;
+  if (workers_.empty() || n_tasks == 1) {
+    for (size_t i = 0; i < n_tasks; ++i) fn(i);
+    return;
+  }
+  auto b = std::make_shared<Batch>();
+  b->n_tasks = n_tasks;
+  b->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    RSP_CHECK_MSG(batch_ == nullptr, "nested ThreadPool::run on same pool");
+    batch_ = b;
+    ++generation_;
+  }
+  cv_.notify_all();
+  b->work();  // caller participates
+  {
+    std::unique_lock<std::mutex> lk(b->mu);
+    b->done_cv.wait(lk, [&] { return b->done.load() >= b->n_tasks; });
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    batch_ = nullptr;
+    ++generation_;
+  }
+  cv_.notify_all();
+  // `fn` must outlive all workers' use of it: workers only touch fn inside
+  // work(), and done==n_tasks implies every fn(i) call has returned.
+  if (b->error) std::rethrow_exception(b->error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace rsp

@@ -1,0 +1,49 @@
+#pragma once
+// Minimal fixed-size thread pool used to simulate the CREW-PRAM.
+//
+// The paper's model is a synchronous shared-memory PRAM. We simulate each
+// parallel step with a fork-join over a fixed worker pool: concurrent reads
+// are naturally allowed; the algorithms never issue concurrent writes to the
+// same location (that is the CREW discipline the original algorithms obey).
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rsp {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size() + 1; }  // + caller
+
+  // Fork-join: runs fn(i) for i in [0, n_tasks); returns when all complete.
+  // The calling thread participates. Exceptions from tasks are rethrown
+  // (first one wins). Not reentrant on the same pool.
+  void run(size_t n_tasks, const std::function<void(size_t)>& fn);
+
+  // Process-wide pool sized to the hardware; created on first use.
+  static ThreadPool& global();
+
+ private:
+  struct Batch;
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  uint64_t generation_ = 0;             // bumped when batch_ changes
+  std::shared_ptr<Batch> batch_;        // current fork-join batch
+};
+
+}  // namespace rsp

@@ -1,0 +1,56 @@
+#include "trees/euler.h"
+
+#include <algorithm>
+
+namespace rsp {
+
+Forest::Forest(std::vector<int> parent) : parent_(std::move(parent)) {
+  const int n = size();
+  depth_.assign(n, -1);
+  root_.assign(n, -1);
+  order_.reserve(n);
+
+  // Children adjacency.
+  std::vector<int> head(n, -1), next(n, -1);
+  std::vector<int> roots;
+  for (int v = 0; v < n; ++v) {
+    int p = parent_[v];
+    if (p < 0) {
+      roots.push_back(v);
+    } else {
+      RSP_CHECK_MSG(p < n && p != v, "bad parent pointer");
+      next[v] = head[p];
+      head[p] = v;
+    }
+  }
+  // BFS/DFS from roots establishes depths and detects cycles (unreached
+  // nodes at the end mean a cycle existed).
+  std::vector<int> stack = roots;
+  for (int r : roots) {
+    depth_[r] = 0;
+    root_[r] = r;
+  }
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    order_.push_back(v);
+    height_ = std::max(height_, depth_[v]);
+    for (int c = head[v]; c >= 0; c = next[c]) {
+      depth_[c] = depth_[v] + 1;
+      root_[c] = root_[v];
+      stack.push_back(c);
+    }
+  }
+  RSP_CHECK_MSG(static_cast<int>(order_.size()) == n,
+                "parent pointers contain a cycle");
+}
+
+std::vector<int> Forest::path_to_root(int v) const {
+  RSP_CHECK(v >= 0 && v < size());
+  std::vector<int> path;
+  path.reserve(depth_[v] + 1);
+  for (int u = v; u >= 0; u = parent_[u]) path.push_back(u);
+  return path;
+}
+
+}  // namespace rsp

@@ -1,0 +1,43 @@
+#pragma once
+// Rooted forests over integer node ids.
+//
+// The paper uses the Euler-tour technique [36] for two jobs: finding the
+// path from a node to its root (path tracing, Lemma 6) and computing node
+// depths (path reporting, §8). This module provides those queries on a
+// parent-pointer forest; construction is a linear pass, and the derived
+// arrays (depth, root, topological order) are what the Euler tour would
+// deliver on the PRAM.
+
+#include <vector>
+
+#include "common.h"
+
+namespace rsp {
+
+class Forest {
+ public:
+  // parent[v] is v's parent, or -1 for roots. Cycles are rejected.
+  explicit Forest(std::vector<int> parent);
+
+  int size() const { return static_cast<int>(parent_.size()); }
+  int parent(int v) const { return parent_[v]; }
+  int depth(int v) const { return depth_[v]; }
+  int root(int v) const { return root_[v]; }
+  int height() const { return height_; }
+
+  // Nodes ordered parents-before-children.
+  const std::vector<int>& topological_order() const { return order_; }
+  const std::vector<int>& parents() const { return parent_; }
+
+  // The v -> root(v) path, inclusive on both ends. O(path length).
+  std::vector<int> path_to_root(int v) const;
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> depth_;
+  std::vector<int> root_;
+  std::vector<int> order_;
+  int height_ = 0;
+};
+
+}  // namespace rsp

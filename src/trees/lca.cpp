@@ -1,0 +1,46 @@
+#include "trees/lca.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace rsp {
+
+Lca::Lca(const Forest& forest) : forest_(&forest) {
+  const int n = forest.size();
+  log_ = std::max<int>(1, std::bit_width(static_cast<unsigned>(
+                              std::max(1, forest.height()))));
+  up_.assign(log_ + 1, std::vector<int>(n, -1));
+  for (int v = 0; v < n; ++v) up_[0][v] = forest.parent(v);
+  for (int j = 1; j <= log_; ++j) {
+    for (int v = 0; v < n; ++v) {
+      int u = up_[j - 1][v];
+      up_[j][v] = u < 0 ? -1 : up_[j - 1][u];
+    }
+  }
+}
+
+int Lca::query(int u, int v) const {
+  RSP_CHECK(u >= 0 && u < forest_->size() && v >= 0 && v < forest_->size());
+  if (forest_->root(u) != forest_->root(v)) return -1;
+  if (forest_->depth(u) < forest_->depth(v)) std::swap(u, v);
+  int diff = forest_->depth(u) - forest_->depth(v);
+  for (int j = 0; j <= log_; ++j) {
+    if (diff & (1 << j)) u = up_[j][u];
+  }
+  if (u == v) return u;
+  for (int j = log_; j >= 0; --j) {
+    if (up_[j][u] != up_[j][v]) {
+      u = up_[j][u];
+      v = up_[j][v];
+    }
+  }
+  return up_[0][u];
+}
+
+int Lca::tree_distance(int u, int v) const {
+  int a = query(u, v);
+  if (a < 0) return -1;
+  return forest_->depth(u) + forest_->depth(v) - 2 * forest_->depth(a);
+}
+
+}  // namespace rsp

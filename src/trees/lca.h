@@ -1,0 +1,29 @@
+#pragma once
+// Lowest common ancestors by binary lifting. Used for recursion-tree
+// bookkeeping (paper §6.3 reasons about lca(u,v) in the recursion tree T)
+// and validated against brute force in tests.
+
+#include <vector>
+
+#include "trees/euler.h"
+
+namespace rsp {
+
+class Lca {
+ public:
+  explicit Lca(const Forest& forest);
+
+  // Lowest common ancestor, or -1 if u and v are in different trees.
+  int query(int u, int v) const;
+
+  // Tree distance l(u,v): edges on the u-v path (paper §6.3), -1 if
+  // disconnected.
+  int tree_distance(int u, int v) const;
+
+ private:
+  const Forest* forest_;
+  int log_ = 1;
+  std::vector<std::vector<int>> up_;
+};
+
+}  // namespace rsp

@@ -1,0 +1,85 @@
+#include "trees/level_ancestor.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace rsp {
+
+LevelAncestor::LevelAncestor(const Forest& forest) : forest_(&forest) {
+  const int n = forest.size();
+  log_ = std::max<int>(1, std::bit_width(static_cast<unsigned>(
+                              std::max(1, forest.height()))));
+
+  // Jump pointers.
+  jump_.assign(log_ + 1, std::vector<int>(n, -1));
+  for (int v = 0; v < n; ++v) jump_[0][v] = forest.parent(v);
+  for (int j = 1; j <= log_; ++j) {
+    for (int v = 0; v < n; ++v) {
+      int u = jump_[j - 1][v];
+      jump_[j][v] = u < 0 ? -1 : jump_[j - 1][u];
+    }
+  }
+
+  // Longest-path decomposition: every node's "long child" is a child of
+  // maximal subtree height; paths of long edges partition the forest.
+  std::vector<int> subtree_height(n, 0);
+  std::vector<int> long_child(n, -1);
+  const auto& order = forest.topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    int v = *it;
+    int p = forest.parent(v);
+    if (p >= 0 && subtree_height[v] + 1 > subtree_height[p]) {
+      subtree_height[p] = subtree_height[v] + 1;
+      long_child[p] = v;
+    }
+  }
+
+  // Each path-top spawns one ladder: the path, then extended upward by the
+  // path's length (the "doubling" that makes jump+ladder O(1)).
+  ladder_id_.assign(n, -1);
+  ladder_pos_.assign(n, -1);
+  for (int v : order) {
+    int p = forest.parent(v);
+    bool path_top = (p < 0) || (long_child[p] != v);
+    if (!path_top) continue;
+    std::vector<int> path;
+    for (int u = v; u >= 0; u = long_child[u]) path.push_back(u);
+    // Bottom -> top ordering, then extend above the top by |path| nodes.
+    std::reverse(path.begin(), path.end());
+    size_t base_len = path.size();
+    int up = forest.parent(path.back());
+    for (size_t i = 0; i < base_len && up >= 0; ++i) {
+      path.push_back(up);
+      up = forest.parent(up);
+    }
+    int id = static_cast<int>(ladders_.size());
+    // Only the original path's nodes point at this ladder; extension nodes
+    // keep their own ladder assignment.
+    for (size_t i = 0; i < base_len; ++i) {
+      ladder_id_[path[base_len - 1 - i]] = id;
+      ladder_pos_[path[base_len - 1 - i]] = static_cast<int>(base_len - 1 - i);
+    }
+    ladders_.push_back(std::move(path));
+  }
+  for (int v = 0; v < n; ++v) RSP_CHECK(ladder_id_[v] >= 0);
+}
+
+int LevelAncestor::query(int v, int k) const {
+  RSP_CHECK(v >= 0 && v < forest_->size() && k >= 0);
+  if (k == 0) return v;
+  if (k > forest_->depth(v)) return -1;
+  // Jump the largest power of two <= k, then finish within one ladder.
+  int j = std::bit_width(static_cast<unsigned>(k)) - 1;
+  int u = jump_[j][v];
+  int rem = k - (1 << j);
+  if (rem == 0) return u;
+  // u heads a subtree of height >= 2^j - 1 >= rem, so u's ladder (length
+  // >= its path >= height) extends at least rem nodes above u.
+  const auto& lad = ladders_[ladder_id_[u]];
+  int pos = ladder_pos_[u] + rem;
+  RSP_CHECK_MSG(pos < static_cast<int>(lad.size()),
+                "ladder too short: level-ancestor invariant broken");
+  return lad[pos];
+}
+
+}  // namespace rsp

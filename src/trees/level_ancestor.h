@@ -1,0 +1,37 @@
+#pragma once
+// Level-ancestor queries (paper §8, Berkman–Vishkin [5,6]).
+//
+// Given a rooted forest, query(v, k) returns the k-th ancestor of v in O(1)
+// after near-linear preprocessing. We use the classic ladder decomposition
+// + jump-pointer scheme: jump 2^⌊log k⌋ steps with a jump pointer, then the
+// remaining < 2^⌊log k⌋ steps are covered by the landing node's ladder
+// (each ladder extends a longest path upward to twice its length, and a
+// node reached by a 2^j jump lies on a ladder of length >= 2^j).
+//
+// This substitutes for Berkman–Vishkin's O(1)-query structure with the same
+// query interface and cost; preprocessing is O(n log n) instead of O(n)
+// (documented in DESIGN.md).
+
+#include <vector>
+
+#include "trees/euler.h"
+
+namespace rsp {
+
+class LevelAncestor {
+ public:
+  explicit LevelAncestor(const Forest& forest);
+
+  // The k-th ancestor of v (k=0 is v itself); -1 if k > depth(v).
+  int query(int v, int k) const;
+
+ private:
+  const Forest* forest_;
+  int log_ = 1;
+  std::vector<std::vector<int>> jump_;   // jump_[j][v]: 2^j-th ancestor
+  std::vector<int> ladder_id_;           // ladder containing v
+  std::vector<int> ladder_pos_;          // v's index within its ladder
+  std::vector<std::vector<int>> ladders_;  // bottom -> top node lists
+};
+
+}  // namespace rsp

@@ -1,0 +1,131 @@
+// The all-pairs builder (paper §9 + the parallel driver) against the
+// track-graph Dijkstra oracle — the library's central correctness test.
+
+#include <gtest/gtest.h>
+
+#include "baseline/dijkstra.h"
+#include "core/seq_builder.h"
+#include "io/gen.h"
+#include "pram/thread_pool.h"
+
+namespace rsp {
+namespace {
+
+struct Built {
+  explicit Built(Scene sc)
+      : scene(std::move(sc)), shooter(scene), tracer(scene, shooter),
+        data(build_all_pairs(scene, shooter, tracer)) {}
+  Scene scene;
+  RayShooter shooter;
+  Tracer tracer;
+  AllPairsData data;
+};
+
+TEST(Builder, SingleObstacleByHand) {
+  Built b(Scene::with_bbox({{0, 0, 4, 6}}));
+  // Around one rectangle: between ll(0) and ur(2): via lr or ul: 4+6=10.
+  EXPECT_EQ(b.data.dist(0, 2), 10);
+  EXPECT_EQ(b.data.dist(0, 1), 4);   // ll-lr along bottom
+  EXPECT_EQ(b.data.dist(1, 3), 10);  // lr-ul
+  EXPECT_EQ(b.data.dist(2, 3), 4);   // ur-ul
+  EXPECT_EQ(b.data.dist(0, 0), 0);
+}
+
+TEST(Builder, TwoObstaclesDetour) {
+  // Tall wall between two short blocks forces detours.
+  Built b(Scene::with_bbox({{0, 0, 2, 3}, {5, -10, 7, 10}}));
+  const auto& v = b.scene.obstacle_vertices();
+  // From lr of rect0 (2,0) to ll of... vertex ids: rect1 ll=4 at (5,-10).
+  EXPECT_EQ(b.data.dist(1, 4), oracle_length(b.scene, v[1], v[4]));
+  // Across the wall: rect0 ur (2,3) id 2 to rect1 ur (7,10) id 6.
+  EXPECT_EQ(b.data.dist(2, 6), oracle_length(b.scene, v[2], v[6]));
+}
+
+class BuilderOracleTest
+    : public ::testing::TestWithParam<std::tuple<NamedGen, size_t>> {};
+
+TEST_P(BuilderOracleTest, MatchesOracleOnAllPairs) {
+  auto [gen, n] = GetParam();
+  for (uint64_t seed : {1u, 5u, 9u}) {
+    Built b(gen.fn(n, seed));
+    Matrix expect = all_pairs_repeated_dijkstra(b.scene);
+    const size_t m = b.data.m;
+    for (size_t a = 0; a < m; ++a) {
+      for (size_t w = 0; w < m; ++w) {
+        ASSERT_EQ(b.data.dist(a, w), expect(a, w))
+            << gen.name << " n=" << n << " seed=" << seed << " pair ("
+            << b.scene.vertex(a) << " -> " << b.scene.vertex(w) << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BuilderOracleTest,
+    ::testing::Combine(::testing::ValuesIn(kAllGens),
+                       ::testing::Values(1, 2, 4, 9, 16, 28)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param).name) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Builder, MatrixIsSymmetricAndFinite) {
+  for (const auto& gen : kAllGens) {
+    Built b(gen.fn(18, 21));
+    const size_t m = b.data.m;
+    for (size_t a = 0; a < m; ++a) {
+      EXPECT_EQ(b.data.dist(a, a), 0);
+      for (size_t w = a + 1; w < m; ++w) {
+        EXPECT_LT(b.data.dist(a, w), kInf)
+            << gen.name << ": free space must be connected";
+        EXPECT_EQ(b.data.dist(a, w), b.data.dist(w, a)) << gen.name;
+        EXPECT_GE(b.data.dist(a, w),
+                  dist1(b.scene.vertex(a), b.scene.vertex(w)));
+      }
+    }
+  }
+}
+
+TEST(Builder, ParallelDriverMatchesSequential) {
+  ThreadPool pool(4);
+  for (const auto& gen : kAllGens) {
+    Scene s1 = gen.fn(15, 33);
+    Scene s2 = gen.fn(15, 33);
+    RayShooter sh1(s1), sh2(s2);
+    Tracer tr1(s1, sh1), tr2(s2, sh2);
+    AllPairsData seq = build_all_pairs(s1, sh1, tr1);
+    AllPairsData par = build_all_pairs(pool, s2, sh2, tr2);
+    EXPECT_EQ(seq.dist, par.dist) << gen.name;
+  }
+}
+
+TEST(Builder, PredecessorChainsTerminate) {
+  Built b(gen_uniform(20, 2));
+  const size_t m = b.data.m;
+  for (size_t a = 0; a < m; ++a) {
+    for (size_t w = 0; w < m; ++w) {
+      size_t steps = 0;
+      int cur = static_cast<int>(w);
+      while (cur >= 0 && static_cast<size_t>(cur) != a) {
+        cur = b.data.pred_of(a, static_cast<size_t>(cur));
+        ASSERT_LE(++steps, m) << "pred cycle";
+      }
+    }
+  }
+}
+
+TEST(Builder, TriangleInequalityOverVertices) {
+  Built b(gen_clustered(16, 6));
+  const size_t m = b.data.m;
+  for (size_t a = 0; a < m; a += 3) {
+    for (size_t c = 0; c < m; c += 5) {
+      for (size_t k = 0; k < m; k += 7) {
+        EXPECT_LE(b.data.dist(a, c),
+                  b.data.dist(a, k) + b.data.dist(k, c));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rsp

@@ -1,0 +1,297 @@
+// Unit and property tests for the geometry substrate: points, rects,
+// segments, staircases (paper §2, Fig. 1), envelopes (Fig. 2), polygons.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geom/envelope.h"
+#include "geom/point.h"
+#include "geom/polygon.h"
+#include "geom/rect.h"
+#include "geom/segment.h"
+#include "geom/staircase.h"
+
+namespace rsp {
+namespace {
+
+TEST(Point, Dist1IsL1Metric) {
+  EXPECT_EQ(dist1({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(dist1({-2, 5}, {-2, 5}), 0);
+  EXPECT_EQ(dist1({-3, -4}, {3, 4}), 14);
+  // Symmetry + triangle inequality on random triples.
+  std::mt19937_64 rng(1);
+  std::uniform_int_distribution<Coord> d(-1000, 1000);
+  for (int i = 0; i < 200; ++i) {
+    Point a{d(rng), d(rng)}, b{d(rng), d(rng)}, c{d(rng), d(rng)};
+    EXPECT_EQ(dist1(a, b), dist1(b, a));
+    EXPECT_LE(dist1(a, c), dist1(a, b) + dist1(b, c));
+  }
+}
+
+TEST(Rect, ContainsAndIntersects) {
+  Rect r{0, 0, 10, 5};
+  EXPECT_TRUE(r.contains(Point{0, 0}));
+  EXPECT_TRUE(r.contains(Point{10, 5}));
+  EXPECT_FALSE(r.contains_strict(Point{10, 5}));
+  EXPECT_TRUE(r.contains_strict(Point{5, 2}));
+  EXPECT_TRUE(r.intersects(Rect{10, 5, 12, 8}));          // corner touch
+  EXPECT_FALSE(r.interior_intersects(Rect{10, 0, 12, 5}));  // edge touch
+  EXPECT_TRUE(r.interior_intersects(Rect{9, 4, 12, 8}));
+}
+
+TEST(Segment, PiercesOnlyThroughInterior) {
+  Rect r{2, 2, 6, 6};
+  EXPECT_TRUE((Segment{{0, 4}, {10, 4}}.pierces(r)));
+  EXPECT_FALSE((Segment{{0, 2}, {10, 2}}.pierces(r)));  // along bottom edge
+  EXPECT_FALSE((Segment{{0, 8}, {10, 8}}.pierces(r)));
+  EXPECT_TRUE((Segment{{4, 0}, {4, 10}}.pierces(r)));
+  EXPECT_FALSE((Segment{{2, 0}, {2, 10}}.pierces(r)));  // along left edge
+  EXPECT_FALSE((Segment{{4, 0}, {4, 2}}.pierces(r)));   // stops at boundary
+}
+
+TEST(ParetoMaxima, AllQuadrants) {
+  std::vector<Point> pts{{0, 0}, {2, 3}, {3, 2}, {1, 1}, {4, 0}, {0, 4}};
+  auto ne = pareto_maxima(pts, Quadrant::NE);
+  // NE maxima: (0,4), (2,3), (3,2), (4,0).
+  ASSERT_EQ(ne.size(), 4u);
+  EXPECT_EQ(ne[0], (Point{0, 4}));
+  EXPECT_EQ(ne[3], (Point{4, 0}));
+  auto sw = pareto_maxima(pts, Quadrant::SW);
+  // SW maxima: (0,0) dominates everything except... (0,0) only.
+  ASSERT_EQ(sw.size(), 1u);
+  EXPECT_EQ(sw[0], (Point{0, 0}));
+}
+
+TEST(ParetoMaxima, NoMaximumDominated) {
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<Coord> d(0, 50);
+  for (int it = 0; it < 50; ++it) {
+    std::vector<Point> pts;
+    for (int i = 0; i < 30; ++i) pts.push_back({d(rng), d(rng)});
+    for (Quadrant q :
+         {Quadrant::NE, Quadrant::NW, Quadrant::SE, Quadrant::SW}) {
+      auto mx = pareto_maxima(pts, q);
+      for (const auto& m : mx) {
+        for (const auto& p : pts) {
+          if (p != m) {
+            EXPECT_FALSE(dominates(q, p, m) && !dominates(q, m, p))
+                << "maximum dominated";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Staircase, MaxStaircaseAboveAllRects) {
+  std::vector<Rect> rects{{0, 0, 4, 6}, {6, 2, 9, 4}, {11, 1, 13, 8}};
+  Staircase ne = Staircase::max_staircase(rects, Quadrant::NE);
+  EXPECT_FALSE(ne.increasing());
+  for (const auto& r : rects) {
+    EXPECT_FALSE(ne.pierces(r));
+    // Every rect corner is on or below the staircase.
+    for (const auto& v : r.vertices()) EXPECT_LE(ne.side_of(v), 0);
+  }
+  // It passes through the NE-maximal corners (lowest-leftmost property);
+  // here (13,8) dominates every other corner, so it is the only maximum.
+  EXPECT_EQ(ne.side_of(Point{13, 8}), 0);
+  EXPECT_EQ(ne.side_of(Point{0, 8}), 0);    // flat top at y=8 to the left
+  EXPECT_EQ(ne.side_of(Point{13, -3}), 0);  // vertical drop at x=13
+  EXPECT_EQ(ne.side_of(Point{4, 9}), +1);
+  EXPECT_EQ(ne.side_of(Point{4, 6}), -1);   // dominated corner sits below
+}
+
+TEST(Staircase, SideOfBasic) {
+  // Increasing staircase through (0,0) -> (0,2) -> (3,2) -> (3,5).
+  Staircase s = Staircase::from_chain({{0, 0}, {0, 2}, {3, 2}, {3, 5}},
+                                      StairOrient::Increasing);
+  EXPECT_EQ(s.side_of(Point{-5, 0}), +1);   // up-left region
+  EXPECT_EQ(s.side_of(Point{1, 3}), +1);
+  EXPECT_EQ(s.side_of(Point{1, 1}), -1);    // down-right region
+  EXPECT_EQ(s.side_of(Point{5, 4}), -1);
+  EXPECT_EQ(s.side_of(Point{0, 1}), 0);     // on vertical segment
+  EXPECT_EQ(s.side_of(Point{2, 2}), 0);     // on horizontal segment
+}
+
+TEST(Staircase, YIntervalAndXInterval) {
+  Staircase s = Staircase::from_chain({{0, 0}, {0, 2}, {3, 2}, {3, 5}},
+                                      StairOrient::Increasing);
+  auto [lo, hi] = s.y_interval_at(0);
+  EXPECT_EQ(lo, -Staircase::kBig);  // sentinel tail below
+  EXPECT_EQ(hi, 2);
+  auto [l2, h2] = s.y_interval_at(2);
+  EXPECT_EQ(l2, 2);
+  EXPECT_EQ(h2, 2);
+  auto [xl, xh] = s.x_interval_at(2);
+  EXPECT_EQ(xl, 0);
+  EXPECT_EQ(xh, 3);
+  auto [xl2, xh2] = s.x_interval_at(4);
+  EXPECT_EQ(xl2, 3);
+  EXPECT_EQ(xh2, 3);
+}
+
+TEST(Staircase, CrossPoint) {
+  Staircase inc = Staircase::from_chain({{0, 0}, {0, 4}, {6, 4}, {6, 9}},
+                                        StairOrient::Increasing);
+  Staircase dec = Staircase::from_chain({{-2, 7}, {3, 7}, {3, 1}, {8, 1}},
+                                        StairOrient::Decreasing);
+  ASSERT_TRUE(Staircase::chains_intersect(inc, dec));
+  Point c = Staircase::cross_point(inc, dec);
+  EXPECT_EQ(inc.side_of(c), 0);
+  EXPECT_EQ(dec.side_of(c), 0);
+}
+
+TEST(Staircase, PiercesRect) {
+  Staircase s = Staircase::from_chain({{0, 0}, {0, 5}, {8, 5}, {8, 10}},
+                                      StairOrient::Increasing);
+  EXPECT_TRUE(s.pierces(Rect{2, 3, 5, 7}));    // horizontal run crosses
+  EXPECT_FALSE(s.pierces(Rect{2, 5, 5, 7}));   // touches edge only
+  EXPECT_FALSE(s.pierces(Rect{10, 0, 12, 4}));
+  EXPECT_TRUE(s.pierces(Rect{-2, 1, 2, 3}));   // vertical sentinel-side run
+}
+
+TEST(Envelope, SingleRectIsItself) {
+  std::vector<Rect> rects{{2, 3, 7, 9}};
+  Envelope env = Envelope::compute(rects);
+  EXPECT_TRUE(env.hull_exists);
+  ASSERT_EQ(env.boundary.size(), 4u);
+  EXPECT_TRUE(env.contains(Point{2, 3}));
+  EXPECT_TRUE(env.contains(Point{5, 5}));
+  EXPECT_FALSE(env.contains(Point{1, 5}));
+  EXPECT_FALSE(env.contains(Point{8, 10}));
+}
+
+TEST(Envelope, HullOfTwoOverlappingSpansContainsBoth) {
+  std::vector<Rect> rects{{0, 0, 4, 3}, {2, 5, 8, 7}};
+  Envelope env = Envelope::compute(rects);
+  EXPECT_TRUE(env.hull_exists);
+  for (const auto& r : rects) {
+    for (const auto& v : r.vertices()) {
+      EXPECT_TRUE(env.contains(v)) << v;
+    }
+  }
+  // A point in the "staircase notch" outside the hull.
+  EXPECT_FALSE(env.contains(Point{7, 0}));
+}
+
+TEST(Envelope, DegenerateDiagonalPair) {
+  // Two far-apart diagonal rects: MAX_NE and MAX_SW intersect, no hull.
+  std::vector<Rect> rects{{0, 0, 2, 2}, {10, 10, 12, 12}};
+  Envelope env = Envelope::compute(rects);
+  EXPECT_FALSE(env.hull_exists);
+  EXPECT_TRUE(env.contains(Point{1, 1}));
+  EXPECT_TRUE(env.contains(Point{11, 11}));
+  // The bridge (finite part of MAX_NE) is included per the paper.
+  EXPECT_TRUE(env.contains(Point{2, 12}) || env.contains(Point{12, 2}) ||
+              env.contains(Point{2, 10}) || env.contains(Point{10, 2}));
+}
+
+TEST(Envelope, ContainmentMatchesBruteForceOnRandomScenes) {
+  std::mt19937_64 rng(21);
+  std::uniform_int_distribution<Coord> d(0, 40);
+  for (int it = 0; it < 20; ++it) {
+    std::vector<Rect> rects;
+    for (int i = 0; i < 6; ++i) {
+      Coord x = d(rng), y = d(rng);
+      rects.push_back(Rect{x, y, x + 1 + d(rng) % 6, y + 1 + d(rng) % 6});
+    }
+    Envelope env = Envelope::compute(rects);
+    if (!env.hull_exists) continue;
+    // Hull contains every rect point; hull region is rectilinearly convex:
+    // sample pairs of contained points and check axis segments stay inside
+    // (via midpoints).
+    for (const auto& r : rects) {
+      EXPECT_TRUE(env.contains(r.ll()) && env.contains(r.ur()));
+    }
+    for (int s = 0; s < 50; ++s) {
+      Point a{d(rng), d(rng)}, b{a.x, d(rng)};
+      if (env.contains(a) && env.contains(b)) {
+        Point mid{a.x, (a.y + b.y) / 2};
+        EXPECT_TRUE(env.contains(mid)) << "vertical convexity violated";
+      }
+    }
+  }
+}
+
+TEST(Polygon, RectangleBasics) {
+  auto poly = RectilinearPolygon::rectangle(Rect{0, 0, 10, 6});
+  EXPECT_EQ(poly.size(), 4u);
+  EXPECT_EQ(poly.perimeter(), 32);
+  EXPECT_TRUE(poly.contains(Point{0, 0}));
+  EXPECT_TRUE(poly.contains(Point{5, 6}));
+  EXPECT_FALSE(poly.contains(Point{11, 3}));
+  EXPECT_TRUE(poly.on_boundary(Point{0, 3}));
+  EXPECT_FALSE(poly.on_boundary(Point{5, 3}));
+}
+
+TEST(Polygon, LShapeIsOrthogonallyConvex) {
+  // An L-shape (one notch) IS rectilinearly convex: every axis-parallel
+  // line meets it in one interval.
+  std::vector<Point> l{{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}};
+  auto poly = RectilinearPolygon::from_vertices(l);
+  EXPECT_TRUE(poly.contains(Point{1, 3}));
+  EXPECT_FALSE(poly.contains(Point{3, 3}));  // the notch
+}
+
+TEST(Polygon, PlusShapeAccepted) {
+  // Perhaps surprisingly, a plus shape IS rectilinearly convex: every
+  // axis-parallel line meets it in a single interval.
+  std::vector<Point> plus{{2, 0}, {4, 0}, {4, 2}, {6, 2}, {6, 4}, {4, 4},
+                          {4, 6}, {2, 6}, {2, 4}, {0, 4}, {0, 2}, {2, 2}};
+  auto poly = RectilinearPolygon::from_vertices(plus);
+  EXPECT_TRUE(poly.contains(Point{3, 3}));
+  EXPECT_FALSE(poly.contains(Point{1, 1}));  // cut corner
+  EXPECT_FALSE(poly.contains(Point{5, 5}));
+}
+
+TEST(Polygon, UShapeRejected) {
+  // A U shape is not rectilinearly convex: a horizontal line through the
+  // two arms meets it in two intervals.
+  std::vector<Point> u{{0, 0}, {6, 0}, {6, 4}, {4, 4},
+                       {4, 2}, {2, 2}, {2, 4}, {0, 4}};
+  EXPECT_THROW(RectilinearPolygon::from_vertices(u), std::logic_error);
+}
+
+TEST(Polygon, ChamferedOctagon) {
+  std::vector<Point> v{{2, 0}, {8, 0}, {10, 2}, {10, 8},
+                       {8, 10}, {2, 10}, {0, 8}, {0, 2}};
+  // Diagonal corners are not axis-parallel -> invalid.
+  EXPECT_THROW(RectilinearPolygon::from_vertices(v), std::logic_error);
+  // Staircase-cut corners are fine.
+  std::vector<Point> w{{2, 0}, {8, 0}, {8, 1}, {10, 1}, {10, 8}, {9, 8},
+                       {9, 10}, {2, 10}, {0, 10}, {0, 2}, {2, 2}};
+  auto poly = RectilinearPolygon::from_vertices(w);
+  EXPECT_TRUE(poly.contains(Point{5, 5}));
+  EXPECT_FALSE(poly.contains(Point{9, 0}));   // cut-away corner
+  EXPECT_TRUE(poly.contains(Point{1, 9}));    // kept corner region
+}
+
+TEST(Polygon, YRangeAndXRange) {
+  std::vector<Point> w{{2, 0}, {8, 0}, {8, 1}, {10, 1}, {10, 8}, {9, 8},
+                       {9, 10}, {2, 10}, {0, 10}, {0, 2}, {2, 2}};
+  auto poly = RectilinearPolygon::from_vertices(w);
+  auto [lo, hi] = poly.y_range_at(9);
+  EXPECT_EQ(lo, 1);  // x=9 sits over the SE corner cut, bottom edge at y=1
+  EXPECT_EQ(hi, 10);
+  // Cross-validate y_range against contains() along the column.
+  for (Coord x = 0; x <= 10; ++x) {
+    auto [l2, h2] = poly.y_range_at(x);
+    for (Coord y = -1; y <= 11; ++y) {
+      EXPECT_EQ(poly.contains(Point{x, y}), y >= l2 && y <= h2)
+          << "x=" << x << " y=" << y;
+    }
+  }
+  for (Coord y = 0; y <= 10; ++y) {
+    auto [l2, h2] = poly.x_range_at(y);
+    for (Coord x = -1; x <= 11; ++x) {
+      EXPECT_EQ(poly.contains(Point{x, y}), x >= l2 && x <= h2)
+          << "x=" << x << " y=" << y;
+    }
+  }
+  (void)lo;
+  (void)hi;
+}
+
+}  // namespace
+}  // namespace rsp

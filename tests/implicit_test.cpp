@@ -1,0 +1,75 @@
+// §7 implicit representation (|P| >> n): chunk transfer sets answer
+// boundary-to-vertex length queries exactly, with O(n^2) storage
+// independent of |P|.
+
+#include <gtest/gtest.h>
+
+#include "core/implicit.h"
+#include "io/gen.h"
+
+namespace rsp {
+namespace {
+
+TEST(Implicit, MatchesExactQueriesOnBigContainer) {
+  // Obstacles clustered in the middle of a much larger container.
+  Scene base = gen_uniform(12, 5);
+  Rect bb = base.container().bbox();
+  Coord w = bb.xmax - bb.xmin;
+  Scene big(std::vector<Rect>(base.obstacles()),
+            RectilinearPolygon::rectangle(bb.expanded(4 * w)));
+  AllPairsSP sp{std::move(big)};
+  ImplicitBoundaryLengths impl(sp);
+  EXPECT_GT(impl.transfer_points(), 0u);
+  EXPECT_LE(impl.transfer_points(), 4 * 4 * sp.scene().num_obstacles());
+
+  // Points all around the container boundary and in the chunks.
+  const Rect& obb = sp.scene().container().bbox();
+  std::vector<Point> probes{
+      {obb.xmin, obb.ymin}, {obb.xmax, obb.ymax},
+      {obb.xmin + 3, obb.ymax}, {obb.xmax, obb.ymin + 7},
+      {(obb.xmin + obb.xmax) / 2, obb.ymax},
+      {obb.xmax, (obb.ymin + obb.ymax) / 2},
+      {(obb.xmin + obb.xmax) / 2, obb.ymin},
+      {obb.xmin, (obb.ymin + obb.ymax) / 2}};
+  for (const auto& p : probes) {
+    for (size_t v = 0; v < sp.num_vertices(); v += 3) {
+      ASSERT_EQ(impl.to_vertex(p, v), sp.length(p, sp.scene().vertex(v)))
+          << p << " -> vertex " << v;
+    }
+  }
+}
+
+TEST(Implicit, FallbackBesideEnvelopeIsExact) {
+  Scene base = gen_clustered(10, 9);
+  Rect bb = base.container().bbox();
+  Scene big(std::vector<Rect>(base.obstacles()),
+            RectilinearPolygon::rectangle(bb.expanded(50)));
+  AllPairsSP sp{std::move(big)};
+  ImplicitBoundaryLengths impl(sp);
+  // Points level with the envelope (in no chunk) fall back to §6.4.
+  auto pts = random_free_points(sp.scene(), 20, 3);
+  for (const auto& p : pts) {
+    for (size_t v = 0; v < sp.num_vertices(); v += 5) {
+      ASSERT_EQ(impl.to_vertex(p, v), sp.length(p, sp.scene().vertex(v)));
+    }
+  }
+}
+
+TEST(Implicit, StorageIndependentOfContainerSize) {
+  Scene base = gen_grid(9, 2);
+  Rect bb = base.container().bbox();
+  size_t prev = 0;
+  for (Coord grow : {10, 1000, 100000}) {
+    Scene big(std::vector<Rect>(base.obstacles()),
+              RectilinearPolygon::rectangle(bb.expanded(grow)));
+    AllPairsSP sp{std::move(big)};
+    ImplicitBoundaryLengths impl(sp);
+    if (prev != 0) {
+      EXPECT_EQ(impl.transfer_points(), prev);
+    }
+    prev = impl.transfer_points();
+  }
+}
+
+}  // namespace
+}  // namespace rsp

@@ -1,0 +1,154 @@
+// Tests for SMAWK row minima and Monge (min,+) products (paper §2,
+// Lemmas 1, 3-5).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "monge/monge.h"
+#include "monge/smawk.h"
+#include "pram/thread_pool.h"
+
+namespace rsp {
+namespace {
+
+// Random Monge matrix: M(i,j) = f(i) + g(j) + c * (i - j)^2-style convex
+// interaction — here via cumulative nonnegative "density" construction:
+// start from an arbitrary matrix row/col borders and enforce the Monge
+// condition by prefix sums of a nonnegative density.
+Matrix random_monge(size_t rows, size_t cols, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Length> d(0, 20);
+  // density[i][j] >= 0; M(i,j) = -sum_{i'<=i, j'>=j} density — a classic
+  // construction whose adjacent 2x2 sums satisfy Monge with equality iff
+  // density is 0. Add separable terms to vary magnitudes.
+  std::vector<std::vector<Length>> dens(rows, std::vector<Length>(cols));
+  for (auto& row : dens)
+    for (auto& x : row) x = d(rng);
+  Matrix m(rows, cols, 0);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = cols; j-- > 0;) {
+      Length acc = dens[i][j];
+      if (i > 0) acc += m(i - 1, j);
+      if (j + 1 < cols) acc += m(i, j + 1);
+      if (i > 0 && j + 1 < cols) acc -= m(i - 1, j + 1);
+      m(i, j) = acc;
+    }
+  }
+  // The prefix-in-i / suffix-in-j construction is Monge (the column
+  // partial sums grow with i). Separable shifts preserve Monge and vary
+  // the magnitudes.
+  std::uniform_int_distribution<Length> sep(0, 50);
+  std::vector<Length> fr(rows), gc(cols);
+  for (auto& x : fr) x = sep(rng);
+  for (auto& x : gc) x = sep(rng);
+  for (size_t i = 0; i < rows; ++i)
+    for (size_t j = 0; j < cols; ++j) m(i, j) += fr[i] + gc[j];
+  return m;
+}
+
+TEST(IsMonge, DetectsViolations) {
+  Matrix m(2, 2, 0);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(1, 0) = 2;
+  m(1, 1) = 2;  // 1+2 <= 2+2 ok
+  EXPECT_TRUE(is_monge(m));
+  m(1, 1) = 5;  // 1+5 > 2+2
+  EXPECT_FALSE(is_monge(m));
+}
+
+TEST(IsMonge, RandomConstructionIsMonge) {
+  for (uint64_t s = 0; s < 20; ++s) {
+    Matrix m = random_monge(5 + s % 7, 4 + s % 5, s);
+    EXPECT_TRUE(is_monge(m)) << "seed " << s;
+  }
+}
+
+TEST(Smawk, RowMinimaMatchBruteForce) {
+  std::mt19937_64 rng(11);
+  for (int it = 0; it < 40; ++it) {
+    size_t rows = 1 + rng() % 40, cols = 1 + rng() % 40;
+    Matrix m = random_monge(rows, cols, rng());
+    auto arg = smawk(rows, cols,
+                     [&](size_t i, size_t j) { return m(i, j); });
+    for (size_t i = 0; i < rows; ++i) {
+      Length best = kInf;
+      size_t bj = 0;
+      for (size_t j = 0; j < cols; ++j) {
+        if (m(i, j) < best) {
+          best = m(i, j);
+          bj = j;
+        }
+      }
+      EXPECT_EQ(m(i, arg[i]), best);
+      EXPECT_EQ(arg[i], bj) << "leftmost minimum expected";
+    }
+  }
+}
+
+TEST(MinplusNaive, IdentityAndSmallCase) {
+  // Identity in (min,+): 0 on diagonal, +inf off.
+  Matrix id(3, 3, kInf);
+  for (size_t i = 0; i < 3; ++i) id(i, i) = 0;
+  Matrix a(3, 3, 0);
+  Length vals[3][3] = {{1, 5, 2}, {7, 0, 3}, {4, 9, 6}};
+  for (size_t i = 0; i < 3; ++i)
+    for (size_t j = 0; j < 3; ++j) a(i, j) = vals[i][j];
+  EXPECT_EQ(minplus_naive(a, id), a);
+  EXPECT_EQ(minplus_naive(id, a), a);
+}
+
+TEST(MinplusMonge, MatchesNaiveOnMongeInputs) {
+  std::mt19937_64 rng(13);
+  for (int it = 0; it < 30; ++it) {
+    size_t a = 1 + rng() % 30, z = 1 + rng() % 30, b = 1 + rng() % 30;
+    Matrix m1 = random_monge(a, z, rng());
+    Matrix m2 = random_monge(z, b, rng());
+    Matrix expect = minplus_naive(m1, m2);
+    Matrix got = minplus_monge(m1, m2);
+    EXPECT_EQ(got, expect);
+    EXPECT_TRUE(is_monge(got)) << "product of Monge matrices must be Monge";
+  }
+}
+
+TEST(MinplusMonge, ParallelMatchesSequential) {
+  ThreadPool pool(4);
+  std::mt19937_64 rng(17);
+  for (int it = 0; it < 10; ++it) {
+    size_t a = 1 + rng() % 60, z = 1 + rng() % 60, b = 1 + rng() % 60;
+    Matrix m1 = random_monge(a, z, rng());
+    Matrix m2 = random_monge(z, b, rng());
+    EXPECT_EQ(minplus_monge(pool, m1, m2), minplus_monge(m1, m2));
+  }
+}
+
+TEST(MinplusMonge, HandlesInfPadding) {
+  // Lemma 4: padding with +inf rows/cols preserves the product.
+  std::mt19937_64 rng(19);
+  Matrix m1 = random_monge(6, 5, rng());
+  Matrix m2 = random_monge(5, 7, rng());
+  Matrix p1(8, 5, kInf), p2(5, 9, kInf);
+  for (size_t i = 0; i < 6; ++i)
+    for (size_t j = 0; j < 5; ++j) p1(i, j) = m1(i, j);
+  for (size_t i = 0; i < 5; ++i)
+    for (size_t j = 0; j < 7; ++j) p2(i, j) = m2(i, j);
+  Matrix expect = minplus_naive(p1, p2);
+  Matrix got = minplus_monge(p1, p2);
+  EXPECT_EQ(got, expect);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m(2, 3, 0);
+  m(0, 0) = 1;
+  m(0, 2) = 5;
+  m(1, 1) = 7;
+  Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 0), 5);
+  EXPECT_EQ(t(1, 1), 7);
+}
+
+}  // namespace
+}  // namespace rsp

@@ -1,0 +1,155 @@
+// Tests for the PRAM simulation substrate: thread pool, parallel_for,
+// reduce, scan, merge, sort, and the work/depth accounting (§2 of the
+// paper uses these primitives as black boxes).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "pram/parallel.h"
+#include "pram/thread_pool.h"
+
+namespace rsp {
+namespace {
+
+TEST(ThreadPool, RunsAllTasksOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.run(1000, [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.run(64,
+               [&](size_t i) {
+                 if (i == 13) throw std::runtime_error("boom");
+               }),
+      std::runtime_error);
+  // Pool remains usable after an exception.
+  std::atomic<int> count{0};
+  pool.run(16, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, SingleThreadFallback) {
+  ThreadPool pool(1);
+  std::vector<int> v(100, 0);
+  pool.run(100, [&](size_t i) { v[i] = static_cast<int>(i); });
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(ParallelFor, MatchesSerialLoop) {
+  ThreadPool pool(4);
+  std::vector<long long> v(50000);
+  parallel_for(pool, 0, v.size(), [&](size_t i) {
+    v[i] = static_cast<long long>(i) * 3 - 7;
+  });
+  for (size_t i = 0; i < v.size(); ++i) {
+    ASSERT_EQ(v[i], static_cast<long long>(i) * 3 - 7);
+  }
+}
+
+TEST(ParallelReduce, SumsLikeAccumulate) {
+  ThreadPool pool(4);
+  std::vector<long long> v(31337);
+  std::mt19937_64 rng(3);
+  for (auto& x : v) x = static_cast<long long>(rng() % 1000) - 500;
+  long long expect = std::accumulate(v.begin(), v.end(), 0LL);
+  long long got = parallel_reduce<long long>(
+      pool, 0, v.size(), 0LL, [](long long a, long long b) { return a + b; },
+      [&](size_t i) { return v[i]; });
+  EXPECT_EQ(got, expect);
+}
+
+TEST(ExclusiveScan, MatchesSerialPrefix) {
+  ThreadPool pool(4);
+  for (size_t n : {0u, 1u, 2u, 1000u, 65536u}) {
+    std::vector<long long> v(n), expect(n);
+    std::mt19937_64 rng(n);
+    for (auto& x : v) x = static_cast<long long>(rng() % 100);
+    long long acc = 0;
+    for (size_t i = 0; i < n; ++i) {
+      expect[i] = acc;
+      acc += v[i];
+    }
+    long long total = exclusive_scan(pool, v);
+    EXPECT_EQ(total, acc);
+    EXPECT_EQ(v, expect);
+  }
+}
+
+TEST(ParallelMerge, MatchesStdMerge) {
+  ThreadPool pool(4);
+  std::mt19937_64 rng(5);
+  for (int it = 0; it < 30; ++it) {
+    size_t na = rng() % 5000, nb = rng() % 5000;
+    std::vector<int> a(na), b(nb);
+    for (auto& x : a) x = static_cast<int>(rng() % 1000);
+    for (auto& x : b) x = static_cast<int>(rng() % 1000);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    std::vector<int> expect(na + nb), got;
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), expect.begin());
+    parallel_merge(pool, a, b, got);
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(ParallelSort, MatchesStdSort) {
+  ThreadPool pool(4);
+  std::mt19937_64 rng(9);
+  for (size_t n : {0u, 1u, 2u, 100u, 4097u, 100000u}) {
+    std::vector<long long> v(n);
+    for (auto& x : v) x = static_cast<long long>(rng() % 1000000);
+    std::vector<long long> expect = v;
+    std::sort(expect.begin(), expect.end());
+    parallel_sort(pool, v);
+    EXPECT_EQ(v, expect);
+  }
+}
+
+TEST(PramCost, ScanChargesLinearWorkLogDepth) {
+  ThreadPool pool(2);
+  pram_reset();
+  std::vector<long long> v(1 << 16, 1);
+  PramCostScope scope;
+  exclusive_scan(pool, v);
+  PramCost c = scope.cost();
+  EXPECT_EQ(c.work, 2u * (1 << 16));
+  EXPECT_EQ(c.depth, 2u * 16);
+}
+
+TEST(PramCost, SortChargesNLogNWork) {
+  ThreadPool pool(2);
+  pram_reset();
+  std::vector<long long> v(1 << 14);
+  std::mt19937_64 rng(2);
+  for (auto& x : v) x = static_cast<long long>(rng());
+  PramCostScope scope;
+  parallel_sort(pool, v);
+  PramCost c = scope.cost();
+  // Work within a small constant of n log n.
+  uint64_t n = 1 << 14;
+  EXPECT_GE(c.work, n);
+  EXPECT_LE(c.work, 4 * n * 14);
+}
+
+TEST(PramCost, ScopesNest) {
+  pram_reset();
+  PramCostScope outer;
+  pram_charge(10, 1);
+  {
+    PramCostScope inner;
+    pram_charge(5, 2);
+    EXPECT_EQ(inner.cost().work, 5u);
+    EXPECT_EQ(inner.cost().depth, 2u);
+  }
+  EXPECT_EQ(outer.cost().work, 15u);
+  EXPECT_EQ(outer.cost().depth, 3u);
+}
+
+}  // namespace
+}  // namespace rsp

@@ -1,0 +1,89 @@
+// Scene model validation and workload generator properties (general
+// position, disjointness, containment).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/scene.h"
+#include "io/gen.h"
+
+namespace rsp {
+namespace {
+
+TEST(Scene, RejectsOverlappingObstacles) {
+  EXPECT_THROW(Scene::with_bbox({{0, 0, 4, 4}, {2, 2, 6, 6}}),
+               std::logic_error);
+}
+
+TEST(Scene, AcceptsTouchingObstacles) {
+  Scene s = Scene::with_bbox({{0, 0, 4, 4}, {4, 0, 8, 4}});
+  EXPECT_EQ(s.num_obstacles(), 2u);
+}
+
+TEST(Scene, RejectsObstacleOutsideContainer) {
+  auto poly = RectilinearPolygon::rectangle(Rect{0, 0, 10, 10});
+  EXPECT_THROW(Scene({{8, 8, 12, 12}}, poly), std::logic_error);
+}
+
+TEST(Scene, VertexIdsFollowCornerOrder) {
+  Scene s = Scene::with_bbox({{1, 2, 5, 7}});
+  ASSERT_EQ(s.obstacle_vertices().size(), 4u);
+  EXPECT_EQ(s.vertex(0), (Point{1, 2}));  // ll
+  EXPECT_EQ(s.vertex(1), (Point{5, 2}));  // lr
+  EXPECT_EQ(s.vertex(2), (Point{5, 7}));  // ur
+  EXPECT_EQ(s.vertex(3), (Point{1, 7}));  // ul
+}
+
+TEST(Scene, PointAndSegmentFreedom) {
+  Scene s = Scene::with_bbox({{2, 2, 6, 6}});
+  EXPECT_TRUE(s.point_free(Point{0, 0}));
+  EXPECT_TRUE(s.point_free(Point{2, 4}));   // on boundary
+  EXPECT_FALSE(s.point_free(Point{4, 4}));  // strictly inside
+  EXPECT_TRUE(s.segment_free(Point{0, 2}, Point{8, 2}));   // along edge
+  EXPECT_FALSE(s.segment_free(Point{0, 4}, Point{8, 4}));  // pierces
+  EXPECT_FALSE(s.segment_free(Point{0, 0}, Point{3, 3}));  // diagonal
+}
+
+class GeneratorTest : public ::testing::TestWithParam<NamedGen> {};
+
+TEST_P(GeneratorTest, ProducesValidGeneralPositionScenes) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    for (size_t n : {1u, 2u, 5u, 17u, 40u}) {
+      Scene s = GetParam().fn(n, seed);
+      EXPECT_EQ(s.num_obstacles(), n);
+      // General position: all edge coordinates distinct per axis.
+      std::set<Coord> xs, ys;
+      for (const auto& r : s.obstacles()) {
+        xs.insert(r.xmin);
+        xs.insert(r.xmax);
+        ys.insert(r.ymin);
+        ys.insert(r.ymax);
+      }
+      EXPECT_EQ(xs.size(), 2 * n) << GetParam().name << " n=" << n;
+      EXPECT_EQ(ys.size(), 2 * n) << GetParam().name << " n=" << n;
+    }
+  }
+}
+
+TEST_P(GeneratorTest, Deterministic) {
+  Scene a = GetParam().fn(12, 99);
+  Scene b = GetParam().fn(12, 99);
+  EXPECT_EQ(a.obstacles(), b.obstacles());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGens, GeneratorTest,
+                         ::testing::ValuesIn(kAllGens),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(RandomFreePoints, AreFreeAndDistinct) {
+  Scene s = gen_uniform(20, 5);
+  auto pts = random_free_points(s, 50, 7);
+  ASSERT_EQ(pts.size(), 50u);
+  std::set<Point> uniq(pts.begin(), pts.end());
+  EXPECT_EQ(uniq.size(), 50u);
+  for (const auto& p : pts) EXPECT_TRUE(s.point_free(p));
+}
+
+}  // namespace
+}  // namespace rsp

@@ -1,0 +1,82 @@
+// The Staircase Separator Theorem (paper §3, Theorem 2): clearance, O(n)
+// size, and the 7n/8 balance guarantee, over all generators and many seeds.
+
+#include <gtest/gtest.h>
+
+#include "core/separator.h"
+#include "io/gen.h"
+
+namespace rsp {
+namespace {
+
+class SeparatorTest : public ::testing::TestWithParam<NamedGen> {};
+
+TEST_P(SeparatorTest, PropertiesHoldOnManyScenes) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    for (size_t n : {2u, 3u, 8u, 20u, 50u}) {
+      Scene s = GetParam().fn(n, seed);
+      RayShooter shooter(s);
+      Tracer tracer(s, shooter);
+      SeparatorResult r = staircase_separator(s, tracer);
+
+      // (1) Clear: pierces no obstacle.
+      for (const auto& o : s.obstacles()) {
+        EXPECT_FALSE(r.sep.pierces(o))
+            << GetParam().name << " n=" << n << " seed=" << seed;
+      }
+      // (2) Balance: each side gets at least ceil(n/8) obstacles, i.e. at
+      // most n - ceil(n/8) (the paper's n/8 / 7n/8 split, integer form).
+      size_t bound = n - (n + 7) / 8;
+      EXPECT_LE(r.above.size(), bound)
+          << GetParam().name << " n=" << n << " seed=" << seed;
+      EXPECT_LE(r.below.size(), bound)
+          << GetParam().name << " n=" << n << " seed=" << seed;
+      EXPECT_EQ(r.above.size() + r.below.size(), n);
+      // (3) Size O(n): at most 2n+2 segments (paper) + sentinel tails.
+      EXPECT_LE(r.sep.num_segments(), 2 * n + 6);
+      // (4) Every obstacle is strictly on its assigned side.
+      for (int id : r.above) {
+        for (const auto& c : s.obstacle(id).vertices()) {
+          EXPECT_GE(r.sep.side_of(c), 0);
+        }
+      }
+      for (int id : r.below) {
+        for (const auto& c : s.obstacle(id).vertices()) {
+          EXPECT_LE(r.sep.side_of(c), 0);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(SeparatorTest, BalanceBoundTightStatistics) {
+  // Across many seeds, record the worst balance ratio; it must never
+  // exceed 7/8 (+ rounding slack for small n).
+  double worst = 0;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    Scene s = GetParam().fn(32, seed);
+    RayShooter shooter(s);
+    Tracer tracer(s, shooter);
+    SeparatorResult r = staircase_separator(s, tracer);
+    double ratio =
+        static_cast<double>(std::max(r.above.size(), r.below.size())) / 32.0;
+    worst = std::max(worst, ratio);
+  }
+  EXPECT_LE(worst, 7.0 / 8.0 + 1e-9) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGens, SeparatorTest,
+                         ::testing::ValuesIn(kAllGens),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(Separator, TwoObstacles) {
+  Scene s = Scene::with_bbox({{0, 0, 2, 2}, {10, 10, 12, 13}});
+  RayShooter shooter(s);
+  Tracer tracer(s, shooter);
+  SeparatorResult r = staircase_separator(s, tracer);
+  EXPECT_EQ(r.above.size() + r.below.size(), 2u);
+  EXPECT_EQ(std::max(r.above.size(), r.below.size()), 1u);
+}
+
+}  // namespace
+}  // namespace rsp

@@ -1,0 +1,142 @@
+// Shortest path trees and path reporting (paper §8): tree structure,
+// reported-path validity/tightness, monotonicity property, and the
+// chunked level-ancestor emission.
+
+#include <gtest/gtest.h>
+
+#include "baseline/dijkstra.h"
+#include "core/query.h"
+#include "core/sptree.h"
+#include "io/gen.h"
+
+namespace rsp {
+namespace {
+
+Length polyline_len(const std::vector<Point>& p) {
+  Length s = 0;
+  for (size_t i = 0; i + 1 < p.size(); ++i) s += dist1(p[i], p[i + 1]);
+  return s;
+}
+
+bool monotone_axis(const std::vector<Point>& p) {
+  bool x_up = true, x_dn = true, y_up = true, y_dn = true;
+  for (size_t i = 0; i + 1 < p.size(); ++i) {
+    if (p[i + 1].x < p[i].x) x_up = false;
+    if (p[i + 1].x > p[i].x) x_dn = false;
+    if (p[i + 1].y < p[i].y) y_up = false;
+    if (p[i + 1].y > p[i].y) y_dn = false;
+  }
+  return x_up || x_dn || y_up || y_dn;
+}
+
+class SpTreeTest : public ::testing::TestWithParam<NamedGen> {};
+
+TEST_P(SpTreeTest, VertexPathsValidTightMonotone) {
+  for (uint64_t seed : {4u, 16u}) {
+    Scene s = GetParam().fn(14, seed);
+    AllPairsSP sp(s);
+    const size_t m = sp.num_vertices();
+    for (size_t a = 0; a < m; a += 3) {
+      for (size_t b = 0; b < m; b += 4) {
+        auto path = sp.vertex_path(a, b);
+        ASSERT_GE(path.size(), 1u);
+        EXPECT_EQ(path.front(), s.vertex(a));
+        EXPECT_EQ(path.back(), s.vertex(b));
+        EXPECT_TRUE(s.path_free(path))
+            << GetParam().name << " " << s.vertex(a) << "->" << s.vertex(b);
+        EXPECT_EQ(polyline_len(path), sp.vertex_length(a, b))
+            << GetParam().name;
+        // De Rezende–Lee–Wu: some shortest path is monotone in >= 1 axis;
+        // ours is constructed from a monotone pass, so it must be.
+        EXPECT_TRUE(monotone_axis(path)) << GetParam().name;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGens, SpTreeTest, ::testing::ValuesIn(kAllGens),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(SpTrees, TreeDepthsBoundHops) {
+  Scene s = gen_corridors(12, 3);
+  AllPairsSP sp(s);
+  SpTrees trees(s, sp.tracer(), sp.data());
+  const size_t m = sp.num_vertices();
+  const Forest& t = trees.tree(0);
+  EXPECT_EQ(t.size(), static_cast<int>(m));
+  for (size_t b = 0; b < m; ++b) {
+    EXPECT_EQ(trees.hops(0, b), t.depth(static_cast<int>(b)));
+  }
+}
+
+TEST(SpTrees, ChunkedChainConcatenatesToFullChain) {
+  Scene s = gen_corridors(16, 8);  // long predecessor chains
+  AllPairsSP sp(s);
+  SpTrees trees(s, sp.tracer(), sp.data());
+  const size_t m = sp.num_vertices();
+  // Find the deepest (a, b) pair for a strenuous case.
+  size_t best_a = 0, best_b = 0;
+  int best_d = -1;
+  for (size_t a = 0; a < m; a += 5) {
+    for (size_t b = 0; b < m; ++b) {
+      int d = trees.hops(a, b);
+      if (d > best_d) {
+        best_d = d;
+        best_a = a;
+        best_b = b;
+      }
+    }
+  }
+  ASSERT_GT(best_d, 2) << "corridor scene should give deep chains";
+  for (int chunk : {1, 2, 3, 8, 64}) {
+    auto pieces = trees.chunked_chain(best_a, best_b, chunk);
+    // Expected piece count: ceil((depth+1)/chunk) — the paper's ⌈k/log n⌉
+    // piece structure.
+    EXPECT_EQ(pieces.size(),
+              static_cast<size_t>((best_d + 1 + chunk - 1) / chunk));
+    std::vector<int> flat;
+    for (const auto& p : pieces) flat.insert(flat.end(), p.begin(), p.end());
+    // Flat chain must equal the naive parent walk.
+    std::vector<int> expect;
+    for (int cur = static_cast<int>(best_b); cur >= 0;
+         cur = trees.tree(best_a).parent(cur)) {
+      expect.push_back(cur);
+    }
+    EXPECT_EQ(flat, expect);
+  }
+}
+
+TEST(SpTrees, PathSegmentCountIsLinearInHops) {
+  Scene s = gen_corridors(20, 5);
+  AllPairsSP sp(s);
+  SpTrees trees(s, sp.tracer(), sp.data());
+  const size_t m = sp.num_vertices();
+  for (size_t b = 0; b < m; b += 6) {
+    auto path = trees.path(0, b);
+    int hops = trees.hops(0, b);
+    // Each hop contributes at most 2 segments; the curve head is O(bends).
+    EXPECT_LE(static_cast<int>(path.size()),
+              2 * hops + 2 * static_cast<int>(s.num_obstacles()) + 4);
+  }
+}
+
+TEST(SpTrees, CorridorPathsHaveManySegments) {
+  // The serpentine scene forces Theta(n)-segment shortest paths — the
+  // k >> log n regime that motivates the paper's chunked reporting.
+  Scene s = gen_corridors(24, 2);
+  AllPairsSP sp(s);
+  // Bottom-left vertex to a top vertex.
+  const auto& verts = s.obstacle_vertices();
+  size_t lo = 0, hi = 0;
+  for (size_t i = 0; i < verts.size(); ++i) {
+    if (verts[i].y < verts[lo].y) lo = i;
+    if (verts[i].y > verts[hi].y) hi = i;
+  }
+  auto path = sp.vertex_path(lo, hi);
+  EXPECT_GE(path.size(), 24u) << "serpentine path should zigzag";
+  EXPECT_EQ(polyline_len(path), sp.vertex_length(lo, hi));
+  EXPECT_TRUE(s.path_free(path));
+}
+
+}  // namespace
+}  // namespace rsp

@@ -1,0 +1,129 @@
+// Tests for forests, level-ancestor (paper §8 / Berkman–Vishkin), and LCA.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "trees/euler.h"
+#include "trees/lca.h"
+#include "trees/level_ancestor.h"
+
+namespace rsp {
+namespace {
+
+std::vector<int> random_forest(int n, int n_roots, std::mt19937_64& rng) {
+  std::vector<int> parent(n, -1);
+  for (int v = n_roots; v < n; ++v) {
+    parent[v] = static_cast<int>(rng() % static_cast<uint64_t>(v));
+  }
+  return parent;
+}
+
+// A single path (worst case for ladders).
+std::vector<int> path_forest(int n) {
+  std::vector<int> parent(n, -1);
+  for (int v = 1; v < n; ++v) parent[v] = v - 1;
+  return parent;
+}
+
+// A star (depth 1).
+std::vector<int> star_forest(int n) {
+  std::vector<int> parent(n, -1);
+  for (int v = 1; v < n; ++v) parent[v] = 0;
+  return parent;
+}
+
+TEST(Forest, DepthRootOrder) {
+  Forest f({-1, 0, 0, 1, 1, -1, 5});
+  EXPECT_EQ(f.depth(0), 0);
+  EXPECT_EQ(f.depth(3), 2);
+  EXPECT_EQ(f.root(3), 0);
+  EXPECT_EQ(f.root(6), 5);
+  EXPECT_EQ(f.height(), 2);
+  // Topological order: parents first.
+  std::vector<int> pos(f.size());
+  for (size_t i = 0; i < f.topological_order().size(); ++i) {
+    pos[f.topological_order()[i]] = static_cast<int>(i);
+  }
+  for (int v = 0; v < f.size(); ++v) {
+    if (f.parent(v) >= 0) {
+      EXPECT_LT(pos[f.parent(v)], pos[v]);
+    }
+  }
+}
+
+TEST(Forest, RejectsCycle) {
+  EXPECT_THROW(Forest({1, 2, 0}), std::logic_error);
+}
+
+TEST(Forest, PathToRoot) {
+  Forest f({-1, 0, 1, 2, 3});
+  auto p = f.path_to_root(4);
+  EXPECT_EQ(p, (std::vector<int>{4, 3, 2, 1, 0}));
+}
+
+TEST(LevelAncestor, MatchesNaiveOnRandomForests) {
+  std::mt19937_64 rng(31);
+  for (int it = 0; it < 25; ++it) {
+    int n = 2 + static_cast<int>(rng() % 300);
+    Forest f(random_forest(n, 1 + static_cast<int>(rng() % 3), rng));
+    LevelAncestor la(f);
+    for (int q = 0; q < 200; ++q) {
+      int v = static_cast<int>(rng() % n);
+      int k = static_cast<int>(rng() % (f.depth(v) + 2));
+      int expect = v;
+      for (int s = 0; s < k && expect >= 0; ++s) expect = f.parent(expect);
+      EXPECT_EQ(la.query(v, k), expect) << "v=" << v << " k=" << k;
+    }
+  }
+}
+
+TEST(LevelAncestor, PathAndStarShapes) {
+  for (int n : {2, 3, 64, 1000}) {
+    Forest fp(path_forest(n));
+    LevelAncestor lap(fp);
+    EXPECT_EQ(lap.query(n - 1, n - 1), 0);
+    EXPECT_EQ(lap.query(n - 1, 1), n - 2);
+    EXPECT_EQ(lap.query(n - 1, n), -1);
+    Forest fs(star_forest(n));
+    LevelAncestor las(fs);
+    EXPECT_EQ(las.query(n - 1, 1), 0);
+    EXPECT_EQ(las.query(n - 1, 0), n - 1);
+  }
+}
+
+TEST(Lca, MatchesNaive) {
+  std::mt19937_64 rng(37);
+  for (int it = 0; it < 20; ++it) {
+    int n = 2 + static_cast<int>(rng() % 200);
+    Forest f(random_forest(n, 1 + static_cast<int>(rng() % 2), rng));
+    Lca lca(f);
+    auto naive = [&](int u, int v) {
+      std::vector<int> pu = f.path_to_root(u);
+      std::vector<int> pv = f.path_to_root(v);
+      if (pu.back() != pv.back()) return -1;
+      int a = -1;
+      auto iu = pu.rbegin();
+      auto iv = pv.rbegin();
+      while (iu != pu.rend() && iv != pv.rend() && *iu == *iv) {
+        a = *iu;
+        ++iu;
+        ++iv;
+      }
+      return a;
+    };
+    for (int q = 0; q < 200; ++q) {
+      int u = static_cast<int>(rng() % n);
+      int v = static_cast<int>(rng() % n);
+      int expect = naive(u, v);
+      EXPECT_EQ(lca.query(u, v), expect);
+      if (expect >= 0) {
+        EXPECT_EQ(lca.tree_distance(u, v),
+                  f.depth(u) + f.depth(v) - 2 * f.depth(expect));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rsp
