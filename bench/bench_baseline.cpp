@@ -1,16 +1,21 @@
-// E5 — our all-pairs structure vs the naive comparator (paper §1).
+// E5 — our all-pairs structure vs the naive comparator (paper §1),
+// expressed as rsp::Engine backends.
 // The paper positions its structure against answering queries with
-// repeated single-source / single-pair computations. Series: all-pairs
-// build via the §9 builder vs repeated Dijkstra over the track graph, and
-// per-query cost after construction vs a fresh Dijkstra per query
-// (the Guha–Stout / ElGindy–Mitra-style comparison point). Expected shape:
-// the builder wins on construction asymptotically, and queries win by
-// orders of magnitude — the crossover is after a handful of queries.
+// repeated single-source / single-pair computations. Series: engine
+// construction with the kAllPairsSeq backend vs repeated Dijkstra over the
+// track graph, and per-query cost on a built engine vs the structure-free
+// kDijkstraBaseline backend (the Guha–Stout / ElGindy–Mitra-style
+// comparison point). Expected shape: the builder wins on construction
+// asymptotically, and queries win by orders of magnitude — the crossover
+// is after a handful of queries.
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <memory>
+
+#include "api/engine.h"
 #include "baseline/dijkstra.h"
-#include "core/query.h"
 #include "io/gen.h"
 
 namespace rsp {
@@ -20,10 +25,8 @@ void BM_AllPairsBuilder(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   Scene scene = gen_uniform(n, 11);
   for (auto _ : state) {
-    RayShooter shooter(scene);
-    Tracer tracer(scene, shooter);
-    AllPairsData d = build_all_pairs(scene, shooter, tracer);
-    benchmark::DoNotOptimize(d.dist);
+    Engine eng(Scene{scene}, {.backend = Backend::kAllPairsSeq});
+    benchmark::DoNotOptimize(eng.all_pairs());
   }
 }
 
@@ -38,15 +41,15 @@ void BM_AllPairsRepeatedDijkstra(benchmark::State& state) {
 
 void BM_QueryViaStructure(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  static std::map<size_t, std::shared_ptr<AllPairsSP>> cache;
+  static std::map<size_t, std::shared_ptr<Engine>> cache;
   if (!cache.count(n)) {
-    cache[n] = std::make_shared<AllPairsSP>(gen_uniform(n, 11));
+    cache[n] = std::make_shared<Engine>(gen_uniform(n, 11));
   }
-  auto sp = cache[n];
-  auto pts = random_free_points(sp->scene(), 32, 5);
+  auto eng = cache[n];
+  auto pts = random_free_points(eng->scene(), 32, 5);
   size_t i = 0;
   for (auto _ : state) {
-    Length v = sp->length(pts[i % 32], pts[(i + 9) % 32]);
+    Length v = *eng->length(pts[i % 32], pts[(i + 9) % 32]);
     benchmark::DoNotOptimize(v);
     ++i;
   }
@@ -54,11 +57,11 @@ void BM_QueryViaStructure(benchmark::State& state) {
 
 void BM_QueryViaFreshDijkstra(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  Scene scene = gen_uniform(n, 11);
-  auto pts = random_free_points(scene, 32, 5);
+  Engine eng(gen_uniform(n, 11), {.backend = Backend::kDijkstraBaseline});
+  auto pts = random_free_points(eng.scene(), 32, 5);
   size_t i = 0;
   for (auto _ : state) {
-    Length v = oracle_length(scene, pts[i % 32], pts[(i + 9) % 32]);
+    Length v = *eng.length(pts[i % 32], pts[(i + 9) % 32]);
     benchmark::DoNotOptimize(v);
     ++i;
   }

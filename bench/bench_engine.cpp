@@ -1,0 +1,115 @@
+// E8 — rsp::Engine batch-query throughput, seeding the perf trajectory for
+// the ROADMAP's heavy-traffic goal.
+//
+// Series:
+//  * BM_BatchLengths:  queries/sec vs batch size (fixed scene, fixed pool)
+//    — measures fan-out overhead amortization.
+//  * BM_BatchThreads:  queries/sec vs engine pool width (fixed batch)
+//    — wall-clock scaling is flat on a one-core container; the series
+//    exists to track the shape as the hardware grows.
+//  * BM_BatchPaths:    batch path reporting (exercises the mutex-guarded
+//    shortest-path-tree cache under concurrency).
+//  * BM_LazyFirstQuery: construction deferral — the one-off cost the first
+//    query pays with lazy_build on.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "api/engine.h"
+#include "io/gen.h"
+
+namespace rsp {
+namespace {
+
+std::vector<PointPair> make_batch(const Scene& scene, size_t count,
+                                  uint64_t seed) {
+  auto pts = random_free_points(scene, 2 * count, seed);
+  std::vector<PointPair> pairs;
+  pairs.reserve(count);
+  for (size_t i = 0; i + 1 < pts.size(); i += 2) {
+    pairs.push_back({pts[i], pts[i + 1]});
+  }
+  return pairs;
+}
+
+std::shared_ptr<Engine> shared_engine(size_t n, size_t threads) {
+  static std::map<std::pair<size_t, size_t>, std::shared_ptr<Engine>> cache;
+  auto key = std::make_pair(n, threads);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  auto eng = std::make_shared<Engine>(
+      gen_uniform(n, 11),
+      EngineOptions{.backend = Backend::kAuto, .num_threads = threads});
+  cache.emplace(key, eng);
+  return eng;
+}
+
+// Throughput vs batch size: n = 48 obstacles, 4-thread pool.
+void BM_BatchLengths(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  auto eng = shared_engine(48, 4);
+  auto pairs = make_batch(eng->scene(), batch, 7);
+  for (auto _ : state) {
+    auto lens = eng->lengths(pairs);
+    benchmark::DoNotOptimize(lens.value());
+  }
+  state.counters["queries_per_sec"] = benchmark::Counter(
+      static_cast<double>(pairs.size()), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+// Throughput vs pool width: fixed 256-pair batch.
+void BM_BatchThreads(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  auto eng = shared_engine(48, threads);
+  auto pairs = make_batch(eng->scene(), 256, 7);
+  for (auto _ : state) {
+    auto lens = eng->lengths(pairs);
+    benchmark::DoNotOptimize(lens.value());
+  }
+  state.counters["pool_width"] = static_cast<double>(eng->num_threads());
+  state.counters["queries_per_sec"] = benchmark::Counter(
+      static_cast<double>(pairs.size()), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+// Batch path reporting: the SpTrees cache is shared across the fan-out.
+void BM_BatchPaths(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  auto eng = shared_engine(32, 4);
+  auto pairs = make_batch(eng->scene(), batch, 13);
+  for (auto _ : state) {
+    auto paths = eng->paths(pairs);
+    benchmark::DoNotOptimize(paths.value());
+  }
+  state.counters["paths_per_sec"] = benchmark::Counter(
+      static_cast<double>(pairs.size()), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+// lazy_build: construction is free; the first query pays the O(n^2) build.
+void BM_LazyFirstQuery(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Scene scene = gen_uniform(n, 11);
+  auto pts = random_free_points(scene, 2, 5);
+  for (auto _ : state) {
+    Engine eng(Scene{scene}, {.lazy_build = true});
+    Length v = *eng.length(pts[0], pts[1]);
+    benchmark::DoNotOptimize(v);
+  }
+}
+
+}  // namespace
+
+
+BENCHMARK(BM_BatchLengths)->RangeMultiplier(4)->Range(4, 1024);
+BENCHMARK(BM_BatchThreads)->DenseRange(0, 8, 2);
+BENCHMARK(BM_BatchPaths)->RangeMultiplier(4)->Range(4, 256)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LazyFirstQuery)->RangeMultiplier(2)->Range(8, 32)
+    ->Unit(benchmark::kMillisecond);
+
+
+}  // namespace rsp
+
+BENCHMARK_MAIN();

@@ -1,4 +1,5 @@
-// E3/E4 — query costs (paper §6.4, §8).
+// E3/E4 — query costs (paper §6.4, §8), measured through the rsp::Engine
+// facade.
 // E3: vertex-pair length queries are O(1) (flat across n); arbitrary-point
 // queries are logarithmic-ish (one ray shot + curve walk + 4 lookups).
 // E4: path reporting scales linearly in k (the segment count), and the
@@ -6,27 +7,33 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <memory>
+
+#include "api/engine.h"
 #include "core/query.h"
+#include "core/sptree.h"
 #include "io/gen.h"
 
 namespace rsp {
 namespace {
 
-std::shared_ptr<AllPairsSP> shared_sp(size_t n, SceneGen gen, uint64_t seed) {
+std::shared_ptr<Engine> shared_engine(size_t n, SceneGen gen, uint64_t seed) {
   static std::map<std::tuple<size_t, SceneGen, uint64_t>,
-                  std::shared_ptr<AllPairsSP>>
+                  std::shared_ptr<Engine>>
       cache;
   auto key = std::make_tuple(n, gen, seed);
   auto it = cache.find(key);
   if (it != cache.end()) return it->second;
-  auto sp = std::make_shared<AllPairsSP>(gen(n, seed));
-  cache.emplace(key, sp);
-  return sp;
+  auto eng = std::make_shared<Engine>(gen(n, seed));
+  cache.emplace(key, eng);
+  return eng;
 }
 
 void BM_VertexLength(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  auto sp = shared_sp(n, gen_uniform, 3);
+  auto eng = shared_engine(n, gen_uniform, 3);
+  const AllPairsSP* sp = eng->all_pairs();
   size_t m = sp->num_vertices();
   size_t i = 0;
   for (auto _ : state) {
@@ -38,11 +45,11 @@ void BM_VertexLength(benchmark::State& state) {
 
 void BM_ArbitraryLength(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  auto sp = shared_sp(n, gen_uniform, 3);
-  auto pts = random_free_points(sp->scene(), 64, 9);
+  auto eng = shared_engine(n, gen_uniform, 3);
+  auto pts = random_free_points(eng->scene(), 64, 9);
   size_t i = 0;
   for (auto _ : state) {
-    Length v = sp->length(pts[i % 64], pts[(i + 17) % 64]);
+    Length v = *eng->length(pts[i % 64], pts[(i + 17) % 64]);
     benchmark::DoNotOptimize(v);
     ++i;
   }
@@ -51,8 +58,8 @@ void BM_ArbitraryLength(benchmark::State& state) {
 void BM_VertexPath(benchmark::State& state) {
   // Corridor scenes: path segment count k grows with n; report time/k.
   const size_t n = static_cast<size_t>(state.range(0));
-  auto sp = shared_sp(n, gen_corridors, 5);
-  const auto& verts = sp->scene().obstacle_vertices();
+  auto eng = shared_engine(n, gen_corridors, 5);
+  const auto& verts = eng->scene().obstacle_vertices();
   size_t lo = 0, hi = 0;
   for (size_t v = 0; v < verts.size(); ++v) {
     if (verts[v].y < verts[lo].y) lo = v;
@@ -60,7 +67,7 @@ void BM_VertexPath(benchmark::State& state) {
   }
   size_t k = 0;
   for (auto _ : state) {
-    auto path = sp->vertex_path(lo, hi);
+    auto path = *eng->path(verts[lo], verts[hi]);
     benchmark::DoNotOptimize(path);
     k = path.size();
   }
@@ -72,7 +79,8 @@ void BM_VertexPath(benchmark::State& state) {
 
 void BM_ChunkedChain(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  auto sp = shared_sp(n, gen_corridors, 5);
+  auto eng = shared_engine(n, gen_corridors, 5);
+  const AllPairsSP* sp = eng->all_pairs();
   SpTrees trees(sp->scene(), sp->tracer(), sp->data());
   // Deepest predecessor chain: the k >> log n regime §8 targets.
   size_t lo = 0, hi = 0;

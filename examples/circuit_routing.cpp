@@ -1,12 +1,12 @@
 // Wire-layout scenario (the paper's §1 motivation: "wire layout, circuit
 // design"): macro blocks on a die are obstacles; we estimate rectilinear
-// net lengths between pin pairs. One AllPairsSP build serves every net —
-// the paper's all-pairs data structure is exactly what a router's
-// length-estimation inner loop wants.
+// net lengths between pin pairs. One engine build serves every net — and
+// the nets go through the batch entry point, the shape a router's
+// length-estimation inner loop actually has.
 
 #include <iostream>
 
-#include "core/query.h"
+#include "api/engine.h"
 #include "io/gen.h"
 #include "io/svg.h"
 
@@ -14,32 +14,46 @@ int main() {
   using namespace rsp;
 
   // A die with macro blocks (grid-perturbed placement, as in row-based
-  // layouts).
+  // layouts). Batch queries fan out over the engine-owned pool.
   Scene die = gen_grid(24, 2024);
-  AllPairsSP sp{Scene{die}};
+  Engine eng(std::move(die), {.backend = Backend::kAuto, .num_threads = 4});
 
-  // Nets: pin pairs sampled from the free area.
-  auto pins = random_free_points(die, 12, 7);
+  // Nets: pin pairs sampled from the free area, queried as one batch.
+  auto pins = random_free_points(eng.scene(), 12, 7);
+  std::vector<PointPair> nets;
+  for (size_t i = 0; i + 1 < pins.size(); i += 2) {
+    nets.push_back({pins[i], pins[i + 1]});
+  }
+  auto lens = eng.lengths(nets);
+  if (!lens.ok()) {
+    std::cerr << "batch failed: " << lens.status() << "\n";
+    return 1;
+  }
+
   std::cout << "net  pin A        pin B        wirelength  detour_vs_L1\n";
   Length total = 0;
-  for (size_t i = 0; i + 1 < pins.size(); i += 2) {
-    Length len = sp.length(pins[i], pins[i + 1]);
-    Length l1 = dist1(pins[i], pins[i + 1]);
+  for (size_t i = 0; i < nets.size(); ++i) {
+    Length len = (*lens)[i];
+    Length l1 = dist1(nets[i].s, nets[i].t);
     total += len;
-    std::cout << i / 2 << "    " << pins[i] << "  " << pins[i + 1] << "  "
-              << len << "        +" << (len - l1) << "\n";
+    std::cout << i << "    " << nets[i].s << "  " << nets[i].t << "  " << len
+              << "        +" << (len - l1) << "\n";
   }
   std::cout << "total wirelength: " << total << "\n";
 
-  // Render the die with the routed nets.
-  SvgCanvas svg(die.container().bbox().expanded(2));
-  svg.add_scene(die);
+  // Render the die with the routed nets (batch path queries).
+  auto routed = eng.paths(nets);
+  if (!routed.ok()) {
+    std::cerr << "batch paths failed: " << routed.status() << "\n";
+    return 1;
+  }
+  SvgCanvas svg(eng.scene().container().bbox().expanded(2));
+  svg.add_scene(eng.scene());
   const char* colors[] = {"#c00", "#06c", "#080", "#a0a", "#f80", "#0aa"};
-  for (size_t i = 0; i + 1 < pins.size(); i += 2) {
-    auto path = sp.path(pins[i], pins[i + 1]);
-    svg.add_polyline(path, colors[(i / 2) % 6], 2.5);
-    svg.add_point(pins[i], colors[(i / 2) % 6]);
-    svg.add_point(pins[i + 1], colors[(i / 2) % 6]);
+  for (size_t i = 0; i < routed->size(); ++i) {
+    svg.add_polyline((*routed)[i], colors[i % 6], 2.5);
+    svg.add_point(nets[i].s, colors[i % 6]);
+    svg.add_point(nets[i].t, colors[i % 6]);
   }
   svg.write("circuit_routing.svg");
   std::cout << "wrote circuit_routing.svg\n";

@@ -4,6 +4,10 @@
 //   fig5  — NE(p) and WS(p) escape paths (paper Fig. 5)
 //   fig6  — the staircase separator construction (paper Fig. 6)
 //   fig9  — the divide step: separator and the two sides (paper Fig. 9)
+//
+// This example deliberately renders algorithm *internals* (staircases,
+// separators) and issues no shortest-path queries, so it uses the geometry
+// layers directly; query-driven examples go through api/engine.h.
 
 #include <iostream>
 

@@ -1,11 +1,11 @@
-// Quickstart: build the all-pairs shortest-path structure for a small
-// scene, then run the three kinds of queries the paper supports:
-// vertex-to-vertex lengths (O(1)), arbitrary-point lengths (O(log n)-ish),
-// and actual shortest paths.
+// Quickstart: configure an rsp::Engine for a small scene, then run the
+// kinds of queries the paper supports — single-pair lengths, actual
+// shortest paths, and a batch of length queries — all through the
+// non-throwing Result/Status API.
 
 #include <iostream>
 
-#include "core/query.h"
+#include "api/engine.h"
 
 int main() {
   using namespace rsp;
@@ -13,24 +13,46 @@ int main() {
   // A rectilinear convex container with three rectangular obstacles.
   RectilinearPolygon container = RectilinearPolygon::from_vertices(
       {{0, 0}, {40, 0}, {40, 26}, {30, 26}, {30, 30}, {0, 30}});
-  Scene scene({Rect{5, 5, 11, 12}, Rect{16, 9, 24, 15}, Rect{28, 18, 33, 23}},
-              container);
+  auto engine = Engine::Create(
+      {Rect{5, 5, 11, 12}, Rect{16, 9, 24, 15}, Rect{28, 18, 33, 23}},
+      container);
+  if (!engine.ok()) {
+    std::cerr << "scene rejected: " << engine.status() << "\n";
+    return 1;
+  }
+  Engine& eng = engine.value();
 
-  AllPairsSP sp(std::move(scene));
+  std::cout << "backend: " << backend_name(eng.backend()) << ", "
+            << eng.scene().obstacle_vertices().size()
+            << " obstacle vertices\n";
 
-  std::cout << "obstacle vertices: " << sp.num_vertices() << "\n";
-
-  // O(1) vertex-pair query: vertex ids are 4*rect + {ll, lr, ur, ul}.
-  std::cout << "dist(rect0.ll, rect2.ur) = " << sp.vertex_length(0, 10)
+  // Vertex-to-vertex query: obstacle vertices are just points.
+  Point r0_ll = eng.scene().vertex(0), r2_ur = eng.scene().vertex(10);
+  std::cout << "dist(rect0.ll, rect2.ur) = " << *eng.length(r0_ll, r2_ur)
             << "\n";
 
   // Arbitrary points anywhere in the free space.
   Point s{1, 1}, t{39, 25};
-  std::cout << "dist(" << s << ", " << t << ") = " << sp.length(s, t) << "\n";
+  std::cout << "dist(" << s << ", " << t << ") = " << *eng.length(s, t)
+            << "\n";
 
-  // The actual shortest path, as a polyline.
+  // The actual shortest path, as a polyline. (Keep the Result alive while
+  // iterating its value — a C++20 range-for does not extend the life of a
+  // temporary Result.)
+  auto sp_path = eng.path(s, t);
   std::cout << "path:";
-  for (const Point& p : sp.path(s, t)) std::cout << " " << p;
+  for (const Point& p : *sp_path) std::cout << " " << p;
   std::cout << "\n";
+
+  // Batch queries fan out over the engine's pool (when configured).
+  std::vector<PointPair> pairs = {{s, t}, {s, r2_ur}, {r0_ll, t}};
+  auto lens = eng.lengths(pairs);
+  std::cout << "batch:";
+  for (Length v : *lens) std::cout << " " << v;
+  std::cout << "\n";
+
+  // Invalid queries come back as a Status, never an exception.
+  auto bad = eng.length({7, 7}, t);  // inside rect 0
+  std::cout << "blocked query -> " << bad.status() << "\n";
   return 0;
 }

@@ -1,10 +1,12 @@
 // Robot-motion scenario (paper §1: "robot motion"): a warehouse with
 // shelving rows (the serpentine corridor workload) where a picking robot
-// repeatedly needs shortest rectilinear routes. Demonstrates long paths
-// (k >> log n) and the §8 chunked path reporting.
+// repeatedly needs shortest rectilinear routes. Routes go through the
+// rsp::Engine facade; the §8 chunked path reporting demo reaches the
+// implementation layer via Engine::all_pairs().
 
 #include <iostream>
 
+#include "api/engine.h"
 #include "core/query.h"
 #include "core/sptree.h"
 #include "io/gen.h"
@@ -14,23 +16,29 @@ int main() {
   using namespace rsp;
 
   Scene warehouse = gen_corridors(14, 99);
-  AllPairsSP sp{Scene{warehouse}};
+  Engine eng(warehouse);
 
   // Dock at the bottom-left free corner, pick location at the top.
-  const auto& verts = warehouse.obstacle_vertices();
+  const auto& verts = eng.scene().obstacle_vertices();
   size_t dock = 0, pick = 0;
   for (size_t v = 0; v < verts.size(); ++v) {
     if (verts[v].y < verts[dock].y) dock = v;
     if (verts[v].y > verts[pick].y) pick = v;
   }
 
-  auto route = sp.vertex_path(dock, pick);
+  auto route = eng.path(verts[dock], verts[pick]);
+  if (!route.ok()) {
+    std::cerr << "route failed: " << route.status() << "\n";
+    return 1;
+  }
   std::cout << "route from " << verts[dock] << " to " << verts[pick] << ": "
-            << sp.vertex_length(dock, pick) << " units, "
-            << route.size() - 1 << " segments\n";
+            << *eng.length(verts[dock], verts[pick]) << " units, "
+            << route->size() - 1 << " segments\n";
 
   // §8: emit the route's predecessor chain in ⌈k/log n⌉ chunks, the way
-  // the paper assigns one processor per chunk.
+  // the paper assigns one processor per chunk. This needs the shortest
+  // path trees, so it goes through the implementation-layer escape hatch.
+  const AllPairsSP& sp = *eng.all_pairs();
   SpTrees trees(sp.scene(), sp.tracer(), sp.data());
   int chunk = std::max<int>(
       1, static_cast<int>(std::log2(double(sp.num_vertices()))));
@@ -38,11 +46,11 @@ int main() {
   std::cout << "chunked emission: " << pieces.size() << " chunks of <= "
             << chunk << " hops\n";
 
-  SvgCanvas svg(warehouse.container().bbox().expanded(2));
-  svg.add_scene(warehouse);
-  svg.add_polyline(route, "#c00", 3.0);
-  svg.add_point(route.front(), "#080", 5);
-  svg.add_point(route.back(), "#06c", 5);
+  SvgCanvas svg(eng.scene().container().bbox().expanded(2));
+  svg.add_scene(eng.scene());
+  svg.add_polyline(*route, "#c00", 3.0);
+  svg.add_point(route->front(), "#080", 5);
+  svg.add_point(route->back(), "#06c", 5);
   svg.write("warehouse_robot.svg");
   std::cout << "wrote warehouse_robot.svg\n";
   return 0;

@@ -1,0 +1,292 @@
+#include "api/engine.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "baseline/dijkstra.h"
+#include "core/query.h"
+#include "pram/thread_pool.h"
+
+namespace rsp {
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kAuto: return "auto";
+    case Backend::kAllPairsSeq: return "all-pairs-seq";
+    case Backend::kAllPairsParallel: return "all-pairs-parallel";
+    case Backend::kDijkstraBaseline: return "dijkstra-baseline";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Internal backend interface: adapters assume pre-validated inputs and may
+// throw (RSP_CHECK); the facade translates anything escaping into
+// StatusCode::kInternal.
+class QueryBackend {
+ public:
+  virtual ~QueryBackend() = default;
+  virtual Length length(const Point& s, const Point& t) const = 0;
+  virtual std::vector<Point> path(const Point& s, const Point& t) const = 0;
+  virtual const AllPairsSP* all_pairs() const { return nullptr; }
+};
+
+// The paper's data structure (§9 build, §6.4/§8 queries). The build fans
+// over `build_pool` when one is provided; queries are O(1)-ish either way.
+class AllPairsBackend final : public QueryBackend {
+ public:
+  AllPairsBackend(const Scene& scene, ThreadPool* build_pool)
+      : sp_(Scene(scene), build_pool) {}
+
+  Length length(const Point& s, const Point& t) const override {
+    return sp_.length(s, t);
+  }
+  std::vector<Point> path(const Point& s, const Point& t) const override {
+    return sp_.path(s, t);
+  }
+  const AllPairsSP* all_pairs() const override { return &sp_; }
+
+ private:
+  AllPairsSP sp_;
+};
+
+// Structure-free baseline: every query is a fresh Dijkstra on the Hanan
+// track graph (the library's ground-truth oracle). O(n^2 log n) per query.
+class DijkstraBackend final : public QueryBackend {
+ public:
+  explicit DijkstraBackend(const Scene& scene) : scene_(scene) {}
+
+  Length length(const Point& s, const Point& t) const override {
+    return oracle_length(scene_, s, t);
+  }
+  std::vector<Point> path(const Point& s, const Point& t) const override {
+    return oracle_path(scene_, s, t);
+  }
+
+ private:
+  const Scene& scene_;
+};
+
+Backend resolve_backend(const EngineOptions& opt) {
+  if (opt.backend != Backend::kAuto) return opt.backend;
+  return opt.num_threads >= 2 ? Backend::kAllPairsParallel
+                              : Backend::kAllPairsSeq;
+}
+
+size_t resolve_pool_width(const EngineOptions& opt, Backend resolved) {
+  (void)resolved;
+  if (opt.num_threads >= 2) return opt.num_threads;
+  // An explicit parallel-backend request with *default* threading (0) gets
+  // a hardware-sized pool. An explicit num_threads == 1 is honored as
+  // sequential — a one-thread pool and no pool execute identically.
+  if (opt.num_threads == 0 && opt.backend == Backend::kAllPairsParallel) {
+    return std::max<size_t>(2, std::thread::hardware_concurrency());
+  }
+  return 0;
+}
+
+}  // namespace
+
+struct Engine::Impl {
+  Scene scene;
+  EngineOptions opt;
+  Backend resolved;
+  std::unique_ptr<ThreadPool> pool;  // engine-owned; null = sequential
+
+  mutable std::mutex build_mu;
+  mutable std::mutex fan_mu;  // serializes batch fan-outs on the pool
+  mutable std::unique_ptr<QueryBackend> backend;
+  mutable Status build_status;             // sticky build failure
+  mutable std::atomic<bool> ready{false};  // backend is constructed
+
+  Impl(Scene s, EngineOptions o) : scene(std::move(s)), opt(o) {
+    resolved = resolve_backend(opt);
+    size_t width = resolve_pool_width(opt, resolved);
+    if (width >= 2) pool = std::make_unique<ThreadPool>(width);
+  }
+
+  // Constructs the backend exactly once (double-checked); a failed build
+  // is sticky and reported by every subsequent query.
+  Status ensure_built() const {
+    if (ready.load(std::memory_order_acquire)) return Status::Ok();
+    std::lock_guard<std::mutex> lk(build_mu);
+    if (ready.load(std::memory_order_relaxed)) return Status::Ok();
+    if (!build_status.ok()) return build_status;
+    if (scene.container().vertices().empty() || scene.num_obstacles() == 0) {
+      // Nothing to build; every query is rejected by validation before the
+      // (absent) backend is consulted.
+      ready.store(true, std::memory_order_release);
+      return Status::Ok();
+    }
+    try {
+      if (resolved == Backend::kDijkstraBaseline) {
+        backend = std::make_unique<DijkstraBackend>(scene);
+      } else {
+        ThreadPool* build_pool =
+            resolved == Backend::kAllPairsParallel ? pool.get() : nullptr;
+        backend = std::make_unique<AllPairsBackend>(scene, build_pool);
+      }
+    } catch (const std::exception& e) {
+      build_status = Status::Internal(std::string("build failed: ") + e.what());
+      return build_status;
+    }
+    ready.store(true, std::memory_order_release);
+    return Status::Ok();
+  }
+
+  Status validate_point(const Point& p, const char* which) const {
+    if (!scene.container().contains(p)) {
+      std::ostringstream os;
+      os << which << " point " << p << " is outside the container";
+      return Status::InvalidQuery(os.str());
+    }
+    if (!scene.point_free(p)) {
+      std::ostringstream os;
+      os << which << " point " << p << " is inside an obstacle";
+      return Status::InvalidQuery(os.str());
+    }
+    return Status::Ok();
+  }
+
+  Status validate_pair(const Point& s, const Point& t) const {
+    if (scene.container().vertices().empty()) {
+      return Status::InvalidQuery("empty scene: no container");
+    }
+    if (scene.num_obstacles() == 0) {
+      return Status::InvalidQuery("empty scene: no obstacles");
+    }
+    if (Status st = validate_point(s, "source"); !st.ok()) return st;
+    if (Status st = validate_point(t, "target"); !st.ok()) return st;
+    return Status::Ok();
+  }
+
+  Status validate_batch(std::span<const PointPair> pairs) const {
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      if (Status st = validate_pair(pairs[i].s, pairs[i].t); !st.ok()) {
+        std::ostringstream os;
+        os << "pair " << i << ": " << st.message();
+        return Status(st.code(), os.str());
+      }
+    }
+    return Status::Ok();
+  }
+
+  // Runs fn(i) for every batch index, over the pool when one exists.
+  // Concurrent batch calls from different caller threads serialize on the
+  // pool (ThreadPool::run is not reentrant).
+  template <typename Fn>
+  Status fan_out(size_t n, const Fn& fn) const {
+    try {
+      if (pool && n > 1) {
+        std::lock_guard<std::mutex> lk(fan_mu);
+        pool->run(n, fn);
+      } else {
+        for (size_t i = 0; i < n; ++i) fn(i);
+      }
+    } catch (const std::exception& e) {
+      return Status::Internal(e.what());
+    }
+    return Status::Ok();
+  }
+};
+
+Engine::Engine(Scene scene, EngineOptions opt)
+    : impl_(std::make_unique<Impl>(std::move(scene), opt)) {
+  if (!opt.lazy_build) impl_->ensure_built();  // failure is sticky
+}
+
+Engine::Engine(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+Engine::~Engine() = default;
+Engine::Engine(Engine&&) noexcept = default;
+Engine& Engine::operator=(Engine&&) noexcept = default;
+
+Result<Engine> Engine::Create(std::vector<Rect> obstacles,
+                              RectilinearPolygon container,
+                              EngineOptions opt) {
+  try {
+    Scene scene(std::move(obstacles), std::move(container));
+    return Engine(std::move(scene), opt);
+  } catch (const std::exception& e) {
+    return Status::InvalidScene(e.what());
+  }
+}
+
+Result<Engine> Engine::Create(std::vector<Rect> obstacles, EngineOptions opt) {
+  try {
+    Scene scene = Scene::with_bbox(std::move(obstacles));
+    return Engine(std::move(scene), opt);
+  } catch (const std::exception& e) {
+    return Status::InvalidScene(e.what());
+  }
+}
+
+const Scene& Engine::scene() const { return impl_->scene; }
+const EngineOptions& Engine::options() const { return impl_->opt; }
+Backend Engine::backend() const { return impl_->resolved; }
+
+size_t Engine::num_threads() const {
+  return impl_->pool ? impl_->pool->num_threads() : 1;
+}
+
+bool Engine::built() const {
+  return impl_->ready.load(std::memory_order_acquire) &&
+         impl_->backend != nullptr &&
+         impl_->resolved != Backend::kDijkstraBaseline;
+}
+
+Status Engine::warmup() { return impl_->ensure_built(); }
+
+Result<Length> Engine::length(const Point& s, const Point& t) const {
+  if (Status st = impl_->validate_pair(s, t); !st.ok()) return st;
+  if (Status st = impl_->ensure_built(); !st.ok()) return st;
+  try {
+    return impl_->backend->length(s, t);
+  } catch (const std::exception& e) {
+    return Status::Internal(e.what());
+  }
+}
+
+Result<std::vector<Point>> Engine::path(const Point& s, const Point& t) const {
+  if (Status st = impl_->validate_pair(s, t); !st.ok()) return st;
+  if (Status st = impl_->ensure_built(); !st.ok()) return st;
+  try {
+    return impl_->backend->path(s, t);
+  } catch (const std::exception& e) {
+    return Status::Internal(e.what());
+  }
+}
+
+Result<std::vector<Length>> Engine::lengths(
+    std::span<const PointPair> pairs) const {
+  if (Status st = impl_->validate_batch(pairs); !st.ok()) return st;
+  if (Status st = impl_->ensure_built(); !st.ok()) return st;
+  std::vector<Length> out(pairs.size());
+  Status st = impl_->fan_out(pairs.size(), [&](size_t i) {
+    out[i] = impl_->backend->length(pairs[i].s, pairs[i].t);
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+Result<std::vector<std::vector<Point>>> Engine::paths(
+    std::span<const PointPair> pairs) const {
+  if (Status st = impl_->validate_batch(pairs); !st.ok()) return st;
+  if (Status st = impl_->ensure_built(); !st.ok()) return st;
+  std::vector<std::vector<Point>> out(pairs.size());
+  Status st = impl_->fan_out(pairs.size(), [&](size_t i) {
+    out[i] = impl_->backend->path(pairs[i].s, pairs[i].t);
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+const AllPairsSP* Engine::all_pairs() const {
+  if (!impl_->ensure_built().ok()) return nullptr;
+  return impl_->backend ? impl_->backend->all_pairs() : nullptr;
+}
+
+}  // namespace rsp

@@ -1,0 +1,128 @@
+#pragma once
+// rsp::Engine — the unified facade over the paper's data structure.
+//
+// One configured engine object fronts every way this library can answer
+// shortest-path queries among rectangular obstacles:
+//
+//   Engine eng(scene, {.backend = Backend::kAuto, .num_threads = 8});
+//   Result<Length> d = eng.length(p, q);          // non-throwing
+//   Result<std::vector<Length>> ds = eng.lengths(pairs);   // batch
+//   Result<std::vector<Point>> path = eng.path(p, q);
+//
+// Design (after the handle-based style of rocSPARSE): construction picks
+// and configures a backend; queries never throw across the API boundary —
+// invalid inputs (point inside an obstacle, outside the container, empty
+// scene) come back as StatusCode::kInvalidQuery. The engine owns its
+// thread pool (EngineOptions::num_threads; 0 = fully sequential), which
+// serves both the parallel all-pairs build and the batch fan-out; no raw
+// ThreadPool* crosses the public API.
+//
+// Backends:
+//   kAllPairsSeq      — §9 sequential all-pairs build; O(1)-ish queries.
+//   kAllPairsParallel — same structure, per-source builds fanned over the
+//                       engine pool (the §6.3 substitution).
+//   kDijkstraBaseline — no build; every query runs Dijkstra on the Hanan
+//                       track graph (the ground-truth oracle). Slow but
+//                       structure-free; used for cross-validation.
+//   kAuto             — AllPairsParallel when the engine has a pool,
+//                       AllPairsSeq otherwise.
+//
+// EngineOptions::lazy_build defers the O(n^2) all-pairs construction to
+// the first query (thread-safe; concurrent first queries build once).
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "api/status.h"
+#include "core/scene.h"
+
+namespace rsp {
+
+class AllPairsSP;
+
+enum class Backend {
+  kAuto = 0,
+  kAllPairsSeq,
+  kAllPairsParallel,
+  kDijkstraBaseline,
+};
+
+const char* backend_name(Backend b);
+
+struct EngineOptions {
+  Backend backend = Backend::kAuto;
+  // Size of the engine-owned pool (build fan-out + batch queries).
+  // 0 or 1 = fully sequential. For an explicit kAllPairsParallel request
+  // with num_threads == 0, the pool is sized to the hardware.
+  size_t num_threads = 0;
+  // Defer the O(n^2) all-pairs construction to the first query.
+  bool lazy_build = false;
+};
+
+// A batch query item: shortest path requested from s to t.
+struct PointPair {
+  Point s;
+  Point t;
+};
+
+class Engine {
+ public:
+  // From a validated Scene (Scene's own constructor throws on invalid
+  // input; use Create() for the non-throwing path from raw geometry).
+  explicit Engine(Scene scene, EngineOptions opt = {});
+  ~Engine();
+
+  Engine(Engine&&) noexcept;
+  Engine& operator=(Engine&&) noexcept;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Non-throwing construction from raw geometry: scene validation errors
+  // (overlapping obstacles, obstacle outside the container, no obstacles)
+  // become StatusCode::kInvalidScene.
+  static Result<Engine> Create(std::vector<Rect> obstacles,
+                               RectilinearPolygon container,
+                               EngineOptions opt = {});
+  // Same, with a bounding-box container (margin as Scene::with_bbox).
+  static Result<Engine> Create(std::vector<Rect> obstacles,
+                               EngineOptions opt = {});
+
+  const Scene& scene() const;
+  const EngineOptions& options() const;
+  Backend backend() const;  // resolved: never kAuto
+  size_t num_threads() const;  // actual pool width (1 = sequential)
+
+  // Whether the all-pairs structure has been constructed (always true for
+  // eager engines after construction; kDijkstraBaseline never builds).
+  bool built() const;
+  // Force a deferred build now (no-op when already built / structure-free).
+  Status warmup();
+
+  // Shortest L1 path length between two free points. kInvalidQuery when a
+  // point is inside an obstacle, outside the container, or the scene is
+  // empty.
+  Result<Length> length(const Point& s, const Point& t) const;
+
+  // Shortest path polyline from s to t; its L1 length equals length(s, t).
+  Result<std::vector<Point>> path(const Point& s, const Point& t) const;
+
+  // Batch entry points: validate every pair up front (first invalid pair
+  // fails the whole batch, identified by index), then fan the queries over
+  // the engine pool. Results are index-aligned with `pairs`.
+  Result<std::vector<Length>> lengths(std::span<const PointPair> pairs) const;
+  Result<std::vector<std::vector<Point>>> paths(
+      std::span<const PointPair> pairs) const;
+
+  // Escape hatch to the implementation layer (§8 chunked reporting demos,
+  // benchmarks that reach for the matrix). Forces the lazy build; nullptr
+  // for the structure-free kDijkstraBaseline backend.
+  const AllPairsSP* all_pairs() const;
+
+ private:
+  struct Impl;
+  explicit Engine(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rsp

@@ -1,0 +1,124 @@
+#pragma once
+// Non-throwing error propagation for the public rsp::Engine API.
+//
+// The algorithmic layers below the facade keep their fail-fast RSP_CHECK
+// discipline (an invariant violation there is a library bug), but *user*
+// mistakes — a query point inside an obstacle, outside the container, an
+// empty scene — are expected inputs for a service and must not unwind the
+// caller. The facade therefore reports them as a Status, in the style of
+// handle-based numerical libraries (cf. rocsparse_status): every public
+// entry point returns Status or Result<T>, and nothing the caller can do
+// makes the facade throw.
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "common.h"
+
+namespace rsp {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidQuery,   // query point blocked / outside / empty scene
+  kInvalidScene,   // overlapping obstacles, obstacle outside container, ...
+  kInternal,       // an RSP_CHECK fired below the facade (a library bug)
+};
+
+inline const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidQuery: return "INVALID_QUERY";
+    case StatusCode::kInvalidScene: return "INVALID_SCENE";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidQuery(std::string msg) {
+    return Status(StatusCode::kInvalidQuery, std::move(msg));
+  }
+  static Status InvalidScene(std::string msg) {
+    return Status(StatusCode::kInvalidScene, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    if (ok()) return "OK";
+    std::string s = status_code_name(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.to_string();
+}
+
+// A value or an error. Engine query entry points return Result<T>; callers
+// branch on ok() and read value() (checked: value() on an error aborts via
+// RSP_CHECK, the same fail-fast the rest of the library uses for misuse).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    RSP_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    RSP_CHECK_MSG(ok(), "Result::value() on error: " + status_.to_string());
+    return *value_;
+  }
+  T& value() & {
+    RSP_CHECK_MSG(ok(), "Result::value() on error: " + status_.to_string());
+    return *value_;
+  }
+  // Rvalue access returns by value (moved out): `*engine.path(s, t)` on a
+  // temporary Result yields an independent object instead of a reference
+  // into the dying temporary (a C++20 range-for would dangle otherwise).
+  T value() && {
+    RSP_CHECK_MSG(ok(), "Result::value() on error: " + status_.to_string());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace rsp

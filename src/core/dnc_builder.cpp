@@ -79,6 +79,7 @@ void sort_along(std::vector<Point>& v, const Staircase& s) {
 
 struct Builder {
   const DncOptions& opt;
+  ThreadPool* pool = nullptr;  // derived from opt.num_threads, build-scoped
   DncStats stats;
 
   BoundaryStructure solve(RectilinearPolygon region, std::vector<Rect> rects,
@@ -302,14 +303,14 @@ struct Builder {
         // reach ⊗ H: the second factor is Monge, so the SMAWK row path
         // always applies; the final ⊗ reach^T is checked (and counted).
         ++stats.monge_multiplies;
-        Matrix s1 = opt.pool != nullptr ? minplus_monge(*opt.pool, a.reach, h)
-                                        : minplus_monge(a.reach, h);
+        Matrix s1 = pool != nullptr ? minplus_monge(*pool, a.reach, h)
+                                    : minplus_monge(a.reach, h);
         Matrix ct = c.reach.transposed();
         Matrix t;
         if (is_monge(ct)) {
           ++stats.monge_multiplies;
-          t = opt.pool != nullptr ? minplus_monge(*opt.pool, s1, ct)
-                                  : minplus_monge(s1, ct);
+          t = pool != nullptr ? minplus_monge(*pool, s1, ct)
+                              : minplus_monge(s1, ct);
         } else {
           ++stats.monge_fallbacks;
           t = minplus_naive(s1, ct);
@@ -350,7 +351,10 @@ struct Builder {
 
 DncResult build_boundary_structure(const Scene& scene,
                                    const DncOptions& opt) {
-  Builder builder{opt, {}};
+  std::unique_ptr<ThreadPool> owned_pool =
+      opt.num_threads >= 2 ? std::make_unique<ThreadPool>(opt.num_threads)
+                           : nullptr;
+  Builder builder{opt, owned_pool.get(), {}};
   std::vector<Rect> rects = scene.obstacles();
   BoundaryStructure root =
       builder.solve(scene.container(), std::move(rects), {}, 0);

@@ -25,8 +25,11 @@
 namespace rsp {
 
 struct DncOptions {
-  size_t leaf_size = 3;       // max obstacles solved by the base case
-  ThreadPool* pool = nullptr;  // parallel conquer rows
+  size_t leaf_size = 3;    // max obstacles solved by the base case
+  // Parallel conquer rows over a builder-owned pool of this many threads,
+  // alive only for the build (0 or 1: sequential). No externally-owned
+  // pool to dangle.
+  size_t num_threads = 0;
   // Debug/test hook: re-derive every internal node's matrix with a local
   // track-graph Dijkstra and fail fast on the first mismatch. Quadratic
   // slowdown; off by default.

@@ -23,11 +23,20 @@ void emit(std::vector<Point>& out, const Point& q) {
 }  // namespace
 
 AllPairsSP::AllPairsSP(Scene scene, const Options& opt)
+    : AllPairsSP(std::move(scene),
+                 opt.num_threads >= 2
+                     ? std::make_unique<ThreadPool>(opt.num_threads)
+                     : nullptr) {}
+
+AllPairsSP::AllPairsSP(Scene scene, std::unique_ptr<ThreadPool> transient_pool)
+    : AllPairsSP(std::move(scene), transient_pool.get()) {}
+
+AllPairsSP::AllPairsSP(Scene scene, ThreadPool* build_pool)
     : scene_(std::move(scene)),
       shooter_(scene_),
       tracer_(scene_, shooter_),
-      data_(opt.pool != nullptr
-                ? build_all_pairs(*opt.pool, scene_, shooter_, tracer_)
+      data_(build_pool != nullptr
+                ? build_all_pairs(*build_pool, scene_, shooter_, tracer_)
                 : build_all_pairs(scene_, shooter_, tracer_)),
       trees_(scene_, tracer_, data_) {
   const auto& verts = scene_.obstacle_vertices();

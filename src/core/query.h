@@ -1,5 +1,9 @@
 #pragma once
-// Public facade: the all-pairs shortest-path data structure of the paper.
+// Implementation layer: the all-pairs shortest-path data structure of the
+// paper. New code should go through the rsp::Engine facade (api/engine.h),
+// which fronts this class (and the Dijkstra baseline) behind a pluggable
+// backend, owns the thread pool, batches queries, and reports invalid
+// inputs as Status instead of throwing.
 //
 //   AllPairsSP sp(scene);
 //   sp.vertex_length(a, b);          // O(1), obstacle vertices
@@ -13,6 +17,7 @@
 // two endpoints — reducing, after at most two levels, to the V_R-to-V_R
 // matrix.
 
+#include <memory>
 #include <optional>
 #include <unordered_map>
 
@@ -25,13 +30,17 @@ namespace rsp {
 class AllPairsSP {
  public:
   struct Options {
-    // Fan the independent per-source computations over this pool
-    // (nullptr: sequential §9 build).
-    ThreadPool* pool = nullptr;
+    // Fan the independent per-source computations over an internally-owned
+    // pool of this many threads, alive only for the build (0 or 1:
+    // sequential §9 build). No externally-owned pool to dangle.
+    size_t num_threads = 0;
   };
 
   explicit AllPairsSP(Scene scene) : AllPairsSP(std::move(scene), Options{}) {}
   AllPairsSP(Scene scene, const Options& opt);
+  // Shares a caller-owned pool (e.g. the Engine's) for the build only; the
+  // pool is not retained past construction. nullptr: sequential build.
+  AllPairsSP(Scene scene, ThreadPool* build_pool);
 
   const Scene& scene() const { return scene_; }
   const AllPairsData& data() const { return data_; }
@@ -54,6 +63,10 @@ class AllPairsSP {
   std::vector<Point> path(const Point& s, const Point& t) const;
 
  private:
+  // Delegation step keeping a transient build pool alive through the
+  // member-initializer build.
+  AllPairsSP(Scene scene, std::unique_ptr<ThreadPool> transient_pool);
+
   // Outcome of one §6.4 reduction level for (source, target).
   struct Resolution {
     bool direct = false;

@@ -9,6 +9,10 @@ SpTrees::SpTrees(const Scene& scene, const Tracer& tracer,
     : scene_(&scene), tracer_(&tracer), data_(&data) {}
 
 SpTrees::RootData& SpTrees::root_data(size_t a) const {
+  // Serializes cache fills so concurrent path queries (the Engine's batch
+  // fan-out) are safe; RootData is immutable once built, and unordered_map
+  // references stay valid across later insertions.
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = cache_.find(a);
   if (it != cache_.end()) return it->second;
   const size_t m = data_->m;

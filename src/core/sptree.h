@@ -10,6 +10,7 @@
 // by a level-ancestor query — is exposed as chunked_chain().
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -50,6 +51,7 @@ class SpTrees {
   const Scene* scene_;
   const Tracer* tracer_;
   const AllPairsData* data_;
+  mutable std::mutex mu_;  // guards cache_ (concurrent const path queries)
   mutable std::unordered_map<size_t, RootData> cache_;
 };
 

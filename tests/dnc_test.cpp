@@ -185,10 +185,9 @@ TEST(Dnc, LeafSizeDoesNotChangeAnswers) {
 }
 
 TEST(Dnc, ParallelPoolMatchesSequential) {
-  ThreadPool pool(4);
   Scene s = gen_grid(12, 5);
   DncOptions op;
-  op.pool = &pool;
+  op.num_threads = 4;
   DncResult rp = build_boundary_structure(s, op);
   DncResult rs = build_boundary_structure(s);
   ASSERT_EQ(rp.root.points().size(), rs.root.points().size());

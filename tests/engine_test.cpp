@@ -1,0 +1,243 @@
+// The rsp::Engine facade: non-throwing Status/Result boundary, batch entry
+// points against the oracle, lazy construction, backend resolution, and
+// pairwise cross-validation of all three query backends.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "api/engine.h"
+#include "baseline/dijkstra.h"
+#include "core/query.h"
+#include "io/gen.h"
+
+namespace rsp {
+namespace {
+
+Length polyline_len(const std::vector<Point>& p) {
+  Length s = 0;
+  for (size_t i = 0; i + 1 < p.size(); ++i) s += dist1(p[i], p[i + 1]);
+  return s;
+}
+
+std::vector<PointPair> make_pairs(const Scene& scene, size_t count,
+                                  uint64_t seed) {
+  auto pts = random_free_points(scene, 2 * count, seed);
+  std::vector<PointPair> pairs;
+  for (size_t i = 0; i + 1 < pts.size(); i += 2) {
+    pairs.push_back({pts[i], pts[i + 1]});
+  }
+  return pairs;
+}
+
+// ---------------------------------------------------------------------------
+// Batch queries vs oracle, across every scene generator.
+// ---------------------------------------------------------------------------
+
+class EngineBatchTest : public ::testing::TestWithParam<NamedGen> {};
+
+TEST_P(EngineBatchTest, BatchLengthsAgreeWithOracle) {
+  Scene s = GetParam().fn(12, 17);
+  Engine eng(s, {.num_threads = 4});
+  auto pairs = make_pairs(s, 10, 31);
+  auto lens = eng.lengths(pairs);
+  ASSERT_TRUE(lens.ok()) << lens.status();
+  ASSERT_EQ(lens->size(), pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ((*lens)[i], oracle_length(s, pairs[i].s, pairs[i].t))
+        << GetParam().name << " pair " << i;
+  }
+}
+
+TEST_P(EngineBatchTest, BatchMatchesSinglePairBitForBit) {
+  Scene s = GetParam().fn(10, 23);
+  Engine eng(s, {.num_threads = 4});
+  auto pairs = make_pairs(s, 8, 5);
+  auto lens = eng.lengths(pairs);
+  auto paths = eng.paths(pairs);
+  ASSERT_TRUE(lens.ok()) << lens.status();
+  ASSERT_TRUE(paths.ok()) << paths.status();
+  // Also bit-identical to the implementation layer used directly.
+  AllPairsSP sp{Scene{s}};
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ((*lens)[i], *eng.length(pairs[i].s, pairs[i].t));
+    EXPECT_EQ((*lens)[i], sp.length(pairs[i].s, pairs[i].t));
+    EXPECT_EQ((*paths)[i], *eng.path(pairs[i].s, pairs[i].t));
+    EXPECT_EQ((*paths)[i], sp.path(pairs[i].s, pairs[i].t));
+    EXPECT_EQ(polyline_len((*paths)[i]), (*lens)[i]);
+    EXPECT_TRUE(s.path_free((*paths)[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGens, EngineBatchTest,
+                         ::testing::ValuesIn(kAllGens),
+                         [](const auto& info) { return info.param.name; });
+
+// ---------------------------------------------------------------------------
+// Degenerate and invalid queries: documented Status, never a throw.
+// ---------------------------------------------------------------------------
+
+TEST(EngineStatus, SourceEqualsTargetIsZero) {
+  Scene s = gen_uniform(6, 2);
+  Engine eng(s);
+  auto pts = random_free_points(s, 4, 9);
+  for (const auto& p : pts) {
+    EXPECT_EQ(*eng.length(p, p), 0);
+    EXPECT_EQ(*eng.path(p, p), std::vector<Point>{p});
+  }
+}
+
+TEST(EngineStatus, PointOnObstacleEdgeIsValid) {
+  Scene s = Scene::with_bbox({{0, 0, 6, 4}, {10, 7, 15, 20}});
+  Engine eng(s);
+  Point on_edge{3, 4};     // top edge of rect 0 (non-vertex)
+  Point corner{10, 7};     // an obstacle vertex
+  auto r = eng.length(on_edge, corner);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(*r, oracle_length(s, on_edge, corner));
+}
+
+TEST(EngineStatus, PointInsideObstacleIsInvalidQuery) {
+  Scene s = Scene::with_bbox({{0, 0, 10, 10}});
+  Engine eng(s);
+  auto r = eng.length({5, 5}, {-2, -2});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidQuery);
+  EXPECT_NE(r.status().message().find("inside an obstacle"),
+            std::string::npos);
+}
+
+TEST(EngineStatus, PointOutsideContainerIsInvalidQuery) {
+  Scene s = Scene::with_bbox({{0, 0, 10, 10}});
+  Engine eng(s);
+  auto r = eng.path({-2, -2}, {100, 100});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidQuery);
+  EXPECT_NE(r.status().message().find("outside the container"),
+            std::string::npos);
+}
+
+TEST(EngineStatus, EmptySceneIsInvalidQuery) {
+  Engine eng{Scene{}};
+  auto r = eng.length({0, 0}, {1, 1});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidQuery);
+}
+
+TEST(EngineStatus, BatchFailsOnFirstInvalidPairWithIndex) {
+  Scene s = Scene::with_bbox({{0, 0, 10, 10}, {20, 0, 30, 10}});
+  Engine eng(s);
+  auto pairs = make_pairs(s, 4, 7);
+  pairs[2].t = Point{5, 5};  // strictly inside obstacle 0
+  auto lens = eng.lengths(pairs);
+  ASSERT_FALSE(lens.ok());
+  EXPECT_EQ(lens.status().code(), StatusCode::kInvalidQuery);
+  EXPECT_NE(lens.status().message().find("pair 2"), std::string::npos);
+}
+
+TEST(EngineStatus, CreateRejectsInvalidScenes) {
+  // Overlapping obstacles.
+  auto bad = Engine::Create({{0, 0, 4, 4}, {2, 2, 6, 6}});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidScene);
+  // Obstacle outside the container.
+  auto poly = RectilinearPolygon::rectangle(Rect{0, 0, 10, 10});
+  auto outside = Engine::Create({{8, 8, 12, 12}}, poly);
+  ASSERT_FALSE(outside.ok());
+  EXPECT_EQ(outside.status().code(), StatusCode::kInvalidScene);
+  // No obstacles at all (with_bbox requires one).
+  auto empty = Engine::Create({});
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidScene);
+  // A good scene succeeds and answers queries.
+  auto good = Engine::Create({{2, 2, 6, 6}});
+  ASSERT_TRUE(good.ok()) << good.status();
+  EXPECT_TRUE(good->length({0, 0}, {8, 8}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Construction modes.
+// ---------------------------------------------------------------------------
+
+TEST(EngineConfig, AutoResolvesByThreadCount) {
+  Scene s = gen_uniform(5, 4);
+  Engine seq(Scene{s}, {.backend = Backend::kAuto, .num_threads = 0});
+  EXPECT_EQ(seq.backend(), Backend::kAllPairsSeq);
+  Engine par(Scene{s}, {.backend = Backend::kAuto, .num_threads = 4});
+  EXPECT_EQ(par.backend(), Backend::kAllPairsParallel);
+  EXPECT_EQ(par.num_threads(), 4u);
+}
+
+TEST(EngineConfig, LazyBuildDefersUntilFirstQuery) {
+  Scene s = gen_uniform(8, 6);
+  Engine eng(s, {.lazy_build = true});
+  EXPECT_FALSE(eng.built());
+  auto pts = random_free_points(s, 2, 3);
+  auto r = eng.length(pts[0], pts[1]);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(eng.built());
+  EXPECT_EQ(*r, oracle_length(s, pts[0], pts[1]));
+}
+
+TEST(EngineConfig, WarmupForcesTheBuild) {
+  Scene s = gen_uniform(6, 8);
+  Engine eng(s, {.lazy_build = true});
+  EXPECT_FALSE(eng.built());
+  ASSERT_TRUE(eng.warmup().ok());
+  EXPECT_TRUE(eng.built());
+}
+
+TEST(EngineConfig, DijkstraBackendHasNoStructure) {
+  Scene s = gen_uniform(6, 8);
+  Engine eng(s, {.backend = Backend::kDijkstraBaseline});
+  EXPECT_EQ(eng.all_pairs(), nullptr);
+  EXPECT_FALSE(eng.built());
+}
+
+TEST(EngineConfig, EngineIsMovable) {
+  Scene s = gen_uniform(6, 2);
+  auto pts = random_free_points(s, 2, 4);
+  Engine a(s);
+  Length want = *a.length(pts[0], pts[1]);
+  Engine b = std::move(a);
+  EXPECT_EQ(*b.length(pts[0], pts[1]), want);
+}
+
+// ---------------------------------------------------------------------------
+// Backend cross-validation: all three backends agree pairwise on random
+// scenes (lengths exactly; paths validated and length-tight per backend).
+// ---------------------------------------------------------------------------
+
+TEST(EngineBackends, AllThreeAgreePairwiseOnRandomScenes) {
+  const Backend kBackends[] = {Backend::kAllPairsSeq,
+                               Backend::kAllPairsParallel,
+                               Backend::kDijkstraBaseline};
+  for (uint64_t seed : {4u, 19u}) {
+    Scene s = gen_uniform(10, seed);
+    auto pairs = make_pairs(s, 6, seed + 1);
+    std::vector<std::vector<Length>> per_backend;
+    for (Backend b : kBackends) {
+      Engine eng(Scene{s}, {.backend = b, .num_threads = 4});
+      ASSERT_EQ(eng.backend(), b);
+      auto lens = eng.lengths(pairs);
+      ASSERT_TRUE(lens.ok()) << backend_name(b) << ": " << lens.status();
+      per_backend.push_back(*lens);
+      auto paths = eng.paths(pairs);
+      ASSERT_TRUE(paths.ok()) << backend_name(b) << ": " << paths.status();
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        EXPECT_TRUE(s.path_free((*paths)[i])) << backend_name(b);
+        EXPECT_EQ(polyline_len((*paths)[i]), (*lens)[i]) << backend_name(b);
+      }
+    }
+    for (size_t a = 0; a < per_backend.size(); ++a) {
+      for (size_t b = a + 1; b < per_backend.size(); ++b) {
+        EXPECT_EQ(per_backend[a], per_backend[b])
+            << backend_name(kBackends[a]) << " vs "
+            << backend_name(kBackends[b]) << " seed=" << seed;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rsp

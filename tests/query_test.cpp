@@ -1,8 +1,10 @@
 // Arbitrary-point queries (paper §6.4): length() and path() through the
-// two-level reduction, against the oracle.
+// two-level reduction, against the oracle — driven through the rsp::Engine
+// facade (backend cross-validation lives in engine_test.cpp).
 
 #include <gtest/gtest.h>
 
+#include "api/engine.h"
 #include "baseline/dijkstra.h"
 #include "core/query.h"
 #include "io/gen.h"
@@ -18,11 +20,13 @@ Length polyline_len(const std::vector<Point>& p) {
 
 TEST(Query, VertexPairsMatchMatrix) {
   Scene s = gen_uniform(12, 4);
-  AllPairsSP sp(s);
+  Engine eng(s);
+  const AllPairsSP* sp = eng.all_pairs();
+  ASSERT_NE(sp, nullptr);
   const auto& v = s.obstacle_vertices();
   for (size_t a = 0; a < v.size(); a += 3) {
     for (size_t b = 0; b < v.size(); b += 5) {
-      EXPECT_EQ(sp.length(v[a], v[b]), sp.vertex_length(a, b));
+      EXPECT_EQ(*eng.length(v[a], v[b]), sp->vertex_length(a, b));
     }
   }
 }
@@ -32,12 +36,13 @@ class QueryOracleTest : public ::testing::TestWithParam<NamedGen> {};
 TEST_P(QueryOracleTest, ArbitraryPointLengthsMatchOracle) {
   for (uint64_t seed : {2u, 8u}) {
     Scene s = GetParam().fn(14, seed);
-    AllPairsSP sp(s);
+    Engine eng(s);
     auto pts = random_free_points(s, 12, seed + 100);
     for (size_t i = 0; i < pts.size(); ++i) {
       for (size_t j = i + 1; j < pts.size(); ++j) {
-        ASSERT_EQ(sp.length(pts[i], pts[j]),
-                  oracle_length(s, pts[i], pts[j]))
+        auto got = eng.length(pts[i], pts[j]);
+        ASSERT_TRUE(got.ok()) << got.status();
+        ASSERT_EQ(*got, oracle_length(s, pts[i], pts[j]))
             << GetParam().name << " seed=" << seed << " " << pts[i] << " -> "
             << pts[j];
       }
@@ -47,14 +52,14 @@ TEST_P(QueryOracleTest, ArbitraryPointLengthsMatchOracle) {
 
 TEST_P(QueryOracleTest, MixedVertexArbitraryMatchOracle) {
   Scene s = GetParam().fn(10, 3);
-  AllPairsSP sp(s);
+  Engine eng(s);
   auto pts = random_free_points(s, 6, 77);
   const auto& verts = s.obstacle_vertices();
   for (size_t a = 0; a < verts.size(); a += 4) {
     for (const auto& p : pts) {
-      ASSERT_EQ(sp.length(verts[a], p), oracle_length(s, verts[a], p))
+      ASSERT_EQ(*eng.length(verts[a], p), oracle_length(s, verts[a], p))
           << GetParam().name;
-      ASSERT_EQ(sp.length(p, verts[a]), oracle_length(s, p, verts[a]))
+      ASSERT_EQ(*eng.length(p, verts[a]), oracle_length(s, p, verts[a]))
           << GetParam().name;
     }
   }
@@ -62,17 +67,18 @@ TEST_P(QueryOracleTest, MixedVertexArbitraryMatchOracle) {
 
 TEST_P(QueryOracleTest, PathsAreValidTightAndEndToEnd) {
   Scene s = GetParam().fn(12, 6);
-  AllPairsSP sp(s);
+  Engine eng(s);
   auto pts = random_free_points(s, 8, 5);
   for (size_t i = 0; i + 1 < pts.size(); ++i) {
     const Point& a = pts[i];
     const Point& b = pts[i + 1];
-    auto path = sp.path(a, b);
-    ASSERT_GE(path.size(), 1u);
-    EXPECT_EQ(path.front(), a) << GetParam().name;
-    EXPECT_EQ(path.back(), b) << GetParam().name;
-    EXPECT_TRUE(s.path_free(path)) << GetParam().name;
-    EXPECT_EQ(polyline_len(path), sp.length(a, b)) << GetParam().name;
+    auto path = eng.path(a, b);
+    ASSERT_TRUE(path.ok()) << path.status();
+    ASSERT_GE(path->size(), 1u);
+    EXPECT_EQ(path->front(), a) << GetParam().name;
+    EXPECT_EQ(path->back(), b) << GetParam().name;
+    EXPECT_TRUE(s.path_free(*path)) << GetParam().name;
+    EXPECT_EQ(polyline_len(*path), *eng.length(a, b)) << GetParam().name;
   }
 }
 
@@ -82,39 +88,56 @@ INSTANTIATE_TEST_SUITE_P(AllGens, QueryOracleTest,
 
 TEST(Query, SamePointIsZero) {
   Scene s = gen_uniform(5, 1);
-  AllPairsSP sp(s);
+  Engine eng(s);
   auto pts = random_free_points(s, 3, 2);
   for (const auto& p : pts) {
-    EXPECT_EQ(sp.length(p, p), 0);
-    EXPECT_EQ(sp.path(p, p), std::vector<Point>{p});
+    EXPECT_EQ(*eng.length(p, p), 0);
+    EXPECT_EQ(*eng.path(p, p), std::vector<Point>{p});
   }
 }
 
 TEST(Query, RejectsBlockedPoints) {
   Scene s = Scene::with_bbox({{0, 0, 10, 10}});
-  AllPairsSP sp(s);
-  EXPECT_THROW(sp.length({5, 5}, {20, 20}), std::logic_error);
+  Engine eng(s);
+  auto r = eng.length({5, 5}, {20, 20});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidQuery);
 }
 
 TEST(Query, SymmetryOnArbitraryPairs) {
   Scene s = gen_clustered(12, 9);
-  AllPairsSP sp(s);
+  Engine eng(s);
   auto pts = random_free_points(s, 10, 3);
   for (size_t i = 0; i + 1 < pts.size(); i += 2) {
-    EXPECT_EQ(sp.length(pts[i], pts[i + 1]), sp.length(pts[i + 1], pts[i]));
+    EXPECT_EQ(*eng.length(pts[i], pts[i + 1]), *eng.length(pts[i + 1], pts[i]));
   }
 }
 
 TEST(Query, PointsOnObstacleEdgesWork) {
   // Boundary (non-vertex) points on obstacle edges are valid query points.
   Scene s = Scene::with_bbox({{0, 0, 6, 4}, {10, 7, 15, 20}});
-  AllPairsSP sp(s);
-  Point on_edge{3, 4};   // top edge of rect 0
+  Engine eng(s);
+  Point on_edge{3, 4};    // top edge of rect 0
   Point on_edge2{10, 9};  // left edge of rect 1
-  EXPECT_EQ(sp.length(on_edge, on_edge2), oracle_length(s, on_edge, on_edge2));
-  auto path = sp.path(on_edge, on_edge2);
-  EXPECT_TRUE(s.path_free(path));
-  EXPECT_EQ(polyline_len(path), sp.length(on_edge, on_edge2));
+  EXPECT_EQ(*eng.length(on_edge, on_edge2),
+            oracle_length(s, on_edge, on_edge2));
+  auto path = eng.path(on_edge, on_edge2);
+  ASSERT_TRUE(path.ok()) << path.status();
+  EXPECT_TRUE(s.path_free(*path));
+  EXPECT_EQ(polyline_len(*path), *eng.length(on_edge, on_edge2));
+}
+
+// The implementation layer stays exercised directly: an internally-built
+// parallel pool (Options::num_threads) matches the sequential build.
+TEST(Query, AllPairsSPInternalPoolMatchesSequential) {
+  Scene s = gen_uniform(10, 12);
+  AllPairsSP seq{Scene{s}};
+  AllPairsSP par(Scene{s}, AllPairsSP::Options{.num_threads = 4});
+  for (size_t a = 0; a < seq.num_vertices(); a += 3) {
+    for (size_t b = 0; b < seq.num_vertices(); b += 2) {
+      EXPECT_EQ(seq.vertex_length(a, b), par.vertex_length(a, b));
+    }
+  }
 }
 
 }  // namespace

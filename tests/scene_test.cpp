@@ -5,6 +5,7 @@
 
 #include <set>
 
+#include "api/engine.h"
 #include "core/scene.h"
 #include "io/gen.h"
 
@@ -24,6 +25,25 @@ TEST(Scene, AcceptsTouchingObstacles) {
 TEST(Scene, RejectsObstacleOutsideContainer) {
   auto poly = RectilinearPolygon::rectangle(Rect{0, 0, 10, 10});
   EXPECT_THROW(Scene({{8, 8, 12, 12}}, poly), std::logic_error);
+}
+
+// The facade's non-throwing counterparts of the two rejection tests above:
+// Engine::Create turns Scene validation throws into kInvalidScene.
+TEST(Scene, EngineCreateReportsValidationAsStatus) {
+  auto overlap = Engine::Create({{0, 0, 4, 4}, {2, 2, 6, 6}});
+  ASSERT_FALSE(overlap.ok());
+  EXPECT_EQ(overlap.status().code(), StatusCode::kInvalidScene);
+  EXPECT_NE(overlap.status().message().find("interior-disjoint"),
+            std::string::npos);
+
+  auto poly = RectilinearPolygon::rectangle(Rect{0, 0, 10, 10});
+  auto outside = Engine::Create({{8, 8, 12, 12}}, poly);
+  ASSERT_FALSE(outside.ok());
+  EXPECT_EQ(outside.status().code(), StatusCode::kInvalidScene);
+
+  auto touching = Engine::Create({{0, 0, 4, 4}, {4, 0, 8, 4}});
+  ASSERT_TRUE(touching.ok()) << touching.status();
+  EXPECT_EQ(touching->scene().num_obstacles(), 2u);
 }
 
 TEST(Scene, VertexIdsFollowCornerOrder) {
