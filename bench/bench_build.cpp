@@ -1,9 +1,12 @@
 // E2 — data structure construction (paper §5/§6 parallel, §9 sequential).
 // Series: build time vs n for (a) the §9 all-pairs V_R builder, (b) the
-// pool-parallel driver, (c) the §5 D&C boundary-matrix builder. The paper
-// predicts O(n^2)-ish growth for (a)/(b) (we carry an extra log from the
-// stabbing trees) and quadratic total work for (c); the PRAM work/depth
-// counters accompany (c).
+// scheduler-parallel driver, (c) the §5 D&C boundary-matrix builder, and
+// (d) the D&C builder vs scheduler width — (d) exercises the work-stealing
+// scheduler's nested tree parallelism (sibling separator subtrees as
+// parallel tasks), so its wall-clock is the one to watch on multi-core
+// hardware. The paper predicts O(n^2)-ish growth for (a)/(b) (we carry an
+// extra log from the stabbing trees) and quadratic total work for (c)/(d);
+// the PRAM work/depth counters accompany (c).
 
 #include <benchmark/benchmark.h>
 
@@ -33,9 +36,9 @@ void BM_BuildPar(benchmark::State& state) {
   Scene scene = gen_uniform(n, 7);
   RayShooter shooter(scene);
   Tracer tracer(scene, shooter);
-  ThreadPool pool(static_cast<size_t>(state.range(1)));
+  Scheduler sched(static_cast<size_t>(state.range(1)));
   for (auto _ : state) {
-    AllPairsData d = build_all_pairs(pool, scene, shooter, tracer);
+    AllPairsData d = build_all_pairs(sched, scene, shooter, tracer);
     benchmark::DoNotOptimize(d.dist);
   }
   state.counters["threads"] = static_cast<double>(state.range(1));
@@ -47,7 +50,6 @@ void BM_BuildDnc(benchmark::State& state) {
   DncStats stats;
   PramCost cost{};
   for (auto _ : state) {
-    pram_reset();
     PramCostScope scope;
     DncResult r = build_boundary_structure(scene);
     benchmark::DoNotOptimize(r.root);
@@ -64,6 +66,25 @@ void BM_BuildDnc(benchmark::State& state) {
       static_cast<double>(stats.monge_fallbacks);
 }
 
+// D&C build vs scheduler width: sibling separator subtrees build as
+// parallel tasks, so wall-clock should drop with width on real cores (and
+// stay flat, not regress, on a one-core container). The workers counter
+// records how many distinct threads the recursion actually ran on.
+void BM_BuildDncThreads(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Scene scene = gen_uniform(n, 7);
+  DncOptions opt;
+  opt.num_threads = static_cast<size_t>(state.range(1));
+  DncStats stats;
+  for (auto _ : state) {
+    DncResult r = build_boundary_structure(scene, opt);
+    benchmark::DoNotOptimize(r.root);
+    stats = r.stats;
+  }
+  state.counters["threads"] = static_cast<double>(state.range(1));
+  state.counters["workers"] = static_cast<double>(stats.workers_observed);
+}
+
 }  // namespace
 
 
@@ -73,6 +94,9 @@ BENCHMARK(BM_BuildPar)
     ->ArgsProduct({{64}, {1, 2, 4, 8}})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_BuildDnc)->RangeMultiplier(2)->Range(8, 128)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BuildDncThreads)
+    ->ArgsProduct({{64}, {1, 2, 4, 8}})
     ->Unit(benchmark::kMillisecond);
 
 

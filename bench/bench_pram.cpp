@@ -3,6 +3,9 @@
 // Counters report the idealized PRAM work/depth charged by each primitive;
 // work should grow linearly (n log n for sort) and depth logarithmically
 // (log^2 for sort), independent of wall-clock and thread count.
+// Accounting is scoped (PramCostScope accumulates its own deltas and
+// follows forked tasks), so no global pram_reset() is needed and these
+// benches can run concurrently with others without corrupting tallies.
 
 #include <benchmark/benchmark.h>
 
@@ -19,7 +22,6 @@ void BM_Scan(benchmark::State& state) {
   PramCost cost{};
   for (auto _ : state) {
     std::vector<long long> v = base;
-    pram_reset();
     PramCostScope scope;
     long long total = exclusive_scan(v);
     benchmark::DoNotOptimize(total);
@@ -40,9 +42,8 @@ void BM_Merge(benchmark::State& state) {
   PramCost cost{};
   for (auto _ : state) {
     std::vector<long long> out;
-    pram_reset();
     PramCostScope scope;
-    parallel_merge(ThreadPool::global(), a, b, out);
+    parallel_merge(Scheduler::global(), a, b, out);
     benchmark::DoNotOptimize(out);
     cost = scope.cost();
   }
@@ -58,7 +59,6 @@ void BM_Sort(benchmark::State& state) {
   PramCost cost{};
   for (auto _ : state) {
     std::vector<long long> v = base;
-    pram_reset();
     PramCostScope scope;
     parallel_sort(v);
     benchmark::DoNotOptimize(v);

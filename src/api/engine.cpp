@@ -3,12 +3,14 @@
 #include <atomic>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <thread>
 
 #include "baseline/dijkstra.h"
 #include "core/query.h"
-#include "pram/thread_pool.h"
+#include "pram/parallel.h"
+#include "pram/scheduler.h"
 
 namespace rsp {
 
@@ -36,11 +38,11 @@ class QueryBackend {
 };
 
 // The paper's data structure (§9 build, §6.4/§8 queries). The build fans
-// over `build_pool` when one is provided; queries are O(1)-ish either way.
+// over `build_sched` when one is provided; queries are O(1)-ish either way.
 class AllPairsBackend final : public QueryBackend {
  public:
-  AllPairsBackend(const Scene& scene, ThreadPool* build_pool)
-      : sp_(Scene(scene), build_pool) {}
+  AllPairsBackend(const Scene& scene, Scheduler* build_sched)
+      : sp_(Scene(scene), build_sched) {}
 
   Length length(const Point& s, const Point& t) const override {
     return sp_.length(s, t);
@@ -77,12 +79,12 @@ Backend resolve_backend(const EngineOptions& opt) {
                               : Backend::kAllPairsSeq;
 }
 
-size_t resolve_pool_width(const EngineOptions& opt, Backend resolved) {
+size_t resolve_sched_width(const EngineOptions& opt, Backend resolved) {
   (void)resolved;
   if (opt.num_threads >= 2) return opt.num_threads;
   // An explicit parallel-backend request with *default* threading (0) gets
-  // a hardware-sized pool. An explicit num_threads == 1 is honored as
-  // sequential — a one-thread pool and no pool execute identically.
+  // a hardware-sized scheduler. An explicit num_threads == 1 is honored as
+  // sequential — a one-thread scheduler and none execute identically.
   if (opt.num_threads == 0 && opt.backend == Backend::kAllPairsParallel) {
     return std::max<size_t>(2, std::thread::hardware_concurrency());
   }
@@ -95,18 +97,21 @@ struct Engine::Impl {
   Scene scene;
   EngineOptions opt;
   Backend resolved;
-  std::unique_ptr<ThreadPool> pool;  // engine-owned; null = sequential
+  // Engine-owned work-stealing scheduler; null = sequential. One scheduler
+  // serves both the all-pairs build fan-out and batch query fan-outs, and
+  // it is reentrant: batch calls may arrive concurrently from many user
+  // threads (or from inside other schedulers' tasks) without serializing.
+  std::unique_ptr<Scheduler> sched;
 
   mutable std::mutex build_mu;
-  mutable std::mutex fan_mu;  // serializes batch fan-outs on the pool
   mutable std::unique_ptr<QueryBackend> backend;
   mutable Status build_status;             // sticky build failure
   mutable std::atomic<bool> ready{false};  // backend is constructed
 
   Impl(Scene s, EngineOptions o) : scene(std::move(s)), opt(o) {
     resolved = resolve_backend(opt);
-    size_t width = resolve_pool_width(opt, resolved);
-    if (width >= 2) pool = std::make_unique<ThreadPool>(width);
+    size_t width = resolve_sched_width(opt, resolved);
+    if (width >= 2) sched = std::make_unique<Scheduler>(width);
   }
 
   // Constructs the backend exactly once (double-checked); a failed build
@@ -126,9 +131,9 @@ struct Engine::Impl {
       if (resolved == Backend::kDijkstraBaseline) {
         backend = std::make_unique<DijkstraBackend>(scene);
       } else {
-        ThreadPool* build_pool =
-            resolved == Backend::kAllPairsParallel ? pool.get() : nullptr;
-        backend = std::make_unique<AllPairsBackend>(scene, build_pool);
+        Scheduler* build_sched =
+            resolved == Backend::kAllPairsParallel ? sched.get() : nullptr;
+        backend = std::make_unique<AllPairsBackend>(scene, build_sched);
       }
     } catch (const std::exception& e) {
       build_status = Status::Internal(std::string("build failed: ") + e.what());
@@ -175,15 +180,15 @@ struct Engine::Impl {
     return Status::Ok();
   }
 
-  // Runs fn(i) for every batch index, over the pool when one exists.
-  // Concurrent batch calls from different caller threads serialize on the
-  // pool (ThreadPool::run is not reentrant).
+  // Runs fn(i) for every batch index, over the scheduler when one exists.
+  // Reentrant: concurrent batch calls from different user threads (or from
+  // inside scheduler tasks) interleave on the shared workers instead of
+  // serializing on a lock.
   template <typename Fn>
   Status fan_out(size_t n, const Fn& fn) const {
     try {
-      if (pool && n > 1) {
-        std::lock_guard<std::mutex> lk(fan_mu);
-        pool->run(n, fn);
+      if (sched && n > 1) {
+        parallel_for(*sched, 0, n, fn, /*grain=*/1);
       } else {
         for (size_t i = 0; i < n; ++i) fn(i);
       }
@@ -192,6 +197,41 @@ struct Engine::Impl {
     }
     return Status::Ok();
   }
+
+  // Batch prologue: kick the deferred build (lazy_build) off as a
+  // scheduler task, then validate every pair while it runs — first-batch
+  // latency is max(validate, build) instead of their sum. A validation
+  // failure returns immediately without joining the build (the build is
+  // never wasted: it is sticky and any later valid query needs it); a
+  // valid batch synchronizes with the prefetch through ensure_built's
+  // build_mu.
+  Status prepare_batch(std::span<const PointPair> pairs) const {
+    if (sched && opt.lazy_build && !ready.load(std::memory_order_acquire)) {
+      spawn_prefetch();
+    }
+    if (Status vst = validate_batch(pairs); !vst.ok()) return vst;
+    return ensure_built();
+  }
+
+  void spawn_prefetch() const {
+    std::lock_guard<std::mutex> lk(prefetch_mu);
+    if (prefetch_spawned) return;
+    prefetch_spawned = true;
+    prefetch.emplace(*sched);
+    // Fork with no inherited PramCostScope: the join is deferred past this
+    // call (to ensure_built / ~Impl), so the caller's scope may be long
+    // gone by the time the build charges costs.
+    PramCostScope* saved = pram_scope_current();
+    pram_scope_set(nullptr);
+    prefetch->run([this] { ensure_built(); });  // outcome is sticky
+    pram_scope_set(saved);
+  }
+
+  // Declared last on purpose: ~Impl destroys (and thereby joins) the
+  // prefetch group before any member its task touches.
+  mutable std::mutex prefetch_mu;
+  mutable bool prefetch_spawned = false;  // guarded by prefetch_mu
+  mutable std::optional<TaskGroup> prefetch;
 };
 
 Engine::Engine(Scene scene, EngineOptions opt)
@@ -229,7 +269,7 @@ const EngineOptions& Engine::options() const { return impl_->opt; }
 Backend Engine::backend() const { return impl_->resolved; }
 
 size_t Engine::num_threads() const {
-  return impl_->pool ? impl_->pool->num_threads() : 1;
+  return impl_->sched ? impl_->sched->num_threads() : 1;
 }
 
 bool Engine::built() const {
@@ -262,8 +302,7 @@ Result<std::vector<Point>> Engine::path(const Point& s, const Point& t) const {
 
 Result<std::vector<Length>> Engine::lengths(
     std::span<const PointPair> pairs) const {
-  if (Status st = impl_->validate_batch(pairs); !st.ok()) return st;
-  if (Status st = impl_->ensure_built(); !st.ok()) return st;
+  if (Status st = impl_->prepare_batch(pairs); !st.ok()) return st;
   std::vector<Length> out(pairs.size());
   Status st = impl_->fan_out(pairs.size(), [&](size_t i) {
     out[i] = impl_->backend->length(pairs[i].s, pairs[i].t);
@@ -274,8 +313,7 @@ Result<std::vector<Length>> Engine::lengths(
 
 Result<std::vector<std::vector<Point>>> Engine::paths(
     std::span<const PointPair> pairs) const {
-  if (Status st = impl_->validate_batch(pairs); !st.ok()) return st;
-  if (Status st = impl_->ensure_built(); !st.ok()) return st;
+  if (Status st = impl_->prepare_batch(pairs); !st.ok()) return st;
   std::vector<std::vector<Point>> out(pairs.size());
   Status st = impl_->fan_out(pairs.size(), [&](size_t i) {
     out[i] = impl_->backend->path(pairs[i].s, pairs[i].t);

@@ -12,10 +12,14 @@
 // Design (after the handle-based style of rocSPARSE): construction picks
 // and configures a backend; queries never throw across the API boundary —
 // invalid inputs (point inside an obstacle, outside the container, empty
-// scene) come back as StatusCode::kInvalidQuery. The engine owns its
-// thread pool (EngineOptions::num_threads; 0 = fully sequential), which
-// serves both the parallel all-pairs build and the batch fan-out; no raw
-// ThreadPool* crosses the public API.
+// scene) come back as StatusCode::kInvalidQuery. The engine owns one
+// work-stealing scheduler (EngineOptions::num_threads; 0 = fully
+// sequential) serving both the parallel all-pairs build and batch query
+// fan-outs; no raw scheduler pointer crosses the public API. The scheduler
+// is reentrant, so lengths()/paths() may be called concurrently from many
+// user threads — fan-outs interleave on the shared workers instead of
+// serializing — and with lazy_build the deferred construction runs as a
+// scheduler task overlapping the batch's input validation.
 //
 // Backends:
 //   kAllPairsSeq      — §9 sequential all-pairs build; O(1)-ish queries.
@@ -52,9 +56,9 @@ const char* backend_name(Backend b);
 
 struct EngineOptions {
   Backend backend = Backend::kAuto;
-  // Size of the engine-owned pool (build fan-out + batch queries).
+  // Width of the engine-owned scheduler (build fan-out + batch queries).
   // 0 or 1 = fully sequential. For an explicit kAllPairsParallel request
-  // with num_threads == 0, the pool is sized to the hardware.
+  // with num_threads == 0, the scheduler is sized to the hardware.
   size_t num_threads = 0;
   // Defer the O(n^2) all-pairs construction to the first query.
   bool lazy_build = false;
@@ -91,7 +95,7 @@ class Engine {
   const Scene& scene() const;
   const EngineOptions& options() const;
   Backend backend() const;  // resolved: never kAuto
-  size_t num_threads() const;  // actual pool width (1 = sequential)
+  size_t num_threads() const;  // actual scheduler width (1 = sequential)
 
   // Whether the all-pairs structure has been constructed (always true for
   // eager engines after construction; kDijkstraBaseline never builds).

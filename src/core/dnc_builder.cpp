@@ -1,7 +1,10 @@
 #include "core/dnc_builder.h"
 
 #include <algorithm>
+#include <mutex>
+#include <set>
 #include <sstream>
+#include <thread>
 
 #include "core/region.h"
 #include "core/separator.h"
@@ -79,13 +82,21 @@ void sort_along(std::vector<Point>& v, const Staircase& s) {
 
 struct Builder {
   const DncOptions& opt;
-  ThreadPool* pool = nullptr;  // derived from opt.num_threads, build-scoped
+  Scheduler* sched = nullptr;  // derived from opt.num_threads, build-scoped
   DncStats stats;
+  // solve() runs concurrently on sibling subtrees; the tallies (and the
+  // thread-id census behind workers_observed) share one low-traffic mutex.
+  std::mutex stats_mu;
+  std::set<std::thread::id> worker_ids;
 
   BoundaryStructure solve(RectilinearPolygon region, std::vector<Rect> rects,
                           std::vector<Point> required, size_t depth) {
-    ++stats.nodes;
-    stats.max_depth = std::max(stats.max_depth, depth);
+    {
+      std::lock_guard<std::mutex> lk(stats_mu);
+      ++stats.nodes;
+      stats.max_depth = std::max(stats.max_depth, depth);
+      worker_ids.insert(std::this_thread::get_id());
+    }
 
     Scene scene(std::move(rects), std::move(region));
     RayShooter shooter(scene);
@@ -108,7 +119,10 @@ struct Builder {
         if (b.empty() || b.back() != p) b.push_back(p);
       }
     }
-    stats.max_boundary = std::max(stats.max_boundary, b.size());
+    {
+      std::lock_guard<std::mutex> lk(stats_mu);
+      stats.max_boundary = std::max(stats.max_boundary, b.size());
+    }
 
     if (scene.num_obstacles() <= opt.leaf_size) {
       return leaf(scene, std::move(b));
@@ -156,9 +170,9 @@ struct Builder {
     // projections of those points / obstacle corners / component vertices
     // onto the separator within the component (Middle, a.k.a. the
     // staircase-extension Cross points).
-    std::vector<BoundaryStructure> children(comps.size());
+    std::vector<std::vector<Point>> reqs(comps.size());
     for (size_t c = 0; c < comps.size(); ++c) {
-      std::vector<Point> req;
+      std::vector<Point>& req = reqs[c];
       std::vector<Point> sources;
       for (const auto& p : b) {
         if (comps[c].on_boundary(p)) {
@@ -176,7 +190,32 @@ struct Builder {
           }
         }
       }
-      children[c] = solve(comps[c], comp_rects[c], std::move(req), depth + 1);
+    }
+
+    // Recurse: the separator children are independent subproblems, so they
+    // build as parallel tasks (true tree parallelism — siblings steal
+    // across workers, not just rows within one level). Landing each result
+    // in children[c] keeps the conquer deterministic: the matrices are
+    // bit-identical for every scheduler width.
+    std::vector<BoundaryStructure> children(comps.size());
+    if (sched != nullptr && comps.size() > 1) {
+      TaskGroup group(*sched);
+      for (size_t c = 1; c < comps.size(); ++c) {
+        group.run([this, &comps, &comp_rects, &reqs, &children, c, depth] {
+          children[c] =
+              solve(comps[c], comp_rects[c], std::move(reqs[c]), depth + 1);
+        });
+      }
+      // The calling task takes the first subtree itself, then helps with
+      // (or waits on) the stolen siblings.
+      children[0] = solve(comps[0], comp_rects[0], std::move(reqs[0]),
+                          depth + 1);
+      group.wait();
+    } else {
+      for (size_t c = 0; c < comps.size(); ++c) {
+        children[c] =
+            solve(comps[c], comp_rects[c], std::move(reqs[c]), depth + 1);
+      }
     }
 
     BoundaryStructure out = conquer(scene, std::move(b), sep.sep, children);
@@ -185,7 +224,10 @@ struct Builder {
   }
 
   BoundaryStructure leaf(const Scene& scene, std::vector<Point> b) {
-    ++stats.leaves;
+    {
+      std::lock_guard<std::mutex> lk(stats_mu);
+      ++stats.leaves;
+    }
     TrackGraph g(scene.obstacles(), &scene.container(), b);
     Matrix d(b.size(), b.size(), kInf);
     pram_charge(b.size() * g.num_nodes(), b.size());
@@ -302,17 +344,17 @@ struct Builder {
             h(x, y) = dist1(a.mids[x], c.mids[y]);
         // reach ⊗ H: the second factor is Monge, so the SMAWK row path
         // always applies; the final ⊗ reach^T is checked (and counted).
-        ++stats.monge_multiplies;
-        Matrix s1 = pool != nullptr ? minplus_monge(*pool, a.reach, h)
-                                    : minplus_monge(a.reach, h);
+        bump(&DncStats::monge_multiplies);
+        Matrix s1 = sched != nullptr ? minplus_monge(*sched, a.reach, h)
+                                     : minplus_monge(a.reach, h);
         Matrix ct = c.reach.transposed();
         Matrix t;
         if (is_monge(ct)) {
-          ++stats.monge_multiplies;
-          t = pool != nullptr ? minplus_monge(*pool, s1, ct)
-                              : minplus_monge(s1, ct);
+          bump(&DncStats::monge_multiplies);
+          t = sched != nullptr ? minplus_monge(*sched, s1, ct)
+                               : minplus_monge(s1, ct);
         } else {
-          ++stats.monge_fallbacks;
+          bump(&DncStats::monge_fallbacks);
           t = minplus_naive(s1, ct);
         }
         for (size_t x = 0; x < a.rows.size(); ++x) {
@@ -325,6 +367,11 @@ struct Builder {
       }
     }
     return BoundaryStructure(scene.container(), std::move(b), std::move(d));
+  }
+
+  void bump(size_t DncStats::* counter) {
+    std::lock_guard<std::mutex> lk(stats_mu);
+    ++(stats.*counter);
   }
 
   void validate(const Scene& scene, const BoundaryStructure& st) {
@@ -351,13 +398,14 @@ struct Builder {
 
 DncResult build_boundary_structure(const Scene& scene,
                                    const DncOptions& opt) {
-  std::unique_ptr<ThreadPool> owned_pool =
-      opt.num_threads >= 2 ? std::make_unique<ThreadPool>(opt.num_threads)
+  std::unique_ptr<Scheduler> owned_sched =
+      opt.num_threads >= 2 ? std::make_unique<Scheduler>(opt.num_threads)
                            : nullptr;
-  Builder builder{opt, owned_pool.get(), {}};
+  Builder builder{opt, owned_sched.get(), {}, {}, {}};
   std::vector<Rect> rects = scene.obstacles();
   BoundaryStructure root =
       builder.solve(scene.container(), std::move(rects), {}, 0);
+  builder.stats.workers_observed = builder.worker_ids.size();
   return {std::move(root), builder.stats};
 }
 

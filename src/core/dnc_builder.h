@@ -20,15 +20,18 @@
 
 #include "core/boundary.h"
 #include "core/scene.h"
-#include "pram/thread_pool.h"
+#include "pram/scheduler.h"
 
 namespace rsp {
 
 struct DncOptions {
   size_t leaf_size = 3;    // max obstacles solved by the base case
-  // Parallel conquer rows over a builder-owned pool of this many threads,
-  // alive only for the build (0 or 1: sequential). No externally-owned
-  // pool to dangle.
+  // Width of the builder-owned work-stealing scheduler, alive only for the
+  // build (0 or 1: sequential). The scheduler gives true tree parallelism:
+  // the two-plus separator children of every node build as parallel tasks
+  // (sibling subtrees steal across workers), and the conquer's Monge row
+  // fan-out nests inside those tasks. Results are bit-identical for every
+  // width: children land in index order and the conquer is deterministic.
   size_t num_threads = 0;
   // Debug/test hook: re-derive every internal node's matrix with a local
   // track-graph Dijkstra and fail fast on the first mismatch. Quadratic
@@ -43,6 +46,9 @@ struct DncStats {
   size_t monge_multiplies = 0;
   size_t monge_fallbacks = 0;  // conquer pairs that failed the Monge check
   size_t max_boundary = 0;     // largest |B(Q)| seen
+  // Distinct threads that executed recursion nodes; > 1 proves sibling
+  // subtrees actually built in parallel (tests assert this).
+  size_t workers_observed = 0;
 };
 
 struct DncResult {

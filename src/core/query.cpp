@@ -25,18 +25,19 @@ void emit(std::vector<Point>& out, const Point& q) {
 AllPairsSP::AllPairsSP(Scene scene, const Options& opt)
     : AllPairsSP(std::move(scene),
                  opt.num_threads >= 2
-                     ? std::make_unique<ThreadPool>(opt.num_threads)
+                     ? std::make_unique<Scheduler>(opt.num_threads)
                      : nullptr) {}
 
-AllPairsSP::AllPairsSP(Scene scene, std::unique_ptr<ThreadPool> transient_pool)
-    : AllPairsSP(std::move(scene), transient_pool.get()) {}
+AllPairsSP::AllPairsSP(Scene scene,
+                       std::unique_ptr<Scheduler> transient_sched)
+    : AllPairsSP(std::move(scene), transient_sched.get()) {}
 
-AllPairsSP::AllPairsSP(Scene scene, ThreadPool* build_pool)
+AllPairsSP::AllPairsSP(Scene scene, Scheduler* build_sched)
     : scene_(std::move(scene)),
       shooter_(scene_),
       tracer_(scene_, shooter_),
-      data_(build_pool != nullptr
-                ? build_all_pairs(*build_pool, scene_, shooter_, tracer_)
+      data_(build_sched != nullptr
+                ? build_all_pairs(*build_sched, scene_, shooter_, tracer_)
                 : build_all_pairs(scene_, shooter_, tracer_)),
       trees_(scene_, tracer_, data_) {
   const auto& verts = scene_.obstacle_vertices();

@@ -31,16 +31,16 @@ class AllPairsSP {
  public:
   struct Options {
     // Fan the independent per-source computations over an internally-owned
-    // pool of this many threads, alive only for the build (0 or 1:
-    // sequential §9 build). No externally-owned pool to dangle.
+    // scheduler of this many threads, alive only for the build (0 or 1:
+    // sequential §9 build). No externally-owned scheduler to dangle.
     size_t num_threads = 0;
   };
 
   explicit AllPairsSP(Scene scene) : AllPairsSP(std::move(scene), Options{}) {}
   AllPairsSP(Scene scene, const Options& opt);
-  // Shares a caller-owned pool (e.g. the Engine's) for the build only; the
-  // pool is not retained past construction. nullptr: sequential build.
-  AllPairsSP(Scene scene, ThreadPool* build_pool);
+  // Shares a caller-owned scheduler (e.g. the Engine's) for the build only;
+  // it is not retained past construction. nullptr: sequential build.
+  AllPairsSP(Scene scene, Scheduler* build_sched);
 
   const Scene& scene() const { return scene_; }
   const AllPairsData& data() const { return data_; }
@@ -63,9 +63,9 @@ class AllPairsSP {
   std::vector<Point> path(const Point& s, const Point& t) const;
 
  private:
-  // Delegation step keeping a transient build pool alive through the
+  // Delegation step keeping a transient build scheduler alive through the
   // member-initializer build.
-  AllPairsSP(Scene scene, std::unique_ptr<ThreadPool> transient_pool);
+  AllPairsSP(Scene scene, std::unique_ptr<Scheduler> transient_sched);
 
   // Outcome of one §6.4 reduction level for (source, target).
   struct Resolution {

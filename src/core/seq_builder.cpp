@@ -167,7 +167,7 @@ std::vector<std::vector<size_t>> sweep_orders(const Scene& scene) {
   return orders;
 }
 
-AllPairsData build_impl(ThreadPool* pool, const Scene& scene,
+AllPairsData build_impl(Scheduler* sched, const Scene& scene,
                         const RayShooter& shooter, const Tracer& tracer) {
   const size_t m = scene.obstacle_vertices().size();
   AllPairsData out;
@@ -190,8 +190,8 @@ AllPairsData build_impl(ThreadPool* pool, const Scene& scene,
     }
   };
 
-  if (pool != nullptr) {
-    parallel_for(*pool, 0, m, do_source, /*grain=*/1);
+  if (sched != nullptr) {
+    parallel_for(*sched, 0, m, do_source, /*grain=*/1);
   } else {
     for (size_t src = 0; src < m; ++src) do_source(src);
   }
@@ -211,10 +211,10 @@ AllPairsData build_all_pairs(const Scene& scene, const RayShooter& shooter,
   return build_impl(nullptr, scene, shooter, tracer);
 }
 
-AllPairsData build_all_pairs(ThreadPool& pool, const Scene& scene,
+AllPairsData build_all_pairs(Scheduler& sched, const Scene& scene,
                              const RayShooter& shooter,
                              const Tracer& tracer) {
-  return build_impl(&pool, scene, shooter, tracer);
+  return build_impl(&sched, scene, shooter, tracer);
 }
 
 }  // namespace rsp

@@ -26,7 +26,7 @@
 
 #include "core/trace.h"
 #include "monge/matrix.h"
-#include "pram/thread_pool.h"
+#include "pram/scheduler.h"
 
 namespace rsp {
 
@@ -63,9 +63,11 @@ AllPairsData build_all_pairs(const Scene& scene, const RayShooter& shooter,
                              const Tracer& tracer);
 
 // Parallel driver: the n sources are independent after the shared
-// pre-processing, so they fan out over the pool (documented substitution
-// for the paper's §6.3 flow pipeline: same O(n^2) work, linear span).
-AllPairsData build_all_pairs(ThreadPool& pool, const Scene& scene,
+// pre-processing, so they fan out over the scheduler (documented
+// substitution for the paper's §6.3 flow pipeline: same O(n^2) work, linear
+// span). Nest-safe: callable from inside a scheduler task, e.g. an Engine
+// lazy build running as a task while the caller validates a batch.
+AllPairsData build_all_pairs(Scheduler& sched, const Scene& scene,
                              const RayShooter& shooter, const Tracer& tracer);
 
 }  // namespace rsp

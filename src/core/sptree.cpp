@@ -9,10 +9,17 @@ SpTrees::SpTrees(const Scene& scene, const Tracer& tracer,
     : scene_(&scene), tracer_(&tracer), data_(&data) {}
 
 SpTrees::RootData& SpTrees::root_data(size_t a) const {
-  // Serializes cache fills so concurrent path queries (the Engine's batch
-  // fan-out) are safe; RootData is immutable once built, and unordered_map
-  // references stay valid across later insertions.
-  std::lock_guard<std::mutex> lk(mu_);
+  // RootData is immutable once built and unordered_map references stay
+  // valid across later insertions, so a hit needs only the shared lock —
+  // concurrent batch path queries scale instead of serializing. A miss
+  // re-checks under the exclusive lock (another thread may have built the
+  // same root between the two lock acquisitions).
+  {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    auto it = cache_.find(a);
+    if (it != cache_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lk(mu_);
   auto it = cache_.find(a);
   if (it != cache_.end()) return it->second;
   const size_t m = data_->m;

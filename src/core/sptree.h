@@ -10,7 +10,7 @@
 // by a level-ancestor query — is exposed as chunked_chain().
 
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -51,7 +51,10 @@ class SpTrees {
   const Scene* scene_;
   const Tracer* tracer_;
   const AllPairsData* data_;
-  mutable std::mutex mu_;  // guards cache_ (concurrent const path queries)
+  // Guards cache_. Hits (the steady state of batch path fan-outs) take the
+  // lock shared so concurrent queries proceed in parallel; only a miss
+  // upgrades to exclusive to build and insert the root's trees.
+  mutable std::shared_mutex mu_;
   mutable std::unordered_map<size_t, RootData> cache_;
 };
 

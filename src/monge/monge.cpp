@@ -65,13 +65,13 @@ Matrix minplus_monge(const Matrix& a, const Matrix& b) {
   return c;
 }
 
-Matrix minplus_monge(ThreadPool& pool, const Matrix& a, const Matrix& b) {
+Matrix minplus_monge(Scheduler& sched, const Matrix& a, const Matrix& b) {
   RSP_CHECK(a.cols() == b.rows());
   Matrix c(a.rows(), b.cols(), kInf);
   if (a.rows() == 0 || b.cols() == 0 || a.cols() == 0) return c;
   pram_charge(a.rows() * (b.cols() + a.cols()),
               pram_detail::log2_ceil(a.cols()));
-  parallel_for(pool, 0, a.rows(), [&](size_t i) { product_row(a, b, i, c); },
+  parallel_for(sched, 0, a.rows(), [&](size_t i) { product_row(a, b, i, c); },
                /*grain=*/1);
   return c;
 }

@@ -10,7 +10,7 @@
 // matching Lemma 3's O(log z) time / O(ab) work shape.
 
 #include "monge/matrix.h"
-#include "pram/thread_pool.h"
+#include "pram/scheduler.h"
 
 namespace rsp {
 
@@ -27,7 +27,9 @@ Matrix minplus_naive(const Matrix& a, const Matrix& b);
 // Sequential: O(rows * (cols + inner)) evaluations.
 Matrix minplus_monge(const Matrix& a, const Matrix& b);
 
-// Parallel variant: independent rows fanned out over the pool.
-Matrix minplus_monge(ThreadPool& pool, const Matrix& a, const Matrix& b);
+// Parallel variant: independent rows fanned out over the scheduler.
+// Nest-safe: callable from inside scheduler tasks (the §5 conquer runs it
+// within subtree tasks that are themselves forked in parallel).
+Matrix minplus_monge(Scheduler& sched, const Matrix& a, const Matrix& b);
 
 }  // namespace rsp

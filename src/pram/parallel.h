@@ -2,102 +2,83 @@
 // CREW-PRAM primitive toolkit: parallel for / reduce / scan / merge / sort,
 // plus the PRAM cost-model instrumentation used by the benchmarks.
 //
-// The paper states all bounds as (time, processors) pairs on a CREW-PRAM and
-// composes parallel-prefix [18,19], parallel merging [35], and parallel
-// sorting [10] as black boxes. We provide those boxes on a thread pool and
-// additionally *account* their idealized PRAM cost: every primitive adds its
-// textbook work and depth to a global PramCost tally. Wall-clock speedup on
-// this container is meaningless (one core), so the benchmarks report the
-// tally: work should track the paper's processor×time products and depth the
-// paper's time bounds.
+// The paper states all bounds as (time, processors) pairs on a CREW-PRAM
+// and composes parallel-prefix [18,19], parallel merging [35], and parallel
+// sorting [10] as black boxes. We provide those boxes on the work-stealing
+// Scheduler (pram/scheduler.h) and additionally *account* their idealized
+// PRAM cost (pram/pram_cost.h).
+//
+// Nesting semantics: every primitive here is nest-safe. A parallel_for body
+// may call any primitive on the same scheduler — including parallel_for
+// itself — because forks go to the calling worker's own deque and joins
+// execute pending tasks instead of blocking the worker. This is what lets
+// the §5 divide-and-conquer run Monge products (parallel_for over rows)
+// inside subtree tasks that are themselves forked in parallel.
+//
+// Grain-size control: `grain` is the minimum number of items a leaf task
+// processes. parallel_for splits the range until leaves reach
+// max(grain, n / (8 * num_threads)) items — small enough to balance via
+// stealing, large enough to amortize the fork. The chunked primitives
+// (reduce/scan/merge/sort) keep their fixed chunking: the chunk count is
+// part of their charged PRAM cost shape.
+//
+// Cost accounting: every primitive charges its textbook work and depth once
+// per invocation to the global tally and to every PramCostScope active on
+// the calling thread (scopes propagate into forked tasks; see pram_cost.h).
 
 #include <algorithm>
-#include <atomic>
-#include <bit>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "common.h"
-#include "pram/thread_pool.h"
+#include "pram/pram_cost.h"
+#include "pram/scheduler.h"
 
 namespace rsp {
-
-// ---------------------------------------------------------------------------
-// PRAM cost model accounting.
-// ---------------------------------------------------------------------------
-
-struct PramCost {
-  uint64_t work = 0;   // total operations
-  uint64_t depth = 0;  // parallel time with unbounded processors
-
-  PramCost operator-(const PramCost& o) const {
-    return {work - o.work, depth - o.depth};
-  }
-};
-
-namespace pram_detail {
-inline std::atomic<uint64_t> g_work{0};
-inline std::atomic<uint64_t> g_depth{0};
-
-inline uint64_t log2_ceil(uint64_t n) {
-  return n <= 1 ? 1 : std::bit_width(n - 1);
-}
-}  // namespace pram_detail
-
-// Charges `work` operations executed in `depth` synchronous steps.
-// Primitives call this once per invocation (sequential composition model:
-// depth adds across calls issued from the coordinating thread).
-inline void pram_charge(uint64_t work, uint64_t depth) {
-  pram_detail::g_work.fetch_add(work, std::memory_order_relaxed);
-  pram_detail::g_depth.fetch_add(depth, std::memory_order_relaxed);
-}
-
-inline PramCost pram_cost_now() {
-  return {pram_detail::g_work.load(std::memory_order_relaxed),
-          pram_detail::g_depth.load(std::memory_order_relaxed)};
-}
-
-// Resets the global tally (benchmark setup).
-void pram_reset();
-
-// Measures the PRAM cost charged while the scope is alive.
-class PramCostScope {
- public:
-  PramCostScope() : start_(pram_cost_now()) {}
-  PramCost cost() const { return pram_cost_now() - start_; }
-
- private:
-  PramCost start_;
-};
 
 // ---------------------------------------------------------------------------
 // parallel_for
 // ---------------------------------------------------------------------------
 
 // Runs fn(i) for i in [begin, end). PRAM cost: work = n, depth = 1.
+// Reentrant: fn may itself call parallel_for on the same scheduler.
 template <typename Fn>
-void parallel_for(ThreadPool& pool, size_t begin, size_t end, Fn&& fn,
+void parallel_for(Scheduler& sched, size_t begin, size_t end, Fn&& fn,
                   size_t grain = 1024) {
   if (begin >= end) return;
-  size_t n = end - begin;
+  const size_t n = end - begin;
   pram_charge(n, 1);
-  size_t chunks = std::min(pool.num_threads() * 4, (n + grain - 1) / grain);
-  if (chunks <= 1) {
+  const size_t threads = sched.num_threads();
+  const size_t leaf =
+      std::max(std::max<size_t>(grain, 1), (n + 8 * threads - 1) / (8 * threads));
+  if (threads <= 1 || n <= leaf) {
     for (size_t i = begin; i < end; ++i) fn(i);
     return;
   }
-  size_t per = (n + chunks - 1) / chunks;
-  pool.run(chunks, [&](size_t c) {
-    size_t lo = begin + c * per;
-    size_t hi = std::min(end, lo + per);
+  // Fork the upper half until the local range is a leaf; the forked halves
+  // split further inside their own tasks, so the splitting itself runs in
+  // parallel. `split` is declared before the group on purpose: if fn
+  // throws on the caller's own leaf, unwinding destroys `g` first — which
+  // joins the outstanding tasks still invoking `split` by reference —
+  // before `split` itself goes away.
+  std::function<void(size_t, size_t)> split;
+  TaskGroup g(sched);
+  split = [&](size_t lo, size_t hi) {
+    while (hi - lo > leaf) {
+      size_t mid = lo + (hi - lo + 1) / 2;
+      g.run([&split, mid, hi] { split(mid, hi); });
+      hi = mid;
+    }
     for (size_t i = lo; i < hi; ++i) fn(i);
-  });
+  };
+  split(begin, end);
+  g.wait();
 }
 
 template <typename Fn>
 void parallel_for(size_t begin, size_t end, Fn&& fn, size_t grain = 1024) {
-  parallel_for(ThreadPool::global(), begin, end, std::forward<Fn>(fn), grain);
+  parallel_for(Scheduler::global(), begin, end, std::forward<Fn>(fn), grain);
 }
 
 // ---------------------------------------------------------------------------
@@ -106,13 +87,13 @@ void parallel_for(size_t begin, size_t end, Fn&& fn, size_t grain = 1024) {
 
 // Tree reduction. PRAM cost: work = n, depth = ceil(log2 n).
 template <typename T, typename Fn>
-T parallel_reduce(ThreadPool& pool, size_t begin, size_t end, T identity,
+T parallel_reduce(Scheduler& sched, size_t begin, size_t end, T identity,
                   Fn&& combine, const std::function<T(size_t)>& item,
                   size_t grain = 2048) {
   if (begin >= end) return identity;
   size_t n = end - begin;
   pram_charge(n, pram_detail::log2_ceil(n));
-  size_t chunks = std::min(pool.num_threads() * 4, (n + grain - 1) / grain);
+  size_t chunks = std::min(sched.num_threads() * 4, (n + grain - 1) / grain);
   if (chunks <= 1) {
     T acc = identity;
     for (size_t i = begin; i < end; ++i) acc = combine(acc, item(i));
@@ -120,7 +101,7 @@ T parallel_reduce(ThreadPool& pool, size_t begin, size_t end, T identity,
   }
   size_t per = (n + chunks - 1) / chunks;
   std::vector<T> partial(chunks, identity);
-  pool.run(chunks, [&](size_t c) {
+  sched.run(chunks, [&](size_t c) {
     size_t lo = begin + c * per;
     size_t hi = std::min(end, lo + per);
     T acc = identity;
@@ -139,11 +120,11 @@ T parallel_reduce(ThreadPool& pool, size_t begin, size_t end, T identity,
 // Exclusive prefix sums of v under +. Returns the total.
 // PRAM cost: work = 2n, depth = 2 ceil(log2 n).
 template <typename T>
-T exclusive_scan(ThreadPool& pool, std::vector<T>& v, T identity = T{}) {
+T exclusive_scan(Scheduler& sched, std::vector<T>& v, T identity = T{}) {
   size_t n = v.size();
   if (n == 0) return identity;
   pram_charge(2 * n, 2 * pram_detail::log2_ceil(n));
-  size_t chunks = std::min(pool.num_threads() * 4, (n + 2047) / 2048);
+  size_t chunks = std::min(sched.num_threads() * 4, (n + 2047) / 2048);
   if (chunks <= 1) {
     T acc = identity;
     for (size_t i = 0; i < n; ++i) {
@@ -155,7 +136,7 @@ T exclusive_scan(ThreadPool& pool, std::vector<T>& v, T identity = T{}) {
   }
   size_t per = (n + chunks - 1) / chunks;
   std::vector<T> sums(chunks, identity);
-  pool.run(chunks, [&](size_t c) {
+  sched.run(chunks, [&](size_t c) {
     size_t lo = c * per, hi = std::min(n, lo + per);
     T acc = identity;
     for (size_t i = lo; i < hi; ++i) acc = acc + v[i];
@@ -167,7 +148,7 @@ T exclusive_scan(ThreadPool& pool, std::vector<T>& v, T identity = T{}) {
     sums[c] = total;
     total = next;
   }
-  pool.run(chunks, [&](size_t c) {
+  sched.run(chunks, [&](size_t c) {
     size_t lo = c * per, hi = std::min(n, lo + per);
     T acc = sums[c];
     for (size_t i = lo; i < hi; ++i) {
@@ -181,7 +162,7 @@ T exclusive_scan(ThreadPool& pool, std::vector<T>& v, T identity = T{}) {
 
 template <typename T>
 T exclusive_scan(std::vector<T>& v, T identity = T{}) {
-  return exclusive_scan(ThreadPool::global(), v, identity);
+  return exclusive_scan(Scheduler::global(), v, identity);
 }
 
 // ---------------------------------------------------------------------------
@@ -191,14 +172,14 @@ T exclusive_scan(std::vector<T>& v, T identity = T{}) {
 // Merges sorted [a] and [b] into out (resized). Stable between inputs.
 // PRAM cost: work = |a|+|b|, depth = ceil(log2(|a|+|b|)).
 template <typename T, typename Less = std::less<T>>
-void parallel_merge(ThreadPool& pool, const std::vector<T>& a,
+void parallel_merge(Scheduler& sched, const std::vector<T>& a,
                     const std::vector<T>& b, std::vector<T>& out,
                     Less less = Less{}) {
   size_t n = a.size() + b.size();
   out.resize(n);
   if (n == 0) return;
   pram_charge(n, pram_detail::log2_ceil(n));
-  size_t chunks = std::min(pool.num_threads() * 4, (n + 4095) / 4096);
+  size_t chunks = std::min(sched.num_threads() * 4, (n + 4095) / 4096);
   if (chunks <= 1) {
     std::merge(a.begin(), a.end(), b.begin(), b.end(), out.begin(), less);
     return;
@@ -222,7 +203,7 @@ void parallel_merge(ThreadPool& pool, const std::vector<T>& a,
     }
     return {lo, k - lo};
   };
-  pool.run(chunks, [&](size_t c) {
+  sched.run(chunks, [&](size_t c) {
     size_t k0 = c * per, k1 = std::min(n, k0 + per);
     auto [a0, b0] = split_at(k0);
     auto [a1, b1] = split_at(k1);
@@ -239,10 +220,10 @@ void parallel_merge(ThreadPool& pool, const std::vector<T>& a,
 // PRAM cost: work = n ceil(log2 n), depth = ceil(log2 n)^2 (charged via the
 // per-round merges plus one charge for the base pass).
 template <typename T, typename Less = std::less<T>>
-void parallel_sort(ThreadPool& pool, std::vector<T>& v, Less less = Less{}) {
+void parallel_sort(Scheduler& sched, std::vector<T>& v, Less less = Less{}) {
   size_t n = v.size();
   if (n <= 1) return;
-  size_t base = std::max<size_t>(1, n / (pool.num_threads() * 4));
+  size_t base = std::max<size_t>(1, n / (sched.num_threads() * 4));
   base = std::max<size_t>(base, 1024);
   if (base >= n) {
     pram_charge(n * pram_detail::log2_ceil(n),
@@ -252,7 +233,7 @@ void parallel_sort(ThreadPool& pool, std::vector<T>& v, Less less = Less{}) {
   }
   size_t n_runs = (n + base - 1) / base;
   pram_charge(n * pram_detail::log2_ceil(base), pram_detail::log2_ceil(base));
-  pool.run(n_runs, [&](size_t r) {
+  sched.run(n_runs, [&](size_t r) {
     size_t lo = r * base, hi = std::min(n, lo + base);
     std::sort(v.begin() + lo, v.begin() + hi, less);
   });
@@ -265,12 +246,13 @@ void parallel_sort(ThreadPool& pool, std::vector<T>& v, Less less = Less{}) {
       size_t lo = p * 2 * width;
       size_t mid = std::min(n, lo + width);
       size_t hi = std::min(n, lo + 2 * width);
-      // Reuse parallel_merge across the pool for each pair in turn: with a
-      // handful of runs the merges themselves are the parallel dimension.
+      // Reuse parallel_merge across the scheduler for each pair in turn:
+      // with a handful of runs the merges themselves are the parallel
+      // dimension.
       std::vector<T> a(src->begin() + lo, src->begin() + mid);
       std::vector<T> b(src->begin() + mid, src->begin() + hi);
       std::vector<T> m;
-      parallel_merge(pool, a, b, m, less);
+      parallel_merge(sched, a, b, m, less);
       std::copy(m.begin(), m.end(), dst->begin() + lo);
     }
     std::swap(src, dst);
@@ -280,7 +262,7 @@ void parallel_sort(ThreadPool& pool, std::vector<T>& v, Less less = Less{}) {
 
 template <typename T, typename Less = std::less<T>>
 void parallel_sort(std::vector<T>& v, Less less = Less{}) {
-  parallel_sort(ThreadPool::global(), v, less);
+  parallel_sort(Scheduler::global(), v, less);
 }
 
 }  // namespace rsp

@@ -1,0 +1,106 @@
+#pragma once
+// PRAM cost-model accounting (paper §2: work/depth of the parallel-prefix,
+// merging and sorting black boxes).
+//
+// Every primitive charges its textbook work and depth once per invocation.
+// Charges land in two places:
+//
+//  * a process-global tally (pram_cost_now / pram_reset) — the historical
+//    interface, still useful for whole-process accounting;
+//  * every PramCostScope active on the charging thread — scoped RAII
+//    accounting, so concurrent benchmarks and tests each read their own
+//    tally instead of diffing (and corrupting) the shared one.
+//
+// Scopes form a per-thread chain. The scheduler propagates the chain across
+// task boundaries: a forked task inherits the forking thread's innermost
+// scope, so charges issued by stolen tasks still land in the scope that
+// forked them (the fork/join discipline guarantees the scope outlives the
+// join). pram_reset() clears only the process-global tally.
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace rsp {
+
+struct PramCost {
+  uint64_t work = 0;   // total operations
+  uint64_t depth = 0;  // parallel time with unbounded processors
+
+  PramCost operator-(const PramCost& o) const {
+    return {work - o.work, depth - o.depth};
+  }
+};
+
+class PramCostScope;
+
+namespace pram_detail {
+inline std::atomic<uint64_t> g_work{0};
+inline std::atomic<uint64_t> g_depth{0};
+inline thread_local PramCostScope* tl_scope = nullptr;
+
+inline uint64_t log2_ceil(uint64_t n) {
+  return n <= 1 ? 1 : std::bit_width(n - 1);
+}
+}  // namespace pram_detail
+
+// Measures the PRAM cost charged while the scope is alive by this thread
+// and by every task (transitively) forked under it.
+class PramCostScope {
+ public:
+  PramCostScope() : parent_(pram_detail::tl_scope) {
+    pram_detail::tl_scope = this;
+  }
+  ~PramCostScope() { pram_detail::tl_scope = parent_; }
+
+  PramCostScope(const PramCostScope&) = delete;
+  PramCostScope& operator=(const PramCostScope&) = delete;
+
+  PramCost cost() const {
+    return {work_.load(std::memory_order_relaxed),
+            depth_.load(std::memory_order_relaxed)};
+  }
+
+  void add(uint64_t work, uint64_t depth) {
+    work_.fetch_add(work, std::memory_order_relaxed);
+    depth_.fetch_add(depth, std::memory_order_relaxed);
+  }
+
+  PramCostScope* parent() const { return parent_; }
+
+ private:
+  PramCostScope* parent_;
+  std::atomic<uint64_t> work_{0};
+  std::atomic<uint64_t> depth_{0};
+};
+
+// Charges `work` operations executed in `depth` synchronous steps.
+// Primitives call this once per invocation (sequential composition model:
+// depth adds across calls issued from the coordinating thread).
+inline void pram_charge(uint64_t work, uint64_t depth) {
+  pram_detail::g_work.fetch_add(work, std::memory_order_relaxed);
+  pram_detail::g_depth.fetch_add(depth, std::memory_order_relaxed);
+  for (PramCostScope* s = pram_detail::tl_scope; s != nullptr;
+       s = s->parent()) {
+    s->add(work, depth);
+  }
+}
+
+inline PramCost pram_cost_now() {
+  return {pram_detail::g_work.load(std::memory_order_relaxed),
+          pram_detail::g_depth.load(std::memory_order_relaxed)};
+}
+
+// Resets the process-global tally (benchmark setup). Active scopes are
+// unaffected: they accumulate deltas, not snapshots.
+inline void pram_reset() {
+  pram_detail::g_work.store(0, std::memory_order_relaxed);
+  pram_detail::g_depth.store(0, std::memory_order_relaxed);
+}
+
+// Scheduler hooks: save/restore the innermost scope across task execution
+// so charges from stolen tasks land in the forking scope's tally.
+inline PramCostScope* pram_scope_current() { return pram_detail::tl_scope; }
+inline void pram_scope_set(PramCostScope* s) { pram_detail::tl_scope = s; }
+
+}  // namespace rsp

@@ -1,0 +1,263 @@
+#include "pram/scheduler.h"
+
+#include <chrono>
+#include <functional>
+
+namespace rsp {
+
+namespace {
+
+// Which scheduler (if any) the current thread is a worker of, and its
+// worker index there. External threads keep sched == nullptr and route
+// submissions through the injection queue.
+struct ThreadState {
+  Scheduler* sched = nullptr;
+  size_t index = 0;
+};
+thread_local ThreadState tl_state;
+
+// Per-thread xorshift for steal-victim randomization (no shared RNG state).
+size_t next_victim(size_t n) {
+  static thread_local uint64_t seed =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1;
+  seed ^= seed << 13;
+  seed ^= seed >> 7;
+  seed ^= seed << 17;
+  return static_cast<size_t>(seed % n);
+}
+
+}  // namespace
+
+namespace sched_detail {
+
+Deque::Buf* Deque::grow(Buf* a, int64_t t, int64_t b) {
+  Buf* bigger = new Buf(a->cap * 2);
+  for (int64_t i = t; i < b; ++i) bigger->put(i, a->get(i));
+  retired_.emplace_back(a);  // lagging thieves may still read the old array
+  buf_.store(bigger, std::memory_order_release);
+  return bigger;
+}
+
+}  // namespace sched_detail
+
+// ---------------------------------------------------------------------------
+// TaskGroup
+// ---------------------------------------------------------------------------
+
+TaskGroup::~TaskGroup() {
+  if (state_->pending.load(std::memory_order_acquire) == 0) return;
+  try {
+    wait();
+  } catch (...) {
+    // An unjoined group is only destroyed during unwinding; the task
+    // exception already lost to the one propagating.
+  }
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  auto* t = new sched_detail::Task{std::move(fn), state_,
+                                   pram_scope_current()};
+  state_->pending.fetch_add(1, std::memory_order_acq_rel);
+  if (sched_->workers_.empty()) {
+    sched_->execute(t);  // inline: no workers to hand it to
+    return;
+  }
+  sched_->submit(t);
+}
+
+void TaskGroup::wait() {
+  using namespace std::chrono_literals;
+  sched_detail::GroupState& st = *state_;
+  while (st.pending.load(std::memory_order_acquire) != 0) {
+    // Caller participates. Workers help with any task (mandatory for
+    // nested-join progress); external callers take only this group's
+    // injected tasks, so a small join can't swallow an unrelated long one.
+    if (sched_detail::Task* t = sched_->acquire(&st)) {
+      sched_->execute(t);
+      continue;
+    }
+    // Nothing runnable here: other threads own the remaining tasks. Block
+    // until the group drains (the timeout bounds how long we stop helping
+    // when a task becomes acquirable only after the scan above).
+    std::unique_lock<std::mutex> lk(st.mu);
+    st.cv.wait_for(lk, 1ms, [&] {
+      return st.pending.load(std::memory_order_relaxed) == 0;
+    });
+  }
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lk(st.mu);
+    err = st.error;
+    st.error = nullptr;  // group is reusable after wait()
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------------
+
+Scheduler::Scheduler(size_t num_threads) {
+  size_t extra = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(extra);
+  for (size_t i = 0; i < extra; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Spawn only after workers_ is fully built: steals scan the whole vector.
+  for (size_t i = 0; i < extra; ++i) {
+    workers_[i]->thread = std::thread([this, i] { worker_main(i); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    stop_ = true;
+  }
+  sleep_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  for (sched_detail::Task* t : inject_) delete t;  // fork/join leaves none
+}
+
+void Scheduler::submit(sched_detail::Task* t) {
+  if (tl_state.sched == this) {
+    workers_[tl_state.index]->deque.push(t);
+  } else {
+    std::lock_guard<std::mutex> lk(inject_mu_);
+    inject_.push_back(t);
+    inject_size_.store(inject_.size(), std::memory_order_release);
+  }
+  wake();
+}
+
+sched_detail::Task* Scheduler::acquire(
+    const sched_detail::GroupState* only_group) {
+  const bool is_worker = tl_state.sched == this;
+  if (is_worker) {
+    only_group = nullptr;  // workers must help with anything
+    if (sched_detail::Task* t = workers_[tl_state.index]->deque.pop()) {
+      return t;
+    }
+  }
+  if (inject_size_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> lk(inject_mu_);
+    auto it = inject_.begin();
+    if (only_group != nullptr) {
+      while (it != inject_.end() && (*it)->group.get() != only_group) ++it;
+    }
+    if (it != inject_.end()) {
+      sched_detail::Task* t = *it;
+      inject_.erase(it);
+      inject_size_.store(inject_.size(), std::memory_order_release);
+      return t;
+    }
+  }
+  if (only_group != nullptr) {
+    // An external joiner cannot steal: a stolen task's group is unknowable
+    // before the CAS commits, and running a foreign task would hold this
+    // group's join hostage to that task's latency.
+    return nullptr;
+  }
+  const size_t n = workers_.size();
+  if (n == 0) return nullptr;
+  const size_t self = is_worker ? tl_state.index : n;
+  const size_t start = next_victim(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t v = (start + i) % n;
+    if (v == self) continue;
+    if (sched_detail::Task* t = workers_[v]->deque.steal()) return t;
+  }
+  return nullptr;
+}
+
+void Scheduler::execute(sched_detail::Task* t) {
+  // Keep the group alive past `delete t`: the final notify below may run
+  // after the joiner returned and destroyed its TaskGroup.
+  std::shared_ptr<sched_detail::GroupState> g = t->group;
+  PramCostScope* saved = pram_scope_current();
+  pram_scope_set(t->cost_scope);  // charges land in the forker's scope
+  try {
+    t->fn();
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(g->mu);
+    if (!g->error) g->error = std::current_exception();
+  }
+  pram_scope_set(saved);
+  delete t;
+  if (g->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last task out: wake the joiner. Notify under the group mutex so the
+    // waiter cannot check the predicate and sleep between our decrement and
+    // this notification.
+    std::lock_guard<std::mutex> lk(g->mu);
+    g->cv.notify_all();
+  }
+}
+
+bool Scheduler::help_once() {
+  sched_detail::Task* t = acquire(nullptr);
+  if (t == nullptr) return false;
+  execute(t);
+  return true;
+}
+
+void Scheduler::run(size_t n_tasks, const std::function<void(size_t)>& fn) {
+  if (n_tasks == 0) return;
+  if (workers_.empty() || n_tasks == 1) {
+    for (size_t i = 0; i < n_tasks; ++i) fn(i);
+    return;
+  }
+  TaskGroup g(*this);
+  for (size_t i = 0; i < n_tasks; ++i) {
+    g.run([&fn, i] { fn(i); });
+  }
+  g.wait();
+}
+
+void Scheduler::wake() {
+  // Rendezvous with the sleep path below, fence-free: the seq_cst total
+  // order guarantees that if a worker's final epoch check missed this
+  // increment, its sleepers_ increment (issued before that check) is
+  // visible to our load — so we always take the slow notify path when a
+  // worker could be committing to sleep. Idle workers therefore block
+  // indefinitely with no polling.
+  epoch_.fetch_add(1, std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    sleep_cv_.notify_all();
+  }
+}
+
+void Scheduler::worker_main(size_t index) {
+  tl_state = {this, index};
+  uint64_t seen = epoch_.load(std::memory_order_acquire);
+  for (;;) {
+    if (sched_detail::Task* t = acquire(nullptr)) {
+      execute(t);
+      seen = epoch_.load(std::memory_order_acquire);
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(sleep_mu_);
+    if (stop_) return;
+    // Publish the intent to sleep *before* the final epoch check (see
+    // wake()): either we observe the new epoch here and rescan, or wake()
+    // observes sleepers_ > 0 and notifies under the mutex we hold.
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    if (epoch_.load(std::memory_order_seq_cst) != seen) {
+      sleepers_.fetch_sub(1, std::memory_order_relaxed);
+      seen = epoch_.load(std::memory_order_acquire);
+      continue;  // work arrived while scanning: rescan before sleeping
+    }
+    sleep_cv_.wait(lk);
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    seen = epoch_.load(std::memory_order_acquire);
+  }
+}
+
+Scheduler& Scheduler::global() {
+  static Scheduler sched(std::max(1u, std::thread::hardware_concurrency()));
+  return sched;
+}
+
+}  // namespace rsp

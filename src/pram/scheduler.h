@@ -1,0 +1,238 @@
+#pragma once
+// Work-stealing task scheduler simulating the CREW-PRAM.
+//
+// Replaces the flat, non-reentrant fork-join ThreadPool. Each worker owns a
+// Chase–Lev-style deque (lock-free owner push/pop at the bottom, CAS steal
+// at the top); threads that are not workers of this scheduler submit into a
+// mutex-guarded injection queue. Joins are helping: the waiting thread
+// executes pending tasks — its own deque first, then the injection queue,
+// then steals — so the caller always participates and a task may fork and
+// join its own TaskGroup without deadlock. That reentrancy is what lets the
+// §5 divide-and-conquer build sibling separator subtrees as parallel tasks
+// (true tree parallelism) instead of only fanning out rows one level at a
+// time, and lets Engine batch fan-outs nest inside arbitrary user threads.
+//
+// Concurrency discipline matches the paper's CREW model: tasks may read
+// shared state concurrently but never write the same location; the
+// scheduler itself adds no other sharing. Exceptions thrown by tasks are
+// captured per TaskGroup and the first one is rethrown from wait().
+//
+// PRAM cost accounting (pram_cost.h) crosses task boundaries: a forked task
+// inherits the forking thread's innermost PramCostScope.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "pram/pram_cost.h"
+
+namespace rsp {
+
+class Scheduler;
+
+namespace sched_detail {
+
+struct GroupState {
+  std::atomic<size_t> pending{0};
+  std::mutex mu;                // guards error; rendezvous for cv
+  std::condition_variable cv;   // signaled when pending reaches zero
+  std::exception_ptr error;     // first task exception wins
+};
+
+struct Task {
+  std::function<void()> fn;
+  // Shared so the completing thread can still notify after the joiner has
+  // observed pending == 0 and destroyed its TaskGroup.
+  std::shared_ptr<GroupState> group;
+  PramCostScope* cost_scope = nullptr;  // forker's scope, inherited
+};
+
+// Chase–Lev work-stealing deque of Task*. The owner pushes and pops at the
+// bottom without locks; thieves race a CAS on the top index. This follows
+// the formulation of Lê et al., "Correct and Efficient Work-Stealing for
+// Weak Memory Models" (PPoPP'13), with seq_cst ordering on the owner/thief
+// rendezvous instead of standalone fences (ThreadSanitizer models atomic
+// operations, not fences). Retired buffers are kept until destruction so a
+// lagging thief can always dereference the array it loaded.
+class Deque {
+ public:
+  Deque() : buf_(new Buf(kInitialCap)) {}
+  ~Deque() { delete buf_.load(std::memory_order_relaxed); }
+
+  Deque(const Deque&) = delete;
+  Deque& operator=(const Deque&) = delete;
+
+  // Owner only.
+  void push(Task* t) {
+    int64_t b = bottom_.load(std::memory_order_relaxed);
+    int64_t top = top_.load(std::memory_order_acquire);
+    Buf* a = buf_.load(std::memory_order_relaxed);
+    if (b - top > static_cast<int64_t>(a->cap) - 1) a = grow(a, top, b);
+    a->put(b, t);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+
+  // Owner only. Returns nullptr when empty (or lost the last item to a
+  // thief).
+  Task* pop() {
+    int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buf* a = buf_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // empty: undo
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    Task* x = a->get(b);
+    if (t == b) {  // last item: race thieves for it
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        x = nullptr;  // a thief won
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return x;
+  }
+
+  // Any thread. Returns nullptr when empty or on CAS contention (the
+  // caller's scan loop simply moves on).
+  Task* steal() {
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Buf* a = buf_.load(std::memory_order_acquire);
+    Task* x = a->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return x;
+  }
+
+ private:
+  static constexpr size_t kInitialCap = 256;  // power of two
+
+  struct Buf {
+    explicit Buf(size_t c)
+        : cap(c), mask(c - 1), slots(new std::atomic<Task*>[c]) {}
+    size_t cap;
+    size_t mask;
+    std::unique_ptr<std::atomic<Task*>[]> slots;
+
+    Task* get(int64_t i) const {
+      return slots[static_cast<size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+    void put(int64_t i, Task* t) {
+      slots[static_cast<size_t>(i) & mask].store(t,
+                                                 std::memory_order_relaxed);
+    }
+  };
+
+  Buf* grow(Buf* a, int64_t t, int64_t b);
+
+  std::atomic<int64_t> top_{0};
+  std::atomic<int64_t> bottom_{0};
+  std::atomic<Buf*> buf_;
+  std::vector<std::unique_ptr<Buf>> retired_;  // owner-only; thief safety
+};
+
+}  // namespace sched_detail
+
+// Fork/join handle: fork tasks with run(), join with wait(). The waiting
+// thread helps execute pending work (any scheduler task, not only this
+// group's), so nesting a TaskGroup inside a task cannot deadlock even when
+// the recursion is deeper than the pool is wide. The destructor joins
+// (swallowing task exceptions) if wait() was never called.
+class TaskGroup {
+ public:
+  explicit TaskGroup(Scheduler& sched)
+      : sched_(&sched),
+        state_(std::make_shared<sched_detail::GroupState>()) {}
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  // Forks fn as a task. On a scheduler with no spawned workers the task
+  // still runs at wait() (or earlier, inline) — semantics are identical,
+  // only the interleaving differs.
+  void run(std::function<void()> fn);
+
+  // Joins: returns when every forked task has finished; rethrows the first
+  // task exception. The caller executes pending tasks while it waits.
+  void wait();
+
+ private:
+  Scheduler* sched_;
+  std::shared_ptr<sched_detail::GroupState> state_;
+};
+
+class Scheduler {
+ public:
+  // A scheduler of width num_threads: num_threads - 1 spawned workers plus
+  // the caller, which participates during joins (same convention as the old
+  // ThreadPool). Width 0 or 1 spawns nothing and runs everything inline.
+  explicit Scheduler(size_t num_threads);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  size_t num_threads() const { return workers_.size() + 1; }  // + caller
+
+  // Flat fork-join: runs fn(i) for i in [0, n_tasks); returns when all
+  // complete. The calling thread participates; the first task exception is
+  // rethrown. Fully reentrant — tasks may call run()/parallel_for on the
+  // same scheduler (this is what the old ThreadPool::run forbade).
+  void run(size_t n_tasks, const std::function<void(size_t)>& fn);
+
+  // Executes at most one pending task on the calling thread. Returns false
+  // when no task could be acquired. Used by joins; exposed for tests.
+  bool help_once();
+
+  // Process-wide scheduler sized to the hardware; created on first use.
+  static Scheduler& global();
+
+ private:
+  friend class TaskGroup;
+
+  struct Worker {
+    sched_detail::Deque deque;
+    std::thread thread;
+  };
+
+  void submit(sched_detail::Task* t);
+  // Acquires one runnable task: local deque -> injection queue -> steal.
+  // Worker threads of this scheduler ignore `only_group` — they must help
+  // with anything or nested joins could starve each other. External
+  // threads with `only_group` set take only that group's injected tasks
+  // and never steal: an external joiner participates in its own batch but
+  // cannot get stuck executing another request's long task inline.
+  sched_detail::Task* acquire(const sched_detail::GroupState* only_group);
+  void execute(sched_detail::Task* t);  // run + group bookkeeping
+  void worker_main(size_t index);
+  void wake();
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::mutex inject_mu_;
+  std::deque<sched_detail::Task*> inject_;  // external submissions
+  std::atomic<size_t> inject_size_{0};      // lock-free emptiness gate
+
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  std::atomic<uint64_t> epoch_{0};   // bumped on every submit
+  std::atomic<int> sleepers_{0};
+  bool stop_ = false;  // guarded by sleep_mu_
+};
+
+}  // namespace rsp

@@ -6,7 +6,7 @@
 #include "baseline/dijkstra.h"
 #include "core/seq_builder.h"
 #include "io/gen.h"
-#include "pram/thread_pool.h"
+#include "pram/scheduler.h"
 
 namespace rsp {
 namespace {
@@ -87,14 +87,14 @@ TEST(Builder, MatrixIsSymmetricAndFinite) {
 }
 
 TEST(Builder, ParallelDriverMatchesSequential) {
-  ThreadPool pool(4);
+  Scheduler sched(4);
   for (const auto& gen : kAllGens) {
     Scene s1 = gen.fn(15, 33);
     Scene s2 = gen.fn(15, 33);
     RayShooter sh1(s1), sh2(s2);
     Tracer tr1(s1, sh1), tr2(s2, sh2);
     AllPairsData seq = build_all_pairs(s1, sh1, tr1);
-    AllPairsData par = build_all_pairs(pool, s2, sh2, tr2);
+    AllPairsData par = build_all_pairs(sched, s2, sh2, tr2);
     EXPECT_EQ(seq.dist, par.dist) << gen.name;
   }
 }

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "baseline/dijkstra.h"
 #include "core/dnc_builder.h"
 #include "core/region.h"
@@ -184,14 +186,37 @@ TEST(Dnc, LeafSizeDoesNotChangeAnswers) {
   EXPECT_GT(r1.stats.nodes, r2.stats.nodes);
 }
 
-TEST(Dnc, ParallelPoolMatchesSequential) {
-  Scene s = gen_grid(12, 5);
+TEST(Dnc, DeterministicAcrossSchedulerWidths) {
+  // Sibling subtrees build as parallel tasks, but each child lands in its
+  // slot and the conquer is deterministic, so the BoundaryStructure must be
+  // bit-identical for every scheduler width (sequential, 2, hardware).
+  size_t hw = std::max<size_t>(2, std::thread::hardware_concurrency());
+  for (const Scene& s : {gen_grid(12, 5), gen_uniform(16, 9)}) {
+    DncResult base = build_boundary_structure(s);  // num_threads = 0
+    for (size_t threads : {size_t{2}, hw}) {
+      DncOptions op;
+      op.num_threads = threads;
+      DncResult r = build_boundary_structure(s, op);
+      ASSERT_EQ(r.root.points(), base.root.points()) << threads;
+      EXPECT_EQ(r.root.matrix(), base.root.matrix()) << threads;
+    }
+  }
+}
+
+TEST(Dnc, SiblingSubtreesBuildInParallel) {
+  // The §5 recursion forks separator children as scheduler tasks; with a
+  // 4-wide scheduler on a big-enough scene, stolen subtrees must have run
+  // on more than one thread (subtree builds are ms-scale while worker
+  // wakeup is µs-scale, so this holds even on one hardware core).
+  Scene s = gen_uniform(32, 11);
   DncOptions op;
   op.num_threads = 4;
-  DncResult rp = build_boundary_structure(s, op);
+  DncResult r = build_boundary_structure(s, op);
+  EXPECT_GE(r.stats.workers_observed, 2u);
+  // And the sequential build reports exactly one.
   DncResult rs = build_boundary_structure(s);
-  ASSERT_EQ(rp.root.points().size(), rs.root.points().size());
-  EXPECT_EQ(rp.root.matrix(), rs.root.matrix());
+  EXPECT_EQ(rs.stats.workers_observed, 1u);
+  EXPECT_EQ(r.root.matrix(), rs.root.matrix());
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <thread>
 
 #include "api/engine.h"
 #include "baseline/dijkstra.h"
@@ -72,6 +73,61 @@ TEST_P(EngineBatchTest, BatchMatchesSinglePairBitForBit) {
 INSTANTIATE_TEST_SUITE_P(AllGens, EngineBatchTest,
                          ::testing::ValuesIn(kAllGens),
                          [](const auto& info) { return info.param.name; });
+
+TEST(EngineBatch, LazyBuildOverlapsFirstBatch) {
+  // With lazy_build, the first call being a batch exercises the path where
+  // the deferred build runs as a scheduler task while the batch validates;
+  // the answers must match an eager engine's.
+  Scene s = gen_uniform(12, 41);
+  Engine lazy(s, {.num_threads = 4, .lazy_build = true});
+  Engine eager(Scene{s}, {.num_threads = 4});
+  EXPECT_FALSE(lazy.built());
+  auto pairs = make_pairs(s, 16, 13);
+  auto got = lazy.lengths(pairs);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_TRUE(lazy.built());
+  auto want = eager.lengths(pairs);
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(*got, *want);
+  // An invalid batch on a fresh lazy engine still reports the validation
+  // error (validation wins over whatever the overlapped build does).
+  Engine lazy2(Scene{s}, {.num_threads = 4, .lazy_build = true});
+  Rect bb = s.container().bbox();
+  std::vector<PointPair> bad = {
+      {pairs[0].s, {bb.xmin - 100, bb.ymin - 100}}};  // outside container
+  auto st = lazy2.lengths(bad);
+  EXPECT_EQ(st.status().code(), StatusCode::kInvalidQuery);
+  // And the engine still serves valid batches afterwards (the prefetched
+  // build the rejected batch kicked off is reused, not corrupted).
+  auto ok = lazy2.lengths(pairs);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(*ok, *want);
+}
+
+TEST(EngineBatch, ConcurrentBatchesFromUserThreads) {
+  // Batch fan-outs used to serialize on a pool lock; the scheduler is
+  // reentrant, so concurrent lengths()/paths() from several user threads
+  // must interleave safely and return exact results.
+  Scene s = gen_uniform(10, 19);
+  Engine eng(s, {.num_threads = 4});
+  auto pairs = make_pairs(s, 12, 3);
+  std::vector<Length> want;
+  for (const auto& p : pairs) want.push_back(*eng.length(p.s, p.t));
+  constexpr int kUsers = 4;
+  std::vector<std::vector<Length>> got(kUsers);
+  std::vector<std::thread> users;
+  for (int u = 0; u < kUsers; ++u) {
+    users.emplace_back([&, u] {
+      for (int round = 0; round < 5; ++round) {
+        auto r = eng.lengths(pairs);
+        ASSERT_TRUE(r.ok());
+        got[u] = *r;
+      }
+    });
+  }
+  for (auto& t : users) t.join();
+  for (int u = 0; u < kUsers; ++u) EXPECT_EQ(got[u], want) << "user " << u;
+}
 
 // ---------------------------------------------------------------------------
 // Degenerate and invalid queries: documented Status, never a throw.

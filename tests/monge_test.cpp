@@ -7,7 +7,7 @@
 
 #include "monge/monge.h"
 #include "monge/smawk.h"
-#include "pram/thread_pool.h"
+#include "pram/scheduler.h"
 
 namespace rsp {
 namespace {
@@ -113,13 +113,13 @@ TEST(MinplusMonge, MatchesNaiveOnMongeInputs) {
 }
 
 TEST(MinplusMonge, ParallelMatchesSequential) {
-  ThreadPool pool(4);
+  Scheduler sched(4);
   std::mt19937_64 rng(17);
   for (int it = 0; it < 10; ++it) {
     size_t a = 1 + rng() % 60, z = 1 + rng() % 60, b = 1 + rng() % 60;
     Matrix m1 = random_monge(a, z, rng());
     Matrix m2 = random_monge(z, b, rng());
-    EXPECT_EQ(minplus_monge(pool, m1, m2), minplus_monge(m1, m2));
+    EXPECT_EQ(minplus_monge(sched, m1, m2), minplus_monge(m1, m2));
   }
 }
 

@@ -1,50 +1,53 @@
-// Tests for the PRAM simulation substrate: thread pool, parallel_for,
-// reduce, scan, merge, sort, and the work/depth accounting (§2 of the
-// paper uses these primitives as black boxes).
+// Tests for the PRAM simulation substrate: the work-stealing scheduler's
+// flat fork-join entry, parallel_for, reduce, scan, merge, sort, and the
+// work/depth accounting (§2 of the paper uses these primitives as black
+// boxes). Scheduler-specific behavior — nesting, stealing, exception
+// routing through TaskGroup — is covered by scheduler_test.cpp.
 
 #include <gtest/gtest.h>
 
 #include <numeric>
 #include <random>
+#include <thread>
 
 #include "pram/parallel.h"
-#include "pram/thread_pool.h"
+#include "pram/scheduler.h"
 
 namespace rsp {
 namespace {
 
-TEST(ThreadPool, RunsAllTasksOnce) {
-  ThreadPool pool(4);
+TEST(SchedulerRun, RunsAllTasksOnce) {
+  Scheduler sched(4);
   std::vector<std::atomic<int>> hits(1000);
-  pool.run(1000, [&](size_t i) { hits[i].fetch_add(1); });
+  sched.run(1000, [&](size_t i) { hits[i].fetch_add(1); });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
-TEST(ThreadPool, PropagatesExceptions) {
-  ThreadPool pool(3);
+TEST(SchedulerRun, PropagatesExceptions) {
+  Scheduler sched(3);
   EXPECT_THROW(
-      pool.run(64,
-               [&](size_t i) {
-                 if (i == 13) throw std::runtime_error("boom");
-               }),
+      sched.run(64,
+                [&](size_t i) {
+                  if (i == 13) throw std::runtime_error("boom");
+                }),
       std::runtime_error);
-  // Pool remains usable after an exception.
+  // Scheduler remains usable after an exception.
   std::atomic<int> count{0};
-  pool.run(16, [&](size_t) { count.fetch_add(1); });
+  sched.run(16, [&](size_t) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), 16);
 }
 
-TEST(ThreadPool, SingleThreadFallback) {
-  ThreadPool pool(1);
+TEST(SchedulerRun, SingleThreadFallback) {
+  Scheduler sched(1);
   std::vector<int> v(100, 0);
-  pool.run(100, [&](size_t i) { v[i] = static_cast<int>(i); });
+  sched.run(100, [&](size_t i) { v[i] = static_cast<int>(i); });
   for (int i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
 }
 
 TEST(ParallelFor, MatchesSerialLoop) {
-  ThreadPool pool(4);
+  Scheduler sched(4);
   std::vector<long long> v(50000);
-  parallel_for(pool, 0, v.size(), [&](size_t i) {
+  parallel_for(sched, 0, v.size(), [&](size_t i) {
     v[i] = static_cast<long long>(i) * 3 - 7;
   });
   for (size_t i = 0; i < v.size(); ++i) {
@@ -52,20 +55,41 @@ TEST(ParallelFor, MatchesSerialLoop) {
   }
 }
 
+TEST(ParallelFor, PropagatesExceptionFromCallerLeaf) {
+  // The caller's own leaf throws while forked split tasks are still live;
+  // unwinding must join them before the recursion lambda is destroyed
+  // (regression test for the split/TaskGroup declaration order).
+  Scheduler sched(4);
+  for (int it = 0; it < 20; ++it) {
+    EXPECT_THROW(
+        parallel_for(
+            sched, 0, 100000,
+            [&](size_t i) {
+              if (i % 1000 == 7) throw std::runtime_error("leaf boom");
+            },
+            /*grain=*/16),
+        std::runtime_error);
+  }
+  // Scheduler unharmed.
+  std::atomic<int> count{0};
+  sched.run(16, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 16);
+}
+
 TEST(ParallelReduce, SumsLikeAccumulate) {
-  ThreadPool pool(4);
+  Scheduler sched(4);
   std::vector<long long> v(31337);
   std::mt19937_64 rng(3);
   for (auto& x : v) x = static_cast<long long>(rng() % 1000) - 500;
   long long expect = std::accumulate(v.begin(), v.end(), 0LL);
   long long got = parallel_reduce<long long>(
-      pool, 0, v.size(), 0LL, [](long long a, long long b) { return a + b; },
+      sched, 0, v.size(), 0LL, [](long long a, long long b) { return a + b; },
       [&](size_t i) { return v[i]; });
   EXPECT_EQ(got, expect);
 }
 
 TEST(ExclusiveScan, MatchesSerialPrefix) {
-  ThreadPool pool(4);
+  Scheduler sched(4);
   for (size_t n : {0u, 1u, 2u, 1000u, 65536u}) {
     std::vector<long long> v(n), expect(n);
     std::mt19937_64 rng(n);
@@ -75,14 +99,14 @@ TEST(ExclusiveScan, MatchesSerialPrefix) {
       expect[i] = acc;
       acc += v[i];
     }
-    long long total = exclusive_scan(pool, v);
+    long long total = exclusive_scan(sched, v);
     EXPECT_EQ(total, acc);
     EXPECT_EQ(v, expect);
   }
 }
 
 TEST(ParallelMerge, MatchesStdMerge) {
-  ThreadPool pool(4);
+  Scheduler sched(4);
   std::mt19937_64 rng(5);
   for (int it = 0; it < 30; ++it) {
     size_t na = rng() % 5000, nb = rng() % 5000;
@@ -93,43 +117,43 @@ TEST(ParallelMerge, MatchesStdMerge) {
     std::sort(b.begin(), b.end());
     std::vector<int> expect(na + nb), got;
     std::merge(a.begin(), a.end(), b.begin(), b.end(), expect.begin());
-    parallel_merge(pool, a, b, got);
+    parallel_merge(sched, a, b, got);
     EXPECT_EQ(got, expect);
   }
 }
 
 TEST(ParallelSort, MatchesStdSort) {
-  ThreadPool pool(4);
+  Scheduler sched(4);
   std::mt19937_64 rng(9);
   for (size_t n : {0u, 1u, 2u, 100u, 4097u, 100000u}) {
     std::vector<long long> v(n);
     for (auto& x : v) x = static_cast<long long>(rng() % 1000000);
     std::vector<long long> expect = v;
     std::sort(expect.begin(), expect.end());
-    parallel_sort(pool, v);
+    parallel_sort(sched, v);
     EXPECT_EQ(v, expect);
   }
 }
 
 TEST(PramCost, ScanChargesLinearWorkLogDepth) {
-  ThreadPool pool(2);
+  Scheduler sched(2);
   pram_reset();
   std::vector<long long> v(1 << 16, 1);
   PramCostScope scope;
-  exclusive_scan(pool, v);
+  exclusive_scan(sched, v);
   PramCost c = scope.cost();
   EXPECT_EQ(c.work, 2u * (1 << 16));
   EXPECT_EQ(c.depth, 2u * 16);
 }
 
 TEST(PramCost, SortChargesNLogNWork) {
-  ThreadPool pool(2);
+  Scheduler sched(2);
   pram_reset();
   std::vector<long long> v(1 << 14);
   std::mt19937_64 rng(2);
   for (auto& x : v) x = static_cast<long long>(rng());
   PramCostScope scope;
-  parallel_sort(pool, v);
+  parallel_sort(sched, v);
   PramCost c = scope.cost();
   // Work within a small constant of n log n.
   uint64_t n = 1 << 14;
@@ -149,6 +173,41 @@ TEST(PramCost, ScopesNest) {
   }
   EXPECT_EQ(outer.cost().work, 15u);
   EXPECT_EQ(outer.cost().depth, 3u);
+}
+
+TEST(PramCost, ConcurrentScopesStayIsolated) {
+  // Two threads charge under their own scopes concurrently; each scope
+  // tallies only its own thread's charges (the process-global tally keeps
+  // the sum). This is the point of scoped accounting: parallel benchmarks
+  // can no longer corrupt each other's numbers.
+  PramCost seen[2];
+  std::thread t0([&] {
+    PramCostScope scope;
+    for (int i = 0; i < 1000; ++i) pram_charge(3, 1);
+    seen[0] = scope.cost();
+  });
+  std::thread t1([&] {
+    PramCostScope scope;
+    for (int i = 0; i < 1000; ++i) pram_charge(7, 2);
+    seen[1] = scope.cost();
+  });
+  t0.join();
+  t1.join();
+  EXPECT_EQ(seen[0].work, 3000u);
+  EXPECT_EQ(seen[0].depth, 1000u);
+  EXPECT_EQ(seen[1].work, 7000u);
+  EXPECT_EQ(seen[1].depth, 2000u);
+}
+
+TEST(PramCost, ScopeFollowsForkedTasks) {
+  // Charges issued inside scheduler tasks land in the scope that was
+  // active when the task was forked, even when a worker thread runs it.
+  Scheduler sched(4);
+  pram_reset();
+  PramCostScope scope;
+  sched.run(64, [&](size_t) { pram_charge(2, 1); });
+  EXPECT_EQ(scope.cost().work, 128u);
+  EXPECT_EQ(scope.cost().depth, 64u);
 }
 
 }  // namespace

@@ -1,0 +1,165 @@
+// Tests for the work-stealing scheduler itself: nested fork-join deeper
+// than the pool is wide, exception propagation out of nested tasks,
+// oversubscription, reentrancy of parallel_for, multi-worker participation,
+// and sharing one scheduler across external user threads. Correctness of
+// the algorithms running on top is covered by the builder/dnc/engine
+// suites; determinism of the D&C build across scheduler widths lives in
+// dnc_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "pram/parallel.h"
+#include "pram/scheduler.h"
+
+namespace rsp {
+namespace {
+
+// Recursive fork-join tree sum: sum of [lo, hi) by splitting in two tasks
+// per level until singletons. Depth log2(n) with two live joins per level —
+// far more simultaneous joins than workers, so this deadlocks unless
+// waiting threads help execute pending tasks.
+long long tree_sum(Scheduler& sched, const std::vector<int>& v, size_t lo,
+                   size_t hi) {
+  if (hi - lo == 1) return v[lo];
+  size_t mid = lo + (hi - lo) / 2;
+  long long left = 0, right = 0;
+  TaskGroup g(sched);
+  g.run([&] { left = tree_sum(sched, v, lo, mid); });
+  right = tree_sum(sched, v, mid, hi);
+  g.wait();
+  return left + right;
+}
+
+TEST(Scheduler, NestedForkJoinDeeperThanPoolWidth) {
+  Scheduler sched(2);  // 1 worker + caller; recursion depth will be ~12
+  std::vector<int> v(4096);
+  long long expect = 0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<int>(i % 97) - 48;
+    expect += v[i];
+  }
+  EXPECT_EQ(tree_sum(sched, v, 0, v.size()), expect);
+}
+
+TEST(Scheduler, ExceptionPropagatesFromNestedTasks) {
+  Scheduler sched(3);
+  auto nested = [&] {
+    TaskGroup outer(sched);
+    outer.run([&] {
+      TaskGroup inner(sched);
+      inner.run([] { throw std::runtime_error("inner boom"); });
+      inner.wait();  // rethrows here, inside the outer task...
+    });
+    outer.wait();    // ...and surfaces from the outer join.
+  };
+  EXPECT_THROW(nested(), std::runtime_error);
+  // Scheduler remains usable afterwards.
+  std::atomic<int> count{0};
+  sched.run(32, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(Scheduler, OversubscriptionRunsEveryTaskExactlyOnce) {
+  Scheduler sched(2);
+  constexpr size_t kTasks = 20000;  // far more tasks than workers
+  std::vector<std::atomic<uint8_t>> hits(kTasks);
+  TaskGroup g(sched);
+  for (size_t i = 0; i < kTasks; ++i) {
+    g.run([&hits, i] { hits[i].fetch_add(1); });
+  }
+  g.wait();
+  for (size_t i = 0; i < kTasks; ++i) {
+    ASSERT_EQ(hits[i].load(), 1u) << "task " << i;
+  }
+}
+
+TEST(Scheduler, ParallelForNestsInsideParallelFor) {
+  Scheduler sched(4);
+  constexpr size_t kRows = 64, kCols = 512;
+  std::vector<int> grid(kRows * kCols, 0);
+  parallel_for(sched, 0, kRows, [&](size_t r) {
+    parallel_for(sched, 0, kCols, [&](size_t c) {
+      grid[r * kCols + c] = static_cast<int>(r * kCols + c);
+    }, /*grain=*/16);
+  }, /*grain=*/1);
+  for (size_t i = 0; i < grid.size(); ++i) {
+    ASSERT_EQ(grid[i], static_cast<int>(i));
+  }
+}
+
+TEST(Scheduler, MultipleWorkersParticipate) {
+  // Tasks that genuinely block (sleep) force distribution across threads:
+  // the caller can only run one at a time, so sleeping workers must wake
+  // and steal the rest — even on a single hardware core.
+  Scheduler sched(4);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  sched.run(8, [&](size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::lock_guard<std::mutex> lk(mu);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_GE(ids.size(), 2u);
+}
+
+TEST(Scheduler, SharedAcrossExternalThreads) {
+  // Several user threads drive fan-outs on one scheduler concurrently (the
+  // Engine's serving pattern). Each fan-out must see exactly its own
+  // updates; the old ThreadPool forbade this without external locking.
+  Scheduler sched(4);
+  constexpr int kUsers = 4;
+  constexpr size_t kN = 2000;
+  std::vector<std::vector<int>> results(kUsers, std::vector<int>(kN, -1));
+  std::vector<std::thread> users;
+  users.reserve(kUsers);
+  for (int u = 0; u < kUsers; ++u) {
+    users.emplace_back([&, u] {
+      parallel_for(sched, 0, kN, [&, u](size_t i) {
+        results[u][i] = static_cast<int>(i) + u;
+      }, /*grain=*/8);
+    });
+  }
+  for (auto& t : users) t.join();
+  for (int u = 0; u < kUsers; ++u) {
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(results[u][i], static_cast<int>(i) + u) << "user " << u;
+    }
+  }
+}
+
+TEST(Scheduler, TaskGroupReusableAfterWait) {
+  Scheduler sched(2);
+  TaskGroup g(sched);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) g.run([&] { count.fetch_add(1); });
+    g.wait();
+    EXPECT_EQ(count.load(), (round + 1) * 10);
+  }
+}
+
+TEST(Scheduler, DestructorJoinsUnwaitedGroup) {
+  Scheduler sched(2);
+  std::atomic<int> count{0};
+  {
+    TaskGroup g(sched);
+    for (int i = 0; i < 50; ++i) g.run([&] { count.fetch_add(1); });
+    // No wait(): the destructor must join before the captures go away.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(Scheduler, HelpOnceReportsIdle) {
+  Scheduler sched(2);
+  EXPECT_FALSE(sched.help_once());  // nothing submitted
+}
+
+}  // namespace
+}  // namespace rsp
