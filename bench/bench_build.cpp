@@ -10,9 +10,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
+#include "api/engine.h"
 #include "core/dnc_builder.h"
 #include "core/seq_builder.h"
 #include "io/gen.h"
+#include "io/snapshot.h"
 #include "pram/parallel.h"
 
 namespace rsp {
@@ -85,6 +89,66 @@ void BM_BuildDncThreads(benchmark::State& state) {
   state.counters["workers"] = static_cast<double>(stats.workers_observed);
 }
 
+// Snapshot trade-off (io/snapshot.h): BM_Build is the full cold-start cost
+// an engine replica pays without persistence — generate-free, Engine
+// construction with the eager all-pairs build. BM_SnapshotLoad is the
+// deployment alternative: Engine::open on the serialized bytes (held in
+// memory — the disk is the deployment's variable, the decode+restore cost
+// is ours). The acceptance bar is load >= 5x faster than rebuild at n=512.
+void BM_Build(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Scene scene = gen_uniform(n, 7);
+  for (auto _ : state) {
+    Engine eng(scene, {.backend = Backend::kAllPairsSeq});
+    benchmark::DoNotOptimize(eng.built());
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+
+void BM_SnapshotLoad(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Engine built(gen_uniform(n, 7), {.backend = Backend::kAllPairsSeq});
+  std::ostringstream os;
+  Status st = built.save(os);
+  if (!st.ok()) {
+    state.SkipWithError(st.to_string().c_str());
+    return;
+  }
+  const std::string bytes = os.str();
+  // One stream, rewound per iteration: copying the multi-megabyte byte
+  // string into a fresh istringstream is stream setup, not load cost (a
+  // deployment reads a file; the disk is its variable, the decode+restore
+  // is ours).
+  std::istringstream is(bytes);
+  for (auto _ : state) {
+    is.clear();
+    is.seekg(0);
+    Result<Engine> eng = Engine::open(is, {.backend = Backend::kAllPairsSeq});
+    if (!eng.ok()) {
+      state.SkipWithError(eng.status().to_string().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(eng->built());
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["snapshot_bytes"] = static_cast<double>(bytes.size());
+}
+
+void BM_SnapshotSave(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Engine built(gen_uniform(n, 7), {.backend = Backend::kAllPairsSeq});
+  for (auto _ : state) {
+    std::ostringstream os;
+    Status st = built.save(os);
+    if (!st.ok()) {
+      state.SkipWithError(st.to_string().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(os);
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+
 }  // namespace
 
 
@@ -97,6 +161,12 @@ BENCHMARK(BM_BuildDnc)->RangeMultiplier(2)->Range(8, 128)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_BuildDncThreads)
     ->ArgsProduct({{64}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Build)->RangeMultiplier(2)->Range(64, 512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SnapshotLoad)->RangeMultiplier(2)->Range(64, 512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SnapshotSave)->RangeMultiplier(2)->Range(64, 512)
     ->Unit(benchmark::kMillisecond);
 
 

@@ -1,9 +1,11 @@
 // Quickstart: configure an rsp::Engine for a small scene, then run the
 // kinds of queries the paper supports — single-pair lengths, actual
 // shortest paths, and a batch of length queries — all through the
-// non-throwing Result/Status API.
+// non-throwing Result/Status API. Ends with the deployment loop: save the
+// built engine to a snapshot and reopen it without rebuilding.
 
 #include <iostream>
+#include <sstream>
 
 #include "api/engine.h"
 
@@ -54,5 +56,24 @@ int main() {
   // Invalid queries come back as a Status, never an exception.
   auto bad = eng.length({7, 7}, t);  // inside rect 0
   std::cout << "blocked query -> " << bad.status() << "\n";
+
+  // Snapshot round trip: persist the built structure (here to a string
+  // stream; Engine::save("file.rsnap") for the file path) and reopen it.
+  // The reopened engine skips the O(n^2) build and answers identically —
+  // this is how query-server replicas start in a deployment.
+  std::ostringstream snap;
+  if (Status st = eng.save(snap); !st.ok()) {
+    std::cerr << "snapshot save failed: " << st << "\n";
+    return 1;
+  }
+  std::istringstream in(snap.str());
+  auto replica = Engine::open(in);
+  if (!replica.ok()) {
+    std::cerr << "snapshot open failed: " << replica.status() << "\n";
+    return 1;
+  }
+  std::cout << "replica dist(" << s << ", " << t << ") = "
+            << *replica->length(s, t) << " ("
+            << snap.str().size() << "-byte snapshot)\n";
   return 0;
 }

@@ -1,14 +1,19 @@
 #include "api/engine.h"
 
 #include <atomic>
+#include <cstdio>
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <optional>
+#include <random>
 #include <sstream>
 #include <thread>
 
 #include "baseline/dijkstra.h"
 #include "core/query.h"
+#include "io/snapshot.h"
 #include "pram/parallel.h"
 #include "pram/scheduler.h"
 
@@ -43,6 +48,9 @@ class AllPairsBackend final : public QueryBackend {
  public:
   AllPairsBackend(const Scene& scene, Scheduler* build_sched)
       : sp_(Scene(scene), build_sched) {}
+  // Snapshot restore: adopt precomputed tables, skip the build.
+  AllPairsBackend(const Scene& scene, AllPairsData data)
+      : sp_(Scene(scene), std::move(data)) {}
 
   Length length(const Point& s, const Point& t) const override {
     return sp_.length(s, t);
@@ -107,6 +115,10 @@ struct Engine::Impl {
   mutable std::unique_ptr<QueryBackend> backend;
   mutable Status build_status;             // sticky build failure
   mutable std::atomic<bool> ready{false};  // backend is constructed
+  // Snapshot-restored tables, consumed by the next ensure_built() instead
+  // of running the O(n^2) build (Engine::open sets this; there is exactly
+  // one backend-construction path for built and loaded engines alike).
+  mutable std::optional<AllPairsData> restored_data;
 
   Impl(Scene s, EngineOptions o) : scene(std::move(s)), opt(o) {
     resolved = resolve_backend(opt);
@@ -130,6 +142,10 @@ struct Engine::Impl {
     try {
       if (resolved == Backend::kDijkstraBaseline) {
         backend = std::make_unique<DijkstraBackend>(scene);
+      } else if (restored_data) {
+        backend = std::make_unique<AllPairsBackend>(
+            scene, std::move(*restored_data));
+        restored_data.reset();
       } else {
         Scheduler* build_sched =
             resolved == Backend::kAllPairsParallel ? sched.get() : nullptr;
@@ -262,6 +278,84 @@ Result<Engine> Engine::Create(std::vector<Rect> obstacles, EngineOptions opt) {
   } catch (const std::exception& e) {
     return Status::InvalidScene(e.what());
   }
+}
+
+Status Engine::save(std::ostream& os) const {
+  if (Status st = impl_->ensure_built(); !st.ok()) return st;
+  const AllPairsSP* sp =
+      impl_->backend ? impl_->backend->all_pairs() : nullptr;
+  return save_snapshot(os, impl_->scene, sp ? &sp->data() : nullptr);
+}
+
+Status Engine::save(const std::string& path) const {
+  // Write-to-unique-temp-then-rename: a failed save (disk full, quota)
+  // must not destroy a previous good snapshot at `path` — replicas keep
+  // opening the old file until the new one is complete — and concurrent
+  // savers (overlapping builder runs) must not interleave into one temp
+  // file, so the name is unique per process and per call.
+  static std::atomic<uint64_t> save_seq{0};
+  static const uint64_t process_tag = std::random_device{}();
+  std::ostringstream tmp_os;
+  tmp_os << path << ".tmp." << std::hex << process_tag << '.' << std::dec
+         << save_seq.fetch_add(1, std::memory_order_relaxed);
+  const std::string tmp = tmp_os.str();
+  std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+  if (!os) return Status::IoError("cannot open '" + tmp + "' for writing");
+  Status st = save(os);
+  os.close();
+  if (st.ok() && !os.good()) {
+    st = Status::IoError("write to '" + tmp + "' failed");
+  }
+  if (!st.ok()) {
+    std::remove(tmp.c_str());
+    return st;
+  }
+  // std::filesystem::rename replaces an existing destination on every
+  // platform (plain std::rename does not on Windows).
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename '" + tmp + "' to '" + path +
+                           "': " + ec.message());
+  }
+  return Status::Ok();
+}
+
+Result<Engine> Engine::open(std::istream& is, EngineOptions opt) {
+  Result<SnapshotPayload> payload = load_snapshot(is);
+  if (!payload.ok()) return payload.status();
+  SnapshotPayload& p = *payload;
+  try {
+    auto impl = std::make_unique<Impl>(std::move(p.scene), opt);
+    const bool empty = impl->scene.container().vertices().empty() ||
+                       impl->scene.num_obstacles() == 0;
+    if (!empty && impl->resolved != Backend::kDijkstraBaseline &&
+        p.kind != SnapshotPayloadKind::kAllPairs) {
+      return Status::SnapshotMismatch(
+          std::string("snapshot holds no all-pairs payload but backend '") +
+          backend_name(impl->resolved) + "' needs one; rebuild from the "
+          "scene or open with Backend::kDijkstraBaseline");
+    }
+    // Hand the tables to the one backend-construction path (ensure_built):
+    // empty scenes, the Dijkstra branch, and failure stickiness behave
+    // identically for built and loaded engines. The structure-free
+    // backend never consumes them — don't keep O(n^2) tables resident.
+    if (impl->resolved != Backend::kDijkstraBaseline) {
+      impl->restored_data = std::move(p.data);
+    }
+    if (Status st = impl->ensure_built(); !st.ok()) return st;
+    return Engine(std::move(impl));
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("snapshot restore failed: ") +
+                            e.what());
+  }
+}
+
+Result<Engine> Engine::open(const std::string& path, EngineOptions opt) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IoError("cannot open '" + path + "' for reading");
+  return open(is, opt);
 }
 
 const Scene& Engine::scene() const { return impl_->scene; }

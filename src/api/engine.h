@@ -34,8 +34,10 @@
 // EngineOptions::lazy_build defers the O(n^2) all-pairs construction to
 // the first query (thread-safe; concurrent first queries build once).
 
+#include <iosfwd>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "api/status.h"
@@ -91,6 +93,25 @@ class Engine {
   // Same, with a bounding-box container (margin as Scene::with_bbox).
   static Result<Engine> Create(std::vector<Rect> obstacles,
                                EngineOptions opt = {});
+
+  // Snapshot persistence (io/snapshot.h: versioned, endian-explicit,
+  // checksummed binary format). save() forces a deferred build, then
+  // writes the scene plus — for the all-pairs backends — the built O(n^2)
+  // tables; a structure-free kDijkstraBaseline engine writes a scene-only
+  // snapshot. open() restores an engine *without* rebuilding: the O(n^2)
+  // build is skipped and only cheap derived structures are reconstructed,
+  // so a loaded engine serves length()/path()/batch queries (through the
+  // normal scheduler path) immediately. Opening a scene-only snapshot with
+  // an all-pairs backend requested is StatusCode::kSnapshotMismatch;
+  // malformed input maps to kCorruptSnapshot / kVersionMismatch and file
+  // system failures to kIoError. Never throws. The path overload of
+  // save() writes to a unique temp file beside `path` and renames into
+  // place, so neither a failed save nor a concurrent one destroys an
+  // existing good snapshot at `path`.
+  Status save(const std::string& path) const;
+  Status save(std::ostream& os) const;
+  static Result<Engine> open(const std::string& path, EngineOptions opt = {});
+  static Result<Engine> open(std::istream& is, EngineOptions opt = {});
 
   const Scene& scene() const;
   const EngineOptions& options() const;

@@ -21,9 +21,13 @@ namespace rsp {
 
 enum class StatusCode {
   kOk = 0,
-  kInvalidQuery,   // query point blocked / outside / empty scene
-  kInvalidScene,   // overlapping obstacles, obstacle outside container, ...
-  kInternal,       // an RSP_CHECK fired below the facade (a library bug)
+  kInvalidQuery,      // query point blocked / outside / empty scene
+  kInvalidScene,      // overlapping obstacles, obstacle outside container, ...
+  kInternal,          // an RSP_CHECK fired below the facade (a library bug)
+  kIoError,           // the OS said no: open/read/write on a snapshot failed
+  kCorruptSnapshot,   // bad magic, truncation, checksum or table mismatch
+  kVersionMismatch,   // snapshot written by an incompatible format version
+  kSnapshotMismatch,  // requested backend incompatible with the payload
 };
 
 inline const char* status_code_name(StatusCode code) {
@@ -32,6 +36,10 @@ inline const char* status_code_name(StatusCode code) {
     case StatusCode::kInvalidQuery: return "INVALID_QUERY";
     case StatusCode::kInvalidScene: return "INVALID_SCENE";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kCorruptSnapshot: return "CORRUPT_SNAPSHOT";
+    case StatusCode::kVersionMismatch: return "VERSION_MISMATCH";
+    case StatusCode::kSnapshotMismatch: return "SNAPSHOT_MISMATCH";
   }
   return "UNKNOWN";
 }
@@ -51,6 +59,18 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status CorruptSnapshot(std::string msg) {
+    return Status(StatusCode::kCorruptSnapshot, std::move(msg));
+  }
+  static Status VersionMismatch(std::string msg) {
+    return Status(StatusCode::kVersionMismatch, std::move(msg));
+  }
+  static Status SnapshotMismatch(std::string msg) {
+    return Status(StatusCode::kSnapshotMismatch, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

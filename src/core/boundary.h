@@ -8,6 +8,10 @@
 // is a straight uniform interval (no visibility event), which is what makes
 // the four-candidate query of Lemma 7 exact and the conquer matrices Monge
 // after the paper's partitioning.
+//
+// Thread safety: discretize_boundary is a pure function; BoundaryStructure
+// instances are immutable after construction and safe to query
+// concurrently.
 
 #include <unordered_map>
 #include <vector>

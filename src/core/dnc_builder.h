@@ -15,6 +15,11 @@
 //  * conquer verifies the Monge property of both factor matrices (a paper
 //    claim) and falls back to the naive product if it ever fails; the
 //    statistics expose how often each path ran (bench E7 reports them).
+//
+// Thread safety: build_boundary_structure is reentrant and may run
+// concurrently from many threads; each call owns its scheduler
+// (DncOptions::num_threads) and its results. The returned structure is
+// immutable and safe to query concurrently.
 
 #include <memory>
 

@@ -16,6 +16,10 @@
 // around Env(R) diagonally and reduce to the same transfer-set idea. For
 // boundary points between the lines (beside the envelope), queries fall
 // back to the exact arbitrary-point reduction of §6.4.
+//
+// Thread safety: immutable after construction; queries are safe to call
+// concurrently (the §6.4 fallback inherits AllPairsSP's guarantees). The
+// referenced AllPairsSP must outlive this structure.
 
 #include <memory>
 

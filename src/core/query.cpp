@@ -40,6 +40,25 @@ AllPairsSP::AllPairsSP(Scene scene, Scheduler* build_sched)
                 ? build_all_pairs(*build_sched, scene_, shooter_, tracer_)
                 : build_all_pairs(scene_, shooter_, tracer_)),
       trees_(scene_, tracer_, data_) {
+  init_vertex_ids();
+}
+
+AllPairsSP::AllPairsSP(Scene scene, AllPairsData data)
+    : scene_(std::move(scene)),
+      shooter_(scene_),
+      tracer_(scene_, shooter_),
+      data_(std::move(data)),
+      trees_(scene_, tracer_, data_) {
+  RSP_CHECK_MSG(data_.m == 4 * scene_.num_obstacles(),
+                "restored AllPairsData does not belong to this scene");
+  RSP_CHECK_MSG(data_.pred.size() == data_.m * data_.m &&
+                    data_.pass.size() == data_.m * data_.m &&
+                    data_.dist.rows() == data_.m && data_.dist.cols() == data_.m,
+                "restored AllPairsData tables have inconsistent sizes");
+  init_vertex_ids();
+}
+
+void AllPairsSP::init_vertex_ids() {
   const auto& verts = scene_.obstacle_vertices();
   vertex_ids_.reserve(verts.size());
   for (size_t i = 0; i < verts.size(); ++i) vertex_ids_.emplace(verts[i], i);

@@ -16,6 +16,10 @@
 // it hits an obstacle edge and the answer goes through one of that edge's
 // two endpoints — reducing, after at most two levels, to the V_R-to-V_R
 // matrix.
+//
+// Thread safety: queries are safe to call concurrently after construction
+// (the only mutation, SpTrees' per-root cache, synchronizes internally);
+// the Engine batch entry points rely on this for their parallel fan-out.
 
 #include <memory>
 #include <optional>
@@ -41,6 +45,12 @@ class AllPairsSP {
   // Shares a caller-owned scheduler (e.g. the Engine's) for the build only;
   // it is not retained past construction. nullptr: sequential build.
   AllPairsSP(Scene scene, Scheduler* build_sched);
+  // Restore path (io/snapshot.h): adopts precomputed all-pairs tables
+  // instead of running the O(n^2) build; only the cheap derived structures
+  // (ray shooter, escape-path forests) are reconstructed. `data` must
+  // belong to `scene` (data.m == 4 * scene.num_obstacles(), full tables) —
+  // checked, RSP_CHECK on violation.
+  AllPairsSP(Scene scene, AllPairsData data);
 
   const Scene& scene() const { return scene_; }
   const AllPairsData& data() const { return data_; }
@@ -66,6 +76,8 @@ class AllPairsSP {
   // Delegation step keeping a transient build scheduler alive through the
   // member-initializer build.
   AllPairsSP(Scene scene, std::unique_ptr<Scheduler> transient_sched);
+
+  void init_vertex_ids();
 
   // Outcome of one §6.4 reduction level for (source, target).
   struct Resolution {

@@ -9,6 +9,10 @@
 // space. Every consumer in the library (path tracing, the sequential
 // builder's Hit(e) sets, arbitrary-point queries, shortest path trees) goes
 // through this structure.
+//
+// Thread safety: immutable after construction; shoot()/shoot_obstacle()
+// are safe to call concurrently (the parallel builder fans per-source
+// sweeps over one shared shooter). The referenced Scene must outlive it.
 
 #include <optional>
 #include <vector>

@@ -5,6 +5,9 @@
 // Regions are rectilinear convex polygons throughout (the root is the
 // container P; splitting a convex region along a monotone staircase yields
 // two convex regions, see §2 of the paper).
+//
+// Thread safety: pure functions of their (const) inputs; concurrent calls
+// are safe.
 
 #include <optional>
 #include <utility>

@@ -1,6 +1,10 @@
 #pragma once
 // The problem instance (paper §2): a rectilinear convex polygon P containing
 // n pairwise-disjoint axis-parallel rectangular obstacles R.
+//
+// Thread safety: immutable after construction; all const members are safe
+// to call concurrently. Construction validates and throws (RSP_CHECK) on
+// invalid input — use Engine::Create for the non-throwing path.
 
 #include <span>
 #include <vector>

@@ -10,6 +10,10 @@
 // largest quadrant the separator is NE(p) ∪ WS(p); with R_NE or R_SW it is
 // the mirrored NW(p) ∪ ES(p). The counting argument in the paper then
 // guarantees >= n/8 obstacles on each side.
+//
+// Thread safety: a pure function of its (const) inputs with no hidden
+// state; concurrent calls are safe (the D&C builder invokes it from
+// sibling subtree tasks).
 
 #include <vector>
 

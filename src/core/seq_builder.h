@@ -20,6 +20,13 @@
 // The same sweep records predecessor pointers: the union over targets is
 // precisely the shortest path tree rooted at v that §8 builds, which is how
 // actual paths are reported.
+//
+// Thread safety: the builders are pure functions of their (const) inputs
+// (the scheduler overload writes per-source results by index — no shared
+// mutable state); AllPairsData is immutable once returned and safe to
+// read concurrently. It is also the unit of persistence: io/snapshot.h
+// serializes exactly (scene, AllPairsData) and restores engines without
+// rebuilding.
 
 #include <cstdint>
 #include <vector>

@@ -8,6 +8,12 @@
 // the source's escape path to the crossing point. The paper's parallel
 // reporting — ⌈k/log n⌉ processors each emitting an O(log n) piece located
 // by a level-ancestor query — is exposed as chunked_chain().
+//
+// Thread safety: all query members are safe to call concurrently. The
+// per-root tree cache is guarded by a shared_mutex — hits (the steady
+// state of batch path fan-outs) take it shared, only a miss upgrades to
+// exclusive to build and insert. The referenced Scene/Tracer/AllPairsData
+// must outlive the SpTrees.
 
 #include <memory>
 #include <shared_mutex>

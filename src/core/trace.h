@@ -12,6 +12,10 @@
 //
 // Requires the paper's general-position assumption (no two distinct edges
 // collinear); generators in io/gen.h enforce it.
+//
+// Thread safety: immutable after construction; trace()/forest() are safe
+// to call concurrently. The referenced Scene and RayShooter must outlive
+// the Tracer.
 
 #include <vector>
 

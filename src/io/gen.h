@@ -3,6 +3,9 @@
 // general position (no two distinct obstacle edges collinear: all 2n
 // x-edge-coordinates are distinct, likewise y), which the path tracer
 // relies on (§1 of the paper makes the same assumption).
+//
+// Thread safety: pure functions — deterministic in (n, seed), no shared
+// state; concurrent calls are safe.
 
 #include <cstdint>
 #include <random>

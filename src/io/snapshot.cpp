@@ -1,0 +1,506 @@
+#include "io/snapshot.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace rsp {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'R', 'S', 'P', 'S', 'N', 'A', 'P', 0};
+
+// Payload integrity check (not cryptographic): FNV-1a over the payload
+// split into consecutive 64-bit little-endian words, the final partial
+// word zero-padded. Word-at-a-time keeps hashing negligible next to the
+// stream I/O for the multi-megabyte all-pairs tables.
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+constexpr bool kHostLittleEndian = std::endian::native == std::endian::little;
+
+struct BlockHash {
+  // Four interleaved FNV lanes (word i goes to lane i mod 4), folded
+  // together at finish: the per-lane multiply chains are independent, so
+  // the CPU pipelines them instead of serializing on the imul latency —
+  // hashing the multi-megabyte tables stays negligible next to the I/O.
+  uint64_t h[4] = {kFnvOffset, kFnvOffset + 1, kFnvOffset + 2,
+                   kFnvOffset + 3};
+  unsigned lane = 0;
+  uint64_t pend = 0;
+  unsigned pend_n = 0;
+
+  void word(uint64_t w) {
+    h[lane] = (h[lane] ^ w) * kFnvPrime;
+    lane = (lane + 1) & 3;
+  }
+  void byte(unsigned char c) {
+    pend |= static_cast<uint64_t>(c) << (8 * pend_n);
+    if (++pend_n == 8) {
+      word(pend);
+      pend = 0;
+      pend_n = 0;
+    }
+  }
+  void update(const void* p, size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    while (n > 0 && pend_n != 0) {
+      byte(*b++);
+      --n;
+    }
+    if constexpr (kHostLittleEndian) {
+      for (; n >= 8; b += 8, n -= 8) {
+        uint64_t w;
+        std::memcpy(&w, b, 8);
+        word(w);
+      }
+    } else {
+      for (; n >= 8; b += 8, n -= 8) {
+        uint64_t w = 0;
+        for (size_t i = 0; i < 8; ++i) w |= static_cast<uint64_t>(b[i]) << (8 * i);
+        word(w);
+      }
+    }
+    while (n > 0) {
+      byte(*b++);
+      --n;
+    }
+  }
+  uint64_t finish() {
+    if (pend_n != 0) {
+      word(pend);
+      pend = 0;
+      pend_n = 0;
+    }
+    uint64_t out = kFnvOffset;
+    for (uint64_t lane_h : h) out = (out ^ lane_h) * kFnvPrime;
+    return out;
+  }
+};
+
+// Thrown inside the reader on malformed input; the public entry points
+// catch it (and everything else) and return a Status — nothing escapes
+// this translation unit as an exception.
+struct SnapshotError {
+  Status status;
+};
+
+[[noreturn]] void fail_corrupt(const std::string& msg) {
+  throw SnapshotError{Status::CorruptSnapshot(msg)};
+}
+
+// Buffered little-endian encoder. Small fields batch through a 64 KiB
+// buffer; table-sized writes bypass it with one stream write.
+class Writer {
+ public:
+  explicit Writer(std::ostream& os) : os_(os) { buf_.reserve(kBufCap); }
+  ~Writer() { flush(); }
+
+  void raw(const void* p, size_t n) {  // header bytes: not checksummed
+    if (n >= kBufCap) {
+      flush();
+      os_.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+      return;
+    }
+    const auto* b = static_cast<const char*>(p);
+    if (buf_.size() + n > kBufCap) flush();
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  void bytes(const void* p, size_t n) {
+    hash_.update(p, n);
+    raw(p, n);
+  }
+  void flush() {
+    if (!buf_.empty()) {
+      os_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+      buf_.clear();
+    }
+  }
+  void u8(uint8_t v) { bytes(&v, 1); }
+  void u32(uint32_t v) { put_le(v, 4); }
+  void u64(uint64_t v) { put_le(v, 8); }
+  void i64(int64_t v) { put_le(static_cast<uint64_t>(v), 8); }
+  void i32(int32_t v) {
+    put_le(static_cast<uint64_t>(static_cast<uint32_t>(v)), 4);
+  }
+  void i8(int8_t v) { u8(static_cast<uint8_t>(v)); }
+  void point(const Point& p) {
+    i64(p.x);
+    i64(p.y);
+  }
+
+  uint64_t finish_hash() { return hash_.finish(); }
+  bool good() const { return os_.good(); }
+
+ private:
+  void put_le(uint64_t v, size_t n) {
+    unsigned char buf[8];
+    for (size_t i = 0; i < n; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+    bytes(buf, n);
+  }
+
+  static constexpr size_t kBufCap = 64 * 1024;
+  std::ostream& os_;
+  std::vector<char> buf_;
+  BlockHash hash_;
+};
+
+// Buffered decoder, mirror of Writer. All stream reads go through the
+// Reader (nothing reads the stream behind its back); table-sized reads
+// land directly in the caller's storage.
+class Reader {
+ public:
+  explicit Reader(std::istream& is) : is_(is) { buf_.resize(kBufCap); }
+
+  void raw(void* p, size_t n, const char* what) {
+    auto* out = static_cast<char*>(p);
+    // Drain what the buffer already holds, then read the bulk directly.
+    const size_t take0 = std::min(n, len_ - pos_);
+    std::memcpy(out, buf_.data() + pos_, take0);
+    pos_ += take0;
+    out += take0;
+    n -= take0;
+    while (n > 0) {
+      if (n >= kBufCap) {
+        is_.read(out, static_cast<std::streamsize>(n));
+        const size_t got = static_cast<size_t>(is_.gcount());
+        if (got != n) {
+          fail_corrupt(std::string("truncated snapshot while reading ") + what);
+        }
+        return;
+      }
+      is_.read(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+      len_ = static_cast<size_t>(is_.gcount());
+      pos_ = 0;
+      if (len_ == 0) {
+        fail_corrupt(std::string("truncated snapshot while reading ") + what);
+      }
+      const size_t take = std::min(n, len_);
+      std::memcpy(out, buf_.data(), take);
+      pos_ = take;
+      out += take;
+      n -= take;
+    }
+  }
+  void bytes(void* p, size_t n, const char* what) {
+    raw(p, n, what);
+    hash_.update(p, n);
+  }
+  uint8_t u8(const char* what) {
+    uint8_t v;
+    bytes(&v, 1, what);
+    return v;
+  }
+  uint32_t u32(const char* what) { return static_cast<uint32_t>(get_le(4, what)); }
+  uint64_t u64(const char* what) { return get_le(8, what); }
+  int64_t i64(const char* what) { return static_cast<int64_t>(get_le(8, what)); }
+  int32_t i32(const char* what) {
+    return static_cast<int32_t>(static_cast<uint32_t>(get_le(4, what)));
+  }
+  int8_t i8(const char* what) { return static_cast<int8_t>(u8(what)); }
+  Point point(const char* what) {
+    Coord x = i64(what);
+    Coord y = i64(what);
+    return Point{x, y};
+  }
+
+  uint64_t finish_hash() { return hash_.finish(); }
+
+  // Seeks the stream back over refill bytes the snapshot never consumed,
+  // so a caller composing several snapshots (or other framing) in one
+  // seekable stream finds the position just past the footer. Best-effort:
+  // a non-seekable stream stays where the last refill left it.
+  void return_unused_to_stream() {
+    if (pos_ >= len_) return;
+    const std::ios::iostate before = is_.rdstate();
+    is_.clear();  // the last refill may have set eofbit
+    is_.seekg(-static_cast<std::streamoff>(len_ - pos_), std::ios::cur);
+    if (is_.fail()) {
+      // Non-seekable stream: leave it exactly as the reads left it rather
+      // than poisoned with failbit after a successful load.
+      is_.clear();
+      is_.setstate(before);
+      return;
+    }
+    pos_ = len_ = 0;
+  }
+
+ private:
+  uint64_t get_le(size_t n, const char* what) {
+    unsigned char buf[8];
+    bytes(buf, n, what);
+    uint64_t v = 0;
+    for (size_t i = 0; i < n; ++i) v |= static_cast<uint64_t>(buf[i]) << (8 * i);
+    return v;
+  }
+
+  static constexpr size_t kBufCap = 64 * 1024;
+  std::istream& is_;
+  std::vector<char> buf_;
+  size_t pos_ = 0, len_ = 0;
+  BlockHash hash_;
+};
+
+// Reads `count` fixed-width elements into `out`, growing it chunk by
+// chunk: a crafted header claiming enormous tables only consumes memory
+// in proportion to the bytes actually present in the stream (truncation
+// fails after at most one chunk) instead of zero-filling the full claimed
+// size up front. The reserve makes growth copy-free for honest input; if
+// the claim is so large that even the reservation fails, the bad_alloc is
+// translated to kCorruptSnapshot by the public entry points.
+template <typename T>
+void read_pod_table(Reader& r, std::vector<T>& out, size_t count,
+                    const char* what) {
+  constexpr size_t kChunkElems = (size_t{1} << 22) / sizeof(T);  // 4 MiB
+  out.clear();
+  out.reserve(count);
+  for (size_t done = 0; done < count;) {
+    const size_t take = std::min(kChunkElems, count - done);
+    out.resize(done + take);
+    r.bytes(out.data() + done, take * sizeof(T), what);
+    done += take;
+  }
+  if constexpr (!kHostLittleEndian && sizeof(T) > 1) {
+    for (T& v : out) {
+      auto* b = reinterpret_cast<unsigned char*>(&v);
+      for (size_t i = 0; i < sizeof(T) / 2; ++i) {
+        std::swap(b[i], b[sizeof(T) - 1 - i]);
+      }
+    }
+  }
+}
+
+void write_scene(Writer& w, const Scene& scene) {
+  const auto& cverts = scene.container().vertices();
+  w.u64(cverts.size());
+  for (const Point& p : cverts) w.point(p);
+  w.u64(scene.num_obstacles());
+  for (const Rect& r : scene.obstacles()) {
+    w.i64(r.xmin);
+    w.i64(r.ymin);
+    w.i64(r.xmax);
+    w.i64(r.ymax);
+  }
+}
+
+Scene read_scene(Reader& r) {
+  const uint64_t ncv = r.u64("container vertex count");
+  std::vector<Point> cverts;
+  cverts.reserve(std::min<uint64_t>(ncv, 4096));
+  for (uint64_t i = 0; i < ncv; ++i) cverts.push_back(r.point("container vertex"));
+  const uint64_t nobs = r.u64("obstacle count");
+  std::vector<Rect> obstacles;
+  obstacles.reserve(std::min<uint64_t>(nobs, 4096));
+  for (uint64_t i = 0; i < nobs; ++i) {
+    Coord x0 = r.i64("obstacle rect");
+    Coord y0 = r.i64("obstacle rect");
+    Coord x1 = r.i64("obstacle rect");
+    Coord y1 = r.i64("obstacle rect");
+    if (x0 > x1 || y0 > y1) fail_corrupt("degenerate obstacle rectangle");
+    obstacles.emplace_back(x0, y0, x1, y1);
+  }
+  if (ncv == 0) {
+    if (nobs != 0) fail_corrupt("obstacles present but container empty");
+    return Scene{};
+  }
+  // Scene/polygon constructors re-validate rectilinear convexity and
+  // obstacle disjointness; their RSP_CHECK throws surface as corruption.
+  try {
+    return Scene(std::move(obstacles),
+                 RectilinearPolygon::from_vertices(std::move(cverts)));
+  } catch (const std::exception& e) {
+    fail_corrupt(std::string("snapshot scene failed validation: ") + e.what());
+  }
+}
+
+void write_all_pairs(Writer& w, const AllPairsData& data) {
+  const size_t m = data.m;
+  w.u64(m);
+  if constexpr (kHostLittleEndian) {
+    // In-memory layout == wire layout: one bulk write per table.
+    w.bytes(data.dist.storage().data(), m * m * sizeof(Length));
+    w.bytes(data.pred.data(), m * m * sizeof(int32_t));
+    w.bytes(data.pass.data(), m * m * sizeof(int8_t));
+  } else {
+    for (Length d : data.dist.storage()) w.i64(d);
+    for (int32_t p : data.pred) w.i32(p);
+    for (int8_t p : data.pass) w.i8(p);
+  }
+}
+
+AllPairsData read_all_pairs(Reader& r, const Scene& scene) {
+  AllPairsData data;
+  const uint64_t m = r.u64("vertex count m");
+  if (m != 4 * static_cast<uint64_t>(scene.num_obstacles())) {
+    std::ostringstream os;
+    os << "all-pairs table size mismatch: m = " << m << " but scene has "
+       << scene.num_obstacles() << " obstacles (expected m = "
+       << 4 * scene.num_obstacles() << ")";
+    fail_corrupt(os.str());
+  }
+  data.m = static_cast<size_t>(m);
+  const size_t mm = data.m * data.m;
+  std::vector<Length> dist;
+  read_pod_table(r, dist, mm, "dist matrix");
+  read_pod_table(r, data.pred, mm, "pred table");
+  read_pod_table(r, data.pass, mm, "pass table");
+  // Table validation, one row-wise pass (this runs on every replica start,
+  // so it is written for speed — raw row pointers, branch-light):
+  //  * dist entries in [0, kInf], pred ids in [-1, m), pass in [-1, 3];
+  //  * pred acyclicity, which the non-cryptographic checksum cannot
+  //    guarantee for crafted input and whose violation would hang the §8
+  //    path walk. The builder's invariant makes this a local check: a
+  //    recorded predecessor lies strictly closer to the source (its hop
+  //    has positive L1 length), so dist(a, pred(b)) < dist(a, b) < kInf —
+  //    every pred chain then strictly descends and terminates.
+  for (size_t a = 0; a < data.m; ++a) {
+    const Length* dist_row = dist.data() + a * data.m;
+    const int32_t* pred_row = data.pred.data() + a * data.m;
+    for (size_t b = 0; b < data.m; ++b) {
+      const Length db = dist_row[b];
+      if (db < 0 || db > kInf) {
+        fail_corrupt("dist matrix entry out of range");
+      }
+      const int32_t p = pred_row[b];
+      if (p < 0) {
+        if (p < -1) fail_corrupt("pred table entry out of range");
+        continue;
+      }
+      if (static_cast<size_t>(p) >= data.m) {
+        fail_corrupt("pred table entry out of range");
+      }
+      if (db >= kInf || dist_row[p] >= db) {
+        fail_corrupt("pred table inconsistent with dist matrix");
+      }
+    }
+  }
+  for (size_t i = 0; i < mm; ++i) {
+    if (data.pass[i] > 3 || data.pass[i] < -1) {
+      fail_corrupt("pass table entry out of range");
+    }
+  }
+  data.dist = Matrix(data.m, data.m, std::move(dist));
+  return data;
+}
+
+struct Header {
+  SnapshotPayloadKind kind;
+  uint32_t version;  // as read from the file, not the compiled-in constant
+};
+
+// Reads the fixed (non-checksummed) header.
+Header read_header(Reader& r) {
+  std::array<char, 8> magic;
+  r.raw(magic.data(), magic.size(), "magic");
+  if (magic != kMagic) fail_corrupt("bad magic: not an rsp snapshot");
+  unsigned char vbuf[4];
+  r.raw(vbuf, 4, "format version");
+  uint32_t version = 0;
+  for (size_t i = 0; i < 4; ++i) version |= static_cast<uint32_t>(vbuf[i]) << (8 * i);
+  if (version != kSnapshotFormatVersion) {
+    std::ostringstream os;
+    os << "snapshot format version " << version << " (this build speaks "
+       << kSnapshotFormatVersion << ")";
+    throw SnapshotError{Status::VersionMismatch(os.str())};
+  }
+  unsigned char kind_and_reserved[4];
+  r.raw(kind_and_reserved, 4, "payload kind");
+  const uint8_t kind = kind_and_reserved[0];
+  if (kind > static_cast<uint8_t>(SnapshotPayloadKind::kAllPairs)) {
+    fail_corrupt("unknown payload kind");
+  }
+  return Header{static_cast<SnapshotPayloadKind>(kind), version};
+}
+
+void check_footer(Reader& r) {
+  const uint64_t expected = r.finish_hash();  // before the unhashed footer
+  unsigned char buf[8];
+  r.raw(buf, 8, "checksum");
+  uint64_t stored = 0;
+  for (size_t i = 0; i < 8; ++i) stored |= static_cast<uint64_t>(buf[i]) << (8 * i);
+  if (stored != expected) fail_corrupt("payload checksum mismatch");
+}
+
+}  // namespace
+
+Status save_snapshot(std::ostream& os, const Scene& scene,
+                     const AllPairsData* data) {
+  if (data != nullptr && data->m != 4 * scene.num_obstacles()) {
+    return Status::Internal("save_snapshot: AllPairsData does not belong to scene");
+  }
+  Writer w(os);
+  w.raw(kMagic.data(), kMagic.size());
+  unsigned char vbuf[4];
+  for (size_t i = 0; i < 4; ++i) {
+    vbuf[i] = static_cast<unsigned char>(kSnapshotFormatVersion >> (8 * i));
+  }
+  w.raw(vbuf, 4);
+  const unsigned char kind_and_reserved[4] = {
+      static_cast<unsigned char>(data ? SnapshotPayloadKind::kAllPairs
+                                      : SnapshotPayloadKind::kSceneOnly),
+      0, 0, 0};
+  w.raw(kind_and_reserved, 4);
+  write_scene(w, scene);
+  if (data != nullptr) write_all_pairs(w, *data);
+  const uint64_t checksum = w.finish_hash();
+  unsigned char cbuf[8];
+  for (size_t i = 0; i < 8; ++i) cbuf[i] = static_cast<unsigned char>(checksum >> (8 * i));
+  w.raw(cbuf, 8);
+  w.flush();
+  os.flush();
+  if (!os.good()) return Status::IoError("snapshot write failed (stream error)");
+  return Status::Ok();
+}
+
+Result<SnapshotPayload> load_snapshot(std::istream& is) {
+  try {
+    Reader r(is);
+    SnapshotPayload payload;
+    payload.kind = read_header(r).kind;
+    payload.scene = read_scene(r);
+    if (payload.kind == SnapshotPayloadKind::kAllPairs) {
+      payload.data = read_all_pairs(r, payload.scene);
+    }
+    check_footer(r);
+    r.return_unused_to_stream();
+    return payload;
+  } catch (const SnapshotError& e) {
+    return e.status;
+  } catch (const std::exception& e) {
+    return Status::CorruptSnapshot(std::string("snapshot load failed: ") + e.what());
+  }
+}
+
+Result<SnapshotInfo> read_snapshot_info(std::istream& is) {
+  const std::istream::pos_type start = is.tellg();
+  try {
+    Reader r(is);
+    SnapshotInfo info;
+    const Header h = read_header(r);
+    info.format_version = h.version;
+    info.kind = h.kind;
+    Scene scene = read_scene(r);
+    info.num_obstacles = scene.num_obstacles();
+    info.num_container_vertices = scene.container().vertices().size();
+    if (info.kind == SnapshotPayloadKind::kAllPairs) {
+      info.num_vertices = static_cast<size_t>(r.u64("vertex count m"));
+    }
+    // Pure peek on a seekable stream: rewind to where the snapshot began
+    // so the caller can hand the same stream straight to load_snapshot.
+    if (start != std::istream::pos_type(-1)) {
+      is.clear();
+      is.seekg(start);
+    }
+    return info;
+  } catch (const SnapshotError& e) {
+    return e.status;
+  } catch (const std::exception& e) {
+    return Status::CorruptSnapshot(std::string("snapshot info failed: ") + e.what());
+  }
+}
+
+}  // namespace rsp

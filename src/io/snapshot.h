@@ -1,0 +1,94 @@
+#pragma once
+// Versioned binary persistence for the built all-pairs structure
+// (deployment layer; no counterpart in the paper — the paper's structure
+// is "build once, query many", and a production deployment builds it once
+// offline and fans identical replicas out to query servers, cf. the
+// handle-based artifact reuse of rocSPARSE).
+//
+// Format (all integers little-endian, explicitly encoded — a snapshot
+// written on any host loads on any other):
+//
+//   [ 8] magic            "RSPSNAP\0"
+//   [ 4] format version   u32 (kSnapshotFormatVersion)
+//   [ 1] payload kind     u8  (0 = scene only, 1 = scene + all-pairs)
+//   [ 3] reserved         zero
+//   ---- checksummed payload ----
+//   [..] scene            container vertex cycle, then obstacle rects
+//   [..] all-pairs state  (kind 1 only) m, dist (i64), pred (i32), pass (i8)
+//   ---- end of payload ----
+//   [ 8] checksum         u64: 4-lane interleaved FNV-1a over the payload
+//                         64-bit LE words (word i -> lane i mod 4, final
+//                         partial word zero-padded, lanes FNV-folded)
+//
+// The all-pairs section is exactly the O(n^2) product of the §9 build
+// (AllPairsData: the V_R-to-V_R length matrix plus predecessor/pass
+// tables). Everything else an engine needs to answer length()/path() —
+// ray-shooting trees, escape-path forests, shortest path trees — is
+// derived from (scene, AllPairsData) in O(n log n) on load, so loading
+// skips the expensive build entirely.
+//
+// Error contract: save/load never throw across this API boundary. Loads
+// reject bad magic, truncation, checksum mismatch, and internally
+// inconsistent tables with StatusCode::kCorruptSnapshot, and a format
+// version we do not speak with StatusCode::kVersionMismatch; precise
+// messages name the offending section.
+//
+// Thread safety: free functions with no shared state; concurrent calls on
+// distinct streams are safe. The caller owns stream synchronization.
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+
+#include "api/status.h"
+#include "core/scene.h"
+#include "core/seq_builder.h"
+
+namespace rsp {
+
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+enum class SnapshotPayloadKind : uint8_t {
+  kSceneOnly = 0,  // structure-free backends (Dijkstra) / unbuilt engines
+  kAllPairs = 1,   // scene + the built AllPairsData
+};
+
+// What a snapshot restores to. `data` is engaged iff kind == kAllPairs.
+struct SnapshotPayload {
+  SnapshotPayloadKind kind = SnapshotPayloadKind::kSceneOnly;
+  Scene scene;
+  std::optional<AllPairsData> data;
+};
+
+// Header + sizes, readable without materializing the O(n^2) tables
+// (rspcli info). Reads and validates the fixed header and the scene
+// section only.
+struct SnapshotInfo {
+  uint32_t format_version = 0;
+  SnapshotPayloadKind kind = SnapshotPayloadKind::kSceneOnly;
+  size_t num_obstacles = 0;
+  size_t num_container_vertices = 0;
+  size_t num_vertices = 0;  // m (0 for scene-only snapshots)
+};
+
+// Writes a snapshot of `scene` (and, when non-null, the built all-pairs
+// state) to `os`. `data`, when given, must belong to `scene`
+// (data->m == 4 * scene.num_obstacles()). Stream failures come back as
+// StatusCode::kIoError.
+Status save_snapshot(std::ostream& os, const Scene& scene,
+                     const AllPairsData* data);
+
+// Reads a snapshot back. Never throws: malformed input of any kind maps
+// to a non-OK Status as documented above. On success a seekable stream is
+// left positioned just past the snapshot's final byte, so consecutive
+// snapshots in one stream compose; on error (and for non-seekable
+// streams) the position is unspecified.
+Result<SnapshotPayload> load_snapshot(std::istream& is);
+
+// Header/scene introspection (see SnapshotInfo). On success a seekable
+// stream is rewound to where the snapshot began, so it composes with a
+// subsequent load_snapshot on the same stream; on error (and for
+// non-seekable streams) the position is unspecified.
+Result<SnapshotInfo> read_snapshot_info(std::istream& is);
+
+}  // namespace rsp

@@ -1,7 +1,11 @@
 #pragma once
 // Small SVG renderer: regenerates the paper's illustrative figures
 // (staircases, envelopes, separators, escape paths, shortest paths) from
-// live geometry. Used by examples/figures.cpp.
+// live geometry (§2 Fig. 2 envelopes, §3 Fig. 5 escape paths, separators
+// of Theorem 2). Used by examples/figures.cpp.
+//
+// Thread safety: an SvgCanvas is a single-threaded accumulator — confine
+// each instance to one thread; distinct instances are independent.
 
 #include <string>
 #include <vector>

@@ -12,6 +12,16 @@ class Matrix {
   Matrix() = default;
   Matrix(size_t rows, size_t cols, Length fill = kInf)
       : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  // Adopts row-major storage (io/snapshot.cpp bulk restore); data.size()
+  // must equal rows * cols.
+  Matrix(size_t rows, size_t cols, std::vector<Length> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    RSP_CHECK(data_.size() == rows_ * cols_);
+  }
+
+  // Row-major backing store (serialization; treat as an implementation
+  // detail elsewhere).
+  const std::vector<Length>& storage() const { return data_; }
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }

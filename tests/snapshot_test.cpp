@@ -1,0 +1,334 @@
+// Snapshot persistence (io/snapshot.h + Engine::save/open): round-trips
+// over every generator asserting bit-identical query results against the
+// engine the snapshot was saved from, plus negative tests — truncation,
+// bad magic, wrong version, corrupted payload, backend/payload mismatch —
+// each rejected with the precise StatusCode and no UB.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "api/engine.h"
+#include "core/query.h"
+#include "io/gen.h"
+#include "io/snapshot.h"
+
+namespace rsp {
+namespace {
+
+std::vector<PointPair> make_pairs(const Scene& scene, size_t count,
+                                  uint64_t seed) {
+  auto pts = random_free_points(scene, 2 * count, seed);
+  std::vector<PointPair> pairs;
+  for (size_t i = 0; i + 1 < pts.size(); i += 2) {
+    pairs.push_back({pts[i], pts[i + 1]});
+  }
+  return pairs;
+}
+
+std::string snapshot_bytes(const Engine& eng) {
+  std::ostringstream os;
+  Status st = eng.save(os);
+  EXPECT_TRUE(st.ok()) << st;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip over every generator: the loaded engine is indistinguishable
+// from the one it was saved from.
+// ---------------------------------------------------------------------------
+
+class SnapshotRoundTripTest : public ::testing::TestWithParam<NamedGen> {};
+
+TEST_P(SnapshotRoundTripTest, LengthsAndPathsBitIdentical) {
+  Scene s = GetParam().fn(14, 41);
+  Engine built(s, {.backend = Backend::kAllPairsSeq});
+  std::string bytes = snapshot_bytes(built);
+
+  std::istringstream is(bytes);
+  Result<Engine> loaded = Engine::open(is, {.backend = Backend::kAllPairsSeq});
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->built());
+  EXPECT_EQ(loaded->scene().num_obstacles(), s.num_obstacles());
+
+  // Vertex-to-vertex: the full V_R matrix must match entry for entry.
+  const AllPairsSP* a = built.all_pairs();
+  const AllPairsSP* b = loaded->all_pairs();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(a->num_vertices(), b->num_vertices());
+  EXPECT_TRUE(a->data().dist == b->data().dist) << GetParam().name;
+  EXPECT_EQ(a->data().pred, b->data().pred) << GetParam().name;
+  EXPECT_EQ(a->data().pass, b->data().pass) << GetParam().name;
+
+  // Arbitrary-point queries, straight through the facade.
+  auto pairs = make_pairs(s, 12, 7);
+  auto lens0 = built.lengths(pairs);
+  auto lens1 = loaded->lengths(pairs);
+  ASSERT_TRUE(lens0.ok()) << lens0.status();
+  ASSERT_TRUE(lens1.ok()) << lens1.status();
+  EXPECT_EQ(*lens0, *lens1) << GetParam().name;
+
+  auto paths0 = built.paths(pairs);
+  auto paths1 = loaded->paths(pairs);
+  ASSERT_TRUE(paths0.ok()) << paths0.status();
+  ASSERT_TRUE(paths1.ok()) << paths1.status();
+  EXPECT_EQ(*paths0, *paths1) << GetParam().name;
+}
+
+TEST_P(SnapshotRoundTripTest, LoadedEngineServesBatchOverScheduler) {
+  Scene s = GetParam().fn(10, 3);
+  Engine built(s, {.backend = Backend::kAllPairsSeq});
+  std::string bytes = snapshot_bytes(built);
+
+  std::istringstream is(bytes);
+  Result<Engine> loaded = Engine::open(is, {.num_threads = 4});
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_threads(), 4u);
+
+  auto pairs = make_pairs(s, 16, 11);
+  auto lens0 = built.lengths(pairs);
+  auto lens1 = loaded->lengths(pairs);
+  ASSERT_TRUE(lens1.ok()) << lens1.status();
+  EXPECT_EQ(*lens0, *lens1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGens, SnapshotRoundTripTest,
+                         ::testing::ValuesIn(kAllGens),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+// ---------------------------------------------------------------------------
+// File-path round trip and IO errors.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotFileTest, SaveOpenThroughFilesystem) {
+  Scene s = gen_uniform(8, 9);
+  Engine built(s, {});
+  std::string path = ::testing::TempDir() + "/rsp_snapshot_test.rsnap";
+  ASSERT_TRUE(built.save(path).ok());
+
+  Result<Engine> loaded = Engine::open(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  auto pairs = make_pairs(s, 4, 2);
+  EXPECT_EQ(*built.lengths(pairs), *loaded->lengths(pairs));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFileTest, MissingFileIsIoError) {
+  Result<Engine> r = Engine::open("/nonexistent/dir/x.rsnap");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(SnapshotFileTest, UnwritablePathIsIoError) {
+  Engine eng(gen_uniform(6, 1), {});
+  Status st = eng.save("/nonexistent/dir/x.rsnap");
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed input. Every case must return the precise StatusCode; none may
+// crash, throw, or return a usable engine.
+// ---------------------------------------------------------------------------
+
+class SnapshotNegativeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Engine eng(gen_uniform(6, 13), {});
+    bytes_ = snapshot_bytes(eng);
+  }
+
+  StatusCode open_code(const std::string& bytes) {
+    std::istringstream is(bytes);
+    Result<Engine> r = Engine::open(is);
+    EXPECT_FALSE(r.ok());
+    return r.ok() ? StatusCode::kOk : r.status().code();
+  }
+
+  std::string bytes_;
+};
+
+TEST_F(SnapshotNegativeTest, TruncatedAtEveryRegionIsCorrupt) {
+  // Cut inside the magic, the header, the scene section, the tables, and
+  // the checksum — every prefix must come back kCorruptSnapshot.
+  for (size_t cut : {size_t{0}, size_t{4}, size_t{13}, size_t{40},
+                     bytes_.size() / 2, bytes_.size() - 9, bytes_.size() - 1}) {
+    ASSERT_LT(cut, bytes_.size());
+    EXPECT_EQ(open_code(bytes_.substr(0, cut)), StatusCode::kCorruptSnapshot)
+        << "cut at " << cut;
+  }
+}
+
+TEST_F(SnapshotNegativeTest, BadMagicIsCorrupt) {
+  std::string b = bytes_;
+  b[0] = 'X';
+  EXPECT_EQ(open_code(b), StatusCode::kCorruptSnapshot);
+}
+
+TEST_F(SnapshotNegativeTest, WrongVersionIsVersionMismatch) {
+  std::string b = bytes_;
+  b[8] = static_cast<char>(kSnapshotFormatVersion + 1);  // version u32 LSB
+  EXPECT_EQ(open_code(b), StatusCode::kVersionMismatch);
+}
+
+TEST_F(SnapshotNegativeTest, UnknownPayloadKindIsCorrupt) {
+  std::string b = bytes_;
+  b[12] = 7;  // payload kind byte
+  EXPECT_EQ(open_code(b), StatusCode::kCorruptSnapshot);
+}
+
+TEST_F(SnapshotNegativeTest, FlippedPayloadByteIsCorrupt) {
+  // Deep inside the dist matrix: the table decodes fine, the checksum
+  // catches the damage.
+  std::string b = bytes_;
+  b[b.size() / 2] ^= 0x5a;
+  EXPECT_EQ(open_code(b), StatusCode::kCorruptSnapshot);
+}
+
+TEST_F(SnapshotNegativeTest, FlippedChecksumIsCorrupt) {
+  std::string b = bytes_;
+  b[b.size() - 1] ^= 0x01;
+  EXPECT_EQ(open_code(b), StatusCode::kCorruptSnapshot);
+}
+
+TEST_F(SnapshotNegativeTest, GarbageIsCorruptNotUB) {
+  std::string b(1024, '\x7f');
+  EXPECT_EQ(open_code(b), StatusCode::kCorruptSnapshot);
+}
+
+// ---------------------------------------------------------------------------
+// Backend/payload mismatch.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotMismatchTest, SceneOnlySnapshotRejectsAllPairsBackend) {
+  // A structure-free engine saves a scene-only snapshot...
+  Engine dij(gen_uniform(6, 13), {.backend = Backend::kDijkstraBaseline});
+  std::string bytes;
+  {
+    std::ostringstream os;
+    ASSERT_TRUE(dij.save(os).ok());
+    bytes = os.str();
+  }
+  {
+    std::istringstream is(bytes);
+    Result<SnapshotInfo> info = read_snapshot_info(is);
+    ASSERT_TRUE(info.ok()) << info.status();
+    EXPECT_EQ(info->kind, SnapshotPayloadKind::kSceneOnly);
+  }
+  // ...which cannot serve an all-pairs backend without a rebuild...
+  {
+    std::istringstream is(bytes);
+    Result<Engine> r = Engine::open(is, {.backend = Backend::kAllPairsSeq});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kSnapshotMismatch);
+  }
+  // ...but reopens fine as the baseline it was saved from.
+  {
+    std::istringstream is(bytes);
+    Result<Engine> r =
+        Engine::open(is, {.backend = Backend::kDijkstraBaseline});
+    ASSERT_TRUE(r.ok()) << r.status();
+    auto pairs = make_pairs(r->scene(), 2, 5);
+    auto d = r->lengths(pairs);
+    ASSERT_TRUE(d.ok()) << d.status();
+  }
+}
+
+TEST(SnapshotMismatchTest, AllPairsSnapshotServesDijkstraToo) {
+  // The scene section alone is enough for the structure-free backend.
+  Engine built(gen_uniform(6, 13), {});
+  std::string bytes = snapshot_bytes(built);
+  std::istringstream is(bytes);
+  Result<Engine> r = Engine::open(is, {.backend = Backend::kDijkstraBaseline});
+  ASSERT_TRUE(r.ok()) << r.status();
+  auto pairs = make_pairs(built.scene(), 4, 19);
+  EXPECT_EQ(*built.lengths(pairs), *r->lengths(pairs));
+}
+
+// ---------------------------------------------------------------------------
+// Introspection and save() edge cases.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotInfoTest, ReportsSizesWithoutLoadingTables) {
+  Engine eng(gen_grid(9, 5), {});
+  std::string bytes = snapshot_bytes(eng);
+  std::istringstream is(bytes);
+  Result<SnapshotInfo> info = read_snapshot_info(is);
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info->format_version, kSnapshotFormatVersion);
+  EXPECT_EQ(info->kind, SnapshotPayloadKind::kAllPairs);
+  EXPECT_EQ(info->num_obstacles, eng.scene().num_obstacles());
+  EXPECT_EQ(info->num_vertices, 4 * eng.scene().num_obstacles());
+}
+
+TEST(SnapshotSaveTest, LazyEngineSaveForcesTheBuild) {
+  Engine eng(gen_uniform(8, 21), {.lazy_build = true});
+  EXPECT_FALSE(eng.built());
+  std::string bytes = snapshot_bytes(eng);  // save() must warm up first
+  EXPECT_TRUE(eng.built());
+  std::istringstream is(bytes);
+  Result<Engine> r = Engine::open(is);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->built());
+}
+
+TEST(SnapshotStreamTest, InfoThenLoadOnOneStreamComposes) {
+  // read_snapshot_info is a pure peek on a seekable stream: the same
+  // stream then loads from the snapshot's start without rewinding by hand.
+  Engine eng(gen_uniform(6, 13), {});
+  std::stringstream ss;
+  ASSERT_TRUE(eng.save(ss).ok());
+  Result<SnapshotInfo> info = read_snapshot_info(ss);
+  ASSERT_TRUE(info.ok()) << info.status();
+  Result<Engine> r = Engine::open(ss);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->scene().num_obstacles(), info->num_obstacles);
+}
+
+TEST(SnapshotStreamTest, BackToBackSnapshotsInOneStreamCompose) {
+  // load_snapshot must leave a seekable stream just past the footer, not
+  // wherever its read-ahead buffer stopped.
+  Engine a(gen_uniform(6, 13), {});
+  Engine b(gen_grid(9, 5), {});
+  std::stringstream ss;
+  ASSERT_TRUE(a.save(ss).ok());
+  ASSERT_TRUE(b.save(ss).ok());
+  Result<Engine> ra = Engine::open(ss);
+  ASSERT_TRUE(ra.ok()) << ra.status();
+  Result<Engine> rb = Engine::open(ss);
+  ASSERT_TRUE(rb.ok()) << rb.status();
+  EXPECT_EQ(ra->scene().num_obstacles(), a.scene().num_obstacles());
+  EXPECT_EQ(rb->scene().num_obstacles(), b.scene().num_obstacles());
+}
+
+TEST(SnapshotNegativeCraftedTest, CyclicPredTableIsCorruptNotAHang) {
+  // A crafted snapshot can carry a valid (non-cryptographic) checksum yet
+  // hold a pred cycle that would hang the §8 path walk. The loader must
+  // reject it, not hand it to SpTrees.
+  Scene s = gen_uniform(6, 13);
+  AllPairsSP sp(s);
+  AllPairsData data = sp.data();
+  data.pred[0 * data.m + 1] = 2;  // row 0: 1 -> 2 -> 1
+  data.pred[0 * data.m + 2] = 1;
+  std::stringstream ss;
+  ASSERT_TRUE(save_snapshot(ss, s, &data).ok());
+  Result<SnapshotPayload> p = load_snapshot(ss);
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kCorruptSnapshot);
+}
+
+TEST(SnapshotSaveTest, MismatchedDataIsRejectedBySaver) {
+  Scene a = gen_uniform(6, 13);
+  Scene b = gen_uniform(8, 13);
+  AllPairsSP sp(b);  // tables for b...
+  std::ostringstream os;
+  Status st = save_snapshot(os, a, &sp.data());  // ...claimed to be a's
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace rsp

@@ -1,0 +1,367 @@
+// rspcli — the build-once / serve-many workflow, end to end:
+//
+//   rspcli build --gen uniform --n 256 --seed 7 --out scene.rsnap
+//   rspcli info  scene.rsnap
+//   rspcli query scene.rsnap --pair 1,1,200,180 --path
+//   rspcli query scene.rsnap --random 8 --seed 3
+//   rspcli bench scene.rsnap --queries 20000 --threads 8
+//
+// `build` generates a scene (io/gen.h generators), runs the all-pairs
+// build on an Engine and saves a snapshot; `query` and `bench` reopen the
+// snapshot — paying the load cost, not the O(n^2) build — and serve
+// queries through the normal Engine batch path. Exit code 0 on success,
+// 1 for usage errors, 2 when the library reports a non-OK Status.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "io/gen.h"
+#include "io/snapshot.h"
+
+namespace {
+
+using namespace rsp;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  rspcli build --gen NAME --n N [--seed S] [--threads K] --out FILE\n"
+      "  rspcli info  FILE\n"
+      "  rspcli query FILE [--threads K] (--pair X1,Y1,X2,Y2 ... |"
+      " --random K [--seed S]) [--path]\n"
+      "  rspcli bench FILE [--threads K] [--queries Q] [--seed S]\n"
+      "\n"
+      "generators:";
+  for (const auto& g : kAllGens) std::cerr << ' ' << g.name;
+  std::cerr << "\n";
+  return 1;
+}
+
+int fail_status(const Status& st) {
+  std::cerr << "error: " << st << "\n";
+  return 2;
+}
+
+// Tiny flag scanner: flags may appear in any order after the subcommand.
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;
+
+  bool has(const std::string& name) const {
+    for (const auto& [k, v] : flags)
+      if (k == name) return true;
+    return false;
+  }
+  std::string get(const std::string& name, const std::string& dflt = "") const {
+    for (const auto& [k, v] : flags)
+      if (k == name) return v;
+    return dflt;
+  }
+  // All values of a repeatable flag (--pair may be given many times).
+  std::vector<std::string> all(const std::string& name) const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : flags)
+      if (k == name) out.push_back(v);
+    return out;
+  }
+};
+
+bool parse_args(int argc, char** argv, int start, Args& out) {
+  for (int i = start; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      std::string name = a.substr(2);
+      if (name == "path") {  // boolean flag
+        out.flags.emplace_back(name, "1");
+        continue;
+      }
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for --" << name << "\n";
+        return false;
+      }
+      out.flags.emplace_back(name, argv[++i]);
+    } else {
+      out.positional.push_back(a);
+    }
+  }
+  return true;
+}
+
+// Rejects flags no subcommand handler reads — a typo (--thread for
+// --threads) must fail loudly, not silently run a default configuration.
+bool check_flags(const Args& args, std::initializer_list<const char*> allowed) {
+  for (const auto& [k, v] : args.flags) {
+    bool known = false;
+    for (const char* a : allowed) known = known || k == a;
+    if (!known) {
+      std::cerr << "unknown flag --" << k << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool parse_u64(const std::string& s, uint64_t& out) {
+  try {
+    size_t pos = 0;
+    out = std::stoull(s, &pos);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+// Strict numeric flag read: an unparsable value ("10k", "-3") is a usage
+// error, never a silent fallback to the default. Values are capped well
+// below the wrap point of downstream arithmetic (2 * count etc.).
+bool u64_flag(const Args& args, const std::string& name, uint64_t dflt,
+              uint64_t& out) {
+  constexpr uint64_t kMax = 1'000'000'000'000ull;
+  const std::string s = args.get(name, "");
+  if (s.empty()) {
+    out = dflt;
+    return true;
+  }
+  if (!parse_u64(s, out) || out > kMax) {
+    std::cerr << "bad value for --" << name << ": '" << s << "'\n";
+    return false;
+  }
+  return true;
+}
+
+bool parse_pair(const std::string& s, PointPair& out) {
+  long long v[4];
+  char trailing;
+  if (std::sscanf(s.c_str(), "%lld,%lld,%lld,%lld%c", &v[0], &v[1], &v[2],
+                  &v[3], &trailing) != 4) {
+    return false;
+  }
+  out = PointPair{{v[0], v[1]}, {v[2], v[3]}};
+  return true;
+}
+
+// Rejects random-sampling requests the scene cannot satisfy: the sampler
+// draws *distinct* free lattice points, so asking for more than a fraction
+// of the container's lattice would grind (the library's stuck check only
+// fires after 1000 attempts per point). Fail fast with a clear message.
+bool sampling_fits(const Scene& scene, uint64_t num_points) {
+  const Rect& bb = scene.container().bbox();
+  const double lattice = (static_cast<double>(bb.width()) + 1) *
+                         (static_cast<double>(bb.height()) + 1);
+  if (static_cast<double>(num_points) <= lattice / 4) return true;
+  std::cerr << "error: cannot sample " << num_points
+            << " distinct free points from a container with ~" << lattice
+            << " lattice points; lower --random/--queries\n";
+  return false;
+}
+
+bool options_from(const Args& args, EngineOptions& opt) {
+  uint64_t threads = 0;
+  if (!u64_flag(args, "threads", 0, threads)) return false;
+  opt.num_threads = static_cast<size_t>(threads);
+  return true;
+}
+
+int cmd_build(const Args& args) {
+  if (!args.positional.empty() ||
+      !check_flags(args, {"gen", "n", "seed", "threads", "out"})) {
+    return usage();
+  }
+  const std::string gen_name = args.get("gen", "uniform");
+  const std::string out_path = args.get("out");
+  uint64_t n = 0, seed = 1;
+  if (out_path.empty() || !u64_flag(args, "n", 0, n) || n == 0 ||
+      !u64_flag(args, "seed", 1, seed)) {
+    return usage();
+  }
+  SceneGen gen = nullptr;
+  for (const auto& g : kAllGens)
+    if (gen_name == g.name) gen = g.fn;
+  if (!gen) {
+    std::cerr << "unknown generator '" << gen_name << "'\n";
+    return usage();
+  }
+
+  auto t0 = Clock::now();
+  Scene scene = gen(static_cast<size_t>(n), seed);
+  const double gen_ms = ms_since(t0);
+
+  EngineOptions opt;
+  if (!options_from(args, opt)) return usage();
+  t0 = Clock::now();
+  Engine eng(std::move(scene), opt);
+  if (Status st = eng.warmup(); !st.ok()) return fail_status(st);
+  const double build_ms = ms_since(t0);
+
+  t0 = Clock::now();
+  if (Status st = eng.save(out_path); !st.ok()) return fail_status(st);
+  const double save_ms = ms_since(t0);
+
+  std::cout << "scene: gen=" << gen_name << " n=" << n << " seed=" << seed
+            << " (" << gen_ms << " ms)\n"
+            << "build: backend=" << backend_name(eng.backend())
+            << " threads=" << eng.num_threads() << " (" << build_ms
+            << " ms)\n"
+            << "saved: " << out_path << " (" << save_ms << " ms)\n";
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  if (args.positional.size() != 1 || !check_flags(args, {})) return usage();
+  std::ifstream is(args.positional[0], std::ios::binary);
+  if (!is) {
+    return fail_status(
+        Status::IoError("cannot open '" + args.positional[0] + "'"));
+  }
+  Result<SnapshotInfo> info = read_snapshot_info(is);
+  if (!info.ok()) return fail_status(info.status());
+  std::cout << "snapshot: " << args.positional[0] << "\n"
+            << "  format version:     " << info->format_version << "\n"
+            << "  payload:            "
+            << (info->kind == SnapshotPayloadKind::kAllPairs ? "scene + all-pairs"
+                                                             : "scene only")
+            << "\n"
+            << "  obstacles:          " << info->num_obstacles << "\n"
+            << "  container vertices: " << info->num_container_vertices << "\n";
+  if (info->kind == SnapshotPayloadKind::kAllPairs) {
+    std::cout << "  V_R vertices (m):   " << info->num_vertices << "\n";
+  }
+  return 0;
+}
+
+int cmd_query(const Args& args) {
+  if (args.positional.size() != 1 ||
+      !check_flags(args, {"threads", "pair", "random", "seed", "path"})) {
+    return usage();
+  }
+  uint64_t random_k = 0, seed = 1;
+  if (!u64_flag(args, "random", 0, random_k) ||
+      !u64_flag(args, "seed", 1, seed)) {
+    return usage();
+  }
+  EngineOptions opt;
+  if (!options_from(args, opt)) return usage();
+
+  auto t0 = Clock::now();
+  Result<Engine> eng = Engine::open(args.positional[0], opt);
+  if (!eng.ok()) return fail_status(eng.status());
+  const double load_ms = ms_since(t0);
+
+  std::vector<PointPair> pairs;
+  for (const std::string& s : args.all("pair")) {
+    PointPair p;
+    if (!parse_pair(s, p)) {
+      std::cerr << "bad --pair '" << s << "' (want X1,Y1,X2,Y2)\n";
+      return usage();
+    }
+    pairs.push_back(p);
+  }
+  if (random_k > 0) {
+    if (!sampling_fits(eng->scene(), 2 * random_k)) return 2;
+    auto pts = random_free_points(eng->scene(), 2 * random_k, seed);
+    for (uint64_t i = 0; i < random_k; ++i) {
+      pairs.push_back({pts[2 * i], pts[2 * i + 1]});
+    }
+  }
+  if (pairs.empty()) {
+    std::cerr << "no queries given (--pair or --random)\n";
+    return usage();
+  }
+
+  std::cout << "opened " << args.positional[0] << " in " << load_ms
+            << " ms (backend=" << backend_name(eng->backend()) << ")\n";
+  if (args.has("path")) {
+    Result<std::vector<std::vector<Point>>> paths = eng->paths(pairs);
+    if (!paths.ok()) return fail_status(paths.status());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      std::cout << pairs[i].s << " -> " << pairs[i].t << " :";
+      for (const Point& p : (*paths)[i]) std::cout << ' ' << p;
+      std::cout << "\n";
+    }
+  } else {
+    Result<std::vector<Length>> lens = eng->lengths(pairs);
+    if (!lens.ok()) return fail_status(lens.status());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      std::cout << pairs[i].s << " -> " << pairs[i].t << " : "
+                << (*lens)[i] << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_bench(const Args& args) {
+  if (args.positional.size() != 1 ||
+      !check_flags(args, {"threads", "queries", "seed"})) {
+    return usage();
+  }
+  uint64_t queries = 10000, seed = 1;
+  if (!u64_flag(args, "queries", 10000, queries) || queries == 0 ||
+      !u64_flag(args, "seed", 1, seed)) {
+    return usage();
+  }
+  EngineOptions opt;
+  if (!options_from(args, opt)) return usage();
+
+  auto t0 = Clock::now();
+  Result<Engine> eng = Engine::open(args.positional[0], opt);
+  if (!eng.ok()) return fail_status(eng.status());
+  const double load_ms = ms_since(t0);
+
+  if (!sampling_fits(eng->scene(), 2 * queries)) return 2;
+  auto pts = random_free_points(eng->scene(), 2 * queries, seed);
+  std::vector<PointPair> pairs(queries);
+  for (uint64_t i = 0; i < queries; ++i) {
+    pairs[i] = {pts[2 * i], pts[2 * i + 1]};
+  }
+
+  t0 = Clock::now();
+  Result<std::vector<Length>> lens = eng->lengths(pairs);
+  const double query_ms = ms_since(t0);
+  if (!lens.ok()) return fail_status(lens.status());
+
+  Length sum = 0;
+  for (Length l : *lens) sum += l;
+  std::cout << "load:    " << load_ms << " ms\n"
+            << "queries: " << queries << " in " << query_ms << " ms ("
+            << (1000.0 * static_cast<double>(queries) / query_ms)
+            << " qps, threads=" << eng->num_threads() << ")\n"
+            << "checksum(sum of lengths): " << sum << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  Args args;
+  if (!parse_args(argc, argv, 2, args)) return usage();
+  // Library invariant failures (e.g. point sampling stuck on a scene too
+  // small for the requested --random/--queries count) surface as
+  // exceptions below the Status boundary; honor the exit-code contract
+  // instead of letting them reach std::terminate.
+  try {
+    if (cmd == "build") return cmd_build(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "query") return cmd_query(args);
+    if (cmd == "bench") return cmd_bench(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  std::cerr << "unknown command '" << cmd << "'\n";
+  return usage();
+}
