@@ -1,0 +1,148 @@
+// S1 — serving-layer end-to-end benchmarks: what a pipelined client of
+// `rspcli serve` actually experiences, including protocol parse, admission,
+// batch coalescing, the engine fan-out and in-order response writing.
+//
+// Series:
+//  * BM_ServeHerdWindow:  a 256-request LEN herd through one stdio-style
+//    session vs the coalescing window — the window/throughput trade the
+//    dispatcher makes (window 0 = dispatch immediately, small batches).
+//  * BM_ServeHerdThreads: the same herd vs engine pool width at a fixed
+//    window — how far the PR-2 work-stealing scheduler carries the serve
+//    path on real hardware.
+//  * BM_ServeBatchRequest: one BATCH k wire request per session — the
+//    cheapest way a client can hand the server a full batch.
+//  * BM_ProtocolParse:    parser micro-cost of one LEN request line.
+//
+// All series run real QueryServer sessions over in-memory streams, so the
+// numbers include both server threads (dispatcher + writer) and the
+// latency histogram bookkeeping — the same code path CI smoke-drives.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/gen.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace rsp {
+namespace {
+
+std::string herd_script(const Scene& scene, size_t count, uint64_t seed) {
+  auto pts = random_free_points(scene, 2 * count, seed);
+  std::ostringstream os;
+  for (size_t i = 0; i + 1 < 2 * count; i += 2) {
+    os << "LEN " << pts[i].x << ',' << pts[i].y << ' ' << pts[i + 1].x << ','
+       << pts[i + 1].y << '\n';
+  }
+  os << "QUIT\n";
+  return os.str();
+}
+
+std::string batch_script(const Scene& scene, size_t count, uint64_t seed) {
+  auto pts = random_free_points(scene, 2 * count, seed);
+  std::ostringstream os;
+  os << "BATCH " << count << '\n';
+  for (size_t i = 0; i + 1 < 2 * count; i += 2) {
+    os << pts[i].x << ',' << pts[i].y << ' ' << pts[i + 1].x << ','
+       << pts[i + 1].y << '\n';
+  }
+  os << "QUIT\n";
+  return os.str();
+}
+
+// One resident server per (threads, window) configuration — construction
+// (the all-pairs build) happens once, exactly like a long-lived replica.
+QueryServer& shared_server(size_t threads, uint64_t window_us) {
+  static std::map<std::pair<size_t, uint64_t>, std::unique_ptr<QueryServer>>
+      cache;
+  auto key = std::make_pair(threads, window_us);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    Engine eng(gen_uniform(48, 11),
+               {.backend = Backend::kAuto, .num_threads = threads});
+    it = cache
+             .emplace(key, std::make_unique<QueryServer>(
+                               std::move(eng),
+                               ServeOptions{.max_batch_pairs = 256,
+                                            .coalesce_window_us = window_us}))
+             .first;
+  }
+  return *it->second;
+}
+
+void run_session(QueryServer& srv, const std::string& script) {
+  std::istringstream in(script);
+  std::ostringstream out;
+  srv.serve(in, out);
+  benchmark::DoNotOptimize(out.str().size());
+}
+
+// 256 pipelined LEN requests vs coalescing window (us); 4-thread engine.
+void BM_ServeHerdWindow(benchmark::State& state) {
+  const auto window = static_cast<uint64_t>(state.range(0));
+  QueryServer& srv = shared_server(4, window);
+  const std::string script = herd_script(srv.engine().scene(), 256, 7);
+  for (auto _ : state) {
+    run_session(srv, script);
+  }
+  state.counters["requests_per_sec"] = benchmark::Counter(
+      256.0, benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["mean_batch"] = srv.stats().mean_batch_occupancy();
+}
+
+// The same herd vs engine pool width; window fixed at 200 us.
+void BM_ServeHerdThreads(benchmark::State& state) {
+  const auto threads = static_cast<size_t>(state.range(0));
+  QueryServer& srv = shared_server(threads, 200);
+  const std::string script = herd_script(srv.engine().scene(), 256, 7);
+  for (auto _ : state) {
+    run_session(srv, script);
+  }
+  state.counters["pool_width"] =
+      static_cast<double>(srv.engine().num_threads());
+  state.counters["requests_per_sec"] = benchmark::Counter(
+      256.0, benchmark::Counter::kIsIterationInvariantRate);
+}
+
+// One BATCH k request per session: framing amortized over k pairs.
+void BM_ServeBatchRequest(benchmark::State& state) {
+  const auto k = static_cast<size_t>(state.range(0));
+  QueryServer& srv = shared_server(4, 200);
+  const std::string script = batch_script(srv.engine().scene(), k, 13);
+  for (auto _ : state) {
+    run_session(srv, script);
+  }
+  state.counters["queries_per_sec"] = benchmark::Counter(
+      static_cast<double>(k), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+// Parser micro-cost: one LEN line, no server.
+void BM_ProtocolParse(benchmark::State& state) {
+  const std::string line = "LEN 123,-456 789,1011";
+  const LineSource none = [](std::string&) { return false; };
+  for (auto _ : state) {
+    ParsedRequest pr = parse_request(line, none);
+    benchmark::DoNotOptimize(pr.ok);
+  }
+}
+
+}  // namespace
+
+
+BENCHMARK(BM_ServeHerdWindow)->Arg(0)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServeHerdThreads)->DenseRange(0, 8, 2)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServeBatchRequest)->RangeMultiplier(4)->Range(4, 1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProtocolParse);
+
+
+}  // namespace rsp
+
+BENCHMARK_MAIN();

@@ -111,6 +111,11 @@ struct Engine::Impl {
   // threads (or from inside other schedulers' tasks) without serializing.
   std::unique_ptr<Scheduler> sched;
 
+  // Dispatch telemetry (EngineMetrics). Relaxed: counters, not ordering.
+  mutable std::atomic<uint64_t> batches{0};
+  mutable std::atomic<uint64_t> batch_queries{0};
+  mutable std::atomic<uint64_t> single_queries{0};
+
   mutable std::mutex build_mu;
   mutable std::unique_ptr<QueryBackend> backend;
   mutable Status build_status;             // sticky build failure
@@ -377,6 +382,7 @@ Status Engine::warmup() { return impl_->ensure_built(); }
 Result<Length> Engine::length(const Point& s, const Point& t) const {
   if (Status st = impl_->validate_pair(s, t); !st.ok()) return st;
   if (Status st = impl_->ensure_built(); !st.ok()) return st;
+  impl_->single_queries.fetch_add(1, std::memory_order_relaxed);
   try {
     return impl_->backend->length(s, t);
   } catch (const std::exception& e) {
@@ -387,6 +393,7 @@ Result<Length> Engine::length(const Point& s, const Point& t) const {
 Result<std::vector<Point>> Engine::path(const Point& s, const Point& t) const {
   if (Status st = impl_->validate_pair(s, t); !st.ok()) return st;
   if (Status st = impl_->ensure_built(); !st.ok()) return st;
+  impl_->single_queries.fetch_add(1, std::memory_order_relaxed);
   try {
     return impl_->backend->path(s, t);
   } catch (const std::exception& e) {
@@ -397,6 +404,8 @@ Result<std::vector<Point>> Engine::path(const Point& s, const Point& t) const {
 Result<std::vector<Length>> Engine::lengths(
     std::span<const PointPair> pairs) const {
   if (Status st = impl_->prepare_batch(pairs); !st.ok()) return st;
+  impl_->batches.fetch_add(1, std::memory_order_relaxed);
+  impl_->batch_queries.fetch_add(pairs.size(), std::memory_order_relaxed);
   std::vector<Length> out(pairs.size());
   Status st = impl_->fan_out(pairs.size(), [&](size_t i) {
     out[i] = impl_->backend->length(pairs[i].s, pairs[i].t);
@@ -408,12 +417,28 @@ Result<std::vector<Length>> Engine::lengths(
 Result<std::vector<std::vector<Point>>> Engine::paths(
     std::span<const PointPair> pairs) const {
   if (Status st = impl_->prepare_batch(pairs); !st.ok()) return st;
+  impl_->batches.fetch_add(1, std::memory_order_relaxed);
+  impl_->batch_queries.fetch_add(pairs.size(), std::memory_order_relaxed);
   std::vector<std::vector<Point>> out(pairs.size());
   Status st = impl_->fan_out(pairs.size(), [&](size_t i) {
     out[i] = impl_->backend->path(pairs[i].s, pairs[i].t);
   });
   if (!st.ok()) return st;
   return out;
+}
+
+EngineMetrics Engine::metrics() const {
+  EngineMetrics m;
+  m.batches = impl_->batches.load(std::memory_order_relaxed);
+  m.batch_queries = impl_->batch_queries.load(std::memory_order_relaxed);
+  m.single_queries = impl_->single_queries.load(std::memory_order_relaxed);
+  if (impl_->sched) {
+    SchedulerStats s = impl_->sched->stats();
+    m.sched_tasks_executed = s.tasks_executed;
+    m.sched_steals = s.steals;
+    m.sched_injected = s.injected;
+  }
+  return m;
 }
 
 const AllPairsSP* Engine::all_pairs() const {

@@ -72,6 +72,21 @@ struct PointPair {
   Point t;
 };
 
+// Dispatch telemetry, cumulative since engine construction. The batch
+// counters tick once per lengths()/paths() call that reaches the fan-out
+// (i.e. after validation); the scheduler counters expose the engine-owned
+// work-stealing pool's queue activity (all zero for a sequential engine).
+// Reading is cheap (relaxed atomics) and safe from any thread; serve-layer
+// STATS/JSON reports are built from this.
+struct EngineMetrics {
+  uint64_t batches = 0;         // dispatched lengths()/paths() batches
+  uint64_t batch_queries = 0;   // point pairs across those batches
+  uint64_t single_queries = 0;  // dispatched length()/path() calls
+  uint64_t sched_tasks_executed = 0;  // tasks run by the engine scheduler
+  uint64_t sched_steals = 0;          // tasks acquired by stealing
+  uint64_t sched_injected = 0;        // external submissions (injection queue)
+};
+
 class Engine {
  public:
   // From a validated Scene (Scene's own constructor throws on invalid
@@ -138,6 +153,9 @@ class Engine {
   Result<std::vector<Length>> lengths(std::span<const PointPair> pairs) const;
   Result<std::vector<std::vector<Point>>> paths(
       std::span<const PointPair> pairs) const;
+
+  // Dispatch telemetry snapshot (see EngineMetrics).
+  EngineMetrics metrics() const;
 
   // Escape hatch to the implementation layer (§8 chunked reporting demos,
   // benchmarks that reach for the matrix). Forces the lazy build; nullptr

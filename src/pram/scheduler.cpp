@@ -125,6 +125,7 @@ void Scheduler::submit(sched_detail::Task* t) {
   if (tl_state.sched == this) {
     workers_[tl_state.index]->deque.push(t);
   } else {
+    stat_injected_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lk(inject_mu_);
     inject_.push_back(t);
     inject_size_.store(inject_.size(), std::memory_order_release);
@@ -167,7 +168,10 @@ sched_detail::Task* Scheduler::acquire(
   for (size_t i = 0; i < n; ++i) {
     size_t v = (start + i) % n;
     if (v == self) continue;
-    if (sched_detail::Task* t = workers_[v]->deque.steal()) return t;
+    if (sched_detail::Task* t = workers_[v]->deque.steal()) {
+      stat_steals_.fetch_add(1, std::memory_order_relaxed);
+      return t;
+    }
   }
   return nullptr;
 }
@@ -185,6 +189,7 @@ void Scheduler::execute(sched_detail::Task* t) {
     if (!g->error) g->error = std::current_exception();
   }
   pram_scope_set(saved);
+  stat_executed_.fetch_add(1, std::memory_order_relaxed);
   delete t;
   if (g->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     // Last task out: wake the joiner. Notify under the group mutex so the
@@ -253,6 +258,12 @@ void Scheduler::worker_main(size_t index) {
     sleepers_.fetch_sub(1, std::memory_order_relaxed);
     seen = epoch_.load(std::memory_order_acquire);
   }
+}
+
+SchedulerStats Scheduler::stats() const {
+  return {stat_executed_.load(std::memory_order_relaxed),
+          stat_steals_.load(std::memory_order_relaxed),
+          stat_injected_.load(std::memory_order_relaxed)};
 }
 
 Scheduler& Scheduler::global() {

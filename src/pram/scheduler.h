@@ -176,6 +176,17 @@ class TaskGroup {
   std::shared_ptr<sched_detail::GroupState> state_;
 };
 
+// Queue instrumentation, cumulative since scheduler construction. Relaxed
+// counters — cheap enough to stay on in production, precise enough to spot
+// imbalance (steals ≈ tasks means the deques never hold local work) and
+// external pressure (injected = submissions from non-worker threads, e.g.
+// serve-layer batch fan-outs).
+struct SchedulerStats {
+  uint64_t tasks_executed = 0;  // tasks run to completion (any thread)
+  uint64_t steals = 0;          // tasks acquired from another worker's deque
+  uint64_t injected = 0;        // submissions through the injection queue
+};
+
 class Scheduler {
  public:
   // A scheduler of width num_threads: num_threads - 1 spawned workers plus
@@ -198,6 +209,9 @@ class Scheduler {
   // Executes at most one pending task on the calling thread. Returns false
   // when no task could be acquired. Used by joins; exposed for tests.
   bool help_once();
+
+  // Queue-instrumentation snapshot (see SchedulerStats). Any thread.
+  SchedulerStats stats() const;
 
   // Process-wide scheduler sized to the hardware; created on first use.
   static Scheduler& global();
@@ -227,6 +241,11 @@ class Scheduler {
   std::mutex inject_mu_;
   std::deque<sched_detail::Task*> inject_;  // external submissions
   std::atomic<size_t> inject_size_{0};      // lock-free emptiness gate
+
+  // SchedulerStats counters (relaxed; see stats()).
+  std::atomic<uint64_t> stat_executed_{0};
+  std::atomic<uint64_t> stat_steals_{0};
+  std::atomic<uint64_t> stat_injected_{0};
 
   std::mutex sleep_mu_;
   std::condition_variable sleep_cv_;

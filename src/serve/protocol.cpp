@@ -1,0 +1,192 @@
+#include "serve/protocol.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace rsp {
+
+namespace {
+
+// Splits on runs of spaces/tabs; no escaping (coordinates and verbs never
+// contain whitespace).
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> out;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t') ++j;
+    if (j > i) out.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+// Strict signed-decimal parse: the whole token must be consumed, so "12x",
+// "1e3" and values outside int64 are all rejected (std::from_chars never
+// throws and never reads locale state).
+bool parse_coord(std::string_view tok, Coord& out) {
+  const char* first = tok.data();
+  const char* last = tok.data() + tok.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last;
+}
+
+bool parse_point(std::string_view tok, Point& out) {
+  size_t comma = tok.find(',');
+  if (comma == std::string_view::npos ||
+      tok.find(',', comma + 1) != std::string_view::npos) {
+    return false;
+  }
+  return parse_coord(tok.substr(0, comma), out.x) &&
+         parse_coord(tok.substr(comma + 1), out.y);
+}
+
+ParsedRequest bad(std::string msg) {
+  ParsedRequest pr;
+  pr.error = std::move(msg);
+  return pr;
+}
+
+ParsedRequest parse_pair_request(Verb verb,
+                                 std::span<const std::string_view> toks) {
+  if (toks.size() != 3) {
+    return bad(std::string(verb_name(verb)) +
+               " wants exactly two points: " + verb_name(verb) +
+               " X1,Y1 X2,Y2");
+  }
+  PointPair pair;
+  if (!parse_point(toks[1], pair.s) || !parse_point(toks[2], pair.t)) {
+    return bad("unparsable point (want X,Y with 64-bit decimal coordinates)");
+  }
+  ParsedRequest pr;
+  pr.ok = true;
+  pr.req.verb = verb;
+  pr.req.pairs.push_back(pair);
+  return pr;
+}
+
+ParsedRequest parse_batch(std::span<const std::string_view> toks,
+                          const LineSource& next_line) {
+  if (toks.size() != 2) return bad("BATCH wants a count: BATCH K");
+  uint64_t count = 0;
+  {
+    const char* first = toks[1].data();
+    const char* last = toks[1].data() + toks[1].size();
+    auto [ptr, ec] = std::from_chars(first, last, count);
+    if (ec != std::errc() || ptr != last) {
+      return bad("unparsable BATCH count '" + std::string(toks[1]) + "'");
+    }
+  }
+  if (count == 0) return bad("BATCH count must be >= 1");
+  if (count > kMaxBatchPairs) {
+    std::ostringstream os;
+    os << "BATCH count " << count << " exceeds the limit of "
+       << kMaxBatchPairs;
+    return bad(os.str());
+  }
+  ParsedRequest pr;
+  pr.req.verb = Verb::kBatch;
+  pr.req.pairs.reserve(static_cast<size_t>(count));
+  std::string line;
+  for (uint64_t i = 0; i < count; ++i) {
+    if (!next_line(line)) {
+      std::ostringstream os;
+      os << "end of input inside BATCH: got " << i << " of " << count
+         << " pairs";
+      return bad(os.str());
+    }
+    auto pair_toks = tokenize(line);
+    PointPair pair;
+    if (pair_toks.size() != 2 || !parse_point(pair_toks[0], pair.s) ||
+        !parse_point(pair_toks[1], pair.t)) {
+      std::ostringstream os;
+      os << "unparsable BATCH pair " << i << " (want X1,Y1 X2,Y2)";
+      return bad(os.str());
+    }
+    pr.req.pairs.push_back(pair);
+  }
+  pr.ok = true;
+  return pr;
+}
+
+// Strips anything a response line must not contain: Status messages are
+// single-line today, but the invariant "one request, one response line"
+// should not depend on that.
+std::string one_line(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* verb_name(Verb v) {
+  switch (v) {
+    case Verb::kLen: return "LEN";
+    case Verb::kPath: return "PATH";
+    case Verb::kBatch: return "BATCH";
+    case Verb::kStats: return "STATS";
+    case Verb::kQuit: return "QUIT";
+  }
+  return "?";
+}
+
+ParsedRequest parse_request(std::string_view line,
+                            const LineSource& next_line) {
+  auto toks = tokenize(line);
+  if (toks.empty()) return bad("empty request");
+  std::string_view verb = toks[0];
+  if (verb == "LEN") return parse_pair_request(Verb::kLen, toks);
+  if (verb == "PATH") return parse_pair_request(Verb::kPath, toks);
+  if (verb == "BATCH") return parse_batch(toks, next_line);
+  if (verb == "STATS" || verb == "QUIT") {
+    if (toks.size() != 1) {
+      return bad(std::string(verb) + " takes no arguments");
+    }
+    ParsedRequest pr;
+    pr.ok = true;
+    pr.req.verb = verb == "STATS" ? Verb::kStats : Verb::kQuit;
+    return pr;
+  }
+  return bad("unknown verb '" + one_line(verb) +
+             "' (want LEN, PATH, BATCH, STATS or QUIT)");
+}
+
+std::string format_length(Length len) {
+  return "OK " + std::to_string(len);
+}
+
+std::string format_batch(std::span<const Length> lens) {
+  std::string out = "OK " + std::to_string(lens.size());
+  for (Length l : lens) {
+    out += ' ';
+    out += std::to_string(l);
+  }
+  return out;
+}
+
+std::string format_path(std::span<const Point> pts) {
+  std::ostringstream os;
+  os << "OK";
+  for (const Point& p : pts) os << ' ' << p;
+  return os.str();
+}
+
+std::string format_error(const Status& st) {
+  return format_error(status_code_name(st.code()), st.message());
+}
+
+std::string format_error(std::string_view code, std::string_view message) {
+  std::string out = "ERR ";
+  out += code;
+  if (!message.empty()) {
+    out += ' ';
+    out += one_line(message);
+  }
+  return out;
+}
+
+}  // namespace rsp

@@ -1,0 +1,94 @@
+#pragma once
+// Wire protocol for the resident query server (serve/server.h).
+//
+// Line-oriented, transport-independent: the same grammar is spoken over
+// stdin/stdout (`rspcli serve --stdio`) and over a TCP session
+// (`rspcli serve --port N`), and the parser here never touches a socket or
+// a stream — it consumes one request line plus, for BATCH, continuation
+// lines pulled through a caller-supplied LineSource. That split is what
+// makes the parser unit-testable against malformed input without standing
+// up a server.
+//
+// Grammar (one request per line; fields separated by spaces or tabs):
+//
+//   request  = "LEN"   point point        ; shortest-path length
+//            | "PATH"  point point        ; shortest-path polyline
+//            | "BATCH" count              ; count pair lines follow,
+//                                         ;   each "point point"
+//            | "STATS"                    ; server telemetry snapshot
+//            | "QUIT"                     ; end the session
+//   point    = x "," y                    ; signed 64-bit decimal integers
+//
+// Every request produces exactly one response line:
+//
+//   "OK"  ...payload...                   ; see the formatters below
+//   "ERR" code SP message                 ; code is BAD_REQUEST for
+//                                         ;   protocol violations, else a
+//                                         ;   StatusCode name (api/status.h)
+//
+// Blank lines and lines starting with '#' are skipped by the session layer
+// (handy for scripted herds); they are not part of the grammar.
+//
+// Robustness contract (tests/serve_test.cpp): malformed verbs, unparsable
+// coordinates, out-of-range values, oversized BATCH counts and mid-stream
+// EOF all come back as ERR BAD_REQUEST — parsing never throws and never
+// crashes. A malformed BATCH header consumes no continuation lines, so the
+// remainder of a desynchronized session surfaces as further parse errors
+// rather than silently mis-paired queries.
+
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/engine.h"
+#include "api/status.h"
+
+namespace rsp {
+
+// Upper bound on BATCH count: large enough for any realistic coalesced
+// herd, small enough that a hostile count cannot make the server reserve
+// unbounded memory before the pair lines arrive.
+inline constexpr uint64_t kMaxBatchPairs = 1u << 20;
+
+enum class Verb {
+  kLen = 0,
+  kPath,
+  kBatch,
+  kStats,
+  kQuit,
+};
+
+const char* verb_name(Verb v);
+
+struct Request {
+  Verb verb = Verb::kLen;
+  // LEN/PATH: pairs.size() == 1. BATCH: the k continuation pairs, in wire
+  // order. STATS/QUIT: empty.
+  std::vector<PointPair> pairs;
+};
+
+// Pulls the next raw line of the session (BATCH continuation lines).
+// Returns false at end of input.
+using LineSource = std::function<bool(std::string&)>;
+
+struct ParsedRequest {
+  bool ok = false;
+  Request req;
+  std::string error;  // BAD_REQUEST detail when !ok
+};
+
+// Parses one request from `line`, reading BATCH payload lines from
+// `next_line`. Never throws.
+ParsedRequest parse_request(std::string_view line, const LineSource& next_line);
+
+// Response formatters — the single source of truth for the wire format
+// (the CI smoke diff and serve_test both compare against these).
+std::string format_length(Length len);                       // "OK 42"
+std::string format_batch(std::span<const Length> lens);      // "OK 2 42 7"
+std::string format_path(std::span<const Point> pts);         // "OK (0,1) (3,1)"
+std::string format_error(const Status& st);                  // "ERR CODE msg"
+std::string format_error(std::string_view code, std::string_view message);
+
+}  // namespace rsp

@@ -1,0 +1,577 @@
+#include "serve/server.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RSP_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace rsp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t us_between(Clock::time_point a, Clock::time_point b) {
+  auto d = std::chrono::duration_cast<std::chrono::microseconds>(b - a);
+  return d.count() < 0 ? 0 : static_cast<uint64_t>(d.count());
+}
+
+// LEN and BATCH are both length-valued and coalesce into one
+// Engine::lengths() dispatch; PATH runs coalesce into Engine::paths().
+// STATS dispatches alone (it must observe every earlier request answered).
+enum class Kind { kLengths, kPaths, kStats };
+
+Kind kind_of(Verb v) {
+  switch (v) {
+    case Verb::kLen:
+    case Verb::kBatch:
+      return Kind::kLengths;
+    case Verb::kPath:
+      return Kind::kPaths;
+    default:
+      return Kind::kStats;
+  }
+}
+
+std::string trim_cr(std::string s) {
+  if (!s.empty() && s.back() == '\r') s.pop_back();
+  return s;
+}
+
+bool skippable(const std::string& line) {
+  size_t i = line.find_first_not_of(" \t");
+  return i == std::string::npos || line[i] == '#';
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------------
+
+size_t LatencyHistogram::bucket_of(uint64_t us) {
+  if (us < kExact) return static_cast<size_t>(us);
+  const int msb = 63 - std::countl_zero(us);  // >= 4
+  const size_t sub = (us >> (msb - 3)) & (kSub - 1);
+  return kExact + static_cast<size_t>(msb - 4) * kSub + sub;
+}
+
+uint64_t LatencyHistogram::bucket_upper(size_t idx) {
+  if (idx < kExact) return idx;
+  const int msb = static_cast<int>((idx - kExact) / kSub) + 4;
+  const uint64_t sub = (idx - kExact) % kSub;
+  const uint64_t low = (uint64_t{1} << msb) | (sub << (msb - 3));
+  return low + (uint64_t{1} << (msb - 3)) - 1;
+}
+
+void LatencyHistogram::record(uint64_t us) {
+  ++buckets_[bucket_of(us)];
+  ++count_;
+  if (us > max_) max_ = us;
+}
+
+uint64_t LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  // Rank of the quantile element, 1-based: ceil(p * count), at least 1.
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(p * static_cast<double>(count_)));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) return std::min(bucket_upper(i), max_);
+  }
+  return max_;
+}
+
+// ---------------------------------------------------------------------------
+// QueryServer — admission and dispatch
+// ---------------------------------------------------------------------------
+
+QueryServer::QueryServer(Engine engine, ServeOptions opt)
+    : engine_(std::move(engine)), opt_(opt) {
+  if (opt_.max_batch_pairs == 0) opt_.max_batch_pairs = 1;
+  dispatcher_ = std::thread([this] { dispatcher_main(); });
+}
+
+QueryServer::~QueryServer() {
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+std::future<std::string> QueryServer::submit(Request req) {
+  auto p = std::make_unique<Pending>();
+  p->req = std::move(req);
+  p->admitted = Clock::now();
+  std::future<std::string> fut = p->response.get_future();
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    queue_.push_back(std::move(p));
+  }
+  queue_cv_.notify_all();
+  return fut;
+}
+
+void QueryServer::dispatcher_main() {
+  std::unique_lock<std::mutex> lk(queue_mu_);
+  for (;;) {
+    queue_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;  // drained: requests admitted before stop_ are
+      continue;           // answered, the session writer never hangs
+    }
+    dispatch_group(lk);
+  }
+}
+
+void QueryServer::dispatch_group(std::unique_lock<std::mutex>& lk) {
+  const Kind head_kind = kind_of(queue_.front()->req.verb);
+
+  // Count pairs in the maximal head-kind prefix (what a dispatch right now
+  // would carry).
+  auto prefix_pairs = [&] {
+    size_t pairs = 0;
+    for (const auto& p : queue_) {
+      if (kind_of(p->req.verb) != head_kind) break;
+      pairs += p->req.pairs.size();
+      if (pairs >= opt_.max_batch_pairs) break;
+    }
+    return pairs;
+  };
+
+  // Coalescing window: give the pipeline a beat to fill the batch. Wakes
+  // early when full (or shutting down); STATS never waits.
+  if (head_kind != Kind::kStats && opt_.coalesce_window_us > 0 &&
+      prefix_pairs() < opt_.max_batch_pairs) {
+    // The head is pinned for the whole wait: this thread is the only
+    // consumer, producers only append. Wake early when the batch fills
+    // (or on shutdown), else dispatch whatever arrived by the deadline.
+    queue_cv_.wait_for(lk, std::chrono::microseconds(opt_.coalesce_window_us),
+                       [&] {
+                         return stop_ ||
+                                prefix_pairs() >= opt_.max_batch_pairs;
+                       });
+  }
+
+  // Pop the maximal same-kind prefix within the pair budget. The head is
+  // always taken, even when one BATCH alone exceeds max_batch_pairs —
+  // otherwise it could never dispatch.
+  std::vector<std::unique_ptr<Pending>> group;
+  size_t pairs = 0;
+  const Kind kind = kind_of(queue_.front()->req.verb);
+  while (!queue_.empty() && kind_of(queue_.front()->req.verb) == kind) {
+    size_t next = queue_.front()->req.pairs.size();
+    if (!group.empty() && pairs + next > opt_.max_batch_pairs) break;
+    pairs += next;
+    group.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    if (kind == Kind::kStats) break;  // STATS dispatches alone
+  }
+
+  lk.unlock();
+
+  if (kind == Kind::kStats) {
+    finish(*group[0], stats_line());
+    lk.lock();
+    return;
+  }
+
+  // Flatten the group into one engine batch; each request owns the slice
+  // [offset, offset + size) of the results.
+  std::vector<PointPair> batch;
+  batch.reserve(pairs);
+  std::vector<size_t> offset(group.size());
+  for (size_t g = 0; g < group.size(); ++g) {
+    offset[g] = batch.size();
+    batch.insert(batch.end(), group[g]->req.pairs.begin(),
+                 group[g]->req.pairs.end());
+  }
+
+  // Count the dispatch before any promise is fulfilled: a session that
+  // returns the moment its last response lands must already observe it.
+  {
+    std::lock_guard<std::mutex> slk(stats_mu_);
+    ++dispatches_;
+    dispatched_pairs_ += pairs;
+  }
+
+  if (kind == Kind::kLengths) {
+    Result<std::vector<Length>> lens = engine_.lengths(batch);
+    for (size_t g = 0; g < group.size(); ++g) {
+      Pending& p = *group[g];
+      if (lens.ok()) {
+        std::span<const Length> slice(lens->data() + offset[g],
+                                      p.req.pairs.size());
+        finish(p, p.req.verb == Verb::kBatch ? format_batch(slice)
+                                             : format_length(slice[0]));
+        continue;
+      }
+      // One invalid pair fails a whole Engine batch; re-run this request
+      // alone so only the offending request degrades.
+      if (p.req.verb == Verb::kLen) {
+        Result<Length> one = engine_.length(p.req.pairs[0].s,
+                                            p.req.pairs[0].t);
+        finish(p, one.ok() ? format_length(*one) : format_error(one.status()));
+      } else {
+        Result<std::vector<Length>> own = engine_.lengths(p.req.pairs);
+        finish(p, own.ok() ? format_batch(*own) : format_error(own.status()));
+      }
+    }
+  } else {
+    Result<std::vector<std::vector<Point>>> paths = engine_.paths(batch);
+    for (size_t g = 0; g < group.size(); ++g) {
+      Pending& p = *group[g];
+      if (paths.ok()) {
+        finish(p, format_path((*paths)[offset[g]]));
+        continue;
+      }
+      Result<std::vector<Point>> one = engine_.path(p.req.pairs[0].s,
+                                                    p.req.pairs[0].t);
+      finish(p, one.ok() ? format_path(*one) : format_error(one.status()));
+    }
+  }
+
+  lk.lock();
+}
+
+void QueryServer::finish(Pending& p, std::string response) {
+  const bool is_error = response.rfind("ERR", 0) == 0;
+  const uint64_t us = us_between(p.admitted, Clock::now());
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++requests_;
+    if (is_error) {
+      ++errors_;
+    } else if (p.req.verb != Verb::kStats) {
+      queries_ += p.req.pairs.size();
+    }
+    latency_.record(us);
+  }
+  p.response.set_value(std::move(response));
+}
+
+void QueryServer::count_protocol_error() {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  ++requests_;
+  ++errors_;
+}
+
+// ---------------------------------------------------------------------------
+// Session loop
+// ---------------------------------------------------------------------------
+
+void QueryServer::serve(std::istream& in, std::ostream& out) {
+  // Responses leave in request order: the reader appends one future per
+  // request, the writer drains them FIFO. Computation overlaps input —
+  // that pipelining is what gives the dispatcher batches to coalesce.
+  std::mutex fifo_mu;
+  std::condition_variable fifo_cv;
+  std::deque<std::future<std::string>> fifo;
+  bool done = false;
+
+  std::thread writer([&] {
+    for (;;) {
+      std::future<std::string> f;
+      {
+        std::unique_lock<std::mutex> lk(fifo_mu);
+        fifo_cv.wait(lk, [&] { return done || !fifo.empty(); });
+        if (fifo.empty()) return;
+        f = std::move(fifo.front());
+        fifo.pop_front();
+      }
+      out << f.get() << '\n';
+      out.flush();
+    }
+  });
+
+  auto push = [&](std::future<std::string> f) {
+    {
+      std::lock_guard<std::mutex> lk(fifo_mu);
+      fifo.push_back(std::move(f));
+    }
+    fifo_cv.notify_one();
+  };
+  auto push_ready = [&](std::string s) {
+    std::promise<std::string> p;
+    p.set_value(std::move(s));
+    push(p.get_future());
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    line = trim_cr(std::move(line));
+    if (skippable(line)) continue;
+    ParsedRequest pr = parse_request(line, [&](std::string& next) {
+      if (!std::getline(in, next)) return false;
+      next = trim_cr(std::move(next));
+      return true;
+    });
+    if (!pr.ok) {
+      count_protocol_error();
+      push_ready(format_error("BAD_REQUEST", pr.error));
+      continue;
+    }
+    if (pr.req.verb == Verb::kQuit) {
+      push_ready("OK bye");
+      break;
+    }
+    push(submit(std::move(pr.req)));
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(fifo_mu);
+    done = true;
+  }
+  fifo_cv.notify_all();
+  writer.join();
+}
+
+// ---------------------------------------------------------------------------
+// TCP front end
+// ---------------------------------------------------------------------------
+
+#ifdef RSP_HAVE_SOCKETS
+
+namespace {
+
+// Buffered std::streambuf over a connected socket; read()/write() only.
+class FdStreamBuf final : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd) : fd_(fd) {
+    setg(rbuf_, rbuf_, rbuf_);
+    setp(wbuf_, wbuf_ + sizeof(wbuf_));
+  }
+  ~FdStreamBuf() override { sync(); }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    ssize_t n;
+    do {
+      n = ::read(fd_, rbuf_, sizeof(rbuf_));
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return traits_type::eof();
+    setg(rbuf_, rbuf_, rbuf_ + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type ch) override {
+    if (flush_write() < 0) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override { return flush_write(); }
+
+ private:
+  int flush_write() {
+    const char* p = pbase();
+    while (p < pptr()) {
+      ssize_t n = ::write(fd_, p, static_cast<size_t>(pptr() - p));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return -1;
+      }
+      p += n;
+    }
+    setp(wbuf_, wbuf_ + sizeof(wbuf_));
+    return 0;
+  }
+
+  int fd_;
+  char rbuf_[1 << 16];
+  char wbuf_[1 << 16];
+};
+
+}  // namespace
+
+Status QueryServer::serve_port(uint16_t port, size_t max_sessions,
+                               const std::function<void(uint16_t)>& on_listening) {
+  int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  // Publish the fd immediately, then re-check the sticky shutdown flag: a
+  // shutdown_port() racing with startup either saw fd == -1 and set only
+  // the flag (caught by this check) or saw the fd and shut it down
+  // (bind/listen/accept fail, routed to the flag checks below). Either
+  // way the request is never lost — critical for SIGINT handlers.
+  listener_fd_.store(listener, std::memory_order_release);
+  if (port_shutdown_.load(std::memory_order_acquire)) {
+    listener_fd_.store(-1, std::memory_order_release);
+    ::close(listener);
+    return Status::Ok();
+  }
+  int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Status::IoError(std::string("bind: ") + std::strerror(errno));
+    listener_fd_.store(-1, std::memory_order_release);
+    ::close(listener);
+    return st;
+  }
+  if (::listen(listener, 16) < 0) {
+    if (port_shutdown_.load(std::memory_order_acquire)) {
+      listener_fd_.store(-1, std::memory_order_release);
+      ::close(listener);
+      return Status::Ok();  // a startup-racing shutdown broke the socket
+    }
+    Status st = Status::IoError(std::string("listen: ") + std::strerror(errno));
+    listener_fd_.store(-1, std::memory_order_release);
+    ::close(listener);
+    return st;
+  }
+  if (on_listening) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    uint16_t actual = port;
+    if (::getsockname(listener, reinterpret_cast<sockaddr*>(&bound), &len) ==
+        0) {
+      actual = ntohs(bound.sin_port);
+    }
+    on_listening(actual);
+  }
+  // One session at a time, by design (ISSUE 4): the interesting
+  // concurrency lives in the dispatcher/engine below, not in the accept
+  // loop. A rejected-while-busy client simply queues in the TCP backlog.
+  size_t sessions = 0;
+  for (;;) {
+    if (port_shutdown_.load(std::memory_order_acquire)) break;
+    int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      // shutdown_port() (e.g. from a SIGINT handler) wakes the accept;
+      // that is a clean stop, not an error.
+      if (port_shutdown_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR) continue;
+      Status st =
+          Status::IoError(std::string("accept: ") + std::strerror(errno));
+      listener_fd_.store(-1, std::memory_order_release);
+      ::close(listener);
+      return st;
+    }
+    {
+      // Separate read and write streams over the one socket: serve() runs
+      // the reader and the writer on different threads, and two streams
+      // sharing a basic_ios would race on its iostate (eofbit from a
+      // client hangup vs the writer's sentry checks).
+      FdStreamBuf rbuf(conn);
+      FdStreamBuf wbuf(conn);
+      std::istream in(&rbuf);
+      std::ostream out(&wbuf);
+      serve(in, out);
+    }
+    ::close(conn);
+    if (max_sessions != 0 && ++sessions >= max_sessions) break;
+  }
+  listener_fd_.store(-1, std::memory_order_release);
+  ::close(listener);
+  return Status::Ok();
+}
+
+void QueryServer::shutdown_port() {
+  port_shutdown_.store(true, std::memory_order_release);
+  int fd = listener_fd_.load(std::memory_order_acquire);
+  // shutdown() on a listening socket wakes a blocked accept() (EINVAL);
+  // the fd itself is closed by serve_port on its way out.
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+#else  // !RSP_HAVE_SOCKETS
+
+Status QueryServer::serve_port(uint16_t, size_t,
+                               const std::function<void(uint16_t)>&) {
+  return Status::IoError("TCP serving is not supported on this platform");
+}
+
+void QueryServer::shutdown_port() {}
+
+#endif
+
+// ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+ServeStats QueryServer::stats() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  ServeStats s;
+  s.requests = requests_;
+  s.queries = queries_;
+  s.errors = errors_;
+  s.dispatches = dispatches_;
+  s.dispatched_pairs = dispatched_pairs_;
+  s.p50_us = latency_.percentile(0.50);
+  s.p95_us = latency_.percentile(0.95);
+  s.p99_us = latency_.percentile(0.99);
+  s.max_us = latency_.max();
+  return s;
+}
+
+std::string QueryServer::stats_line() const {
+  ServeStats s = stats();
+  std::ostringstream os;
+  os << "OK served=" << s.requests << " queries=" << s.queries
+     << " errors=" << s.errors << " dispatches=" << s.dispatches
+     << " mean_batch=" << s.mean_batch_occupancy() << " p50_us=" << s.p50_us
+     << " p95_us=" << s.p95_us << " p99_us=" << s.p99_us
+     << " max_us=" << s.max_us;
+  return os.str();
+}
+
+std::string QueryServer::stats_json() const {
+  ServeStats s = stats();
+  EngineMetrics m = engine_.metrics();
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"serve\": {\n"
+     << "    \"requests\": " << s.requests << ",\n"
+     << "    \"queries\": " << s.queries << ",\n"
+     << "    \"errors\": " << s.errors << ",\n"
+     << "    \"dispatches\": " << s.dispatches << ",\n"
+     << "    \"dispatched_pairs\": " << s.dispatched_pairs << ",\n"
+     << "    \"mean_batch_occupancy\": " << s.mean_batch_occupancy() << ",\n"
+     << "    \"latency_us\": {\"p50\": " << s.p50_us
+     << ", \"p95\": " << s.p95_us << ", \"p99\": " << s.p99_us
+     << ", \"max\": " << s.max_us << "}\n"
+     << "  },\n"
+     << "  \"engine\": {\n"
+     << "    \"backend\": \"" << backend_name(engine_.backend()) << "\",\n"
+     << "    \"threads\": " << engine_.num_threads() << ",\n"
+     << "    \"batches\": " << m.batches << ",\n"
+     << "    \"batch_queries\": " << m.batch_queries << ",\n"
+     << "    \"single_queries\": " << m.single_queries << "\n"
+     << "  },\n"
+     << "  \"scheduler\": {\n"
+     << "    \"tasks_executed\": " << m.sched_tasks_executed << ",\n"
+     << "    \"steals\": " << m.sched_steals << ",\n"
+     << "    \"injected\": " << m.sched_injected << "\n"
+     << "  }\n"
+     << "}\n";
+  return os.str();
+}
+
+}  // namespace rsp

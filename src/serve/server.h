@@ -1,0 +1,198 @@
+#pragma once
+// QueryServer — the resident half of build-once/serve-many.
+//
+// One server owns one Engine (usually restored from a snapshot) and
+// answers protocol requests (serve/protocol.h) for the lifetime of the
+// process, amortizing the expensive build across millions of queries.
+//
+// Request flow:
+//
+//   session thread          dispatcher thread          engine scheduler
+//   --------------          -----------------          ----------------
+//   getline + parse   --->  admission queue
+//   (order recorded)        coalesce same-kind    ---> lengths()/paths()
+//                           prefix into a batch   <--- (work-stealing
+//   writer thread     <---  fulfill per-request         fan-out)
+//   (responses in           promises, record
+//    request order)         latency telemetry
+//
+// Admission-queued requests are coalesced: consecutive length-valued
+// requests (LEN, BATCH) merge into one Engine::lengths() dispatch, PATH
+// runs merge into one Engine::paths() dispatch — each request owns a
+// contiguous slice of the batch, so responses are exact per request. The
+// dispatcher waits up to ServeOptions::coalesce_window_us after the first
+// pending request for the batch to fill (bounded by max_batch_pairs);
+// pipelined clients therefore ride the PR-2 work-stealing scheduler at
+// full batch occupancy while a lone interactive request pays at most the
+// window.
+//
+// A coalesced dispatch whose Engine batch fails (one invalid pair poisons
+// an Engine batch by design) falls back to per-request execution, so one
+// bad query degrades only its own response, never its batch neighbors'.
+//
+// Telemetry: per-request latency (admission -> response fulfillment) in a
+// geometric histogram (p50/p95/p99/max within ~13%), queries served,
+// dispatch count and batch occupancy, plus the Engine's own batch-dispatch
+// and scheduler counters (EngineMetrics). STATS answers inline with a
+// one-line snapshot ordered after every earlier request; stats_json()
+// renders the full summary (written on shutdown by `rspcli serve`).
+//
+// Thread safety: serve()/serve_port() run one session at a time (the
+// session reader and the response writer are the server's own two
+// threads); stats()/stats_json() may be called from any thread.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "api/engine.h"
+#include "serve/protocol.h"
+
+namespace rsp {
+
+struct ServeOptions {
+  // Maximum point pairs coalesced into one engine dispatch. A single BATCH
+  // request larger than this still dispatches (alone, in one batch).
+  size_t max_batch_pairs = 256;
+  // How long the dispatcher waits after the first pending request for the
+  // batch to fill before dispatching what is there. 0 = dispatch
+  // immediately (lowest latency, smallest batches).
+  uint64_t coalesce_window_us = 200;
+};
+
+// Point-in-time telemetry snapshot (all counters since server start).
+struct ServeStats {
+  uint64_t requests = 0;    // protocol requests answered, including errors
+  uint64_t queries = 0;     // point pairs answered (BATCH counts its k)
+  uint64_t errors = 0;      // ERR responses (protocol + query errors)
+  uint64_t dispatches = 0;  // engine batch dispatches
+  uint64_t dispatched_pairs = 0;  // pairs across those dispatches
+  uint64_t p50_us = 0;      // request latency percentiles, admission ->
+  uint64_t p95_us = 0;      //   response fulfillment
+  uint64_t p99_us = 0;
+  uint64_t max_us = 0;
+
+  double mean_batch_occupancy() const {
+    return dispatches == 0 ? 0.0
+                           : static_cast<double>(dispatched_pairs) /
+                                 static_cast<double>(dispatches);
+  }
+};
+
+// Geometric latency histogram: exact below 16 us, then 8 sub-buckets per
+// power of two (relative error <= 2^-3). Fixed footprint, O(1) record —
+// safe for millions of requests.
+class LatencyHistogram {
+ public:
+  void record(uint64_t us);
+  uint64_t count() const { return count_; }
+  uint64_t max() const { return max_; }
+  // Upper bound of the bucket holding the p-quantile (p in [0, 1]).
+  uint64_t percentile(double p) const;
+
+ private:
+  static constexpr size_t kExact = 16;
+  static constexpr size_t kSub = 8;  // sub-buckets per octave
+  static constexpr size_t kBuckets = kExact + (64 - 4) * kSub;
+  static size_t bucket_of(uint64_t us);
+  static uint64_t bucket_upper(size_t idx);
+
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t max_ = 0;
+};
+
+class QueryServer {
+ public:
+  // Takes ownership of the engine. The dispatcher thread starts here.
+  explicit QueryServer(Engine engine, ServeOptions opt = {});
+  // Drains the admission queue, stops the dispatcher.
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  // Runs one session: reads requests from `in`, writes one response line
+  // per request to `out` in request order. Returns on QUIT or end of
+  // input. Responses are pipelined: the reader keeps admitting requests
+  // while earlier ones compute, so a piped herd coalesces into batches.
+  void serve(std::istream& in, std::ostream& out);
+
+  // Minimal blocking TCP front end: accepts one connection at a time and
+  // runs serve() over it. port 0 binds an ephemeral port; on_listening
+  // (when set) is invoked with the bound port after listen() succeeds and
+  // before the first accept — the safe rendezvous for callers that need to
+  // connect from another thread. max_sessions 0 = loop until accept fails.
+  // Returns non-OK on socket/bind/listen failure.
+  Status serve_port(uint16_t port, size_t max_sessions = 0,
+                    const std::function<void(uint16_t)>& on_listening = {});
+
+  // Ends a running serve_port() loop cleanly: a blocked accept wakes and
+  // serve_port returns OK (an in-flight session finishes first). Async-
+  // signal-safe (atomics + shutdown(2)) — callable from a SIGINT handler,
+  // which is how `rspcli serve --port` makes its shutdown telemetry
+  // reachable. The request is sticky and race-free against serve_port
+  // startup: a call landing before the listener exists makes the next
+  // serve_port return OK immediately instead of being lost.
+  void shutdown_port();
+
+  const Engine& engine() const { return engine_; }
+  const ServeOptions& options() const { return opt_; }
+
+  ServeStats stats() const;
+  // One-line STATS payload (also the wire response), e.g.
+  // "OK served=12 queries=40 errors=0 dispatches=3 mean_batch=13.3 ...".
+  std::string stats_line() const;
+  // Full JSON summary: serve counters + latency percentiles + engine and
+  // scheduler telemetry. Written by `rspcli serve` on shutdown.
+  std::string stats_json() const;
+
+ private:
+  struct Pending {
+    Request req;
+    std::chrono::steady_clock::time_point admitted;
+    std::promise<std::string> response;
+  };
+
+  // Admits a parsed request; the future resolves to its response line.
+  std::future<std::string> submit(Request req);
+  void dispatcher_main();
+  // Pops a maximal same-kind prefix (bounded by max_batch_pairs) and
+  // answers it. Called with queue_mu_ held; releases it while computing.
+  void dispatch_group(std::unique_lock<std::mutex>& lk);
+  void finish(Pending& p, std::string response);
+  void count_protocol_error();  // session-side BAD_REQUEST bookkeeping
+
+  Engine engine_;
+  ServeOptions opt_;
+
+  std::atomic<int> listener_fd_{-1};        // valid while serve_port runs
+  std::atomic<bool> port_shutdown_{false};  // set by shutdown_port()
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::unique_ptr<Pending>> queue_;  // guarded by queue_mu_
+  bool stop_ = false;                           // guarded by queue_mu_
+
+  mutable std::mutex stats_mu_;
+  uint64_t requests_ = 0;          // guarded by stats_mu_
+  uint64_t queries_ = 0;           // guarded by stats_mu_
+  uint64_t errors_ = 0;            // guarded by stats_mu_
+  uint64_t dispatches_ = 0;        // guarded by stats_mu_
+  uint64_t dispatched_pairs_ = 0;  // guarded by stats_mu_
+  LatencyHistogram latency_;       // guarded by stats_mu_
+
+  std::thread dispatcher_;  // last member: joins before state is torn down
+};
+
+}  // namespace rsp

@@ -161,5 +161,32 @@ TEST(Scheduler, HelpOnceReportsIdle) {
   EXPECT_FALSE(sched.help_once());  // nothing submitted
 }
 
+TEST(Scheduler, StatsCountExecutionAndInjection) {
+  // External (non-worker) submissions go through the injection queue, and
+  // every forked task is executed exactly once — the queue instrumentation
+  // must agree.
+  Scheduler sched(4);
+  std::atomic<int> count{0};
+  sched.run(100, [&](size_t) { count.fetch_add(1); });
+  SchedulerStats st = sched.stats();
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(st.tasks_executed, 100u);
+  EXPECT_EQ(st.injected, 100u);  // this thread is not a pool worker
+  EXPECT_LE(st.steals, st.tasks_executed);
+}
+
+TEST(Scheduler, StatsOnInlineSchedulerSeeNoQueues) {
+  // Width 1: no workers, forks execute inline — nothing is ever injected
+  // or stolen, but execution is still counted.
+  Scheduler sched(1);
+  TaskGroup g(sched);
+  for (int i = 0; i < 5; ++i) g.run([] {});
+  g.wait();
+  SchedulerStats st = sched.stats();
+  EXPECT_EQ(st.tasks_executed, 5u);
+  EXPECT_EQ(st.injected, 0u);
+  EXPECT_EQ(st.steals, 0u);
+}
+
 }  // namespace
 }  // namespace rsp

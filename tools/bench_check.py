@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: fail CI when a named benchmark regresses.
+
+Compares a freshly produced Google Benchmark JSON file against the
+committed perf trajectory (BENCH_*.json at the repo root) and exits
+non-zero when any *named* benchmark is more than --threshold slower.
+
+Absolute times do not transfer between machines, so the gate is meant to
+run with --normalize-by: every time on each side is divided by that side's
+reference benchmark before comparison. The gated quantity is then a
+*shape* property of the suite (e.g. "a 256-pair batch costs ~4x a 64-pair
+batch", "a coalescing window does not slow a pipelined herd") which holds
+across hosts; machine speed cancels.
+
+Exit codes: 0 = all named benchmarks within threshold, 1 = regression or
+missing benchmark, 2 = usage / unreadable input.
+
+Examples:
+  tools/bench_check.py --baseline BENCH_engine.json \
+      --current build/BENCH_engine.fresh.json \
+      --normalize-by BM_BatchLengths/64 \
+      --name BM_BatchLengths/256 --name BM_BatchLengths/1024
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(path, metric):
+    """Returns {name: time} over plain iteration runs (no aggregates)."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.stderr.write(f"bench_check: cannot read {path}: {e}\n")
+        sys.exit(2)
+    times = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        name = b.get("name")
+        value = b.get(metric)
+        if name is None or not isinstance(value, (int, float)) or value <= 0:
+            continue
+        times[name] = float(value)
+    if not times:
+        sys.stderr.write(f"bench_check: no usable benchmarks in {path}\n")
+        sys.exit(2)
+    return times
+
+
+def normalize(times, reference, path):
+    if reference not in times:
+        sys.stderr.write(
+            f"bench_check: reference '{reference}' not found in {path}\n")
+        sys.exit(2)
+    ref = times[reference]
+    return {name: t / ref for name, t in times.items()}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True,
+                    help="committed BENCH_*.json (the trajectory)")
+    ap.add_argument("--current", required=True,
+                    help="freshly produced benchmark JSON")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="max tolerated slowdown fraction (default 0.25)")
+    ap.add_argument("--metric", default="cpu_time",
+                    choices=["cpu_time", "real_time"],
+                    help="which per-iteration time to compare")
+    ap.add_argument("--normalize-by", metavar="NAME", default=None,
+                    help="divide both sides by this benchmark's time first "
+                         "(strongly recommended across machines)")
+    ap.add_argument("--name", action="append", default=[],
+                    help="benchmark to gate (repeatable); default: every "
+                         "name present in the baseline")
+    args = ap.parse_args()
+
+    base = load_times(args.baseline, args.metric)
+    cur = load_times(args.current, args.metric)
+    if args.normalize_by:
+        base = normalize(base, args.normalize_by, args.baseline)
+        cur = normalize(cur, args.normalize_by, args.current)
+
+    names = args.name or sorted(base)
+    if args.normalize_by:
+        names = [n for n in names if n != args.normalize_by]
+
+    failures = []
+    width = max(len(n) for n in names)
+    print(f"bench_check: {args.current} vs {args.baseline} "
+          f"(metric={args.metric}"
+          + (f", normalized by {args.normalize_by}" if args.normalize_by
+             else "")
+          + f", threshold +{args.threshold:.0%})")
+    for name in names:
+        if name not in base:
+            print(f"  {name:<{width}}  MISSING in baseline — skipped "
+                  f"(new benchmark?)")
+            continue
+        if name not in cur:
+            print(f"  {name:<{width}}  MISSING in current — FAIL")
+            failures.append(name)
+            continue
+        ratio = cur[name] / base[name]
+        verdict = "FAIL" if ratio > 1.0 + args.threshold else "ok"
+        print(f"  {name:<{width}}  {ratio:7.3f}x  {verdict}")
+        if verdict == "FAIL":
+            failures.append(name)
+
+    if failures:
+        print(f"bench_check: {len(failures)} regression(s): "
+              + ", ".join(failures))
+        return 1
+    print("bench_check: all named benchmarks within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

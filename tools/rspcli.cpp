@@ -5,14 +5,22 @@
 //   rspcli query scene.rsnap --pair 1,1,200,180 --path
 //   rspcli query scene.rsnap --random 8 --seed 3
 //   rspcli bench scene.rsnap --queries 20000 --threads 8
+//   rspcli serve --snapshot scene.rsnap --stdio --threads 8
+//   rspcli serve --snapshot scene.rsnap --port 7070 --stats-json stats.json
 //
 // `build` generates a scene (io/gen.h generators), runs the all-pairs
 // build on an Engine and saves a snapshot; `query` and `bench` reopen the
 // snapshot — paying the load cost, not the O(n^2) build — and serve
-// queries through the normal Engine batch path. Exit code 0 on success,
-// 1 for usage errors, 2 when the library reports a non-OK Status.
+// queries through the normal Engine batch path. `serve` keeps the loaded
+// engine resident and answers the line protocol of serve/protocol.h over
+// stdin/stdout or a TCP port, coalescing pipelined requests into engine
+// batches; on shutdown it writes a JSON telemetry summary to --stats-json
+// (or stderr for '-'). Exit code 0 on success, 1 for usage errors, 2 when
+// the library reports a non-OK Status.
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -25,6 +33,7 @@
 #include "api/engine.h"
 #include "io/gen.h"
 #include "io/snapshot.h"
+#include "serve/server.h"
 
 namespace {
 
@@ -43,6 +52,9 @@ int usage() {
       "  rspcli query FILE [--threads K] (--pair X1,Y1,X2,Y2 ... |"
       " --random K [--seed S]) [--path]\n"
       "  rspcli bench FILE [--threads K] [--queries Q] [--seed S]\n"
+      "  rspcli serve --snapshot FILE (--stdio | --port N) [--threads K]\n"
+      "               [--window-us U] [--max-batch B] [--stats-json FILE]\n"
+      "               [--max-sessions M]\n"
       "\n"
       "generators:";
   for (const auto& g : kAllGens) std::cerr << ' ' << g.name;
@@ -84,7 +96,7 @@ bool parse_args(int argc, char** argv, int start, Args& out) {
     std::string a = argv[i];
     if (a.rfind("--", 0) == 0) {
       std::string name = a.substr(2);
-      if (name == "path") {  // boolean flag
+      if (name == "path" || name == "stdio") {  // boolean flags
         out.flags.emplace_back(name, "1");
         continue;
       }
@@ -342,6 +354,92 @@ int cmd_bench(const Args& args) {
   return 0;
 }
 
+// Signal plumbing for `serve --port`: the handler may only touch the
+// async-signal-safe shutdown_port (atomics + shutdown(2)).
+std::atomic<QueryServer*> g_tcp_server{nullptr};
+
+void stop_tcp_server(int) {
+  if (QueryServer* s = g_tcp_server.load()) s->shutdown_port();
+}
+
+int cmd_serve(const Args& args) {
+  if (!args.positional.empty() ||
+      !check_flags(args, {"snapshot", "stdio", "port", "threads", "window-us",
+                          "max-batch", "stats-json", "max-sessions"})) {
+    return usage();
+  }
+  const std::string snap = args.get("snapshot");
+  const bool stdio = args.has("stdio");
+  uint64_t port = 0, window_us = 200, max_batch = 256, max_sessions = 0;
+  if (snap.empty() || !u64_flag(args, "port", 0, port) || port > 65535 ||
+      !u64_flag(args, "window-us", 200, window_us) ||
+      !u64_flag(args, "max-batch", 256, max_batch) || max_batch == 0 ||
+      !u64_flag(args, "max-sessions", 0, max_sessions)) {
+    return usage();
+  }
+  if (stdio == (port != 0)) {
+    std::cerr << "serve wants exactly one of --stdio or --port N\n";
+    return usage();
+  }
+  EngineOptions opt;
+  if (!options_from(args, opt)) return usage();
+
+  auto t0 = Clock::now();
+  Result<Engine> eng = Engine::open(snap, opt);
+  if (!eng.ok()) return fail_status(eng.status());
+  // Session chatter goes to stderr: stdout carries only protocol
+  // responses, so `rspcli serve --stdio < script` stays diffable.
+  std::cerr << "serving " << snap << " (loaded in " << ms_since(t0)
+            << " ms, backend=" << backend_name(eng->backend())
+            << ", threads=" << eng->num_threads() << ")\n";
+
+  ServeOptions sopt;
+  sopt.coalesce_window_us = window_us;
+  sopt.max_batch_pairs = static_cast<size_t>(max_batch);
+  QueryServer server(std::move(*eng), sopt);
+
+  int rc = 0;
+  if (stdio) {
+    server.serve(std::cin, std::cout);
+  } else {
+    // SIGINT/SIGTERM end the accept loop cleanly (shutdown_port is
+    // async-signal-safe), so the stats summary below is reachable for the
+    // long-running TCP deployment, not only for bounded --max-sessions.
+    g_tcp_server = &server;
+    std::signal(SIGINT, stop_tcp_server);
+    std::signal(SIGTERM, stop_tcp_server);
+    Status st = server.serve_port(
+        static_cast<uint16_t>(port), static_cast<size_t>(max_sessions),
+        [](uint16_t p) { std::cerr << "listening on port " << p << "\n"; });
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    g_tcp_server = nullptr;
+    if (!st.ok()) rc = fail_status(st);
+  }
+
+  const std::string stats_path = args.get("stats-json");
+  if (!stats_path.empty()) {
+    if (stats_path == "-") {
+      std::cerr << server.stats_json();
+    } else {
+      std::ofstream os(stats_path, std::ios::trunc);
+      os << server.stats_json();
+      os.flush();  // surface buffered write failures before the check
+      if (!os.good()) {
+        std::cerr << "error: cannot write stats to '" << stats_path << "'\n";
+        if (rc == 0) rc = 2;
+      }
+    }
+  }
+  ServeStats s = server.stats();
+  std::cerr << "served " << s.requests << " requests (" << s.queries
+            << " queries, " << s.errors << " errors) in " << s.dispatches
+            << " dispatches, mean batch " << s.mean_batch_occupancy()
+            << ", p50/p95/p99 " << s.p50_us << '/' << s.p95_us << '/'
+            << s.p99_us << " us\n";
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -358,6 +456,7 @@ int main(int argc, char** argv) {
     if (cmd == "info") return cmd_info(args);
     if (cmd == "query") return cmd_query(args);
     if (cmd == "bench") return cmd_bench(args);
+    if (cmd == "serve") return cmd_serve(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
