@@ -11,6 +11,10 @@
 //    path on real hardware.
 //  * BM_ServeBatchRequest: one BATCH k wire request per session — the
 //    cheapest way a client can hand the server a full batch.
+//  * BM_ServeMultiClientHerd: C concurrent sessions, each a pipelined
+//    64-request LEN herd into the shared dispatcher — the cross-client
+//    coalescing the session-per-connection reader pool exists for. The
+//    mean_batch counter must exceed 1 once C > 1: batches span clients.
 //  * BM_ProtocolParse:    parser micro-cost of one LEN request line.
 //
 // All series run real QueryServer sessions over in-memory streams, so the
@@ -23,6 +27,8 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <tuple>
 #include <vector>
 
 #include "io/gen.h"
@@ -55,12 +61,16 @@ std::string batch_script(const Scene& scene, size_t count, uint64_t seed) {
   return os.str();
 }
 
-// One resident server per (threads, window) configuration — construction
-// (the all-pairs build) happens once, exactly like a long-lived replica.
-QueryServer& shared_server(size_t threads, uint64_t window_us) {
-  static std::map<std::pair<size_t, uint64_t>, std::unique_ptr<QueryServer>>
+// One resident server per (tag, threads, window) configuration —
+// construction (the all-pairs build) happens once, exactly like a
+// long-lived replica. `tag` keeps series with cumulative counters (batch
+// occupancy) from sharing a server with unrelated series.
+QueryServer& shared_server(const std::string& tag, size_t threads,
+                           uint64_t window_us) {
+  static std::map<std::tuple<std::string, size_t, uint64_t>,
+                  std::unique_ptr<QueryServer>>
       cache;
-  auto key = std::make_pair(threads, window_us);
+  auto key = std::make_tuple(tag, threads, window_us);
   auto it = cache.find(key);
   if (it == cache.end()) {
     Engine eng(gen_uniform(48, 11),
@@ -85,7 +95,7 @@ void run_session(QueryServer& srv, const std::string& script) {
 // 256 pipelined LEN requests vs coalescing window (us); 4-thread engine.
 void BM_ServeHerdWindow(benchmark::State& state) {
   const auto window = static_cast<uint64_t>(state.range(0));
-  QueryServer& srv = shared_server(4, window);
+  QueryServer& srv = shared_server("window", 4, window);
   const std::string script = herd_script(srv.engine().scene(), 256, 7);
   for (auto _ : state) {
     run_session(srv, script);
@@ -98,7 +108,7 @@ void BM_ServeHerdWindow(benchmark::State& state) {
 // The same herd vs engine pool width; window fixed at 200 us.
 void BM_ServeHerdThreads(benchmark::State& state) {
   const auto threads = static_cast<size_t>(state.range(0));
-  QueryServer& srv = shared_server(threads, 200);
+  QueryServer& srv = shared_server("threads", threads, 200);
   const std::string script = herd_script(srv.engine().scene(), 256, 7);
   for (auto _ : state) {
     run_session(srv, script);
@@ -112,13 +122,48 @@ void BM_ServeHerdThreads(benchmark::State& state) {
 // One BATCH k request per session: framing amortized over k pairs.
 void BM_ServeBatchRequest(benchmark::State& state) {
   const auto k = static_cast<size_t>(state.range(0));
-  QueryServer& srv = shared_server(4, 200);
+  QueryServer& srv = shared_server("batch", 4, 200);
   const std::string script = batch_script(srv.engine().scene(), k, 13);
   for (auto _ : state) {
     run_session(srv, script);
   }
   state.counters["queries_per_sec"] = benchmark::Counter(
       static_cast<double>(k), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+// C concurrent sessions (thread each, like serve_port's reader pool), all
+// pipelining 64 LEN requests into one shared dispatcher. This is the
+// herd-of-herds workload: batches coalesce *across* clients, so
+// mean_batch > 1 whenever C > 1 even at a modest window.
+void BM_ServeMultiClientHerd(benchmark::State& state) {
+  const auto nclients = static_cast<size_t>(state.range(0));
+  QueryServer& srv = shared_server("multiclient", 4, 200);
+  std::vector<std::string> scripts;
+  for (size_t c = 0; c < nclients; ++c) {
+    scripts.push_back(herd_script(srv.engine().scene(), 64, 17 + c));
+  }
+  const ServeStats before = srv.stats();
+  for (auto _ : state) {
+    std::vector<std::thread> clients;
+    clients.reserve(nclients);
+    for (size_t c = 0; c < nclients; ++c) {
+      clients.emplace_back([&, c] { run_session(srv, scripts[c]); });
+    }
+    for (auto& t : clients) t.join();
+  }
+  // Occupancy over *this* run only (the server is shared across args).
+  const ServeStats after = srv.stats();
+  const uint64_t dispatches = after.dispatches - before.dispatches;
+  state.counters["clients"] = static_cast<double>(nclients);
+  state.counters["requests_per_sec"] = benchmark::Counter(
+      static_cast<double>(64 * nclients),
+      benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["mean_batch"] =
+      dispatches == 0
+          ? 0.0
+          : static_cast<double>(after.dispatched_pairs -
+                                before.dispatched_pairs) /
+                static_cast<double>(dispatches);
 }
 
 // Parser micro-cost: one LEN line, no server.
@@ -139,6 +184,8 @@ BENCHMARK(BM_ServeHerdWindow)->Arg(0)->Arg(100)->Arg(1000)
 BENCHMARK(BM_ServeHerdThreads)->DenseRange(0, 8, 2)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ServeBatchRequest)->RangeMultiplier(4)->Range(4, 1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServeMultiClientHerd)->RangeMultiplier(2)->Range(1, 8)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ProtocolParse);
 

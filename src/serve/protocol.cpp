@@ -112,11 +112,14 @@ ParsedRequest parse_batch(std::span<const std::string_view> toks,
 
 // Strips anything a response line must not contain: Status messages are
 // single-line today, but the invariant "one request, one response line"
-// should not depend on that.
+// should not depend on that. Error messages can echo client bytes (the
+// unknown-verb path), so every control byte — embedded NULs, escape
+// sequences, stray CR/LF from a fuzzed request — is flattened to a space,
+// keeping the wire format line-framed and printable.
 std::string one_line(std::string_view s) {
   std::string out(s);
   for (char& c : out) {
-    if (c == '\n' || c == '\r') c = ' ';
+    if (static_cast<unsigned char>(c) < 0x20 || c == 0x7f) c = ' ';
   }
   return out;
 }
@@ -187,6 +190,11 @@ std::string format_error(std::string_view code, std::string_view message) {
     out += one_line(message);
   }
   return out;
+}
+
+std::string format_load_shed(size_t pending) {
+  return format_error("LOAD_SHED", "admission queue full (" +
+                                       std::to_string(pending) + " pending)");
 }
 
 }  // namespace rsp

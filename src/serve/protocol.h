@@ -23,8 +23,12 @@
 //
 //   "OK"  ...payload...                   ; see the formatters below
 //   "ERR" code SP message                 ; code is BAD_REQUEST for
-//                                         ;   protocol violations, else a
-//                                         ;   StatusCode name (api/status.h)
+//                                         ;   protocol violations,
+//                                         ;   LOAD_SHED when the admission
+//                                         ;   queue is full (server-side
+//                                         ;   backpressure; retry later),
+//                                         ;   else a StatusCode name
+//                                         ;   (api/status.h)
 //
 // Blank lines and lines starting with '#' are skipped by the session layer
 // (handy for scripted herds); they are not part of the grammar.
@@ -90,5 +94,9 @@ std::string format_batch(std::span<const Length> lens);      // "OK 2 42 7"
 std::string format_path(std::span<const Point> pts);         // "OK (0,1) (3,1)"
 std::string format_error(const Status& st);                  // "ERR CODE msg"
 std::string format_error(std::string_view code, std::string_view message);
+// "ERR LOAD_SHED admission queue full (N pending)" — the bounded-admission
+// response (ServeOptions::max_queue_depth). The request was NOT executed;
+// the client should back off and retry.
+std::string format_load_shed(size_t pending);
 
 }  // namespace rsp

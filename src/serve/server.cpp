@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <istream>
+#include <list>
 #include <ostream>
 #include <sstream>
 #include <vector>
@@ -81,6 +82,12 @@ void LatencyHistogram::record(uint64_t us) {
   if (us > max_) max_ = us;
 }
 
+void LatencyHistogram::reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  max_ = 0;
+}
+
 uint64_t LatencyHistogram::percentile(double p) const {
   if (count_ == 0) return 0;
   if (p < 0) p = 0;
@@ -105,6 +112,7 @@ uint64_t LatencyHistogram::percentile(double p) const {
 QueryServer::QueryServer(Engine engine, ServeOptions opt)
     : engine_(std::move(engine)), opt_(opt) {
   if (opt_.max_batch_pairs == 0) opt_.max_batch_pairs = 1;
+  window_us_.store(opt_.coalesce_window_us, std::memory_order_relaxed);
   dispatcher_ = std::thread([this] { dispatcher_main(); });
 }
 
@@ -122,9 +130,29 @@ std::future<std::string> QueryServer::submit(Request req) {
   p->req = std::move(req);
   p->admitted = Clock::now();
   std::future<std::string> fut = p->response.get_future();
+  size_t pending = 0;
   {
     std::lock_guard<std::mutex> lk(queue_mu_);
-    queue_.push_back(std::move(p));
+    if (opt_.max_queue_depth > 0 && queue_.size() >= opt_.max_queue_depth) {
+      pending = queue_.size();  // full: shed below, outside the lock
+    } else {
+      queue_.push_back(std::move(p));
+    }
+  }
+  if (p) {
+    // Bounded admission: the request never queues and never executes; the
+    // client gets an immediate LOAD_SHED line (in order, via its future).
+    // Deliberately not recorded in the latency histograms — a shed answer
+    // is near-instant, and folding it in would drag the adaptive p95 down
+    // exactly when the server is hottest.
+    {
+      std::lock_guard<std::mutex> slk(stats_mu_);
+      ++requests_;
+      ++errors_;
+      ++shed_;
+    }
+    p->response.set_value(format_load_shed(pending));
+    return fut;
   }
   queue_cv_.notify_all();
   return fut;
@@ -158,13 +186,15 @@ void QueryServer::dispatch_group(std::unique_lock<std::mutex>& lk) {
   };
 
   // Coalescing window: give the pipeline a beat to fill the batch. Wakes
-  // early when full (or shutting down); STATS never waits.
-  if (head_kind != Kind::kStats && opt_.coalesce_window_us > 0 &&
+  // early when full (or shutting down); STATS never waits. The window is
+  // the *live* (possibly adapted) one, not the configured ceiling.
+  const uint64_t window = window_us_.load(std::memory_order_relaxed);
+  if (head_kind != Kind::kStats && window > 0 &&
       prefix_pairs() < opt_.max_batch_pairs) {
     // The head is pinned for the whole wait: this thread is the only
     // consumer, producers only append. Wake early when the batch fills
     // (or on shutdown), else dispatch whatever arrived by the deadline.
-    queue_cv_.wait_for(lk, std::chrono::microseconds(opt_.coalesce_window_us),
+    queue_cv_.wait_for(lk, std::chrono::microseconds(window),
                        [&] {
                          return stop_ ||
                                 prefix_pairs() >= opt_.max_batch_pairs;
@@ -250,6 +280,39 @@ void QueryServer::dispatch_group(std::unique_lock<std::mutex>& lk) {
   }
 
   lk.lock();
+  // Lock order queue_mu_ -> stats_mu_ (finish/stats take stats_mu_ alone,
+  // never the reverse). `drained` = nothing arrived while computing.
+  maybe_adapt_window(queue_.empty());
+}
+
+void QueryServer::maybe_adapt_window(bool drained) {
+  if (opt_.target_p95_us == 0 || opt_.coalesce_window_us == 0) return;
+  // Busy regime: enough samples that one slow outlier cannot whipsaw the
+  // window, few enough that adaptation reacts within a couple of herd
+  // batches.
+  constexpr uint64_t kMinEpochSamples = 32;
+  const uint64_t cur = window_us_.load(std::memory_order_relaxed);
+  const uint64_t grown = std::min<uint64_t>(opt_.coalesce_window_us,
+                                            std::max<uint64_t>(1, cur * 2));
+  uint64_t next = cur;
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    // Decide once the epoch fills (busy regime), or — when the queue fully
+    // drained — on whatever the epoch holds (sparse regime: at low traffic
+    // waiting for 32 samples would mean never reacting, and a lone request
+    // mostly pays the window itself, which is exactly the signal). Every
+    // decision starts a fresh epoch so a past load regime cannot haunt the
+    // current one.
+    if (epoch_latency_.count() >= kMinEpochSamples ||
+        (drained && epoch_latency_.count() > 0)) {
+      // Hot epoch: halve toward 0 (requests dispatch the moment they
+      // arrive). Healthy epoch: double back toward the configured ceiling.
+      next = epoch_latency_.percentile(0.95) > opt_.target_p95_us ? cur / 2
+                                                                  : grown;
+      epoch_latency_.reset();
+    }
+  }
+  if (next != cur) window_us_.store(next, std::memory_order_relaxed);
 }
 
 void QueryServer::finish(Pending& p, std::string response) {
@@ -264,6 +327,7 @@ void QueryServer::finish(Pending& p, std::string response) {
       queries_ += p.req.pairs.size();
     }
     latency_.record(us);
+    if (opt_.target_p95_us > 0) epoch_latency_.record(us);
   }
   p.response.set_value(std::move(response));
 }
@@ -358,6 +422,12 @@ class FdStreamBuf final : public std::streambuf {
   explicit FdStreamBuf(int fd) : fd_(fd) {
     setg(rbuf_, rbuf_, rbuf_);
     setp(wbuf_, wbuf_ + sizeof(wbuf_));
+#if !defined(MSG_NOSIGNAL) && defined(SO_NOSIGPIPE)
+    // No per-send flag on this platform (macOS): suppress SIGPIPE on the
+    // socket itself instead.
+    int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#endif
   }
   ~FdStreamBuf() override { sync(); }
 
@@ -388,7 +458,16 @@ class FdStreamBuf final : public std::streambuf {
   int flush_write() {
     const char* p = pbase();
     while (p < pptr()) {
+      // send + MSG_NOSIGNAL, not write: a client that disconnected before
+      // reading its responses must surface as EPIPE (the stream goes bad
+      // and the session winds down), never as a process-killing SIGPIPE —
+      // one vanished client cannot take down every other session.
+#ifdef MSG_NOSIGNAL
+      ssize_t n = ::send(fd_, p, static_cast<size_t>(pptr() - p),
+                         MSG_NOSIGNAL);
+#else
       ssize_t n = ::write(fd_, p, static_cast<size_t>(pptr() - p));
+#endif
       if (n < 0) {
         if (errno == EINTR) continue;
         return -1;
@@ -456,41 +535,132 @@ Status QueryServer::serve_port(uint16_t port, size_t max_sessions,
     }
     on_listening(actual);
   }
-  // One session at a time, by design (ISSUE 4): the interesting
-  // concurrency lives in the dispatcher/engine below, not in the accept
-  // loop. A rejected-while-busy client simply queues in the TCP backlog.
-  size_t sessions = 0;
+  // Session-per-connection reader pool: every accepted socket gets its own
+  // thread running serve() (reader + in-order writer), all feeding the one
+  // shared dispatcher — which is what lets the coalescer batch *across*
+  // clients. max_sessions caps concurrency; at the cap the acceptor parks
+  // and excess clients wait in the TCP backlog.
+  struct Session {
+    std::thread th;
+    int fd = -1;       // guarded by mu; -1 once the session reclaimed it
+    bool done = false;  // guarded by mu
+  };
+  std::mutex mu;               // guards sessions' fd/done, active
+  std::condition_variable cv;  // signaled when a session ends
+  std::list<Session> sessions;  // touched only by this (acceptor) thread
+  size_t active = 0;
+
+  // Joins finished sessions. Called with `lk` held; releases it around the
+  // join (the session thread needs mu to mark itself done before exiting).
+  auto reap = [&](std::unique_lock<std::mutex>& lk) {
+    for (auto it = sessions.begin(); it != sessions.end();) {
+      if (!it->done) {
+        ++it;
+        continue;
+      }
+      std::thread th = std::move(it->th);
+      it = sessions.erase(it);
+      lk.unlock();
+      th.join();
+      lk.lock();
+    }
+  };
+
+  Status result = Status::Ok();
   for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      reap(lk);
+      // Parked at the concurrency cap we must still notice shutdown_port()
+      // (async-signal-safe, so it cannot notify this cv): poll the sticky
+      // flag on a coarse tick. Off the cap this costs nothing.
+      while (max_sessions != 0 && active >= max_sessions &&
+             !port_shutdown_.load(std::memory_order_acquire)) {
+        cv.wait_for(lk, std::chrono::milliseconds(50));
+      }
+    }
     if (port_shutdown_.load(std::memory_order_acquire)) break;
     int conn = ::accept(listener, nullptr, nullptr);
     if (conn < 0) {
       // shutdown_port() (e.g. from a SIGINT handler) wakes the accept;
       // that is a clean stop, not an error.
       if (port_shutdown_.load(std::memory_order_acquire)) break;
-      if (errno == EINTR) continue;
-      Status st =
-          Status::IoError(std::string("accept: ") + std::strerror(errno));
-      listener_fd_.store(-1, std::memory_order_release);
-      ::close(listener);
-      return st;
+      // Transient failures must not take down a server with live sessions:
+      // EINTR is a signal, ECONNABORTED a client that hung up while queued
+      // in the backlog. Everything else is a hard listener error.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      // Resource exhaustion (fd table full under a connection flood, or a
+      // memory/buffer spike) is transient too: back off a beat — letting
+      // live sessions finish and release fds — and keep serving rather
+      // than dropping every connected client.
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      result = Status::IoError(std::string("accept: ") + std::strerror(errno));
+      break;
     }
-    {
-      // Separate read and write streams over the one socket: serve() runs
-      // the reader and the writer on different threads, and two streams
-      // sharing a basic_ios would race on its iostate (eofbit from a
-      // client hangup vs the writer's sentry checks).
-      FdStreamBuf rbuf(conn);
-      FdStreamBuf wbuf(conn);
-      std::istream in(&rbuf);
-      std::ostream out(&wbuf);
-      serve(in, out);
-    }
-    ::close(conn);
-    if (max_sessions != 0 && ++sessions >= max_sessions) break;
+    std::lock_guard<std::mutex> lk(mu);
+    ++active;
+    sessions.emplace_back();
+    Session& s = sessions.back();  // stable address (std::list)
+    s.fd = conn;
+    // The lambda body cannot run until this lock_guard releases mu, so
+    // s.th is assigned before the session can mark itself done.
+    s.th = std::thread([this, conn, &s, &mu, &cv, &active] {
+      {
+        // Separate read and write streams over the one socket: serve()
+        // runs the reader and the writer on different threads, and two
+        // streams sharing a basic_ios would race on its iostate (eofbit
+        // from a client hangup vs the writer's sentry checks).
+        FdStreamBuf rbuf(conn);
+        FdStreamBuf wbuf(conn);
+        std::istream in(&rbuf);
+        std::ostream out(&wbuf);
+        serve(in, out);
+      }
+      {
+        std::lock_guard<std::mutex> slk(mu);
+        s.fd = -1;  // reclaim before close: the drain below only
+                    // shutdown(2)s fds still owned by a live session
+        s.done = true;
+        --active;
+      }
+      ::close(conn);
+      cv.notify_all();
+    });
   }
+
+  // Stop accepting before draining: no new session may sneak in.
   listener_fd_.store(-1, std::memory_order_release);
   ::close(listener);
-  return Status::Ok();
+
+  // Drain in-flight sessions: half-close their sockets (the reader sees
+  // EOF and winds down; the write side stays open so pending responses
+  // still flush), then wait for and join them all — also on the error
+  // path, so no session thread ever outlives serve_port.
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    for (Session& s : sessions) {
+      if (!s.done && s.fd >= 0) ::shutdown(s.fd, SHUT_RD);
+    }
+    // A peer that stopped *reading* can leave a session writer blocked in
+    // send() with a full socket buffer — SHUT_RD cannot wake that. After a
+    // grace period for the polite case, hard-close the write side too: the
+    // blocked send fails (EPIPE, no SIGPIPE — MSG_NOSIGNAL) and the
+    // session exits without the final flush. One stalled client must not
+    // hang shutdown for everyone.
+    if (!cv.wait_for(lk, std::chrono::seconds(1),
+                     [&] { return active == 0; })) {
+      for (Session& s : sessions) {
+        if (!s.done && s.fd >= 0) ::shutdown(s.fd, SHUT_RDWR);
+      }
+    }
+    cv.wait(lk, [&] { return active == 0; });
+    reap(lk);
+  }
+  return result;
 }
 
 void QueryServer::shutdown_port() {
@@ -522,8 +692,10 @@ ServeStats QueryServer::stats() const {
   s.requests = requests_;
   s.queries = queries_;
   s.errors = errors_;
+  s.shed = shed_;
   s.dispatches = dispatches_;
   s.dispatched_pairs = dispatched_pairs_;
+  s.window_us = window_us_.load(std::memory_order_relaxed);
   s.p50_us = latency_.percentile(0.50);
   s.p95_us = latency_.percentile(0.95);
   s.p99_us = latency_.percentile(0.99);
@@ -535,8 +707,10 @@ std::string QueryServer::stats_line() const {
   ServeStats s = stats();
   std::ostringstream os;
   os << "OK served=" << s.requests << " queries=" << s.queries
-     << " errors=" << s.errors << " dispatches=" << s.dispatches
-     << " mean_batch=" << s.mean_batch_occupancy() << " p50_us=" << s.p50_us
+     << " errors=" << s.errors << " shed=" << s.shed
+     << " dispatches=" << s.dispatches
+     << " mean_batch=" << s.mean_batch_occupancy()
+     << " window_us=" << s.window_us << " p50_us=" << s.p50_us
      << " p95_us=" << s.p95_us << " p99_us=" << s.p99_us
      << " max_us=" << s.max_us;
   return os.str();
@@ -551,9 +725,11 @@ std::string QueryServer::stats_json() const {
      << "    \"requests\": " << s.requests << ",\n"
      << "    \"queries\": " << s.queries << ",\n"
      << "    \"errors\": " << s.errors << ",\n"
+     << "    \"shed\": " << s.shed << ",\n"
      << "    \"dispatches\": " << s.dispatches << ",\n"
      << "    \"dispatched_pairs\": " << s.dispatched_pairs << ",\n"
      << "    \"mean_batch_occupancy\": " << s.mean_batch_occupancy() << ",\n"
+     << "    \"window_us\": " << s.window_us << ",\n"
      << "    \"latency_us\": {\"p50\": " << s.p50_us
      << ", \"p95\": " << s.p95_us << ", \"p99\": " << s.p99_us
      << ", \"max\": " << s.max_us << "}\n"

@@ -5,16 +5,24 @@
 // answers protocol requests (serve/protocol.h) for the lifetime of the
 // process, amortizing the expensive build across millions of queries.
 //
-// Request flow:
+// Request flow (any number of concurrent sessions):
 //
-//   session thread          dispatcher thread          engine scheduler
-//   --------------          -----------------          ----------------
-//   getline + parse   --->  admission queue
-//   (order recorded)        coalesce same-kind    ---> lengths()/paths()
-//                           prefix into a batch   <--- (work-stealing
-//   writer thread     <---  fulfill per-request         fan-out)
+//   session threads         dispatcher thread          engine scheduler
+//   ---------------         -----------------          ----------------
+//   getline + parse   --->  bounded admission queue
+//   getline + parse   --->  coalesce same-kind    ---> lengths()/paths()
+//   ...                     prefix into a batch   <--- (work-stealing
+//   per-session writer <--- fulfill per-request         fan-out)
 //   (responses in           promises, record
-//    request order)         latency telemetry
+//    request order)         latency telemetry,
+//                           adapt coalescing window
+//
+// Each session gets its own reader (the session thread) plus an in-order
+// writer thread; all sessions feed the one shared dispatcher, so the batch
+// coalescer sees cross-client herds — the workload the build-once/
+// serve-many structure amortizes best. Per-session response order is exact
+// (each session drains its own promise FIFO) even though global dispatch
+// freely interleaves sessions.
 //
 // Admission-queued requests are coalesced: consecutive length-valued
 // requests (LEN, BATCH) merge into one Engine::lengths() dispatch, PATH
@@ -30,6 +38,21 @@
 // an Engine batch by design) falls back to per-request execution, so one
 // bad query degrades only its own response, never its batch neighbors'.
 //
+// Admission is bounded (ServeOptions::max_queue_depth): a request arriving
+// at a full queue is answered "ERR LOAD_SHED ..." immediately — it never
+// executes, never queues, and ticks the STATS/JSON-visible `shed` counter.
+// Backpressure therefore costs one response line, not unbounded memory.
+//
+// The coalescing window is adaptive (ServeOptions::target_p95_us): the
+// dispatcher keeps an epoch latency histogram and, every few dozen
+// requests, halves the live window when the epoch p95 exceeds the target
+// (shedding wait-time toward 0) or doubles it back toward the configured
+// coalesce_window_us when latency is healthy. A fully drained queue
+// forces a decision on the partial epoch (sparse traffic must not wait
+// dozens of requests to adapt) — it grows the window only when the
+// sparse p95 is under target, since a lone request mostly pays the
+// window itself.
+//
 // Telemetry: per-request latency (admission -> response fulfillment) in a
 // geometric histogram (p50/p95/p99/max within ~13%), queries served,
 // dispatch count and batch occupancy, plus the Engine's own batch-dispatch
@@ -37,9 +60,10 @@
 // one-line snapshot ordered after every earlier request; stats_json()
 // renders the full summary (written on shutdown by `rspcli serve`).
 //
-// Thread safety: serve()/serve_port() run one session at a time (the
-// session reader and the response writer are the server's own two
-// threads); stats()/stats_json() may be called from any thread.
+// Thread safety: serve() is reentrant — serve_port() runs one session
+// thread (reader + writer pair) per live connection, all multiplexed onto
+// the single dispatcher; stats()/stats_json() may be called from any
+// thread; shutdown_port() is async-signal-safe.
 
 #include <array>
 #include <atomic>
@@ -66,8 +90,19 @@ struct ServeOptions {
   size_t max_batch_pairs = 256;
   // How long the dispatcher waits after the first pending request for the
   // batch to fill before dispatching what is there. 0 = dispatch
-  // immediately (lowest latency, smallest batches).
+  // immediately (lowest latency, smallest batches). With target_p95_us set
+  // this is the *ceiling* the adaptive window grows back toward.
   uint64_t coalesce_window_us = 200;
+  // Admission cap: requests arriving while this many are already pending
+  // are answered ERR LOAD_SHED instead of queuing (and tick the `shed`
+  // counter). 0 = unbounded (the pre-cap behavior).
+  size_t max_queue_depth = 0;
+  // Latency target driving the adaptive coalescing window: when the epoch
+  // p95 exceeds this, the live window halves (toward 0 = no coalescing
+  // wait); when latency is healthy it doubles back toward
+  // coalesce_window_us. A drained queue forces the decision early on the
+  // partial epoch. 0 = fixed window (no adaptation).
+  uint64_t target_p95_us = 0;
 };
 
 // Point-in-time telemetry snapshot (all counters since server start).
@@ -75,8 +110,11 @@ struct ServeStats {
   uint64_t requests = 0;    // protocol requests answered, including errors
   uint64_t queries = 0;     // point pairs answered (BATCH counts its k)
   uint64_t errors = 0;      // ERR responses (protocol + query errors)
+  uint64_t shed = 0;        // ERR LOAD_SHED responses (admission cap hits)
   uint64_t dispatches = 0;  // engine batch dispatches
   uint64_t dispatched_pairs = 0;  // pairs across those dispatches
+  uint64_t window_us = 0;   // live coalescing window (== the configured
+                            //   value unless target_p95_us is adapting it)
   uint64_t p50_us = 0;      // request latency percentiles, admission ->
   uint64_t p95_us = 0;      //   response fulfillment
   uint64_t p99_us = 0;
@@ -99,6 +137,9 @@ class LatencyHistogram {
   uint64_t max() const { return max_; }
   // Upper bound of the bucket holding the p-quantile (p in [0, 1]).
   uint64_t percentile(double p) const;
+  // Back to the freshly-constructed state (epoch histograms reuse one
+  // instance across adaptation rounds).
+  void reset();
 
  private:
   static constexpr size_t kExact = 16;
@@ -126,24 +167,32 @@ class QueryServer {
   // per request to `out` in request order. Returns on QUIT or end of
   // input. Responses are pipelined: the reader keeps admitting requests
   // while earlier ones compute, so a piped herd coalesces into batches.
+  // Reentrant: many sessions may run concurrently (serve_port does this);
+  // they share the dispatcher and the engine, never each other's streams.
   void serve(std::istream& in, std::ostream& out);
 
-  // Minimal blocking TCP front end: accepts one connection at a time and
-  // runs serve() over it. port 0 binds an ephemeral port; on_listening
-  // (when set) is invoked with the bound port after listen() succeeds and
-  // before the first accept — the safe rendezvous for callers that need to
-  // connect from another thread. max_sessions 0 = loop until accept fails.
-  // Returns non-OK on socket/bind/listen failure.
+  // Concurrent TCP front end: every accepted connection gets its own
+  // session thread running serve(), all feeding the shared dispatcher.
+  // max_sessions caps how many sessions run *concurrently* (0 = no cap);
+  // at the cap the acceptor parks until a session ends, so excess clients
+  // wait in the TCP backlog instead of being dropped. port 0 binds an
+  // ephemeral port; on_listening (when set) is invoked with the bound port
+  // after listen() succeeds and before the first accept — the safe
+  // rendezvous for callers that need to connect from another thread.
+  // Transient accept failures (EINTR, ECONNABORTED) are retried; only
+  // socket/bind/listen/accept hard failures return non-OK, and even then
+  // every in-flight session is drained and joined first.
   Status serve_port(uint16_t port, size_t max_sessions = 0,
                     const std::function<void(uint16_t)>& on_listening = {});
 
-  // Ends a running serve_port() loop cleanly: a blocked accept wakes and
-  // serve_port returns OK (an in-flight session finishes first). Async-
-  // signal-safe (atomics + shutdown(2)) — callable from a SIGINT handler,
-  // which is how `rspcli serve --port` makes its shutdown telemetry
-  // reachable. The request is sticky and race-free against serve_port
-  // startup: a call landing before the listener exists makes the next
-  // serve_port return OK immediately instead of being lost.
+  // Ends a running serve_port() loop cleanly: a blocked accept wakes, the
+  // acceptor half-closes every in-flight session socket (readers see EOF,
+  // pending responses still flush), joins them, and serve_port returns OK.
+  // Async-signal-safe (atomics + shutdown(2)) — callable from a SIGINT
+  // handler, which is how `rspcli serve --port` makes its shutdown
+  // telemetry reachable. The request is sticky and race-free against
+  // serve_port startup: a call landing before the listener exists makes
+  // the next serve_port return OK immediately instead of being lost.
   void shutdown_port();
 
   const Engine& engine() const { return engine_; }
@@ -165,6 +214,7 @@ class QueryServer {
   };
 
   // Admits a parsed request; the future resolves to its response line.
+  // A full admission queue resolves immediately to ERR LOAD_SHED.
   std::future<std::string> submit(Request req);
   void dispatcher_main();
   // Pops a maximal same-kind prefix (bounded by max_batch_pairs) and
@@ -172,12 +222,21 @@ class QueryServer {
   void dispatch_group(std::unique_lock<std::mutex>& lk);
   void finish(Pending& p, std::string response);
   void count_protocol_error();  // session-side BAD_REQUEST bookkeeping
+  // One adaptation step of the live coalescing window (no-op unless
+  // target_p95_us is set). Called by the dispatcher after each group;
+  // `drained` = the admission queue was empty when the group finished.
+  void maybe_adapt_window(bool drained);
 
   Engine engine_;
   ServeOptions opt_;
 
   std::atomic<int> listener_fd_{-1};        // valid while serve_port runs
   std::atomic<bool> port_shutdown_{false};  // set by shutdown_port()
+
+  // Live coalescing window; equals opt_.coalesce_window_us until adaptation
+  // moves it. Relaxed atomic: the dispatcher is the only writer, readers
+  // (stats) tolerate staleness.
+  std::atomic<uint64_t> window_us_{0};
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
@@ -188,9 +247,12 @@ class QueryServer {
   uint64_t requests_ = 0;          // guarded by stats_mu_
   uint64_t queries_ = 0;           // guarded by stats_mu_
   uint64_t errors_ = 0;            // guarded by stats_mu_
+  uint64_t shed_ = 0;              // guarded by stats_mu_
   uint64_t dispatches_ = 0;        // guarded by stats_mu_
   uint64_t dispatched_pairs_ = 0;  // guarded by stats_mu_
   LatencyHistogram latency_;       // guarded by stats_mu_
+  LatencyHistogram epoch_latency_;  // guarded by stats_mu_; reset each
+                                    //   window-adaptation round
 
   std::thread dispatcher_;  // last member: joins before state is torn down
 };

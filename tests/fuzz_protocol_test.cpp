@@ -1,0 +1,252 @@
+// Seeded deterministic protocol fuzzing (serve/protocol.h + serve/server.h).
+//
+// Valid scripted sessions are mutated — byte flips, truncations, random
+// insertions (embedded NULs, high bytes), deleted ranges, duplicated
+// chunks, and oversized BATCH counts — and every mutant is driven through
+// BOTH the bare parser and a live QueryServer session. The contract under
+// attack:
+//
+//   * parse_request never throws and never crashes; !ok always carries a
+//     non-empty error,
+//   * a live session answers every request line with exactly one
+//     "OK ..."/"ERR ..." line — mutants cannot crash the server, hang the
+//     writer, or desynchronize the one-request/one-response framing,
+//   * the server stays fully serviceable after the whole corpus (a final
+//     known-good session must answer byte-identically to a direct Engine).
+//
+// Everything is seeded (std::mt19937_64): a failure reproduces exactly.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "io/gen.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace rsp {
+namespace {
+
+// A small scene keeps the engine build negligible; the fuzz target is the
+// protocol/session layer, not the all-pairs structure.
+Scene fuzz_scene() { return gen_uniform(10, 97); }
+
+// A valid pipelined session mixing every verb (the mutation baseline).
+std::string valid_script(const Scene& scene, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  auto pts = random_free_points(scene, 8, seed);
+  std::ostringstream os;
+  auto point = [&](size_t i) {
+    os << pts[i % pts.size()].x << ',' << pts[i % pts.size()].y;
+  };
+  for (int i = 0; i < 12; ++i) {
+    switch (rng() % 4) {
+      case 0:
+        os << "LEN ";
+        point(rng());
+        os << ' ';
+        point(rng());
+        os << '\n';
+        break;
+      case 1:
+        os << "PATH ";
+        point(rng());
+        os << ' ';
+        point(rng());
+        os << '\n';
+        break;
+      case 2: {
+        const int k = 1 + static_cast<int>(rng() % 3);
+        os << "BATCH " << k << '\n';
+        for (int j = 0; j < k; ++j) {
+          point(rng());
+          os << ' ';
+          point(rng());
+          os << '\n';
+        }
+        break;
+      }
+      default:
+        os << "STATS\n";
+        break;
+    }
+  }
+  os << "QUIT\n";
+  return os.str();
+}
+
+// One deterministic mutation of `s` drawn from `rng`.
+std::string mutate(std::string s, std::mt19937_64& rng) {
+  if (s.empty()) return s;
+  switch (rng() % 6) {
+    case 0: {  // byte flip (NUL and high bytes included)
+      s[rng() % s.size()] = static_cast<char>(rng() % 256);
+      break;
+    }
+    case 1: {  // truncation (possibly mid-BATCH, possibly losing QUIT)
+      s.resize(rng() % s.size());
+      break;
+    }
+    case 2: {  // insert a hostile byte
+      static constexpr char kBytes[] = {'\0', '\t', ' ', ',', '-', '\xff',
+                                        '9',  'L',  '\n'};
+      s.insert(rng() % s.size(), 1, kBytes[rng() % sizeof(kBytes)]);
+      break;
+    }
+    case 3: {  // delete a range
+      const size_t at = rng() % s.size();
+      s.erase(at, 1 + rng() % 16);
+      break;
+    }
+    case 4: {  // duplicate a chunk elsewhere (desync generator)
+      const size_t at = rng() % s.size();
+      const std::string chunk = s.substr(at, 1 + rng() % 24);
+      s.insert(rng() % s.size(), chunk);
+      break;
+    }
+    default: {  // blow up a number: oversized k / out-of-range coordinate
+      const size_t at = s.find_first_of("0123456789");
+      if (at != std::string::npos) {
+        s.insert(at, "99999999999999999999");
+      }
+      break;
+    }
+  }
+  return s;
+}
+
+size_t count_lines(const std::string& s) {
+  size_t n = 0;
+  for (char c : s) n += c == '\n';
+  if (!s.empty() && s.back() != '\n') ++n;  // trailing partial line
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Parser-level: every mutated line parses to ok or to a non-empty error.
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolFuzz, ParserNeverCrashesOnMutatedLines) {
+  Scene scene = fuzz_scene();
+  size_t parsed = 0, rejected = 0;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ull);
+    std::string script = valid_script(scene, seed);
+    const int rounds = 1 + static_cast<int>(rng() % 4);
+    for (int r = 0; r < rounds; ++r) script = mutate(std::move(script), rng);
+
+    // Feed the mutant line-by-line exactly as a session would: the first
+    // line is the request, the rest are the continuation-line source.
+    std::istringstream in(script);
+    std::string line;
+    while (std::getline(in, line)) {
+      ParsedRequest pr = parse_request(line, [&](std::string& next) {
+        return static_cast<bool>(std::getline(in, next));
+      });
+      if (pr.ok) {
+        ++parsed;
+        EXPECT_TRUE(pr.req.verb == Verb::kStats || pr.req.verb == Verb::kQuit ||
+                    !pr.req.pairs.empty());
+      } else {
+        ++rejected;
+        EXPECT_FALSE(pr.error.empty());
+      }
+    }
+  }
+  // The corpus genuinely exercises both sides of the parser (≥1 of each
+  // per script on average — mutations leave most lines intact).
+  EXPECT_GT(parsed, 40u);
+  EXPECT_GT(rejected, 40u);
+}
+
+// ---------------------------------------------------------------------------
+// Server-level: the same corpus through live sessions.
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolFuzz, LiveSessionsSurviveMutatedScripts) {
+  Scene scene = fuzz_scene();
+  Engine ref(Scene{scene}, {.backend = Backend::kAllPairsSeq});
+  QueryServer srv(
+      Engine(Scene{scene}, {.backend = Backend::kAllPairsSeq, .num_threads = 2}),
+      {.max_batch_pairs = 8, .coalesce_window_us = 50});
+
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    std::mt19937_64 rng(seed * 0xBF58476D1CE4E5B9ull);
+    std::string script = valid_script(scene, seed);
+    const int rounds = 1 + static_cast<int>(rng() % 4);
+    for (int r = 0; r < rounds; ++r) script = mutate(std::move(script), rng);
+
+    std::istringstream in(script);
+    std::ostringstream out;
+    srv.serve(in, out);  // returning at all proves no hung writer
+
+    // Framing invariants: one line per answered request, every line OK/ERR,
+    // and never more responses than input lines (BATCH consumes extras).
+    std::istringstream split(out.str());
+    std::string line;
+    size_t responses = 0;
+    while (std::getline(split, line)) {
+      ++responses;
+      EXPECT_TRUE(line.rfind("OK", 0) == 0 || line.rfind("ERR", 0) == 0)
+          << "seed " << seed << ": bad response line '" << line << "'";
+      // The formatter contract: responses stay printable single lines even
+      // when the request embedded NULs or escape bytes.
+      for (char c : line) {
+        EXPECT_GE(static_cast<unsigned char>(c), 0x20)
+            << "seed " << seed << ": control byte in response";
+      }
+    }
+    EXPECT_LE(responses, count_lines(script)) << "seed " << seed;
+  }
+
+  // The server is still fully serviceable: a clean session answers
+  // byte-identically to the reference engine.
+  auto pts = random_free_points(scene, 4, 5);
+  std::ostringstream script, want;
+  script << "LEN " << pts[0].x << ',' << pts[0].y << ' ' << pts[1].x << ','
+         << pts[1].y << "\n"
+         << "PATH " << pts[2].x << ',' << pts[2].y << ' ' << pts[3].x << ','
+         << pts[3].y << "\nQUIT\n";
+  want << format_length(*ref.length(pts[0], pts[1])) << '\n'
+       << format_path(*ref.path(pts[2], pts[3])) << '\n'
+       << "OK bye\n";
+  std::istringstream in(script.str());
+  std::ostringstream out;
+  srv.serve(in, out);
+  EXPECT_EQ(out.str(), want.str());
+  EXPECT_EQ(srv.stats().shed, 0u);  // unbounded queue: fuzzing never sheds
+}
+
+// Embedded NULs specifically: a NUL inside a verb, a coordinate, and a
+// BATCH pair line — each must come back as a single printable error line.
+TEST(ProtocolFuzz, EmbeddedNulBytesAreHandledAndAnswered) {
+  Scene scene = fuzz_scene();
+  QueryServer srv(Engine(Scene{scene}, {.backend = Backend::kAllPairsSeq}));
+
+  std::string script;
+  script += std::string("LE\0N 1,1 2,2\n", 13);
+  script += std::string("LEN 1,\0 2,2\n", 12);
+  script += std::string("BATCH 1\n1,1 \0,2\n", 16);
+  script += "QUIT\n";
+  std::istringstream in(script);
+  std::ostringstream out;
+  srv.serve(in, out);
+
+  std::istringstream split(out.str());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(split, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u) << out.str();
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(lines[i].rfind("ERR BAD_REQUEST", 0), 0u) << lines[i];
+    EXPECT_EQ(lines[i].find('\0'), std::string::npos);
+  }
+  EXPECT_EQ(lines[3], "OK bye");
+}
+
+}  // namespace
+}  // namespace rsp

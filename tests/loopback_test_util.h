@@ -1,0 +1,57 @@
+#pragma once
+// Shared loopback-socket helpers for the serve-layer tests
+// (serve_test.cpp, serve_stress_test.cpp). Test-only: blocking I/O, no
+// timeouts — ctest's per-test timeout is the watchdog.
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RSP_TEST_SOCKETS 1
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+namespace rsp::testutil {
+
+// Connects to 127.0.0.1:port; returns the fd or -1.
+inline int connect_loopback(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+inline bool send_all(int fd, const std::string& s) {
+  size_t off = 0;
+  while (off < s.size()) {
+#ifdef MSG_NOSIGNAL
+    ssize_t n = ::send(fd, s.data() + off, s.size() - off, MSG_NOSIGNAL);
+#else
+    ssize_t n = ::send(fd, s.data() + off, s.size() - off, 0);
+#endif
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+inline std::string recv_until_eof(int fd) {
+  std::string got;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) got.append(buf, n);
+  return got;
+}
+
+}  // namespace rsp::testutil
+
+#endif  // unix/apple

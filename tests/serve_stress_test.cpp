@@ -1,0 +1,380 @@
+// Multi-client serving stress (serve/server.h): 8+ concurrent TCP sessions
+// pipeline mixed LEN/BATCH/PATH/STATS traffic at one QueryServer. Every
+// session's transcript is byte-compared against the answers a direct
+// Engine gives for that session's requests (STATS lines prefix-checked —
+// their counters are globally racy by design), which pins the critical
+// invariant of the reader pool: per-session response order is exact even
+// though the shared dispatcher freely interleaves and coalesces across
+// sessions. Aggregate telemetry must add up: requests == the sum of
+// per-session sends, every pair dispatched, nothing shed on an unbounded
+// queue — and an over-driven bounded server must shed visibly.
+//
+// This file is the designated TSan workload: the CI ThreadSanitizer job
+// runs it explicitly (as well as via ctest) to race-check the
+// acceptor/session/dispatcher/writer mesh.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "io/gen.h"
+#include "loopback_test_util.h"  // defines RSP_TEST_SOCKETS on unix/apple
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+#ifdef RSP_TEST_SOCKETS
+
+namespace rsp {
+namespace {
+
+using testutil::connect_loopback;
+using testutil::recv_until_eof;
+using testutil::send_all;
+
+constexpr size_t kClients = 8;
+constexpr int kRequestsPerClient = 24;
+
+// One client's scripted session: `script` is sent as one pipelined burst;
+// `want` holds one expected line per response, where kStatsMarker means
+// "prefix-check a STATS line instead of byte-comparing".
+struct ClientPlan {
+  std::string script;
+  std::vector<std::string> want;
+  uint64_t requests = 0;  // protocol requests the server will count
+  uint64_t pairs = 0;     // point pairs across LEN/BATCH/PATH
+};
+
+const char kStatsMarker[] = "\x01STATS";
+
+ClientPlan plan_session(const Scene& scene, Engine& ref, uint64_t seed) {
+  ClientPlan plan;
+  auto pts = random_free_points(scene, 2 * kRequestsPerClient + 8, seed);
+  std::ostringstream os;
+  size_t next = 0;
+  auto take = [&] { return pts[next++ % pts.size()]; };
+  for (int i = 0; i < kRequestsPerClient; ++i) {
+    switch ((seed + static_cast<uint64_t>(i)) % 4) {
+      case 0: {
+        Point a = take(), b = take();
+        os << "LEN " << a.x << ',' << a.y << ' ' << b.x << ',' << b.y << '\n';
+        plan.want.push_back(format_length(*ref.length(a, b)));
+        ++plan.pairs;
+        break;
+      }
+      case 1: {
+        Point a = take(), b = take();
+        os << "PATH " << a.x << ',' << a.y << ' ' << b.x << ',' << b.y << '\n';
+        plan.want.push_back(format_path(*ref.path(a, b)));
+        ++plan.pairs;
+        break;
+      }
+      case 2: {
+        const size_t k = 2 + seed % 3;
+        os << "BATCH " << k << '\n';
+        std::vector<Length> lens;
+        for (size_t j = 0; j < k; ++j) {
+          Point a = take(), b = take();
+          os << a.x << ',' << a.y << ' ' << b.x << ',' << b.y << '\n';
+          lens.push_back(*ref.length(a, b));
+        }
+        plan.want.push_back(format_batch(lens));
+        plan.pairs += k;
+        break;
+      }
+      default:
+        os << "STATS\n";
+        plan.want.push_back(kStatsMarker);
+        break;
+    }
+    ++plan.requests;
+  }
+  os << "QUIT\n";
+  plan.want.push_back("OK bye");
+  plan.script = os.str();
+  return plan;
+}
+
+TEST(ServeStressTest, EightConcurrentSessionsAnswerExactly) {
+  Scene scene = gen_uniform(16, 71);
+  Engine ref(Scene{scene}, {.backend = Backend::kAllPairsSeq});
+
+  // A real coalescing window so cross-client batching actually happens
+  // (the point of the reader pool), a parallel engine underneath.
+  QueryServer srv(
+      Engine(Scene{scene}, {.backend = Backend::kAuto, .num_threads = 4}),
+      {.max_batch_pairs = 64, .coalesce_window_us = 300});
+
+  std::promise<uint16_t> port_promise;
+  std::future<uint16_t> port_future = port_promise.get_future();
+  Status result = Status::Ok();
+  std::thread server([&] {
+    result = srv.serve_port(0, /*max_sessions=*/0,
+                            [&](uint16_t p) { port_promise.set_value(p); });
+  });
+  const uint16_t port = port_future.get();
+  ASSERT_NE(port, 0);
+
+  std::vector<ClientPlan> plans;
+  for (uint64_t c = 0; c < kClients; ++c) {
+    plans.push_back(plan_session(scene, ref, 100 + c));
+  }
+
+  std::vector<std::string> transcripts(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      int fd = connect_loopback(port);
+      ASSERT_GE(fd, 0);
+      ASSERT_TRUE(send_all(fd, plans[c].script));  // one pipelined burst
+      transcripts[c] = recv_until_eof(fd);
+      ::close(fd);
+    });
+  }
+  for (auto& t : clients) t.join();
+  srv.shutdown_port();
+  server.join();
+  ASSERT_TRUE(result.ok()) << result;
+
+  // Per-session: exact response count, exact order, exact bytes.
+  for (size_t c = 0; c < kClients; ++c) {
+    std::vector<std::string> lines;
+    std::istringstream split(transcripts[c]);
+    std::string line;
+    while (std::getline(split, line)) lines.push_back(line);
+    ASSERT_EQ(lines.size(), plans[c].want.size()) << "client " << c;
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (plans[c].want[i] == kStatsMarker) {
+        EXPECT_EQ(lines[i].rfind("OK served=", 0), 0u)
+            << "client " << c << " line " << i << ": " << lines[i];
+      } else {
+        EXPECT_EQ(lines[i], plans[c].want[i]) << "client " << c << " line "
+                                              << i;
+      }
+    }
+  }
+
+  // Aggregate telemetry adds up across sessions.
+  uint64_t want_requests = 0, want_pairs = 0;
+  for (const auto& p : plans) {
+    want_requests += p.requests;
+    want_pairs += p.pairs;
+  }
+  ServeStats st = srv.stats();
+  EXPECT_EQ(st.requests, want_requests);  // requests == sum of sends
+  EXPECT_EQ(st.queries, want_pairs);
+  EXPECT_EQ(st.dispatched_pairs, want_pairs);
+  EXPECT_EQ(st.errors, 0u);
+  EXPECT_EQ(st.shed, 0u);  // unbounded queue: shed >= 0 and here exactly 0
+  EXPECT_GE(st.dispatches, 1u);
+  EXPECT_LE(st.dispatches, st.requests);
+  // Engine-side view agrees.
+  EngineMetrics m = srv.engine().metrics();
+  EXPECT_EQ(m.batch_queries + m.single_queries, want_pairs);
+}
+
+TEST(ServeStressTest, OverdrivenBoundedServerShedsVisibly) {
+  Scene scene = gen_uniform(12, 73);
+  auto pts = random_free_points(scene, 2, 7);
+  // Tiny queue + long window: concurrent pipelined floods must overflow
+  // admission while the dispatcher holds the head for the window.
+  QueryServer srv(Engine(Scene{scene}, {.backend = Backend::kAllPairsSeq}),
+                  {.coalesce_window_us = 50000, .max_queue_depth = 2});
+
+  std::promise<uint16_t> port_promise;
+  std::future<uint16_t> port_future = port_promise.get_future();
+  Status result = Status::Ok();
+  std::thread server([&] {
+    result = srv.serve_port(0, 0,
+                            [&](uint16_t p) { port_promise.set_value(p); });
+  });
+  const uint16_t port = port_future.get();
+
+  constexpr size_t kFloodClients = 4;
+  constexpr int kFloodRequests = 32;
+  std::ostringstream flood;
+  for (int i = 0; i < kFloodRequests; ++i) {
+    flood << "LEN " << pts[0].x << ',' << pts[0].y << ' ' << pts[1].x << ','
+          << pts[1].y << '\n';
+  }
+  flood << "QUIT\n";
+  const std::string script = flood.str();
+
+  std::vector<std::string> transcripts(kFloodClients);
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kFloodClients; ++c) {
+    clients.emplace_back([&, c] {
+      int fd = connect_loopback(port);
+      ASSERT_GE(fd, 0);
+      ASSERT_TRUE(send_all(fd, script));
+      transcripts[c] = recv_until_eof(fd);
+      ::close(fd);
+    });
+  }
+  for (auto& t : clients) t.join();
+  srv.shutdown_port();
+  server.join();
+  ASSERT_TRUE(result.ok()) << result;
+
+  size_t shed_lines = 0;
+  for (const auto& t : transcripts) {
+    std::istringstream split(t);
+    std::string line;
+    while (std::getline(split, line)) {
+      if (line.rfind("ERR LOAD_SHED", 0) == 0) ++shed_lines;
+    }
+  }
+  ServeStats st = srv.stats();
+  EXPECT_GE(shed_lines, 1u) << "over-driven herd never observed LOAD_SHED";
+  EXPECT_EQ(st.shed, shed_lines);  // counter == responses on the wire
+  EXPECT_EQ(st.requests, kFloodClients * static_cast<uint64_t>(kFloodRequests));
+  EXPECT_NE(srv.stats_line().find(" shed="), std::string::npos);
+  EXPECT_NE(srv.stats_json().find("\"shed\": "), std::string::npos);
+}
+
+// A client that floods requests and vanishes without reading a byte must
+// cost the server exactly its own session: the writer's flush fails with
+// EPIPE (MSG_NOSIGNAL — never a process-killing SIGPIPE) and every other
+// session keeps answering.
+TEST(ServeStressTest, ClientDisconnectingMidResponseOnlyKillsItsSession) {
+  Scene scene = gen_uniform(12, 83);
+  Engine ref(Scene{scene}, {.backend = Backend::kAllPairsSeq});
+  auto pts = random_free_points(scene, 2, 31);
+  QueryServer srv(Engine(Scene{scene}, {.backend = Backend::kAllPairsSeq}));
+
+  std::promise<uint16_t> port_promise;
+  std::future<uint16_t> port_future = port_promise.get_future();
+  Status result = Status::Ok();
+  std::thread server([&] {
+    result = srv.serve_port(0, 0,
+                            [&](uint16_t p) { port_promise.set_value(p); });
+  });
+  const uint16_t port = port_future.get();
+
+  std::ostringstream req;
+  req << "LEN " << pts[0].x << ',' << pts[0].y << ' ' << pts[1].x << ','
+      << pts[1].y << "\nQUIT\n";
+  const std::string want =
+      format_length(*ref.length(pts[0], pts[1])) + "\nOK bye\n";
+
+  for (int round = 0; round < 3; ++round) {
+    // The rude client: a big pipelined flood, then hang up unread. The
+    // response volume exceeds any socket buffer, so the session writer
+    // provably hits the closed peer.
+    int rude = connect_loopback(port);
+    ASSERT_GE(rude, 0);
+    std::ostringstream flood;
+    for (int i = 0; i < 2000; ++i) {
+      flood << "PATH " << pts[0].x << ',' << pts[0].y << ' ' << pts[1].x
+            << ',' << pts[1].y << "\n";
+    }
+    ASSERT_TRUE(send_all(rude, flood.str()));
+    ::close(rude);
+
+    // A polite client right behind it is served exactly.
+    int fd = connect_loopback(port);
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(send_all(fd, req.str()));
+    EXPECT_EQ(recv_until_eof(fd), want) << "round " << round;
+    ::close(fd);
+  }
+  srv.shutdown_port();
+  server.join();
+  EXPECT_TRUE(result.ok()) << result;
+}
+
+// A peer that floods requests and then stops *reading* (socket open, zero
+// recv) wedges its session writer in send() once the socket buffers fill.
+// shutdown_port must still complete: the drain's SHUT_RD wakes the reader,
+// and after the grace period the SHUT_RDWR escalation breaks the blocked
+// send — one stalled client cannot hang shutdown for everyone. If the
+// escalation regresses, this test hangs and ctest's timeout fails it.
+TEST(ServeStressTest, ShutdownCannotBeHungByAStalledReader) {
+  Scene scene = gen_uniform(12, 89);
+  auto pts = random_free_points(scene, 2, 37);
+  QueryServer srv(Engine(Scene{scene}, {.backend = Backend::kAllPairsSeq}));
+
+  std::promise<uint16_t> port_promise;
+  std::future<uint16_t> port_future = port_promise.get_future();
+  Status result = Status::Ok();
+  std::thread server([&] {
+    result = srv.serve_port(0, 0,
+                            [&](uint16_t p) { port_promise.set_value(p); });
+  });
+  const uint16_t port = port_future.get();
+
+  // A tiny client-side receive buffer shrinks the advertised window, so
+  // the response flood reliably out-sizes what the kernel will buffer.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  int rcvbuf = 4096;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  std::ostringstream flood;  // ~8000 responses, never read by the client
+  for (int i = 0; i < 8000; ++i) {
+    flood << "PATH " << pts[0].x << ',' << pts[0].y << ' ' << pts[1].x << ','
+          << pts[1].y << "\n";
+  }
+  ASSERT_TRUE(send_all(fd, flood.str()));
+  // Give the writer time to wedge against the full socket.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  srv.shutdown_port();
+  server.join();  // must return despite the wedged writer (1s grace + RDWR)
+  EXPECT_TRUE(result.ok()) << result;
+  ::close(fd);
+}
+
+// The concurrency cap: with max_sessions=1 a second client must queue in
+// the TCP backlog until the first session ends — never be refused, never
+// run concurrently. (The stress above runs uncapped; this pins the knob.)
+TEST(ServeStressTest, MaxSessionsCapsConcurrencyNotTotal) {
+  Scene scene = gen_uniform(12, 79);
+  Engine ref(Scene{scene}, {.backend = Backend::kAllPairsSeq});
+  auto pts = random_free_points(scene, 2, 9);
+  QueryServer srv(Engine(Scene{scene}, {.backend = Backend::kAllPairsSeq}));
+
+  std::promise<uint16_t> port_promise;
+  std::future<uint16_t> port_future = port_promise.get_future();
+  Status result = Status::Ok();
+  std::thread server([&] {
+    result = srv.serve_port(0, /*max_sessions=*/1,
+                            [&](uint16_t p) { port_promise.set_value(p); });
+  });
+  const uint16_t port = port_future.get();
+
+  std::ostringstream req;
+  req << "LEN " << pts[0].x << ',' << pts[0].y << ' ' << pts[1].x << ','
+      << pts[1].y << "\nQUIT\n";
+  const std::string want =
+      format_length(*ref.length(pts[0], pts[1])) + "\nOK bye\n";
+
+  // Three sequential-ish clients through a width-1 pool: all answered.
+  for (int round = 0; round < 3; ++round) {
+    int fd = connect_loopback(port);
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(send_all(fd, req.str()));
+    EXPECT_EQ(recv_until_eof(fd), want) << "round " << round;
+    ::close(fd);
+  }
+  srv.shutdown_port();
+  server.join();
+  EXPECT_TRUE(result.ok()) << result;
+  EXPECT_EQ(srv.stats().queries, 3u);
+}
+
+}  // namespace
+}  // namespace rsp
+
+#endif  // RSP_TEST_SOCKETS

@@ -10,6 +10,7 @@
 
 #include <future>
 #include <memory>
+#include <random>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -17,16 +18,9 @@
 
 #include "api/engine.h"
 #include "io/gen.h"
+#include "loopback_test_util.h"  // defines RSP_TEST_SOCKETS on unix/apple
 #include "serve/protocol.h"
 #include "serve/server.h"
-
-#if defined(__unix__) || defined(__APPLE__)
-#define RSP_TEST_SOCKETS 1
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-#endif
 
 namespace rsp {
 namespace {
@@ -192,6 +186,71 @@ TEST(LatencyHistogramTest, PercentilesMonotoneAndBounded) {
   // Geometric buckets: within 2^-3 relative error of the true quantile.
   EXPECT_NEAR(static_cast<double>(p50), 5000.0, 5000.0 / 8);
   EXPECT_NEAR(static_cast<double>(p99), 9900.0, 9900.0 / 8);
+}
+
+// Property: percentile(p) is monotone non-decreasing in p, for arbitrary
+// (seeded) value mixes spanning many octaves. The adaptive coalescing
+// window compares p95 against a target, so a non-monotone quantile would
+// silently destabilize it.
+TEST(LatencyHistogramTest, PercentileMonotoneInP) {
+  std::mt19937_64 rng(0xC0FFEEu);
+  for (int round = 0; round < 8; ++round) {
+    LatencyHistogram h;
+    const int n = 1 + static_cast<int>(rng() % 500);
+    for (int i = 0; i < n; ++i) {
+      // Mix magnitudes: exact range, mid-octaves, and huge values.
+      const int shift = static_cast<int>(rng() % 40);
+      h.record(rng() % (uint64_t{2} << shift));
+    }
+    uint64_t prev = 0;
+    for (int pc = 0; pc <= 100; ++pc) {
+      const uint64_t q = h.percentile(pc / 100.0);
+      EXPECT_GE(q, prev) << "p=" << pc << " round=" << round;
+      prev = q;
+    }
+    EXPECT_GE(h.max(), h.percentile(1.0));
+    EXPECT_EQ(h.percentile(1.0), h.max());  // top bucket clamps to max
+  }
+}
+
+// Property: the bucket that answers for a value v overshoots it by at most
+// v/8 (one part in 2^3), including right at octave boundaries where the
+// bucket width doubles.
+TEST(LatencyHistogramTest, RelativeErrorAtOctaveBoundaries) {
+  std::vector<uint64_t> probes;
+  for (int msb = 4; msb < 40; ++msb) {
+    const uint64_t v = uint64_t{1} << msb;
+    probes.insert(probes.end(), {v - 1, v, v + 1, v + (v >> 1)});
+  }
+  for (uint64_t v : probes) {
+    LatencyHistogram h;
+    h.record(v);
+    h.record(v);
+    h.record(uint64_t{1} << 50);  // sentinel so max() does not clamp v's
+                                  // bucket upper bound
+    const uint64_t q = h.percentile(0.5);  // rank 2 of 3 -> v's bucket
+    EXPECT_GE(q, v) << v;
+    EXPECT_LE((q - v) * 8, v) << "bucket overshoot > 2^-3 at " << v;
+  }
+  // Below kExact the histogram is exact.
+  for (uint64_t v = 0; v < 16; ++v) {
+    LatencyHistogram h;
+    h.record(v);
+    h.record(1u << 20);
+    EXPECT_EQ(h.percentile(0.5), v);
+  }
+}
+
+TEST(LatencyHistogramTest, ResetReturnsToEmpty) {
+  LatencyHistogram h;
+  for (uint64_t v : {3u, 300u, 30000u}) h.record(v);
+  ASSERT_EQ(h.count(), 3u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.percentile(1.0), 0u);
+  h.record(7);
+  EXPECT_EQ(h.percentile(1.0), 7u);  // fully reusable after reset
 }
 
 // ---------------------------------------------------------------------------
@@ -371,6 +430,99 @@ TEST(QueryServerTest, StatsObservesEarlierRequestsAndTelemetryAddsUp) {
   EXPECT_NE(json.find("\"scheduler\""), std::string::npos) << json;
 }
 
+TEST(QueryServerTest, LoadShedCapsTheAdmissionQueue) {
+  Scene s = test_scene();
+  auto pts = random_free_points(s, 2, 19);
+  // Tiny admission cap + a long window: the dispatcher holds the head for
+  // the whole window, so a pipelined flood must overflow the queue.
+  QueryServer srv(Engine(Scene{s}, {.backend = Backend::kAllPairsSeq}),
+                  {.coalesce_window_us = 100000, .max_queue_depth = 1});
+  std::ostringstream script;
+  const int kFlood = 40;
+  for (int i = 0; i < kFlood; ++i) {
+    script << "LEN " << pts[0].x << ',' << pts[0].y << ' ' << pts[1].x << ','
+           << pts[1].y << "\n";
+  }
+  script << "QUIT\n";
+  auto lines = run_session(srv, script.str());
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kFlood) + 1);
+
+  size_t ok = 0, shed = 0;
+  for (int i = 0; i < kFlood; ++i) {
+    if (lines[i].rfind("OK ", 0) == 0) {
+      ++ok;
+    } else {
+      // A shed request is answered exactly by the shared formatter — a
+      // client can parse on the code, never executes server-side.
+      EXPECT_EQ(lines[i].rfind("ERR LOAD_SHED admission queue full", 0), 0u)
+          << lines[i];
+      ++shed;
+    }
+  }
+  EXPECT_GE(ok, 1u);    // the queued head still answers
+  EXPECT_GE(shed, 1u);  // the over-driven session observed backpressure
+
+  ServeStats st = srv.stats();
+  EXPECT_EQ(st.requests, static_cast<uint64_t>(kFlood));
+  EXPECT_EQ(st.shed, shed);
+  EXPECT_GE(st.errors, st.shed);  // shed responses are ERR responses
+  EXPECT_EQ(st.queries, ok);      // shed requests never executed
+  // The counter is wire-visible: STATS line and the JSON summary.
+  EXPECT_NE(srv.stats_line().find(" shed="), std::string::npos)
+      << srv.stats_line();
+  EXPECT_NE(srv.stats_json().find("\"shed\": " + std::to_string(shed)),
+            std::string::npos)
+      << srv.stats_json();
+}
+
+TEST(QueryServerTest, AdaptiveWindowShrinksUnderLoadAndGrowsBackIdle) {
+  Scene s = test_scene();
+  auto pts = random_free_points(s, 2, 29);
+  // The fixture makes the *window wait itself* the latency, so the control
+  // loop's behavior is machine-speed independent:
+  //  * a session of kUnderfill(20) requests can never fill max_batch_pairs
+  //    (40), so its one group waits the full live window — every request's
+  //    latency ~ window, which exceeds the target while window > target,
+  //  * a session of exactly 40 requests fills the batch, wakes the
+  //    dispatcher early, and answers in ~compute time << target.
+  // The target is generous (25 ms) so instrumented runs (TSan, parallel
+  // ctest) cannot push a healthy epoch's compute-only p95 over it.
+  constexpr uint64_t kWindow = 200000;  // configured ceiling, us
+  constexpr uint64_t kTarget = 25000;   // p95 target, us
+  QueryServer srv(Engine(Scene{s}, {.backend = Backend::kAllPairsSeq}),
+                  {.max_batch_pairs = 40,
+                   .coalesce_window_us = kWindow,
+                   .target_p95_us = kTarget});
+  EXPECT_EQ(srv.stats().window_us, kWindow);  // starts at the ceiling
+
+  auto herd = [&](int n) {
+    std::ostringstream os;
+    for (int i = 0; i < n; ++i) {
+      os << "LEN " << pts[0].x << ',' << pts[0].y << ' ' << pts[1].x << ','
+         << pts[1].y << "\n";
+    }
+    os << "QUIT\n";
+    return os.str();
+  };
+
+  // Hot phase: under-filled herds pay the whole window (~200 ms >> target)
+  // and each session's drained group halves it, until the window itself
+  // sinks to the target band.
+  for (int i = 0; i < 8; ++i) run_session(srv, herd(20));
+  const uint64_t hot = srv.stats().window_us;
+  EXPECT_LE(hot, kTarget) << "window did not shrink under load";
+
+  // Healthy phase: batch-filling herds dispatch on the early wake, p95 ~
+  // compute << target, and the window doubles back toward the ceiling.
+  for (int i = 0; i < 24; ++i) run_session(srv, herd(40));
+  const uint64_t grown = srv.stats().window_us;
+  EXPECT_GE(grown, 2 * kTarget) << "window did not grow back when healthy";
+  EXPECT_LE(grown, kWindow);
+  // The live window is wire-visible for operators.
+  EXPECT_NE(srv.stats_line().find(" window_us="), std::string::npos);
+  EXPECT_NE(srv.stats_json().find("\"window_us\": "), std::string::npos);
+}
+
 TEST(QueryServerTest, ServeIsReusableAcrossSessions) {
   Scene s = test_scene();
   auto pts = random_free_points(s, 2, 13);
@@ -390,6 +542,10 @@ TEST(QueryServerTest, ServeIsReusableAcrossSessions) {
 
 #ifdef RSP_TEST_SOCKETS
 
+using testutil::connect_loopback;
+using testutil::recv_until_eof;
+using testutil::send_all;
+
 TEST(QueryServerTest, TcpSessionOverLoopback) {
   Scene s = test_scene();
   Engine ref(Scene{s}, {.backend = Backend::kAllPairsSeq});
@@ -406,32 +562,100 @@ TEST(QueryServerTest, TcpSessionOverLoopback) {
   const uint16_t port = port_future.get();
   ASSERT_NE(port, 0);
 
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  int fd = connect_loopback(port);
   ASSERT_GE(fd, 0);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
-            0);
 
   std::ostringstream req;
   req << "LEN " << pts[0].x << ',' << pts[0].y << ' ' << pts[1].x << ','
       << pts[1].y << "\nQUIT\n";
-  const std::string out = req.str();
-  ASSERT_EQ(::send(fd, out.data(), out.size(), 0),
-            static_cast<ssize_t>(out.size()));
+  ASSERT_TRUE(send_all(fd, req.str()));
 
-  std::string got;
-  char buf[256];
-  ssize_t n;
-  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) got.append(buf, n);
+  std::string got = recv_until_eof(fd);
   ::close(fd);
+  srv.shutdown_port();  // max_sessions caps concurrency now; end the loop
   server.join();
 
   EXPECT_TRUE(result.ok()) << result;
   EXPECT_EQ(got,
             format_length(*ref.length(pts[0], pts[1])) + "\nOK bye\n");
+}
+
+TEST(QueryServerTest, TcpSessionsRunConcurrently) {
+  // With the one-at-a-time accept loop this deadlocked: client A holds its
+  // session open while client B expects an answer. The reader pool must
+  // serve B while A is idle.
+  Scene s = test_scene();
+  Engine ref(Scene{s}, {.backend = Backend::kAllPairsSeq});
+  auto pts = random_free_points(s, 2, 21);
+  QueryServer srv(Engine(Scene{s}, {.backend = Backend::kAllPairsSeq}));
+
+  std::promise<uint16_t> port_promise;
+  std::future<uint16_t> port_future = port_promise.get_future();
+  Status result = Status::Ok();
+  std::thread server([&] {
+    result = srv.serve_port(0, /*max_sessions=*/0,
+                            [&](uint16_t p) { port_promise.set_value(p); });
+  });
+  const uint16_t port = port_future.get();
+
+  int a = connect_loopback(port);
+  ASSERT_GE(a, 0);  // A is accepted and idle: no request, no QUIT
+  int b = connect_loopback(port);
+  ASSERT_GE(b, 0);
+
+  std::ostringstream req;
+  req << "LEN " << pts[0].x << ',' << pts[0].y << ' ' << pts[1].x << ','
+      << pts[1].y << "\nQUIT\n";
+  ASSERT_TRUE(send_all(b, req.str()));
+  const std::string got_b = recv_until_eof(b);  // answered while A is open
+  EXPECT_EQ(got_b, format_length(*ref.length(pts[0], pts[1])) + "\nOK bye\n");
+  ::close(b);
+
+  ::close(a);
+  srv.shutdown_port();
+  server.join();
+  EXPECT_TRUE(result.ok()) << result;
+}
+
+TEST(QueryServerTest, ShutdownPortDrainsAnInFlightSession) {
+  // shutdown_port racing a live session: the accept loop must wake, half-
+  // close the in-flight socket so its reader sees EOF, flush the pending
+  // response, join the session and return OK — never abort the server.
+  Scene s = test_scene();
+  Engine ref(Scene{s}, {.backend = Backend::kAllPairsSeq});
+  auto pts = random_free_points(s, 2, 23);
+  QueryServer srv(Engine(Scene{s}, {.backend = Backend::kAllPairsSeq}));
+
+  std::promise<uint16_t> port_promise;
+  std::future<uint16_t> port_future = port_promise.get_future();
+  Status result = Status::Ok();
+  std::thread server([&] {
+    result = srv.serve_port(0, /*max_sessions=*/0,
+                            [&](uint16_t p) { port_promise.set_value(p); });
+  });
+  const uint16_t port = port_future.get();
+
+  int fd = connect_loopback(port);
+  ASSERT_GE(fd, 0);
+  std::ostringstream req;  // no QUIT: the session stays in flight
+  req << "LEN " << pts[0].x << ',' << pts[0].y << ' ' << pts[1].x << ','
+      << pts[1].y << "\n";
+  ASSERT_TRUE(send_all(fd, req.str()));
+
+  // Read the one earned response first: the session is now provably live
+  // and parked in getline awaiting the next request.
+  std::string got;
+  char c;
+  while (got.find('\n') == std::string::npos && ::recv(fd, &c, 1, 0) == 1) {
+    got.push_back(c);
+  }
+  EXPECT_EQ(got, format_length(*ref.length(pts[0], pts[1])) + "\n");
+
+  srv.shutdown_port();  // races the still-open session
+  server.join();        // returns only once the session is drained
+  EXPECT_TRUE(result.ok()) << result;
+  EXPECT_EQ(recv_until_eof(fd), "");  // clean EOF, no stray bytes
+  ::close(fd);
 }
 
 TEST(QueryServerTest, ShutdownBeforeServePortIsStickyNotLost) {

@@ -54,7 +54,12 @@ int usage() {
       "  rspcli bench FILE [--threads K] [--queries Q] [--seed S]\n"
       "  rspcli serve --snapshot FILE (--stdio | --port N) [--threads K]\n"
       "               [--window-us U] [--max-batch B] [--stats-json FILE]\n"
-      "               [--max-sessions M]\n"
+      "               [--max-sessions M] [--max-queue Q] [--target-p95-us T]\n"
+      "\n"
+      "serve flags: --max-sessions caps *concurrent* TCP sessions (0 = no\n"
+      "cap); --max-queue caps pending admitted requests — excess requests\n"
+      "answer ERR LOAD_SHED (0 = unbounded); --target-p95-us adapts the\n"
+      "coalescing window from the live p95 (0 = fixed --window-us).\n"
       "\n"
       "generators:";
   for (const auto& g : kAllGens) std::cerr << ' ' << g.name;
@@ -365,16 +370,20 @@ void stop_tcp_server(int) {
 int cmd_serve(const Args& args) {
   if (!args.positional.empty() ||
       !check_flags(args, {"snapshot", "stdio", "port", "threads", "window-us",
-                          "max-batch", "stats-json", "max-sessions"})) {
+                          "max-batch", "stats-json", "max-sessions",
+                          "max-queue", "target-p95-us"})) {
     return usage();
   }
   const std::string snap = args.get("snapshot");
   const bool stdio = args.has("stdio");
   uint64_t port = 0, window_us = 200, max_batch = 256, max_sessions = 0;
+  uint64_t max_queue = 0, target_p95_us = 0;
   if (snap.empty() || !u64_flag(args, "port", 0, port) || port > 65535 ||
       !u64_flag(args, "window-us", 200, window_us) ||
       !u64_flag(args, "max-batch", 256, max_batch) || max_batch == 0 ||
-      !u64_flag(args, "max-sessions", 0, max_sessions)) {
+      !u64_flag(args, "max-sessions", 0, max_sessions) ||
+      !u64_flag(args, "max-queue", 0, max_queue) ||
+      !u64_flag(args, "target-p95-us", 0, target_p95_us)) {
     return usage();
   }
   if (stdio == (port != 0)) {
@@ -396,8 +405,17 @@ int cmd_serve(const Args& args) {
   ServeOptions sopt;
   sopt.coalesce_window_us = window_us;
   sopt.max_batch_pairs = static_cast<size_t>(max_batch);
+  sopt.max_queue_depth = static_cast<size_t>(max_queue);
+  sopt.target_p95_us = target_p95_us;
   QueryServer server(std::move(*eng), sopt);
 
+  // A client (or the stdout pipe) vanishing mid-response must surface as
+  // a failed write inside that one session, never as a process-killing
+  // SIGPIPE for every other client. The socket layer already sends with
+  // MSG_NOSIGNAL; this covers stdio and any platform gaps.
+#ifdef SIGPIPE
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
   int rc = 0;
   if (stdio) {
     server.serve(std::cin, std::cout);
@@ -433,7 +451,8 @@ int cmd_serve(const Args& args) {
   }
   ServeStats s = server.stats();
   std::cerr << "served " << s.requests << " requests (" << s.queries
-            << " queries, " << s.errors << " errors) in " << s.dispatches
+            << " queries, " << s.errors << " errors, " << s.shed
+            << " shed) in " << s.dispatches
             << " dispatches, mean batch " << s.mean_batch_occupancy()
             << ", p50/p95/p99 " << s.p50_us << '/' << s.p95_us << '/'
             << s.p99_us << " us\n";
