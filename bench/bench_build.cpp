@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <optional>
 #include <sstream>
 
 #include "api/engine.h"
@@ -149,6 +150,58 @@ void BM_SnapshotSave(benchmark::State& state) {
   state.counters["n"] = static_cast<double>(n);
 }
 
+// The sublinear-space backend (src/backend/boundary_tree.h): build cost
+// and memory/snapshot footprint vs the all-pairs table it replaces. The
+// workload is gen_sparse — the only generator that scales past n ~ 600 —
+// and the headline counter is `ratio`: analytic all-pairs snapshot bytes
+// (13 bytes per ordered vertex pair + 8 per vertex, m = 4n vertices)
+// over the measured boundary-tree snapshot. The acceptance bar is
+// ratio >= 10 at n = 4096.
+void BM_BuildBoundaryTree(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Scene scene = gen_sparse(n, 7);
+  std::optional<Engine> eng;
+  for (auto _ : state) {
+    eng.emplace(scene, EngineOptions{.backend = Backend::kBoundaryTree});
+    benchmark::DoNotOptimize(eng->built());
+  }
+  std::ostringstream os;
+  Status st = eng->save(os);
+  if (!st.ok()) {
+    state.SkipWithError(st.to_string().c_str());
+    return;
+  }
+  const double m = static_cast<double>(4 * n);
+  const double allpairs = 13.0 * m * m + 8.0 * m;
+  const double snap = static_cast<double>(os.str().size());
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["mem_bytes"] = static_cast<double>(eng->memory_usage());
+  state.counters["snapshot_bytes"] = snap;
+  state.counters["allpairs_bytes"] = allpairs;
+  state.counters["ratio"] = allpairs / snap;
+}
+
+// Per-query latency on the boundary-tree backend at sizes the all-pairs
+// table cannot reach (its build is the wall BM_Build hits at 512). Single
+// uncached length() calls over a rotating pool of free points.
+void BM_QueryBoundaryTree(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Scene scene = gen_sparse(n, 7);
+  Engine eng(scene, EngineOptions{.backend = Backend::kBoundaryTree});
+  const std::vector<Point> pts = random_free_points(scene, 64, 99);
+  size_t i = 0;
+  for (auto _ : state) {
+    Result<Length> d = eng.length(pts[i % 64], pts[(i + 17) % 64]);
+    if (!d.ok()) {
+      state.SkipWithError(d.status().to_string().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(d);
+    ++i;
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+
 }  // namespace
 
 
@@ -168,6 +221,10 @@ BENCHMARK(BM_SnapshotLoad)->RangeMultiplier(2)->Range(64, 512)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SnapshotSave)->RangeMultiplier(2)->Range(64, 512)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BuildBoundaryTree)->RangeMultiplier(2)->Range(256, 4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_QueryBoundaryTree)->RangeMultiplier(4)->Range(256, 4096)
+    ->Unit(benchmark::kMicrosecond);
 
 
 }  // namespace rsp

@@ -11,6 +11,7 @@
 #include <sstream>
 #include <thread>
 
+#include "backend/boundary_tree.h"
 #include "baseline/dijkstra.h"
 #include "core/query.h"
 #include "io/snapshot.h"
@@ -25,8 +26,18 @@ const char* backend_name(Backend b) {
     case Backend::kAllPairsSeq: return "all-pairs-seq";
     case Backend::kAllPairsParallel: return "all-pairs-parallel";
     case Backend::kDijkstraBaseline: return "dijkstra-baseline";
+    case Backend::kBoundaryTree: return "boundary-tree";
   }
   return "unknown";
+}
+
+std::optional<Backend> backend_from_name(std::string_view name) {
+  for (Backend b : {Backend::kAuto, Backend::kAllPairsSeq,
+                    Backend::kAllPairsParallel, Backend::kDijkstraBaseline,
+                    Backend::kBoundaryTree}) {
+    if (name == backend_name(b)) return b;
+  }
+  return std::nullopt;
 }
 
 namespace {
@@ -40,6 +51,9 @@ class QueryBackend {
   virtual Length length(const Point& s, const Point& t) const = 0;
   virtual std::vector<Point> path(const Point& s, const Point& t) const = 0;
   virtual const AllPairsSP* all_pairs() const { return nullptr; }
+  virtual const BoundaryTreeSP* boundary_tree() const { return nullptr; }
+  // Resident bytes of the built structure (0 for structure-free backends).
+  virtual size_t memory_bytes() const { return 0; }
 };
 
 // The paper's data structure (§9 build, §6.4/§8 queries). The build fans
@@ -59,9 +73,37 @@ class AllPairsBackend final : public QueryBackend {
     return sp_.path(s, t);
   }
   const AllPairsSP* all_pairs() const override { return &sp_; }
+  size_t memory_bytes() const override {
+    const size_t m = sp_.data().m;
+    // The dominant O(m^2) tables: dist (Length) + pred (i32) + pass (i8).
+    return m * m * (sizeof(Length) + sizeof(int32_t) + sizeof(int8_t));
+  }
 
  private:
   AllPairsSP sp_;
+};
+
+// The retained §5 recursion tree (src/backend/boundary_tree.h): sublinear
+// space, query-time bottom-up distance lifting through the transfer sets.
+class BoundaryTreeBackend final : public QueryBackend {
+ public:
+  BoundaryTreeBackend(const Scene& scene, size_t num_threads)
+      : bt_(Scene(scene), num_threads) {}
+  // Snapshot restore: adopt the deserialized tree, skip the build.
+  BoundaryTreeBackend(const Scene& scene, std::shared_ptr<const DncTree> tree)
+      : bt_(Scene(scene), std::move(tree)) {}
+
+  Length length(const Point& s, const Point& t) const override {
+    return bt_.length(s, t);
+  }
+  std::vector<Point> path(const Point& s, const Point& t) const override {
+    return bt_.path(s, t);
+  }
+  const BoundaryTreeSP* boundary_tree() const override { return &bt_; }
+  size_t memory_bytes() const override { return bt_.memory_bytes(); }
+
+ private:
+  BoundaryTreeSP bt_;
 };
 
 // Structure-free baseline: every query is a fresh Dijkstra on the Hanan
@@ -81,8 +123,13 @@ class DijkstraBackend final : public QueryBackend {
   const Scene& scene_;
 };
 
-Backend resolve_backend(const EngineOptions& opt) {
+Backend resolve_backend(const EngineOptions& opt, size_t num_obstacles) {
   if (opt.backend != Backend::kAuto) return opt.backend;
+  // Past the threshold the quadratic tables stop being worth their memory
+  // (54 MB at n=512, growing as n^2): serve from the recursion tree.
+  if (num_obstacles > kAutoBoundaryTreeThreshold) {
+    return Backend::kBoundaryTree;
+  }
   return opt.num_threads >= 2 ? Backend::kAllPairsParallel
                               : Backend::kAllPairsSeq;
 }
@@ -120,13 +167,15 @@ struct Engine::Impl {
   mutable std::unique_ptr<QueryBackend> backend;
   mutable Status build_status;             // sticky build failure
   mutable std::atomic<bool> ready{false};  // backend is constructed
-  // Snapshot-restored tables, consumed by the next ensure_built() instead
-  // of running the O(n^2) build (Engine::open sets this; there is exactly
-  // one backend-construction path for built and loaded engines alike).
+  // Snapshot-restored structure, consumed by the next ensure_built()
+  // instead of running the build (Engine::open sets these; there is
+  // exactly one backend-construction path for built and loaded engines
+  // alike). At most one is engaged, matching the resolved backend.
   mutable std::optional<AllPairsData> restored_data;
+  mutable std::shared_ptr<const DncTree> restored_tree;
 
   Impl(Scene s, EngineOptions o) : scene(std::move(s)), opt(o) {
-    resolved = resolve_backend(opt);
+    resolved = resolve_backend(opt, scene.num_obstacles());
     size_t width = resolve_sched_width(opt, resolved);
     if (width >= 2) sched = std::make_unique<Scheduler>(width);
   }
@@ -147,6 +196,17 @@ struct Engine::Impl {
     try {
       if (resolved == Backend::kDijkstraBaseline) {
         backend = std::make_unique<DijkstraBackend>(scene);
+      } else if (resolved == Backend::kBoundaryTree) {
+        if (restored_tree) {
+          backend = std::make_unique<BoundaryTreeBackend>(
+              scene, std::move(restored_tree));
+        } else {
+          // The recursion build owns its scheduler for the build's
+          // lifetime (DncOptions::num_threads); the engine pool keeps
+          // serving concurrent batches meanwhile.
+          backend = std::make_unique<BoundaryTreeBackend>(
+              scene, sched ? sched->num_threads() : 0);
+        }
       } else if (restored_data) {
         backend = std::make_unique<AllPairsBackend>(
             scene, std::move(*restored_data));
@@ -287,9 +347,15 @@ Result<Engine> Engine::Create(std::vector<Rect> obstacles, EngineOptions opt) {
 
 Status Engine::save(std::ostream& os) const {
   if (Status st = impl_->ensure_built(); !st.ok()) return st;
-  const AllPairsSP* sp =
-      impl_->backend ? impl_->backend->all_pairs() : nullptr;
-  return save_snapshot(os, impl_->scene, sp ? &sp->data() : nullptr);
+  if (impl_->backend) {
+    if (const AllPairsSP* sp = impl_->backend->all_pairs()) {
+      return save_snapshot(os, impl_->scene, &sp->data());
+    }
+    if (const BoundaryTreeSP* bt = impl_->backend->boundary_tree()) {
+      return save_snapshot(os, impl_->scene, bt->tree());
+    }
+  }
+  return save_snapshot(os, impl_->scene, nullptr);
 }
 
 Status Engine::save(const std::string& path) const {
@@ -335,19 +401,38 @@ Result<Engine> Engine::open(std::istream& is, EngineOptions opt) {
     auto impl = std::make_unique<Impl>(std::move(p.scene), opt);
     const bool empty = impl->scene.container().vertices().empty() ||
                        impl->scene.num_obstacles() == 0;
-    if (!empty && impl->resolved != Backend::kDijkstraBaseline &&
-        p.kind != SnapshotPayloadKind::kAllPairs) {
-      return Status::SnapshotMismatch(
-          std::string("snapshot holds no all-pairs payload but backend '") +
-          backend_name(impl->resolved) + "' needs one; rebuild from the "
-          "scene or open with Backend::kDijkstraBaseline");
+    if (!empty && impl->resolved != Backend::kDijkstraBaseline) {
+      // A kAuto open adopts whatever structure the snapshot carries — the
+      // point of a snapshot is to serve what was built, not to rebuild
+      // something else because the size threshold says so.
+      if (opt.backend == Backend::kAuto &&
+          p.kind == SnapshotPayloadKind::kBoundaryTree) {
+        impl->resolved = Backend::kBoundaryTree;
+      } else if (opt.backend == Backend::kAuto &&
+                 p.kind == SnapshotPayloadKind::kAllPairs) {
+        impl->resolved = impl->sched ? Backend::kAllPairsParallel
+                                     : Backend::kAllPairsSeq;
+      }
+      const SnapshotPayloadKind need =
+          impl->resolved == Backend::kBoundaryTree
+              ? SnapshotPayloadKind::kBoundaryTree
+              : SnapshotPayloadKind::kAllPairs;
+      if (p.kind != need) {
+        return Status::SnapshotMismatch(
+            std::string("snapshot holds a ") + payload_kind_name(p.kind) +
+            " payload but backend '" + backend_name(impl->resolved) +
+            "' needs " + payload_kind_name(need) +
+            "; rebuild from the scene or open with a matching backend");
+      }
     }
-    // Hand the tables to the one backend-construction path (ensure_built):
-    // empty scenes, the Dijkstra branch, and failure stickiness behave
-    // identically for built and loaded engines. The structure-free
-    // backend never consumes them — don't keep O(n^2) tables resident.
-    if (impl->resolved != Backend::kDijkstraBaseline) {
+    // Hand the structure to the one backend-construction path
+    // (ensure_built): empty scenes, the Dijkstra branch, and failure
+    // stickiness behave identically for built and loaded engines. The
+    // structure-free backend never consumes it — don't keep the payload
+    // resident.
+    if (!empty && impl->resolved != Backend::kDijkstraBaseline) {
       impl->restored_data = std::move(p.data);
+      impl->restored_tree = std::move(p.tree);
     }
     if (Status st = impl->ensure_built(); !st.ok()) return st;
     return Engine(std::move(impl));
@@ -441,9 +526,21 @@ EngineMetrics Engine::metrics() const {
   return m;
 }
 
+size_t Engine::memory_usage() const {
+  if (!impl_->ready.load(std::memory_order_acquire) || !impl_->backend) {
+    return 0;
+  }
+  return impl_->backend->memory_bytes();
+}
+
 const AllPairsSP* Engine::all_pairs() const {
   if (!impl_->ensure_built().ok()) return nullptr;
   return impl_->backend ? impl_->backend->all_pairs() : nullptr;
+}
+
+const BoundaryTreeSP* Engine::boundary_tree() const {
+  if (!impl_->ensure_built().ok()) return nullptr;
+  return impl_->backend ? impl_->backend->boundary_tree() : nullptr;
 }
 
 }  // namespace rsp

@@ -25,19 +25,28 @@
 //   kAllPairsSeq      — §9 sequential all-pairs build; O(1)-ish queries.
 //   kAllPairsParallel — same structure, per-source builds fanned over the
 //                       engine pool (the §6.3 substitution).
+//   kBoundaryTree     — the retained §5 recursion tree (sublinear space: no
+//                       n x n table is ever materialized); queries lift
+//                       distance vectors bottom-up through the transfer
+//                       sets. Slower per query than all-pairs, orders of
+//                       magnitude smaller resident/snapshot footprint.
 //   kDijkstraBaseline — no build; every query runs Dijkstra on the Hanan
 //                       track graph (the ground-truth oracle). Slow but
 //                       structure-free; used for cross-validation.
-//   kAuto             — AllPairsParallel when the engine has a pool,
-//                       AllPairsSeq otherwise.
+//   kAuto             — BoundaryTree above kAutoBoundaryTreeThreshold
+//                       obstacles (the all-pairs tables stop being worth
+//                       their quadratic memory); below it AllPairsParallel
+//                       when the engine has a pool, AllPairsSeq otherwise.
 //
 // EngineOptions::lazy_build defers the O(n^2) all-pairs construction to
 // the first query (thread-safe; concurrent first queries build once).
 
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "api/status.h"
@@ -46,15 +55,24 @@
 namespace rsp {
 
 class AllPairsSP;
+class BoundaryTreeSP;
 
 enum class Backend {
   kAuto = 0,
   kAllPairsSeq,
   kAllPairsParallel,
   kDijkstraBaseline,
+  kBoundaryTree,
 };
 
+// Above this many obstacles, kAuto picks kBoundaryTree over the quadratic
+// all-pairs tables.
+inline constexpr size_t kAutoBoundaryTreeThreshold = 512;
+
 const char* backend_name(Backend b);
+// Inverse of backend_name (accepts exactly its outputs, including "auto");
+// nullopt for anything else. For CLI flag parsing.
+std::optional<Backend> backend_from_name(std::string_view name);
 
 struct EngineOptions {
   Backend backend = Backend::kAuto;
@@ -111,13 +129,16 @@ class Engine {
 
   // Snapshot persistence (io/snapshot.h: versioned, endian-explicit,
   // checksummed binary format). save() forces a deferred build, then
-  // writes the scene plus — for the all-pairs backends — the built O(n^2)
-  // tables; a structure-free kDijkstraBaseline engine writes a scene-only
-  // snapshot. open() restores an engine *without* rebuilding: the O(n^2)
-  // build is skipped and only cheap derived structures are reconstructed,
-  // so a loaded engine serves length()/path()/batch queries (through the
-  // normal scheduler path) immediately. Opening a scene-only snapshot with
-  // an all-pairs backend requested is StatusCode::kSnapshotMismatch;
+  // writes the scene plus the built structure: the O(n^2) tables for the
+  // all-pairs backends, the retained recursion tree for kBoundaryTree; a
+  // structure-free kDijkstraBaseline engine writes a scene-only snapshot.
+  // open() restores an engine *without* rebuilding: the build is skipped
+  // and only cheap derived structures are reconstructed, so a loaded
+  // engine serves length()/path()/batch queries (through the normal
+  // scheduler path) immediately. A kAuto open adopts whatever structured
+  // payload the snapshot carries; an explicitly requested backend whose
+  // structure the snapshot does not hold (including any structured backend
+  // against a scene-only snapshot) is StatusCode::kSnapshotMismatch;
   // malformed input maps to kCorruptSnapshot / kVersionMismatch and file
   // system failures to kIoError. Never throws. The path overload of
   // save() writes to a unique temp file beside `path` and renames into
@@ -157,10 +178,19 @@ class Engine {
   // Dispatch telemetry snapshot (see EngineMetrics).
   EngineMetrics metrics() const;
 
+  // Resident bytes of the built query structure (tables, recursion tree,
+  // derived aux). 0 when nothing is built yet (does not force a deferred
+  // build) and for the structure-free kDijkstraBaseline backend.
+  size_t memory_usage() const;
+
   // Escape hatch to the implementation layer (§8 chunked reporting demos,
   // benchmarks that reach for the matrix). Forces the lazy build; nullptr
-  // for the structure-free kDijkstraBaseline backend.
+  // for backends that do not materialize the all-pairs tables
+  // (kDijkstraBaseline, kBoundaryTree).
   const AllPairsSP* all_pairs() const;
+
+  // The boundary-tree structure, likewise; nullptr for other backends.
+  const BoundaryTreeSP* boundary_tree() const;
 
  private:
   struct Impl;

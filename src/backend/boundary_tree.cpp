@@ -1,0 +1,579 @@
+#include "backend/boundary_tree.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "core/region.h"
+#include "grid/trackgraph.h"
+
+namespace rsp {
+
+namespace {
+
+Length polyline_length(const std::vector<Point>& pts) {
+  Length total = 0;
+  for (size_t i = 1; i < pts.size(); ++i) total += dist1(pts[i - 1], pts[i]);
+  return total;
+}
+
+// Appends `piece` to `out`. The first point of `piece` must equal the
+// current endpoint; the shared joint is emitted once.
+void append_polyline(std::vector<Point>& out, const std::vector<Point>& piece) {
+  RSP_CHECK_MSG(!out.empty() && !piece.empty() && out.back() == piece.front(),
+                "path pieces do not share a joint");
+  out.insert(out.end(), piece.begin() + 1, piece.end());
+}
+
+// Exit point of the directed axis-parallel segment cur -> nxt, where cur is
+// inside the convex region and nxt outside it.
+Point clip_exit(const RectilinearPolygon& r, const Point& cur,
+                const Point& nxt) {
+  if (cur.x == nxt.x) {
+    auto [lo, hi] = r.y_range_at(cur.x);
+    return {cur.x, nxt.y > hi ? hi : lo};
+  }
+  auto [lo, hi] = r.x_range_at(cur.y);
+  return {nxt.x > hi ? hi : lo, cur.y};
+}
+
+// First point of the directed axis-parallel segment from -> to that lies in
+// the convex region, if any (convexity makes the intersection contiguous).
+std::optional<Point> first_in_region(const RectilinearPolygon& r,
+                                     const Point& from, const Point& to) {
+  const Rect& bb = r.bbox();
+  if (from.x == to.x) {
+    if (from.x < bb.xmin || from.x > bb.xmax) return std::nullopt;
+    auto [lo, hi] = r.y_range_at(from.x);
+    Coord slo = std::min(from.y, to.y), shi = std::max(from.y, to.y);
+    Coord ilo = std::max(slo, lo), ihi = std::min(shi, hi);
+    if (ilo > ihi) return std::nullopt;
+    return Point{from.x, from.y <= to.y ? ilo : ihi};
+  }
+  if (from.y < bb.ymin || from.y > bb.ymax) return std::nullopt;
+  auto [lo, hi] = r.x_range_at(from.y);
+  Coord slo = std::min(from.x, to.x), shi = std::max(from.x, to.x);
+  Coord ilo = std::max(slo, lo), ihi = std::min(shi, hi);
+  if (ilo > ihi) return std::nullopt;
+  return Point{from.x <= to.x ? ilo : ihi, from.y};
+}
+
+// Boundary polyline of `r` from a to b, walking CCW (vertex order).
+std::vector<Point> boundary_arc_ccw(const RectilinearPolygon& r,
+                                    const Point& a, const Point& b) {
+  auto [ea, oa] = arc_position(r, a);
+  auto [eb, ob] = arc_position(r, b);
+  std::vector<Point> out{a};
+  if (ea == eb && oa <= ob) {
+    out.push_back(b);
+  } else {
+    const size_t nv = r.size();
+    size_t e = ea;
+    do {
+      e = (e + 1) % nv;
+      out.push_back(r.vertices()[e]);
+    } while (e != eb);
+    out.push_back(b);
+  }
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<Point> boundary_arc_cw(const RectilinearPolygon& r, const Point& a,
+                                   const Point& b) {
+  std::vector<Point> out = boundary_arc_ccw(r, b, a);
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+// Collapses duplicate joints and merges same-direction collinear runs.
+// Exact shortest paths never backtrack, so monotone merging is lossless.
+std::vector<Point> canonicalize(std::vector<Point> pts) {
+  std::vector<Point> out;
+  out.reserve(pts.size());
+  auto extends = [](const Point& a, const Point& b, const Point& c) {
+    if (a.x == b.x && b.x == c.x) return (b.y > a.y) == (c.y > b.y);
+    if (a.y == b.y && b.y == c.y) return (b.x > a.x) == (c.x > b.x);
+    return false;
+  };
+  for (const Point& p : pts) {
+    if (!out.empty() && out.back() == p) continue;
+    while (out.size() >= 2 && extends(out[out.size() - 2], out.back(), p)) {
+      out.pop_back();
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace
+
+// Hub access point of the source child at some ancestor's separator: either
+// one of the child's Mid points (cost = lifted distance to it) or a §6.4
+// escape candidate (free axis ray from the query point, cost = its length).
+struct BoundaryTreeSP::HubSrc {
+  Point pt;
+  Length cost = kInf;
+  bool is_ray = false;
+  uint32_t child_idx = 0;  // !is_ray: pt as an index into the child's B
+};
+
+struct BoundaryTreeSP::Lift {
+  // Argmin provenance of one lifted distance entry, for path replay.
+  struct Prov {
+    enum Kind : uint8_t { kNone, kDirect, kHub };
+    Kind kind = kNone;
+    uint32_t direct = 0;     // kDirect: same point as a child B index
+    uint32_t port = 0;       // kHub: port index in the node
+    uint32_t mid = 0;        // kHub: z = ports[port].mids[mid]
+    uint32_t tgt_child = 0;  // kHub, real port: target as child B index
+    Point src_pt;            // kHub: y, the hub access point used
+    bool src_is_ray = false;
+    uint32_t src_child = 0;  // kHub, !ray: y as a source-child B index
+  };
+  Point p;
+  std::vector<uint32_t> chain;            // node ids, start .. leaf
+  std::vector<std::vector<Length>> dvec;  // per depth; [0] empty if skipped
+  std::vector<std::vector<Prov>> prov;
+};
+
+// The combine decision for one (s, t) pair: either the same-leaf base case
+// or the best hub pair (y, z) at common-ancestor depth `depth`.
+struct BoundaryTreeSP::Plan {
+  Length best = kInf;
+  bool via_base = false;
+  size_t depth = 0;
+  HubSrc y, z;
+};
+
+BoundaryTreeSP::BoundaryTreeSP(Scene scene, size_t num_threads)
+    : scene_(std::move(scene)) {
+  DncOptions opt;
+  opt.retain_tree = true;
+  opt.num_threads = num_threads;
+  DncResult res = build_boundary_structure(scene_, opt);
+  stats_ = res.stats;
+  tree_ = std::move(res.tree);
+  init();
+}
+
+BoundaryTreeSP::BoundaryTreeSP(Scene scene, std::shared_ptr<const DncTree> tree)
+    : scene_(std::move(scene)), tree_(std::move(tree)) {
+  init();
+}
+
+void BoundaryTreeSP::init() {
+  RSP_CHECK_MSG(tree_ != nullptr && !tree_->nodes.empty(),
+                "boundary tree: empty recursion tree");
+  shooter_ = std::make_unique<RayShooter>(scene_);
+  stairs_.resize(tree_->nodes.size());
+  for (size_t i = 0; i < tree_->nodes.size(); ++i) {
+    const DncNode& n = tree_->nodes[i];
+    if (n.children.empty()) continue;
+    RSP_CHECK_MSG(n.sep.size() >= 2, "internal node without a separator");
+    stairs_[i] = Staircase::from_chain(
+        n.sep,
+        n.sep_increasing ? StairOrient::Increasing : StairOrient::Decreasing);
+  }
+}
+
+size_t BoundaryTreeSP::memory_bytes() const {
+  size_t total = tree_->memory_bytes();
+  total += stairs_.capacity() * sizeof(Staircase);
+  for (const Staircase& s : stairs_) {
+    total += s.points().capacity() * sizeof(Point);
+  }
+  total += scene_.obstacles().size() * sizeof(Rect) +
+           scene_.container().vertices().size() * sizeof(Point);
+  // The ray shooter keeps two sorted interval structures over the obstacle
+  // edges; account for them proportionally rather than reaching inside.
+  total += scene_.num_obstacles() * 4 * sizeof(Point);
+  return total;
+}
+
+std::vector<uint32_t> BoundaryTreeSP::locate_chain(uint32_t start,
+                                                   const Point& p) const {
+  RSP_CHECK_MSG(node(start).region.contains(p),
+                "boundary tree: point outside the region");
+  std::vector<uint32_t> chain{start};
+  while (!node(chain.back()).children.empty()) {
+    const DncNode& q = node(chain.back());
+    bool found = false;
+    for (uint32_t cid : q.children) {
+      if (node(cid).region.contains(p)) {
+        chain.push_back(cid);
+        found = true;
+        break;
+      }
+    }
+    RSP_CHECK_MSG(found, "boundary tree: point location failed");
+  }
+  return chain;
+}
+
+Length BoundaryTreeSP::leaf_length(const DncNode& leaf, const Point& a,
+                                   const Point& b) const {
+  std::vector<Point> extra{a, b};
+  TrackGraph g(leaf.rects, &leaf.region, extra);
+  return g.shortest_length(a, b);
+}
+
+std::vector<Point> BoundaryTreeSP::leaf_path(const DncNode& leaf,
+                                             const Point& a,
+                                             const Point& b) const {
+  if (a == b) return {a};
+  std::vector<Point> extra{a, b};
+  TrackGraph g(leaf.rects, &leaf.region, extra);
+  std::optional<std::vector<Point>> p = g.shortest_path(a, b);
+  RSP_CHECK_MSG(p.has_value(), "boundary tree: leaf pair unreachable");
+  return *std::move(p);
+}
+
+BoundaryTreeSP::Lift BoundaryTreeSP::lift(const Point& p, uint32_t start,
+                                          bool include_start_level) const {
+  Lift lf;
+  lf.p = p;
+  lf.chain = locate_chain(start, p);
+  const size_t depth = lf.chain.size();
+  lf.dvec.resize(depth);
+  lf.prov.resize(depth);
+
+  // Base case: one leaf-local Dijkstra reaches every B point of the leaf.
+  const DncNode& leaf = node(lf.chain.back());
+  {
+    std::vector<Point> extra = leaf.b;
+    extra.push_back(p);
+    TrackGraph g(leaf.rects, &leaf.region, extra);
+    std::vector<Length> dist = g.single_source(p);
+    std::vector<Length>& dl = lf.dvec[depth - 1];
+    dl.resize(leaf.b.size(), kInf);
+    lf.prov[depth - 1].assign(leaf.b.size(), Lift::Prov{});
+    for (size_t j = 0; j < leaf.b.size(); ++j) {
+      int nd = g.node_at(leaf.b[j]);
+      RSP_CHECK_MSG(nd >= 0, "leaf B point is not a track-graph vertex");
+      dl[j] = dist[static_cast<size_t>(nd)];
+    }
+  }
+  const size_t stop = include_start_level ? 0 : 1;
+  for (size_t i = depth - 1; i > stop; --i) lift_level(lf, i - 1);
+  return lf;
+}
+
+std::vector<BoundaryTreeSP::HubSrc> BoundaryTreeSP::hub_sources(
+    const Lift& lf, size_t i) const {
+  const DncNode& q = node(lf.chain[i]);
+  const uint32_t child_id = lf.chain[i + 1];
+  const std::vector<Length>& dc = lf.dvec[i + 1];
+
+  int32_t ord = -1;
+  for (size_t c = 0; c < q.children.size(); ++c) {
+    if (q.children[c] == child_id) {
+      ord = static_cast<int32_t>(c);
+      break;
+    }
+  }
+  RSP_CHECK_MSG(ord >= 0, "lift chain child not under its parent");
+
+  std::vector<HubSrc> out;
+  // The child's own Mid points, priced by the lifted distance vector.
+  for (const DncPort& p : q.ports) {
+    if (p.child != ord) continue;
+    for (size_t k = 0; k < p.mids.size(); ++k) {
+      out.push_back({p.mids[k], dc[p.mid_child[k]], false, p.mid_child[k]});
+    }
+  }
+  // §6.4 escape candidates: the free axis rays from the query point itself
+  // to this ancestor's separator, staying inside the (convex) child region.
+  // These cover the crossing deformations that pivot on the query point,
+  // which the child's Mid set (built from obstacle vertices) does not.
+  const RectilinearPolygon& creg = node(child_id).region;
+  const Staircase& st = stairs_[lf.chain[i]];
+  for (Dir d : {Dir::North, Dir::South, Dir::East, Dir::West}) {
+    if (std::optional<Point> w =
+            separator_crossing(st, creg, *shooter_, lf.p, d)) {
+      out.push_back({*w, dist1(lf.p, *w), true, 0});
+    }
+  }
+  return out;
+}
+
+void BoundaryTreeSP::lift_level(Lift& lf, size_t i) const {
+  const DncNode& q = node(lf.chain[i]);
+  const uint32_t child_id = lf.chain[i + 1];
+  const std::vector<Length>& dc = lf.dvec[i + 1];
+  std::vector<Length>& dq = lf.dvec[i];
+  std::vector<Lift::Prov>& pq = lf.prov[i];
+  dq.assign(q.b.size(), kInf);
+  pq.assign(q.b.size(), Lift::Prov{});
+
+  int32_t ord = -1;
+  for (size_t c = 0; c < q.children.size(); ++c) {
+    if (q.children[c] == child_id) {
+      ord = static_cast<int32_t>(c);
+      break;
+    }
+  }
+  RSP_CHECK_MSG(ord >= 0, "lift chain child not under its parent");
+
+  // Direct: B(Q) points lying on the source child's own boundary keep
+  // their within-child distance.
+  for (const DncPort& p : q.ports) {
+    if (p.child != ord) continue;
+    for (size_t a = 0; a < p.rows.size(); ++a) {
+      const Length v = dc[p.child_rows[a]];
+      if (v < dq[p.rows[a]]) {
+        dq[p.rows[a]] = v;
+        Lift::Prov pr;
+        pr.kind = Lift::Prov::kDirect;
+        pr.direct = p.child_rows[a];
+        pq[p.rows[a]] = pr;
+      }
+    }
+  }
+
+  // Hub: cross the separator (or re-enter through it) — for each port, walk
+  // its Mid points z, price them from the best hub source y, then fan out
+  // through the retained reach matrix. This replays the conquer's
+  // (min,+) product one vector at a time.
+  const std::vector<HubSrc> srcs = hub_sources(lf, i);
+  if (srcs.empty()) return;
+  for (size_t pi = 0; pi < q.ports.size(); ++pi) {
+    const DncPort& p = q.ports[pi];
+    if (p.rows.empty() || p.mids.empty() || p.reach.empty()) continue;
+    for (size_t k = 0; k < p.mids.size(); ++k) {
+      Length g = kInf;
+      const HubSrc* gy = nullptr;
+      for (const HubSrc& y : srcs) {
+        const Length v = add_len(y.cost, dist1(y.pt, p.mids[k]));
+        if (v < g) {
+          g = v;
+          gy = &y;
+        }
+      }
+      if (g >= kInf) continue;
+      for (size_t a = 0; a < p.rows.size(); ++a) {
+        const Length v = add_len(g, p.reach(a, k));
+        if (v < dq[p.rows[a]]) {
+          dq[p.rows[a]] = v;
+          Lift::Prov pr;
+          pr.kind = Lift::Prov::kHub;
+          pr.port = static_cast<uint32_t>(pi);
+          pr.mid = static_cast<uint32_t>(k);
+          pr.tgt_child = p.child >= 0 ? p.child_rows[a] : 0;
+          pr.src_pt = gy->pt;
+          pr.src_is_ray = gy->is_ray;
+          pr.src_child = gy->child_idx;
+          pq[p.rows[a]] = pr;
+        }
+      }
+    }
+  }
+}
+
+BoundaryTreeSP::Plan BoundaryTreeSP::make_plan(const Point& s, const Point& t,
+                                               const Lift& ls,
+                                               const Lift& lt) const {
+  Plan plan;
+  size_t common = 0;
+  while (common < ls.chain.size() && common < lt.chain.size() &&
+         ls.chain[common] == lt.chain[common]) {
+    ++common;
+  }
+  // A chain cannot be a proper prefix of the other (leaves are childless),
+  // so full-prefix means the two points share a leaf.
+  const bool same_leaf =
+      common == ls.chain.size() && common == lt.chain.size();
+  if (same_leaf) {
+    plan.best = leaf_length(node(ls.chain.back()), s, t);
+    plan.via_base = true;
+  }
+  // Hub candidates exist at every common ancestor that still has a deeper
+  // chain entry on both sides.
+  const size_t hub_top = same_leaf ? common - 1 : common;
+  for (size_t i = 0; i < hub_top; ++i) {
+    const std::vector<HubSrc> ys = hub_sources(ls, i);
+    const std::vector<HubSrc> zs = hub_sources(lt, i);
+    for (const HubSrc& y : ys) {
+      for (const HubSrc& z : zs) {
+        // Both y and z sit on this ancestor's separator: the separator is a
+        // monotone staircase inside the region, so their geodesic distance
+        // is plain L1.
+        const Length v = add_len(y.cost, add_len(dist1(y.pt, z.pt), z.cost));
+        if (v < plan.best) {
+          plan.best = v;
+          plan.via_base = false;
+          plan.depth = i;
+          plan.y = y;
+          plan.z = z;
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+Length BoundaryTreeSP::length(const Point& s, const Point& t) const {
+  if (s == t) return 0;
+  const Lift ls = lift(s, 0, false);
+  const Lift lt = lift(t, 0, false);
+  return make_plan(s, t, ls, lt).best;
+}
+
+std::vector<Point> BoundaryTreeSP::sep_geodesic(uint32_t node_id,
+                                                const Point& y,
+                                                const Point& z) const {
+  const DncNode& q = node(node_id);
+  const Staircase& st = stairs_[node_id];
+  if (y == z) return {y};
+
+  // Walk the staircase bend-to-bend between y and z (staircase points are
+  // ascending in x; for equal x the orientation fixes the y order).
+  const std::vector<Point>& pts = st.points();
+  auto before = [&st](const Point& a, const Point& b) {
+    if (a.x != b.x) return a.x < b.x;
+    return st.increasing() ? a.y < b.y : a.y > b.y;
+  };
+  const Point* lo = &y;
+  const Point* hi = &z;
+  bool reversed = false;
+  if (before(*hi, *lo)) {
+    std::swap(lo, hi);
+    reversed = true;
+  }
+  std::vector<Point> walk{*lo};
+  for (const Point& p : pts) {
+    if (before(*lo, p) && before(p, *hi)) walk.push_back(p);
+  }
+  walk.push_back(*hi);
+
+  // The staircase may leave the region (it is clipped per child at build
+  // time, but here it must connect two arbitrary points on it). Patch every
+  // excursion with the boundary arc between the exit and re-entry points —
+  // the region is convex, so one of the two arcs is monotone and exactly as
+  // long as the L1 distance it replaces.
+  std::vector<Point> out{walk.front()};
+  size_t i = 1;
+  while (i < walk.size()) {
+    const Point cur = out.back();
+    const Point nxt = walk[i];
+    if (q.region.contains(nxt)) {
+      out.push_back(nxt);
+      ++i;
+      continue;
+    }
+    const Point e1 = clip_exit(q.region, cur, nxt);
+    // Scan forward for the first walk segment that re-enters the region.
+    // (The rest of the exiting segment is outside: the intersection of a
+    // straight segment with a convex region is contiguous.)
+    std::optional<Point> e2;
+    size_t j = i + 1;
+    Point from = nxt;
+    for (; j < walk.size(); ++j) {
+      const Point to = walk[j];
+      if (std::optional<Point> r = first_in_region(q.region, from, to)) {
+        e2 = *r;
+        break;
+      }
+      from = to;
+    }
+    RSP_CHECK_MSG(e2.has_value(), "separator never re-enters the region");
+    const Length want = dist1(e1, *e2);
+    std::vector<Point> arc = boundary_arc_ccw(q.region, e1, *e2);
+    if (polyline_length(arc) != want) {
+      arc = boundary_arc_cw(q.region, e1, *e2);
+      RSP_CHECK_MSG(polyline_length(arc) == want,
+                    "no monotone boundary arc for separator excursion");
+    }
+    if (out.back() != e1) out.push_back(e1);
+    if (arc.size() > 1) append_polyline(out, arc);
+    // Resume at walk[j]: the main loop re-checks it against the region (the
+    // re-entered segment may exit again before reaching it).
+    i = j;
+  }
+  if (reversed) std::reverse(out.begin(), out.end());
+  RSP_CHECK_MSG(polyline_length(out) == dist1(y, z),
+                "separator geodesic is not L1-tight");
+  return out;
+}
+
+std::vector<Point> BoundaryTreeSP::b_to_b_path(uint32_t node_id,
+                                               uint32_t from_bi,
+                                               uint32_t to_bi) const {
+  const DncNode& n = node(node_id);
+  const Point a = n.b[from_bi];
+  const Point b = n.b[to_bi];
+  if (a == b) return {a};
+  if (n.children.empty()) return leaf_path(n, a, b);
+  const Lift lf = lift(a, node_id, /*include_start_level=*/true);
+  RSP_CHECK(lf.dvec[0].size() == n.b.size());
+  return reconstruct_to_b(lf, 0, to_bi);
+}
+
+std::vector<Point> BoundaryTreeSP::reconstruct_to_b(const Lift& lf, size_t i,
+                                                    uint32_t bi) const {
+  const DncNode& q = node(lf.chain[i]);
+  if (i + 1 == lf.chain.size()) return leaf_path(q, lf.p, q.b[bi]);
+
+  const Lift::Prov& pv = lf.prov[i][bi];
+  RSP_CHECK_MSG(pv.kind != Lift::Prov::kNone,
+                "no provenance for a reachable boundary point");
+  if (pv.kind == Lift::Prov::kDirect) {
+    return reconstruct_to_b(lf, i + 1, pv.direct);
+  }
+  const DncPort& p = q.ports[pv.port];
+  const Point z = p.mids[pv.mid];
+  std::vector<Point> out;
+  if (pv.src_is_ray) {
+    out.push_back(lf.p);
+    if (pv.src_pt != lf.p) out.push_back(pv.src_pt);
+  } else {
+    out = reconstruct_to_b(lf, i + 1, pv.src_child);
+  }
+  append_polyline(out, sep_geodesic(lf.chain[i], pv.src_pt, z));
+  if (p.child < 0) {
+    // Virtual separator port: the target itself lies on the separator.
+    append_polyline(out, sep_geodesic(lf.chain[i], z, q.b[bi]));
+  } else {
+    append_polyline(
+        out, b_to_b_path(q.children[p.child], p.mid_child[pv.mid],
+                         pv.tgt_child));
+  }
+  return out;
+}
+
+std::vector<Point> BoundaryTreeSP::path(const Point& s, const Point& t) const {
+  if (s == t) return {s};
+  const Lift ls = lift(s, 0, false);
+  const Lift lt = lift(t, 0, false);
+  const Plan plan = make_plan(s, t, ls, lt);
+  RSP_CHECK_MSG(plan.best < kInf, "boundary tree: pair is unreachable");
+
+  std::vector<Point> out;
+  if (plan.via_base) {
+    out = leaf_path(node(ls.chain.back()), s, t);
+  } else {
+    const size_t i = plan.depth;
+    if (plan.y.is_ray) {
+      out.push_back(s);
+      if (plan.y.pt != s) out.push_back(plan.y.pt);
+    } else {
+      out = reconstruct_to_b(ls, i + 1, plan.y.child_idx);
+    }
+    append_polyline(out, sep_geodesic(ls.chain[i], plan.y.pt, plan.z.pt));
+    std::vector<Point> leg;
+    if (plan.z.is_ray) {
+      leg.push_back(t);
+      if (plan.z.pt != t) leg.push_back(plan.z.pt);
+    } else {
+      leg = reconstruct_to_b(lt, i + 1, plan.z.child_idx);
+    }
+    std::reverse(leg.begin(), leg.end());
+    append_polyline(out, leg);
+  }
+  out = canonicalize(std::move(out));
+  RSP_CHECK_MSG(polyline_length(out) == plan.best,
+                "reconstructed path does not match the computed length");
+  return out;
+}
+
+}  // namespace rsp

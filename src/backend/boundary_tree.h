@@ -1,0 +1,103 @@
+#pragma once
+// Backend::kBoundaryTree — sublinear-space queries over the retained §5
+// recursion tree. This is the paper's actual deployment shape: instead of
+// materializing the O(n^2) all-pairs tables, keep the divide-and-conquer
+// recursion itself (leaf sub-scenes, per-node boundary discretizations
+// B(Q), and the conquer's transfer sets) and answer each query on the fly.
+//
+// Query algorithm (mirrors the validated conquer, run bottom-up):
+//   1. Point-locate s and t to leaves of the tree (descend by region
+//      containment).
+//   2. Lift a distance vector ds over B(N) from the leaf (track-graph
+//      Dijkstra on the leaf sub-scene, the base case) up each ancestor N:
+//      at an internal node Q with s inside child c, a B(Q) point is
+//      reached either directly through c (ds_c restricted by the port's
+//      row mapping) or through the separator hub — min over hub access
+//      points y of c (its Mid points, plus the §6.4 escape candidates: the
+//      free axis rays from s to the separator) of ds(y) + L1(y, z) +
+//      reach(z, x), the exact product the conquer evaluates with Monge
+//      multiplications at build time. dt lifts symmetrically from t.
+//   3. d(s, t) = min over every common ancestor Q of the two leaf chains
+//      of the hub term min_{y,z} ds[y] + L1(y, z) + dt[z] (the separator
+//      is a monotone geodesic: L1 between two of its points inside Q),
+//      plus the leaf base case when s and t share a leaf.
+// Paths replay the same minimizations with argmin tracking; separator
+// legs walk the retained staircase, deformed along the region boundary
+// where the staircase leaves the region (§7-style containment patching).
+//
+// Space: leaves + transfer sets only — no level keeps its D_Q matrix, so
+// the resident structure is far below the n x n wall (the ratio is
+// recorded by bench_build at n = 4096). Queries cost two leaf Dijkstras
+// plus O(|B| * |Mid|) work per tree level.
+//
+// Thread safety: immutable after construction; length()/path() allocate
+// only per-call state and are safe to call concurrently (the Engine's
+// batch fan-out does exactly that).
+
+#include <memory>
+#include <vector>
+
+#include "core/dnc_builder.h"
+#include "core/rayshoot.h"
+#include "core/scene.h"
+
+namespace rsp {
+
+class BoundaryTreeSP {
+ public:
+  // Builds the retained tree for `scene`. `num_threads` sizes the
+  // build-scoped scheduler exactly as DncOptions::num_threads (0 or 1 =
+  // sequential build); queries never use it.
+  explicit BoundaryTreeSP(Scene scene, size_t num_threads = 0);
+  // Snapshot restore: adopt a previously built tree. The tree must belong
+  // to `scene` (the snapshot loader validates structure; this constructor
+  // re-checks the cheap invariants).
+  BoundaryTreeSP(Scene scene, std::shared_ptr<const DncTree> tree);
+
+  const Scene& scene() const { return scene_; }
+  const DncTree& tree() const { return *tree_; }
+  std::shared_ptr<const DncTree> shared_tree() const { return tree_; }
+  // Build statistics (all zero for a snapshot-restored instance).
+  const DncStats& build_stats() const { return stats_; }
+
+  // Shortest L1 length / path between two free points of the scene.
+  // Inputs must be pre-validated (inside the container, outside
+  // obstacles) — the Engine facade does this. Thread-safe.
+  Length length(const Point& s, const Point& t) const;
+  std::vector<Point> path(const Point& s, const Point& t) const;
+
+  // Resident heap footprint: scene + tree + per-node query aux.
+  size_t memory_bytes() const;
+
+ private:
+  struct Lift;
+  struct HubSrc;
+  struct Plan;
+
+  void init();
+  Plan make_plan(const Point& s, const Point& t, const Lift& ls,
+                 const Lift& lt) const;
+  const DncNode& node(uint32_t id) const { return tree_->nodes[id]; }
+  std::vector<uint32_t> locate_chain(uint32_t start, const Point& p) const;
+  Lift lift(const Point& p, uint32_t start, bool include_start_level) const;
+  void lift_level(Lift& lf, size_t i) const;
+  std::vector<HubSrc> hub_sources(const Lift& lf, size_t i) const;
+  Length leaf_length(const DncNode& leaf, const Point& a,
+                     const Point& b) const;
+  std::vector<Point> leaf_path(const DncNode& leaf, const Point& a,
+                               const Point& b) const;
+  std::vector<Point> sep_geodesic(uint32_t node_id, const Point& y,
+                                  const Point& z) const;
+  std::vector<Point> reconstruct_to_b(const Lift& lf, size_t i,
+                                      uint32_t bi) const;
+  std::vector<Point> b_to_b_path(uint32_t node_id, uint32_t from_bi,
+                                 uint32_t to_bi) const;
+
+  Scene scene_;
+  std::shared_ptr<const DncTree> tree_;
+  DncStats stats_;
+  std::unique_ptr<RayShooter> shooter_;       // full-scene, for §6.4 rays
+  std::vector<Staircase> stairs_;             // per node (empty for leaves)
+};
+
+}  // namespace rsp

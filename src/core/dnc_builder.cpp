@@ -14,15 +14,15 @@
 
 namespace rsp {
 
-namespace {
-
 // Where a ray from v in direction d first meets the separator, if it does
 // so inside `region` and before any obstacle. Generates the separator's
 // discretization ("Middle"): the paper's staircase-extension Cross points.
-std::optional<Point> sep_crossing(const Staircase& sep,
-                                  const RectilinearPolygon& region,
-                                  const RayShooter& shooter, const Point& v,
-                                  Dir d) {
+// Exported: the boundary-tree query backend shoots the same rays from
+// arbitrary interior points (§6.4 escape candidates).
+std::optional<Point> separator_crossing(const Staircase& sep,
+                                        const RectilinearPolygon& region,
+                                        const RayShooter& shooter,
+                                        const Point& v, Dir d) {
   const auto& pts = sep.points();
   Point cross;
   switch (d) {
@@ -70,6 +70,8 @@ std::optional<Point> sep_crossing(const Staircase& sep,
   return cross;
 }
 
+namespace {
+
 // Orders points along a monotone staircase (ascending x; y per orientation).
 void sort_along(std::vector<Point>& v, const Staircase& s) {
   bool inc = s.increasing();
@@ -88,14 +90,39 @@ struct Builder {
   // thread-id census behind workers_observed) share one low-traffic mutex.
   std::mutex stats_mu;
   std::set<std::thread::id> worker_ids;
+  // Retained-tree slots (DncOptions::retain_tree). Slot ids are handed out
+  // under tree_mu in whatever order the parallel recursion reaches nodes;
+  // build_boundary_structure renumbers them into deterministic preorder at
+  // the end. Nodes are assembled on the solver's stack and moved into
+  // their slot in one locked assignment — no reference into the vector is
+  // ever held across a concurrent emplace_back.
+  std::mutex tree_mu;
+  std::vector<DncNode> tree_nodes;
+
+  uint32_t alloc_node() {
+    std::lock_guard<std::mutex> lk(tree_mu);
+    uint32_t id = static_cast<uint32_t>(tree_nodes.size());
+    tree_nodes.emplace_back();
+    return id;
+  }
+  void store_node(uint32_t id, DncNode node) {
+    std::lock_guard<std::mutex> lk(tree_mu);
+    tree_nodes[id] = std::move(node);
+  }
 
   BoundaryStructure solve(RectilinearPolygon region, std::vector<Rect> rects,
-                          std::vector<Point> required, size_t depth) {
+                          std::vector<Point> required, size_t depth,
+                          uint32_t* out_id) {
     {
       std::lock_guard<std::mutex> lk(stats_mu);
       ++stats.nodes;
       stats.max_depth = std::max(stats.max_depth, depth);
       worker_ids.insert(std::this_thread::get_id());
+    }
+    uint32_t node_id = 0;
+    if (opt.retain_tree) {
+      node_id = alloc_node();
+      if (out_id != nullptr) *out_id = node_id;
     }
 
     Scene scene(std::move(rects), std::move(region));
@@ -124,9 +151,18 @@ struct Builder {
       stats.max_boundary = std::max(stats.max_boundary, b.size());
     }
 
-    if (scene.num_obstacles() <= opt.leaf_size) {
-      return leaf(scene, std::move(b));
-    }
+    auto emit_leaf = [&]() {
+      BoundaryStructure out = leaf(scene, std::move(b));
+      if (opt.retain_tree) {
+        DncNode node;
+        node.region = scene.container();
+        node.b = out.points();
+        node.rects = scene.obstacles();
+        store_node(node_id, std::move(node));
+      }
+      return out;
+    };
+    if (scene.num_obstacles() <= opt.leaf_size) return emit_leaf();
 
     Tracer tracer(scene, shooter);
     SeparatorResult sep = staircase_separator(scene, tracer);
@@ -166,6 +202,19 @@ struct Builder {
       comp_rects[owner].push_back(r);
     }
 
+    // A separator can fail to split the obstacle set: on degenerate
+    // configurations the pivot's escape paths trace along the region
+    // boundary and every obstacle lands in one component, so the
+    // recursion would never shrink (and never terminate). Solve such a
+    // node directly instead — the track-graph leaf is correct at any
+    // size, and down every remaining path the obstacle count now
+    // strictly decreases.
+    {
+      size_t largest = 0;
+      for (const auto& cr : comp_rects) largest = std::max(largest, cr.size());
+      if (largest == scene.num_obstacles()) return emit_leaf();
+    }
+
     // Per-component required points: parent B on its boundary, plus the
     // projections of those points / obstacle corners / component vertices
     // onto the separator within the component (Middle, a.k.a. the
@@ -185,7 +234,7 @@ struct Builder {
       for (const auto& v : comps[c].vertices()) sources.push_back(v);
       for (const auto& v : sources) {
         for (Dir d : {Dir::North, Dir::South, Dir::East, Dir::West}) {
-          if (auto x = sep_crossing(sep.sep, comps[c], shooter, v, d)) {
+          if (auto x = separator_crossing(sep.sep, comps[c], shooter, v, d)) {
             req.push_back(*x);
           }
         }
@@ -198,28 +247,40 @@ struct Builder {
     // in children[c] keeps the conquer deterministic: the matrices are
     // bit-identical for every scheduler width.
     std::vector<BoundaryStructure> children(comps.size());
+    std::vector<uint32_t> child_ids(comps.size(), 0);
     if (sched != nullptr && comps.size() > 1) {
       TaskGroup group(*sched);
       for (size_t c = 1; c < comps.size(); ++c) {
-        group.run([this, &comps, &comp_rects, &reqs, &children, c, depth] {
-          children[c] =
-              solve(comps[c], comp_rects[c], std::move(reqs[c]), depth + 1);
+        group.run([this, &comps, &comp_rects, &reqs, &children, &child_ids, c,
+                   depth] {
+          children[c] = solve(comps[c], comp_rects[c], std::move(reqs[c]),
+                              depth + 1, &child_ids[c]);
         });
       }
       // The calling task takes the first subtree itself, then helps with
       // (or waits on) the stolen siblings.
       children[0] = solve(comps[0], comp_rects[0], std::move(reqs[0]),
-                          depth + 1);
+                          depth + 1, &child_ids[0]);
       group.wait();
     } else {
       for (size_t c = 0; c < comps.size(); ++c) {
-        children[c] =
-            solve(comps[c], comp_rects[c], std::move(reqs[c]), depth + 1);
+        children[c] = solve(comps[c], comp_rects[c], std::move(reqs[c]),
+                            depth + 1, &child_ids[c]);
       }
     }
 
-    BoundaryStructure out = conquer(scene, std::move(b), sep.sep, children);
+    DncNode keep;
+    BoundaryStructure out = conquer(scene, std::move(b), sep.sep, children,
+                                    opt.retain_tree ? &keep : nullptr);
     if (opt.validate_nodes) validate(scene, out);
+    if (opt.retain_tree) {
+      keep.region = scene.container();
+      keep.b = out.points();
+      keep.children = std::move(child_ids);
+      keep.sep = sep.sep.points();
+      keep.sep_increasing = sep.sep.increasing();
+      store_node(node_id, std::move(keep));
+    }
     return out;
   }
 
@@ -249,7 +310,8 @@ struct Builder {
   // is a monotone geodesic; Containment Lemma deforms it into Q).
   BoundaryStructure conquer(const Scene& scene, std::vector<Point> b,
                             const Staircase& sep,
-                            const std::vector<BoundaryStructure>& children) {
+                            const std::vector<BoundaryStructure>& children,
+                            DncNode* keep) {
     const size_t m = b.size();
     Matrix d(m, m, kInf);
     for (size_t i = 0; i < m; ++i) d(i, i) = 0;
@@ -265,7 +327,8 @@ struct Builder {
     };
     std::vector<Port> ports;
 
-    for (const auto& child : children) {
+    for (size_t c = 0; c < children.size(); ++c) {
+      const BoundaryStructure& child = children[c];
       Port port;
       std::vector<int> row_idx;
       for (size_t i = 0; i < m; ++i) {
@@ -279,6 +342,10 @@ struct Builder {
         if (sep.side_of(p) == 0) port.mids.push_back(p);
       }
       sort_along(port.mids, sep);
+      std::vector<int> mid_idx(port.mids.size());
+      for (size_t k = 0; k < port.mids.size(); ++k) {
+        mid_idx[k] = child.index_of(port.mids[k]);
+      }
       // Same-component pairs straight from the child.
       for (size_t a = 0; a < port.rows.size(); ++a) {
         for (size_t c2 = 0; c2 < port.rows.size(); ++c2) {
@@ -288,14 +355,29 @@ struct Builder {
           }
         }
       }
-      if (port.mids.empty() || port.rows.empty()) continue;
-      port.reach = Matrix(port.rows.size(), port.mids.size());
-      for (size_t a = 0; a < port.rows.size(); ++a) {
-        for (size_t k = 0; k < port.mids.size(); ++k) {
-          port.reach(a, k) =
-              child.matrix()(row_idx[a], child.index_of(port.mids[k]));
+      const bool routable = !port.mids.empty() && !port.rows.empty();
+      if (routable) {
+        port.reach = Matrix(port.rows.size(), port.mids.size());
+        for (size_t a = 0; a < port.rows.size(); ++a) {
+          for (size_t k = 0; k < port.mids.size(); ++k) {
+            port.reach(a, k) = child.matrix()(row_idx[a], mid_idx[k]);
+          }
         }
       }
+      if (keep != nullptr) {
+        // Retain the transfer set even when one side is empty: the query
+        // lift needs the row mapping without mids (direct candidates) and
+        // the mids without rows (hub access from inside the child).
+        DncPort kp;
+        kp.child = static_cast<int32_t>(c);
+        kp.rows.assign(port.rows.begin(), port.rows.end());
+        kp.child_rows.assign(row_idx.begin(), row_idx.end());
+        kp.mids = port.mids;
+        kp.mid_child.assign(mid_idx.begin(), mid_idx.end());
+        kp.reach = port.reach;
+        keep->ports.push_back(std::move(kp));
+      }
+      if (!routable) continue;
       ports.push_back(std::move(port));
     }
     {
@@ -313,6 +395,14 @@ struct Builder {
         for (size_t a = 0; a < port.rows.size(); ++a)
           for (size_t k = 0; k < port.mids.size(); ++k)
             port.reach(a, k) = dist1(b[port.rows[a]], port.mids[k]);
+        if (keep != nullptr) {
+          DncPort kp;
+          kp.child = -1;
+          kp.rows.assign(port.rows.begin(), port.rows.end());
+          kp.mids = port.mids;
+          kp.reach = port.reach;
+          keep->ports.push_back(std::move(kp));
+        }
         ports.push_back(std::move(port));
       }
     }
@@ -396,17 +486,68 @@ struct Builder {
 
 }  // namespace
 
+size_t DncTree::memory_bytes() const {
+  auto points = [](const std::vector<Point>& v) {
+    return v.capacity() * sizeof(Point);
+  };
+  size_t total = sizeof(DncTree) + nodes.capacity() * sizeof(DncNode);
+  for (const DncNode& n : nodes) {
+    total += points(n.region.vertices()) + points(n.b) + points(n.sep);
+    total += n.rects.capacity() * sizeof(Rect);
+    total += n.children.capacity() * sizeof(uint32_t);
+    total += n.ports.capacity() * sizeof(DncPort);
+    for (const DncPort& p : n.ports) {
+      total += (p.rows.capacity() + p.child_rows.capacity() +
+                p.mid_child.capacity()) * sizeof(uint32_t);
+      total += points(p.mids);
+      total += p.reach.storage().capacity() * sizeof(Length);
+    }
+  }
+  return total;
+}
+
 DncResult build_boundary_structure(const Scene& scene,
                                    const DncOptions& opt) {
   std::unique_ptr<Scheduler> owned_sched =
       opt.num_threads >= 2 ? std::make_unique<Scheduler>(opt.num_threads)
                            : nullptr;
-  Builder builder{opt, owned_sched.get(), {}, {}, {}};
+  Builder builder{opt, owned_sched.get()};
   std::vector<Rect> rects = scene.obstacles();
+  uint32_t root_id = 0;
   BoundaryStructure root =
-      builder.solve(scene.container(), std::move(rects), {}, 0);
+      builder.solve(scene.container(), std::move(rects), {}, 0, &root_id);
   builder.stats.workers_observed = builder.worker_ids.size();
-  return {std::move(root), builder.stats};
+
+  std::shared_ptr<DncTree> tree;
+  if (opt.retain_tree) {
+    // Parallel recursion hands out slot ids nondeterministically; renumber
+    // into preorder (children in component order) so the retained tree —
+    // and therefore its snapshot bytes — is identical for every scheduler
+    // width, matching the matrices' determinism guarantee.
+    std::vector<DncNode>& raw = builder.tree_nodes;
+    std::vector<uint32_t> order;
+    order.reserve(raw.size());
+    std::vector<uint32_t> remap(raw.size(), 0);
+    std::vector<uint32_t> stack{root_id};
+    while (!stack.empty()) {
+      uint32_t id = stack.back();
+      stack.pop_back();
+      remap[id] = static_cast<uint32_t>(order.size());
+      order.push_back(id);
+      const std::vector<uint32_t>& kids = raw[id].children;
+      for (size_t i = kids.size(); i > 0; --i) stack.push_back(kids[i - 1]);
+    }
+    RSP_CHECK_MSG(order.size() == raw.size(),
+                  "retained tree has unreachable nodes");
+    tree = std::make_shared<DncTree>();
+    tree->nodes.resize(order.size());
+    for (size_t k = 0; k < order.size(); ++k) {
+      DncNode n = std::move(raw[order[k]]);
+      for (uint32_t& c : n.children) c = remap[c];
+      tree->nodes[k] = std::move(n);
+    }
+  }
+  return {std::move(root), builder.stats, std::move(tree)};
 }
 
 }  // namespace rsp

@@ -22,6 +22,7 @@
 // immutable and safe to query concurrently.
 
 #include <memory>
+#include <optional>
 
 #include "core/boundary.h"
 #include "core/scene.h"
@@ -31,6 +32,12 @@ namespace rsp {
 
 struct DncOptions {
   size_t leaf_size = 3;    // max obstacles solved by the base case
+  // Keep the recursion tree (regions, leaf sub-scenes, B(Q) lists and the
+  // conquer's transfer sets) alive in DncResult::tree for the
+  // sublinear-space query backend (src/backend/boundary_tree.h). The full
+  // per-node D_Q matrices are still consumed by the parent conquer and
+  // dropped — retaining costs far less than any single level's matrices.
+  bool retain_tree = false;
   // Width of the builder-owned work-stealing scheduler, alive only for the
   // build (0 or 1: sequential). The scheduler gives true tree parallelism:
   // the two-plus separator children of every node build as parallel tasks
@@ -56,10 +63,62 @@ struct DncStats {
   size_t workers_observed = 0;
 };
 
+// ---- The retained recursion tree (DncOptions::retain_tree) ----
+//
+// One "port" of a conquer node: the transfer set between the parent's
+// boundary discretization B(Q) and one child (or the separator itself).
+// `rows` are the parent B(Q) points lying on the child's boundary,
+// `child_rows` the same points as indices into the child's own B; `mids`
+// are the child's hub points on the separator (separator order) with
+// `mid_child` their indices into the child's B. `reach` holds the
+// within-child distances rows x mids. For the virtual separator port
+// (child == -1) the rows themselves lie on the separator, reach is plain
+// L1 along it, and the child-index vectors are empty.
+struct DncPort {
+  int32_t child = -1;               // ordinal into DncNode::children
+  std::vector<uint32_t> rows;       // indices into the parent's B(Q)
+  std::vector<uint32_t> child_rows; // |rows| indices into the child's B
+  std::vector<Point> mids;          // hub points, ordered along the separator
+  std::vector<uint32_t> mid_child;  // |mids| indices into the child's B
+  Matrix reach;                     // |rows| x |mids|; empty if either is
+};
+
+// One recursion node. Leaves (children empty) keep their sub-scene
+// (region + obstacle rects) so queries can run the track-graph base case;
+// internal nodes keep the separator polyline and one DncPort per child
+// plus, when parent points lie on the separator, the virtual port.
+struct DncNode {
+  RectilinearPolygon region;
+  std::vector<Point> b;             // B(Q), CCW boundary order
+  std::vector<Rect> rects;          // leaf only: the sub-scene's obstacles
+  std::vector<uint32_t> children;   // node ids (preorder: always > own id)
+  std::vector<DncPort> ports;       // internal only
+  std::vector<Point> sep;           // internal only: separator bend points
+  bool sep_increasing = true;       //   (sentinels included, ascending x)
+};
+
+// Nodes in deterministic preorder (nodes[0] is the root; identical for
+// every scheduler width). Immutable once built; safe to share.
+struct DncTree {
+  std::vector<DncNode> nodes;
+  size_t memory_bytes() const;  // resident heap footprint of the tree
+};
+
 struct DncResult {
   BoundaryStructure root;
   DncStats stats;
+  std::shared_ptr<const DncTree> tree;  // set iff DncOptions::retain_tree
 };
+
+// Where a ray from v in direction d first meets the separator, if it does
+// so inside `region` and before any obstacle known to `shooter`. This is
+// the separator-discretization ("Middle" / Cross point) primitive of the
+// conquer; the boundary-tree backend reuses it at query time for the §6.4
+// escape candidates of an arbitrary interior point.
+std::optional<Point> separator_crossing(const Staircase& sep,
+                                        const RectilinearPolygon& region,
+                                        const RayShooter& shooter,
+                                        const Point& v, Dir d);
 
 // Computes D_P for scene.container(). The resulting structure answers
 // boundary-to-boundary length queries: B(P) pairs by index, arbitrary

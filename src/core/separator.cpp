@@ -40,6 +40,37 @@ Staircase join_traces(const Tracer& tracer, const Point& p, TraceKind down,
   return Staircase::from_chain(std::move(a), Tracer::orient_of(up));
 }
 
+// Builds the full separator through `pivot` and classifies every obstacle
+// onto a side.
+SeparatorResult build_and_classify(const Scene& scene, const Tracer& tracer,
+                                   const Point& pivot, TraceKind kind_down,
+                                   TraceKind kind_up) {
+  SeparatorResult res;
+  res.pivot = pivot;
+  res.sep = join_traces(tracer, pivot, kind_down, kind_up);
+
+  for (size_t i = 0; i < scene.num_obstacles(); ++i) {
+    const Rect& r = scene.obstacle(i);
+    int pos = 0, neg = 0;
+    for (const auto& c : r.vertices()) {
+      int s = res.sep.side_of(c);
+      pos += (s > 0);
+      neg += (s < 0);
+    }
+    RSP_CHECK_MSG(!(pos > 0 && neg > 0), "separator pierces an obstacle");
+    if (pos > 0) {
+      res.above.push_back(static_cast<int>(i));
+    } else if (neg > 0) {
+      res.below.push_back(static_cast<int>(i));
+    } else {
+      // All four corners on the separator cannot happen for a full
+      // rectangle crossed by a monotone chain; defensively place above.
+      res.above.push_back(static_cast<int>(i));
+    }
+  }
+  return res;
+}
+
 }  // namespace
 
 SeparatorResult staircase_separator(const Scene& scene,
@@ -49,9 +80,6 @@ SeparatorResult staircase_separator(const Scene& scene,
 
   Coord vx = median_coord(scene, true);
   std::vector<int> vcross = crossers(scene, true, vx);
-  Point pivot;
-  TraceKind kind_down = TraceKind::WS, kind_up = TraceKind::NE;
-  bool pivot_set = false;
 
   auto mid_free_point = [&](const std::vector<int>& ids, bool x_axis,
                             Coord c) {
@@ -74,79 +102,63 @@ SeparatorResult staircase_separator(const Scene& scene,
   };
 
   if (vcross.size() >= std::max<size_t>(1, n / 4) && vcross.size() >= 2) {
-    pivot = mid_free_point(vcross, true, vx);
-    kind_down = TraceKind::SW;
-    kind_up = TraceKind::NE;
-    pivot_set = true;
+    return build_and_classify(scene, tracer, mid_free_point(vcross, true, vx),
+                              TraceKind::SW, TraceKind::NE);
   }
 
   Coord hy = median_coord(scene, false);
-  if (!pivot_set) {
-    std::vector<int> hcross = crossers(scene, false, hy);
-    if (hcross.size() >= std::max<size_t>(1, n / 4) && hcross.size() >= 2) {
-      pivot = mid_free_point(hcross, false, hy);
-      kind_down = TraceKind::SW;
-      kind_up = TraceKind::NE;
-      pivot_set = true;
-    }
+  std::vector<int> hcross = crossers(scene, false, hy);
+  if (hcross.size() >= std::max<size_t>(1, n / 4) && hcross.size() >= 2) {
+    return build_and_classify(scene, tracer, mid_free_point(hcross, false, hy),
+                              TraceKind::SW, TraceKind::NE);
   }
 
-  if (!pivot_set) {
-    Point p{vx, hy};
-    // Nudge out of an obstacle interior (paper: "easily modified").
-    for (const auto& r : scene.obstacles()) {
-      if (r.contains_strict(p)) {
-        p.y = r.ymax;
-        break;
+  Point p{vx, hy};
+  // Each median is inside the container's projection on its own axis,
+  // but their corner combination can fall outside a non-rectangular
+  // convex container (the staircase sub-regions of the D&C recursion):
+  // clamp y into the container's interval on the line x = vx. The line
+  // meets the container — some obstacle inside it has an edge at vx.
+  {
+    auto [ylo, yhi] = scene.container().y_range_at(p.x);
+    p.y = std::clamp(p.y, ylo, yhi);
+  }
+  // Candidate pivots. When p is inside an obstacle, nudge to either of
+  // its horizontal edges (paper: "easily modified") — each stays in the
+  // container, since its endpoints are in it and rectilinear convexity
+  // makes the segment between them so. Large obstacles make the two
+  // choices balance very differently (a tall one eats most of the
+  // y-median's slack), and quadrant counting cannot tell them apart
+  // because the straddling obstacle is invisible to it — so build every
+  // candidate separator and keep the best measured split.
+  std::vector<Point> pivots;
+  bool inside = false;
+  for (const auto& r : scene.obstacles()) {
+    if (r.contains_strict(p)) {
+      inside = true;
+      pivots.push_back({p.x, r.ymax});
+      pivots.push_back({p.x, r.ymin});
+      break;
+    }
+  }
+  if (!inside) pivots.push_back(p);
+
+  SeparatorResult best;
+  size_t best_side = n + 1;
+  for (const auto& q : pivots) {
+    RSP_CHECK(scene.container().contains(q));
+    for (auto [down, up] :
+         {std::pair{TraceKind::WS, TraceKind::NE},    // increasing chain
+          std::pair{TraceKind::NW, TraceKind::ES}}) { // decreasing chain
+      SeparatorResult r = build_and_classify(scene, tracer, q, down, up);
+      size_t side = std::max(r.above.size(), r.below.size());
+      if (side < best_side) {
+        best_side = side;
+        best = std::move(r);
       }
     }
-    // Clamp into the container (the medians always are, given obstacles
-    // inside P, but stay defensive).
-    RSP_CHECK(scene.container().contains(p));
-    // Quadrant census around p.
-    size_t rne = 0, rnw = 0, rse = 0, rsw = 0;
-    for (const auto& r : scene.obstacles()) {
-      if (r.xmin >= p.x && r.ymin >= p.y) ++rne;
-      else if (r.xmax <= p.x && r.ymin >= p.y) ++rnw;
-      else if (r.xmin >= p.x && r.ymax <= p.y) ++rse;
-      else if (r.xmax <= p.x && r.ymax <= p.y) ++rsw;
-    }
-    size_t mx = std::max({rne, rnw, rse, rsw});
-    if (mx == rnw || mx == rse) {
-      kind_down = TraceKind::WS;  // increasing: NE(p) ∪ WS(p)
-      kind_up = TraceKind::NE;
-    } else {
-      kind_down = TraceKind::NW;  // decreasing: NW(p) ∪ ES(p)
-      kind_up = TraceKind::ES;
-    }
-    pivot = p;
-    pivot_set = true;
   }
-
-  SeparatorResult res;
-  res.pivot = pivot;
-  res.sep = join_traces(tracer, pivot, kind_down, kind_up);
-
-  for (size_t i = 0; i < n; ++i) {
-    const Rect& r = scene.obstacle(i);
-    int pos = 0, neg = 0;
-    for (const auto& c : r.vertices()) {
-      int s = res.sep.side_of(c);
-      pos += (s > 0);
-      neg += (s < 0);
-    }
-    RSP_CHECK_MSG(!(pos > 0 && neg > 0), "separator pierces an obstacle");
-    if (pos > 0) {
-      res.above.push_back(static_cast<int>(i));
-    } else if (neg > 0) {
-      res.below.push_back(static_cast<int>(i));
-    } else {
-      // All four corners on the separator cannot happen for a full
-      // rectangle crossed by a monotone chain; defensively place above.
-      res.above.push_back(static_cast<int>(i));
-    }
-  }
-  return res;
+  return best;
 }
 
 }  // namespace rsp

@@ -194,6 +194,45 @@ Scene gen_uniform_convex(size_t n, uint64_t seed) {
   return Scene(std::vector<Rect>(base.obstacles()), std::move(poly));
 }
 
+Scene gen_sparse(size_t n, uint64_t seed) {
+  RSP_CHECK(n >= 1);
+  Rng rng(seed * 0x94D049BB133111EBull + 11);
+  const Coord span = static_cast<Coord>(24 * n + 64);
+  // Side cap ~ span / sqrt(n) keeps the expected fill fraction constant
+  // (~1/4) as n grows, so rejection sampling succeeds at any n —
+  // gen_uniform's span/8 cap overfills the container past n ~ 600. The
+  // fill matters for more than sampling speed: in near-empty scenes most
+  // obstacle vertices project to sub-region boundaries unblocked, which
+  // inflates the boundary sets B(Q) (and with them the retained tree) by
+  // an order of magnitude.
+  Coord root = 1;
+  while ((root + 1) * (root + 1) <= static_cast<Coord>(n)) ++root;
+  const Coord max_side = std::max<Coord>(4, span / root);
+  std::vector<Rect> rects;
+  CoordPool pool;
+  size_t attempts = 0;
+  while (rects.size() < n) {
+    RSP_CHECK_MSG(++attempts < 200 * n + 10000, "generator stuck");
+    Coord x1 = uniform_coord(rng, 0, span);
+    Coord y1 = uniform_coord(rng, 0, span);
+    Coord x2 = x1 + uniform_coord(rng, 1, max_side);
+    Coord y2 = y1 + uniform_coord(rng, 1, max_side);
+    if (!pool.claim_x(x1, x2)) continue;
+    if (!pool.claim_y(y1, y2)) {
+      pool.used_x.erase(x1);
+      pool.used_x.erase(x2);
+      continue;
+    }
+    Rect r{x1, y1, x2, y2};
+    if (overlaps_any(r, rects)) {
+      pool.release(r);
+      continue;
+    }
+    rects.push_back(r);
+  }
+  return Scene::with_bbox(std::move(rects), /*margin=*/5);
+}
+
 std::vector<Point> random_free_points(const Scene& scene, size_t count,
                                       uint64_t seed) {
   Rng rng(seed * 0xD6E8FEB86659FD93ull + 31);

@@ -34,6 +34,12 @@ Scene gen_clustered(size_t n, uint64_t seed);
 // polygon (exercises non-rectangular containers P).
 Scene gen_uniform_convex(size_t n, uint64_t seed);
 
+// Scatter with the fill fraction held constant (~1/4) as n grows: side
+// caps scale as span/sqrt(n), so rejection sampling stays cheap at any n.
+// This is the large-n workload — gen_uniform's linear side cap overfills
+// the container and stops generating near n ~ 600.
+Scene gen_sparse(size_t n, uint64_t seed);
+
 // `count` distinct free lattice points in the container (none coincides
 // with an obstacle vertex).
 std::vector<Point> random_free_points(const Scene& scene, size_t count,
@@ -51,6 +57,7 @@ inline constexpr NamedGen kAllGens[] = {
     {"corridors", gen_corridors},
     {"clustered", gen_clustered},
     {"uniform_convex", gen_uniform_convex},
+    {"sparse", gen_sparse},
 };
 
 }  // namespace rsp

@@ -387,6 +387,185 @@ AllPairsData read_all_pairs(Reader& r, const Scene& scene) {
   return data;
 }
 
+// ---- Boundary-tree payload (SnapshotPayloadKind::kBoundaryTree) ----
+
+void write_points(Writer& w, const std::vector<Point>& pts) {
+  w.u64(pts.size());
+  for (const Point& p : pts) w.point(p);
+}
+
+void write_u32s(Writer& w, const std::vector<uint32_t>& v) {
+  w.u64(v.size());
+  for (uint32_t x : v) w.u32(x);
+}
+
+void write_tree(Writer& w, const DncTree& tree) {
+  w.u64(tree.nodes.size());
+  for (const DncNode& n : tree.nodes) {
+    write_points(w, n.region.vertices());
+    write_points(w, n.b);
+    w.u64(n.rects.size());
+    for (const Rect& r : n.rects) {
+      w.i64(r.xmin);
+      w.i64(r.ymin);
+      w.i64(r.xmax);
+      w.i64(r.ymax);
+    }
+    write_u32s(w, n.children);
+    write_points(w, n.sep);
+    w.u8(n.sep_increasing ? 1 : 0);
+    w.u64(n.ports.size());
+    for (const DncPort& p : n.ports) {
+      w.i32(p.child);
+      write_u32s(w, p.rows);
+      write_u32s(w, p.child_rows);
+      write_points(w, p.mids);
+      write_u32s(w, p.mid_child);
+      w.u64(p.reach.rows());
+      w.u64(p.reach.cols());
+      for (Length d : p.reach.storage()) w.i64(d);
+    }
+  }
+}
+
+std::vector<Point> read_points(Reader& r, const char* what) {
+  const uint64_t n = r.u64(what);
+  std::vector<Point> out;
+  out.reserve(std::min<uint64_t>(n, 4096));
+  for (uint64_t i = 0; i < n; ++i) out.push_back(r.point(what));
+  return out;
+}
+
+std::vector<uint32_t> read_u32s(Reader& r, const char* what) {
+  const uint64_t n = r.u64(what);
+  std::vector<uint32_t> out;
+  out.reserve(std::min<uint64_t>(n, 4096));
+  for (uint64_t i = 0; i < n; ++i) out.push_back(r.u32(what));
+  return out;
+}
+
+std::shared_ptr<const DncTree> read_tree(Reader& r, const Scene& scene) {
+  auto tree = std::make_shared<DncTree>();
+  const uint64_t count = r.u64("tree node count");
+  if (count == 0) fail_corrupt("boundary tree with no nodes");
+  tree->nodes.reserve(std::min<uint64_t>(count, 4096));
+  for (uint64_t id = 0; id < count; ++id) {
+    DncNode n;
+    std::vector<Point> rverts = read_points(r, "tree node region");
+    try {
+      n.region = RectilinearPolygon::from_vertices(std::move(rverts));
+    } catch (const std::exception& e) {
+      fail_corrupt(std::string("tree node region failed validation: ") +
+                   e.what());
+    }
+    n.b = read_points(r, "tree node boundary set");
+    const uint64_t nrects = r.u64("tree leaf rect count");
+    n.rects.reserve(std::min<uint64_t>(nrects, 4096));
+    for (uint64_t i = 0; i < nrects; ++i) {
+      Coord x0 = r.i64("tree leaf rect");
+      Coord y0 = r.i64("tree leaf rect");
+      Coord x1 = r.i64("tree leaf rect");
+      Coord y1 = r.i64("tree leaf rect");
+      if (x0 > x1 || y0 > y1) fail_corrupt("degenerate tree leaf rectangle");
+      n.rects.emplace_back(x0, y0, x1, y1);
+    }
+    n.children = read_u32s(r, "tree node children");
+    for (uint32_t c : n.children) {
+      // Preorder invariant: child ids strictly above the parent's — this
+      // alone makes the graph acyclic (and the reachability check below
+      // makes it a tree).
+      if (c <= id || c >= count) fail_corrupt("tree child id out of order");
+    }
+    n.sep = read_points(r, "tree node separator");
+    n.sep_increasing = r.u8("tree separator orientation") != 0;
+    if (!n.children.empty() && n.sep.size() < 2) {
+      fail_corrupt("internal tree node without a separator");
+    }
+    const uint64_t nports = r.u64("tree node port count");
+    if (n.children.empty() && nports != 0) {
+      fail_corrupt("leaf tree node with ports");
+    }
+    for (uint64_t i = 0; i < nports; ++i) {
+      DncPort p;
+      p.child = r.i32("tree port child");
+      if (p.child < -1 ||
+          p.child >= static_cast<int32_t>(n.children.size())) {
+        fail_corrupt("tree port child ordinal out of range");
+      }
+      p.rows = read_u32s(r, "tree port rows");
+      p.child_rows = read_u32s(r, "tree port child rows");
+      p.mids = read_points(r, "tree port mids");
+      p.mid_child = read_u32s(r, "tree port mid indices");
+      const uint64_t rr = r.u64("tree port reach rows");
+      const uint64_t rc = r.u64("tree port reach cols");
+      const bool has_reach = rr != 0 && rc != 0;
+      if (has_reach && (rr != p.rows.size() || rc != p.mids.size())) {
+        fail_corrupt("tree port reach matrix shape mismatch");
+      }
+      for (uint32_t bi : p.rows) {
+        if (bi >= n.b.size()) fail_corrupt("tree port row index out of range");
+      }
+      if (p.child >= 0) {
+        if (p.child_rows.size() != p.rows.size() ||
+            p.mid_child.size() != p.mids.size()) {
+          fail_corrupt("tree port child index tables mis-sized");
+        }
+      } else if (!p.child_rows.empty() || !p.mid_child.empty()) {
+        fail_corrupt("virtual tree port carries child index tables");
+      }
+      if (has_reach) {
+        std::vector<Length> reach;
+        read_pod_table(r, reach, static_cast<size_t>(rr * rc),
+                       "tree port reach matrix");
+        for (Length d : reach) {
+          if (d < 0 || d > kInf) {
+            fail_corrupt("tree port reach entry out of range");
+          }
+        }
+        p.reach = Matrix(static_cast<size_t>(rr), static_cast<size_t>(rc),
+                         std::move(reach));
+      }
+      n.ports.push_back(std::move(p));
+    }
+    tree->nodes.push_back(std::move(n));
+  }
+  // Second pass: checks that need the whole node array — child-index
+  // tables against the child's own boundary set, and tree reachability.
+  std::vector<char> reached(tree->nodes.size(), 0);
+  reached[0] = 1;
+  size_t reach_count = 1;
+  for (size_t id = 0; id < tree->nodes.size(); ++id) {
+    const DncNode& n = tree->nodes[id];
+    for (uint32_t c : n.children) {
+      if (reached[c]) fail_corrupt("tree node has two parents");
+      reached[c] = 1;
+      ++reach_count;
+    }
+    for (const DncPort& p : n.ports) {
+      if (p.child < 0) continue;
+      const DncNode& child = tree->nodes[n.children[p.child]];
+      for (uint32_t bi : p.child_rows) {
+        if (bi >= child.b.size()) {
+          fail_corrupt("tree port child row index out of range");
+        }
+      }
+      for (uint32_t bi : p.mid_child) {
+        if (bi >= child.b.size()) {
+          fail_corrupt("tree port mid index out of range");
+        }
+      }
+    }
+  }
+  if (reach_count != tree->nodes.size()) {
+    fail_corrupt("tree has unreachable nodes");
+  }
+  // The root must span the snapshot's scene.
+  if (tree->nodes[0].region.vertices() != scene.container().vertices()) {
+    fail_corrupt("tree root region does not match the scene container");
+  }
+  return tree;
+}
+
 struct Header {
   SnapshotPayloadKind kind;
   uint32_t version;  // as read from the file, not the compiled-in constant
@@ -401,17 +580,21 @@ Header read_header(Reader& r) {
   r.raw(vbuf, 4, "format version");
   uint32_t version = 0;
   for (size_t i = 0; i < 4; ++i) version |= static_cast<uint32_t>(vbuf[i]) << (8 * i);
-  if (version != kSnapshotFormatVersion) {
+  if (version < kSnapshotMinReadVersion || version > kSnapshotFormatVersion) {
     std::ostringstream os;
     os << "snapshot format version " << version << " (this build speaks "
-       << kSnapshotFormatVersion << ")";
+       << kSnapshotMinReadVersion << ".." << kSnapshotFormatVersion << ")";
     throw SnapshotError{Status::VersionMismatch(os.str())};
   }
   unsigned char kind_and_reserved[4];
   r.raw(kind_and_reserved, 4, "payload kind");
   const uint8_t kind = kind_and_reserved[0];
-  if (kind > static_cast<uint8_t>(SnapshotPayloadKind::kAllPairs)) {
+  if (kind > static_cast<uint8_t>(SnapshotPayloadKind::kBoundaryTree)) {
     fail_corrupt("unknown payload kind");
+  }
+  if (kind == static_cast<uint8_t>(SnapshotPayloadKind::kBoundaryTree) &&
+      version < 2) {
+    fail_corrupt("boundary-tree payload in a version-1 snapshot");
   }
   return Header{static_cast<SnapshotPayloadKind>(kind), version};
 }
@@ -425,7 +608,41 @@ void check_footer(Reader& r) {
   if (stored != expected) fail_corrupt("payload checksum mismatch");
 }
 
+void write_header(Writer& w, SnapshotPayloadKind kind) {
+  w.raw(kMagic.data(), kMagic.size());
+  unsigned char vbuf[4];
+  for (size_t i = 0; i < 4; ++i) {
+    vbuf[i] = static_cast<unsigned char>(kSnapshotFormatVersion >> (8 * i));
+  }
+  w.raw(vbuf, 4);
+  const unsigned char kind_and_reserved[4] = {static_cast<unsigned char>(kind),
+                                              0, 0, 0};
+  w.raw(kind_and_reserved, 4);
+}
+
+Status write_footer(Writer& w, std::ostream& os) {
+  const uint64_t checksum = w.finish_hash();
+  unsigned char cbuf[8];
+  for (size_t i = 0; i < 8; ++i) {
+    cbuf[i] = static_cast<unsigned char>(checksum >> (8 * i));
+  }
+  w.raw(cbuf, 8);
+  w.flush();
+  os.flush();
+  if (!os.good()) return Status::IoError("snapshot write failed (stream error)");
+  return Status::Ok();
+}
+
 }  // namespace
+
+const char* payload_kind_name(SnapshotPayloadKind kind) {
+  switch (kind) {
+    case SnapshotPayloadKind::kSceneOnly: return "scene-only";
+    case SnapshotPayloadKind::kAllPairs: return "all-pairs";
+    case SnapshotPayloadKind::kBoundaryTree: return "boundary-tree";
+  }
+  return "unknown";
+}
 
 Status save_snapshot(std::ostream& os, const Scene& scene,
                      const AllPairsData* data) {
@@ -433,27 +650,25 @@ Status save_snapshot(std::ostream& os, const Scene& scene,
     return Status::Internal("save_snapshot: AllPairsData does not belong to scene");
   }
   Writer w(os);
-  w.raw(kMagic.data(), kMagic.size());
-  unsigned char vbuf[4];
-  for (size_t i = 0; i < 4; ++i) {
-    vbuf[i] = static_cast<unsigned char>(kSnapshotFormatVersion >> (8 * i));
-  }
-  w.raw(vbuf, 4);
-  const unsigned char kind_and_reserved[4] = {
-      static_cast<unsigned char>(data ? SnapshotPayloadKind::kAllPairs
-                                      : SnapshotPayloadKind::kSceneOnly),
-      0, 0, 0};
-  w.raw(kind_and_reserved, 4);
+  write_header(w, data ? SnapshotPayloadKind::kAllPairs
+                       : SnapshotPayloadKind::kSceneOnly);
   write_scene(w, scene);
   if (data != nullptr) write_all_pairs(w, *data);
-  const uint64_t checksum = w.finish_hash();
-  unsigned char cbuf[8];
-  for (size_t i = 0; i < 8; ++i) cbuf[i] = static_cast<unsigned char>(checksum >> (8 * i));
-  w.raw(cbuf, 8);
-  w.flush();
-  os.flush();
-  if (!os.good()) return Status::IoError("snapshot write failed (stream error)");
-  return Status::Ok();
+  return write_footer(w, os);
+}
+
+Status save_snapshot(std::ostream& os, const Scene& scene,
+                     const DncTree& tree) {
+  if (tree.nodes.empty() ||
+      tree.nodes[0].region.vertices() != scene.container().vertices()) {
+    return Status::Internal(
+        "save_snapshot: DncTree does not belong to scene");
+  }
+  Writer w(os);
+  write_header(w, SnapshotPayloadKind::kBoundaryTree);
+  write_scene(w, scene);
+  write_tree(w, tree);
+  return write_footer(w, os);
 }
 
 Result<SnapshotPayload> load_snapshot(std::istream& is) {
@@ -464,6 +679,8 @@ Result<SnapshotPayload> load_snapshot(std::istream& is) {
     payload.scene = read_scene(r);
     if (payload.kind == SnapshotPayloadKind::kAllPairs) {
       payload.data = read_all_pairs(r, payload.scene);
+    } else if (payload.kind == SnapshotPayloadKind::kBoundaryTree) {
+      payload.tree = read_tree(r, payload.scene);
     }
     check_footer(r);
     r.return_unused_to_stream();
@@ -488,6 +705,8 @@ Result<SnapshotInfo> read_snapshot_info(std::istream& is) {
     info.num_container_vertices = scene.container().vertices().size();
     if (info.kind == SnapshotPayloadKind::kAllPairs) {
       info.num_vertices = static_cast<size_t>(r.u64("vertex count m"));
+    } else if (info.kind == SnapshotPayloadKind::kBoundaryTree) {
+      info.num_tree_nodes = static_cast<size_t>(r.u64("tree node count"));
     }
     // Pure peek on a seekable stream: rewind to where the snapshot began
     // so the caller can hand the same stream straight to load_snapshot.

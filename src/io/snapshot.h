@@ -10,22 +10,36 @@
 //
 //   [ 8] magic            "RSPSNAP\0"
 //   [ 4] format version   u32 (kSnapshotFormatVersion)
-//   [ 1] payload kind     u8  (0 = scene only, 1 = scene + all-pairs)
+//   [ 1] payload kind     u8  (0 = scene only, 1 = scene + all-pairs,
+//                              2 = scene + boundary tree; kind 2 requires
+//                              format version >= 2)
 //   [ 3] reserved         zero
 //   ---- checksummed payload ----
 //   [..] scene            container vertex cycle, then obstacle rects
 //   [..] all-pairs state  (kind 1 only) m, dist (i64), pred (i32), pass (i8)
+//   [..] boundary tree    (kind 2 only) node count, then each node in
+//                         preorder: region vertices, B(Q) points, leaf
+//                         rects, child ids, separator bends + orientation,
+//                         and the transfer-set ports (rows / child rows /
+//                         mids / mid child indices + the reach matrix)
 //   ---- end of payload ----
 //   [ 8] checksum         u64: 4-lane interleaved FNV-1a over the payload
 //                         64-bit LE words (word i -> lane i mod 4, final
 //                         partial word zero-padded, lanes FNV-folded)
+//
+// Version history: v1 wrote kinds 0 and 1 only; v2 added the boundary-tree
+// kind. This build writes v2 and reads both (the payload encodings of the
+// old kinds are unchanged).
 //
 // The all-pairs section is exactly the O(n^2) product of the §9 build
 // (AllPairsData: the V_R-to-V_R length matrix plus predecessor/pass
 // tables). Everything else an engine needs to answer length()/path() —
 // ray-shooting trees, escape-path forests, shortest path trees — is
 // derived from (scene, AllPairsData) in O(n log n) on load, so loading
-// skips the expensive build entirely.
+// skips the expensive build entirely. The boundary-tree section is the
+// retained §5 recursion tree (DncTree) and is sublinear in the all-pairs
+// tables: node regions, boundary discretizations and transfer sets, never
+// any n x n matrix.
 //
 // Error contract: save/load never throw across this API boundary. Loads
 // reject bad magic, truncation, checksum mismatch, and internally
@@ -38,29 +52,38 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 
 #include "api/status.h"
+#include "core/dnc_builder.h"
 #include "core/scene.h"
 #include "core/seq_builder.h"
 
 namespace rsp {
 
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
+// Oldest format version this build still reads.
+inline constexpr uint32_t kSnapshotMinReadVersion = 1;
 
 enum class SnapshotPayloadKind : uint8_t {
-  kSceneOnly = 0,  // structure-free backends (Dijkstra) / unbuilt engines
-  kAllPairs = 1,   // scene + the built AllPairsData
+  kSceneOnly = 0,     // structure-free backends (Dijkstra) / unbuilt engines
+  kAllPairs = 1,      // scene + the built AllPairsData
+  kBoundaryTree = 2,  // scene + the retained DncTree (format v2+)
 };
 
-// What a snapshot restores to. `data` is engaged iff kind == kAllPairs.
+const char* payload_kind_name(SnapshotPayloadKind kind);
+
+// What a snapshot restores to. `data` is engaged iff kind == kAllPairs;
+// `tree` is set iff kind == kBoundaryTree.
 struct SnapshotPayload {
   SnapshotPayloadKind kind = SnapshotPayloadKind::kSceneOnly;
   Scene scene;
   std::optional<AllPairsData> data;
+  std::shared_ptr<const DncTree> tree;
 };
 
-// Header + sizes, readable without materializing the O(n^2) tables
+// Header + sizes, readable without materializing the payload tables
 // (rspcli info). Reads and validates the fixed header and the scene
 // section only.
 struct SnapshotInfo {
@@ -68,7 +91,8 @@ struct SnapshotInfo {
   SnapshotPayloadKind kind = SnapshotPayloadKind::kSceneOnly;
   size_t num_obstacles = 0;
   size_t num_container_vertices = 0;
-  size_t num_vertices = 0;  // m (0 for scene-only snapshots)
+  size_t num_vertices = 0;    // m (all-pairs snapshots only)
+  size_t num_tree_nodes = 0;  // recursion nodes (boundary-tree only)
 };
 
 // Writes a snapshot of `scene` (and, when non-null, the built all-pairs
@@ -77,6 +101,12 @@ struct SnapshotInfo {
 // StatusCode::kIoError.
 Status save_snapshot(std::ostream& os, const Scene& scene,
                      const AllPairsData* data);
+
+// Writes a boundary-tree snapshot (SnapshotPayloadKind::kBoundaryTree):
+// the scene plus the retained recursion tree. `tree` must have been built
+// for `scene` (load re-validates every structural invariant).
+Status save_snapshot(std::ostream& os, const Scene& scene,
+                     const DncTree& tree);
 
 // Reads a snapshot back. Never throws: malformed input of any kind maps
 // to a non-OK Status as documented above. On success a seekable stream is

@@ -17,11 +17,27 @@
 #include <unistd.h>
 #endif
 
+#include "io/snapshot.h"
+
 namespace rsp {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// The payload kind a save() of this engine would write — what STATS calls
+// the "resident structure" (derived from the resolved backend; never
+// forces a deferred build).
+const char* engine_payload_kind(const Engine& eng) {
+  switch (eng.backend()) {
+    case Backend::kBoundaryTree:
+      return payload_kind_name(SnapshotPayloadKind::kBoundaryTree);
+    case Backend::kDijkstraBaseline:
+      return payload_kind_name(SnapshotPayloadKind::kSceneOnly);
+    default:
+      return payload_kind_name(SnapshotPayloadKind::kAllPairs);
+  }
+}
 
 uint64_t us_between(Clock::time_point a, Clock::time_point b) {
   auto d = std::chrono::duration_cast<std::chrono::microseconds>(b - a);
@@ -712,7 +728,10 @@ std::string QueryServer::stats_line() const {
      << " mean_batch=" << s.mean_batch_occupancy()
      << " window_us=" << s.window_us << " p50_us=" << s.p50_us
      << " p95_us=" << s.p95_us << " p99_us=" << s.p99_us
-     << " max_us=" << s.max_us;
+     << " max_us=" << s.max_us
+     << " backend=" << backend_name(engine_.backend())
+     << " payload=" << engine_payload_kind(engine_)
+     << " mem_bytes=" << engine_.memory_usage();
   return os.str();
 }
 
@@ -736,6 +755,8 @@ std::string QueryServer::stats_json() const {
      << "  },\n"
      << "  \"engine\": {\n"
      << "    \"backend\": \"" << backend_name(engine_.backend()) << "\",\n"
+     << "    \"payload\": \"" << engine_payload_kind(engine_) << "\",\n"
+     << "    \"memory_bytes\": " << engine_.memory_usage() << ",\n"
      << "    \"threads\": " << engine_.num_threads() << ",\n"
      << "    \"batches\": " << m.batches << ",\n"
      << "    \"batch_queries\": " << m.batch_queries << ",\n"

@@ -1,0 +1,358 @@
+// The boundary-tree backend (src/backend/boundary_tree.h + its Engine and
+// snapshot surfaces): cross-backend equivalence against the all-pairs
+// structure and the Dijkstra oracle over the full generator corpus
+// (lengths bit-identical; paths exact-length and obstacle-free — distinct
+// optimal polylines are legal), the §6.4 arbitrary-point and §7
+// large-container cases, kAuto backend selection by scene size, and the
+// kBoundaryTree snapshot payload: round-trip, v1 back-compat, and the
+// truncation / version / kind-mismatch negatives.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "backend/boundary_tree.h"
+#include "io/gen.h"
+#include "io/snapshot.h"
+#include "serve/server.h"
+
+namespace rsp {
+namespace {
+
+Length polyline_len(const std::vector<Point>& p) {
+  Length t = 0;
+  for (size_t i = 1; i < p.size(); ++i) t += dist1(p[i - 1], p[i]);
+  return t;
+}
+
+std::vector<PointPair> make_pairs(const Scene& scene, size_t count,
+                                  uint64_t seed) {
+  auto pts = random_free_points(scene, 2 * count, seed);
+  std::vector<PointPair> pairs;
+  for (size_t i = 0; i + 1 < pts.size(); i += 2) {
+    pairs.push_back({pts[i], pts[i + 1]});
+  }
+  return pairs;
+}
+
+// Lengths from all three backends must agree bit for bit; paths from the
+// boundary tree must realize exactly the claimed length without touching
+// an obstacle.
+void expect_equivalent(const Scene& scene, std::span<const PointPair> pairs) {
+  Engine bt(scene, {.backend = Backend::kBoundaryTree});
+  Engine ap(scene, {.backend = Backend::kAllPairsSeq});
+  Engine dj(scene, {.backend = Backend::kDijkstraBaseline});
+
+  Result<std::vector<Length>> lbt = bt.lengths(pairs);
+  Result<std::vector<Length>> lap = ap.lengths(pairs);
+  Result<std::vector<Length>> ldj = dj.lengths(pairs);
+  ASSERT_TRUE(lbt.ok()) << lbt.status();
+  ASSERT_TRUE(lap.ok()) << lap.status();
+  ASSERT_TRUE(ldj.ok()) << ldj.status();
+  EXPECT_EQ(*lbt, *lap);
+  EXPECT_EQ(*lbt, *ldj);
+
+  Result<std::vector<std::vector<Point>>> paths = bt.paths(pairs);
+  ASSERT_TRUE(paths.ok()) << paths.status();
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const std::vector<Point>& p = (*paths)[i];
+    ASSERT_FALSE(p.empty());
+    EXPECT_EQ(p.front(), pairs[i].s);
+    EXPECT_EQ(p.back(), pairs[i].t);
+    EXPECT_EQ(polyline_len(p), (*lbt)[i]) << "pair " << i;
+    EXPECT_TRUE(scene.path_free(p)) << "pair " << i;
+  }
+}
+
+class BoundaryTreeEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<NamedGen, size_t>> {};
+
+TEST_P(BoundaryTreeEquivalenceTest, MatchesAllPairsAndOracle) {
+  const auto& [gen, n] = GetParam();
+  Scene scene = gen.fn(n, 29);
+  // §6.4 arbitrary points: interior, not boundary-discretization vertices.
+  expect_equivalent(scene, make_pairs(scene, 8, 71));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGens, BoundaryTreeEquivalenceTest,
+    ::testing::Combine(::testing::ValuesIn(kAllGens),
+                       ::testing::Values(size_t{6}, size_t{22})),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param).name) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(BoundaryTreeEquivalence, LargeContainerFarFromObstacles) {
+  // §7 regime: the container dwarfs the obstacle cluster, so most query
+  // points live in open space far outside every separator's obstacle set.
+  Scene tight = gen_uniform(16, 5);
+  const Rect& bb = tight.container().bbox();
+  const Coord w = bb.width(), h = bb.height();
+  Scene scene(std::vector<Rect>(tight.obstacles().begin(),
+                                tight.obstacles().end()),
+              RectilinearPolygon::from_vertices(
+                  {{bb.xmin - 10 * w, bb.ymin - 10 * h},
+                   {bb.xmax + 10 * w, bb.ymin - 10 * h},
+                   {bb.xmax + 10 * w, bb.ymax + 10 * h},
+                   {bb.xmin - 10 * w, bb.ymax + 10 * h}}));
+  expect_equivalent(scene, make_pairs(scene, 8, 17));
+}
+
+TEST(BoundaryTreeEquivalence, QueryPointsOnObstacleCorners) {
+  // Obstacle vertices are the boundary discretization's own seeds — the
+  // lift must handle query points that coincide with B points.
+  Scene scene = gen_grid(12, 3);
+  std::vector<PointPair> pairs;
+  auto verts = scene.obstacle_vertices();
+  for (size_t i = 0; i + 5 < verts.size(); i += 5) {
+    pairs.push_back({verts[i], verts[i + 5]});
+  }
+  expect_equivalent(scene, pairs);
+}
+
+TEST(BoundaryTreeBackend, AutoSelectsBySceneSize) {
+  Scene small = gen_uniform(12, 7);
+  EXPECT_EQ(Engine(small, {}).backend(), Backend::kAllPairsSeq);
+  EXPECT_EQ(Engine(small, {.num_threads = 4}).backend(),
+            Backend::kAllPairsParallel);
+  // Above kAutoBoundaryTreeThreshold the quadratic tables lose to the
+  // tree. (Build is the sublinear D&C, so this stays cheap enough here.)
+  Scene big = gen_uniform(kAutoBoundaryTreeThreshold + 64, 7);
+  Engine eng(big, {.num_threads = 4});
+  EXPECT_EQ(eng.backend(), Backend::kBoundaryTree);
+  EXPECT_TRUE(eng.built());
+  EXPECT_GT(eng.memory_usage(), 0u);
+  EXPECT_EQ(eng.all_pairs(), nullptr);
+  ASSERT_NE(eng.boundary_tree(), nullptr);
+}
+
+TEST(BoundaryTreeBackend, MemoryStaysFarBelowAllPairs) {
+  Scene scene = gen_uniform(128, 11);
+  Engine bt(scene, {.backend = Backend::kBoundaryTree});
+  Engine ap(scene, {.backend = Backend::kAllPairsSeq});
+  ASSERT_GT(bt.memory_usage(), 0u);
+  // The all-pairs tables are m^2 * 13 bytes with m = 4n, the tree is
+  // near-linear: already ~2.6x smaller at n = 128 and the gap widens
+  // quadratically (>= 10x by n = 512; the bench gates the n = 4096 ratio).
+  // Both accountings are deterministic for a fixed scene.
+  EXPECT_LT(bt.memory_usage() * 2, ap.memory_usage());
+}
+
+TEST(BoundaryTreeBackend, DeterministicAcrossSchedulerWidths) {
+  // The retained tree is renumbered to a deterministic preorder, so the
+  // snapshot bytes cannot depend on build parallelism.
+  Scene scene = gen_clustered(48, 19);
+  std::ostringstream seq, par;
+  ASSERT_TRUE(
+      Engine(scene, {.backend = Backend::kBoundaryTree}).save(seq).ok());
+  ASSERT_TRUE(Engine(scene, {.backend = Backend::kBoundaryTree,
+                             .num_threads = 4})
+                  .save(par)
+                  .ok());
+  EXPECT_EQ(seq.str(), par.str());
+}
+
+TEST(BoundaryTreeBackend, LazyBuildDefersAndBatchForcesIt) {
+  Scene scene = gen_uniform(24, 23);
+  Engine eng(scene,
+             {.backend = Backend::kBoundaryTree, .lazy_build = true});
+  EXPECT_FALSE(eng.built());
+  EXPECT_EQ(eng.memory_usage(), 0u);  // must not force the build
+  auto pairs = make_pairs(scene, 3, 5);
+  ASSERT_TRUE(eng.lengths(pairs).ok());
+  EXPECT_TRUE(eng.built());
+  EXPECT_GT(eng.memory_usage(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot: round-trip, back-compat, negatives.
+// ---------------------------------------------------------------------------
+
+std::string bt_snapshot_bytes(const Scene& scene) {
+  Engine eng(scene, {.backend = Backend::kBoundaryTree});
+  std::ostringstream os;
+  Status st = eng.save(os);
+  EXPECT_TRUE(st.ok()) << st;
+  return os.str();
+}
+
+StatusCode open_code(const std::string& bytes, EngineOptions opt = {}) {
+  std::istringstream is(bytes);
+  Result<Engine> r = Engine::open(is, opt);
+  EXPECT_FALSE(r.ok());
+  return r.ok() ? StatusCode::kOk : r.status().code();
+}
+
+class BoundaryTreeSnapshotTest : public ::testing::TestWithParam<NamedGen> {};
+
+TEST_P(BoundaryTreeSnapshotTest, RoundTripBitIdenticalLengths) {
+  Scene scene = GetParam().fn(20, 37);
+  Engine built(scene, {.backend = Backend::kBoundaryTree});
+  std::ostringstream os;
+  ASSERT_TRUE(built.save(os).ok());
+  const std::string bytes = os.str();
+
+  {
+    std::istringstream is(bytes);
+    Result<SnapshotInfo> info = read_snapshot_info(is);
+    ASSERT_TRUE(info.ok()) << info.status();
+    EXPECT_EQ(info->kind, SnapshotPayloadKind::kBoundaryTree);
+    EXPECT_EQ(info->format_version, kSnapshotFormatVersion);
+    EXPECT_EQ(info->num_obstacles, scene.num_obstacles());
+    EXPECT_GT(info->num_tree_nodes, 0u);
+  }
+
+  std::istringstream is(bytes);
+  Result<Engine> loaded = Engine::open(is);  // kAuto adopts the payload
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->backend(), Backend::kBoundaryTree);
+  EXPECT_TRUE(loaded->built());
+
+  auto pairs = make_pairs(scene, 6, 3);
+  Result<std::vector<Length>> a = built.lengths(pairs);
+  Result<std::vector<Length>> b = loaded->lengths(pairs);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+  // And a loaded engine reconstructs paths, not just lengths.
+  Result<std::vector<Point>> p = loaded->path(pairs[0].s, pairs[0].t);
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(polyline_len(*p), (*a)[0]);
+
+  // A re-save of the loaded engine is byte-identical: nothing is lost or
+  // reordered by the round trip.
+  std::ostringstream os2;
+  ASSERT_TRUE(loaded->save(os2).ok());
+  EXPECT_EQ(bytes, os2.str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGens, BoundaryTreeSnapshotTest,
+                         ::testing::ValuesIn(kAllGens),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST(BoundaryTreeSnapshot, V1SceneOnlySnapshotStillLoads) {
+  // The version field is outside the checksum, so we can age a freshly
+  // written scene-only snapshot down to format v1 — exactly the bytes a
+  // v1 build would have produced — and it must still open.
+  Engine dij(gen_uniform(8, 13), {.backend = Backend::kDijkstraBaseline});
+  std::ostringstream os;
+  ASSERT_TRUE(dij.save(os).ok());
+  std::string bytes = os.str();
+  ASSERT_EQ(bytes[8], 2);  // version u32 LSB
+  bytes[8] = 1;
+  std::istringstream is(bytes);
+  Result<Engine> r =
+      Engine::open(is, {.backend = Backend::kDijkstraBaseline});
+  ASSERT_TRUE(r.ok()) << r.status();
+  std::istringstream is2(bytes);
+  Result<SnapshotInfo> info = read_snapshot_info(is2);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->format_version, 1u);
+}
+
+TEST(BoundaryTreeSnapshot, BoundaryTreeKindInV1HeaderIsCorrupt) {
+  // Kind 2 did not exist in format v1: a header claiming both is invalid
+  // input, not a back-compat case.
+  std::string bytes = bt_snapshot_bytes(gen_uniform(10, 3));
+  bytes[8] = 1;
+  EXPECT_EQ(open_code(bytes), StatusCode::kCorruptSnapshot);
+}
+
+TEST(BoundaryTreeSnapshot, TruncationIsCorruptEverywhere) {
+  const std::string bytes = bt_snapshot_bytes(gen_uniform(10, 3));
+  for (size_t cut : {size_t{0}, size_t{13}, size_t{40}, bytes.size() / 3,
+                     bytes.size() / 2, bytes.size() - 9, bytes.size() - 1}) {
+    ASSERT_LT(cut, bytes.size());
+    EXPECT_EQ(open_code(bytes.substr(0, cut)), StatusCode::kCorruptSnapshot)
+        << "cut at " << cut;
+  }
+}
+
+TEST(BoundaryTreeSnapshot, FlippedPayloadByteIsCorrupt) {
+  std::string bytes = bt_snapshot_bytes(gen_uniform(10, 3));
+  bytes[bytes.size() / 2] ^= 0x5a;
+  EXPECT_EQ(open_code(bytes), StatusCode::kCorruptSnapshot);
+}
+
+TEST(BoundaryTreeSnapshot, FutureVersionIsVersionMismatch) {
+  std::string bytes = bt_snapshot_bytes(gen_uniform(10, 3));
+  bytes[8] = static_cast<char>(kSnapshotFormatVersion + 1);
+  EXPECT_EQ(open_code(bytes), StatusCode::kVersionMismatch);
+}
+
+TEST(BoundaryTreeSnapshot, KindMismatchBothDirections) {
+  Scene scene = gen_uniform(10, 3);
+  const std::string tree_bytes = bt_snapshot_bytes(scene);
+  Engine ap(scene, {.backend = Backend::kAllPairsSeq});
+  std::ostringstream os;
+  ASSERT_TRUE(ap.save(os).ok());
+  const std::string ap_bytes = os.str();
+
+  // Explicit all-pairs backend over a boundary-tree payload, and vice
+  // versa: kSnapshotMismatch, not a silent rebuild.
+  EXPECT_EQ(open_code(tree_bytes, {.backend = Backend::kAllPairsSeq}),
+            StatusCode::kSnapshotMismatch);
+  EXPECT_EQ(open_code(ap_bytes, {.backend = Backend::kBoundaryTree}),
+            StatusCode::kSnapshotMismatch);
+  // The structure-free baseline serves either payload.
+  std::istringstream is(tree_bytes);
+  Result<Engine> dij =
+      Engine::open(is, {.backend = Backend::kDijkstraBaseline});
+  ASSERT_TRUE(dij.ok()) << dij.status();
+  // And a kAuto open of an all-pairs payload adopts all-pairs even above
+  // the size threshold (the snapshot's structure wins over the heuristic).
+  std::istringstream is2(ap_bytes);
+  Result<Engine> auto_ap = Engine::open(is2, {});
+  ASSERT_TRUE(auto_ap.ok()) << auto_ap.status();
+  EXPECT_EQ(auto_ap->backend(), Backend::kAllPairsSeq);
+}
+
+TEST(BoundaryTreeSnapshot, CraftedChildCycleIsCorruptNotAHang) {
+  // Hand-build a snapshot whose node 1 claims node 1 as its child (the
+  // checksum is recomputed so only the structural validation can reject
+  // it). The reader's preorder invariant (child id > own id) must fire.
+  std::string bytes = bt_snapshot_bytes(gen_uniform(10, 3));
+  // Find the root's children array: root is node 0 and its first child is
+  // id 1 encoded as u32 little-endian inside the first children list.
+  // Rather than parse offsets, corrupt via the public writer: build a tree
+  // by hand.
+  Scene scene = gen_uniform(4, 3);
+  Engine eng(scene, {.backend = Backend::kBoundaryTree});
+  const BoundaryTreeSP* bt = eng.boundary_tree();
+  ASSERT_NE(bt, nullptr);
+  DncTree forged = bt->tree();  // copy
+  if (forged.nodes.size() > 1 && !forged.nodes[1].children.empty()) {
+    forged.nodes[1].children[0] = 1;  // self-loop
+  } else if (!forged.nodes[0].children.empty()) {
+    forged.nodes[0].children[0] = 0;  // root self-loop
+  }
+  std::ostringstream os;
+  ASSERT_TRUE(save_snapshot(os, scene, forged).ok());
+  EXPECT_EQ(open_code(os.str()), StatusCode::kCorruptSnapshot);
+}
+
+// ---------------------------------------------------------------------------
+// Serve-layer reporting.
+// ---------------------------------------------------------------------------
+
+TEST(BoundaryTreeServe, StatsReportBackendPayloadAndMemory) {
+  Scene scene = gen_uniform(20, 7);
+  Engine eng(scene, {.backend = Backend::kBoundaryTree});
+  QueryServer srv(std::move(eng), {});
+  const std::string line = srv.stats_line();
+  EXPECT_NE(line.find(" backend=boundary-tree"), std::string::npos) << line;
+  EXPECT_NE(line.find(" payload=boundary-tree"), std::string::npos) << line;
+  EXPECT_NE(line.find(" mem_bytes="), std::string::npos) << line;
+  const std::string json = srv.stats_json();
+  EXPECT_NE(json.find("\"payload\": \"boundary-tree\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"memory_bytes\": "), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace rsp

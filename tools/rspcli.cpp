@@ -47,21 +47,30 @@ double ms_since(Clock::time_point t0) {
 int usage() {
   std::cerr <<
       "usage:\n"
-      "  rspcli build --gen NAME --n N [--seed S] [--threads K] --out FILE\n"
+      "  rspcli build --gen NAME --n N [--seed S] [--threads K]\n"
+      "               [--backend B] --out FILE\n"
       "  rspcli info  FILE\n"
-      "  rspcli query FILE [--threads K] (--pair X1,Y1,X2,Y2 ... |"
-      " --random K [--seed S]) [--path]\n"
-      "  rspcli bench FILE [--threads K] [--queries Q] [--seed S]\n"
+      "  rspcli query FILE [--threads K] [--backend B] (--pair X1,Y1,X2,Y2"
+      " ... | --random K [--seed S]) [--path]\n"
+      "  rspcli bench FILE [--threads K] [--backend B] [--queries Q]"
+      " [--seed S]\n"
       "  rspcli serve --snapshot FILE (--stdio | --port N) [--threads K]\n"
-      "               [--window-us U] [--max-batch B] [--stats-json FILE]\n"
-      "               [--max-sessions M] [--max-queue Q] [--target-p95-us T]\n"
+      "               [--backend B] [--window-us U] [--max-batch B]\n"
+      "               [--stats-json FILE] [--max-sessions M] [--max-queue Q]\n"
+      "               [--target-p95-us T]\n"
       "\n"
       "serve flags: --max-sessions caps *concurrent* TCP sessions (0 = no\n"
       "cap); --max-queue caps pending admitted requests — excess requests\n"
       "answer ERR LOAD_SHED (0 = unbounded); --target-p95-us adapts the\n"
       "coalescing window from the live p95 (0 = fixed --window-us).\n"
       "\n"
-      "generators:";
+      "backends: ";
+  for (Backend b : {Backend::kAuto, Backend::kAllPairsSeq,
+                    Backend::kAllPairsParallel, Backend::kBoundaryTree,
+                    Backend::kDijkstraBaseline}) {
+    std::cerr << (b == Backend::kAuto ? "" : " ") << backend_name(b);
+  }
+  std::cerr << "\ngenerators:";
   for (const auto& g : kAllGens) std::cerr << ' ' << g.name;
   std::cerr << "\n";
   return 1;
@@ -189,12 +198,21 @@ bool options_from(const Args& args, EngineOptions& opt) {
   uint64_t threads = 0;
   if (!u64_flag(args, "threads", 0, threads)) return false;
   opt.num_threads = static_cast<size_t>(threads);
+  const std::string be = args.get("backend", "");
+  if (!be.empty()) {
+    std::optional<Backend> b = backend_from_name(be);
+    if (!b) {
+      std::cerr << "unknown backend '" << be << "'\n";
+      return false;
+    }
+    opt.backend = *b;
+  }
   return true;
 }
 
 int cmd_build(const Args& args) {
   if (!args.positional.empty() ||
-      !check_flags(args, {"gen", "n", "seed", "threads", "out"})) {
+      !check_flags(args, {"gen", "n", "seed", "threads", "backend", "out"})) {
     return usage();
   }
   const std::string gen_name = args.get("gen", "uniform");
@@ -247,21 +265,22 @@ int cmd_info(const Args& args) {
   if (!info.ok()) return fail_status(info.status());
   std::cout << "snapshot: " << args.positional[0] << "\n"
             << "  format version:     " << info->format_version << "\n"
-            << "  payload:            "
-            << (info->kind == SnapshotPayloadKind::kAllPairs ? "scene + all-pairs"
-                                                             : "scene only")
+            << "  payload:            " << payload_kind_name(info->kind)
             << "\n"
             << "  obstacles:          " << info->num_obstacles << "\n"
             << "  container vertices: " << info->num_container_vertices << "\n";
   if (info->kind == SnapshotPayloadKind::kAllPairs) {
     std::cout << "  V_R vertices (m):   " << info->num_vertices << "\n";
+  } else if (info->kind == SnapshotPayloadKind::kBoundaryTree) {
+    std::cout << "  recursion nodes:    " << info->num_tree_nodes << "\n";
   }
   return 0;
 }
 
 int cmd_query(const Args& args) {
   if (args.positional.size() != 1 ||
-      !check_flags(args, {"threads", "pair", "random", "seed", "path"})) {
+      !check_flags(args,
+                   {"threads", "backend", "pair", "random", "seed", "path"})) {
     return usage();
   }
   uint64_t random_k = 0, seed = 1;
@@ -321,7 +340,7 @@ int cmd_query(const Args& args) {
 
 int cmd_bench(const Args& args) {
   if (args.positional.size() != 1 ||
-      !check_flags(args, {"threads", "queries", "seed"})) {
+      !check_flags(args, {"threads", "backend", "queries", "seed"})) {
     return usage();
   }
   uint64_t queries = 10000, seed = 1;
@@ -369,9 +388,9 @@ void stop_tcp_server(int) {
 
 int cmd_serve(const Args& args) {
   if (!args.positional.empty() ||
-      !check_flags(args, {"snapshot", "stdio", "port", "threads", "window-us",
-                          "max-batch", "stats-json", "max-sessions",
-                          "max-queue", "target-p95-us"})) {
+      !check_flags(args, {"snapshot", "stdio", "port", "threads", "backend",
+                          "window-us", "max-batch", "stats-json",
+                          "max-sessions", "max-queue", "target-p95-us"})) {
     return usage();
   }
   const std::string snap = args.get("snapshot");
