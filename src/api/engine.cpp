@@ -533,6 +533,19 @@ size_t Engine::memory_usage() const {
   return impl_->backend->memory_bytes();
 }
 
+Engine::MemoryBreakdown Engine::memory_breakdown() const {
+  MemoryBreakdown mb;
+  if (!impl_->ready.load(std::memory_order_acquire) || !impl_->backend) {
+    return mb;
+  }
+  mb.total_bytes = impl_->backend->memory_bytes();
+  if (const BoundaryTreeSP* bt = impl_->backend->boundary_tree()) {
+    mb.port_matrix_bytes = bt->port_matrix_bytes();
+    mb.port_matrix_dense_bytes = bt->port_matrix_dense_bytes();
+  }
+  return mb;
+}
+
 const AllPairsSP* Engine::all_pairs() const {
   if (!impl_->ensure_built().ok()) return nullptr;
   return impl_->backend ? impl_->backend->all_pairs() : nullptr;

@@ -183,6 +183,17 @@ class Engine {
   // build) and for the structure-free kDijkstraBaseline backend.
   size_t memory_usage() const;
 
+  // memory_usage plus the boundary-tree port-matrix compression split:
+  // resident (compressed) bytes vs what the same matrices would cost
+  // dense. Ports fields are zero for other backends and before the build;
+  // never forces a deferred build. serve STATS and rspcli surface this.
+  struct MemoryBreakdown {
+    size_t total_bytes = 0;
+    size_t port_matrix_bytes = 0;
+    size_t port_matrix_dense_bytes = 0;
+  };
+  MemoryBreakdown memory_breakdown() const;
+
   // Escape hatch to the implementation layer (§8 chunked reporting demos,
   // benchmarks that reach for the matrix). Forces the lazy build; nullptr
   // for backends that do not materialize the all-pairs tables

@@ -340,7 +340,11 @@ void BoundaryTreeSP::lift_level(Lift& lf, size_t i) const {
   for (size_t pi = 0; pi < q.ports.size(); ++pi) {
     const DncPort& p = q.ports[pi];
     if (p.rows.empty() || p.mids.empty() || p.reach.empty()) continue;
+    // Mid points are the reach matrix's columns in order, so the
+    // compressed matrix streams its columns alongside the k loop.
+    PortMatrix::ColumnScan reach_col(p.reach);
     for (size_t k = 0; k < p.mids.size(); ++k) {
+      if (k > 0) reach_col.advance();
       Length g = kInf;
       const HubSrc* gy = nullptr;
       for (const HubSrc& y : srcs) {
@@ -351,8 +355,9 @@ void BoundaryTreeSP::lift_level(Lift& lf, size_t i) const {
         }
       }
       if (g >= kInf) continue;
+      const Length* reach_k = reach_col.data();
       for (size_t a = 0; a < p.rows.size(); ++a) {
-        const Length v = add_len(g, p.reach(a, k));
+        const Length v = add_len(g, reach_k[a]);
         if (v < dq[p.rows[a]]) {
           dq[p.rows[a]] = v;
           Lift::Prov pr;

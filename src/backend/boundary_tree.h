@@ -68,6 +68,13 @@ class BoundaryTreeSP {
 
   // Resident heap footprint: scene + tree + per-node query aux.
   size_t memory_bytes() const;
+  // Compression accounting for the retained port matrices: resident bytes
+  // vs what the same matrices would cost stored dense (rspcli info and
+  // serve STATS surface both).
+  size_t port_matrix_bytes() const { return tree_->port_matrix_bytes(); }
+  size_t port_matrix_dense_bytes() const {
+    return tree_->port_matrix_dense_bytes();
+  }
 
  private:
   struct Lift;

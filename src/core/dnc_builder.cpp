@@ -292,13 +292,21 @@ struct Builder {
     TrackGraph g(scene.obstacles(), &scene.container(), b);
     Matrix d(b.size(), b.size(), kInf);
     pram_charge(b.size() * g.num_nodes(), b.size());
-    for (size_t i = 0; i < b.size(); ++i) {
+    // Sources are independent full-grid solves writing disjoint rows; fan
+    // them out when a scheduler is around (grain 1: each solve is already
+    // far heavier than a fork).
+    auto source_row = [&](size_t i) {
       std::vector<Length> dist = g.single_source(b[i]);
       for (size_t j = 0; j < b.size(); ++j) {
         int node = g.node_at(b[j]);
         RSP_CHECK(node >= 0);
         d(i, j) = dist[static_cast<size_t>(node)];
       }
+    };
+    if (sched != nullptr && b.size() > 1) {
+      parallel_for(*sched, 0, b.size(), source_row, /*grain=*/1);
+    } else {
+      for (size_t i = 0; i < b.size(); ++i) source_row(i);
     }
     return BoundaryStructure(scene.container(), std::move(b), std::move(d));
   }
@@ -374,7 +382,7 @@ struct Builder {
         kp.child_rows.assign(row_idx.begin(), row_idx.end());
         kp.mids = port.mids;
         kp.mid_child.assign(mid_idx.begin(), mid_idx.end());
-        kp.reach = port.reach;
+        kp.reach = PortMatrix::compress(port.reach);
         keep->ports.push_back(std::move(kp));
       }
       if (!routable) continue;
@@ -400,7 +408,7 @@ struct Builder {
           kp.child = -1;
           kp.rows.assign(port.rows.begin(), port.rows.end());
           kp.mids = port.mids;
-          kp.reach = port.reach;
+          kp.reach = PortMatrix::compress(port.reach);
           keep->ports.push_back(std::move(kp));
         }
         ports.push_back(std::move(port));
@@ -419,7 +427,12 @@ struct Builder {
     }
 
     // Hub routing: for each ordered port pair, Pi ⊗ H ⊗ Pj^T where
-    // H(m1,m2) = dist1 (Monge along the separator order).
+    // H(m1,m2) = dist1 (Monge along the separator order). The pairs are
+    // independent Monge-product chains, so they run as scheduler tasks —
+    // this is what keeps a level busy when one unbalanced separator leaves
+    // only a couple of big children — and the row-block fan-out of
+    // minplus_monge nests inside each pair's task.
+    std::vector<std::pair<size_t, size_t>> pairs;
     for (size_t pi = 0; pi < ports.size(); ++pi) {
       for (size_t pj = 0; pj < ports.size(); ++pj) {
         const Port& a = ports[pi];
@@ -428,33 +441,53 @@ struct Builder {
             c.mids.empty()) {
           continue;
         }
-        Matrix h(a.mids.size(), c.mids.size());
-        for (size_t x = 0; x < a.mids.size(); ++x)
-          for (size_t y = 0; y < c.mids.size(); ++y)
-            h(x, y) = dist1(a.mids[x], c.mids[y]);
-        // reach ⊗ H: the second factor is Monge, so the SMAWK row path
-        // always applies; the final ⊗ reach^T is checked (and counted).
+        pairs.emplace_back(pi, pj);
+      }
+    }
+    std::mutex fold_mu;
+    auto route_pair = [&](size_t idx) {
+      const Port& a = ports[pairs[idx].first];
+      const Port& c = ports[pairs[idx].second];
+      Matrix h(a.mids.size(), c.mids.size());
+      for (size_t x = 0; x < a.mids.size(); ++x)
+        for (size_t y = 0; y < c.mids.size(); ++y)
+          h(x, y) = dist1(a.mids[x], c.mids[y]);
+      // reach ⊗ H: the second factor is Monge, so the SMAWK row path
+      // always applies; the final ⊗ reach^T is checked (and counted).
+      bump(&DncStats::monge_multiplies);
+      Matrix s1 = sched != nullptr ? minplus_monge(*sched, a.reach, h)
+                                   : minplus_monge(a.reach, h);
+      Matrix ct = c.reach.transposed();
+      Matrix t;
+      if (is_monge(ct)) {
         bump(&DncStats::monge_multiplies);
-        Matrix s1 = sched != nullptr ? minplus_monge(*sched, a.reach, h)
-                                     : minplus_monge(a.reach, h);
-        Matrix ct = c.reach.transposed();
-        Matrix t;
-        if (is_monge(ct)) {
-          bump(&DncStats::monge_multiplies);
-          t = sched != nullptr ? minplus_monge(*sched, s1, ct)
-                               : minplus_monge(s1, ct);
-        } else {
-          bump(&DncStats::monge_fallbacks);
-          t = minplus_naive(s1, ct);
-        }
-        for (size_t x = 0; x < a.rows.size(); ++x) {
-          for (size_t y = 0; y < c.rows.size(); ++y) {
-            if (t(x, y) < d(a.rows[x], c.rows[y])) {
-              d(a.rows[x], c.rows[y]) = t(x, y);
-            }
+        t = sched != nullptr ? minplus_monge(*sched, s1, ct)
+                             : minplus_monge(s1, ct);
+      } else {
+        bump(&DncStats::monge_fallbacks);
+        t = minplus_naive(s1, ct);
+      }
+      // Min-fold under the lock: min is commutative and associative, so
+      // the task completion order cannot change the folded result — the
+      // deterministic-across-widths guarantee survives.
+      std::lock_guard<std::mutex> lk(fold_mu);
+      for (size_t x = 0; x < a.rows.size(); ++x) {
+        for (size_t y = 0; y < c.rows.size(); ++y) {
+          if (t(x, y) < d(a.rows[x], c.rows[y])) {
+            d(a.rows[x], c.rows[y]) = t(x, y);
           }
         }
       }
+    };
+    if (sched != nullptr && pairs.size() > 1) {
+      TaskGroup group(*sched);
+      for (size_t idx = 1; idx < pairs.size(); ++idx) {
+        group.run([&route_pair, idx] { route_pair(idx); });
+      }
+      route_pair(0);
+      group.wait();
+    } else {
+      for (size_t idx = 0; idx < pairs.size(); ++idx) route_pair(idx);
     }
     return BoundaryStructure(scene.container(), std::move(b), std::move(d));
   }
@@ -500,9 +533,23 @@ size_t DncTree::memory_bytes() const {
       total += (p.rows.capacity() + p.child_rows.capacity() +
                 p.mid_child.capacity()) * sizeof(uint32_t);
       total += points(p.mids);
-      total += p.reach.storage().capacity() * sizeof(Length);
+      total += p.reach.byte_size();
     }
   }
+  return total;
+}
+
+size_t DncTree::port_matrix_bytes() const {
+  size_t total = 0;
+  for (const DncNode& n : nodes)
+    for (const DncPort& p : n.ports) total += p.reach.byte_size();
+  return total;
+}
+
+size_t DncTree::port_matrix_dense_bytes() const {
+  size_t total = 0;
+  for (const DncNode& n : nodes)
+    for (const DncPort& p : n.ports) total += p.reach.dense_byte_size();
   return total;
 }
 
@@ -517,6 +564,11 @@ DncResult build_boundary_structure(const Scene& scene,
   BoundaryStructure root =
       builder.solve(scene.container(), std::move(rects), {}, 0, &root_id);
   builder.stats.workers_observed = builder.worker_ids.size();
+  if (owned_sched != nullptr) {
+    const SchedulerStats ss = owned_sched->stats();
+    builder.stats.sched_tasks = ss.tasks_executed;
+    builder.stats.sched_steals = ss.steals;
+  }
 
   std::shared_ptr<DncTree> tree;
   if (opt.retain_tree) {

@@ -26,6 +26,7 @@
 
 #include "core/boundary.h"
 #include "core/scene.h"
+#include "monge/compressed.h"
 #include "pram/scheduler.h"
 
 namespace rsp {
@@ -61,6 +62,11 @@ struct DncStats {
   // Distinct threads that executed recursion nodes; > 1 proves sibling
   // subtrees actually built in parallel (tests assert this).
   size_t workers_observed = 0;
+  // Telemetry from the build-owned scheduler (zero for sequential builds):
+  // total tasks executed and cross-worker steals. Steals > 0 proves load
+  // actually migrated between workers (bench_build records both).
+  uint64_t sched_tasks = 0;
+  uint64_t sched_steals = 0;
 };
 
 // ---- The retained recursion tree (DncOptions::retain_tree) ----
@@ -71,16 +77,18 @@ struct DncStats {
 // `child_rows` the same points as indices into the child's own B; `mids`
 // are the child's hub points on the separator (separator order) with
 // `mid_child` their indices into the child's B. `reach` holds the
-// within-child distances rows x mids. For the virtual separator port
-// (child == -1) the rows themselves lie on the separator, reach is plain
-// L1 along it, and the child-index vectors are empty.
+// within-child distances rows x mids, stored Monge-compressed (these
+// geodesic matrices shrink ~an order of magnitude; see monge/compressed.h)
+// — the dominant memory of the retained tree. For the virtual separator
+// port (child == -1) the rows themselves lie on the separator, reach is
+// plain L1 along it, and the child-index vectors are empty.
 struct DncPort {
   int32_t child = -1;               // ordinal into DncNode::children
   std::vector<uint32_t> rows;       // indices into the parent's B(Q)
   std::vector<uint32_t> child_rows; // |rows| indices into the child's B
   std::vector<Point> mids;          // hub points, ordered along the separator
   std::vector<uint32_t> mid_child;  // |mids| indices into the child's B
-  Matrix reach;                     // |rows| x |mids|; empty if either is
+  PortMatrix reach;                 // |rows| x |mids|; empty if either is
 };
 
 // One recursion node. Leaves (children empty) keep their sub-scene
@@ -102,6 +110,11 @@ struct DncNode {
 struct DncTree {
   std::vector<DncNode> nodes;
   size_t memory_bytes() const;  // resident heap footprint of the tree
+  // Resident bytes of all port reach matrices vs what the same matrices
+  // would cost stored dense — the compression win rspcli info / serve
+  // STATS report.
+  size_t port_matrix_bytes() const;
+  size_t port_matrix_dense_bytes() const;
 };
 
 struct DncResult {

@@ -121,13 +121,21 @@ void run_pass(const Scene& scene, const Tracer& tracer, size_t src, int pi,
     }
   }
 
-  // Fold into the output row.
+  // Fold into the output row. Branch-free selects over the contiguous
+  // row slices: every element rewrites all three outputs from one
+  // comparison mask, so the compiler can vectorize the scan instead of
+  // branching (and scattering) per element.
+  Length* od = &out.dist(src, 0);
+  int32_t* op = out.pred.data() + src * m;
+  int8_t* oq = out.pass.data() + src * m;
+  const Length* sd = scr.dist.data();
+  const int32_t* sp = scr.pred.data();
+  const int8_t pass_tag = static_cast<int8_t>(pi);
   for (size_t w = 0; w < m; ++w) {
-    if (scr.dist[w] < out.dist(src, w)) {
-      out.dist(src, w) = scr.dist[w];
-      out.pred[src * m + w] = scr.pred[w];
-      out.pass[src * m + w] = static_cast<int8_t>(pi);
-    }
+    const bool better = sd[w] < od[w];
+    od[w] = better ? sd[w] : od[w];
+    op[w] = better ? sp[w] : op[w];
+    oq[w] = better ? pass_tag : oq[w];
   }
 }
 

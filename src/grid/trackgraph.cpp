@@ -3,7 +3,46 @@
 #include <algorithm>
 #include <queue>
 
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
 namespace rsp {
+
+namespace {
+
+// cur[i] = min(cur[i], src[i] + w[i]) over n entries; returns whether any
+// entry improved. Branch-free so the scalar loop autovectorizes; the AVX2
+// path spells out the 4-lane i64 min (compare + blend — there is no native
+// epi64 min below AVX-512).
+bool relax_row(Length* cur, const Length* src, const Length* w, size_t n) {
+  static_assert(sizeof(Length) == 8, "sweep kernels assume 64-bit lengths");
+  size_t i = 0;
+  bool changed = false;
+#if defined(__AVX2__)
+  __m256i any = _mm256_setzero_si256();
+  for (; i + 4 <= n; i += 4) {
+    __m256i c = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cur + i));
+    __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i ww = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    __m256i cand = _mm256_add_epi64(s, ww);
+    __m256i better = _mm256_cmpgt_epi64(c, cand);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(cur + i),
+                        _mm256_blendv_epi8(c, cand, better));
+    any = _mm256_or_si256(any, better);
+  }
+  changed = !_mm256_testz_si256(any, any);
+#endif
+  for (; i < n; ++i) {
+    const Length cand = src[i] + w[i];
+    const bool better = cand < cur[i];
+    cur[i] = better ? cand : cur[i];
+    changed |= better;
+  }
+  return changed;
+}
+
+}  // namespace
 
 TrackGraph::TrackGraph(std::span<const Rect> obstacles,
                        const RectilinearPolygon* container,
@@ -93,6 +132,11 @@ TrackGraph::TrackGraph(std::span<const Rect> obstacles,
     adj[v].push_back({u, w});
     ++edge_count_;
   };
+  // The dense weight grids mirror the adjacency exactly: kInf where no edge
+  // exists (blocked, or an endpoint is not a node), so the sweep solver's
+  // relaxations are precisely the graph's edge relaxations.
+  hweight_.assign(ny * (nx - 1), kInf);
+  vweight_.assign((ny - 1) * nx, kInf);
   for (size_t yi = 0; yi < ny; ++yi) {
     for (size_t xi = 0; xi + 1 < nx; ++xi) {
       int u = grid_node(xi, yi), v = grid_node(xi + 1, yi);
@@ -103,7 +147,9 @@ TrackGraph::TrackGraph(std::span<const Rect> obstacles,
       // Also require the segment to stay inside the container: with a
       // rectilinearly convex container and both endpoints inside, the
       // segment is inside by definition.
-      add_edge(u, v, xs_.value(xi + 1) - xs_.value(xi));
+      const Length w = xs_.value(xi + 1) - xs_.value(xi);
+      add_edge(u, v, w);
+      hweight_[yi * (nx - 1) + xi] = w;
     }
   }
   for (size_t xi = 0; xi < nx; ++xi) {
@@ -113,7 +159,9 @@ TrackGraph::TrackGraph(std::span<const Rect> obstacles,
       int left = xi > 0 ? cell(xi - 1, yi) : -1;
       int right = cell(xi, yi);
       if (left >= 0 && left == right) continue;
-      add_edge(u, v, ys_.value(yi + 1) - ys_.value(yi));
+      const Length w = ys_.value(yi + 1) - ys_.value(yi);
+      add_edge(u, v, w);
+      vweight_[yi * nx + xi] = w;
     }
   }
 
@@ -161,7 +209,68 @@ TrackGraph::Dij TrackGraph::dijkstra(int src) const {
   return d;
 }
 
+std::vector<Length> TrackGraph::sweep_dist(int src) const {
+  const size_t nx = xs_.size(), ny = ys_.size();
+  std::vector<Length> d(nx * ny, kInf);
+  const Point sp = node_pt_[src];
+  d[ys_.index(sp.y) * nx + xs_.index(sp.x)] = 0;
+
+  // Non-node grid positions stay pinned at kInf: every incident weight is
+  // kInf, so candidates through them are >= kInf and never win.
+  constexpr size_t kMaxRounds = 12;
+  bool changed = true;
+  size_t rounds = 0;
+  while (changed && rounds < kMaxRounds) {
+    changed = false;
+    ++rounds;
+    // N: propagate up through rows, S: back down (vectorized elementwise).
+    for (size_t yi = 1; yi < ny; ++yi) {
+      changed |= relax_row(&d[yi * nx], &d[(yi - 1) * nx],
+                           &vweight_[(yi - 1) * nx], nx);
+    }
+    for (size_t yi = ny - 1; yi > 0; --yi) {
+      changed |= relax_row(&d[(yi - 1) * nx], &d[yi * nx],
+                           &vweight_[(yi - 1) * nx], nx);
+    }
+    // E/W: per-row prefix scans (sequential dependence along the row).
+    for (size_t yi = 0; yi < ny; ++yi) {
+      Length* row = &d[yi * nx];
+      const Length* hw = &hweight_[yi * (nx - 1)];
+      for (size_t xi = 1; xi < nx; ++xi) {
+        const Length cand = row[xi - 1] + hw[xi - 1];
+        if (cand < row[xi]) {
+          row[xi] = cand;
+          changed = true;
+        }
+      }
+      for (size_t xi = nx - 1; xi > 0; --xi) {
+        const Length cand = row[xi] + hw[xi - 1];
+        if (cand < row[xi - 1]) {
+          row[xi - 1] = cand;
+          changed = true;
+        }
+      }
+    }
+  }
+  if (changed) return dijkstra(src).dist;  // cap tripped before fixpoint
+
+  std::vector<Length> out(node_count_, kInf);
+  for (size_t yi = 0; yi < ny; ++yi) {
+    for (size_t xi = 0; xi < nx; ++xi) {
+      const int id = node_id_[yi * nx + xi];
+      if (id >= 0) out[id] = std::min(d[yi * nx + xi], kInf);
+    }
+  }
+  return out;
+}
+
 std::vector<Length> TrackGraph::single_source(const Point& s) const {
+  int u = node_at(s);
+  RSP_CHECK_MSG(u >= 0, "source is not a free grid vertex");
+  return sweep_dist(u);
+}
+
+std::vector<Length> TrackGraph::single_source_dijkstra(const Point& s) const {
   int u = node_at(s);
   RSP_CHECK_MSG(u >= 0, "source is not a free grid vertex");
   return dijkstra(u).dist;
@@ -170,7 +279,7 @@ std::vector<Length> TrackGraph::single_source(const Point& s) const {
 Length TrackGraph::shortest_length(const Point& s, const Point& t) const {
   int u = node_at(s), v = node_at(t);
   RSP_CHECK_MSG(u >= 0 && v >= 0, "query point is not a free grid vertex");
-  return dijkstra(u).dist[v];
+  return sweep_dist(u)[v];
 }
 
 std::optional<std::vector<Point>> TrackGraph::shortest_path(

@@ -38,8 +38,15 @@ class TrackGraph {
   int node_at(const Point& p) const;
   Point point_of(int node) const;
 
-  // Dijkstra from s to all nodes. Unreachable entries are kInf.
+  // Distances from s to all nodes. Unreachable entries are kInf. Runs the
+  // vectorized fast-sweeping solver (see sweep_dist) and falls back to
+  // Dijkstra on pathological scenes; both are exact, so results are always
+  // the true shortest-path distances.
   std::vector<Length> single_source(const Point& s) const;
+
+  // Reference Dijkstra from s — the oracle the sweep solver is tested
+  // against (tests/trackgraph_test.cpp).
+  std::vector<Length> single_source_dijkstra(const Point& s) const;
 
   // Shortest path length between two grid points (kInf if unreachable).
   Length shortest_length(const Point& s, const Point& t) const;
@@ -55,6 +62,15 @@ class TrackGraph {
     std::vector<int> pred;
   };
   Dij dijkstra(int src) const;
+  // Fast-sweeping Gauss-Seidel SSSP over the raw grid: directional N/S/E/W
+  // relaxation passes on contiguous row-major arrays until a full round
+  // changes nothing (then the distances are the exact fixpoint). The N/S
+  // passes are elementwise over a row — branch-free and SIMD-vectorized —
+  // and the E/W passes are sequential prefix scans over contiguous memory.
+  // A path with k monotone "staircase" segments settles within ~k rounds;
+  // if the round cap trips first (adversarial spirals), falls back to
+  // dijkstra(), so the result is exact either way.
+  std::vector<Length> sweep_dist(int src) const;
   int grid_node(size_t xi, size_t yi) const {
     return node_id_[yi * xs_.size() + xi];
   }
@@ -66,6 +82,12 @@ class TrackGraph {
   // CSR adjacency.
   std::vector<int> adj_start_;
   std::vector<std::pair<int, Length>> adj_;
+  // Dense edge-weight grids for the sweep solver; kInf = blocked/absent
+  // (safe in two-term sums: kInf + kInf < overflow, and a >= kInf candidate
+  // never beats a real distance). hweight_[yi*(nx-1)+xi] is the edge
+  // (xi,yi)-(xi+1,yi); vweight_[yi*nx+xi] is (xi,yi)-(xi,yi+1).
+  std::vector<Length> hweight_;
+  std::vector<Length> vweight_;
   size_t node_count_ = 0;
   size_t edge_count_ = 0;
 };

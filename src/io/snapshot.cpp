@@ -423,7 +423,24 @@ void write_tree(Writer& w, const DncTree& tree) {
       write_u32s(w, p.mid_child);
       w.u64(p.reach.rows());
       w.u64(p.reach.cols());
-      for (Length d : p.reach.storage()) w.i64(d);
+      // v3: a representation byte, then either the dense entries (0) or
+      // the breakpoint-compressed parts (1; see monge/compressed.h). The
+      // builder's compress() is deterministic, so these bytes stay
+      // identical across scheduler widths.
+      if (!p.reach.empty()) {
+        if (p.reach.compressed()) {
+          w.u8(1);
+          for (Length d : p.reach.row0()) w.i64(d);
+          for (Length d : p.reach.col0()) w.i64(d);
+          w.u64(p.reach.bp_row().size());
+          for (uint32_t x : p.reach.bp_start()) w.u32(x);
+          for (uint32_t x : p.reach.bp_row()) w.u32(x);
+          for (Length d : p.reach.bp_delta()) w.i64(d);
+        } else {
+          w.u8(0);
+          for (Length d : p.reach.dense_form().storage()) w.i64(d);
+        }
+      }
     }
   }
 }
@@ -444,7 +461,8 @@ std::vector<uint32_t> read_u32s(Reader& r, const char* what) {
   return out;
 }
 
-std::shared_ptr<const DncTree> read_tree(Reader& r, const Scene& scene) {
+std::shared_ptr<const DncTree> read_tree(Reader& r, const Scene& scene,
+                                         uint32_t version) {
   auto tree = std::make_shared<DncTree>();
   const uint64_t count = r.u64("tree node count");
   if (count == 0) fail_corrupt("boundary tree with no nodes");
@@ -514,16 +532,65 @@ std::shared_ptr<const DncTree> read_tree(Reader& r, const Scene& scene) {
         fail_corrupt("virtual tree port carries child index tables");
       }
       if (has_reach) {
-        std::vector<Length> reach;
-        read_pod_table(r, reach, static_cast<size_t>(rr * rc),
-                       "tree port reach matrix");
-        for (Length d : reach) {
-          if (d < 0 || d > kInf) {
-            fail_corrupt("tree port reach entry out of range");
+        // v2 and earlier stored every reach matrix dense; v3 prefixes a
+        // representation byte (0 = dense, 1 = breakpoint-compressed).
+        const uint8_t repr =
+            version >= 3 ? r.u8("tree port reach representation") : 0;
+        if (repr == 0) {
+          std::vector<Length> reach;
+          read_pod_table(r, reach, static_cast<size_t>(rr * rc),
+                         "tree port reach matrix");
+          for (Length d : reach) {
+            if (d < 0 || d > kInf) {
+              fail_corrupt("tree port reach entry out of range");
+            }
           }
+          // Re-run the deterministic encoder: reproduces exactly what the
+          // builder holds in memory, and shrinks dense v1/v2 snapshots on
+          // load for free.
+          p.reach = PortMatrix::compress(Matrix(
+              static_cast<size_t>(rr), static_cast<size_t>(rc),
+              std::move(reach)));
+        } else if (repr == 1) {
+          std::vector<Length> row0, col0, bp_delta;
+          std::vector<uint32_t> bp_start, bp_row;
+          read_pod_table(r, row0, static_cast<size_t>(rc), "tree port row0");
+          read_pod_table(r, col0, static_cast<size_t>(rr), "tree port col0");
+          const uint64_t nbp = r.u64("tree port breakpoint count");
+          if (nbp > rr * rc) fail_corrupt("tree port breakpoint count");
+          read_pod_table(r, bp_start, static_cast<size_t>(rc),
+                         "tree port breakpoint index");
+          read_pod_table(r, bp_row, static_cast<size_t>(nbp),
+                         "tree port breakpoint rows");
+          read_pod_table(r, bp_delta, static_cast<size_t>(nbp),
+                         "tree port breakpoint deltas");
+          try {
+            // from_parts validates the structural invariants (CSR
+            // monotone, rows strictly increasing in-step, deltas != 0).
+            p.reach = PortMatrix::from_parts(
+                static_cast<size_t>(rr), static_cast<size_t>(rc),
+                std::move(row0), std::move(col0), std::move(bp_start),
+                std::move(bp_row), std::move(bp_delta));
+          } catch (const std::exception& e) {
+            fail_corrupt(std::string("tree port reach failed validation: ") +
+                         e.what());
+          }
+          // Entry-range validation without materializing the dense form:
+          // stream the columns (O(rows) memory).
+          PortMatrix::ColumnScan scan(p.reach);
+          for (size_t k = 0;; ++k) {
+            const Length* col = scan.data();
+            for (size_t a = 0; a < p.reach.rows(); ++a) {
+              if (col[a] < 0 || col[a] > kInf) {
+                fail_corrupt("tree port reach entry out of range");
+              }
+            }
+            if (k + 1 == p.reach.cols()) break;
+            scan.advance();
+          }
+        } else {
+          fail_corrupt("unknown tree port reach representation");
         }
-        p.reach = Matrix(static_cast<size_t>(rr), static_cast<size_t>(rc),
-                         std::move(reach));
       }
       n.ports.push_back(std::move(p));
     }
@@ -675,12 +742,13 @@ Result<SnapshotPayload> load_snapshot(std::istream& is) {
   try {
     Reader r(is);
     SnapshotPayload payload;
-    payload.kind = read_header(r).kind;
+    const Header h = read_header(r);
+    payload.kind = h.kind;
     payload.scene = read_scene(r);
     if (payload.kind == SnapshotPayloadKind::kAllPairs) {
       payload.data = read_all_pairs(r, payload.scene);
     } else if (payload.kind == SnapshotPayloadKind::kBoundaryTree) {
-      payload.tree = read_tree(r, payload.scene);
+      payload.tree = read_tree(r, payload.scene, h.version);
     }
     check_footer(r);
     r.return_unused_to_stream();

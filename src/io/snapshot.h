@@ -21,15 +21,22 @@
 //                         preorder: region vertices, B(Q) points, leaf
 //                         rects, child ids, separator bends + orientation,
 //                         and the transfer-set ports (rows / child rows /
-//                         mids / mid child indices + the reach matrix)
+//                         mids / mid child indices + the reach matrix;
+//                         v3 prefixes each non-empty reach with a
+//                         representation byte — 0 dense entries, 1 the
+//                         breakpoint-compressed parts of
+//                         monge/compressed.h: row0, col0, breakpoint
+//                         count, CSR starts, rows, deltas)
 //   ---- end of payload ----
 //   [ 8] checksum         u64: 4-lane interleaved FNV-1a over the payload
 //                         64-bit LE words (word i -> lane i mod 4, final
 //                         partial word zero-padded, lanes FNV-folded)
 //
 // Version history: v1 wrote kinds 0 and 1 only; v2 added the boundary-tree
-// kind. This build writes v2 and reads both (the payload encodings of the
-// old kinds are unchanged).
+// kind; v3 Monge-compresses the boundary-tree port matrices (dense v1/v2
+// snapshots still load — their ports are compressed on load by the same
+// deterministic encoder the builder runs). This build writes v3 and reads
+// v1..v3; the payload encodings of the non-tree kinds are unchanged.
 //
 // The all-pairs section is exactly the O(n^2) product of the §9 build
 // (AllPairsData: the V_R-to-V_R length matrix plus predecessor/pass
@@ -62,7 +69,7 @@
 
 namespace rsp {
 
-inline constexpr uint32_t kSnapshotFormatVersion = 2;
+inline constexpr uint32_t kSnapshotFormatVersion = 3;
 // Oldest format version this build still reads.
 inline constexpr uint32_t kSnapshotMinReadVersion = 1;
 

@@ -1,0 +1,172 @@
+#include "monge/compressed.h"
+
+#include <utility>
+
+namespace rsp {
+
+namespace {
+
+// Bytes the compressed parts occupy (elements, not capacity — the
+// fallback decision must not depend on allocator growth policy).
+size_t parts_bytes(size_t rows, size_t cols, size_t nbp) {
+  return (rows + cols + nbp) * sizeof(Length) +
+         (cols + nbp) * sizeof(uint32_t);
+}
+
+}  // namespace
+
+PortMatrix PortMatrix::compress(const Matrix& m) {
+  PortMatrix out;
+  out.rows_ = m.rows();
+  out.cols_ = m.cols();
+  if (out.rows_ == 0 || out.cols_ == 0) return out;
+
+  out.row0_.resize(out.cols_);
+  for (size_t j = 0; j < out.cols_; ++j) out.row0_[j] = m(0, j);
+  out.col0_.resize(out.rows_);
+  for (size_t i = 0; i < out.rows_; ++i) out.col0_[i] = m(i, 0);
+  out.bp_start_.assign(out.cols_, 0);
+  for (size_t j = 1; j < out.cols_; ++j) {
+    // D_j(i) = M(i, j) - M(i, j-1); emit a breakpoint wherever it moves.
+    Length prev = out.row0_[j] - out.row0_[j - 1];
+    for (size_t i = 1; i < out.rows_; ++i) {
+      const Length d = m(i, j) - m(i, j - 1);
+      if (d != prev) {
+        out.bp_row_.push_back(static_cast<uint32_t>(i));
+        out.bp_delta_.push_back(d - prev);
+        prev = d;
+      }
+    }
+    out.bp_start_[j] = static_cast<uint32_t>(out.bp_row_.size());
+  }
+
+  if (parts_bytes(out.rows_, out.cols_, out.bp_row_.size()) >=
+      out.dense_byte_size()) {
+    out.fallback_ = true;
+    out.dense_ = m;
+    out.row0_.clear();
+    out.row0_.shrink_to_fit();
+    out.col0_.clear();
+    out.col0_.shrink_to_fit();
+    out.bp_start_.clear();
+    out.bp_start_.shrink_to_fit();
+    out.bp_row_.clear();
+    out.bp_row_.shrink_to_fit();
+    out.bp_delta_.clear();
+    out.bp_delta_.shrink_to_fit();
+  } else {
+    out.bp_row_.shrink_to_fit();
+    out.bp_delta_.shrink_to_fit();
+  }
+  return out;
+}
+
+PortMatrix PortMatrix::from_dense(Matrix m) {
+  PortMatrix out;
+  out.rows_ = m.rows();
+  out.cols_ = m.cols();
+  if (out.rows_ == 0 || out.cols_ == 0) return out;
+  out.fallback_ = true;
+  out.dense_ = std::move(m);
+  return out;
+}
+
+PortMatrix PortMatrix::from_parts(size_t rows, size_t cols,
+                                  std::vector<Length> row0,
+                                  std::vector<Length> col0,
+                                  std::vector<uint32_t> bp_start,
+                                  std::vector<uint32_t> bp_row,
+                                  std::vector<Length> bp_delta) {
+  RSP_CHECK(rows > 0 && cols > 0);
+  RSP_CHECK(row0.size() == cols && col0.size() == rows);
+  RSP_CHECK(bp_start.size() == cols && bp_start[0] == 0);
+  RSP_CHECK(bp_row.size() == bp_delta.size());
+  RSP_CHECK(bp_start[cols - 1] == bp_row.size());
+  RSP_CHECK(row0[0] == col0[0]);
+  for (size_t j = 1; j < cols; ++j) {
+    RSP_CHECK(bp_start[j - 1] <= bp_start[j]);
+    uint32_t prev_row = 0;  // rows start at 1, so > covers the first too
+    for (uint32_t t = bp_start[j - 1]; t < bp_start[j]; ++t) {
+      RSP_CHECK(bp_row[t] > prev_row);
+      RSP_CHECK(bp_row[t] < rows);
+      RSP_CHECK(bp_delta[t] != 0);
+      prev_row = bp_row[t];
+    }
+  }
+  PortMatrix out;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  out.row0_ = std::move(row0);
+  out.col0_ = std::move(col0);
+  out.bp_start_ = std::move(bp_start);
+  out.bp_row_ = std::move(bp_row);
+  out.bp_delta_ = std::move(bp_delta);
+  return out;
+}
+
+Length PortMatrix::at(size_t i, size_t j) const {
+  RSP_CHECK(i < rows_ && j < cols_);
+  if (fallback_) return dense_(i, j);
+  Length v = col0_[i];
+  for (size_t jj = 1; jj <= j; ++jj) {
+    Length d = row0_[jj] - row0_[jj - 1];
+    for (uint32_t t = bp_start_[jj - 1]; t < bp_start_[jj]; ++t) {
+      if (bp_row_[t] > i) break;
+      d += bp_delta_[t];
+    }
+    v += d;
+  }
+  return v;
+}
+
+Matrix PortMatrix::dense() const {
+  if (rows_ == 0 || cols_ == 0) return Matrix(rows_, cols_);
+  if (fallback_) return dense_;
+  Matrix m(rows_, cols_);
+  ColumnScan scan(*this);
+  for (size_t j = 0;; ++j) {
+    const Length* col = scan.data();
+    for (size_t i = 0; i < rows_; ++i) m(i, j) = col[i];
+    if (j + 1 == cols_) break;
+    scan.advance();
+  }
+  return m;
+}
+
+size_t PortMatrix::byte_size() const {
+  if (fallback_) return dense_.storage().capacity() * sizeof(Length);
+  return row0_.capacity() * sizeof(Length) +
+         col0_.capacity() * sizeof(Length) +
+         bp_start_.capacity() * sizeof(uint32_t) +
+         bp_row_.capacity() * sizeof(uint32_t) +
+         bp_delta_.capacity() * sizeof(Length);
+}
+
+PortMatrix::ColumnScan::ColumnScan(const PortMatrix& m) : m_(m) {
+  RSP_CHECK(!m.empty());
+  cur_.resize(m.rows_);
+  if (m.fallback_) {
+    for (size_t i = 0; i < m.rows_; ++i) cur_[i] = m.dense_(i, 0);
+  } else {
+    cur_ = m.col0_;
+  }
+}
+
+void PortMatrix::ColumnScan::advance() {
+  ++j_;
+  RSP_CHECK(j_ < m_.cols_);
+  if (m_.fallback_) {
+    for (size_t i = 0; i < m_.rows_; ++i) cur_[i] = m_.dense_(i, j_);
+    return;
+  }
+  Length d = m_.row0_[j_] - m_.row0_[j_ - 1];
+  const uint32_t end = m_.bp_start_[j_];
+  uint32_t t = m_.bp_start_[j_ - 1];
+  const size_t n = cur_.size();
+  for (size_t i = 0; i < n; ++i) {
+    while (t < end && m_.bp_row_[t] == i) d += m_.bp_delta_[t++];
+    cur_[i] += d;
+  }
+}
+
+}  // namespace rsp

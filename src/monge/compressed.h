@@ -1,0 +1,123 @@
+#pragma once
+// Monge-structured compression of retained port ("reach") matrices.
+//
+// The D&C conquer (paper §5, Lemma 3) routes through distance matrices
+// whose rows and columns walk two curves in order; for such matrices the
+// Monge property makes every column difference
+//
+//   D_j(i) = M(i, j) - M(i, j-1)
+//
+// non-increasing in i — a step function with few breakpoints. PortMatrix
+// stores exactly that: the first row, the first column, and, per column
+// step, the (row, delta) breakpoints where D_j changes. This is an *exact*
+// encoding (telescoping integer differences, no rounding), so it is
+// lossless for every matrix, Monge or not: Monge guarantees the deltas are
+// negative and scarce, near-Monge ports (the build's monge_fallbacks
+// counter proves a minority exist — B(Q) rows wrap a closed boundary and
+// can interleave) merely spend a few more breakpoints. When the encoding
+// would not beat dense row-major storage (tiny or adversarial matrices),
+// compress() keeps the dense form behind the same interface.
+//
+// Access patterns, matched to the query lift (backend/boundary_tree.cpp):
+// the hot loop scans every column of a port in order, so ColumnScan
+// streams columns left-to-right in O(rows + breakpoints-in-step) per
+// column — the same O(rows) the dense strided read paid, minus the cache
+// misses. Random access at() costs O(cols) on the compressed form and is
+// for tests/validation only.
+//
+// Thread safety: immutable after construction; each ColumnScan owns its
+// cursor state, so concurrent scans over one PortMatrix are safe.
+
+#include <cstdint>
+#include <vector>
+
+#include "monge/matrix.h"
+
+namespace rsp {
+
+class PortMatrix {
+ public:
+  PortMatrix() = default;
+
+  // Encodes `m`. Deterministic: equal matrices yield equal representations
+  // (snapshot bytes stay identical across scheduler widths). Falls back to
+  // adopting the dense form when the encoding would not be smaller.
+  static PortMatrix compress(const Matrix& m);
+  // Forces the dense representation (compression-mode equivalence tests).
+  static PortMatrix from_dense(Matrix m);
+  // Reassembles a compressed representation from its serialized parts
+  // (io/snapshot.cpp). Validates shape invariants via RSP_CHECK; entry
+  // *range* validation is the loader's job (stream a ColumnScan).
+  static PortMatrix from_parts(size_t rows, size_t cols,
+                               std::vector<Length> row0,
+                               std::vector<Length> col0,
+                               std::vector<uint32_t> bp_start,
+                               std::vector<uint32_t> bp_row,
+                               std::vector<Length> bp_delta);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  // False when this instance stores the dense fallback form.
+  bool compressed() const { return !fallback_; }
+
+  // O(cols) on the compressed form — tests and spot checks only.
+  Length at(size_t i, size_t j) const;
+  // Full decode (exact inverse of compress()).
+  Matrix dense() const;
+
+  // Resident bytes of this representation vs what dense storage costs.
+  size_t byte_size() const;
+  size_t dense_byte_size() const { return rows_ * cols_ * sizeof(Length); }
+
+  // Serialization accessors (meaningful only for the matching form).
+  const Matrix& dense_form() const { return dense_; }
+  const std::vector<Length>& row0() const { return row0_; }
+  const std::vector<Length>& col0() const { return col0_; }
+  const std::vector<uint32_t>& bp_start() const { return bp_start_; }
+  const std::vector<uint32_t>& bp_row() const { return bp_row_; }
+  const std::vector<Length>& bp_delta() const { return bp_delta_; }
+
+  friend bool operator==(const PortMatrix& a, const PortMatrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ &&
+           a.fallback_ == b.fallback_ && a.dense_ == b.dense_ &&
+           a.row0_ == b.row0_ && a.col0_ == b.col0_ &&
+           a.bp_start_ == b.bp_start_ && a.bp_row_ == b.bp_row_ &&
+           a.bp_delta_ == b.bp_delta_;
+  }
+
+  // Streams columns 0, 1, ..., cols()-1; advance() moves one column right
+  // by applying that step's breakpoints (never past the last column).
+  class ColumnScan {
+   public:
+    explicit ColumnScan(const PortMatrix& m);
+    // The current column's rows() values, indexed by row.
+    const Length* data() const { return cur_.data(); }
+    size_t column() const { return j_; }
+    void advance();
+
+   private:
+    const PortMatrix& m_;
+    size_t j_ = 0;
+    std::vector<Length> cur_;
+  };
+
+ private:
+  size_t rows_ = 0, cols_ = 0;
+  bool fallback_ = false;
+  Matrix dense_;  // engaged iff fallback_
+
+  // Compressed form. bp_start_ has cols_ entries and is the CSR index of
+  // the column steps: step j (the transition from column j-1 to j, j >= 1)
+  // owns breakpoints [bp_start_[j-1], bp_start_[j]). bp_start_[0] == 0.
+  // Breakpoint t says: at row bp_row_[t] (>= 1, strictly increasing within
+  // a step), D_j changes by bp_delta_[t] (!= 0) from its value at the row
+  // above. D_j(0) is implicit: row0_[j] - row0_[j-1].
+  std::vector<Length> row0_;       // cols_ entries: M(0, j)
+  std::vector<Length> col0_;       // rows_ entries: M(i, 0)
+  std::vector<uint32_t> bp_start_;
+  std::vector<uint32_t> bp_row_;
+  std::vector<Length> bp_delta_;
+};
+
+}  // namespace rsp

@@ -34,20 +34,39 @@ Matrix minplus_naive(const Matrix& a, const Matrix& b) {
 
 namespace {
 
-// One output row i of the Monge product: column minima of the Monge matrix
-// D(k,j) = A(i,k) + B(k,j), i.e. row minima of its transpose, via SMAWK.
+// Output rows [r0, r1) of the Monge product. Each row i is the column
+// minima of the Monge matrix D(k,j) = A(i,k) + B(k,j), i.e. row minima of
+// its transpose, via SMAWK. One scratch + argmin buffer serve the whole
+// block, and smawk_into inlines the evaluator — the per-row std::function
+// indirection and index-list allocations were most of the old runtime for
+// the small matrices the D&C conquer feeds through here.
 //
 // Additions are deliberately NOT saturating: clamping +inf sums to a common
 // value collapses ties on all-infinite rows and breaks the leftmost-argmin
 // monotonicity SMAWK relies on. Entries are <= kInf, so a two-term sum is
 // <= 2*kInf and cannot overflow; the output is clamped back to kInf.
-void product_row(const Matrix& a, const Matrix& b, size_t i, Matrix& c) {
+void product_rows(const Matrix& a, const Matrix& b, size_t r0, size_t r1,
+                  Matrix& c) {
   const size_t z = a.cols();
-  auto value = [&](size_t j, size_t k) { return a(i, k) + b(k, j); };
-  std::vector<size_t> arg = smawk(b.cols(), z, value);
-  for (size_t j = 0; j < b.cols(); ++j) {
-    c(i, j) = std::min(kInf, a(i, arg[j]) + b(arg[j], j));
+  SmawkScratch scratch;
+  std::vector<size_t> arg;
+  for (size_t i = r0; i < r1; ++i) {
+    auto value = [&a, &b, i](size_t j, size_t k) { return a(i, k) + b(k, j); };
+    smawk_into(b.cols(), z, value, arg, scratch);
+    for (size_t j = 0; j < b.cols(); ++j) {
+      c(i, j) = std::min(kInf, a(i, arg[j]) + b(arg[j], j));
+    }
   }
+}
+
+// Row-block grain for the parallel product: each task should amortize its
+// fork + scratch setup over roughly kMinTaskEvals entry evaluations; one
+// row costs ~(cols + inner) of them (SMAWK is linear). Small conquer
+// matrices thus run as a handful of tasks instead of one task per row.
+size_t row_grain(const Matrix& a, const Matrix& b) {
+  constexpr size_t kMinTaskEvals = 4096;
+  const size_t per_row = b.cols() + a.cols() + 1;
+  return std::max<size_t>(1, kMinTaskEvals / per_row);
 }
 
 }  // namespace
@@ -61,7 +80,7 @@ Matrix minplus_monge(const Matrix& a, const Matrix& b) {
   if (a.rows() == 0 || b.cols() == 0 || a.cols() == 0) return c;
   pram_charge(a.rows() * (b.cols() + a.cols()),
               pram_detail::log2_ceil(a.cols()));
-  for (size_t i = 0; i < a.rows(); ++i) product_row(a, b, i, c);
+  product_rows(a, b, 0, a.rows(), c);
   return c;
 }
 
@@ -71,8 +90,10 @@ Matrix minplus_monge(Scheduler& sched, const Matrix& a, const Matrix& b) {
   if (a.rows() == 0 || b.cols() == 0 || a.cols() == 0) return c;
   pram_charge(a.rows() * (b.cols() + a.cols()),
               pram_detail::log2_ceil(a.cols()));
-  parallel_for(sched, 0, a.rows(), [&](size_t i) { product_row(a, b, i, c); },
-               /*grain=*/1);
+  parallel_for_blocked(
+      sched, 0, a.rows(),
+      [&](size_t lo, size_t hi) { product_rows(a, b, lo, hi, c); },
+      row_grain(a, b));
   return c;
 }
 

@@ -27,7 +27,9 @@ Matrix minplus_naive(const Matrix& a, const Matrix& b);
 // Sequential: O(rows * (cols + inner)) evaluations.
 Matrix minplus_monge(const Matrix& a, const Matrix& b);
 
-// Parallel variant: independent rows fanned out over the scheduler.
+// Parallel variant: independent rows fanned out over the scheduler as
+// row-block tasks (grain tuned so each task amortizes its fork over a few
+// thousand entry evaluations and reuses one SMAWK scratch per block).
 // Nest-safe: callable from inside scheduler tasks (the §5 conquer runs it
 // within subtree tasks that are themselves forked in parallel).
 Matrix minplus_monge(Scheduler& sched, const Matrix& a, const Matrix& b);

@@ -2,72 +2,12 @@
 
 namespace rsp {
 
-namespace {
-
-// Core recursion on explicit row/column index lists.
-void smawk_rec(const std::vector<size_t>& rows, std::vector<size_t> cols,
-               const std::function<Length(size_t, size_t)>& value,
-               std::vector<size_t>& argmin) {
-  if (rows.empty()) return;
-
-  // REDUCE: prune columns that cannot hold any row's minimum, keeping at
-  // most |rows| candidates. Invariant (total monotonicity): if
-  // value(rows[r], stack[r]) > value(rows[r], c) then stack[r] loses for all
-  // rows >= r.
-  std::vector<size_t> stack;
-  stack.reserve(rows.size());
-  for (size_t c : cols) {
-    while (!stack.empty()) {
-      size_t r = stack.size() - 1;
-      if (value(rows[r], stack.back()) > value(rows[r], c)) {
-        stack.pop_back();
-      } else {
-        break;
-      }
-    }
-    if (stack.size() < rows.size()) stack.push_back(c);
-  }
-  cols = std::move(stack);
-
-  // Solve odd rows recursively.
-  std::vector<size_t> odd_rows;
-  for (size_t i = 1; i < rows.size(); i += 2) odd_rows.push_back(rows[i]);
-  smawk_rec(odd_rows, cols, value, argmin);
-
-  // INTERPOLATE: even rows' minima lie between the neighbouring odd rows'
-  // argmin columns.
-  size_t ci = 0;
-  for (size_t i = 0; i < rows.size(); i += 2) {
-    size_t row = rows[i];
-    size_t hi_col = (i + 1 < rows.size()) ? argmin[rows[i + 1]] : cols.back();
-    size_t best_col = cols[ci];
-    Length best = value(row, cols[ci]);
-    while (cols[ci] != hi_col) {
-      ++ci;
-      Length v = value(row, cols[ci]);
-      if (v < best) {
-        best = v;
-        best_col = cols[ci];
-      }
-    }
-    argmin[row] = best_col;
-    // The next even row may share hi_col's position; back up is never
-    // needed because argmin columns are nondecreasing, but ci currently
-    // points at hi_col which is also the lower bound for the next row.
-  }
-}
-
-}  // namespace
-
 std::vector<size_t> smawk(
     size_t nrows, size_t ncols,
     const std::function<Length(size_t, size_t)>& value) {
-  RSP_CHECK(ncols > 0);
-  std::vector<size_t> rows(nrows), cols(ncols);
-  for (size_t i = 0; i < nrows; ++i) rows[i] = i;
-  for (size_t j = 0; j < ncols; ++j) cols[j] = j;
-  std::vector<size_t> argmin(nrows, 0);
-  smawk_rec(rows, cols, value, argmin);
+  SmawkScratch scratch;
+  std::vector<size_t> argmin;
+  smawk_into(nrows, ncols, value, argmin, scratch);
   return argmin;
 }
 

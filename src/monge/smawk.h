@@ -2,6 +2,14 @@
 // SMAWK: row minima of an implicit totally monotone matrix in O(rows+cols)
 // evaluations. Monge matrices (paper §2, [1]) are totally monotone, so this
 // is the engine behind the Monge (min,+) multiplication of Lemma 3.
+//
+// Two entry points:
+//  - smawk(): the original std::function interface, one-shot.
+//  - smawk_into<F>(): templated on the evaluator with a caller-owned
+//    SmawkScratch, so a row-block task of the Monge product (monge.cpp)
+//    pays the recursion's index-list allocations once per block instead of
+//    once per output row, and entry evaluation inlines instead of going
+//    through std::function's indirect call.
 
 #include <cstddef>
 #include <functional>
@@ -11,8 +19,124 @@
 
 namespace rsp {
 
-// Returns, for each row i in [0, nrows), the column index of the leftmost
-// minimum of row i. `value(i, j)` evaluates the matrix entry.
+// Reusable buffers for smawk_into. The recursion acquires index lists from
+// a pool addressed by *index* — a buffer reference would dangle when the
+// pool's backing vector grows, so callers re-fetch via buf() after any
+// acquire. Not thread-safe: one scratch per worker/task.
+class SmawkScratch {
+ public:
+  size_t acquire() {
+    if (next_ == bufs_.size()) bufs_.emplace_back();
+    bufs_[next_].clear();
+    return next_++;
+  }
+  void release_to(size_t mark) { next_ = mark; }
+  size_t mark() const { return next_; }
+  std::vector<size_t>& buf(size_t i) { return bufs_[i]; }
+
+ private:
+  std::vector<std::vector<size_t>> bufs_;
+  size_t next_ = 0;
+};
+
+namespace smawk_detail {
+
+// Core recursion on index lists held in the scratch pool. rows_i/cols_i are
+// pool indices; the lists they name are consumed (cols is reduced in
+// place's stead via a fresh buffer).
+template <typename F>
+void rec(SmawkScratch& s, size_t rows_i, size_t cols_i, const F& value,
+         std::vector<size_t>& argmin) {
+  if (s.buf(rows_i).empty()) return;
+  const size_t mark = s.mark();
+
+  // REDUCE: prune columns that cannot hold any row's minimum, keeping at
+  // most |rows| candidates. Invariant (total monotonicity): if
+  // value(rows[r], stack[r]) > value(rows[r], c) then stack[r] loses for
+  // all rows >= r.
+  const size_t red_i = s.acquire();
+  {
+    std::vector<size_t>& rows = s.buf(rows_i);
+    std::vector<size_t>& stack = s.buf(red_i);
+    stack.reserve(rows.size());
+    for (size_t c : s.buf(cols_i)) {
+      while (!stack.empty()) {
+        size_t r = stack.size() - 1;
+        if (value(rows[r], stack.back()) > value(rows[r], c)) {
+          stack.pop_back();
+        } else {
+          break;
+        }
+      }
+      if (stack.size() < rows.size()) stack.push_back(c);
+    }
+  }
+
+  // Solve odd rows recursively.
+  const size_t odd_i = s.acquire();
+  {
+    std::vector<size_t>& rows = s.buf(rows_i);
+    std::vector<size_t>& odd = s.buf(odd_i);
+    odd.reserve(rows.size() / 2);
+    for (size_t i = 1; i < rows.size(); i += 2) odd.push_back(rows[i]);
+  }
+  rec(s, odd_i, red_i, value, argmin);
+
+  // INTERPOLATE: even rows' minima lie between the neighbouring odd rows'
+  // argmin columns.
+  {
+    std::vector<size_t>& rows = s.buf(rows_i);
+    std::vector<size_t>& cols = s.buf(red_i);
+    size_t ci = 0;
+    for (size_t i = 0; i < rows.size(); i += 2) {
+      size_t row = rows[i];
+      size_t hi_col = (i + 1 < rows.size()) ? argmin[rows[i + 1]] : cols.back();
+      size_t best_col = cols[ci];
+      Length best = value(row, cols[ci]);
+      while (cols[ci] != hi_col) {
+        ++ci;
+        Length v = value(row, cols[ci]);
+        if (v < best) {
+          best = v;
+          best_col = cols[ci];
+        }
+      }
+      argmin[row] = best_col;
+      // No back-up needed: argmin columns are nondecreasing, and ci now
+      // sits on hi_col, the lower bound for the next even row.
+    }
+  }
+  s.release_to(mark);
+}
+
+}  // namespace smawk_detail
+
+// Writes into argmin, for each row i in [0, nrows), the column index of the
+// leftmost minimum of row i. `value(i, j)` evaluates the matrix entry.
+template <typename F>
+void smawk_into(size_t nrows, size_t ncols, const F& value,
+                std::vector<size_t>& argmin, SmawkScratch& scratch) {
+  RSP_CHECK(ncols > 0);
+  argmin.assign(nrows, 0);
+  if (nrows == 0) return;
+  const size_t mark = scratch.mark();
+  const size_t rows_i = scratch.acquire();
+  {
+    std::vector<size_t>& rows = scratch.buf(rows_i);
+    rows.resize(nrows);
+    for (size_t i = 0; i < nrows; ++i) rows[i] = i;
+  }
+  const size_t cols_i = scratch.acquire();
+  {
+    std::vector<size_t>& cols = scratch.buf(cols_i);
+    cols.resize(ncols);
+    for (size_t j = 0; j < ncols; ++j) cols[j] = j;
+  }
+  smawk_detail::rec(scratch, rows_i, cols_i, value, argmin);
+  scratch.release_to(mark);
+}
+
+// One-shot convenience wrapper (tests, callers without a hot loop).
 std::vector<size_t> smawk(
     size_t nrows, size_t ncols,
     const std::function<Length(size_t, size_t)>& value);

@@ -81,6 +81,39 @@ void parallel_for(size_t begin, size_t end, Fn&& fn, size_t grain = 1024) {
   parallel_for(Scheduler::global(), begin, end, std::forward<Fn>(fn), grain);
 }
 
+// Block form: runs fn(lo, hi) over disjoint chunks covering [begin, end),
+// each at least `grain` items (modulo the final remainder). For bodies that
+// amortize per-task state — e.g. the row-block Monge product reuses one
+// SMAWK scratch across its whole block — where the per-index form would
+// recreate that state every iteration. Same splitting, charging, and
+// nesting semantics as parallel_for.
+template <typename Fn>
+void parallel_for_blocked(Scheduler& sched, size_t begin, size_t end, Fn&& fn,
+                          size_t grain = 1024) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  pram_charge(n, 1);
+  const size_t threads = sched.num_threads();
+  const size_t leaf =
+      std::max(std::max<size_t>(grain, 1), (n + 8 * threads - 1) / (8 * threads));
+  if (threads <= 1 || n <= leaf) {
+    fn(begin, end);
+    return;
+  }
+  std::function<void(size_t, size_t)> split;
+  TaskGroup g(sched);
+  split = [&](size_t lo, size_t hi) {
+    while (hi - lo > leaf) {
+      size_t mid = lo + (hi - lo + 1) / 2;
+      g.run([&split, mid, hi] { split(mid, hi); });
+      hi = mid;
+    }
+    fn(lo, hi);
+  };
+  split(begin, end);
+  g.wait();
+}
+
 // ---------------------------------------------------------------------------
 // reduce
 // ---------------------------------------------------------------------------

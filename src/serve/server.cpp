@@ -732,12 +732,18 @@ std::string QueryServer::stats_line() const {
      << " backend=" << backend_name(engine_.backend())
      << " payload=" << engine_payload_kind(engine_)
      << " mem_bytes=" << engine_.memory_usage();
+  const Engine::MemoryBreakdown mb = engine_.memory_breakdown();
+  if (mb.port_matrix_dense_bytes > 0) {
+    os << " port_bytes=" << mb.port_matrix_bytes
+       << " port_dense_bytes=" << mb.port_matrix_dense_bytes;
+  }
   return os.str();
 }
 
 std::string QueryServer::stats_json() const {
   ServeStats s = stats();
   EngineMetrics m = engine_.metrics();
+  const Engine::MemoryBreakdown mb = engine_.memory_breakdown();
   std::ostringstream os;
   os << "{\n"
      << "  \"serve\": {\n"
@@ -757,6 +763,9 @@ std::string QueryServer::stats_json() const {
      << "    \"backend\": \"" << backend_name(engine_.backend()) << "\",\n"
      << "    \"payload\": \"" << engine_payload_kind(engine_) << "\",\n"
      << "    \"memory_bytes\": " << engine_.memory_usage() << ",\n"
+     << "    \"port_matrix_bytes\": " << mb.port_matrix_bytes << ",\n"
+     << "    \"port_matrix_dense_bytes\": " << mb.port_matrix_dense_bytes
+     << ",\n"
      << "    \"threads\": " << engine_.num_threads() << ",\n"
      << "    \"batches\": " << m.batches << ",\n"
      << "    \"batch_queries\": " << m.batch_queries << ",\n"

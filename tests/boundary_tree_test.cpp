@@ -243,7 +243,7 @@ TEST(BoundaryTreeSnapshot, V1SceneOnlySnapshotStillLoads) {
   std::ostringstream os;
   ASSERT_TRUE(dij.save(os).ok());
   std::string bytes = os.str();
-  ASSERT_EQ(bytes[8], 2);  // version u32 LSB
+  ASSERT_EQ(bytes[8], kSnapshotFormatVersion);  // version u32 LSB
   bytes[8] = 1;
   std::istringstream is(bytes);
   Result<Engine> r =

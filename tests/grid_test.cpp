@@ -108,6 +108,22 @@ TEST(Oracle, PathsAreValidAndTight) {
   }
 }
 
+// The vectorized fast-sweeping solver behind single_source() must agree
+// *exactly* with its Dijkstra fallback on every generator's geometry —
+// it is not an approximation: unconverged sweeps hand off to Dijkstra,
+// converged ones are exact fixed points of the same relaxation.
+TEST(TrackGraph, SweepMatchesDijkstraAcrossGens) {
+  for (const auto& gen : kAllGens) {
+    Scene s = gen.fn(24, 11);
+    std::vector<Point> extra = random_free_points(s, 6, 5);
+    TrackGraph g(s.obstacles(), &s.container(), extra);
+    for (const Point& src : extra) {
+      EXPECT_EQ(g.single_source(src), g.single_source_dijkstra(src))
+          << gen.name << " src=" << src;
+    }
+  }
+}
+
 TEST(RepeatedDijkstra, MatchesPairwiseOracle) {
   Scene s = gen_uniform(8, 17);
   Matrix d = all_pairs_repeated_dijkstra(s);

@@ -12,6 +12,14 @@ reference benchmark before comparison. The gated quantity is then a
 batch", "a coalescing window does not slow a pipelined herd") which holds
 across hosts; machine speed cancels.
 
+Scaling mode (--speedup-from/--speedup-to) gates *within* the current
+file instead: it fails unless real_time(from) / real_time(to) reaches
+--min-speedup — e.g. the 1-worker D&C build must be >= 3x slower than
+the 8-worker one. Wall-clock speedup only exists when the host has the
+cores, so the check reads the `host_cores` counter the bench attaches
+and exits 0 (skipped, loudly) when the host is narrower than
+--skip-below-cores. No baseline is needed in this mode.
+
 Exit codes: 0 = all named benchmarks within threshold, 1 = regression or
 missing benchmark, 2 = usage / unreadable input.
 
@@ -20,6 +28,10 @@ Examples:
       --current build/BENCH_engine.fresh.json \
       --normalize-by BM_BatchLengths/64 \
       --name BM_BatchLengths/256 --name BM_BatchLengths/1024
+  tools/bench_check.py --current /tmp/fresh_build.json \
+      --speedup-from BM_BuildDncThreads/64/1 \
+      --speedup-to BM_BuildDncThreads/64/8 \
+      --min-speedup 3.0 --skip-below-cores 8
 """
 
 import argparse
@@ -59,10 +71,57 @@ def normalize(times, reference, path):
     return {name: t / ref for name, t in times.items()}
 
 
+def load_counter(path, name, counter):
+    """Reads a user counter off one iteration run; None when absent."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.stderr.write(f"bench_check: cannot read {path}: {e}\n")
+        sys.exit(2)
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        if b.get("name") == name and isinstance(b.get(counter), (int, float)):
+            return float(b[counter])
+    return None
+
+
+def check_scaling(args):
+    """--speedup-from/--speedup-to: wall-clock scaling gate, no baseline."""
+    # Speedup is a wall-clock property; cpu_time sums across workers and
+    # would hide any parallelism, so this mode always reads real_time.
+    times = load_times(args.current, "real_time")
+    for name in (args.speedup_from, args.speedup_to):
+        if name not in times:
+            sys.stderr.write(
+                f"bench_check: '{name}' not found in {args.current}\n")
+            return 1
+    cores = load_counter(args.current, args.speedup_to, "host_cores")
+    if args.skip_below_cores > 0:
+        if cores is None:
+            sys.stderr.write(
+                f"bench_check: '{args.speedup_to}' carries no host_cores "
+                f"counter; cannot apply --skip-below-cores\n")
+            return 2
+        if cores < args.skip_below_cores:
+            print(f"bench_check: SKIPPED scaling gate — host has "
+                  f"{cores:.0f} cores, below --skip-below-cores "
+                  f"{args.skip_below_cores} (speedup unmeasurable)")
+            return 0
+    speedup = times[args.speedup_from] / times[args.speedup_to]
+    verdict = "ok" if speedup >= args.min_speedup else "FAIL"
+    print(f"bench_check: {args.speedup_from} / {args.speedup_to} = "
+          f"{speedup:.2f}x speedup (need >= {args.min_speedup:.2f}x, "
+          f"host_cores={cores if cores is not None else '?'}) {verdict}")
+    return 0 if verdict == "ok" else 1
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--baseline", required=True,
-                    help="committed BENCH_*.json (the trajectory)")
+    ap.add_argument("--baseline", default=None,
+                    help="committed BENCH_*.json (the trajectory); required "
+                         "except in scaling mode")
     ap.add_argument("--current", required=True,
                     help="freshly produced benchmark JSON")
     ap.add_argument("--threshold", type=float, default=0.25,
@@ -76,7 +135,27 @@ def main():
     ap.add_argument("--name", action="append", default=[],
                     help="benchmark to gate (repeatable); default: every "
                          "name present in the baseline")
+    ap.add_argument("--speedup-from", metavar="NAME", default=None,
+                    help="scaling mode: the slow (e.g. 1-worker) run")
+    ap.add_argument("--speedup-to", metavar="NAME", default=None,
+                    help="scaling mode: the fast (e.g. 8-worker) run")
+    ap.add_argument("--min-speedup", type=float, default=3.0,
+                    help="scaling mode: required from/to real_time ratio")
+    ap.add_argument("--skip-below-cores", type=int, default=0,
+                    help="scaling mode: exit 0 without judging when the "
+                         "current file's host_cores counter is below this")
     args = ap.parse_args()
+
+    if (args.speedup_from is None) != (args.speedup_to is None):
+        sys.stderr.write("bench_check: --speedup-from and --speedup-to "
+                         "must be given together\n")
+        return 2
+    if args.speedup_from is not None:
+        return check_scaling(args)
+    if args.baseline is None:
+        sys.stderr.write("bench_check: --baseline is required outside "
+                         "scaling mode\n")
+        return 2
 
     base = load_times(args.baseline, args.metric)
     cur = load_times(args.current, args.metric)

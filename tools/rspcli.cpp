@@ -25,6 +25,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -273,6 +274,22 @@ int cmd_info(const Args& args) {
     std::cout << "  V_R vertices (m):   " << info->num_vertices << "\n";
   } else if (info->kind == SnapshotPayloadKind::kBoundaryTree) {
     std::cout << "  recursion nodes:    " << info->num_tree_nodes << "\n";
+    // The tree is sublinear-space, so a full load is cheap here (unlike the
+    // O(n^2) all-pairs payload, which info never materializes). Report the
+    // port-matrix compression split: resident bytes vs dense-equivalent.
+    // read_snapshot_info rewound the stream, so load composes on it.
+    Result<SnapshotPayload> payload = load_snapshot(is);
+    if (!payload.ok()) return fail_status(payload.status());
+    if (payload->tree) {
+      const size_t pb = payload->tree->port_matrix_bytes();
+      const size_t pd = payload->tree->port_matrix_dense_bytes();
+      std::cout << "  port bytes:         " << pb << " (dense-equivalent " << pd;
+      if (pb > 0) {
+        std::cout << ", " << std::fixed << std::setprecision(1)
+                  << static_cast<double>(pd) / static_cast<double>(pb) << "x";
+      }
+      std::cout << ")\n";
+    }
   }
   return 0;
 }
