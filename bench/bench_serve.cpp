@@ -15,6 +15,11 @@
 //    64-request LEN herd into the shared dispatcher — the cross-client
 //    coalescing the session-per-connection reader pool exists for. The
 //    mean_batch counter must exceed 1 once C > 1: batches span clients.
+//  * BM_RouterBatch:      one BATCH k through a fleet Router over 3
+//    in-process shard channels — split, fan-out, collect, scatter-merge;
+//    against BM_ServeBatchRequest this is the router tax per batch.
+//  * BM_RouterHerd:       a 64-request LEN herd through the router — the
+//    per-request routing + exchange overhead, channels reused.
 //  * BM_ProtocolParse:    parser micro-cost of one LEN request line.
 //
 // All series run real QueryServer sessions over in-memory streams, so the
@@ -23,16 +28,22 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <deque>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <tuple>
 #include <vector>
 
 #include "io/gen.h"
+#include "io/manifest.h"
 #include "serve/protocol.h"
+#include "serve/router.h"
 #include "serve/server.h"
 
 namespace rsp {
@@ -166,6 +177,131 @@ void BM_ServeMultiClientHerd(benchmark::State& state) {
                 static_cast<double>(dispatches);
 }
 
+// ---------------------------------------------------------------------------
+// Fleet router overhead (serve/router.h)
+// ---------------------------------------------------------------------------
+
+// In-process shard channel answering from an Engine — the same transport
+// seam the fault-injection tests use, minus faults: the benchmark measures
+// pure router split/exchange/merge cost, not socket latency.
+class BenchShardChannel : public ShardChannel {
+ public:
+  explicit BenchShardChannel(const Engine* engine) : engine_(engine) {}
+
+  bool send(std::string_view data) override {
+    std::vector<std::string> lines;
+    size_t start = 0;
+    while (start < data.size()) {
+      size_t nl = data.find('\n', start);
+      if (nl == std::string_view::npos) nl = data.size();
+      lines.emplace_back(data.substr(start, nl - start));
+      start = nl + 1;
+    }
+    if (lines.empty()) return false;
+    size_t consumed = 0;
+    ParsedRequest pr = parse_request(lines[0], [&](std::string& l) {
+      if (consumed + 1 >= lines.size()) return false;
+      l = lines[++consumed];
+      return true;
+    });
+    if (!pr.ok) {
+      pending_.push_back(format_error("BAD_REQUEST", pr.error));
+      return true;
+    }
+    if (pr.req.verb == Verb::kBatch) {
+      Result<std::vector<Length>> r = engine_->lengths(pr.req.pairs);
+      pending_.push_back(r.ok() ? format_batch(*r) : format_error(r.status()));
+    } else {
+      Result<Length> r = engine_->length(pr.req.pairs[0].s, pr.req.pairs[0].t);
+      pending_.push_back(r.ok() ? format_length(*r) : format_error(r.status()));
+    }
+    return true;
+  }
+
+  bool recv_line(std::string& line, std::chrono::milliseconds) override {
+    if (pending_.empty()) return false;
+    line = pending_.front();
+    pending_.pop_front();
+    return true;
+  }
+
+ private:
+  const Engine* engine_;
+  std::deque<std::string> pending_;
+};
+
+// A synthetic 3-shard manifest over the scene: balanced row partition,
+// container x-extent split into even slabs. Routing is an affinity hint
+// (every "shard" here is the same engine), so the slab edges only shape
+// how a batch splits — which is exactly the cost under measurement.
+ShardManifest bench_manifest(const Scene& scene, size_t k) {
+  ShardManifest man;
+  man.num_obstacles = scene.num_obstacles();
+  man.m = 4 * man.num_obstacles;
+  Coord xmin = scene.obstacles()[0].xmin, xmax = xmin;
+  for (const Rect& r : scene.obstacles()) {
+    xmin = std::min(xmin, r.xmin);
+    xmax = std::max(xmax, r.xmax);
+  }
+  for (size_t i = 0; i < k; ++i) {
+    ShardEntry e;
+    e.file = "bench.shard" + std::to_string(i);
+    e.row_lo = man.m * i / k;
+    e.row_hi = man.m * (i + 1) / k;
+    e.x_lo = xmin + static_cast<Coord>((xmax - xmin) * static_cast<long>(i) /
+                                       static_cast<long>(k));
+    e.x_hi = i + 1 == k ? xmax + 1
+                        : xmin + static_cast<Coord>((xmax - xmin) *
+                                                    static_cast<long>(i + 1) /
+                                                    static_cast<long>(k));
+    e.checksum = i + 1;
+    man.shards.push_back(e);
+  }
+  return man;
+}
+
+void run_router_session(Router& r, const std::string& script) {
+  std::istringstream in(script);
+  std::ostringstream out;
+  r.serve(in, out);
+  benchmark::DoNotOptimize(out.str().size());
+}
+
+// One BATCH k per session through the 3-shard router.
+void BM_RouterBatch(benchmark::State& state) {
+  const auto k = static_cast<size_t>(state.range(0));
+  static Engine* engine = new Engine(
+      gen_uniform(48, 11), {.backend = Backend::kAllPairsSeq});
+  static Router* router = new Router(
+      bench_manifest(engine->scene(), 3),
+      [](size_t) -> std::unique_ptr<ShardChannel> {
+        return std::make_unique<BenchShardChannel>(engine);
+      });
+  const std::string script = batch_script(engine->scene(), k, 13);
+  for (auto _ : state) {
+    run_router_session(*router, script);
+  }
+  state.counters["queries_per_sec"] = benchmark::Counter(
+      static_cast<double>(k), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+// A pipelined 64-request LEN herd through the router (channel reuse).
+void BM_RouterHerd(benchmark::State& state) {
+  static Engine* engine = new Engine(
+      gen_uniform(48, 11), {.backend = Backend::kAllPairsSeq});
+  static Router* router = new Router(
+      bench_manifest(engine->scene(), 3),
+      [](size_t) -> std::unique_ptr<ShardChannel> {
+        return std::make_unique<BenchShardChannel>(engine);
+      });
+  const std::string script = herd_script(engine->scene(), 64, 7);
+  for (auto _ : state) {
+    run_router_session(*router, script);
+  }
+  state.counters["requests_per_sec"] = benchmark::Counter(
+      64.0, benchmark::Counter::kIsIterationInvariantRate);
+}
+
 // Parser micro-cost: one LEN line, no server.
 void BM_ProtocolParse(benchmark::State& state) {
   const std::string line = "LEN 123,-456 789,1011";
@@ -187,6 +323,9 @@ BENCHMARK(BM_ServeBatchRequest)->RangeMultiplier(4)->Range(4, 1024)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ServeMultiClientHerd)->RangeMultiplier(2)->Range(1, 8)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RouterBatch)->RangeMultiplier(4)->Range(64, 1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RouterHerd)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ProtocolParse);
 
 

@@ -1,5 +1,6 @@
 #include "api/engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <exception>
@@ -14,6 +15,7 @@
 #include "backend/boundary_tree.h"
 #include "baseline/dijkstra.h"
 #include "core/query.h"
+#include "io/manifest.h"
 #include "io/snapshot.h"
 #include "pram/parallel.h"
 #include "pram/scheduler.h"
@@ -132,6 +134,30 @@ Backend resolve_backend(const EngineOptions& opt, size_t num_obstacles) {
   }
   return opt.num_threads >= 2 ? Backend::kAllPairsParallel
                               : Backend::kAllPairsSeq;
+}
+
+// Unique temp name beside `path`: a failed write must not destroy an
+// existing good file, and concurrent savers must not interleave into one
+// temp, so the name is unique per process and per call.
+std::string unique_tmp_name(const std::string& path) {
+  static std::atomic<uint64_t> seq{0};
+  static const uint64_t process_tag = std::random_device{}();
+  std::ostringstream os;
+  os << path << ".tmp." << std::hex << process_tag << '.' << std::dec
+     << seq.fetch_add(1, std::memory_order_relaxed);
+  return os.str();
+}
+
+// Writes `tmp` into place at `path` (replace-on-rename on every platform).
+Status commit_tmp_file(const std::string& tmp, const std::string& path) {
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename '" + tmp + "' to '" + path +
+                           "': " + ec.message());
+  }
+  return Status::Ok();
 }
 
 size_t resolve_sched_width(const EngineOptions& opt, Backend resolved) {
@@ -361,15 +387,8 @@ Status Engine::save(std::ostream& os) const {
 Status Engine::save(const std::string& path) const {
   // Write-to-unique-temp-then-rename: a failed save (disk full, quota)
   // must not destroy a previous good snapshot at `path` — replicas keep
-  // opening the old file until the new one is complete — and concurrent
-  // savers (overlapping builder runs) must not interleave into one temp
-  // file, so the name is unique per process and per call.
-  static std::atomic<uint64_t> save_seq{0};
-  static const uint64_t process_tag = std::random_device{}();
-  std::ostringstream tmp_os;
-  tmp_os << path << ".tmp." << std::hex << process_tag << '.' << std::dec
-         << save_seq.fetch_add(1, std::memory_order_relaxed);
-  const std::string tmp = tmp_os.str();
+  // opening the old file until the new one is complete.
+  const std::string tmp = unique_tmp_name(path);
   std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
   if (!os) return Status::IoError("cannot open '" + tmp + "' for writing");
   Status st = save(os);
@@ -381,22 +400,125 @@ Status Engine::save(const std::string& path) const {
     std::remove(tmp.c_str());
     return st;
   }
-  // std::filesystem::rename replaces an existing destination on every
-  // platform (plain std::rename does not on Windows).
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::remove(tmp.c_str());
-    return Status::IoError("cannot rename '" + tmp + "' to '" + path +
-                           "': " + ec.message());
+  return commit_tmp_file(tmp, path);
+}
+
+Status Engine::save_sharded(const std::string& path, size_t num_shards) const {
+  if (num_shards == 0) {
+    return Status::InvalidQuery("save_sharded: shard count must be >= 1");
   }
-  return Status::Ok();
+  if (Status st = impl_->ensure_built(); !st.ok()) return st;
+  const AllPairsSP* sp =
+      impl_->backend ? impl_->backend->all_pairs() : nullptr;
+  if (sp == nullptr) {
+    return Status::SnapshotMismatch(
+        std::string("save_sharded needs a built all-pairs backend; '") +
+        backend_name(impl_->resolved) +
+        "' holds no row-partitionable tables (save a monolithic snapshot "
+        "instead)");
+  }
+  const AllPairsData& data = sp->data();
+  const size_t m = data.m;
+  // Clamp so no shard is empty; balanced contiguous row partition.
+  const size_t k = std::min(num_shards, m);
+  const std::string file_base =
+      std::filesystem::path(path).filename().string();
+  // Routing slabs: the container's x-extent split evenly. Pure affinity
+  // metadata — every shard server mounts the union, so slab edges affect
+  // cache locality and load spread, never correctness.
+  const Rect& bb = impl_->scene.container().bbox();
+  const long double xspan = static_cast<long double>(bb.xmax) -
+                            static_cast<long double>(bb.xmin) + 1;
+  ShardManifest man;
+  man.num_obstacles = impl_->scene.num_obstacles();
+  man.m = m;
+  for (size_t i = 0; i < k; ++i) {
+    ShardEntry e;
+    e.file = file_base + ".shard" + std::to_string(i);
+    e.kind = SnapshotPayloadKind::kAllPairsShard;
+    e.row_lo = m * i / k;
+    e.row_hi = m * (i + 1) / k;
+    e.x_lo = i == 0 ? bb.xmin
+                    : bb.xmin + static_cast<Coord>(xspan *
+                                                   static_cast<long double>(i) /
+                                                   static_cast<long double>(k));
+    e.x_hi = i + 1 == k
+                 ? bb.xmax + 1
+                 : bb.xmin + static_cast<Coord>(
+                                 xspan * static_cast<long double>(i + 1) /
+                                 static_cast<long double>(k));
+    man.shards.push_back(std::move(e));
+  }
+
+  // The per-source build makes row slices independent, so the k shard
+  // writers fan over the engine scheduler without copying any table.
+  const Length* dist0 = data.dist.storage().data();
+  const int32_t* pred0 = data.pred.data();
+  const int8_t* pass0 = data.pass.data();
+  std::vector<Status> shard_st(k, Status::Ok());
+  std::vector<uint64_t> checksums(k, 0);
+  Status fan = impl_->fan_out(k, [&](size_t i) {
+    const ShardEntry& e = man.shards[i];
+    AllPairsShardView v;
+    v.m = m;
+    v.row_lo = e.row_lo;
+    v.row_hi = e.row_hi;
+    v.dist = dist0 + e.row_lo * m;
+    v.pred = pred0 + e.row_lo * m;
+    v.pass = pass0 + e.row_lo * m;
+    const std::string shard_path = shard_file_path(path, e);
+    const std::string tmp = unique_tmp_name(shard_path);
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      shard_st[i] = Status::IoError("cannot open '" + tmp + "' for writing");
+      return;
+    }
+    Status st = save_snapshot(os, impl_->scene, v, &checksums[i]);
+    os.close();
+    if (st.ok() && !os.good()) {
+      st = Status::IoError("write to '" + tmp + "' failed");
+    }
+    if (!st.ok()) {
+      std::remove(tmp.c_str());
+      shard_st[i] = st;
+      return;
+    }
+    shard_st[i] = commit_tmp_file(tmp, shard_path);
+  });
+  if (!fan.ok()) return fan;
+  for (size_t i = 0; i < k; ++i) {
+    if (shard_st[i].ok()) continue;
+    // Remove the shards that did land: a partial set must not shadow an
+    // older complete one under the same names.
+    for (size_t j = 0; j < k; ++j) {
+      if (shard_st[j].ok()) {
+        std::remove(shard_file_path(path, man.shards[j]).c_str());
+      }
+    }
+    return shard_st[i];
+  }
+  for (size_t i = 0; i < k; ++i) man.shards[i].checksum = checksums[i];
+
+  // Manifest last, via its own temp: a reader that wins a race against
+  // this save sees either the old manifest or the new complete set, never
+  // a manifest naming files that do not exist yet.
+  const std::string tmp = unique_tmp_name(path);
+  if (Status st = save_manifest(tmp, man); !st.ok()) {
+    std::remove(tmp.c_str());
+    return st;
+  }
+  return commit_tmp_file(tmp, path);
 }
 
 Result<Engine> Engine::open(std::istream& is, EngineOptions opt) {
   Result<SnapshotPayload> payload = load_snapshot(is);
   if (!payload.ok()) return payload.status();
   SnapshotPayload& p = *payload;
+  if (p.kind == SnapshotPayloadKind::kAllPairsShard) {
+    return Status::SnapshotMismatch(
+        "snapshot holds a single all-pairs row shard; mount the shard set "
+        "through its manifest (open the manifest path instead)");
+  }
   try {
     auto impl = std::make_unique<Impl>(std::move(p.scene), opt);
     const bool empty = impl->scene.container().vertices().empty() ||
@@ -443,9 +565,106 @@ Result<Engine> Engine::open(std::istream& is, EngineOptions opt) {
 }
 
 Result<Engine> Engine::open(const std::string& path, EngineOptions opt) {
+  if (is_manifest_file(path)) return open_manifest(path, opt);
   std::ifstream is(path, std::ios::binary);
   if (!is) return Status::IoError("cannot open '" + path + "' for reading");
   return open(is, opt);
+}
+
+Result<Engine> Engine::open_manifest(const std::string& path,
+                                     EngineOptions opt) {
+  if (opt.backend == Backend::kBoundaryTree ||
+      opt.backend == Backend::kDijkstraBaseline) {
+    return Status::SnapshotMismatch(
+        std::string("a shard-set manifest holds all-pairs tables but "
+                    "backend '") +
+        backend_name(opt.backend) +
+        "' was requested; open with an all-pairs backend (or kAuto)");
+  }
+  Result<ShardManifest> rman = load_manifest(path);
+  if (!rman.ok()) return rman.status();
+  const ShardManifest& man = *rman;
+  const size_t m = man.m;
+
+  // Assemble the complete union *before* any engine state exists: a mount
+  // with a bad shard anywhere fails with nothing constructed — never a
+  // partially-filled table serving wrong answers for the missing rows.
+  std::optional<Scene> scene;
+  std::vector<Length> dist(m * m);
+  std::vector<int32_t> pred(m * m);
+  std::vector<int8_t> pass(m * m);
+  for (size_t i = 0; i < man.shards.size(); ++i) {
+    const ShardEntry& e = man.shards[i];
+    auto prefix = [&](const std::string& msg) {
+      std::ostringstream os;
+      os << "manifest shard " << i << " ('" << e.file << "'): " << msg;
+      return os.str();
+    };
+    const std::string spath = shard_file_path(path, e);
+    std::ifstream is(spath, std::ios::binary);
+    if (!is) {
+      return Status::IoError(prefix("cannot open '" + spath +
+                                    "' for reading"));
+    }
+    Result<SnapshotPayload> rp = load_snapshot(is);
+    if (!rp.ok()) return Status(rp.status().code(), prefix(rp.status().message()));
+    SnapshotPayload& p = *rp;
+    if (p.kind != SnapshotPayloadKind::kAllPairsShard || !p.shard) {
+      return Status::CorruptSnapshot(
+          prefix(std::string("file holds a '") + payload_kind_name(p.kind) +
+                 "' payload, not the all-pairs shard the manifest records"));
+    }
+    // The file is internally consistent (its own footer verified); this
+    // catches a *swapped or regenerated* shard whose content no longer
+    // matches what the manifest was written against.
+    if (p.payload_checksum != e.checksum) {
+      return Status::CorruptSnapshot(
+          prefix("payload checksum does not match the manifest record "
+                 "(shard file replaced after the manifest was written?)"));
+    }
+    const AllPairsShardData& sh = *p.shard;
+    if (sh.m != m || sh.row_lo != e.row_lo || sh.row_hi != e.row_hi) {
+      std::ostringstream os;
+      os << "shard table geometry m=" << sh.m << " rows [" << sh.row_lo
+         << ", " << sh.row_hi << ") disagrees with the manifest record [";
+      os << e.row_lo << ", " << e.row_hi << ") of m=" << m;
+      return Status::CorruptSnapshot(prefix(os.str()));
+    }
+    // Every shard must carry the same scene: rows from different builds
+    // must never be merged into one table.
+    if (!scene) {
+      scene = std::move(p.scene);
+    } else if (scene->obstacles() != p.scene.obstacles() ||
+               scene->container().vertices() !=
+                   p.scene.container().vertices()) {
+      return Status::CorruptSnapshot(
+          prefix("shard scene differs from the other shards' scene"));
+    }
+    std::copy(sh.dist.begin(), sh.dist.end(), dist.begin() + sh.row_lo * m);
+    std::copy(sh.pred.begin(), sh.pred.end(), pred.begin() + sh.row_lo * m);
+    std::copy(sh.pass.begin(), sh.pass.end(), pass.begin() + sh.row_lo * m);
+  }
+
+  AllPairsData data;
+  data.m = m;
+  data.dist = Matrix(m, m, std::move(dist));
+  data.pred = std::move(pred);
+  data.pass = std::move(pass);
+  try {
+    auto impl = std::make_unique<Impl>(std::move(*scene), opt);
+    if (opt.backend == Backend::kAuto) {
+      // A mounted shard set serves what was built: all-pairs, never the
+      // size-threshold boundary-tree pick.
+      impl->resolved = impl->sched ? Backend::kAllPairsParallel
+                                   : Backend::kAllPairsSeq;
+    }
+    impl->restored_data = std::move(data);
+    if (Status st = impl->ensure_built(); !st.ok()) return st;
+    return Engine(std::move(impl));
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("shard-set restore failed: ") +
+                            e.what());
+  }
 }
 
 const Scene& Engine::scene() const { return impl_->scene; }

@@ -149,6 +149,23 @@ class Engine {
   static Result<Engine> open(const std::string& path, EngineOptions opt = {});
   static Result<Engine> open(std::istream& is, EngineOptions opt = {});
 
+  // Sharded persistence for fleet serving (io/manifest.h). Splits the
+  // built all-pairs tables into `num_shards` balanced contiguous
+  // source-row slices, writes each as its own snapshot
+  // (`path + ".shard<i>"`, parallelized over the engine scheduler — the
+  // per-source tables make the slices independent), then writes the
+  // manifest at `path` naming every shard's row range, routing slab
+  // (container x-extent split evenly), and payload checksum. The path
+  // overload of open() recognizes the manifest magic and mounts the union:
+  // the restored engine is query-for-query identical to one opened from a
+  // monolithic snapshot. Requires a built all-pairs backend
+  // (kSnapshotMismatch otherwise — the boundary tree is not
+  // row-partitionable); num_shards is clamped to m so no shard is empty.
+  // Like save(), shard files are written to unique temp names and renamed,
+  // and the manifest is written last — a failed save never leaves a
+  // mountable-but-wrong shard set at `path`.
+  Status save_sharded(const std::string& path, size_t num_shards) const;
+
   const Scene& scene() const;
   const EngineOptions& options() const;
   Backend backend() const;  // resolved: never kAuto
@@ -205,6 +222,12 @@ class Engine {
 
  private:
   struct Impl;
+  // Mounts a shard-set manifest (io/manifest.h): loads every shard file,
+  // verifies it against its manifest record, assembles the full all-pairs
+  // union before any engine state exists — a mount either serves the whole
+  // table set or fails with nothing constructed.
+  static Result<Engine> open_manifest(const std::string& path,
+                                      EngineOptions opt);
   explicit Engine(std::unique_ptr<Impl> impl);
   std::unique_ptr<Impl> impl_;
 };

@@ -1,0 +1,279 @@
+#include "io/manifest.h"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace rsp {
+
+namespace {
+
+std::string shard_label(size_t i) {
+  std::ostringstream os;
+  os << "manifest shard " << i;
+  return os.str();
+}
+
+// Strict unsigned decimal parse (no sign, no trailing junk).
+bool parse_u64(const std::string& tok, uint64_t& out) {
+  if (tok.empty() || tok.size() > 20) return false;
+  uint64_t v = 0;
+  for (char c : tok) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t d = static_cast<uint64_t>(c - '0');
+    if (v > (UINT64_MAX - d) / 10) return false;
+    v = v * 10 + d;
+  }
+  out = v;
+  return true;
+}
+
+bool parse_i64(const std::string& tok, int64_t& out) {
+  if (tok.empty()) return false;
+  const bool neg = tok[0] == '-';
+  uint64_t mag = 0;
+  if (!parse_u64(neg ? tok.substr(1) : tok, mag)) return false;
+  if (neg) {
+    if (mag > static_cast<uint64_t>(INT64_MAX) + 1) return false;
+    out = static_cast<int64_t>(~mag + 1);
+  } else {
+    if (mag > static_cast<uint64_t>(INT64_MAX)) return false;
+    out = static_cast<int64_t>(mag);
+  }
+  return true;
+}
+
+bool parse_hex64(const std::string& tok, uint64_t& out) {
+  if (tok.empty() || tok.size() > 16) return false;
+  uint64_t v = 0;
+  for (char c : tok) {
+    uint64_t d;
+    if (c >= '0' && c <= '9') d = static_cast<uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') d = static_cast<uint64_t>(c - 'a' + 10);
+    else return false;
+    v = (v << 4) | d;
+  }
+  out = v;
+  return true;
+}
+
+std::string hex64(uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return s;
+}
+
+}  // namespace
+
+Status validate_manifest(const ShardManifest& man) {
+  if (man.m == 0 || man.m != 4 * man.num_obstacles) {
+    std::ostringstream os;
+    os << "manifest table size mismatch: m = " << man.m << " but "
+       << man.num_obstacles << " obstacles (expected m = "
+       << 4 * man.num_obstacles << ")";
+    return Status::CorruptSnapshot(os.str());
+  }
+  if (man.shards.empty()) {
+    return Status::CorruptSnapshot("manifest names no shards");
+  }
+  for (size_t i = 0; i < man.shards.size(); ++i) {
+    const ShardEntry& e = man.shards[i];
+    if (e.file.empty()) {
+      return Status::CorruptSnapshot(shard_label(i) + " has no file name");
+    }
+    // Mixed kinds get their own diagnosis below; a uniform non-shard kind
+    // is a payload this manifest version cannot mount.
+    if (e.kind != SnapshotPayloadKind::kAllPairsShard &&
+        e.kind == man.shards[0].kind) {
+      return Status::SnapshotMismatch(
+          shard_label(i) + " carries payload kind '" +
+          payload_kind_name(e.kind) +
+          "'; a version-1 manifest mounts only all-pairs-shard payloads");
+    }
+    if (e.kind != man.shards[0].kind) {
+      return Status::SnapshotMismatch(
+          "manifest mixes payload kinds: shard 0 is '" +
+          std::string(payload_kind_name(man.shards[0].kind)) + "' but " +
+          shard_label(i) + " is '" + payload_kind_name(e.kind) + "'");
+    }
+    if (e.row_lo >= e.row_hi || e.row_hi > man.m) {
+      std::ostringstream os;
+      os << shard_label(i) << " row range [" << e.row_lo << ", " << e.row_hi
+         << ") is not a valid slice of [0, " << man.m << ")";
+      return Status::CorruptSnapshot(os.str());
+    }
+    const size_t expect_lo = i == 0 ? 0 : man.shards[i - 1].row_hi;
+    if (e.row_lo != expect_lo) {
+      std::ostringstream os;
+      os << shard_label(i) << " row range [" << e.row_lo << ", " << e.row_hi
+         << ") " << (e.row_lo < expect_lo ? "overlaps" : "leaves a gap after")
+         << " the previous shard (expected row_lo = " << expect_lo << ")";
+      return Status::CorruptSnapshot(os.str());
+    }
+    if (e.x_lo > e.x_hi || (i > 0 && e.x_lo < man.shards[i - 1].x_hi)) {
+      return Status::CorruptSnapshot(shard_label(i) +
+                                     " routing slab out of order");
+    }
+  }
+  if (man.shards.back().row_hi != man.m) {
+    std::ostringstream os;
+    os << "manifest shard rows end at " << man.shards.back().row_hi
+       << " leaving a gap before m = " << man.m;
+    return Status::CorruptSnapshot(os.str());
+  }
+  return Status::Ok();
+}
+
+Status save_manifest(std::ostream& os, const ShardManifest& man) {
+  if (Status st = validate_manifest(man); !st.ok()) return st;
+  os << kManifestMagic << ' ' << kManifestFormatVersion << '\n'
+     << "obstacles " << man.num_obstacles << '\n'
+     << "m " << man.m << '\n'
+     << "shards " << man.shards.size() << '\n';
+  for (size_t i = 0; i < man.shards.size(); ++i) {
+    const ShardEntry& e = man.shards[i];
+    os << "shard " << i << ' ' << e.file << ' ' << payload_kind_name(e.kind)
+       << ' ' << e.row_lo << ' ' << e.row_hi << ' ' << e.x_lo << ' ' << e.x_hi
+       << ' ' << hex64(e.checksum) << '\n';
+  }
+  os.flush();
+  if (!os.good()) return Status::IoError("manifest write failed (stream error)");
+  return Status::Ok();
+}
+
+Status save_manifest(const std::string& path, const ShardManifest& man) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return Status::IoError("cannot open '" + path + "' for writing");
+  Status st = save_manifest(os, man);
+  os.close();
+  if (st.ok() && !os.good()) {
+    st = Status::IoError("write to '" + path + "' failed");
+  }
+  return st;
+}
+
+Result<ShardManifest> load_manifest(std::istream& is) {
+  std::string line;
+  auto next_line = [&](const char* what) -> Result<std::string> {
+    if (!std::getline(is, line)) {
+      return Status::CorruptSnapshot(std::string("manifest truncated before ") +
+                                     what);
+    }
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    return line;
+  };
+  auto field = [](const std::string& l, const char* key,
+                  uint64_t& out) -> Status {
+    std::istringstream ls(l);
+    std::string k, v, extra;
+    if (!(ls >> k >> v) || k != key || (ls >> extra) ||
+        !parse_u64(v, out)) {
+      return Status::CorruptSnapshot(std::string("manifest: expected '") +
+                                     key + " <count>', got '" + l + "'");
+    }
+    return Status::Ok();
+  };
+
+  Result<std::string> l = next_line("magic");
+  if (!l.ok()) return l.status();
+  {
+    std::istringstream ls(*l);
+    std::string magic, ver, extra;
+    uint64_t v = 0;
+    if (!(ls >> magic >> ver) || magic != kManifestMagic || (ls >> extra) ||
+        !parse_u64(ver, v)) {
+      return Status::CorruptSnapshot("bad magic: not an rsp shard manifest");
+    }
+    if (v != kManifestFormatVersion) {
+      std::ostringstream os;
+      os << "manifest format version " << v << " (this build speaks "
+         << kManifestFormatVersion << ")";
+      return Status::VersionMismatch(os.str());
+    }
+  }
+
+  ShardManifest man;
+  uint64_t nobs = 0, m = 0, k = 0;
+  if (l = next_line("obstacle count"); !l.ok()) return l.status();
+  if (Status st = field(*l, "obstacles", nobs); !st.ok()) return st;
+  if (l = next_line("vertex count"); !l.ok()) return l.status();
+  if (Status st = field(*l, "m", m); !st.ok()) return st;
+  if (l = next_line("shard count"); !l.ok()) return l.status();
+  if (Status st = field(*l, "shards", k); !st.ok()) return st;
+  man.num_obstacles = static_cast<size_t>(nobs);
+  man.m = static_cast<size_t>(m);
+  if (k == 0 || k > m) {
+    return Status::CorruptSnapshot("manifest shard count out of range");
+  }
+
+  for (uint64_t i = 0; i < k; ++i) {
+    if (l = next_line("shard record"); !l.ok()) return l.status();
+    std::istringstream ls(*l);
+    std::string tag, idx, file, kind, rlo, rhi, xlo, xhi, sum, extra;
+    if (!(ls >> tag >> idx >> file >> kind >> rlo >> rhi >> xlo >> xhi >>
+          sum) ||
+        tag != "shard" || (ls >> extra)) {
+      return Status::CorruptSnapshot(shard_label(static_cast<size_t>(i)) +
+                                     " record malformed: '" + *l + "'");
+    }
+    ShardEntry e;
+    uint64_t ei = 0, erlo = 0, erhi = 0;
+    int64_t exlo = 0, exhi = 0;
+    std::optional<SnapshotPayloadKind> ek = payload_kind_from_name(kind);
+    if (!parse_u64(idx, ei) || ei != i || !ek.has_value() ||
+        !parse_u64(rlo, erlo) || !parse_u64(rhi, erhi) ||
+        !parse_i64(xlo, exlo) || !parse_i64(xhi, exhi) ||
+        !parse_hex64(sum, e.checksum)) {
+      return Status::CorruptSnapshot(shard_label(static_cast<size_t>(i)) +
+                                     " record malformed: '" + *l + "'");
+    }
+    e.file = std::move(file);
+    e.kind = *ek;
+    e.row_lo = static_cast<size_t>(erlo);
+    e.row_hi = static_cast<size_t>(erhi);
+    e.x_lo = exlo;
+    e.x_hi = exhi;
+    man.shards.push_back(std::move(e));
+  }
+  if (Status st = validate_manifest(man); !st.ok()) return st;
+  return man;
+}
+
+Result<ShardManifest> load_manifest(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IoError("cannot open '" + path + "' for reading");
+  return load_manifest(is);
+}
+
+bool is_manifest_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  std::string magic(std::char_traits<char>::length(kManifestMagic), '\0');
+  is.read(magic.data(), static_cast<std::streamsize>(magic.size()));
+  return is.gcount() == static_cast<std::streamsize>(magic.size()) &&
+         magic == kManifestMagic;
+}
+
+std::string shard_file_path(const std::string& manifest_path,
+                            const ShardEntry& entry) {
+  const std::filesystem::path shard(entry.file);
+  if (shard.is_absolute()) return entry.file;
+  return (std::filesystem::path(manifest_path).parent_path() / shard)
+      .string();
+}
+
+size_t route_by_x(const ShardManifest& man, Coord x) {
+  for (size_t i = 0; i + 1 < man.shards.size(); ++i) {
+    if (x < man.shards[i].x_hi) return i;
+  }
+  return man.shards.size() - 1;
+}
+
+}  // namespace rsp

@@ -1,0 +1,92 @@
+#pragma once
+// Shard-set manifest: the small text file naming a row-partitioned
+// snapshot fleet (io/snapshot.h kind 3, SnapshotPayloadKind::kAllPairsShard).
+//
+// Engine::save_sharded(path, k) writes k shard snapshots — shard i holds
+// source rows [row_lo, row_hi) of the all-pairs tables, all m columns —
+// plus this manifest at `path`. Engine::open(path) recognizes the magic,
+// loads every shard, verifies it against its manifest record, and serves
+// the union; `rspcli serve --router` reads the same manifest to route
+// requests to shard servers by source x-coordinate slab.
+//
+// Format (text, LF lines, fields separated by single spaces):
+//
+//   RSPMANIFEST 1
+//   obstacles <n>
+//   m <m>
+//   shards <k>
+//   shard <i> <file> <kind> <row_lo> <row_hi> <x_lo> <x_hi> <checksum>
+//   ... (k shard lines, i ascending from 0)
+//
+// <file> is relative to the manifest's own directory (a shard set moves as
+// one directory). <kind> is a payload_kind_name; version 1 manifests admit
+// only "all-pairs-shard". [row_lo, row_hi) ranges must partition [0, m)
+// contiguously in order; [x_lo, x_hi) are the router's source-coordinate
+// slabs, ascending and non-overlapping. <checksum> is the shard file's
+// payload checksum as 16 lowercase hex digits — recorded here so a mount
+// detects a swapped or regenerated shard file even when that file is
+// internally consistent.
+//
+// Error contract mirrors io/snapshot.h: nothing here throws across the
+// API. Structural inconsistency (bad ranges, bad fields, checksum text) is
+// kCorruptSnapshot; a payload kind the manifest version does not admit
+// (or mixed kinds) is kSnapshotMismatch; file-system failures are
+// kIoError. Precise messages name the offending shard.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "api/status.h"
+#include "io/snapshot.h"
+
+namespace rsp {
+
+inline constexpr uint32_t kManifestFormatVersion = 1;
+// First bytes of every manifest file; Engine::open sniffs this to pick the
+// mount path (binary snapshots start with "RSPSNAP\0" instead).
+inline constexpr const char* kManifestMagic = "RSPMANIFEST";
+
+struct ShardEntry {
+  std::string file;  // relative to the manifest's directory
+  SnapshotPayloadKind kind = SnapshotPayloadKind::kAllPairsShard;
+  size_t row_lo = 0, row_hi = 0;  // source rows [row_lo, row_hi)
+  Coord x_lo = 0, x_hi = 0;       // routing slab: source x in [x_lo, x_hi)
+  uint64_t checksum = 0;          // the shard file's payload checksum
+};
+
+struct ShardManifest {
+  size_t num_obstacles = 0;
+  size_t m = 0;  // == 4 * num_obstacles
+  std::vector<ShardEntry> shards;
+};
+
+// Structural validation, shared by save and load: m == 4 * obstacles > 0,
+// at least one shard, row ranges a contiguous in-order partition of
+// [0, m), slabs ascending and non-overlapping, one uniform payload kind
+// admitted by this manifest version. Does not touch the file system — the
+// per-shard file checks (existence, checksum, range agreement) happen at
+// mount (Engine::open).
+Status validate_manifest(const ShardManifest& man);
+
+Status save_manifest(std::ostream& os, const ShardManifest& man);
+Status save_manifest(const std::string& path, const ShardManifest& man);
+Result<ShardManifest> load_manifest(std::istream& is);
+Result<ShardManifest> load_manifest(const std::string& path);
+
+// True when `path` opens and begins with kManifestMagic.
+bool is_manifest_file(const std::string& path);
+
+// The absolute/joined path of a shard file named by a manifest at
+// `manifest_path` (manifest-relative resolution).
+std::string shard_file_path(const std::string& manifest_path,
+                            const ShardEntry& entry);
+
+// The shard whose [x_lo, x_hi) slab contains `x` — the router's source
+// routing rule. Points left of every slab map to shard 0, right of every
+// slab to the last: routing is a pure affinity hint, every shard *server*
+// mounts the full union, so correctness never depends on the slab edges.
+size_t route_by_x(const ShardManifest& man, Coord x);
+
+}  // namespace rsp

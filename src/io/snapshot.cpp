@@ -332,6 +332,77 @@ void write_all_pairs(Writer& w, const AllPairsData& data) {
   }
 }
 
+// ---- All-pairs row-shard payload (SnapshotPayloadKind::kAllPairsShard) ----
+
+void write_shard(Writer& w, const AllPairsShardView& shard) {
+  const size_t rows = shard.row_hi - shard.row_lo;
+  const size_t n = rows * shard.m;
+  w.u64(shard.m);
+  w.u64(shard.row_lo);
+  w.u64(shard.row_hi);
+  if constexpr (kHostLittleEndian) {
+    w.bytes(shard.dist, n * sizeof(Length));
+    w.bytes(shard.pred, n * sizeof(int32_t));
+    w.bytes(shard.pass, n * sizeof(int8_t));
+  } else {
+    for (size_t i = 0; i < n; ++i) w.i64(shard.dist[i]);
+    for (size_t i = 0; i < n; ++i) w.i32(shard.pred[i]);
+    for (size_t i = 0; i < n; ++i) w.i8(shard.pass[i]);
+  }
+}
+
+AllPairsShardData read_shard(Reader& r, const Scene& scene) {
+  AllPairsShardData shard;
+  const uint64_t m = r.u64("shard vertex count m");
+  if (m != 4 * static_cast<uint64_t>(scene.num_obstacles())) {
+    std::ostringstream os;
+    os << "shard table size mismatch: m = " << m << " but scene has "
+       << scene.num_obstacles() << " obstacles (expected m = "
+       << 4 * scene.num_obstacles() << ")";
+    fail_corrupt(os.str());
+  }
+  const uint64_t row_lo = r.u64("shard row_lo");
+  const uint64_t row_hi = r.u64("shard row_hi");
+  if (row_lo >= row_hi || row_hi > m) {
+    fail_corrupt("shard source-row range out of order");
+  }
+  shard.m = static_cast<size_t>(m);
+  shard.row_lo = static_cast<size_t>(row_lo);
+  shard.row_hi = static_cast<size_t>(row_hi);
+  const size_t n = shard.rows() * shard.m;
+  read_pod_table(r, shard.dist, n, "shard dist slice");
+  read_pod_table(r, shard.pred, n, "shard pred slice");
+  read_pod_table(r, shard.pass, n, "shard pass slice");
+  // The same row-local validation the full tables get (see read_all_pairs:
+  // pred entries index *columns* of their own row, so a slice validates
+  // without its sibling shards).
+  for (size_t a = 0; a < shard.rows(); ++a) {
+    const Length* dist_row = shard.dist.data() + a * shard.m;
+    const int32_t* pred_row = shard.pred.data() + a * shard.m;
+    for (size_t b = 0; b < shard.m; ++b) {
+      const Length db = dist_row[b];
+      if (db < 0 || db > kInf) fail_corrupt("shard dist entry out of range");
+      const int32_t p = pred_row[b];
+      if (p < 0) {
+        if (p < -1) fail_corrupt("shard pred entry out of range");
+        continue;
+      }
+      if (static_cast<size_t>(p) >= shard.m) {
+        fail_corrupt("shard pred entry out of range");
+      }
+      if (db >= kInf || dist_row[p] >= db) {
+        fail_corrupt("shard pred slice inconsistent with dist slice");
+      }
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (shard.pass[i] > 3 || shard.pass[i] < -1) {
+      fail_corrupt("shard pass entry out of range");
+    }
+  }
+  return shard;
+}
+
 AllPairsData read_all_pairs(Reader& r, const Scene& scene) {
   AllPairsData data;
   const uint64_t m = r.u64("vertex count m");
@@ -656,23 +727,30 @@ Header read_header(Reader& r) {
   unsigned char kind_and_reserved[4];
   r.raw(kind_and_reserved, 4, "payload kind");
   const uint8_t kind = kind_and_reserved[0];
-  if (kind > static_cast<uint8_t>(SnapshotPayloadKind::kBoundaryTree)) {
+  if (kind > static_cast<uint8_t>(SnapshotPayloadKind::kAllPairsShard)) {
     fail_corrupt("unknown payload kind");
   }
   if (kind == static_cast<uint8_t>(SnapshotPayloadKind::kBoundaryTree) &&
       version < 2) {
     fail_corrupt("boundary-tree payload in a version-1 snapshot");
   }
+  if (kind == static_cast<uint8_t>(SnapshotPayloadKind::kAllPairsShard) &&
+      version < 4) {
+    fail_corrupt("all-pairs shard payload in a pre-version-4 snapshot");
+  }
   return Header{static_cast<SnapshotPayloadKind>(kind), version};
 }
 
-void check_footer(Reader& r) {
+// Returns the verified checksum (== stored == computed) so loads can
+// surface it (SnapshotPayload::payload_checksum).
+uint64_t check_footer(Reader& r) {
   const uint64_t expected = r.finish_hash();  // before the unhashed footer
   unsigned char buf[8];
   r.raw(buf, 8, "checksum");
   uint64_t stored = 0;
   for (size_t i = 0; i < 8; ++i) stored |= static_cast<uint64_t>(buf[i]) << (8 * i);
   if (stored != expected) fail_corrupt("payload checksum mismatch");
+  return stored;
 }
 
 void write_header(Writer& w, SnapshotPayloadKind kind) {
@@ -687,7 +765,8 @@ void write_header(Writer& w, SnapshotPayloadKind kind) {
   w.raw(kind_and_reserved, 4);
 }
 
-Status write_footer(Writer& w, std::ostream& os) {
+Status write_footer(Writer& w, std::ostream& os,
+                    uint64_t* checksum_out = nullptr) {
   const uint64_t checksum = w.finish_hash();
   unsigned char cbuf[8];
   for (size_t i = 0; i < 8; ++i) {
@@ -697,6 +776,7 @@ Status write_footer(Writer& w, std::ostream& os) {
   w.flush();
   os.flush();
   if (!os.good()) return Status::IoError("snapshot write failed (stream error)");
+  if (checksum_out != nullptr) *checksum_out = checksum;
   return Status::Ok();
 }
 
@@ -707,8 +787,20 @@ const char* payload_kind_name(SnapshotPayloadKind kind) {
     case SnapshotPayloadKind::kSceneOnly: return "scene-only";
     case SnapshotPayloadKind::kAllPairs: return "all-pairs";
     case SnapshotPayloadKind::kBoundaryTree: return "boundary-tree";
+    case SnapshotPayloadKind::kAllPairsShard: return "all-pairs-shard";
   }
   return "unknown";
+}
+
+std::optional<SnapshotPayloadKind> payload_kind_from_name(
+    std::string_view name) {
+  for (SnapshotPayloadKind k :
+       {SnapshotPayloadKind::kSceneOnly, SnapshotPayloadKind::kAllPairs,
+        SnapshotPayloadKind::kBoundaryTree,
+        SnapshotPayloadKind::kAllPairsShard}) {
+    if (name == payload_kind_name(k)) return k;
+  }
+  return std::nullopt;
 }
 
 Status save_snapshot(std::ostream& os, const Scene& scene,
@@ -738,6 +830,22 @@ Status save_snapshot(std::ostream& os, const Scene& scene,
   return write_footer(w, os);
 }
 
+Status save_snapshot(std::ostream& os, const Scene& scene,
+                     const AllPairsShardView& shard,
+                     uint64_t* payload_checksum) {
+  if (shard.m != 4 * scene.num_obstacles() || shard.row_lo >= shard.row_hi ||
+      shard.row_hi > shard.m || shard.dist == nullptr ||
+      shard.pred == nullptr || shard.pass == nullptr) {
+    return Status::Internal(
+        "save_snapshot: AllPairsShardView does not belong to scene");
+  }
+  Writer w(os);
+  write_header(w, SnapshotPayloadKind::kAllPairsShard);
+  write_scene(w, scene);
+  write_shard(w, shard);
+  return write_footer(w, os, payload_checksum);
+}
+
 Result<SnapshotPayload> load_snapshot(std::istream& is) {
   try {
     Reader r(is);
@@ -749,8 +857,10 @@ Result<SnapshotPayload> load_snapshot(std::istream& is) {
       payload.data = read_all_pairs(r, payload.scene);
     } else if (payload.kind == SnapshotPayloadKind::kBoundaryTree) {
       payload.tree = read_tree(r, payload.scene, h.version);
+    } else if (payload.kind == SnapshotPayloadKind::kAllPairsShard) {
+      payload.shard = read_shard(r, payload.scene);
     }
-    check_footer(r);
+    payload.payload_checksum = check_footer(r);
     r.return_unused_to_stream();
     return payload;
   } catch (const SnapshotError& e) {
@@ -775,6 +885,10 @@ Result<SnapshotInfo> read_snapshot_info(std::istream& is) {
       info.num_vertices = static_cast<size_t>(r.u64("vertex count m"));
     } else if (info.kind == SnapshotPayloadKind::kBoundaryTree) {
       info.num_tree_nodes = static_cast<size_t>(r.u64("tree node count"));
+    } else if (info.kind == SnapshotPayloadKind::kAllPairsShard) {
+      info.num_vertices = static_cast<size_t>(r.u64("shard vertex count m"));
+      info.row_lo = static_cast<size_t>(r.u64("shard row_lo"));
+      info.row_hi = static_cast<size_t>(r.u64("shard row_hi"));
     }
     // Pure peek on a seekable stream: rewind to where the snapshot began
     // so the caller can hand the same stream straight to load_snapshot.

@@ -12,7 +12,8 @@
 //   [ 4] format version   u32 (kSnapshotFormatVersion)
 //   [ 1] payload kind     u8  (0 = scene only, 1 = scene + all-pairs,
 //                              2 = scene + boundary tree; kind 2 requires
-//                              format version >= 2)
+//                              format version >= 2; 3 = scene + one
+//                              all-pairs row shard, requires version >= 4)
 //   [ 3] reserved         zero
 //   ---- checksummed payload ----
 //   [..] scene            container vertex cycle, then obstacle rects
@@ -27,6 +28,10 @@
 //                         breakpoint-compressed parts of
 //                         monge/compressed.h: row0, col0, breakpoint
 //                         count, CSR starts, rows, deltas)
+//   [..] all-pairs shard  (kind 3 only) m, row_lo, row_hi, then the
+//                         row-major slices of the three tables restricted
+//                         to source rows [row_lo, row_hi): dist (i64),
+//                         pred (i32), pass (i8), each (row_hi-row_lo) x m
 //   ---- end of payload ----
 //   [ 8] checksum         u64: 4-lane interleaved FNV-1a over the payload
 //                         64-bit LE words (word i -> lane i mod 4, final
@@ -35,8 +40,10 @@
 // Version history: v1 wrote kinds 0 and 1 only; v2 added the boundary-tree
 // kind; v3 Monge-compresses the boundary-tree port matrices (dense v1/v2
 // snapshots still load — their ports are compressed on load by the same
-// deterministic encoder the builder runs). This build writes v3 and reads
-// v1..v3; the payload encodings of the non-tree kinds are unchanged.
+// deterministic encoder the builder runs); v4 adds the all-pairs row-shard
+// kind for fleet deployments (io/manifest.h names a shard set and
+// Engine::open mounts the union). This build writes v4 and reads v1..v4;
+// the payload encodings of the pre-existing kinds are unchanged.
 //
 // The all-pairs section is exactly the O(n^2) product of the §9 build
 // (AllPairsData: the V_R-to-V_R length matrix plus predecessor/pass
@@ -61,6 +68,8 @@
 #include <iosfwd>
 #include <memory>
 #include <optional>
+#include <string_view>
+#include <vector>
 
 #include "api/status.h"
 #include "core/dnc_builder.h"
@@ -69,25 +78,59 @@
 
 namespace rsp {
 
-inline constexpr uint32_t kSnapshotFormatVersion = 3;
+inline constexpr uint32_t kSnapshotFormatVersion = 4;
 // Oldest format version this build still reads.
 inline constexpr uint32_t kSnapshotMinReadVersion = 1;
 
 enum class SnapshotPayloadKind : uint8_t {
-  kSceneOnly = 0,     // structure-free backends (Dijkstra) / unbuilt engines
-  kAllPairs = 1,      // scene + the built AllPairsData
-  kBoundaryTree = 2,  // scene + the retained DncTree (format v2+)
+  kSceneOnly = 0,      // structure-free backends (Dijkstra) / unbuilt engines
+  kAllPairs = 1,       // scene + the built AllPairsData
+  kBoundaryTree = 2,   // scene + the retained DncTree (format v2+)
+  kAllPairsShard = 3,  // scene + one source-row slice of the tables (v4+);
+                       //   only meaningful as part of a manifest-named
+                       //   shard set (io/manifest.h)
 };
 
 const char* payload_kind_name(SnapshotPayloadKind kind);
+// Inverse of payload_kind_name (accepts exactly its outputs); nullopt for
+// anything else. Manifest parsing uses this.
+std::optional<SnapshotPayloadKind> payload_kind_from_name(
+    std::string_view name);
+
+// Save-side view of one all-pairs row shard: borrowed row-major slices of
+// the full tables, each spanning source rows [row_lo, row_hi) x all m
+// columns. Engine::save_sharded builds these over the resident tables so
+// the k shard writers never copy the O(m^2) state.
+struct AllPairsShardView {
+  size_t m = 0;
+  size_t row_lo = 0, row_hi = 0;
+  const Length* dist = nullptr;   // (row_hi - row_lo) * m entries
+  const int32_t* pred = nullptr;  // (row_hi - row_lo) * m entries
+  const int8_t* pass = nullptr;   // (row_hi - row_lo) * m entries
+};
+
+// Load-side owning form of the same slice.
+struct AllPairsShardData {
+  size_t m = 0;
+  size_t row_lo = 0, row_hi = 0;
+  std::vector<Length> dist;
+  std::vector<int32_t> pred;
+  std::vector<int8_t> pass;
+  size_t rows() const { return row_hi - row_lo; }
+};
 
 // What a snapshot restores to. `data` is engaged iff kind == kAllPairs;
-// `tree` is set iff kind == kBoundaryTree.
+// `tree` is set iff kind == kBoundaryTree; `shard` is engaged iff kind ==
+// kAllPairsShard. `payload_checksum` is the file's verified footer value —
+// manifest mounting compares it against the manifest's recorded checksum
+// to catch internally-valid-but-swapped shard files.
 struct SnapshotPayload {
   SnapshotPayloadKind kind = SnapshotPayloadKind::kSceneOnly;
   Scene scene;
   std::optional<AllPairsData> data;
   std::shared_ptr<const DncTree> tree;
+  std::optional<AllPairsShardData> shard;
+  uint64_t payload_checksum = 0;
 };
 
 // Header + sizes, readable without materializing the payload tables
@@ -98,8 +141,9 @@ struct SnapshotInfo {
   SnapshotPayloadKind kind = SnapshotPayloadKind::kSceneOnly;
   size_t num_obstacles = 0;
   size_t num_container_vertices = 0;
-  size_t num_vertices = 0;    // m (all-pairs snapshots only)
+  size_t num_vertices = 0;    // m (all-pairs and shard snapshots)
   size_t num_tree_nodes = 0;  // recursion nodes (boundary-tree only)
+  size_t row_lo = 0, row_hi = 0;  // source-row range (shard snapshots only)
 };
 
 // Writes a snapshot of `scene` (and, when non-null, the built all-pairs
@@ -114,6 +158,16 @@ Status save_snapshot(std::ostream& os, const Scene& scene,
 // for `scene` (load re-validates every structural invariant).
 Status save_snapshot(std::ostream& os, const Scene& scene,
                      const DncTree& tree);
+
+// Writes one all-pairs row shard (SnapshotPayloadKind::kAllPairsShard).
+// The view must belong to `scene` (m == 4 * obstacles, 0 <= row_lo <
+// row_hi <= m, non-null slices). On success `*payload_checksum` (when
+// non-null) receives the footer checksum the file carries — the manifest
+// records it per shard so a mount detects a swapped or regenerated shard
+// file even when the file is internally consistent.
+Status save_snapshot(std::ostream& os, const Scene& scene,
+                     const AllPairsShardView& shard,
+                     uint64_t* payload_checksum = nullptr);
 
 // Reads a snapshot back. Never throws: malformed input of any kind maps
 // to a non-OK Status as documented above. On success a seekable stream is

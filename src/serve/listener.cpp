@@ -1,0 +1,297 @@
+#include "serve/listener.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <istream>
+#include <list>
+#include <mutex>
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RSP_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace rsp {
+
+#ifdef RSP_HAVE_SOCKETS
+
+namespace {
+
+// Buffered std::streambuf over a connected socket; read()/write() only.
+class FdStreamBuf final : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd) : fd_(fd) {
+    setg(rbuf_, rbuf_, rbuf_);
+    setp(wbuf_, wbuf_ + sizeof(wbuf_));
+#if !defined(MSG_NOSIGNAL) && defined(SO_NOSIGPIPE)
+    // No per-send flag on this platform (macOS): suppress SIGPIPE on the
+    // socket itself instead.
+    int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#endif
+  }
+  ~FdStreamBuf() override { sync(); }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    ssize_t n;
+    do {
+      n = ::read(fd_, rbuf_, sizeof(rbuf_));
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return traits_type::eof();
+    setg(rbuf_, rbuf_, rbuf_ + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type ch) override {
+    if (flush_write() < 0) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override { return flush_write(); }
+
+ private:
+  int flush_write() {
+    const char* p = pbase();
+    while (p < pptr()) {
+      // send + MSG_NOSIGNAL, not write: a client that disconnected before
+      // reading its responses must surface as EPIPE (the stream goes bad
+      // and the session winds down), never as a process-killing SIGPIPE —
+      // one vanished client cannot take down every other session.
+#ifdef MSG_NOSIGNAL
+      ssize_t n = ::send(fd_, p, static_cast<size_t>(pptr() - p),
+                         MSG_NOSIGNAL);
+#else
+      ssize_t n = ::write(fd_, p, static_cast<size_t>(pptr() - p));
+#endif
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return -1;
+      }
+      p += n;
+    }
+    setp(wbuf_, wbuf_ + sizeof(wbuf_));
+    return 0;
+  }
+
+  int fd_;
+  char rbuf_[1 << 16];
+  char wbuf_[1 << 16];
+};
+
+}  // namespace
+
+Status TcpSessionLoop::run(uint16_t port, size_t max_sessions,
+                           const std::function<void(uint16_t)>& on_listening,
+                           const SessionFn& session,
+                           const std::function<void()>& on_backoff) {
+  int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  // Publish the fd immediately, then re-check the sticky shutdown flag: a
+  // shutdown() racing with startup either saw fd == -1 and set only the
+  // flag (caught by this check) or saw the fd and shut it down
+  // (bind/listen/accept fail, routed to the flag checks below). Either way
+  // the request is never lost — critical for SIGINT handlers.
+  listener_fd_.store(listener, std::memory_order_release);
+  if (shutdown_.load(std::memory_order_acquire)) {
+    listener_fd_.store(-1, std::memory_order_release);
+    ::close(listener);
+    return Status::Ok();
+  }
+  int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Status::IoError(std::string("bind: ") + std::strerror(errno));
+    listener_fd_.store(-1, std::memory_order_release);
+    ::close(listener);
+    return st;
+  }
+  if (::listen(listener, 16) < 0) {
+    if (shutdown_.load(std::memory_order_acquire)) {
+      listener_fd_.store(-1, std::memory_order_release);
+      ::close(listener);
+      return Status::Ok();  // a startup-racing shutdown broke the socket
+    }
+    Status st = Status::IoError(std::string("listen: ") + std::strerror(errno));
+    listener_fd_.store(-1, std::memory_order_release);
+    ::close(listener);
+    return st;
+  }
+  if (on_listening) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    uint16_t actual = port;
+    if (::getsockname(listener, reinterpret_cast<sockaddr*>(&bound), &len) ==
+        0) {
+      actual = ntohs(bound.sin_port);
+    }
+    on_listening(actual);
+  }
+  // Session-per-connection pool: every accepted socket gets its own thread
+  // running the session body. max_sessions caps concurrency; at the cap the
+  // acceptor parks and excess clients wait in the TCP backlog.
+  struct Session {
+    std::thread th;
+    int fd = -1;        // guarded by mu; -1 once the session reclaimed it
+    bool done = false;  // guarded by mu
+  };
+  std::mutex mu;                // guards sessions' fd/done, active
+  std::condition_variable cv;   // signaled when a session ends
+  std::list<Session> sessions;  // touched only by this (acceptor) thread
+  size_t active = 0;
+
+  // Joins finished sessions. Called with `lk` held; releases it around the
+  // join (the session thread needs mu to mark itself done before exiting).
+  auto reap = [&](std::unique_lock<std::mutex>& lk) {
+    for (auto it = sessions.begin(); it != sessions.end();) {
+      if (!it->done) {
+        ++it;
+        continue;
+      }
+      std::thread th = std::move(it->th);
+      it = sessions.erase(it);
+      lk.unlock();
+      th.join();
+      lk.lock();
+    }
+  };
+
+  Status result = Status::Ok();
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      reap(lk);
+      // Parked at the concurrency cap we must still notice shutdown()
+      // (async-signal-safe, so it cannot notify this cv): poll the sticky
+      // flag on a coarse tick. Off the cap this costs nothing.
+      while (max_sessions != 0 && active >= max_sessions &&
+             !shutdown_.load(std::memory_order_acquire)) {
+        cv.wait_for(lk, std::chrono::milliseconds(50));
+      }
+    }
+    if (shutdown_.load(std::memory_order_acquire)) break;
+    int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      // shutdown() (e.g. from a SIGINT handler) wakes the accept; that is
+      // a clean stop, not an error.
+      if (shutdown_.load(std::memory_order_acquire)) break;
+      // Transient failures must not take down a server with live sessions:
+      // EINTR is a signal, ECONNABORTED a client that hung up while queued
+      // in the backlog. Everything else is a hard listener error.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      // Resource exhaustion (fd table full under a connection flood, or a
+      // memory/buffer spike) is transient too: back off a beat — letting
+      // live sessions finish and release fds — and keep serving rather
+      // than dropping every connected client. on_backoff fires first so
+      // the owner can mark the pause as fd pressure, not idle time.
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        if (on_backoff) on_backoff();
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      result = Status::IoError(std::string("accept: ") + std::strerror(errno));
+      break;
+    }
+    std::lock_guard<std::mutex> lk(mu);
+    ++active;
+    sessions.emplace_back();
+    Session& s = sessions.back();  // stable address (std::list)
+    s.fd = conn;
+    // The lambda body cannot run until this lock_guard releases mu, so
+    // s.th is assigned before the session can mark itself done.
+    s.th = std::thread([conn, &s, &mu, &cv, &active, &session] {
+      {
+        // Separate read and write streams over the one socket: a session
+        // may run its reader and writer on different threads, and two
+        // streams sharing a basic_ios would race on its iostate (eofbit
+        // from a client hangup vs the writer's sentry checks).
+        FdStreamBuf rbuf(conn);
+        FdStreamBuf wbuf(conn);
+        std::istream in(&rbuf);
+        std::ostream out(&wbuf);
+        session(in, out);
+      }
+      {
+        std::lock_guard<std::mutex> slk(mu);
+        s.fd = -1;  // reclaim before close: the drain below only
+                    // shutdown(2)s fds still owned by a live session
+        s.done = true;
+        --active;
+      }
+      ::close(conn);
+      cv.notify_all();
+    });
+  }
+
+  // Stop accepting before draining: no new session may sneak in.
+  listener_fd_.store(-1, std::memory_order_release);
+  ::close(listener);
+
+  // Drain in-flight sessions: half-close their sockets (the reader sees
+  // EOF and winds down; the write side stays open so pending responses
+  // still flush), then wait for and join them all — also on the error
+  // path, so no session thread ever outlives run().
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    for (Session& s : sessions) {
+      if (!s.done && s.fd >= 0) ::shutdown(s.fd, SHUT_RD);
+    }
+    // A peer that stopped *reading* can leave a session writer blocked in
+    // send() with a full socket buffer — SHUT_RD cannot wake that. After a
+    // grace period for the polite case, hard-close the write side too: the
+    // blocked send fails (EPIPE, no SIGPIPE — MSG_NOSIGNAL) and the
+    // session exits without the final flush. One stalled client must not
+    // hang shutdown for everyone.
+    if (!cv.wait_for(lk, std::chrono::seconds(1),
+                     [&] { return active == 0; })) {
+      for (Session& s : sessions) {
+        if (!s.done && s.fd >= 0) ::shutdown(s.fd, SHUT_RDWR);
+      }
+    }
+    cv.wait(lk, [&] { return active == 0; });
+    reap(lk);
+  }
+  return result;
+}
+
+void TcpSessionLoop::shutdown() {
+  shutdown_.store(true, std::memory_order_release);
+  int fd = listener_fd_.load(std::memory_order_acquire);
+  // shutdown() on a listening socket wakes a blocked accept() (EINVAL);
+  // the fd itself is closed by run() on its way out.
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+#else  // !RSP_HAVE_SOCKETS
+
+Status TcpSessionLoop::run(uint16_t, size_t,
+                           const std::function<void(uint16_t)>&,
+                           const SessionFn&, const std::function<void()>&) {
+  return Status::IoError("TCP serving is not supported on this platform");
+}
+
+void TcpSessionLoop::shutdown() {}
+
+#endif
+
+}  // namespace rsp

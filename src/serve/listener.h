@@ -1,0 +1,62 @@
+#pragma once
+// TcpSessionLoop — the reusable session-per-connection TCP acceptor.
+//
+// Owns one listening socket and runs one session thread per accepted
+// connection; the caller supplies the session body as a callable over a
+// connected istream/ostream pair (separate read and write streams over the
+// one socket, so a session may read and write from different threads).
+// Both QueryServer::serve_port (shard/engine serving) and Router::serve_port
+// (fleet fan-out) front their session loops with this class — one acceptor
+// implementation, one shutdown discipline, one backoff policy.
+//
+// Semantics (inherited verbatim from the original QueryServer acceptor):
+//  - port 0 binds an ephemeral port; on_listening (when set) fires with the
+//    bound port after listen() succeeds and before the first accept — the
+//    safe rendezvous for callers that connect from another thread.
+//  - max_sessions caps *concurrent* sessions; at the cap the acceptor parks
+//    and excess clients wait in the TCP backlog instead of being dropped.
+//  - Transient accept failures (EINTR, ECONNABORTED) are retried; resource
+//    exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM) backs off 10 ms and retries,
+//    invoking on_backoff first so the owner can exclude the pause from any
+//    idle-time accounting (see QueryServer::note_accept_backoff).
+//  - shutdown() is async-signal-safe (atomics + shutdown(2)) and sticky:
+//    a call landing before run() creates the listener makes the next run()
+//    return OK immediately instead of being lost. On shutdown, in-flight
+//    sessions are half-closed (readers see EOF, pending responses still
+//    flush), hard-closed after a 1 s grace if a peer stopped reading, and
+//    joined before run() returns — also on the error path.
+//
+// Platforms without BSD sockets: run() returns kIoError, shutdown() is a
+// no-op (same contract the serve layer always had).
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+
+#include "api/status.h"
+
+namespace rsp {
+
+class TcpSessionLoop {
+ public:
+  // The per-connection session body. Returning ends the session; the loop
+  // closes the socket afterwards.
+  using SessionFn = std::function<void(std::istream& in, std::ostream& out)>;
+
+  // Runs the accept loop until shutdown() or a hard listener error. Not
+  // reentrant: one run() at a time per loop instance.
+  Status run(uint16_t port, size_t max_sessions,
+             const std::function<void(uint16_t)>& on_listening,
+             const SessionFn& session,
+             const std::function<void()>& on_backoff = {});
+
+  // Ends a running run() loop cleanly; async-signal-safe and sticky.
+  void shutdown();
+
+ private:
+  std::atomic<int> listener_fd_{-1};    // valid while run() owns a listener
+  std::atomic<bool> shutdown_{false};   // sticky, set by shutdown()
+};
+
+}  // namespace rsp

@@ -27,6 +27,10 @@
 //                                         ;   LOAD_SHED when the admission
 //                                         ;   queue is full (server-side
 //                                         ;   backpressure; retry later),
+//                                         ;   SHARD_DOWN when a fleet
+//                                         ;   router exhausted its retries
+//                                         ;   against a shard server
+//                                         ;   (serve/router.h),
 //                                         ;   else a StatusCode name
 //                                         ;   (api/status.h)
 //

@@ -1,0 +1,552 @@
+#include "serve/router.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "serve/protocol.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RSP_HAVE_SOCKETS 1
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+#endif
+
+namespace rsp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string trim_cr(std::string s) {
+  if (!s.empty() && s.back() == '\r') s.pop_back();
+  return s;
+}
+
+bool skippable(const std::string& line) {
+  size_t i = line.find_first_not_of(" \t");
+  return i == std::string::npos || line[i] == '#';
+}
+
+// A response line a router may relay: printable, single-line. Control
+// bytes mean a corrupted or binary-confused shard stream — relaying them
+// could split into extra client lines and desynchronize the session.
+bool control_free(const std::string& s) {
+  for (char c : s) {
+    if (static_cast<unsigned char>(c) < 0x20) return false;
+  }
+  return true;
+}
+
+bool parse_i64_tok(const std::string& tok, int64_t& out) {
+  if (tok.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(tok.c_str(), &end, 10);
+  if (errno != 0 || end != tok.c_str() + tok.size()) return false;
+  out = v;
+  return true;
+}
+
+// "(x,y)" with signed 64-bit decimal coordinates.
+bool parse_point_tok(const std::string& tok) {
+  if (tok.size() < 5 || tok.front() != '(' || tok.back() != ')') return false;
+  const size_t comma = tok.find(',');
+  if (comma == std::string::npos) return false;
+  int64_t x = 0, y = 0;
+  return parse_i64_tok(tok.substr(1, comma - 1), x) &&
+         parse_i64_tok(tok.substr(comma + 1, tok.size() - comma - 2), y);
+}
+
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> toks;
+  std::string t;
+  while (is >> t) toks.push_back(std::move(t));
+  return toks;
+}
+
+// "ERR <CODE> ..." — a shard's own error is a *valid* response the router
+// relays verbatim (e.g. an invalid-query diagnosis belongs to the client).
+bool err_line(const std::string& line) {
+  if (line.rfind("ERR ", 0) != 0) return false;
+  return line.size() > 4 && line[4] != ' ';
+}
+
+bool valid_len_response(const std::string& line) {
+  if (!control_free(line)) return false;
+  if (err_line(line)) return true;
+  const std::vector<std::string> t = tokens_of(line);
+  int64_t v = 0;
+  return t.size() == 2 && t[0] == "OK" && parse_i64_tok(t[1], v);
+}
+
+bool valid_path_response(const std::string& line) {
+  if (!control_free(line)) return false;
+  if (err_line(line)) return true;
+  const std::vector<std::string> t = tokens_of(line);
+  if (t.size() < 2 || t[0] != "OK") return false;
+  for (size_t i = 1; i < t.size(); ++i) {
+    if (!parse_point_tok(t[i])) return false;
+  }
+  return true;
+}
+
+// Strict "OK <n> v1 .. vn" with n == expect — a short row, a duplicated
+// value, or a count lie from a corrupted shard must never scatter into the
+// merged response.
+bool valid_batch_response(const std::string& line, size_t expect) {
+  if (!control_free(line)) return false;
+  if (err_line(line)) return true;
+  const std::vector<std::string> t = tokens_of(line);
+  if (t.size() < 2 || t[0] != "OK") return false;
+  int64_t n = 0;
+  if (!parse_i64_tok(t[1], n) || n < 0 ||
+      static_cast<uint64_t>(n) != expect || t.size() != 2 + expect) {
+    return false;
+  }
+  for (size_t i = 2; i < t.size(); ++i) {
+    int64_t v = 0;
+    if (!parse_i64_tok(t[i], v)) return false;
+  }
+  return true;
+}
+
+void append_pair(std::ostringstream& os, const PointPair& pp) {
+  os << pp.s.x << ',' << pp.s.y << ' ' << pp.t.x << ',' << pp.t.y;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Router
+// ---------------------------------------------------------------------------
+
+struct Router::ShardState {
+  std::mutex mu;
+  uint64_t requests = 0;   // guarded by mu
+  uint64_t failures = 0;   // guarded by mu
+  uint64_t retries = 0;    // guarded by mu
+  bool last_ok = true;     // guarded by mu
+  LatencyHistogram latency;  // guarded by mu; successful exchanges only
+};
+
+Router::Router(ShardManifest man, ShardConnector connect, RouterOptions opt)
+    : man_(std::move(man)), connect_(std::move(connect)), opt_(opt) {
+  shards_.reserve(man_.shards.size());
+  for (size_t i = 0; i < man_.shards.size(); ++i) {
+    shards_.push_back(std::make_unique<ShardState>());
+  }
+}
+
+Router::~Router() = default;
+
+size_t Router::route(const Point& s) const { return route_by_x(man_, s.x); }
+
+std::string Router::shard_down_line(size_t shard) const {
+  std::ostringstream os;
+  os << "shard " << shard << " unreachable after " << (1 + opt_.shard_retries)
+     << " attempt(s); the request was not answered";
+  return format_error("SHARD_DOWN", os.str());
+}
+
+std::optional<std::string> Router::exchange(
+    Channels& chans, size_t shard, const std::string& payload,
+    const std::function<bool(const std::string&)>& valid, bool already_sent) {
+  ShardState& st = *shards_[shard];
+  {
+    std::lock_guard<std::mutex> lk(st.mu);
+    ++st.requests;
+  }
+  const size_t attempts = 1 + opt_.shard_retries;
+  for (size_t a = 0; a < attempts; ++a) {
+    if (a > 0) {
+      std::lock_guard<std::mutex> lk(st.mu);
+      ++st.retries;
+    }
+    std::unique_ptr<ShardChannel>& ch = chans[shard];
+    if (!ch && connect_) ch = connect_(shard);
+    if (!ch) continue;
+    if (!(a == 0 && already_sent)) {
+      if (!ch->send(payload)) {
+        ch.reset();
+        continue;
+      }
+    }
+    const Clock::time_point t0 = Clock::now();
+    std::string line;
+    if (!ch->recv_line(line, opt_.shard_timeout)) {
+      ch.reset();
+      continue;
+    }
+    if (!valid(line)) {
+      // A malformed line means the stream may be desynchronized (e.g. a
+      // truncated response whose tail would prefix the next one): the
+      // channel is unusable, retry on a fresh connection.
+      ch.reset();
+      continue;
+    }
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+        Clock::now() - t0);
+    {
+      std::lock_guard<std::mutex> lk(st.mu);
+      st.last_ok = true;
+      st.latency.record(us.count() < 0 ? 0 : static_cast<uint64_t>(us.count()));
+    }
+    return line;
+  }
+  {
+    std::lock_guard<std::mutex> lk(st.mu);
+    ++st.failures;
+    st.last_ok = false;
+  }
+  return std::nullopt;
+}
+
+std::string Router::handle_single(const Request& req, Channels& chans) {
+  const PointPair& pp = req.pairs[0];
+  const size_t shard = route_by_x(man_, pp.s.x);
+  // Canonical regeneration, not raw-line relay: the shard sees exactly the
+  // grammar the parser accepted, never the client's whitespace quirks.
+  std::ostringstream os;
+  os << (req.verb == Verb::kLen ? "LEN " : "PATH ");
+  append_pair(os, pp);
+  os << '\n';
+  const auto valid = req.verb == Verb::kLen ? valid_len_response
+                                            : valid_path_response;
+  std::optional<std::string> line =
+      exchange(chans, shard, os.str(), valid, /*already_sent=*/false);
+  return line ? *line : shard_down_line(shard);
+}
+
+std::string Router::handle_batch(const Request& req, Channels& chans) {
+  // Split by source slab; each original index lands in exactly one
+  // sub-batch, order preserved within it.
+  std::vector<std::vector<size_t>> owned(man_.shards.size());
+  for (size_t i = 0; i < req.pairs.size(); ++i) {
+    owned[route_by_x(man_, req.pairs[i].s.x)].push_back(i);
+  }
+
+  struct Sub {
+    size_t shard = 0;
+    std::string payload;
+    bool sent = false;
+    std::optional<std::string> line;
+  };
+  std::vector<Sub> subs;
+  for (size_t sh = 0; sh < owned.size(); ++sh) {
+    if (owned[sh].empty()) continue;
+    Sub s;
+    s.shard = sh;
+    std::ostringstream os;
+    os << "BATCH " << owned[sh].size() << '\n';
+    for (size_t idx : owned[sh]) {
+      append_pair(os, req.pairs[idx]);
+      os << '\n';
+    }
+    s.payload = os.str();
+    subs.push_back(std::move(s));
+  }
+  if (subs.empty()) return format_batch(std::span<const Length>{});
+
+  // Send phase first: every involved shard starts computing before we
+  // block on the first response, so sub-batches overlap across the fleet.
+  // A failed send just leaves sent=false — the exchange retry ladder
+  // reconnects and resends.
+  for (Sub& s : subs) {
+    std::unique_ptr<ShardChannel>& ch = chans[s.shard];
+    if (!ch && connect_) ch = connect_(s.shard);
+    if (!ch) continue;
+    if (ch->send(s.payload)) {
+      s.sent = true;
+    } else {
+      ch.reset();
+    }
+  }
+
+  // Collect in shard order (each channel is serial: one request in flight
+  // per channel, so order within a channel is trivially the send order).
+  for (Sub& s : subs) {
+    const size_t expect = owned[s.shard].size();
+    s.line = exchange(
+        chans, s.shard, s.payload,
+        [expect](const std::string& l) {
+          return valid_batch_response(l, expect);
+        },
+        s.sent);
+  }
+
+  // Merge rule: any down shard -> SHARD_DOWN (the failed shard owning the
+  // smallest original pair index); else any shard ERR -> relay the ERR
+  // owning the smallest original index; else scatter and merge.
+  size_t down_shard = SIZE_MAX, down_idx = SIZE_MAX;
+  size_t err_sub = SIZE_MAX, err_idx = SIZE_MAX;
+  for (size_t si = 0; si < subs.size(); ++si) {
+    const size_t first = owned[subs[si].shard].front();
+    if (!subs[si].line) {
+      if (first < down_idx) {
+        down_idx = first;
+        down_shard = subs[si].shard;
+      }
+    } else if (err_line(*subs[si].line)) {
+      if (first < err_idx) {
+        err_idx = first;
+        err_sub = si;
+      }
+    }
+  }
+  if (down_shard != SIZE_MAX) return shard_down_line(down_shard);
+  if (err_sub != SIZE_MAX) return *subs[err_sub].line;
+
+  std::vector<std::string> values(req.pairs.size());
+  for (const Sub& s : subs) {
+    const std::vector<std::string> t = tokens_of(*s.line);  // "OK n v1..vn"
+    const std::vector<size_t>& idx = owned[s.shard];
+    for (size_t j = 0; j < idx.size(); ++j) values[idx[j]] = t[2 + j];
+  }
+  std::ostringstream os;
+  os << "OK " << values.size();
+  for (const std::string& v : values) os << ' ' << v;
+  return os.str();
+}
+
+void Router::count_response(const std::string& line) {
+  const bool is_err = line.rfind("ERR", 0) == 0;
+  const bool is_down = line.rfind("ERR SHARD_DOWN", 0) == 0;
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  ++requests_;
+  if (is_err) ++errors_;
+  if (is_down) ++shard_down_;
+}
+
+void Router::serve(std::istream& in, std::ostream& out) {
+  // Per-session channel set, lazily connected: a session's requests are
+  // processed serially, so each channel carries at most one exchange at a
+  // time and per-session response order is the request order by
+  // construction — no cross-session locking, no reordering window.
+  Channels chans(man_.shards.size());
+  std::string line;
+  while (std::getline(in, line)) {
+    line = trim_cr(std::move(line));
+    if (skippable(line)) continue;
+    ParsedRequest pr = parse_request(line, [&](std::string& next) {
+      if (!std::getline(in, next)) return false;
+      next = trim_cr(std::move(next));
+      return true;
+    });
+    std::string resp;
+    if (!pr.ok) {
+      resp = format_error("BAD_REQUEST", pr.error);
+    } else if (pr.req.verb == Verb::kQuit) {
+      count_response("OK bye");
+      out << "OK bye\n";
+      out.flush();
+      break;
+    } else if (pr.req.verb == Verb::kStats) {
+      resp = stats_line();
+    } else if (pr.req.verb == Verb::kBatch) {
+      resp = handle_batch(pr.req, chans);
+    } else {
+      resp = handle_single(pr.req, chans);
+    }
+    count_response(resp);
+    out << resp << '\n';
+    out.flush();
+  }
+}
+
+Status Router::serve_port(uint16_t port,
+                          const std::function<void(uint16_t)>& on_listening) {
+  return listener_.run(
+      port, opt_.max_sessions, on_listening,
+      [this](std::istream& in, std::ostream& out) { serve(in, out); });
+}
+
+void Router::shutdown_port() { listener_.shutdown(); }
+
+// ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+RouterStats Router::stats() const {
+  RouterStats s;
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    s.requests = requests_;
+    s.errors = errors_;
+    s.shard_down = shard_down_;
+  }
+  s.shards.resize(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ShardState& st = *shards_[i];
+    std::lock_guard<std::mutex> lk(st.mu);
+    s.shards[i].requests = st.requests;
+    s.shards[i].failures = st.failures;
+    s.shards[i].retries = st.retries;
+    s.shards[i].last_ok = st.last_ok;
+    s.shards[i].p50_us = st.latency.percentile(0.50);
+    s.shards[i].p95_us = st.latency.percentile(0.95);
+    s.shards[i].max_us = st.latency.max();
+  }
+  return s;
+}
+
+std::string Router::stats_line() const {
+  RouterStats s = stats();
+  std::ostringstream os;
+  os << "OK router shards=" << s.shards.size() << " requests=" << s.requests
+     << " errors=" << s.errors << " shard_down=" << s.shard_down;
+  for (size_t i = 0; i < s.shards.size(); ++i) {
+    const RouterShardStats& sh = s.shards[i];
+    os << " shard" << i << '=' << (sh.last_ok ? "up" : "down")
+       << ":req=" << sh.requests << ",fail=" << sh.failures
+       << ",retry=" << sh.retries << ",p95_us=" << sh.p95_us;
+  }
+  return os.str();
+}
+
+std::string Router::stats_json() const {
+  RouterStats s = stats();
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"router\": {\n"
+     << "    \"shards\": " << s.shards.size() << ",\n"
+     << "    \"requests\": " << s.requests << ",\n"
+     << "    \"errors\": " << s.errors << ",\n"
+     << "    \"shard_down\": " << s.shard_down << ",\n"
+     << "    \"timeout_ms\": " << opt_.shard_timeout.count() << ",\n"
+     << "    \"retries\": " << opt_.shard_retries << "\n"
+     << "  },\n"
+     << "  \"shard_health\": [\n";
+  for (size_t i = 0; i < s.shards.size(); ++i) {
+    const RouterShardStats& sh = s.shards[i];
+    os << "    {\"shard\": " << i << ", \"up\": " << (sh.last_ok ? "true" : "false")
+       << ", \"requests\": " << sh.requests << ", \"failures\": " << sh.failures
+       << ", \"retries\": " << sh.retries << ", \"latency_us\": {\"p50\": "
+       << sh.p50_us << ", \"p95\": " << sh.p95_us << ", \"max\": " << sh.max_us
+       << "}}" << (i + 1 < s.shards.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n"
+     << "}\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// TCP connector
+// ---------------------------------------------------------------------------
+
+#ifdef RSP_HAVE_SOCKETS
+
+namespace {
+
+class TcpShardChannel final : public ShardChannel {
+ public:
+  explicit TcpShardChannel(int fd) : fd_(fd) {}
+  ~TcpShardChannel() override { ::close(fd_); }
+
+  bool send(std::string_view data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+#ifdef MSG_NOSIGNAL
+      ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+#else
+      ssize_t n = ::write(fd_, p, left);
+#endif
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool recv_line(std::string& line,
+                 std::chrono::milliseconds timeout) override {
+    const Clock::time_point deadline = Clock::now() + timeout;
+    for (;;) {
+      const size_t pos = buf_.find('\n');
+      if (pos != std::string::npos) {
+        line.assign(buf_, 0, pos);
+        buf_.erase(0, pos + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        return true;
+      }
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      if (left.count() <= 0) return false;
+      pollfd pfd{fd_, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, static_cast<int>(left.count()));
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (pr == 0) return false;  // deadline expired
+      char chunk[4096];
+      ssize_t n;
+      do {
+        n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      } while (n < 0 && errno == EINTR);
+      if (n <= 0) return false;  // EOF or hard error
+      buf_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buf_;  // received bytes not yet delivered as a line
+};
+
+}  // namespace
+
+ShardConnector tcp_connector(std::vector<ShardEndpoint> endpoints) {
+  return [endpoints = std::move(endpoints)](
+             size_t shard) -> std::unique_ptr<ShardChannel> {
+    if (shard >= endpoints.size()) return nullptr;
+    const ShardEndpoint& ep = endpoints[shard];
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    const std::string port = std::to_string(ep.port);
+    if (::getaddrinfo(ep.host.c_str(), port.c_str(), &hints, &res) != 0) {
+      return nullptr;
+    }
+    int fd = -1;
+    for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+      fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+      if (fd < 0) continue;
+      // Insurance against a peer that accepts but never drains: a send
+      // into a full socket buffer fails after 10 s instead of blocking the
+      // session forever (the per-exchange response deadline is the primary
+      // timeout; this guards the send side, which poll-based recv cannot).
+      timeval tv{10, 0};
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+      if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+      ::close(fd);
+      fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0) return nullptr;
+    return std::make_unique<TcpShardChannel>(fd);
+  };
+}
+
+#else  // !RSP_HAVE_SOCKETS
+
+ShardConnector tcp_connector(std::vector<ShardEndpoint>) {
+  return [](size_t) -> std::unique_ptr<ShardChannel> { return nullptr; };
+}
+
+#endif
+
+}  // namespace rsp

@@ -1,0 +1,199 @@
+#pragma once
+// Router — the fleet front end of sharded serving (io/manifest.h).
+//
+// One router owns client sessions and a manifest; behind it, one shard
+// server per manifest entry (each a plain QueryServer speaking the
+// serve/protocol.h grammar, usually mounted from the same manifest). The
+// router speaks the *identical* grammar to its clients — a client cannot
+// tell a router from a single engine server except through STATS — and
+// forwards work by the manifest's source-x routing slabs:
+//
+//   LEN/PATH  route whole to the shard owning the source's slab.
+//   BATCH     splits by source slab into per-shard sub-batches, ships them
+//             to every involved shard (send phase first, so shards compute
+//             concurrently), then collects and scatters the per-shard
+//             results back into wire order and answers one merged line.
+//   STATS     answered locally ("OK router ..." — shard health + latency),
+//             never forwarded.
+//   QUIT      answered locally ("OK bye").
+//
+// Routing is an affinity hint only — every shard server mounts the full
+// union (see io/manifest.h), so any routing function is correct; the slabs
+// just keep a source's queries on one shard's warm cache. That independence
+// is what the fault-injection battery exploits: a router transcript must be
+// byte-identical to a direct single-engine transcript no matter how
+// responses interleave.
+//
+// Failure semantics (the hard contract, tests/router_test.cpp):
+//  - Every client request gets exactly one response line, in request
+//    order. Never a hang, never reordering, never a crossed response.
+//  - A shard exchange that times out (RouterOptions::shard_timeout), hits
+//    EOF/connect failure, or returns a malformed line costs the channel
+//    (it may be desynchronized — mid-line truncation would otherwise
+//    misalign every later response) and is retried once on a fresh
+//    connection (RouterOptions::shard_retries). Exhausted retries answer
+//    "ERR SHARD_DOWN shard <i> ..." for the requests that needed it.
+//  - A merged BATCH answers SHARD_DOWN if any involved shard was down
+//    (named: the failed shard owning the smallest original pair index);
+//    otherwise relays a shard's own ERR verbatim (the one owning the
+//    smallest original pair index); otherwise merges the OK values.
+//
+// Transport is abstracted behind ShardChannel/ShardConnector so the fault
+// battery can interpose deterministic delay/truncation/corruption/kill
+// (tests/fault_injection_util.h) without a real socket; production uses
+// tcp_connector().
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/status.h"
+#include "io/manifest.h"
+#include "serve/listener.h"
+#include "serve/server.h"
+
+namespace rsp {
+
+// One connected request/response channel to a shard server. send() ships a
+// complete request payload (one LEN/PATH line, or a BATCH header plus its
+// pair lines — always '\n'-terminated); recv_line() delivers the next
+// response line without its terminator. Both return false on transport
+// failure (EOF, error, or — for recv_line — deadline expiry); after a
+// false the channel is dead and the router discards it.
+class ShardChannel {
+ public:
+  virtual ~ShardChannel() = default;
+  virtual bool send(std::string_view data) = 0;
+  virtual bool recv_line(std::string& line,
+                         std::chrono::milliseconds timeout) = 0;
+};
+
+// Produces a fresh channel to shard `shard`, or nullptr when it is
+// unreachable. Called lazily (first request touching the shard in a
+// session) and again on retry after a failed exchange. Must be callable
+// from many session threads concurrently.
+using ShardConnector =
+    std::function<std::unique_ptr<ShardChannel>(size_t shard)>;
+
+struct ShardEndpoint {
+  std::string host;
+  uint16_t port = 0;
+};
+
+// Real-TCP connector, one endpoint per manifest shard (index-aligned).
+// Connect or name-resolution failure yields nullptr (the router's retry
+// ladder handles it). On platforms without BSD sockets every connect
+// yields nullptr.
+ShardConnector tcp_connector(std::vector<ShardEndpoint> endpoints);
+
+struct RouterOptions {
+  // Per-exchange response deadline. An exchange that misses it costs the
+  // channel and a retry — a slow shard degrades to SHARD_DOWN, never to a
+  // hung client session.
+  std::chrono::milliseconds shard_timeout{2000};
+  // Reconnect-and-resend attempts after a failed exchange (0 = fail fast).
+  size_t shard_retries = 1;
+  // Concurrent client session cap for serve_port (0 = uncapped).
+  size_t max_sessions = 0;
+};
+
+// Per-shard health snapshot (see Router::stats).
+struct RouterShardStats {
+  uint64_t requests = 0;  // exchanges attempted against this shard
+  uint64_t failures = 0;  // exchanges exhausted (became SHARD_DOWN)
+  uint64_t retries = 0;   // reconnect-and-resend attempts
+  bool last_ok = true;    // most recent exchange outcome
+  uint64_t p50_us = 0;    // successful-exchange latency percentiles
+  uint64_t p95_us = 0;
+  uint64_t max_us = 0;
+};
+
+struct RouterStats {
+  uint64_t requests = 0;    // client requests answered, including errors
+  uint64_t errors = 0;      // ERR responses (protocol + shard + relayed)
+  uint64_t shard_down = 0;  // ERR SHARD_DOWN responses
+  std::vector<RouterShardStats> shards;
+};
+
+class Router {
+ public:
+  // The manifest provides shard count and routing slabs; the connector
+  // provides transport. The manifest must validate (validate_manifest).
+  Router(ShardManifest man, ShardConnector connect, RouterOptions opt = {});
+  ~Router();  // out-of-line: ShardState is private to router.cpp
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  // Runs one client session: one response line per request, in request
+  // order. Reentrant — serve_port runs one per connection; sessions share
+  // only the per-shard health stats (internally locked), never channels.
+  void serve(std::istream& in, std::ostream& out);
+
+  // TCP front end over the shared acceptor (serve/listener.h); same
+  // ephemeral-port / on_listening / shutdown semantics as
+  // QueryServer::serve_port.
+  Status serve_port(uint16_t port,
+                    const std::function<void(uint16_t)>& on_listening = {});
+  void shutdown_port();
+
+  // The shard whose slab owns source point `s` (route_by_x).
+  size_t route(const Point& s) const;
+
+  const ShardManifest& manifest() const { return man_; }
+  const RouterOptions& options() const { return opt_; }
+
+  RouterStats stats() const;
+  // The STATS wire response: "OK router shards=<k> requests=... " plus one
+  // "shard<i>=up|down:req=..,fail=..,retry=..,p95_us=.." field per shard.
+  // Prefixed "OK router" so fleet transcripts can be diffed against
+  // single-engine ones with STATS lines filtered by prefix.
+  std::string stats_line() const;
+  // Full JSON: router counters + per-shard health array. Written by
+  // `rspcli serve --router` on shutdown.
+  std::string stats_json() const;
+
+ private:
+  struct ShardState;
+  // Channels of one client session, lazily connected, index == shard.
+  using Channels = std::vector<std::unique_ptr<ShardChannel>>;
+
+  // One request/one response exchange against a shard, with the retry
+  // ladder. `already_sent` marks a payload shipped by a BATCH send phase
+  // on the current channel (the first attempt skips its send). Returns the
+  // validated response line, or nullopt once attempts are exhausted (the
+  // caller formats SHARD_DOWN). `valid` rejecting a *received* line also
+  // costs the channel: a malformed response means the stream may be
+  // desynchronized, and the next exchange must not read its leftovers.
+  std::optional<std::string> exchange(
+      Channels& chans, size_t shard, const std::string& payload,
+      const std::function<bool(const std::string&)>& valid,
+      bool already_sent);
+
+  std::string handle_single(const Request& req, Channels& chans);
+  std::string handle_batch(const Request& req, Channels& chans);
+  std::string shard_down_line(size_t shard) const;
+  void count_response(const std::string& line);
+
+  ShardManifest man_;
+  ShardConnector connect_;
+  RouterOptions opt_;
+  TcpSessionLoop listener_;
+
+  mutable std::mutex stats_mu_;
+  uint64_t requests_ = 0;    // guarded by stats_mu_
+  uint64_t errors_ = 0;      // guarded by stats_mu_
+  uint64_t shard_down_ = 0;  // guarded by stats_mu_
+
+  // unique_ptr: ShardState holds a mutex and must not move when the
+  // vector is sized at construction.
+  std::vector<std::unique_ptr<ShardState>> shards_;
+};
+
+}  // namespace rsp

@@ -2,20 +2,10 @@
 
 #include <bit>
 #include <cmath>
-#include <cstring>
 #include <istream>
-#include <list>
 #include <ostream>
 #include <sstream>
 #include <vector>
-
-#if defined(__unix__) || defined(__APPLE__)
-#define RSP_HAVE_SOCKETS 1
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-#endif
 
 #include "io/snapshot.h"
 
@@ -311,24 +301,48 @@ void QueryServer::maybe_adapt_window(bool drained) {
   const uint64_t grown = std::min<uint64_t>(opt_.coalesce_window_us,
                                             std::max<uint64_t>(1, cur * 2));
   uint64_t next = cur;
+  const uint64_t backoffs = accept_backoffs_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lk(stats_mu_);
+    // The acceptor slept on fd exhaustion since the last round. That pause
+    // is pressure, not idle traffic: it thins admissions (the epoch drains
+    // early on a trickle) and stretches request spacing, so a sparse-regime
+    // decision taken over it reads like "lone requests paying the window"
+    // and halves — exactly when the right move is to keep coalescing so
+    // live sessions finish and release fds.
+    const bool fd_pressure = backoffs != backoffs_seen_;
+    backoffs_seen_ = backoffs;
     // Decide once the epoch fills (busy regime), or — when the queue fully
     // drained — on whatever the epoch holds (sparse regime: at low traffic
     // waiting for 32 samples would mean never reacting, and a lone request
     // mostly pays the window itself, which is exactly the signal). Every
     // decision starts a fresh epoch so a past load regime cannot haunt the
     // current one.
-    if (epoch_latency_.count() >= kMinEpochSamples ||
-        (drained && epoch_latency_.count() > 0)) {
-      // Hot epoch: halve toward 0 (requests dispatch the moment they
-      // arrive). Healthy epoch: double back toward the configured ceiling.
+    if (epoch_latency_.count() >= kMinEpochSamples) {
+      // A full epoch carries enough samples to out-vote the backoff skew;
+      // the busy-regime decision proceeds regardless of fd pressure.
       next = epoch_latency_.percentile(0.95) > opt_.target_p95_us ? cur / 2
                                                                   : grown;
       epoch_latency_.reset();
+    } else if (drained && epoch_latency_.count() > 0) {
+      if (fd_pressure) {
+        // Skip the round AND discard the samples: they were gathered while
+        // the acceptor was sleeping, so they must not seed the next
+        // drained-early decision either.
+        ++window_skips_;
+        epoch_latency_.reset();
+      } else {
+        next = epoch_latency_.percentile(0.95) > opt_.target_p95_us ? cur / 2
+                                                                    : grown;
+        epoch_latency_.reset();
+      }
     }
   }
   if (next != cur) window_us_.store(next, std::memory_order_relaxed);
+}
+
+void QueryServer::note_accept_backoff() {
+  accept_backoffs_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void QueryServer::finish(Pending& p, std::string response) {
@@ -425,278 +439,21 @@ void QueryServer::serve(std::istream& in, std::ostream& out) {
 }
 
 // ---------------------------------------------------------------------------
-// TCP front end
+// TCP front end — the acceptor itself lives in serve/listener.cpp
+// (TcpSessionLoop); this class contributes only the session body and the
+// fd-pressure bookkeeping.
 // ---------------------------------------------------------------------------
 
-#ifdef RSP_HAVE_SOCKETS
-
-namespace {
-
-// Buffered std::streambuf over a connected socket; read()/write() only.
-class FdStreamBuf final : public std::streambuf {
- public:
-  explicit FdStreamBuf(int fd) : fd_(fd) {
-    setg(rbuf_, rbuf_, rbuf_);
-    setp(wbuf_, wbuf_ + sizeof(wbuf_));
-#if !defined(MSG_NOSIGNAL) && defined(SO_NOSIGPIPE)
-    // No per-send flag on this platform (macOS): suppress SIGPIPE on the
-    // socket itself instead.
-    int one = 1;
-    ::setsockopt(fd_, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
-#endif
-  }
-  ~FdStreamBuf() override { sync(); }
-
- protected:
-  int_type underflow() override {
-    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
-    ssize_t n;
-    do {
-      n = ::read(fd_, rbuf_, sizeof(rbuf_));
-    } while (n < 0 && errno == EINTR);
-    if (n <= 0) return traits_type::eof();
-    setg(rbuf_, rbuf_, rbuf_ + n);
-    return traits_type::to_int_type(*gptr());
-  }
-
-  int_type overflow(int_type ch) override {
-    if (flush_write() < 0) return traits_type::eof();
-    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
-      *pptr() = traits_type::to_char_type(ch);
-      pbump(1);
-    }
-    return traits_type::not_eof(ch);
-  }
-
-  int sync() override { return flush_write(); }
-
- private:
-  int flush_write() {
-    const char* p = pbase();
-    while (p < pptr()) {
-      // send + MSG_NOSIGNAL, not write: a client that disconnected before
-      // reading its responses must surface as EPIPE (the stream goes bad
-      // and the session winds down), never as a process-killing SIGPIPE —
-      // one vanished client cannot take down every other session.
-#ifdef MSG_NOSIGNAL
-      ssize_t n = ::send(fd_, p, static_cast<size_t>(pptr() - p),
-                         MSG_NOSIGNAL);
-#else
-      ssize_t n = ::write(fd_, p, static_cast<size_t>(pptr() - p));
-#endif
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return -1;
-      }
-      p += n;
-    }
-    setp(wbuf_, wbuf_ + sizeof(wbuf_));
-    return 0;
-  }
-
-  int fd_;
-  char rbuf_[1 << 16];
-  char wbuf_[1 << 16];
-};
-
-}  // namespace
-
-Status QueryServer::serve_port(uint16_t port, size_t max_sessions,
-                               const std::function<void(uint16_t)>& on_listening) {
-  int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) {
-    return Status::IoError(std::string("socket: ") + std::strerror(errno));
-  }
-  // Publish the fd immediately, then re-check the sticky shutdown flag: a
-  // shutdown_port() racing with startup either saw fd == -1 and set only
-  // the flag (caught by this check) or saw the fd and shut it down
-  // (bind/listen/accept fail, routed to the flag checks below). Either
-  // way the request is never lost — critical for SIGINT handlers.
-  listener_fd_.store(listener, std::memory_order_release);
-  if (port_shutdown_.load(std::memory_order_acquire)) {
-    listener_fd_.store(-1, std::memory_order_release);
-    ::close(listener);
-    return Status::Ok();
-  }
-  int one = 1;
-  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_ANY);
-  addr.sin_port = htons(port);
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    Status st = Status::IoError(std::string("bind: ") + std::strerror(errno));
-    listener_fd_.store(-1, std::memory_order_release);
-    ::close(listener);
-    return st;
-  }
-  if (::listen(listener, 16) < 0) {
-    if (port_shutdown_.load(std::memory_order_acquire)) {
-      listener_fd_.store(-1, std::memory_order_release);
-      ::close(listener);
-      return Status::Ok();  // a startup-racing shutdown broke the socket
-    }
-    Status st = Status::IoError(std::string("listen: ") + std::strerror(errno));
-    listener_fd_.store(-1, std::memory_order_release);
-    ::close(listener);
-    return st;
-  }
-  if (on_listening) {
-    sockaddr_in bound{};
-    socklen_t len = sizeof(bound);
-    uint16_t actual = port;
-    if (::getsockname(listener, reinterpret_cast<sockaddr*>(&bound), &len) ==
-        0) {
-      actual = ntohs(bound.sin_port);
-    }
-    on_listening(actual);
-  }
-  // Session-per-connection reader pool: every accepted socket gets its own
-  // thread running serve() (reader + in-order writer), all feeding the one
-  // shared dispatcher — which is what lets the coalescer batch *across*
-  // clients. max_sessions caps concurrency; at the cap the acceptor parks
-  // and excess clients wait in the TCP backlog.
-  struct Session {
-    std::thread th;
-    int fd = -1;       // guarded by mu; -1 once the session reclaimed it
-    bool done = false;  // guarded by mu
-  };
-  std::mutex mu;               // guards sessions' fd/done, active
-  std::condition_variable cv;  // signaled when a session ends
-  std::list<Session> sessions;  // touched only by this (acceptor) thread
-  size_t active = 0;
-
-  // Joins finished sessions. Called with `lk` held; releases it around the
-  // join (the session thread needs mu to mark itself done before exiting).
-  auto reap = [&](std::unique_lock<std::mutex>& lk) {
-    for (auto it = sessions.begin(); it != sessions.end();) {
-      if (!it->done) {
-        ++it;
-        continue;
-      }
-      std::thread th = std::move(it->th);
-      it = sessions.erase(it);
-      lk.unlock();
-      th.join();
-      lk.lock();
-    }
-  };
-
-  Status result = Status::Ok();
-  for (;;) {
-    {
-      std::unique_lock<std::mutex> lk(mu);
-      reap(lk);
-      // Parked at the concurrency cap we must still notice shutdown_port()
-      // (async-signal-safe, so it cannot notify this cv): poll the sticky
-      // flag on a coarse tick. Off the cap this costs nothing.
-      while (max_sessions != 0 && active >= max_sessions &&
-             !port_shutdown_.load(std::memory_order_acquire)) {
-        cv.wait_for(lk, std::chrono::milliseconds(50));
-      }
-    }
-    if (port_shutdown_.load(std::memory_order_acquire)) break;
-    int conn = ::accept(listener, nullptr, nullptr);
-    if (conn < 0) {
-      // shutdown_port() (e.g. from a SIGINT handler) wakes the accept;
-      // that is a clean stop, not an error.
-      if (port_shutdown_.load(std::memory_order_acquire)) break;
-      // Transient failures must not take down a server with live sessions:
-      // EINTR is a signal, ECONNABORTED a client that hung up while queued
-      // in the backlog. Everything else is a hard listener error.
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      // Resource exhaustion (fd table full under a connection flood, or a
-      // memory/buffer spike) is transient too: back off a beat — letting
-      // live sessions finish and release fds — and keep serving rather
-      // than dropping every connected client.
-      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
-          errno == ENOMEM) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(10));
-        continue;
-      }
-      result = Status::IoError(std::string("accept: ") + std::strerror(errno));
-      break;
-    }
-    std::lock_guard<std::mutex> lk(mu);
-    ++active;
-    sessions.emplace_back();
-    Session& s = sessions.back();  // stable address (std::list)
-    s.fd = conn;
-    // The lambda body cannot run until this lock_guard releases mu, so
-    // s.th is assigned before the session can mark itself done.
-    s.th = std::thread([this, conn, &s, &mu, &cv, &active] {
-      {
-        // Separate read and write streams over the one socket: serve()
-        // runs the reader and the writer on different threads, and two
-        // streams sharing a basic_ios would race on its iostate (eofbit
-        // from a client hangup vs the writer's sentry checks).
-        FdStreamBuf rbuf(conn);
-        FdStreamBuf wbuf(conn);
-        std::istream in(&rbuf);
-        std::ostream out(&wbuf);
-        serve(in, out);
-      }
-      {
-        std::lock_guard<std::mutex> slk(mu);
-        s.fd = -1;  // reclaim before close: the drain below only
-                    // shutdown(2)s fds still owned by a live session
-        s.done = true;
-        --active;
-      }
-      ::close(conn);
-      cv.notify_all();
-    });
-  }
-
-  // Stop accepting before draining: no new session may sneak in.
-  listener_fd_.store(-1, std::memory_order_release);
-  ::close(listener);
-
-  // Drain in-flight sessions: half-close their sockets (the reader sees
-  // EOF and winds down; the write side stays open so pending responses
-  // still flush), then wait for and join them all — also on the error
-  // path, so no session thread ever outlives serve_port.
-  {
-    std::unique_lock<std::mutex> lk(mu);
-    for (Session& s : sessions) {
-      if (!s.done && s.fd >= 0) ::shutdown(s.fd, SHUT_RD);
-    }
-    // A peer that stopped *reading* can leave a session writer blocked in
-    // send() with a full socket buffer — SHUT_RD cannot wake that. After a
-    // grace period for the polite case, hard-close the write side too: the
-    // blocked send fails (EPIPE, no SIGPIPE — MSG_NOSIGNAL) and the
-    // session exits without the final flush. One stalled client must not
-    // hang shutdown for everyone.
-    if (!cv.wait_for(lk, std::chrono::seconds(1),
-                     [&] { return active == 0; })) {
-      for (Session& s : sessions) {
-        if (!s.done && s.fd >= 0) ::shutdown(s.fd, SHUT_RDWR);
-      }
-    }
-    cv.wait(lk, [&] { return active == 0; });
-    reap(lk);
-  }
-  return result;
+Status QueryServer::serve_port(
+    uint16_t port, size_t max_sessions,
+    const std::function<void(uint16_t)>& on_listening) {
+  return listener_.run(
+      port, max_sessions, on_listening,
+      [this](std::istream& in, std::ostream& out) { serve(in, out); },
+      [this] { note_accept_backoff(); });
 }
 
-void QueryServer::shutdown_port() {
-  port_shutdown_.store(true, std::memory_order_release);
-  int fd = listener_fd_.load(std::memory_order_acquire);
-  // shutdown() on a listening socket wakes a blocked accept() (EINVAL);
-  // the fd itself is closed by serve_port on its way out.
-  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
-}
-
-#else  // !RSP_HAVE_SOCKETS
-
-Status QueryServer::serve_port(uint16_t, size_t,
-                               const std::function<void(uint16_t)>&) {
-  return Status::IoError("TCP serving is not supported on this platform");
-}
-
-void QueryServer::shutdown_port() {}
-
-#endif
+void QueryServer::shutdown_port() { listener_.shutdown(); }
 
 // ---------------------------------------------------------------------------
 // Telemetry
@@ -712,6 +469,8 @@ ServeStats QueryServer::stats() const {
   s.dispatches = dispatches_;
   s.dispatched_pairs = dispatched_pairs_;
   s.window_us = window_us_.load(std::memory_order_relaxed);
+  s.accept_backoffs = accept_backoffs_.load(std::memory_order_relaxed);
+  s.window_skips = window_skips_;
   s.p50_us = latency_.percentile(0.50);
   s.p95_us = latency_.percentile(0.95);
   s.p99_us = latency_.percentile(0.99);
@@ -755,6 +514,8 @@ std::string QueryServer::stats_json() const {
      << "    \"dispatched_pairs\": " << s.dispatched_pairs << ",\n"
      << "    \"mean_batch_occupancy\": " << s.mean_batch_occupancy() << ",\n"
      << "    \"window_us\": " << s.window_us << ",\n"
+     << "    \"accept_backoffs\": " << s.accept_backoffs << ",\n"
+     << "    \"window_skips\": " << s.window_skips << ",\n"
      << "    \"latency_us\": {\"p50\": " << s.p50_us
      << ", \"p95\": " << s.p95_us << ", \"p99\": " << s.p99_us
      << ", \"max\": " << s.max_us << "}\n"

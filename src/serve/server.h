@@ -80,6 +80,7 @@
 #include <thread>
 
 #include "api/engine.h"
+#include "serve/listener.h"
 #include "serve/protocol.h"
 
 namespace rsp {
@@ -115,6 +116,10 @@ struct ServeStats {
   uint64_t dispatched_pairs = 0;  // pairs across those dispatches
   uint64_t window_us = 0;   // live coalescing window (== the configured
                             //   value unless target_p95_us is adapting it)
+  uint64_t accept_backoffs = 0;  // acceptor fd-pressure backoff ticks
+                                 //   (EMFILE/ENFILE/ENOBUFS/ENOMEM retries)
+  uint64_t window_skips = 0;     // adaptation rounds skipped because the
+                                 //   epoch overlapped an accept backoff
   uint64_t p50_us = 0;      // request latency percentiles, admission ->
   uint64_t p95_us = 0;      //   response fulfillment
   uint64_t p99_us = 0;
@@ -198,6 +203,15 @@ class QueryServer {
   const Engine& engine() const { return engine_; }
   const ServeOptions& options() const { return opt_; }
 
+  // Marks an acceptor fd-pressure backoff (EMFILE and friends). The TCP
+  // front end wires this into the listener's backoff hook; the window
+  // adapter then discards any drained-early epoch overlapping the backoff —
+  // the acceptor sleeping on fd exhaustion is not idle traffic, and a
+  // sparse-regime decision taken on it would halve the coalescing window
+  // exactly when the server is starved of file descriptors. Public so the
+  // pressure path is testable without exhausting the real fd table.
+  void note_accept_backoff();
+
   ServeStats stats() const;
   // One-line STATS payload (also the wire response), e.g.
   // "OK served=12 queries=40 errors=0 dispatches=3 mean_batch=13.3 ...".
@@ -230,8 +244,11 @@ class QueryServer {
   Engine engine_;
   ServeOptions opt_;
 
-  std::atomic<int> listener_fd_{-1};        // valid while serve_port runs
-  std::atomic<bool> port_shutdown_{false};  // set by shutdown_port()
+  // TCP front end (serve/listener.h): owns the listening socket and the
+  // session-per-connection pool; shutdown_port() delegates to it.
+  TcpSessionLoop listener_;
+  // Ticked by note_accept_backoff (any thread); read by the window adapter.
+  std::atomic<uint64_t> accept_backoffs_{0};
 
   // Live coalescing window; equals opt_.coalesce_window_us until adaptation
   // moves it. Relaxed atomic: the dispatcher is the only writer, readers
@@ -253,6 +270,9 @@ class QueryServer {
   LatencyHistogram latency_;       // guarded by stats_mu_
   LatencyHistogram epoch_latency_;  // guarded by stats_mu_; reset each
                                     //   window-adaptation round
+  uint64_t backoffs_seen_ = 0;  // guarded by stats_mu_; accept_backoffs_
+                                //   value at the last adaptation round
+  uint64_t window_skips_ = 0;   // guarded by stats_mu_
 
   std::thread dispatcher_;  // last member: joins before state is torn down
 };

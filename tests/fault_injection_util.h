@@ -1,0 +1,316 @@
+#pragma once
+// Deterministic fault-injection transport for the router test battery
+// (router_test.cpp, router_stress_test.cpp, fuzz_protocol_test.cpp).
+//
+// The router's transport seam is ShardChannel/ShardConnector
+// (serve/router.h). This header provides an in-process implementation
+// backed directly by an Engine — no sockets, no server threads — plus a
+// fault layer that injects failures at exact, scripted points:
+//
+//   EngineShardChannel   answers LEN/PATH/BATCH payloads from an Engine,
+//                        byte-compatible with a QueryServer response line.
+//   FaultScript          a per-shard queue of faults; each exchange's
+//                        send() consumes the next one, so "fail once then
+//                        recover" vs "fail twice -> SHARD_DOWN" is the
+//                        difference between one queued fault and two.
+//   FaultChannel         wraps any ShardChannel and applies the consumed
+//                        fault: kill before/after send, truncate the
+//                        response (connection cut mid-line), corrupt it
+//                        (deliver a chosen line instead), or hold it
+//                        behind a Gate until the test releases it.
+//   Gate                 a one-shot latch; holds let a test choose the
+//                        order shard responses *become available* without
+//                        a single sleep — release order is the only clock.
+//
+// Determinism contract: nothing in here sleeps or depends on thread
+// timing. The only real-time waits are recv deadlines the router itself
+// imposes (RouterOptions::shard_timeout), which the timeout tests bound
+// explicitly.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "api/engine.h"
+#include "serve/protocol.h"
+#include "serve/router.h"
+
+namespace rsp::testutil {
+
+// A per-process fixture directory name. ctest runs every gtest case as
+// its own process, many in parallel — a fixed shared path would let one
+// process rewrite a saved shard set while another mounts it. The
+// steady-clock tick at first use keeps processes apart without any
+// platform pid dependency.
+inline std::string unique_fixture_dir(const std::string& base) {
+  static const auto tick =
+      std::chrono::steady_clock::now().time_since_epoch().count();
+  return base + "_" + std::to_string(static_cast<unsigned long long>(tick));
+}
+
+// One-shot latch. open() is sticky; wait_for() returns true once open,
+// false when the deadline passes first.
+class Gate {
+ public:
+  void open() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  bool wait_for(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lk(mu_);
+    return cv_.wait_for(lk, timeout, [this] { return open_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+enum class FaultKind {
+  kNone = 0,
+  kHoldResponse,      // deliver the real response only once `gate` opens;
+                      //   a never-opened gate is a shard that is up but 10x
+                      //   slow — the recv deadline expires first
+  kTruncateResponse,  // connection cut mid-response: the response is
+                      //   consumed and lost, recv fails, the channel dies
+  kCorruptResponse,   // deliver `corrupt_with` instead of the real line
+  kKillBeforeSend,    // connection dead before the request ships
+  kKillAfterSend,     // request ships, connection dies before the response
+};
+
+struct Fault {
+  FaultKind kind = FaultKind::kNone;
+  Gate* gate = nullptr;      // kHoldResponse
+  std::string corrupt_with;  // kCorruptResponse
+};
+
+// Per-shard fault queues plus reachability. Shared by every channel the
+// connector hands out; internally locked (router sessions may run on many
+// threads). Each FaultChannel::send consumes one fault, so queue position
+// == exchange attempt: the router's retry (a fresh channel + resend)
+// consumes the *next* queued fault.
+class FaultScript {
+ public:
+  void push(size_t shard, Fault f) {
+    std::lock_guard<std::mutex> lk(mu_);
+    faults_[shard].push_back(std::move(f));
+  }
+  Fault next(size_t shard) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = faults_.find(shard);
+    if (it == faults_.end() || it->second.empty()) return {};
+    Fault f = std::move(it->second.front());
+    it->second.pop_front();
+    return f;
+  }
+
+  // An unreachable shard's connector yields nullptr (connect refused).
+  void set_unreachable(size_t shard, bool down) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (down) {
+      down_.insert(shard);
+    } else {
+      down_.erase(shard);
+    }
+  }
+  bool unreachable(size_t shard) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return down_.count(shard) != 0;
+  }
+
+  // Connect attempts per shard — lets tests assert a request never touched
+  // the transport (e.g. BAD_REQUEST answered locally).
+  void note_connect(size_t shard) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++connects_[shard];
+  }
+  uint64_t connects(size_t shard) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = connects_.find(shard);
+    return it == connects_.end() ? 0 : it->second;
+  }
+  uint64_t total_connects() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    uint64_t n = 0;
+    for (const auto& [shard, c] : connects_) n += c;
+    return n;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<size_t, std::deque<Fault>> faults_;
+  std::set<size_t> down_;
+  std::map<size_t, uint64_t> connects_;
+};
+
+// In-process shard server: answers one LEN/PATH/BATCH payload per send()
+// from the engine, formatted with the same serve/protocol.h formatters a
+// QueryServer session uses — so a router merge over these channels must be
+// byte-identical to a direct single-engine transcript.
+class EngineShardChannel : public ShardChannel {
+ public:
+  explicit EngineShardChannel(const Engine* engine) : engine_(engine) {}
+
+  bool send(std::string_view data) override {
+    std::vector<std::string> lines;
+    size_t start = 0;
+    while (start < data.size()) {
+      size_t nl = data.find('\n', start);
+      if (nl == std::string_view::npos) nl = data.size();
+      lines.emplace_back(data.substr(start, nl - start));
+      start = nl + 1;
+    }
+    if (lines.empty()) return false;
+    size_t consumed = 0;
+    ParsedRequest pr = parse_request(lines[0], [&](std::string& l) {
+      if (consumed + 1 >= lines.size()) return false;
+      l = lines[++consumed];
+      return true;
+    });
+    if (!pr.ok) {
+      pending_.push_back(format_error("BAD_REQUEST", pr.error));
+      return true;
+    }
+    pending_.push_back(answer(pr.req));
+    return true;
+  }
+
+  bool recv_line(std::string& line, std::chrono::milliseconds) override {
+    if (pending_.empty()) return false;  // over-read == EOF
+    line = pending_.front();
+    pending_.pop_front();
+    return true;
+  }
+
+ private:
+  std::string answer(const Request& req) const {
+    switch (req.verb) {
+      case Verb::kLen: {
+        Result<Length> r = engine_->length(req.pairs[0].s, req.pairs[0].t);
+        return r.ok() ? format_length(*r) : format_error(r.status());
+      }
+      case Verb::kPath: {
+        Result<std::vector<Point>> r =
+            engine_->path(req.pairs[0].s, req.pairs[0].t);
+        return r.ok() ? format_path(*r) : format_error(r.status());
+      }
+      case Verb::kBatch: {
+        Result<std::vector<Length>> r = engine_->lengths(req.pairs);
+        return r.ok() ? format_batch(*r) : format_error(r.status());
+      }
+      default:
+        return format_error("BAD_REQUEST", "verb not forwardable");
+    }
+  }
+
+  const Engine* engine_;
+  std::deque<std::string> pending_;
+};
+
+// Applies one scripted fault per exchange around any inner channel.
+class FaultChannel : public ShardChannel {
+ public:
+  FaultChannel(std::unique_ptr<ShardChannel> inner, FaultScript* script,
+               size_t shard)
+      : inner_(std::move(inner)), script_(script), shard_(shard) {}
+
+  bool send(std::string_view data) override {
+    if (dead_) return false;
+    cur_ = script_->next(shard_);
+    if (cur_.kind == FaultKind::kKillBeforeSend) {
+      dead_ = true;
+      return false;
+    }
+    if (!inner_->send(data)) {
+      dead_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  bool recv_line(std::string& line, std::chrono::milliseconds timeout) override {
+    if (dead_) return false;
+    const Fault f = std::exchange(cur_, Fault{});
+    switch (f.kind) {
+      case FaultKind::kKillAfterSend:
+        dead_ = true;
+        return false;
+      case FaultKind::kTruncateResponse: {
+        std::string lost;
+        inner_->recv_line(lost, timeout);  // computed, never delivered
+        dead_ = true;
+        return false;
+      }
+      case FaultKind::kCorruptResponse: {
+        std::string real;
+        if (!inner_->recv_line(real, timeout)) {
+          dead_ = true;
+          return false;
+        }
+        line = f.corrupt_with;
+        return true;
+      }
+      case FaultKind::kHoldResponse: {
+        if (f.gate == nullptr || !f.gate->wait_for(timeout)) {
+          dead_ = true;  // deadline expired: the shard was too slow
+          return false;
+        }
+        if (!inner_->recv_line(line, timeout)) {
+          dead_ = true;
+          return false;
+        }
+        return true;
+      }
+      case FaultKind::kNone:
+      case FaultKind::kKillBeforeSend: {  // consumed in send(); unreachable
+        if (!inner_->recv_line(line, timeout)) {
+          dead_ = true;
+          return false;
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::unique_ptr<ShardChannel> inner_;
+  FaultScript* script_;
+  size_t shard_;
+  Fault cur_;
+  bool dead_ = false;
+};
+
+// Connector wiring it together: every shard is the same engine (the union
+// property routers rely on), every channel passes through `script`.
+inline ShardConnector fault_connector(const Engine* engine,
+                                      FaultScript* script) {
+  return [engine, script](size_t shard) -> std::unique_ptr<ShardChannel> {
+    script->note_connect(shard);
+    if (script->unreachable(shard)) return nullptr;
+    return std::make_unique<FaultChannel>(
+        std::make_unique<EngineShardChannel>(engine), script, shard);
+  };
+}
+
+// Fault-free in-process connector (clean-path and benchmark baseline).
+inline ShardConnector engine_connector(const Engine* engine) {
+  return [engine](size_t) -> std::unique_ptr<ShardChannel> {
+    return std::make_unique<EngineShardChannel>(engine);
+  };
+}
+
+}  // namespace rsp::testutil

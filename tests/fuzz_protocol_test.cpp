@@ -18,14 +18,20 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <filesystem>
+#include <memory>
 #include <random>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "api/engine.h"
+#include "fault_injection_util.h"
 #include "io/gen.h"
+#include "io/manifest.h"
 #include "serve/protocol.h"
+#include "serve/router.h"
 #include "serve/server.h"
 
 namespace rsp {
@@ -246,6 +252,235 @@ TEST(ProtocolFuzz, EmbeddedNulBytesAreHandledAndAnswered) {
     EXPECT_EQ(lines[i].find('\0'), std::string::npos);
   }
   EXPECT_EQ(lines[3], "OK bye");
+}
+
+// ---------------------------------------------------------------------------
+// Router framing fuzz (serve/router.h): shard responses are mutated with
+// structure-breaking edits before the router sees them. The contract: a
+// mutated sub-batch response surfaces as a retry or a SHARD_DOWN error —
+// never a crash, never a hang, and never a mis-merge (a partial OK mixing
+// healthy shards' values with garbage). Scripts use LEN and BATCH only:
+// those responses carry their own arity ("OK <n> v1..vn", strict
+// two-token LEN), so *any* token-structure edit is detectable. PATH's
+// grammar is open-ended (no vertex count on the wire), so a dropped
+// interior vertex is wire-indistinguishable — routing still validates its
+// shape, but the fuzz oracle would be ambiguous.
+// ---------------------------------------------------------------------------
+
+struct RouterFuzzFixture {
+  std::string man_path;
+  ShardManifest man;
+  Engine engine;
+};
+
+RouterFuzzFixture& router_fuzz() {
+  static RouterFuzzFixture* f = [] {
+    Scene s = fuzz_scene();
+    Engine eng(Scene{s}, {.backend = Backend::kAllPairsSeq});
+    std::string dir =
+        testutil::unique_fixture_dir(::testing::TempDir() + "/rsp_router_fuzz");
+    std::filesystem::create_directories(dir);
+    std::string path = dir + "/fuzz.man";
+    Status st = eng.save_sharded(path, 3);
+    RSP_CHECK_MSG(st.ok(), st.to_string());
+    Result<ShardManifest> man = load_manifest(path);
+    RSP_CHECK_MSG(man.ok(), man.status().to_string());
+    return new RouterFuzzFixture{path, std::move(*man), std::move(eng)};
+  }();
+  return *f;
+}
+
+// Structure-breaking edit of one response line: changes the token shape,
+// never just a digit (a digit edit is wire-undetectable by design — the
+// protocol has no response checksum).
+std::string break_framing(std::string line, std::mt19937_64& rng) {
+  auto tokens = [&] {
+    std::vector<std::string> t;
+    std::istringstream is(line);
+    std::string w;
+    while (is >> w) t.push_back(w);
+    return t;
+  }();
+  switch (rng() % 6) {
+    case 0: {  // drop a token
+      if (tokens.empty()) return "";
+      tokens.erase(tokens.begin() + static_cast<long>(rng() % tokens.size()));
+      break;
+    }
+    case 1: {  // duplicate a token
+      if (tokens.empty()) return "x";
+      size_t at = rng() % tokens.size();
+      tokens.insert(tokens.begin() + static_cast<long>(at), tokens[at]);
+      break;
+    }
+    case 2:  // leading garbage (an "OK"/"ERR" prefix no more)
+      tokens.insert(tokens.begin(), "garbage");
+      break;
+    case 3: {  // control byte mid-line
+      line.insert(line.empty() ? 0 : rng() % line.size(), 1, '\x01');
+      return line;
+    }
+    case 4:  // emptied line (connection glitch swallowing the payload)
+      return "";
+    default: {  // a numeric token turns non-numeric
+      for (size_t i = 1; i < tokens.size(); ++i) {
+        if (!tokens[i].empty() &&
+            (std::isdigit(static_cast<unsigned char>(tokens[i][0])) ||
+             tokens[i][0] == '-')) {
+          tokens[i] = "not-a-number";
+          break;
+        }
+      }
+      break;
+    }
+  }
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i) out += ' ';
+    out += tokens[i];
+  }
+  return out;
+}
+
+// Wraps the in-process engine channel; `mutate_this_incarnation` decides
+// whether every response on this channel is broken before delivery.
+class MutatingChannel : public ShardChannel {
+ public:
+  MutatingChannel(std::unique_ptr<ShardChannel> inner, std::mt19937_64* rng,
+                  bool mutate, size_t* mutations)
+      : inner_(std::move(inner)),
+        rng_(rng),
+        mutate_(mutate),
+        mutations_(mutations) {}
+  bool send(std::string_view data) override { return inner_->send(data); }
+  bool recv_line(std::string& line, std::chrono::milliseconds t) override {
+    if (!inner_->recv_line(line, t)) return false;
+    if (mutate_) {
+      line = break_framing(std::move(line), *rng_);
+      ++*mutations_;
+    }
+    return true;
+  }
+
+ private:
+  std::unique_ptr<ShardChannel> inner_;
+  std::mt19937_64* rng_;
+  bool mutate_;
+  size_t* mutations_;
+};
+
+// A LEN/BATCH-only script with sources spread over the container.
+std::string router_fuzz_script(uint64_t seed, size_t requests) {
+  auto pts = random_free_points(router_fuzz().engine.scene(),
+                                2 * requests + 8, seed);
+  std::mt19937_64 rng(seed ^ 0xD1B54A32D192ED03ull);
+  std::ostringstream os;
+  for (size_t i = 0; i < requests; ++i) {
+    const Point& a = pts[2 * i];
+    const Point& b = pts[2 * i + 1];
+    if (rng() % 3 == 0) {
+      const size_t k = 2 + rng() % 3;
+      os << "BATCH " << k << '\n';
+      for (size_t j = 0; j < k; ++j) {
+        const Point& u = pts[(2 * i + j) % pts.size()];
+        const Point& v = pts[(2 * i + j + 3) % pts.size()];
+        os << u.x << ',' << u.y << ' ' << v.x << ',' << v.y << '\n';
+      }
+    } else {
+      os << "LEN " << a.x << ',' << a.y << ' ' << b.x << ',' << b.y << '\n';
+    }
+  }
+  os << "QUIT\n";
+  return os.str();
+}
+
+std::string router_oracle(const std::string& script) {
+  Result<Engine> eng = Engine::open(router_fuzz().man_path);
+  RSP_CHECK_MSG(eng.ok(), eng.status().to_string());
+  QueryServer srv(std::move(*eng), {.coalesce_window_us = 0});
+  std::istringstream in(script);
+  std::ostringstream out;
+  srv.serve(in, out);
+  return out.str();
+}
+
+// Every exchange's first delivery is broken, every retry runs clean (odd
+// connect incarnations mutate): with one retry the router must absorb the
+// whole corpus *transparently* — final transcripts byte-identical to the
+// oracle, one retry per failed exchange, zero SHARD_DOWN.
+TEST(RouterFramingFuzz, BrokenFramingIsAlwaysRetriedNeverDelivered) {
+  auto& f = router_fuzz();
+  size_t total_mutations = 0;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    std::mt19937_64 rng(seed * 0x2545F4914F6CDD1Dull);
+    std::vector<size_t> incarnation(3, 0);
+    ShardConnector connect = [&](size_t shard) {
+      const bool mutate = (++incarnation[shard] % 2) == 1;
+      return std::make_unique<MutatingChannel>(
+          std::make_unique<testutil::EngineShardChannel>(&f.engine), &rng,
+          mutate, &total_mutations);
+    };
+    Router router(f.man, connect);  // shard_retries = 1 (default)
+    const std::string script = router_fuzz_script(seed, 10);
+    std::istringstream in(script);
+    std::ostringstream out;
+    router.serve(in, out);
+    EXPECT_EQ(out.str(), router_oracle(script)) << "seed " << seed;
+    RouterStats s = router.stats();
+    EXPECT_EQ(s.shard_down, 0u) << "seed " << seed;
+    uint64_t retries = 0;
+    for (const auto& sh : s.shards) retries += sh.retries;
+    EXPECT_GT(retries, 0u) << "seed " << seed;
+  }
+  // One mutation per touched shard per session (the mutating incarnation
+  // dies on its first rejected response) — the corpus was not vacuous.
+  EXPECT_GT(total_mutations, 10u);
+}
+
+// No retries, random 50% mutation: every response line is either the
+// exact oracle line or ERR SHARD_DOWN — the one-line-per-request framing
+// holds and healthy shards' values never merge with garbage.
+TEST(RouterFramingFuzz, MutantsDegradeToShardDownNeverMisMerge) {
+  auto& f = router_fuzz();
+  size_t total_mutations = 0, down_lines = 0, exact_lines = 0;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ull);
+    ShardConnector connect = [&](size_t) {
+      return std::make_unique<MutatingChannel>(
+          std::make_unique<testutil::EngineShardChannel>(&f.engine), &rng,
+          rng() % 2 == 0, &total_mutations);
+    };
+    Router router(f.man, connect, {.shard_retries = 0});
+    const std::string script = router_fuzz_script(seed, 10);
+    std::istringstream in(script);
+    std::ostringstream out;
+    router.serve(in, out);
+
+    std::istringstream gi(out.str()), ei(router_oracle(script));
+    std::string gl, el;
+    size_t lineno = 0;
+    while (std::getline(ei, el)) {
+      ASSERT_TRUE(std::getline(gi, gl))
+          << "seed " << seed << ": transcript short at line " << lineno;
+      if (gl == el) {
+        ++exact_lines;
+      } else {
+        ++down_lines;
+        EXPECT_EQ(gl.rfind("ERR SHARD_DOWN shard ", 0), 0u)
+            << "seed " << seed << " line " << lineno
+            << ": neither oracle nor SHARD_DOWN: '" << gl << "'";
+      }
+      for (char c : gl) {
+        EXPECT_GE(static_cast<unsigned char>(c), 0x20)
+            << "seed " << seed << ": control byte leaked to the client";
+      }
+      ++lineno;
+    }
+    EXPECT_FALSE(std::getline(gi, gl)) << "seed " << seed << ": extra lines";
+  }
+  EXPECT_GT(total_mutations, 30u);
+  EXPECT_GT(down_lines, 0u);   // mutants really degraded some lines...
+  EXPECT_GT(exact_lines, 0u);  // ...and clean exchanges stayed exact
 }
 
 }  // namespace

@@ -1,0 +1,243 @@
+// Router under concurrency (serve/router.h): many client sessions at
+// once, with and without a shard dying mid-stress. Per-session channel
+// sets mean sessions share only the locked per-shard health stats, so
+// every surviving session's transcript must still be byte-identical to
+// the single-engine oracle — and once a shard goes down, every line is
+// either the exact oracle line or a SHARD_DOWN error, never a torn or
+// cross-session response. This is the TSan target for the fleet layer
+// (CI runs it under -fsanitize=thread).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "fault_injection_util.h"
+#include "io/gen.h"
+#include "io/manifest.h"
+#include "loopback_test_util.h"  // defines RSP_TEST_SOCKETS on unix/apple
+#include "serve/protocol.h"
+#include "serve/router.h"
+#include "serve/server.h"
+
+namespace rsp {
+namespace {
+
+using testutil::FaultScript;
+
+struct Fleet {
+  std::string man_path;
+  ShardManifest man;
+  Engine engine;
+};
+
+Fleet& fleet() {
+  static Fleet* f = [] {
+    Scene s = gen_uniform(12, 19);
+    Engine eng(Scene{s}, {.backend = Backend::kAllPairsSeq});
+    std::string dir = testutil::unique_fixture_dir(::testing::TempDir() +
+                                                   "/rsp_router_stress");
+    std::filesystem::create_directories(dir);
+    std::string path = dir + "/fleet.man";
+    Status st = eng.save_sharded(path, 3);
+    RSP_CHECK_MSG(st.ok(), "fixture save_sharded: " + st.to_string());
+    Result<ShardManifest> man = load_manifest(path);
+    RSP_CHECK_MSG(man.ok(), "fixture manifest: " + man.status().to_string());
+    return new Fleet{path, std::move(*man), std::move(eng)};
+  }();
+  return *f;
+}
+
+// Session script `c`: a per-client mix of LEN and BATCH requests, sources
+// spread over the whole container so every shard is exercised.
+std::string client_script(size_t c, size_t requests) {
+  auto pts = random_free_points(fleet().engine.scene(), 2 * requests + 8,
+                                100 + c);
+  std::ostringstream os;
+  for (size_t i = 0; i < requests; ++i) {
+    const Point& a = pts[2 * i];
+    const Point& b = pts[2 * i + 1];
+    if (i % 5 == 4) {
+      os << "BATCH 2\n"
+         << a.x << ',' << a.y << ' ' << b.x << ',' << b.y << '\n'
+         << b.x << ',' << b.y << ' ' << a.x << ',' << a.y << '\n';
+    } else {
+      os << "LEN " << a.x << ',' << a.y << ' ' << b.x << ',' << b.y << '\n';
+    }
+  }
+  os << "QUIT\n";
+  return os.str();
+}
+
+// The oracle transcript of a script, computed once per script on a
+// QueryServer mounted from the same manifest.
+std::string oracle_transcript(const std::string& script) {
+  Result<Engine> eng = Engine::open(fleet().man_path);
+  RSP_CHECK_MSG(eng.ok(), "oracle mount: " + eng.status().to_string());
+  QueryServer srv(std::move(*eng), {.coalesce_window_us = 0});
+  std::istringstream in(script);
+  std::ostringstream out;
+  srv.serve(in, out);
+  return out.str();
+}
+
+TEST(RouterStressTest, ConcurrentSessionsAreByteExactAndIsolated) {
+  auto& f = fleet();
+  constexpr size_t kClients = 8;
+  constexpr size_t kRequests = 40;
+  Router router(f.man, testutil::engine_connector(&f.engine));
+
+  std::vector<std::string> scripts, expected;
+  for (size_t c = 0; c < kClients; ++c) {
+    scripts.push_back(client_script(c, kRequests));
+    expected.push_back(oracle_transcript(scripts.back()));
+  }
+
+  std::vector<std::string> got(kClients);
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      std::istringstream in(scripts[c]);
+      std::ostringstream out;
+      router.serve(in, out);
+      got[c] = out.str();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (size_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(got[c], expected[c]) << "client " << c << " transcript diverged";
+  }
+  RouterStats s = router.stats();
+  EXPECT_EQ(s.errors, 0u);
+  EXPECT_EQ(s.shard_down, 0u);
+  // QUIT's "OK bye" is a counted response line too.
+  EXPECT_EQ(s.requests, kClients * (kRequests + 1));
+}
+
+TEST(RouterStressTest, MidStressShardKillDegradesOnlyAffectedLines) {
+  auto& f = fleet();
+  constexpr size_t kClients = 6;
+  constexpr size_t kRequests = 60;
+  FaultScript faults;
+  Router router(f.man, testutil::fault_connector(&f.engine, &faults),
+                {.shard_retries = 0});
+
+  std::vector<std::string> scripts, expected;
+  for (size_t c = 0; c < kClients; ++c) {
+    scripts.push_back(client_script(c, kRequests));
+    expected.push_back(oracle_transcript(scripts.back()));
+  }
+
+  // Half the clients start; shard 1 dies; the rest start. No timing
+  // dependence: whether an individual exchange lands before or after the
+  // kill, its response must be the oracle line or SHARD_DOWN.
+  std::vector<std::string> got(kClients);
+  auto run_client = [&](size_t c) {
+    std::istringstream in(scripts[c]);
+    std::ostringstream out;
+    router.serve(in, out);
+    got[c] = out.str();
+  };
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < kClients / 2; ++c) threads.emplace_back(run_client, c);
+  faults.set_unreachable(1, true);
+  for (size_t c = kClients / 2; c < kClients; ++c) {
+    threads.emplace_back(run_client, c);
+  }
+  for (auto& t : threads) t.join();
+
+  size_t down_lines = 0;
+  for (size_t c = 0; c < kClients; ++c) {
+    std::istringstream gi(got[c]), ei(expected[c]);
+    std::string gl, el;
+    size_t lineno = 0;
+    while (std::getline(ei, el)) {
+      ASSERT_TRUE(std::getline(gi, gl))
+          << "client " << c << " transcript short at line " << lineno;
+      if (gl != el) {
+        EXPECT_EQ(gl.rfind("ERR SHARD_DOWN shard 1 ", 0), 0u)
+            << "client " << c << " line " << lineno
+            << " is neither the oracle line nor SHARD_DOWN: " << gl;
+        ++down_lines;
+      }
+      ++lineno;
+    }
+    EXPECT_FALSE(std::getline(gi, gl))
+        << "client " << c << " transcript has extra lines";
+  }
+  // The kill landed before at least the late half started: some lines
+  // must actually have degraded (the assertion above is not vacuous).
+  EXPECT_GT(down_lines, 0u);
+  RouterStats s = router.stats();
+  EXPECT_EQ(s.shard_down, down_lines);
+  EXPECT_GE(s.shards[1].failures, down_lines);
+}
+
+#ifdef RSP_TEST_SOCKETS
+
+// The same property over real sockets: concurrent TCP clients against the
+// router's serve_port, each byte-compared to the oracle.
+TEST(RouterStressTest, TcpClientsConcurrentlyMatchOracle) {
+  auto& f = fleet();
+  constexpr size_t kClients = 4;
+  constexpr size_t kRequests = 24;
+  Result<Engine> shard_eng = Engine::open(f.man_path);
+  ASSERT_TRUE(shard_eng.ok());
+  QueryServer shard(std::move(*shard_eng));
+  std::promise<uint16_t> shard_ready;
+  auto shard_port_fut = shard_ready.get_future();
+  std::thread shard_th([&] {
+    shard.serve_port(0, 0, [&](uint16_t p) { shard_ready.set_value(p); });
+  });
+  const uint16_t shard_port = shard_port_fut.get();
+
+  Router router(f.man, tcp_connector({{"127.0.0.1", shard_port},
+                                      {"127.0.0.1", shard_port},
+                                      {"127.0.0.1", shard_port}}),
+                {.shard_timeout = std::chrono::milliseconds(10000)});
+  std::promise<uint16_t> ready;
+  auto port_fut = ready.get_future();
+  std::thread router_th(
+      [&] { router.serve_port(0, [&](uint16_t p) { ready.set_value(p); }); });
+  const uint16_t port = port_fut.get();
+
+  std::vector<std::string> scripts, expected, got(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    scripts.push_back(client_script(50 + c, kRequests));
+    expected.push_back(oracle_transcript(scripts.back()));
+  }
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      int fd = testutil::connect_loopback(port);
+      ASSERT_GE(fd, 0);
+      ASSERT_TRUE(testutil::send_all(fd, scripts[c]));
+      got[c] = testutil::recv_until_eof(fd);
+      ::close(fd);
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (size_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(got[c], expected[c]) << "TCP client " << c;
+  }
+
+  router.shutdown_port();
+  router_th.join();
+  shard.shutdown_port();
+  shard_th.join();
+}
+
+#endif  // RSP_TEST_SOCKETS
+
+}  // namespace
+}  // namespace rsp

@@ -1,0 +1,549 @@
+// Fleet router (serve/router.h): a router fronting a shard set must be
+// indistinguishable from a single engine server on every surviving
+// response — byte-identical transcripts, exact request order — no matter
+// how shard responses arrive, and every injected transport failure (kill,
+// truncation, corruption, a 10x-slow shard, refused connections) must
+// surface as a documented ERR or a transparent retry, never a hang, a
+// crash, or a mis-merged value. The fault battery runs on the in-process
+// scripted transport (fault_injection_util.h); the real-socket path runs a
+// 3-server loopback fleet and SIGKILL-equivalent shard loss.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <future>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "fault_injection_util.h"
+#include "io/gen.h"
+#include "io/manifest.h"
+#include "loopback_test_util.h"  // defines RSP_TEST_SOCKETS on unix/apple
+#include "serve/protocol.h"
+#include "serve/router.h"
+#include "serve/server.h"
+
+namespace rsp {
+namespace {
+
+using testutil::EngineShardChannel;
+using testutil::Fault;
+using testutil::FaultChannel;
+using testutil::FaultKind;
+using testutil::FaultScript;
+using testutil::Gate;
+
+// One shard set for the whole battery: a 16-obstacle scene saved as 3
+// shards plus its manifest, an engine over the same scene as the oracle,
+// and free points bucketed by routing slab so tests can aim requests at a
+// chosen shard.
+struct Fleet {
+  std::string man_path;
+  ShardManifest man;
+  Engine engine;                              // oracle (same tables)
+  std::map<size_t, std::vector<Point>> by_shard;  // free points per slab
+};
+
+Fleet& fleet() {
+  static Fleet* f = [] {
+    Scene s = gen_uniform(16, 7);
+    Engine eng(Scene{s}, {.backend = Backend::kAllPairsSeq});
+    std::string dir = testutil::unique_fixture_dir(::testing::TempDir() +
+                                                   "/rsp_router_fleet");
+    std::filesystem::create_directories(dir);
+    std::string path = dir + "/fleet.man";
+    Status st = eng.save_sharded(path, 3);
+    RSP_CHECK_MSG(st.ok(), "fixture save_sharded: " + st.to_string());
+    Result<ShardManifest> man = load_manifest(path);
+    RSP_CHECK_MSG(man.ok(), "fixture load_manifest: " + man.status().to_string());
+    auto* fx = new Fleet{path, std::move(*man), std::move(eng), {}};
+    for (const Point& p : random_free_points(s, 128, 21)) {
+      fx->by_shard[route_by_x(fx->man, p.x)].push_back(p);
+    }
+    RSP_CHECK_MSG(fx->by_shard.size() == 3,
+                  "fixture: free points missed a routing slab");
+    return fx;
+  }();
+  return *f;
+}
+
+// A free point whose source slab routes to `shard`.
+Point point_in_shard(size_t shard, size_t idx = 0) {
+  const auto& v = fleet().by_shard.at(shard);
+  return v[idx % v.size()];
+}
+
+std::string len_line(const Point& s, const Point& t) {
+  std::ostringstream os;
+  os << "LEN " << s.x << ',' << s.y << ' ' << t.x << ',' << t.y << '\n';
+  return os.str();
+}
+
+std::string route_session(Router& r, const std::string& script) {
+  std::istringstream in(script);
+  std::ostringstream out;
+  r.serve(in, out);
+  return out.str();
+}
+
+// The oracle transcript: the same script against one QueryServer mounted
+// from the very manifest the router serves (coalescing disabled — response
+// *content* is what is compared, and it is window-independent).
+std::string direct_session(const std::string& script) {
+  Result<Engine> eng = Engine::open(fleet().man_path);
+  RSP_CHECK_MSG(eng.ok(), "oracle mount: " + eng.status().to_string());
+  QueryServer srv(std::move(*eng), {.coalesce_window_us = 0});
+  std::istringstream in(script);
+  std::ostringstream out;
+  srv.serve(in, out);
+  return out.str();
+}
+
+// A script whose requests cross every shard: LEN and PATH per slab plus a
+// BATCH whose sources span all three slabs.
+std::string spread_script() {
+  auto& f = fleet();
+  std::ostringstream os;
+  for (size_t sh = 0; sh < 3; ++sh) {
+    Point a = point_in_shard(sh, 0), b = point_in_shard((sh + 1) % 3, 1);
+    os << "LEN " << a.x << ',' << a.y << ' ' << b.x << ',' << b.y << '\n';
+    os << "PATH " << a.x << ',' << a.y << ' ' << b.x << ',' << b.y << '\n';
+  }
+  os << "BATCH 6\n";
+  for (size_t i = 0; i < 6; ++i) {
+    Point a = point_in_shard(i % 3, i), b = point_in_shard((i + 1) % 3, i + 2);
+    os << a.x << ',' << a.y << ' ' << b.x << ',' << b.y << '\n';
+  }
+  (void)f;
+  os << "QUIT\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Clean path: the router is transparent
+// ---------------------------------------------------------------------------
+
+TEST(RouterTest, TranscriptMatchesDirectEngineOracle) {
+  auto& f = fleet();
+  const std::string script = spread_script();
+  Router r(f.man, testutil::engine_connector(&f.engine));
+  EXPECT_EQ(route_session(r, script), direct_session(script));
+
+  RouterStats s = r.stats();
+  EXPECT_EQ(s.requests, 8u);  // 3 LEN + 3 PATH + 1 BATCH + QUIT's "OK bye"
+  EXPECT_EQ(s.errors, 0u);
+  EXPECT_EQ(s.shard_down, 0u);
+}
+
+TEST(RouterTest, RoutingFollowsManifestSlabsAndSpreadsWork) {
+  auto& f = fleet();
+  for (size_t sh = 0; sh < 3; ++sh) {
+    for (size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(f.man.shards.size(), 3u);
+      EXPECT_EQ(route_by_x(f.man, point_in_shard(sh, i).x), sh);
+    }
+  }
+  Router r(f.man, testutil::engine_connector(&f.engine));
+  EXPECT_EQ(r.route(point_in_shard(1)), 1u);
+  route_session(r, spread_script());
+  RouterStats s = r.stats();
+  ASSERT_EQ(s.shards.size(), 3u);
+  for (size_t sh = 0; sh < 3; ++sh) {
+    EXPECT_GT(s.shards[sh].requests, 0u)
+        << "shard " << sh << " never saw an exchange";
+  }
+}
+
+TEST(RouterTest, SessionsAreReusableAndIndependent) {
+  auto& f = fleet();
+  Router r(f.man, testutil::engine_connector(&f.engine));
+  const std::string script = spread_script();
+  const std::string first = route_session(r, script);
+  EXPECT_EQ(route_session(r, script), first);
+  EXPECT_EQ(route_session(r, "QUIT\n"), "OK bye\n");
+}
+
+TEST(RouterTest, BadRequestIsAnsweredLocallyWithoutTouchingShards) {
+  auto& f = fleet();
+  FaultScript faults;
+  Router r(f.man, testutil::fault_connector(&f.engine, &faults));
+  const std::string script = "LEN banana\nFROB 1,2 3,4\nQUIT\n";
+  const std::string got = route_session(r, script);
+  EXPECT_EQ(got, direct_session(script));  // same parser, same ERR text
+  EXPECT_EQ(faults.total_connects(), 0u);
+  EXPECT_EQ(r.stats().errors, 2u);
+}
+
+TEST(RouterTest, RelayedQueryErrorIsByteIdenticalAndNotAShardFailure) {
+  auto& f = fleet();
+  // A source inside an obstacle: the shard answers ERR INVALID_QUERY; the
+  // router must relay it verbatim and not count the shard as down.
+  const Rect& ob = f.engine.scene().obstacles()[0];
+  Point inside{(ob.xmin + ob.xmax) / 2, (ob.ymin + ob.ymax) / 2};
+  Point free_pt = point_in_shard(0);
+  const std::string script = len_line(inside, free_pt) + "QUIT\n";
+  Router r(f.man, testutil::engine_connector(&f.engine));
+  const std::string got = route_session(r, script);
+  EXPECT_EQ(got, direct_session(script));
+  EXPECT_EQ(got.rfind("ERR INVALID_QUERY", 0), 0u) << got;
+  RouterStats s = r.stats();
+  EXPECT_EQ(s.errors, 1u);
+  EXPECT_EQ(s.shard_down, 0u);
+  for (const auto& sh : s.shards) EXPECT_EQ(sh.failures, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Merge ordering (satellite): arrival order never changes the transcript
+// ---------------------------------------------------------------------------
+
+TEST(RouterMergeOrderTest, AllArrivalPermutationsYieldIdenticalTranscripts) {
+  auto& f = fleet();
+  const std::string script = spread_script();
+  const std::string expect = direct_session(script);
+
+  std::array<std::array<size_t, 3>, 6> perms = {{{0, 1, 2},
+                                                 {0, 2, 1},
+                                                 {1, 0, 2},
+                                                 {1, 2, 0},
+                                                 {2, 0, 1},
+                                                 {2, 1, 0}}};
+  for (const auto& perm : perms) {
+    FaultScript faults;
+    std::array<Gate, 3> gates;
+    // Hold only the BATCH sub-responses: the script's six leading
+    // singles run clean (queue order is consumption order, so push the
+    // clean exchanges first).
+    for (size_t sh = 0; sh < 3; ++sh) {
+      faults.push(sh, {});  // LEN
+      faults.push(sh, {});  // PATH
+      faults.push(sh, {FaultKind::kHoldResponse, &gates[sh], {}});
+    }
+    Router r(f.man, testutil::fault_connector(&f.engine, &faults),
+             {.shard_timeout = std::chrono::milliseconds(10000)});
+    // Responses become available strictly in `perm` order; no sleeps —
+    // gate releases are the only clock.
+    std::thread releaser([&] {
+      for (size_t sh : perm) gates[sh].open();
+    });
+    const std::string got = route_session(r, script);
+    releaser.join();
+    EXPECT_EQ(got, expect) << "arrival order " << perm[0] << perm[1]
+                           << perm[2] << " changed the merged transcript";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault battery: kill / truncate / corrupt / slow / unreachable
+// ---------------------------------------------------------------------------
+
+TEST(RouterFaultTest, KillAfterSendRetriesTransparently) {
+  auto& f = fleet();
+  Point a = point_in_shard(1), b = point_in_shard(2);
+  const std::string script = len_line(a, b) + "QUIT\n";
+  FaultScript faults;
+  faults.push(1, {FaultKind::kKillAfterSend, nullptr, {}});
+  Router r(f.man, testutil::fault_connector(&f.engine, &faults));
+  EXPECT_EQ(route_session(r, script), direct_session(script));
+  RouterStats s = r.stats();
+  EXPECT_EQ(s.shards[1].retries, 1u);
+  EXPECT_EQ(s.shards[1].failures, 0u);
+  EXPECT_EQ(s.shard_down, 0u);
+}
+
+TEST(RouterFaultTest, KillBeforeSendRetriesTransparently) {
+  auto& f = fleet();
+  Point a = point_in_shard(0), b = point_in_shard(2);
+  const std::string script = len_line(a, b) + "QUIT\n";
+  FaultScript faults;
+  faults.push(0, {FaultKind::kKillBeforeSend, nullptr, {}});
+  Router r(f.man, testutil::fault_connector(&f.engine, &faults));
+  EXPECT_EQ(route_session(r, script), direct_session(script));
+  EXPECT_EQ(r.stats().shards[0].retries, 1u);
+}
+
+TEST(RouterFaultTest, RepeatedKillExhaustsRetriesToShardDownNotAHang) {
+  auto& f = fleet();
+  Point a = point_in_shard(2), b = point_in_shard(0);
+  FaultScript faults;
+  faults.push(2, {FaultKind::kKillAfterSend, nullptr, {}});
+  faults.push(2, {FaultKind::kKillAfterSend, nullptr, {}});
+  Router r(f.man, testutil::fault_connector(&f.engine, &faults));
+  // The session must keep serving after the failure: the next request
+  // reconnects and succeeds.
+  const std::string script = len_line(a, b) + len_line(a, b) + "QUIT\n";
+  const std::string got = route_session(r, script);
+  std::istringstream is(got);
+  std::string l1, l2, l3;
+  std::getline(is, l1);
+  std::getline(is, l2);
+  std::getline(is, l3);
+  EXPECT_EQ(l1, "ERR SHARD_DOWN shard 2 unreachable after 2 attempt(s); "
+                "the request was not answered");
+  EXPECT_EQ(l2 + "\n" + "OK bye\n",
+            direct_session(len_line(a, b) + "QUIT\n"));
+  EXPECT_EQ(l3, "OK bye");
+  RouterStats s = r.stats();
+  EXPECT_EQ(s.shard_down, 1u);
+  EXPECT_EQ(s.errors, 1u);
+  EXPECT_EQ(s.shards[2].failures, 1u);
+}
+
+TEST(RouterFaultTest, TruncatedResponseCostsTheChannelAndRetriesClean) {
+  auto& f = fleet();
+  Point a = point_in_shard(1), b = point_in_shard(1, 3);
+  const std::string script =
+      len_line(a, b) + len_line(b, a) + "QUIT\n";
+  FaultScript faults;
+  faults.push(1, {FaultKind::kTruncateResponse, nullptr, {}});
+  Router r(f.man, testutil::fault_connector(&f.engine, &faults));
+  // First request survives via retry; the second runs on the *fresh*
+  // channel and must not read any leftover of the truncated response.
+  EXPECT_EQ(route_session(r, script), direct_session(script));
+  EXPECT_EQ(r.stats().shards[1].retries, 1u);
+}
+
+TEST(RouterFaultTest, CorruptResponseIsRejectedRetriedAndNeverDelivered) {
+  auto& f = fleet();
+  Point a = point_in_shard(0), b = point_in_shard(1);
+  const std::string script = len_line(a, b) + "QUIT\n";
+  for (const char* junk :
+       {"OK banana", "ERR", "O", "", "OK 1 2 3", "LEN 1,1 2,2"}) {
+    FaultScript faults;
+    faults.push(0, {FaultKind::kCorruptResponse, nullptr, junk});
+    Router r(f.man, testutil::fault_connector(&f.engine, &faults));
+    EXPECT_EQ(route_session(r, script), direct_session(script))
+        << "junk line " << '"' << junk << '"' << " leaked or desynced";
+    EXPECT_EQ(r.stats().shards[0].retries, 1u);
+  }
+}
+
+TEST(RouterFaultTest, DoublyCorruptExchangeBecomesShardDown) {
+  auto& f = fleet();
+  Point a = point_in_shard(0), b = point_in_shard(1);
+  FaultScript faults;
+  faults.push(0, {FaultKind::kCorruptResponse, nullptr, "OK not a number"});
+  faults.push(0, {FaultKind::kCorruptResponse, nullptr, "OK 1 2"});
+  Router r(f.man, testutil::fault_connector(&f.engine, &faults));
+  const std::string got = route_session(r, len_line(a, b) + "QUIT\n");
+  EXPECT_EQ(got.rfind("ERR SHARD_DOWN shard 0 ", 0), 0u) << got;
+  EXPECT_EQ(r.stats().shards[0].failures, 1u);
+}
+
+TEST(RouterFaultTest, CorruptSubBatchNeverMisMergesAcrossShards) {
+  auto& f = fleet();
+  // A BATCH spanning all 3 shards; shard 1's sub-response claims the wrong
+  // count twice -> the whole BATCH answers SHARD_DOWN naming shard the
+  // smallest affected index routes to; shards 0/2 values must never be
+  // scattered into a partial OK.
+  const std::string script = spread_script();
+  FaultScript faults;
+  for (int i = 0; i < 2; ++i) {
+    // Sub-batch to shard 1 has 2 pairs; "OK 1 7" is well-formed but wrong
+    // count — framing validation must reject it.
+    faults.push(1, {FaultKind::kCorruptResponse, nullptr, "OK 1 7"});
+  }
+  // Singles to shard 1 run clean first (consumption order).
+  FaultScript ordered;
+  ordered.push(1, {});  // LEN
+  ordered.push(1, {});  // PATH
+  ordered.push(1, {FaultKind::kCorruptResponse, nullptr, "OK 1 7"});
+  ordered.push(1, {FaultKind::kCorruptResponse, nullptr, "OK 1 7"});
+  Router r(f.man, testutil::fault_connector(&f.engine, &ordered));
+  const std::string got = route_session(r, script);
+  const std::string expect = direct_session(script);
+  // Line-by-line: everything matches the oracle except the BATCH line,
+  // which is SHARD_DOWN — never "OK 6 ..." with mixed-in wrong values.
+  std::istringstream gi(got), ei(expect);
+  std::string gl, el;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(std::getline(gi, gl) && std::getline(ei, el));
+    EXPECT_EQ(gl, el) << "single " << i;
+  }
+  ASSERT_TRUE(std::getline(gi, gl));
+  EXPECT_EQ(gl.rfind("ERR SHARD_DOWN shard 1 ", 0), 0u) << gl;
+  ASSERT_TRUE(std::getline(gi, gl));
+  EXPECT_EQ(gl, "OK bye");
+}
+
+TEST(RouterFaultTest, SlowShardDegradesToShardDownWithinTheDeadline) {
+  auto& f = fleet();
+  Point a = point_in_shard(1), b = point_in_shard(0);
+  FaultScript faults;
+  Gate never_a, never_b;  // never opened: a shard 10x slower than the budget
+  faults.push(1, {FaultKind::kHoldResponse, &never_a, {}});
+  faults.push(1, {FaultKind::kHoldResponse, &never_b, {}});
+  Router r(f.man, testutil::fault_connector(&f.engine, &faults),
+           {.shard_timeout = std::chrono::milliseconds(50)});
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::string got = route_session(r, len_line(a, b) + "QUIT\n");
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(got.rfind("ERR SHARD_DOWN shard 1 ", 0), 0u) << got;
+  // Both attempts waited their full deadline (the gates never opened) —
+  // and nothing waited longer than the configured budget allows.
+  EXPECT_GE(elapsed, std::chrono::milliseconds(100));
+  EXPECT_LT(elapsed, std::chrono::seconds(30));
+}
+
+TEST(RouterFaultTest, UnreachableShardIsShardDownThenRecoversWhenItReturns) {
+  auto& f = fleet();
+  Point a = point_in_shard(2), b = point_in_shard(1);
+  const std::string script = len_line(a, b) + "QUIT\n";
+  FaultScript faults;
+  faults.set_unreachable(2, true);
+  Router r(f.man, testutil::fault_connector(&f.engine, &faults));
+  EXPECT_EQ(route_session(r, script).rfind("ERR SHARD_DOWN shard 2 ", 0), 0u);
+  // The shard comes back; a new session reconnects and serves.
+  faults.set_unreachable(2, false);
+  EXPECT_EQ(route_session(r, script), direct_session(script));
+  RouterStats s = r.stats();
+  EXPECT_EQ(s.shard_down, 1u);
+  EXPECT_EQ(s.shards[2].failures, 1u);
+  EXPECT_TRUE(s.shards[2].last_ok);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+TEST(RouterStatsTest, StatsLineAndJsonExposeShardHealth) {
+  auto& f = fleet();
+  FaultScript faults;
+  faults.push(0, {FaultKind::kKillAfterSend, nullptr, {}});
+  faults.push(0, {FaultKind::kKillAfterSend, nullptr, {}});
+  Router r(f.man, testutil::fault_connector(&f.engine, &faults));
+  Point a = point_in_shard(0), b = point_in_shard(1);
+  // In-session STATS is answered locally and counts earlier requests.
+  const std::string got =
+      route_session(r, len_line(a, b) + len_line(b, a) + "STATS\nQUIT\n");
+  std::istringstream is(got);
+  std::string down_line, ok_line, stats_line;
+  std::getline(is, down_line);
+  std::getline(is, ok_line);
+  std::getline(is, stats_line);
+  EXPECT_EQ(down_line.rfind("ERR SHARD_DOWN", 0), 0u);
+  EXPECT_EQ(ok_line.rfind("OK ", 0), 0u);
+  // "OK router" prefix: fleet transcripts stay diffable against
+  // single-engine ones by filtering this one prefix.
+  EXPECT_EQ(stats_line.rfind("OK router shards=3 requests=2 errors=1 "
+                             "shard_down=1 shard0=down:",
+                             0),
+            0u)
+      << stats_line;
+  EXPECT_NE(stats_line.find("shard1=up:"), std::string::npos);
+
+  const std::string json = r.stats_json();
+  EXPECT_NE(json.find("\"shard_health\""), std::string::npos);
+  EXPECT_NE(json.find("\"shard_down\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"timeout_ms\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Real sockets: a loopback fleet with a killed shard server
+// ---------------------------------------------------------------------------
+
+#ifdef RSP_TEST_SOCKETS
+
+struct LiveServer {
+  std::unique_ptr<QueryServer> srv;
+  std::thread th;
+  uint16_t port = 0;
+
+  explicit LiveServer(Engine eng) : srv(new QueryServer(std::move(eng))) {
+    std::promise<uint16_t> ready;
+    auto fut = ready.get_future();
+    th = std::thread([this, &ready] {
+      srv->serve_port(0, 0, [&ready](uint16_t p) { ready.set_value(p); });
+    });
+    port = fut.get();
+  }
+  void kill() {
+    if (th.joinable()) {
+      srv->shutdown_port();
+      th.join();
+    }
+  }
+  ~LiveServer() { kill(); }
+};
+
+TEST(RouterTcpTest, LoopbackFleetServesAndSurvivesAShardKill) {
+  auto& f = fleet();
+  // Three real shard servers, each mounting the union from the manifest.
+  std::vector<std::unique_ptr<LiveServer>> servers;
+  std::vector<ShardEndpoint> eps;
+  for (int i = 0; i < 3; ++i) {
+    Result<Engine> eng = Engine::open(f.man_path);
+    ASSERT_TRUE(eng.ok()) << eng.status();
+    servers.push_back(std::make_unique<LiveServer>(std::move(*eng)));
+    eps.push_back({"127.0.0.1", servers.back()->port});
+  }
+  Router router(f.man, tcp_connector(eps),
+                {.shard_timeout = std::chrono::milliseconds(5000)});
+
+  const std::string script = spread_script();
+  EXPECT_EQ(route_session(router, script), direct_session(script));
+
+  // SIGKILL-equivalent: shard 1's server goes away (listener closed, every
+  // session torn down). A fresh session must answer SHARD_DOWN for slab-1
+  // sources and stay byte-exact for everything else.
+  servers[1]->kill();
+  Point in1 = point_in_shard(1), in0 = point_in_shard(0);
+  Point in2 = point_in_shard(2, 1);
+  const std::string mixed =
+      len_line(in0, in2) + len_line(in1, in0) + len_line(in2, in0) + "QUIT\n";
+  const std::string got = route_session(router, mixed);
+  std::istringstream gi(got);
+  std::string l0, l1, l2, bye;
+  std::getline(gi, l0);
+  std::getline(gi, l1);
+  std::getline(gi, l2);
+  std::getline(gi, bye);
+  EXPECT_EQ(l0 + "\n" + "OK bye\n", direct_session(len_line(in0, in2) + "QUIT\n"));
+  EXPECT_EQ(l1.rfind("ERR SHARD_DOWN shard 1 ", 0), 0u) << l1;
+  EXPECT_EQ(l2 + "\n" + "OK bye\n", direct_session(len_line(in2, in0) + "QUIT\n"));
+  EXPECT_EQ(bye, "OK bye");
+  RouterStats s = router.stats();
+  EXPECT_GE(s.shards[1].failures, 1u);
+  EXPECT_FALSE(s.shards[1].last_ok);
+}
+
+TEST(RouterTcpTest, RouterServePortSpeaksTheWireProtocol) {
+  auto& f = fleet();
+  LiveServer shard(*Engine::open(f.man_path));
+  // A 1-shard manifest view pointing at the live server: the router's own
+  // TCP front end must carry a full session (ephemeral port, rendezvous,
+  // clean shutdown) just like QueryServer::serve_port.
+  Router router(f.man,
+                tcp_connector({{"127.0.0.1", shard.port},
+                               {"127.0.0.1", shard.port},
+                               {"127.0.0.1", shard.port}}));
+  std::promise<uint16_t> ready;
+  auto fut = ready.get_future();
+  std::thread rt([&] {
+    router.serve_port(0, [&ready](uint16_t p) { ready.set_value(p); });
+  });
+  const uint16_t port = fut.get();
+
+  const std::string script = spread_script();
+  int fd = testutil::connect_loopback(port);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(testutil::send_all(fd, script));
+  const std::string got = testutil::recv_until_eof(fd);
+  ::close(fd);
+  EXPECT_EQ(got, direct_session(script));
+
+  router.shutdown_port();
+  rt.join();
+}
+
+#endif  // RSP_TEST_SOCKETS
+
+}  // namespace
+}  // namespace rsp

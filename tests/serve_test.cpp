@@ -523,6 +523,74 @@ TEST(QueryServerTest, AdaptiveWindowShrinksUnderLoadAndGrowsBackIdle) {
   EXPECT_NE(srv.stats_json().find("\"window_us\": "), std::string::npos);
 }
 
+TEST(QueryServerTest, AcceptBackoffTaintedEpochsAreDiscardedNotAdaptedOn) {
+  // Regression: the acceptor's EMFILE retry backoff used to read as idle
+  // time to the window adapter — a drained sparse epoch overlapping the
+  // backoff would halve the coalescing window exactly when the server was
+  // starved of fds. The adapter must skip (and discard) such epochs; the
+  // pressure path is driven via note_accept_backoff(), no real fd
+  // exhaustion needed.
+  Scene s = test_scene();
+  auto pts = random_free_points(s, 2, 29);
+  constexpr uint64_t kWindow = 200000;  // us; same fixture as the adaptive
+  constexpr uint64_t kTarget = 25000;   //   window test above
+  const ServeOptions opts{.max_batch_pairs = 40,
+                          .coalesce_window_us = kWindow,
+                          .target_p95_us = kTarget};
+  auto herd = [&](int n) {
+    std::ostringstream os;
+    for (int i = 0; i < n; ++i) {
+      os << "LEN " << pts[0].x << ',' << pts[0].y << ' ' << pts[1].x << ','
+         << pts[1].y << "\n";
+    }
+    os << "QUIT\n";
+    return os.str();
+  };
+  // The adaptation step runs on the dispatcher after responses are already
+  // fulfilled, so observe it with a bounded poll (never a bare sleep).
+  auto poll_until = [&](const std::function<bool()>& pred) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (!pred() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return pred();
+  };
+
+  // Control: one under-filled drained herd halves the window (its p95 is
+  // the window itself, far over target).
+  QueryServer control(Engine(Scene{s}, {.backend = Backend::kAllPairsSeq}),
+                      opts);
+  run_session(control, herd(20));
+  EXPECT_TRUE(poll_until([&] { return control.stats().window_us < kWindow; }))
+      << "control epoch never adapted";
+  EXPECT_EQ(control.stats().window_skips, 0u);
+  EXPECT_EQ(control.stats().accept_backoffs, 0u);
+
+  // Fixture: identical traffic, but the epoch overlaps an accept backoff —
+  // the decision must be skipped and the window must NOT move.
+  QueryServer srv(Engine(Scene{s}, {.backend = Backend::kAllPairsSeq}), opts);
+  srv.note_accept_backoff();
+  run_session(srv, herd(20));
+  ASSERT_TRUE(poll_until([&] { return srv.stats().window_skips >= 1; }))
+      << "tainted epoch was never skipped";
+  EXPECT_EQ(srv.stats().window_us, kWindow);
+  EXPECT_EQ(srv.stats().accept_backoffs, 1u);
+
+  // The pressure is an edge, not a level: with no new backoffs the next
+  // drained epoch decides normally again.
+  run_session(srv, herd(20));
+  EXPECT_TRUE(poll_until([&] { return srv.stats().window_us < kWindow; }))
+      << "post-backoff epoch never adapted";
+
+  // Both counters are operator-visible in the JSON summary (the wire
+  // stats_line stays fixed — CI transcript diffs depend on its shape).
+  const std::string json = srv.stats_json();
+  EXPECT_NE(json.find("\"accept_backoffs\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"window_skips\": "), std::string::npos) << json;
+  EXPECT_EQ(srv.stats_line().find("window_skips"), std::string::npos);
+}
+
 TEST(QueryServerTest, ServeIsReusableAcrossSessions) {
   Scene s = test_scene();
   auto pts = random_free_points(s, 2, 13);

@@ -7,12 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "api/engine.h"
 #include "core/query.h"
 #include "io/gen.h"
+#include "io/manifest.h"
 #include "io/snapshot.h"
 
 namespace rsp {
@@ -328,6 +330,262 @@ TEST(SnapshotSaveTest, MismatchedDataIsRejectedBySaver) {
   std::ostringstream os;
   Status st = save_snapshot(os, a, &sp.data());  // ...claimed to be a's
   EXPECT_EQ(st.code(), StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded persistence (Engine::save_sharded + io/manifest.h): round-trips,
+// then the negative battery — every way a shard set can be wrong must map
+// to a precise StatusCode, and a failed mount never yields a partial
+// engine (Result is all-or-nothing by construction).
+// ---------------------------------------------------------------------------
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+void put_file(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os << bytes;
+  ASSERT_TRUE(os.good()) << path;
+}
+
+// A fresh directory holding a saved k-shard set of `scene`; returns the
+// manifest path.
+std::string saved_shard_set(const std::string& name, const Scene& scene,
+                            size_t k, size_t threads = 0) {
+  std::string dir = ::testing::TempDir() + "/rsp_shardset_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  Engine eng(Scene{scene}, {.backend = threads > 0 ? Backend::kAllPairsParallel
+                                                   : Backend::kAllPairsSeq,
+                            .num_threads = threads});
+  std::string path = dir + "/set.man";
+  Status st = eng.save_sharded(path, k);
+  EXPECT_TRUE(st.ok()) << st;
+  return path;
+}
+
+TEST(ShardedSnapshotTest, MountedUnionIsQueryIdenticalForEveryShardCount) {
+  Scene s = gen_uniform(6, 13);
+  Engine direct(Scene{s}, {.backend = Backend::kAllPairsSeq});
+  auto pairs = make_pairs(s, 24, 5);
+  Result<std::vector<Length>> want = direct.lengths(pairs);
+  ASSERT_TRUE(want.ok());
+  for (size_t k : {size_t{1}, size_t{2}, size_t{3}, size_t{7}}) {
+    std::string path = saved_shard_set("k" + std::to_string(k), s, k);
+    Result<Engine> mounted = Engine::open(path);
+    ASSERT_TRUE(mounted.ok()) << "k=" << k << ": " << mounted.status();
+    Result<std::vector<Length>> got = mounted->lengths(pairs);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(*got, *want) << "k=" << k;
+    // Paths agree too (pred tables survived the row partition).
+    Result<std::vector<Point>> p0 = mounted->path(pairs[0].s, pairs[0].t);
+    Result<std::vector<Point>> p1 = direct.path(pairs[0].s, pairs[0].t);
+    ASSERT_TRUE(p0.ok() && p1.ok());
+    EXPECT_EQ(*p0, *p1);
+  }
+}
+
+TEST(ShardedSnapshotTest, ShardCountClampsToRowsAndZeroIsInvalid) {
+  Scene s = gen_uniform(2, 13);  // m = 8 source rows
+  Engine eng(Scene{s}, {.backend = Backend::kAllPairsSeq});
+  std::string dir = ::testing::TempDir() + "/rsp_shardset_clamp";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  EXPECT_EQ(eng.save_sharded(dir + "/set.man", 0).code(),
+            StatusCode::kInvalidQuery);
+  ASSERT_TRUE(eng.save_sharded(dir + "/set.man", 64).ok());
+  Result<ShardManifest> man = load_manifest(dir + "/set.man");
+  ASSERT_TRUE(man.ok()) << man.status();
+  EXPECT_EQ(man->shards.size(), 8u);  // clamped: no shard may be empty
+  EXPECT_TRUE(Engine::open(dir + "/set.man").ok());
+}
+
+TEST(ShardedSnapshotTest, BoundaryTreeEngineCannotShard) {
+  Engine bt(gen_uniform(6, 13), {.backend = Backend::kBoundaryTree});
+  std::string dir = ::testing::TempDir();
+  EXPECT_EQ(bt.save_sharded(dir + "/rsp_bt.man", 2).code(),
+            StatusCode::kSnapshotMismatch);
+}
+
+TEST(ShardedSnapshotTest, ParallelAndSerialShardWritesAreByteIdentical) {
+  Scene s = gen_uniform(6, 13);
+  std::string serial = saved_shard_set("serial", s, 3, 0);
+  std::string parallel = saved_shard_set("parallel", s, 3, 4);
+  EXPECT_EQ(file_bytes(serial), file_bytes(parallel));
+  Result<ShardManifest> man = load_manifest(serial);
+  ASSERT_TRUE(man.ok());
+  for (const ShardEntry& sh : man->shards) {
+    EXPECT_EQ(file_bytes(shard_file_path(serial, sh)),
+              file_bytes(shard_file_path(parallel, sh)))
+        << sh.file;
+  }
+}
+
+TEST(ShardedSnapshotTest, MissingShardFileIsIoError) {
+  Scene s = gen_uniform(6, 13);
+  std::string path = saved_shard_set("missing", s, 3);
+  Result<ShardManifest> man = load_manifest(path);
+  ASSERT_TRUE(man.ok());
+  std::filesystem::remove(shard_file_path(path, man->shards[1]));
+  Result<Engine> r = Engine::open(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  EXPECT_NE(r.status().message().find("shard 1"), std::string::npos)
+      << r.status();
+}
+
+TEST(ShardedSnapshotTest, TamperedShardPayloadIsCorrupt) {
+  Scene s = gen_uniform(6, 13);
+  std::string path = saved_shard_set("tampered", s, 3);
+  Result<ShardManifest> man = load_manifest(path);
+  ASSERT_TRUE(man.ok());
+  std::string shard2 = shard_file_path(path, man->shards[2]);
+  std::string bytes = file_bytes(shard2);
+  bytes[bytes.size() / 2] ^= 0x40;  // flip one payload bit
+  put_file(shard2, bytes);
+  Result<Engine> r = Engine::open(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruptSnapshot);
+}
+
+TEST(ShardedSnapshotTest, SwappedButInternallyValidShardFailsTheManifestChecksum) {
+  // The hard case: shard 0 replaced by a *self-consistent* shard file from
+  // a different build. Its own checksum verifies; only the manifest's
+  // recorded checksum can catch the swap.
+  Scene a = gen_uniform(6, 13);
+  Scene b = gen_uniform(6, 99);
+  std::string pa = saved_shard_set("swap_a", a, 3);
+  std::string pb = saved_shard_set("swap_b", b, 3);
+  Result<ShardManifest> ma = load_manifest(pa);
+  Result<ShardManifest> mb = load_manifest(pb);
+  ASSERT_TRUE(ma.ok() && mb.ok());
+  put_file(shard_file_path(pa, ma->shards[0]),
+           file_bytes(shard_file_path(pb, mb->shards[0])));
+  Result<Engine> r = Engine::open(pa);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruptSnapshot);
+  EXPECT_NE(r.status().message().find("shard 0"), std::string::npos)
+      << r.status();
+}
+
+TEST(ShardedManifestTest, RowOverlapGapAndMixedKindsAreRejected) {
+  ShardManifest man;
+  man.num_obstacles = 6;
+  man.m = 24;
+  man.shards = {{"s0", SnapshotPayloadKind::kAllPairsShard, 0, 8, 0, 10, 1},
+                {"s1", SnapshotPayloadKind::kAllPairsShard, 8, 16, 10, 20, 2},
+                {"s2", SnapshotPayloadKind::kAllPairsShard, 16, 24, 20, 30, 3}};
+  EXPECT_TRUE(validate_manifest(man).ok());
+
+  ShardManifest overlap = man;
+  overlap.shards[1].row_lo = 6;  // rows [6,16) overlap shard 0's [0,8)
+  EXPECT_EQ(validate_manifest(overlap).code(), StatusCode::kCorruptSnapshot);
+
+  ShardManifest gap = man;
+  gap.shards[1].row_lo = 10;  // rows 8,9 owned by nobody
+  EXPECT_EQ(validate_manifest(gap).code(), StatusCode::kCorruptSnapshot);
+
+  ShardManifest short_cover = man;
+  short_cover.shards[2].row_hi = 20;  // rows 20..23 never covered
+  EXPECT_EQ(validate_manifest(short_cover).code(),
+            StatusCode::kCorruptSnapshot);
+
+  ShardManifest mixed = man;
+  mixed.shards[1].kind = SnapshotPayloadKind::kAllPairs;
+  EXPECT_EQ(validate_manifest(mixed).code(), StatusCode::kSnapshotMismatch);
+
+  ShardManifest bad_slab = man;
+  bad_slab.shards[1].x_lo = 25;  // slabs out of order
+  bad_slab.shards[1].x_hi = 5;
+  EXPECT_EQ(validate_manifest(bad_slab).code(), StatusCode::kCorruptSnapshot);
+}
+
+TEST(ShardedManifestTest, TextNegativesMapToPreciseCodes) {
+  Scene s = gen_uniform(6, 13);
+  std::string path = saved_shard_set("textneg", s, 3);
+  const std::string good = file_bytes(path);
+
+  {  // future format version
+    std::istringstream is("RSPMANIFEST 2\n" + good.substr(good.find('\n') + 1));
+    Result<ShardManifest> r = load_manifest(is);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kVersionMismatch);
+  }
+  {  // wrong magic
+    std::istringstream is("RSPWRONG 1\nobstacles 6\n");
+    EXPECT_EQ(load_manifest(is).status().code(), StatusCode::kCorruptSnapshot);
+  }
+  {  // a shard line whose kind this manifest version does not admit
+    std::string txt = good;
+    size_t at = txt.find(" all-pairs-shard ");
+    ASSERT_NE(at, std::string::npos);
+    txt.replace(at, std::string(" all-pairs-shard ").size(), " all-pairs ");
+    std::istringstream is(txt);
+    EXPECT_EQ(load_manifest(is).status().code(), StatusCode::kSnapshotMismatch);
+  }
+  {  // truncated: manifest promises 3 shard lines, delivers 2
+    std::string txt = good.substr(0, good.rfind("shard 2"));
+    std::istringstream is(txt);
+    EXPECT_EQ(load_manifest(is).status().code(), StatusCode::kCorruptSnapshot);
+  }
+  {  // checksum text altered: mount must fail on the mismatch, and the
+     // edited manifest must name the right shard
+    std::string txt = good;
+    size_t line_at = txt.find("shard 1 ");
+    ASSERT_NE(line_at, std::string::npos);
+    size_t eol = txt.find('\n', line_at);
+    std::string line = txt.substr(line_at, eol - line_at);
+    size_t sp = line.rfind(' ');
+    std::string digits = line.substr(sp + 1);
+    digits[0] = digits[0] == 'f' ? '0' : 'f';
+    txt.replace(line_at, eol - line_at, line.substr(0, sp + 1) + digits);
+    put_file(path, txt);
+    Result<Engine> r = Engine::open(path);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruptSnapshot);
+    EXPECT_NE(r.status().message().find("shard 1"), std::string::npos)
+        << r.status();
+  }
+}
+
+TEST(ShardedSnapshotTest, BareShardFileRefusesDirectOpen) {
+  Scene s = gen_uniform(6, 13);
+  std::string path = saved_shard_set("bare", s, 3);
+  Result<ShardManifest> man = load_manifest(path);
+  ASSERT_TRUE(man.ok());
+  const std::string shard0 = shard_file_path(path, man->shards[0]);
+  Result<Engine> by_path = Engine::open(shard0);
+  ASSERT_FALSE(by_path.ok());
+  EXPECT_EQ(by_path.status().code(), StatusCode::kSnapshotMismatch);
+  std::ifstream is(shard0, std::ios::binary);
+  Result<Engine> by_stream = Engine::open(is);
+  ASSERT_FALSE(by_stream.ok());
+  EXPECT_EQ(by_stream.status().code(), StatusCode::kSnapshotMismatch);
+  EXPECT_NE(by_stream.status().message().find("manifest"), std::string::npos)
+      << by_stream.status();
+}
+
+TEST(ShardedSnapshotTest, ManifestMountRejectsNonRowPartitionableBackends) {
+  Scene s = gen_uniform(6, 13);
+  std::string path = saved_shard_set("backend", s, 3);
+  EXPECT_EQ(Engine::open(path, {.backend = Backend::kBoundaryTree})
+                .status()
+                .code(),
+            StatusCode::kSnapshotMismatch);
+  EXPECT_EQ(Engine::open(path, {.backend = Backend::kDijkstraBaseline})
+                .status()
+                .code(),
+            StatusCode::kSnapshotMismatch);
+  // The all-pairs backends (and kAuto) all mount.
+  EXPECT_TRUE(Engine::open(path, {.backend = Backend::kAllPairsSeq}).ok());
+  EXPECT_TRUE(
+      Engine::open(path, {.backend = Backend::kAllPairsParallel, .num_threads = 2})
+          .ok());
 }
 
 }  // namespace

@@ -8,6 +8,20 @@
 //   rspcli serve --snapshot scene.rsnap --stdio --threads 8
 //   rspcli serve --snapshot scene.rsnap --port 7070 --stats-json stats.json
 //
+// Fleet mode (io/manifest.h + serve/router.h):
+//
+//   rspcli build --gen uniform --n 256 --seed 7 --shards 3 --out fleet.man
+//   rspcli serve --snapshot fleet.man --port 7101        # one shard server
+//   rspcli serve --router fleet.man \
+//                --shards 127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103 \
+//                --port 7100
+//
+// `build --shards K` writes K row-partitioned shard snapshots plus the
+// manifest; `serve --snapshot` on a manifest mounts the union (any shard
+// server can answer any query); `serve --router` fans each request to the
+// shard servers by source slab and merges the responses — same wire
+// grammar, so clients cannot tell a router from a single engine.
+//
 // `build` generates a scene (io/gen.h generators), runs the all-pairs
 // build on an Engine and saves a snapshot; `query` and `bench` reopen the
 // snapshot — paying the load cost, not the O(n^2) build — and serve
@@ -33,7 +47,9 @@
 
 #include "api/engine.h"
 #include "io/gen.h"
+#include "io/manifest.h"
 #include "io/snapshot.h"
+#include "serve/router.h"
 #include "serve/server.h"
 
 namespace {
@@ -49,7 +65,7 @@ int usage() {
   std::cerr <<
       "usage:\n"
       "  rspcli build --gen NAME --n N [--seed S] [--threads K]\n"
-      "               [--backend B] --out FILE\n"
+      "               [--backend B] [--shards K] --out FILE\n"
       "  rspcli info  FILE\n"
       "  rspcli query FILE [--threads K] [--backend B] (--pair X1,Y1,X2,Y2"
       " ... | --random K [--seed S]) [--path]\n"
@@ -59,11 +75,18 @@ int usage() {
       "               [--backend B] [--window-us U] [--max-batch B]\n"
       "               [--stats-json FILE] [--max-sessions M] [--max-queue Q]\n"
       "               [--target-p95-us T]\n"
+      "  rspcli serve --router MANIFEST --shards HOST:PORT,HOST:PORT,...\n"
+      "               (--stdio | --port N) [--timeout-ms T] [--retries R]\n"
+      "               [--max-sessions M] [--stats-json FILE]\n"
       "\n"
       "serve flags: --max-sessions caps *concurrent* TCP sessions (0 = no\n"
       "cap); --max-queue caps pending admitted requests — excess requests\n"
       "answer ERR LOAD_SHED (0 = unbounded); --target-p95-us adapts the\n"
       "coalescing window from the live p95 (0 = fixed --window-us).\n"
+      "router flags: --shards lists one endpoint per manifest shard (in\n"
+      "manifest order); --timeout-ms bounds each shard exchange; --retries\n"
+      "is the reconnect-and-resend budget after a failure (exhausted\n"
+      "retries answer ERR SHARD_DOWN).\n"
       "\n"
       "backends: ";
   for (Backend b : {Backend::kAuto, Backend::kAllPairsSeq,
@@ -213,14 +236,17 @@ bool options_from(const Args& args, EngineOptions& opt) {
 
 int cmd_build(const Args& args) {
   if (!args.positional.empty() ||
-      !check_flags(args, {"gen", "n", "seed", "threads", "backend", "out"})) {
+      !check_flags(args,
+                   {"gen", "n", "seed", "threads", "backend", "out",
+                    "shards"})) {
     return usage();
   }
   const std::string gen_name = args.get("gen", "uniform");
   const std::string out_path = args.get("out");
-  uint64_t n = 0, seed = 1;
+  uint64_t n = 0, seed = 1, shards = 0;
   if (out_path.empty() || !u64_flag(args, "n", 0, n) || n == 0 ||
-      !u64_flag(args, "seed", 1, seed)) {
+      !u64_flag(args, "seed", 1, seed) ||
+      !u64_flag(args, "shards", 0, shards)) {
     return usage();
   }
   SceneGen gen = nullptr;
@@ -243,20 +269,50 @@ int cmd_build(const Args& args) {
   const double build_ms = ms_since(t0);
 
   t0 = Clock::now();
-  if (Status st = eng.save(out_path); !st.ok()) return fail_status(st);
+  if (shards > 0) {
+    if (Status st = eng.save_sharded(out_path, static_cast<size_t>(shards));
+        !st.ok()) {
+      return fail_status(st);
+    }
+  } else {
+    if (Status st = eng.save(out_path); !st.ok()) return fail_status(st);
+  }
   const double save_ms = ms_since(t0);
 
   std::cout << "scene: gen=" << gen_name << " n=" << n << " seed=" << seed
             << " (" << gen_ms << " ms)\n"
             << "build: backend=" << backend_name(eng.backend())
             << " threads=" << eng.num_threads() << " (" << build_ms
-            << " ms)\n"
-            << "saved: " << out_path << " (" << save_ms << " ms)\n";
+            << " ms)\n";
+  if (shards > 0) {
+    std::cout << "saved: " << out_path << " + " << shards
+              << " shard snapshot(s) (" << save_ms << " ms)\n";
+  } else {
+    std::cout << "saved: " << out_path << " (" << save_ms << " ms)\n";
+  }
   return 0;
 }
 
 int cmd_info(const Args& args) {
   if (args.positional.size() != 1 || !check_flags(args, {})) return usage();
+  if (is_manifest_file(args.positional[0])) {
+    Result<ShardManifest> man = load_manifest(args.positional[0]);
+    if (!man.ok()) return fail_status(man.status());
+    std::cout << "manifest: " << args.positional[0] << "\n"
+              << "  format version:     " << kManifestFormatVersion << "\n"
+              << "  obstacles:          " << man->num_obstacles << "\n"
+              << "  V_R vertices (m):   " << man->m << "\n"
+              << "  shards:             " << man->shards.size() << "\n";
+    for (size_t i = 0; i < man->shards.size(); ++i) {
+      const ShardEntry& e = man->shards[i];
+      std::cout << "  shard " << i << ": " << e.file << " rows [" << e.row_lo
+                << ", " << e.row_hi << ") slab x [" << e.x_lo << ", "
+                << e.x_hi << ") checksum " << std::hex << std::setw(16)
+                << std::setfill('0') << e.checksum << std::dec
+                << std::setfill(' ') << "\n";
+    }
+    return 0;
+  }
   std::ifstream is(args.positional[0], std::ios::binary);
   if (!is) {
     return fail_status(
@@ -272,6 +328,10 @@ int cmd_info(const Args& args) {
             << "  container vertices: " << info->num_container_vertices << "\n";
   if (info->kind == SnapshotPayloadKind::kAllPairs) {
     std::cout << "  V_R vertices (m):   " << info->num_vertices << "\n";
+  } else if (info->kind == SnapshotPayloadKind::kAllPairsShard) {
+    std::cout << "  V_R vertices (m):   " << info->num_vertices << "\n"
+              << "  source rows:        [" << info->row_lo << ", "
+              << info->row_hi << ")\n";
   } else if (info->kind == SnapshotPayloadKind::kBoundaryTree) {
     std::cout << "  recursion nodes:    " << info->num_tree_nodes << "\n";
     // The tree is sublinear-space, so a full load is cheap here (unlike the
@@ -398,17 +458,126 @@ int cmd_bench(const Args& args) {
 // Signal plumbing for `serve --port`: the handler may only touch the
 // async-signal-safe shutdown_port (atomics + shutdown(2)).
 std::atomic<QueryServer*> g_tcp_server{nullptr};
+std::atomic<Router*> g_router{nullptr};
 
 void stop_tcp_server(int) {
   if (QueryServer* s = g_tcp_server.load()) s->shutdown_port();
+  if (Router* r = g_router.load()) r->shutdown_port();
+}
+
+// "host:port,host:port,..." — one endpoint per manifest shard, in order.
+bool parse_endpoints(const std::string& s, std::vector<ShardEndpoint>& out) {
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const size_t colon = item.rfind(':');
+    uint64_t port = 0;
+    if (colon == std::string::npos || colon == 0 ||
+        !parse_u64(item.substr(colon + 1), port) || port == 0 ||
+        port > 65535) {
+      return false;
+    }
+    out.push_back({item.substr(0, colon), static_cast<uint16_t>(port)});
+  }
+  return !out.empty();
+}
+
+// `serve --router MANIFEST`: fleet front end. Owns no engine — just the
+// manifest (routing slabs) and one TCP connector per shard server.
+int cmd_serve_router(const Args& args) {
+  const std::string manifest_path = args.get("router");
+  const bool stdio = args.has("stdio");
+  uint64_t port = 0, timeout_ms = 2000, retries = 1, max_sessions = 0;
+  if (!u64_flag(args, "port", 0, port) || port > 65535 ||
+      !u64_flag(args, "timeout-ms", 2000, timeout_ms) || timeout_ms == 0 ||
+      !u64_flag(args, "retries", 1, retries) ||
+      !u64_flag(args, "max-sessions", 0, max_sessions)) {
+    return usage();
+  }
+  if (stdio == (port != 0)) {
+    std::cerr << "serve wants exactly one of --stdio or --port N\n";
+    return usage();
+  }
+  Result<ShardManifest> man = load_manifest(manifest_path);
+  if (!man.ok()) return fail_status(man.status());
+  std::vector<ShardEndpoint> eps;
+  const std::string shards_flag = args.get("shards");
+  if (shards_flag.empty() || !parse_endpoints(shards_flag, eps)) {
+    std::cerr << "bad or missing --shards (want HOST:PORT,HOST:PORT,...)\n";
+    return usage();
+  }
+  if (eps.size() != man->shards.size()) {
+    std::cerr << "--shards lists " << eps.size() << " endpoint(s) but the "
+              << "manifest names " << man->shards.size() << " shard(s)\n";
+    return 1;
+  }
+
+  RouterOptions ropt;
+  ropt.shard_timeout = std::chrono::milliseconds(timeout_ms);
+  ropt.shard_retries = static_cast<size_t>(retries);
+  ropt.max_sessions = static_cast<size_t>(max_sessions);
+  Router router(std::move(*man), tcp_connector(std::move(eps)), ropt);
+  std::cerr << "routing " << manifest_path << " across "
+            << router.manifest().shards.size() << " shard server(s)\n";
+
+#ifdef SIGPIPE
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
+  int rc = 0;
+  if (stdio) {
+    router.serve(std::cin, std::cout);
+  } else {
+    g_router = &router;
+    std::signal(SIGINT, stop_tcp_server);
+    std::signal(SIGTERM, stop_tcp_server);
+    Status st = router.serve_port(
+        static_cast<uint16_t>(port),
+        [](uint16_t p) { std::cerr << "listening on port " << p << "\n"; });
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    g_router = nullptr;
+    if (!st.ok()) rc = fail_status(st);
+  }
+
+  const std::string stats_path = args.get("stats-json");
+  if (!stats_path.empty()) {
+    if (stats_path == "-") {
+      std::cerr << router.stats_json();
+    } else {
+      std::ofstream os(stats_path, std::ios::trunc);
+      os << router.stats_json();
+      os.flush();
+      if (!os.good()) {
+        std::cerr << "error: cannot write stats to '" << stats_path << "'\n";
+        if (rc == 0) rc = 2;
+      }
+    }
+  }
+  RouterStats s = router.stats();
+  std::cerr << "routed " << s.requests << " requests (" << s.errors
+            << " errors, " << s.shard_down << " shard_down)\n";
+  return rc;
 }
 
 int cmd_serve(const Args& args) {
   if (!args.positional.empty() ||
       !check_flags(args, {"snapshot", "stdio", "port", "threads", "backend",
                           "window-us", "max-batch", "stats-json",
-                          "max-sessions", "max-queue", "target-p95-us"})) {
+                          "max-sessions", "max-queue", "target-p95-us",
+                          "router", "shards", "timeout-ms", "retries"})) {
     return usage();
+  }
+  if (args.has("router")) {
+    if (args.has("snapshot")) {
+      std::cerr << "serve wants --snapshot (engine) or --router (fleet), "
+                << "not both\n";
+      return usage();
+    }
+    if (!check_flags(args, {"router", "shards", "stdio", "port", "timeout-ms",
+                            "retries", "max-sessions", "stats-json"})) {
+      return usage();
+    }
+    return cmd_serve_router(args);
   }
   const std::string snap = args.get("snapshot");
   const bool stdio = args.has("stdio");
