@@ -62,12 +62,12 @@ int main() {
   // The reopened engine skips the O(n^2) build and answers identically —
   // this is how query-server replicas start in a deployment.
   std::ostringstream snap;
-  if (Status st = eng.save(snap); !st.ok()) {
+  if (Status st = eng.save(snap, {}); !st.ok()) {
     std::cerr << "snapshot save failed: " << st << "\n";
     return 1;
   }
   std::istringstream in(snap.str());
-  auto replica = Engine::open(in);
+  auto replica = Engine::open(in, {});
   if (!replica.ok()) {
     std::cerr << "snapshot open failed: " << replica.status() << "\n";
     return 1;

@@ -56,6 +56,9 @@ class QueryBackend {
   virtual const BoundaryTreeSP* boundary_tree() const { return nullptr; }
   // Resident bytes of the built structure (0 for structure-free backends).
   virtual size_t memory_bytes() const { return 0; }
+  // Bytes of memory_bytes() served from an mmap arena instead of resident
+  // copies (mmap-opened snapshots; 0 for built or eagerly loaded engines).
+  virtual size_t mapped_bytes() const { return 0; }
 };
 
 // The paper's data structure (§9 build, §6.4/§8 queries). The build fans
@@ -79,6 +82,15 @@ class AllPairsBackend final : public QueryBackend {
     const size_t m = sp_.data().m;
     // The dominant O(m^2) tables: dist (Length) + pred (i32) + pass (i8).
     return m * m * (sizeof(Length) + sizeof(int32_t) + sizeof(int8_t));
+  }
+  size_t mapped_bytes() const override {
+    const AllPairsData& d = sp_.data();
+    const size_t mm = d.m * d.m;
+    size_t b = 0;
+    if (d.dist.borrowed()) b += mm * sizeof(Length);
+    if (d.pred_view != nullptr) b += mm * sizeof(int32_t);
+    if (d.pass_view != nullptr) b += mm * sizeof(int8_t);
+    return b;
   }
 
  private:
@@ -205,6 +217,11 @@ struct Engine::Impl {
     size_t width = resolve_sched_width(opt, resolved);
     if (width >= 2) sched = std::make_unique<Scheduler>(width);
   }
+
+  // Adopts a loaded snapshot payload into a ready-to-serve engine — the
+  // one restore path shared by the eager, mmap, and stream opens.
+  static Result<Engine> from_payload(SnapshotPayload p,
+                                     const EngineOptions& opt);
 
   // Constructs the backend exactly once (double-checked); a failed build
   // is sticky and reported by every subsequent query.
@@ -371,48 +388,51 @@ Result<Engine> Engine::Create(std::vector<Rect> obstacles, EngineOptions opt) {
   }
 }
 
-Status Engine::save(std::ostream& os) const {
+Status Engine::save(std::ostream& os, const SaveOptions& opt) const {
+  if (opt.shards > 0) {
+    return Status::InvalidQuery(
+        "a sharded save writes multiple files and needs a real path; use "
+        "save(path, {.shards = k})");
+  }
   if (Status st = impl_->ensure_built(); !st.ok()) return st;
+  const SnapshotSaveOptions sopt{.delta_encode = opt.delta_encode};
   if (impl_->backend) {
     if (const AllPairsSP* sp = impl_->backend->all_pairs()) {
-      return save_snapshot(os, impl_->scene, &sp->data());
+      return save_snapshot(os, impl_->scene, &sp->data(), sopt);
     }
     if (const BoundaryTreeSP* bt = impl_->backend->boundary_tree()) {
-      return save_snapshot(os, impl_->scene, bt->tree());
+      return save_snapshot(os, impl_->scene, bt->tree(), sopt);
     }
   }
-  return save_snapshot(os, impl_->scene, nullptr);
+  return save_snapshot(os, impl_->scene, nullptr, sopt);
 }
 
-Status Engine::save(const std::string& path) const {
-  // Write-to-unique-temp-then-rename: a failed save (disk full, quota)
-  // must not destroy a previous good snapshot at `path` — replicas keep
-  // opening the old file until the new one is complete.
-  const std::string tmp = unique_tmp_name(path);
-  std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-  if (!os) return Status::IoError("cannot open '" + tmp + "' for writing");
-  Status st = save(os);
-  os.close();
-  if (st.ok() && !os.good()) {
-    st = Status::IoError("write to '" + tmp + "' failed");
+Status Engine::save(const std::string& path, const SaveOptions& opt) const {
+  if (opt.shards == 0) {
+    // Write-to-unique-temp-then-rename: a failed save (disk full, quota)
+    // must not destroy a previous good snapshot at `path` — replicas keep
+    // opening the old file until the new one is complete.
+    const std::string tmp = unique_tmp_name(path);
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return Status::IoError("cannot open '" + tmp + "' for writing");
+    Status st = save(os, opt);
+    os.close();
+    if (st.ok() && !os.good()) {
+      st = Status::IoError("write to '" + tmp + "' failed");
+    }
+    if (!st.ok()) {
+      std::remove(tmp.c_str());
+      return st;
+    }
+    return commit_tmp_file(tmp, path);
   }
-  if (!st.ok()) {
-    std::remove(tmp.c_str());
-    return st;
-  }
-  return commit_tmp_file(tmp, path);
-}
 
-Status Engine::save_sharded(const std::string& path, size_t num_shards) const {
-  if (num_shards == 0) {
-    return Status::InvalidQuery("save_sharded: shard count must be >= 1");
-  }
   if (Status st = impl_->ensure_built(); !st.ok()) return st;
   const AllPairsSP* sp =
       impl_->backend ? impl_->backend->all_pairs() : nullptr;
   if (sp == nullptr) {
     return Status::SnapshotMismatch(
-        std::string("save_sharded needs a built all-pairs backend; '") +
+        std::string("a sharded save needs a built all-pairs backend; '") +
         backend_name(impl_->resolved) +
         "' holds no row-partitionable tables (save a monolithic snapshot "
         "instead)");
@@ -420,7 +440,7 @@ Status Engine::save_sharded(const std::string& path, size_t num_shards) const {
   const AllPairsData& data = sp->data();
   const size_t m = data.m;
   // Clamp so no shard is empty; balanced contiguous row partition.
-  const size_t k = std::min(num_shards, m);
+  const size_t k = std::min(opt.shards, m);
   const std::string file_base =
       std::filesystem::path(path).filename().string();
   // Routing slabs: the container's x-extent split evenly. Pure affinity
@@ -451,10 +471,12 @@ Status Engine::save_sharded(const std::string& path, size_t num_shards) const {
   }
 
   // The per-source build makes row slices independent, so the k shard
-  // writers fan over the engine scheduler without copying any table.
-  const Length* dist0 = data.dist.storage().data();
-  const int32_t* pred0 = data.pred.data();
-  const int8_t* pass0 = data.pass.data();
+  // writers fan over the engine scheduler without copying any table. The
+  // view-aware accessors keep this working for an mmap-opened engine whose
+  // tables live in a mapping rather than owned vectors.
+  const Length* dist0 = data.dist.data();
+  const int32_t* pred0 = data.pred_data();
+  const int8_t* pass0 = data.pass_data();
   std::vector<Status> shard_st(k, Status::Ok());
   std::vector<uint64_t> checksums(k, 0);
   Status fan = impl_->fan_out(k, [&](size_t i) {
@@ -473,7 +495,9 @@ Status Engine::save_sharded(const std::string& path, size_t num_shards) const {
       shard_st[i] = Status::IoError("cannot open '" + tmp + "' for writing");
       return;
     }
-    Status st = save_snapshot(os, impl_->scene, v, &checksums[i]);
+    Status st = save_snapshot(os, impl_->scene, v, &checksums[i],
+                              SnapshotSaveOptions{.delta_encode =
+                                                      opt.delta_encode});
     os.close();
     if (st.ok() && !os.good()) {
       st = Status::IoError("write to '" + tmp + "' failed");
@@ -510,10 +534,8 @@ Status Engine::save_sharded(const std::string& path, size_t num_shards) const {
   return commit_tmp_file(tmp, path);
 }
 
-Result<Engine> Engine::open(std::istream& is, EngineOptions opt) {
-  Result<SnapshotPayload> payload = load_snapshot(is);
-  if (!payload.ok()) return payload.status();
-  SnapshotPayload& p = *payload;
+Result<Engine> Engine::Impl::from_payload(SnapshotPayload p,
+                                          const EngineOptions& opt) {
   if (p.kind == SnapshotPayloadKind::kAllPairsShard) {
     return Status::SnapshotMismatch(
         "snapshot holds a single all-pairs row shard; mount the shard set "
@@ -564,21 +586,36 @@ Result<Engine> Engine::open(std::istream& is, EngineOptions opt) {
   }
 }
 
-Result<Engine> Engine::open(const std::string& path, EngineOptions opt) {
+Result<Engine> Engine::open(std::istream& is, const OpenOptions& opt) {
+  if (opt.map == MapMode::kMmap) {
+    return Status::InvalidQuery(
+        "MapMode::kMmap needs a real file to map; use the path overload");
+  }
+  Result<SnapshotPayload> payload = load_snapshot(is);
+  if (!payload.ok()) return payload.status();
+  return Impl::from_payload(std::move(*payload), opt.engine);
+}
+
+Result<Engine> Engine::open(const std::string& path, const OpenOptions& opt) {
   if (is_manifest_file(path)) return open_manifest(path, opt);
+  if (opt.map == MapMode::kMmap) {
+    Result<SnapshotPayload> payload = load_snapshot_mapped(path);
+    if (!payload.ok()) return payload.status();
+    return Impl::from_payload(std::move(*payload), opt.engine);
+  }
   std::ifstream is(path, std::ios::binary);
   if (!is) return Status::IoError("cannot open '" + path + "' for reading");
   return open(is, opt);
 }
 
 Result<Engine> Engine::open_manifest(const std::string& path,
-                                     EngineOptions opt) {
-  if (opt.backend == Backend::kBoundaryTree ||
-      opt.backend == Backend::kDijkstraBaseline) {
+                                     const OpenOptions& opt) {
+  if (opt.engine.backend == Backend::kBoundaryTree ||
+      opt.engine.backend == Backend::kDijkstraBaseline) {
     return Status::SnapshotMismatch(
         std::string("a shard-set manifest holds all-pairs tables but "
                     "backend '") +
-        backend_name(opt.backend) +
+        backend_name(opt.engine.backend) +
         "' was requested; open with an all-pairs backend (or kAuto)");
   }
   Result<ShardManifest> rman = load_manifest(path);
@@ -601,12 +638,17 @@ Result<Engine> Engine::open_manifest(const std::string& path,
       return os.str();
     };
     const std::string spath = shard_file_path(path, e);
-    std::ifstream is(spath, std::ios::binary);
-    if (!is) {
-      return Status::IoError(prefix("cannot open '" + spath +
-                                    "' for reading"));
-    }
-    Result<SnapshotPayload> rp = load_snapshot(is);
+    // Under kMmap each shard file is mapped and checksummed once, and the
+    // union rows below copy straight out of the mappings — no intermediate
+    // owned decode of the O(m^2/k) slices.
+    Result<SnapshotPayload> rp = [&]() -> Result<SnapshotPayload> {
+      if (opt.map == MapMode::kMmap) return load_snapshot_mapped(spath);
+      std::ifstream is(spath, std::ios::binary);
+      if (!is) {
+        return Status::IoError("cannot open '" + spath + "' for reading");
+      }
+      return load_snapshot(is);
+    }();
     if (!rp.ok()) return Status(rp.status().code(), prefix(rp.status().message()));
     SnapshotPayload& p = *rp;
     if (p.kind != SnapshotPayloadKind::kAllPairsShard || !p.shard) {
@@ -640,9 +682,13 @@ Result<Engine> Engine::open_manifest(const std::string& path,
       return Status::CorruptSnapshot(
           prefix("shard scene differs from the other shards' scene"));
     }
-    std::copy(sh.dist.begin(), sh.dist.end(), dist.begin() + sh.row_lo * m);
-    std::copy(sh.pred.begin(), sh.pred.end(), pred.begin() + sh.row_lo * m);
-    std::copy(sh.pass.begin(), sh.pass.end(), pass.begin() + sh.row_lo * m);
+    const size_t cnt = sh.rows() * m;
+    std::copy(sh.dist_data(), sh.dist_data() + cnt,
+              dist.begin() + sh.row_lo * m);
+    std::copy(sh.pred_data(), sh.pred_data() + cnt,
+              pred.begin() + sh.row_lo * m);
+    std::copy(sh.pass_data(), sh.pass_data() + cnt,
+              pass.begin() + sh.row_lo * m);
   }
 
   AllPairsData data;
@@ -651,8 +697,8 @@ Result<Engine> Engine::open_manifest(const std::string& path,
   data.pred = std::move(pred);
   data.pass = std::move(pass);
   try {
-    auto impl = std::make_unique<Impl>(std::move(*scene), opt);
-    if (opt.backend == Backend::kAuto) {
+    auto impl = std::make_unique<Impl>(std::move(*scene), opt.engine);
+    if (opt.engine.backend == Backend::kAuto) {
       // A mounted shard set serves what was built: all-pairs, never the
       // size-threshold boundary-tree pick.
       impl->resolved = impl->sched ? Backend::kAllPairsParallel
@@ -758,6 +804,7 @@ Engine::MemoryBreakdown Engine::memory_breakdown() const {
     return mb;
   }
   mb.total_bytes = impl_->backend->memory_bytes();
+  mb.mapped_bytes = impl_->backend->mapped_bytes();
   if (const BoundaryTreeSP* bt = impl_->backend->boundary_tree()) {
     mb.port_matrix_bytes = bt->port_matrix_bytes();
     mb.port_matrix_dense_bytes = bt->port_matrix_dense_bytes();

@@ -84,6 +84,43 @@ struct EngineOptions {
   bool lazy_build = false;
 };
 
+// Knobs for Engine::save. Aggregate-initialize at the call site:
+//   eng.save(path, {});                      // monolithic v5, delta dist
+//   eng.save(path, {.shards = 8});           // sharded set + manifest
+//   eng.save(path, {.delta_encode = false}); // raw tables (pure zero-copy
+//                                            //   open, larger file)
+struct SaveOptions {
+  // 0 writes one monolithic snapshot at `path`. k > 0 splits the built
+  // all-pairs tables into k balanced contiguous source-row shard
+  // snapshots (`path + ".shard<i>"`) plus a manifest at `path`
+  // (io/manifest.h), clamped to the row count so no shard is empty;
+  // requires a built all-pairs backend (kSnapshotMismatch otherwise — the
+  // boundary tree is not row-partitionable) and a real path (shards > 0
+  // on the stream overload is kInvalidQuery).
+  size_t shards = 0;
+  // Delta-encode the dist table against the L1 lower bound (several-fold
+  // smaller on disk; an mmap open then decodes dist but still adopts
+  // pred/pass in place). Off = raw tables, fully zero-copy on open.
+  bool delta_encode = true;
+};
+
+// How Engine::open materializes the snapshot's tables.
+enum class MapMode {
+  kEager = 0,  // read + copy through the stream decoder (full validation)
+  kMmap,       // mmap the file and adopt the bulk tables in place: replica
+               //   start is one checksum pass + the derived-structure
+               //   rebuild, and the OS pages tables lazily. POSIX hosts
+               //   only; requires the path overload (kInvalidQuery on the
+               //   stream overload).
+};
+
+// Knobs for Engine::open; wraps the engine configuration the restored
+// engine runs with.
+struct OpenOptions {
+  EngineOptions engine;
+  MapMode map = MapMode::kEager;
+};
+
 // A batch query item: shortest path requested from s to t.
 struct PointPair {
   Point s;
@@ -132,39 +169,35 @@ class Engine {
   // writes the scene plus the built structure: the O(n^2) tables for the
   // all-pairs backends, the retained recursion tree for kBoundaryTree; a
   // structure-free kDijkstraBaseline engine writes a scene-only snapshot.
+  // SaveOptions selects monolithic vs sharded output (.shards — the
+  // sharded form writes each row slice to `path + ".shard<i>"`,
+  // parallelized over the engine scheduler, then a manifest at `path`)
+  // and the dist encoding (.delta_encode). The path overload writes every
+  // file to a unique temp name beside its destination and renames into
+  // place, manifest last — neither a failed save nor a concurrent one
+  // destroys an existing good snapshot, and a failed sharded save never
+  // leaves a mountable-but-wrong shard set.
+  //
   // open() restores an engine *without* rebuilding: the build is skipped
   // and only cheap derived structures are reconstructed, so a loaded
   // engine serves length()/path()/batch queries (through the normal
-  // scheduler path) immediately. A kAuto open adopts whatever structured
-  // payload the snapshot carries; an explicitly requested backend whose
-  // structure the snapshot does not hold (including any structured backend
-  // against a scene-only snapshot) is StatusCode::kSnapshotMismatch;
-  // malformed input maps to kCorruptSnapshot / kVersionMismatch and file
-  // system failures to kIoError. Never throws. The path overload of
-  // save() writes to a unique temp file beside `path` and renames into
-  // place, so neither a failed save nor a concurrent one destroys an
-  // existing good snapshot at `path`.
-  Status save(const std::string& path) const;
-  Status save(std::ostream& os) const;
-  static Result<Engine> open(const std::string& path, EngineOptions opt = {});
-  static Result<Engine> open(std::istream& is, EngineOptions opt = {});
-
-  // Sharded persistence for fleet serving (io/manifest.h). Splits the
-  // built all-pairs tables into `num_shards` balanced contiguous
-  // source-row slices, writes each as its own snapshot
-  // (`path + ".shard<i>"`, parallelized over the engine scheduler — the
-  // per-source tables make the slices independent), then writes the
-  // manifest at `path` naming every shard's row range, routing slab
-  // (container x-extent split evenly), and payload checksum. The path
-  // overload of open() recognizes the manifest magic and mounts the union:
-  // the restored engine is query-for-query identical to one opened from a
-  // monolithic snapshot. Requires a built all-pairs backend
-  // (kSnapshotMismatch otherwise — the boundary tree is not
-  // row-partitionable); num_shards is clamped to m so no shard is empty.
-  // Like save(), shard files are written to unique temp names and renamed,
-  // and the manifest is written last — a failed save never leaves a
-  // mountable-but-wrong shard set at `path`.
-  Status save_sharded(const std::string& path, size_t num_shards) const;
+  // scheduler path) immediately. The path overload recognizes a manifest
+  // and mounts the shard union (query-for-query identical to a monolithic
+  // open). OpenOptions::map selects eager decode vs mmap adoption (see
+  // MapMode); OpenOptions::engine configures the restored engine. A kAuto
+  // open adopts whatever structured payload the snapshot carries; an
+  // explicitly requested backend whose structure the snapshot does not
+  // hold (including any structured backend against a scene-only snapshot)
+  // is StatusCode::kSnapshotMismatch; malformed input maps to
+  // kCorruptSnapshot / kVersionMismatch and file system failures to
+  // kIoError. Never throws.
+  //
+  // The options parameters are deliberately non-defaulted: every call
+  // site states its persistence configuration (`{}` for the defaults).
+  Status save(const std::string& path, const SaveOptions& opt) const;
+  Status save(std::ostream& os, const SaveOptions& opt) const;
+  static Result<Engine> open(const std::string& path, const OpenOptions& opt);
+  static Result<Engine> open(std::istream& is, const OpenOptions& opt);
 
   const Scene& scene() const;
   const EngineOptions& options() const;
@@ -204,10 +237,14 @@ class Engine {
   // resident (compressed) bytes vs what the same matrices would cost
   // dense. Ports fields are zero for other backends and before the build;
   // never forces a deferred build. serve STATS and rspcli surface this.
+  // mapped_bytes counts table bytes served from an mmap arena instead of
+  // resident copies (zero for eager engines) — for an mmap-opened engine,
+  // total_bytes - mapped_bytes approximates the true resident footprint.
   struct MemoryBreakdown {
     size_t total_bytes = 0;
     size_t port_matrix_bytes = 0;
     size_t port_matrix_dense_bytes = 0;
+    size_t mapped_bytes = 0;
   };
   MemoryBreakdown memory_breakdown() const;
 
@@ -222,12 +259,13 @@ class Engine {
 
  private:
   struct Impl;
-  // Mounts a shard-set manifest (io/manifest.h): loads every shard file,
-  // verifies it against its manifest record, assembles the full all-pairs
-  // union before any engine state exists — a mount either serves the whole
-  // table set or fails with nothing constructed.
+  // Mounts a shard-set manifest (io/manifest.h): loads every shard file
+  // (mmap-adopted under MapMode::kMmap), verifies it against its manifest
+  // record, assembles the full all-pairs union before any engine state
+  // exists — a mount either serves the whole table set or fails with
+  // nothing constructed.
   static Result<Engine> open_manifest(const std::string& path,
-                                      EngineOptions opt);
+                                      const OpenOptions& opt);
   explicit Engine(std::unique_ptr<Impl> impl);
   std::unique_ptr<Impl> impl_;
 };

@@ -51,9 +51,13 @@ AllPairsSP::AllPairsSP(Scene scene, AllPairsData data)
       trees_(scene_, tracer_, data_) {
   RSP_CHECK_MSG(data_.m == 4 * scene_.num_obstacles(),
                 "restored AllPairsData does not belong to this scene");
-  RSP_CHECK_MSG(data_.pred.size() == data_.m * data_.m &&
-                    data_.pass.size() == data_.m * data_.m &&
-                    data_.dist.rows() == data_.m && data_.dist.cols() == data_.m,
+  const size_t mm = data_.m * data_.m;
+  const bool pred_sized =
+      data_.pred_view != nullptr ? true : data_.pred.size() == mm;
+  const bool pass_sized =
+      data_.pass_view != nullptr ? true : data_.pass.size() == mm;
+  RSP_CHECK_MSG(pred_sized && pass_sized && data_.dist.rows() == data_.m &&
+                    data_.dist.cols() == data_.m,
                 "restored AllPairsData tables have inconsistent sizes");
   init_vertex_ids();
 }

@@ -29,6 +29,7 @@
 // rebuilding.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/trace.h"
@@ -48,10 +49,20 @@ struct AllPairsData {
   // (0=E, 1=W, 2=N, 3=S, -1 for b==a or untouched).
   std::vector<int8_t> pass;
 
+  // Borrowed-table mode (mmap-adopted snapshots): when set, pred/pass live
+  // in the mapping owned by `arena` and the vectors above stay empty. All
+  // readers go through pred_data()/pass_data() or pred_of()/pass_of().
+  const int32_t* pred_view = nullptr;
+  const int8_t* pass_view = nullptr;
+  std::shared_ptr<const void> arena;
+
   size_t m = 0;  // number of vertices (4n)
 
-  int32_t pred_of(size_t a, size_t b) const { return pred[a * m + b]; }
-  int8_t pass_of(size_t a, size_t b) const { return pass[a * m + b]; }
+  const int32_t* pred_data() const { return pred_view ? pred_view : pred.data(); }
+  const int8_t* pass_data() const { return pass_view ? pass_view : pass.data(); }
+
+  int32_t pred_of(size_t a, size_t b) const { return pred_data()[a * m + b]; }
+  int8_t pass_of(size_t a, size_t b) const { return pass_data()[a * m + b]; }
 };
 
 // Geometry of one monotone case, shared with path reconstruction (§8).

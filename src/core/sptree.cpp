@@ -65,10 +65,15 @@ std::vector<Point> SpTrees::path(size_t a, size_t b) const {
   std::vector<Point> out;
   if (a == b) return {verts[a]};
 
-  // Collect the pred chain b -> ... -> u0 (pred(u0) == -1 or u0 == a).
+  // Collect the pred chain b -> ... -> u0 (pred(u0) == -1 or u0 == a). A
+  // valid pred table strictly descends in dist, so the chain has at most m
+  // nodes; the explicit bound turns a cyclic table (possible only through
+  // an mmap-adopted snapshot, whose load skips the O(m^2) descent recheck)
+  // into a fail-fast error instead of an unbounded walk.
   std::vector<size_t> chain;
   for (int cur = static_cast<int>(b); cur >= 0;
        cur = data_->pred_of(a, static_cast<size_t>(cur))) {
+    RSP_CHECK_MSG(chain.size() <= m, "pred chain exceeds vertex count (cycle)");
     chain.push_back(static_cast<size_t>(cur));
     if (static_cast<size_t>(cur) == a) break;
   }

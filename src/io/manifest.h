@@ -2,9 +2,9 @@
 // Shard-set manifest: the small text file naming a row-partitioned
 // snapshot fleet (io/snapshot.h kind 3, SnapshotPayloadKind::kAllPairsShard).
 //
-// Engine::save_sharded(path, k) writes k shard snapshots — shard i holds
-// source rows [row_lo, row_hi) of the all-pairs tables, all m columns —
-// plus this manifest at `path`. Engine::open(path) recognizes the magic,
+// Engine::save(path, {.shards = k}) writes k shard snapshots — shard i
+// holds source rows [row_lo, row_hi) of the all-pairs tables, all m
+// columns — plus this manifest at `path`. Engine::open recognizes the magic,
 // loads every shard, verifies it against its manifest record, and serves
 // the union; `rspcli serve --router` reads the same manifest to route
 // requests to shard servers by source x-coordinate slab.

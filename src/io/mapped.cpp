@@ -1,0 +1,77 @@
+#include "io/mapped.h"
+
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RSP_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define RSP_HAVE_MMAP 0
+#endif
+
+namespace rsp {
+
+MappedFile::~MappedFile() { reset(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+void MappedFile::reset() {
+#if RSP_HAVE_MMAP
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+}
+
+Status MappedFile::map(const std::string& path) {
+#if RSP_HAVE_MMAP
+  reset();
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open '" + path + "' for mapping");
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat '" + path + "'");
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return Status::CorruptSnapshot("'" + path + "' is empty");
+  }
+  // MAP_PRIVATE: the tables are adopted read-only; a private mapping keeps
+  // any accidental write from reaching the artifact.
+  void* p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (p == MAP_FAILED) {
+    return Status::IoError("mmap failed on '" + path + "'");
+  }
+  // The checksum pass reads the file front to back once; tell the kernel.
+  ::madvise(p, size, MADV_WILLNEED);
+  data_ = static_cast<const uint8_t*>(p);
+  size_ = size;
+  return Status::Ok();
+#else
+  (void)path;
+  return Status::IoError("file mapping is not supported on this platform");
+#endif
+}
+
+}  // namespace rsp

@@ -1,0 +1,80 @@
+#pragma once
+// Read-only file mappings for zero-copy snapshot adoption.
+//
+// MappedFile wraps open+mmap(MAP_PRIVATE)+madvise on POSIX hosts; snapshot
+// tables are adopted straight out of the mapping so replica start cost is a
+// checksum pass plus the derived-structure rebuild, and the OS pages the
+// bulk tables lazily. On non-POSIX hosts map() reports kIoError and callers
+// fall back to the eager stream loader.
+
+#include <cstddef>
+#include <cstdint>
+#include <ios>
+#include <streambuf>
+#include <string>
+
+#include "api/status.h"
+#include "common.h"
+
+namespace rsp {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  // Maps `path` read-only. On failure returns a status and leaves the
+  // object unmapped.
+  Status map(const std::string& path);
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool mapped() const { return data_ != nullptr; }
+
+ private:
+  void reset();
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+// Fixed-buffer read streambuf over a mapping, so pre-v5 snapshots (and the
+// boundary-tree blob, which has no flat-table layout to adopt) can be
+// decoded from the mapped bytes by the ordinary stream reader.
+class MemoryStreamBuf : public std::streambuf {
+ public:
+  MemoryStreamBuf(const uint8_t* data, size_t size) {
+    char* p = const_cast<char*>(reinterpret_cast<const char*>(data));
+    setg(p, p, p + size);
+  }
+
+ protected:
+  pos_type seekoff(off_type off, std::ios_base::seekdir dir,
+                   std::ios_base::openmode which) override {
+    if (!(which & std::ios_base::in)) return pos_type(off_type(-1));
+    char* base = eback();
+    off_type cur = gptr() - base;
+    off_type end = egptr() - base;
+    off_type target;
+    switch (dir) {
+      case std::ios_base::beg: target = off; break;
+      case std::ios_base::cur: target = cur + off; break;
+      case std::ios_base::end: target = end + off; break;
+      default: return pos_type(off_type(-1));
+    }
+    if (target < 0 || target > end) return pos_type(off_type(-1));
+    setg(base, base + target, base + end);
+    return pos_type(target);
+  }
+
+  pos_type seekpos(pos_type pos, std::ios_base::openmode which) override {
+    return seekoff(off_type(pos), std::ios_base::beg, which);
+  }
+};
+
+}  // namespace rsp

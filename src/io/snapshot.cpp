@@ -5,8 +5,11 @@
 #include <bit>
 #include <cstring>
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <sstream>
+
+#include "io/mapped.h"
 
 namespace rsp {
 
@@ -53,6 +56,37 @@ struct BlockHash {
       --n;
     }
     if constexpr (kHostLittleEndian) {
+      // Rotate until lane 0, then run the four multiply chains unrolled
+      // with every lane in a register — bit-identical to the word-at-a-
+      // time loop (word i still lands in lane i mod 4), but the indexed
+      // h[lane] store/load per word is gone, so the bulk-table hash runs
+      // at memory speed instead of serializing on it (~6x on the
+      // gigabyte-scale v5 sections).
+      while (lane != 0 && n >= 8) {
+        uint64_t w;
+        std::memcpy(&w, b, 8);
+        word(w);
+        b += 8;
+        n -= 8;
+      }
+      if (lane == 0 && n >= 32) {
+        uint64_t h0 = h[0], h1 = h[1], h2 = h[2], h3 = h[3];
+        for (; n >= 32; b += 32, n -= 32) {
+          uint64_t w0, w1, w2, w3;
+          std::memcpy(&w0, b, 8);
+          std::memcpy(&w1, b + 8, 8);
+          std::memcpy(&w2, b + 16, 8);
+          std::memcpy(&w3, b + 24, 8);
+          h0 = (h0 ^ w0) * kFnvPrime;
+          h1 = (h1 ^ w1) * kFnvPrime;
+          h2 = (h2 ^ w2) * kFnvPrime;
+          h3 = (h3 ^ w3) * kFnvPrime;
+        }
+        h[0] = h0;
+        h[1] = h1;
+        h[2] = h2;
+        h[3] = h3;
+      }
       for (; n >= 8; b += 8, n -= 8) {
         uint64_t w;
         std::memcpy(&w, b, 8);
@@ -82,6 +116,123 @@ struct BlockHash {
   }
 };
 
+// The v5 footer hash: eight rotate-XOR lanes (word i lands in lane
+// i mod 8 as h = rotl(h, 27) ^ w), folded through FNV multiplies only
+// at finish. The hot loop carries no multiply dependency at all, so it
+// runs at memory speed over the gigabyte v5 tables — roughly 2x the
+// 4-lane FNV above, and the mmap open's single checksum pass is the
+// dominant cost it feeds. Detection properties match the corruption
+// (not adversarial) threat model of the FNV footer: per-lane
+// rotate/XOR is bijective, so any single flipped bit survives to the
+// fold, and the fold's multiplies give the footer compare its
+// avalanche. v1-v4 files keep BlockHash — their footers were written
+// with it; v5 introduced this hash along with the section index, so
+// every v5 file carries it from birth.
+struct StripeHash {
+  uint64_t h[8] = {kFnvOffset,     kFnvOffset + 1, kFnvOffset + 2,
+                   kFnvOffset + 3, kFnvOffset + 4, kFnvOffset + 5,
+                   kFnvOffset + 6, kFnvOffset + 7};
+  unsigned lane = 0;
+  uint64_t pend = 0;
+  unsigned pend_n = 0;
+
+  static uint64_t rotl(uint64_t v, int s) { return (v << s) | (v >> (64 - s)); }
+  void word(uint64_t w) {
+    h[lane] = rotl(h[lane], 27) ^ w;
+    lane = (lane + 1) & 7;
+  }
+  void byte(unsigned char c) {
+    pend |= static_cast<uint64_t>(c) << (8 * pend_n);
+    if (++pend_n == 8) {
+      word(pend);
+      pend = 0;
+      pend_n = 0;
+    }
+  }
+  void update(const void* p, size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    while (n > 0 && pend_n != 0) {
+      byte(*b++);
+      --n;
+    }
+    if constexpr (kHostLittleEndian) {
+      while (lane != 0 && n >= 8) {
+        uint64_t w;
+        std::memcpy(&w, b, 8);
+        word(w);
+        b += 8;
+        n -= 8;
+      }
+      if (lane == 0 && n >= 64) {
+        uint64_t l0 = h[0], l1 = h[1], l2 = h[2], l3 = h[3];
+        uint64_t l4 = h[4], l5 = h[5], l6 = h[6], l7 = h[7];
+        for (; n >= 64; b += 64, n -= 64) {
+          uint64_t w[8];
+          std::memcpy(w, b, 64);
+          l0 = rotl(l0, 27) ^ w[0];
+          l1 = rotl(l1, 27) ^ w[1];
+          l2 = rotl(l2, 27) ^ w[2];
+          l3 = rotl(l3, 27) ^ w[3];
+          l4 = rotl(l4, 27) ^ w[4];
+          l5 = rotl(l5, 27) ^ w[5];
+          l6 = rotl(l6, 27) ^ w[6];
+          l7 = rotl(l7, 27) ^ w[7];
+        }
+        h[0] = l0;
+        h[1] = l1;
+        h[2] = l2;
+        h[3] = l3;
+        h[4] = l4;
+        h[5] = l5;
+        h[6] = l6;
+        h[7] = l7;
+      }
+      for (; n >= 8; b += 8, n -= 8) {
+        uint64_t w;
+        std::memcpy(&w, b, 8);
+        word(w);
+      }
+    } else {
+      for (; n >= 8; b += 8, n -= 8) {
+        uint64_t w = 0;
+        for (size_t i = 0; i < 8; ++i) w |= static_cast<uint64_t>(b[i]) << (8 * i);
+        word(w);
+      }
+    }
+    while (n > 0) {
+      byte(*b++);
+      --n;
+    }
+  }
+  uint64_t finish() {
+    if (pend_n != 0) {
+      word(pend);
+      pend = 0;
+      pend_n = 0;
+    }
+    uint64_t out = kFnvOffset;
+    for (uint64_t lane_h : h) out = (out ^ lane_h) * kFnvPrime;
+    return out;
+  }
+};
+
+// Version-selected footer hash carried by Writer/Reader: BlockHash for
+// v1-v4 footers, StripeHash once a v5 path announces itself (before the
+// first hashed byte — the 16-byte header is raw on both sides).
+struct SnapHash {
+  bool stripe = false;
+  BlockHash fnv;
+  StripeHash st;
+  void update(const void* p, size_t n) {
+    if (stripe) {
+      st.update(p, n);
+    } else {
+      fnv.update(p, n);
+    }
+  }
+  uint64_t finish() { return stripe ? st.finish() : fnv.finish(); }
+};
+
 // Thrown inside the reader on malformed input; the public entry points
 // catch it (and everything else) and return a Status — nothing escapes
 // this translation unit as an exception.
@@ -101,6 +252,7 @@ class Writer {
   ~Writer() { flush(); }
 
   void raw(const void* p, size_t n) {  // header bytes: not checksummed
+    pos_ += n;
     if (n >= kBufCap) {
       flush();
       os_.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
@@ -134,7 +286,13 @@ class Writer {
   }
 
   uint64_t finish_hash() { return hash_.finish(); }
+  // Switch the footer hash to the v5 StripeHash. Must be called before
+  // the first hashed byte (the header goes through raw()).
+  void use_v5_hash() { hash_.stripe = true; }
   bool good() const { return os_.good(); }
+  // Bytes emitted so far (header included) — the v5 writer uses this to
+  // compute alignment padding without seeking.
+  size_t position() const { return pos_; }
 
  private:
   void put_le(uint64_t v, size_t n) {
@@ -146,7 +304,8 @@ class Writer {
   static constexpr size_t kBufCap = 64 * 1024;
   std::ostream& os_;
   std::vector<char> buf_;
-  BlockHash hash_;
+  size_t pos_ = 0;
+  SnapHash hash_;
 };
 
 // Buffered decoder, mirror of Writer. All stream reads go through the
@@ -157,6 +316,7 @@ class Reader {
   explicit Reader(std::istream& is) : is_(is) { buf_.resize(kBufCap); }
 
   void raw(void* p, size_t n, const char* what) {
+    consumed_ += n;
     auto* out = static_cast<char*>(p);
     // Drain what the buffer already holds, then read the bulk directly.
     const size_t take0 = std::min(n, len_ - pos_);
@@ -209,6 +369,13 @@ class Reader {
   }
 
   uint64_t finish_hash() { return hash_.finish(); }
+  // Switch the footer hash to the v5 StripeHash. Must be called right
+  // after the (raw, unhashed) header reveals a v5 file.
+  void use_v5_hash() { hash_.stripe = true; }
+
+  // Bytes delivered to the caller so far (header included) — mirrors the
+  // file offset for v5 section accounting.
+  size_t consumed() const { return consumed_; }
 
   // Seeks the stream back over refill bytes the snapshot never consumed,
   // so a caller composing several snapshots (or other framing) in one
@@ -242,7 +409,41 @@ class Reader {
   std::istream& is_;
   std::vector<char> buf_;
   size_t pos_ = 0, len_ = 0;
-  BlockHash hash_;
+  size_t consumed_ = 0;
+  SnapHash hash_;
+};
+
+// Little-endian encoder into a memory buffer, hash-free: the v5 writer
+// pre-serializes the variable-size sections (scene+meta, tree blob, the
+// delta-encoded dist) to learn their sizes for the offset index, then
+// streams the buffers through the hashing Writer.
+class BufWriter {
+ public:
+  std::vector<char> buf;
+
+  void bytes(const void* p, size_t n) {
+    const auto* b = static_cast<const char*>(p);
+    buf.insert(buf.end(), b, b + n);
+  }
+  void u8(uint8_t v) { bytes(&v, 1); }
+  void u32(uint32_t v) { put_le(v, 4); }
+  void u64(uint64_t v) { put_le(v, 8); }
+  void i64(int64_t v) { put_le(static_cast<uint64_t>(v), 8); }
+  void i32(int32_t v) {
+    put_le(static_cast<uint64_t>(static_cast<uint32_t>(v)), 4);
+  }
+  void i8(int8_t v) { u8(static_cast<uint8_t>(v)); }
+  void point(const Point& p) {
+    i64(p.x);
+    i64(p.y);
+  }
+
+ private:
+  void put_le(uint64_t v, size_t n) {
+    unsigned char b[8];
+    for (size_t i = 0; i < n; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+    bytes(b, n);
+  }
 };
 
 // Reads `count` fixed-width elements into `out`, growing it chunk by
@@ -274,7 +475,114 @@ void read_pod_table(Reader& r, std::vector<T>& out, size_t count,
   }
 }
 
-void write_scene(Writer& w, const Scene& scene) {
+// Opaque byte section (the delta-encoded dist), read with the same
+// chunked-growth truncation discipline as read_pod_table.
+void read_blob(Reader& r, std::vector<uint8_t>& out, size_t count,
+               const char* what) {
+  constexpr size_t kChunk = size_t{1} << 22;  // 4 MiB
+  out.clear();
+  out.reserve(count);
+  for (size_t done = 0; done < count;) {
+    const size_t take = std::min(kChunk, count - done);
+    out.resize(done + take);
+    r.bytes(out.data() + done, take, what);
+    done += take;
+  }
+}
+
+// ---- v5 delta codec: dist residuals against the L1 lower bound ----
+//
+// The L1 distance between the endpoint vertices lower-bounds any
+// rectilinear obstacle-avoiding path, so honest residuals are small
+// non-negatives and zig-zag LEB128 packs most entries into 1-2 bytes
+// (kInf rows cost ~9 bytes each). All arithmetic is mod-2^64 (two's
+// complement wrap), which keeps encode/decode exact inverses for every
+// possible i64 entry — even hostile ones; the decoder re-validates the
+// reconstructed value's range.
+
+inline uint64_t l1_base(const Point& a, const Point& b) {
+  const uint64_t dx = a.x > b.x ? static_cast<uint64_t>(a.x) - static_cast<uint64_t>(b.x)
+                                : static_cast<uint64_t>(b.x) - static_cast<uint64_t>(a.x);
+  const uint64_t dy = a.y > b.y ? static_cast<uint64_t>(a.y) - static_cast<uint64_t>(b.y)
+                                : static_cast<uint64_t>(b.y) - static_cast<uint64_t>(a.y);
+  return dx + dy;
+}
+
+inline uint64_t zigzag(uint64_t residual) {
+  const int64_t v = static_cast<int64_t>(residual);
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline uint64_t unzigzag(uint64_t z) { return (z >> 1) ^ (0 - (z & 1)); }
+
+inline void put_varint(std::vector<uint8_t>& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+// Encodes the row-major dist block covering source rows
+// [row0, row0 + rows) x m columns. `verts` are the scene's obstacle
+// vertices (size m).
+void encode_delta_dist(const Length* dist, size_t row0, size_t rows, size_t m,
+                       const std::vector<Point>& verts,
+                       std::vector<uint8_t>& out) {
+  out.clear();
+  out.reserve(rows * m * 2);
+  for (size_t a = 0; a < rows; ++a) {
+    const Point& va = verts[row0 + a];
+    const Length* row = dist + a * m;
+    for (size_t b = 0; b < m; ++b) {
+      const uint64_t residual =
+          static_cast<uint64_t>(row[b]) - l1_base(va, verts[b]);
+      put_varint(out, zigzag(residual));
+    }
+  }
+}
+
+// Exact inverse. Fails on truncated/over-long varints, out-of-range
+// reconstructed entries, and trailing bytes (the section size must be
+// consumed exactly).
+void decode_delta_dist(const uint8_t* p, size_t nbytes, size_t row0,
+                       size_t rows, size_t m, const std::vector<Point>& verts,
+                       std::vector<Length>& out) {
+  const uint8_t* end = p + nbytes;
+  out.clear();
+  out.reserve(rows * m);
+  for (size_t a = 0; a < rows; ++a) {
+    const Point& va = verts[row0 + a];
+    for (size_t b = 0; b < m; ++b) {
+      uint64_t z = 0;
+      unsigned shift = 0;
+      for (;;) {
+        if (p == end) fail_corrupt("dist section truncated mid-varint");
+        const uint8_t byte = *p++;
+        z |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0) {
+          // 10th byte carries bit 63 only.
+          if (shift == 63 && (byte & 0x7f) > 1) {
+            fail_corrupt("dist varint overflows 64 bits");
+          }
+          break;
+        }
+        shift += 7;
+        if (shift > 63) fail_corrupt("dist varint overflows 64 bits");
+      }
+      const uint64_t du = l1_base(va, verts[b]) + unzigzag(z);
+      const Length d = static_cast<Length>(du);
+      if (d < 0 || d > kInf) fail_corrupt("dist matrix entry out of range");
+      out.push_back(d);
+    }
+  }
+  if (p != end) fail_corrupt("dist section has trailing bytes");
+}
+
+inline uint64_t align64(uint64_t off) { return (off + 63) & ~uint64_t{63}; }
+
+template <class W>
+void write_scene(W& w, const Scene& scene) {
   const auto& cverts = scene.container().vertices();
   w.u64(cverts.size());
   for (const Point& p : cverts) w.point(p);
@@ -321,14 +629,89 @@ void write_all_pairs(Writer& w, const AllPairsData& data) {
   const size_t m = data.m;
   w.u64(m);
   if constexpr (kHostLittleEndian) {
-    // In-memory layout == wire layout: one bulk write per table.
-    w.bytes(data.dist.storage().data(), m * m * sizeof(Length));
-    w.bytes(data.pred.data(), m * m * sizeof(int32_t));
-    w.bytes(data.pass.data(), m * m * sizeof(int8_t));
+    // In-memory layout == wire layout: one bulk write per table. The
+    // *_data() accessors also cover mmap-restored engines re-saving to an
+    // older format (borrowed tables, no backing vectors).
+    w.bytes(data.dist.data(), m * m * sizeof(Length));
+    w.bytes(data.pred_data(), m * m * sizeof(int32_t));
+    w.bytes(data.pass_data(), m * m * sizeof(int8_t));
   } else {
-    for (Length d : data.dist.storage()) w.i64(d);
-    for (int32_t p : data.pred) w.i32(p);
-    for (int8_t p : data.pass) w.i8(p);
+    const Length* dist = data.dist.data();
+    const int32_t* pred = data.pred_data();
+    const int8_t* pass = data.pass_data();
+    for (size_t i = 0; i < m * m; ++i) w.i64(dist[i]);
+    for (size_t i = 0; i < m * m; ++i) w.i32(pred[i]);
+    for (size_t i = 0; i < m * m; ++i) w.i8(pass[i]);
+  }
+}
+
+// Row-wise validation of a dist/pred/pass block spanning `rows` source
+// rows x m columns, shared by the full tables, the shard slices and the
+// v5 readers (pred entries index *columns* of their own row, so any slice
+// validates without its siblings). Runs on every replica start, so it is
+// written for speed — raw row pointers, branch-light:
+//  * dist entries in [0, kInf], pred ids in [-1, m), pass in [-1, 3];
+//  * when `descent` is set, pred acyclicity, which the non-cryptographic
+//    checksum cannot guarantee for crafted input and whose violation
+//    would hang the §8 path walk. The builder's invariant makes this a
+//    local check: a recorded predecessor lies strictly closer to the
+//    source (its hop has positive L1 length), so dist(a, pred(b)) <
+//    dist(a, b) < kInf — every pred chain then strictly descends and
+//    terminates. The mmap adopter skips it (it would touch every page of
+//    the one table that should stay lazily paged); the §8 walks bound
+//    their steps instead.
+void validate_tables(const Length* dist, const int32_t* pred,
+                     const int8_t* pass, size_t rows, size_t m,
+                     bool descent) {
+  // Branch-free accumulating sweep first: the clean case (every replica
+  // start) has no data-dependent branches, so the compiler vectorizes
+  // it and the gigabyte-scale tables scan at memory speed. The precise
+  // per-entry loop below runs only to name the first offender.
+  const size_t cnt = rows * m;
+  const uint64_t um = static_cast<uint64_t>(m);
+  uint64_t bad = 0;
+  for (size_t i = 0; i < cnt; ++i) {
+    // dist in [0, kInf]: negatives wrap to huge unsigned values.
+    bad |= static_cast<uint64_t>(static_cast<uint64_t>(dist[i]) >
+                                 static_cast<uint64_t>(kInf));
+  }
+  for (size_t i = 0; i < cnt; ++i) {
+    // pred in [-1, m): p + 1 in [0, m], with -2 and below wrapping high.
+    bad |= static_cast<uint64_t>(
+        static_cast<uint64_t>(static_cast<int64_t>(pred[i]) + 1) > um);
+  }
+  for (size_t i = 0; i < cnt; ++i) {
+    // pass in [-1, 3].
+    bad |= static_cast<uint64_t>(
+        static_cast<uint8_t>(static_cast<int16_t>(pass[i]) + 1) > 4);
+  }
+  if (bad != 0) {
+    for (size_t i = 0; i < cnt; ++i) {
+      const Length db = dist[i];
+      if (db < 0 || db > kInf) fail_corrupt("dist matrix entry out of range");
+      const int32_t p = pred[i];
+      if (p < -1 || (p >= 0 && static_cast<size_t>(p) >= m)) {
+        fail_corrupt("pred table entry out of range");
+      }
+    }
+    for (size_t i = 0; i < cnt; ++i) {
+      if (pass[i] > 3 || pass[i] < -1) {
+        fail_corrupt("pass table entry out of range");
+      }
+    }
+  }
+  if (!descent) return;
+  for (size_t a = 0; a < rows; ++a) {
+    const Length* dist_row = dist + a * m;
+    const int32_t* pred_row = pred + a * m;
+    for (size_t b = 0; b < m; ++b) {
+      const int32_t p = pred_row[b];
+      if (p < 0) continue;
+      const Length db = dist_row[b];
+      if (db >= kInf || dist_row[p] >= db) {
+        fail_corrupt("pred table inconsistent with dist matrix");
+      }
+    }
   }
 }
 
@@ -373,33 +756,8 @@ AllPairsShardData read_shard(Reader& r, const Scene& scene) {
   read_pod_table(r, shard.dist, n, "shard dist slice");
   read_pod_table(r, shard.pred, n, "shard pred slice");
   read_pod_table(r, shard.pass, n, "shard pass slice");
-  // The same row-local validation the full tables get (see read_all_pairs:
-  // pred entries index *columns* of their own row, so a slice validates
-  // without its sibling shards).
-  for (size_t a = 0; a < shard.rows(); ++a) {
-    const Length* dist_row = shard.dist.data() + a * shard.m;
-    const int32_t* pred_row = shard.pred.data() + a * shard.m;
-    for (size_t b = 0; b < shard.m; ++b) {
-      const Length db = dist_row[b];
-      if (db < 0 || db > kInf) fail_corrupt("shard dist entry out of range");
-      const int32_t p = pred_row[b];
-      if (p < 0) {
-        if (p < -1) fail_corrupt("shard pred entry out of range");
-        continue;
-      }
-      if (static_cast<size_t>(p) >= shard.m) {
-        fail_corrupt("shard pred entry out of range");
-      }
-      if (db >= kInf || dist_row[p] >= db) {
-        fail_corrupt("shard pred slice inconsistent with dist slice");
-      }
-    }
-  }
-  for (size_t i = 0; i < n; ++i) {
-    if (shard.pass[i] > 3 || shard.pass[i] < -1) {
-      fail_corrupt("shard pass entry out of range");
-    }
-  }
+  validate_tables(shard.dist.data(), shard.pred.data(), shard.pass.data(),
+                  shard.rows(), shard.m, /*descent=*/true);
   return shard;
 }
 
@@ -419,58 +777,28 @@ AllPairsData read_all_pairs(Reader& r, const Scene& scene) {
   read_pod_table(r, dist, mm, "dist matrix");
   read_pod_table(r, data.pred, mm, "pred table");
   read_pod_table(r, data.pass, mm, "pass table");
-  // Table validation, one row-wise pass (this runs on every replica start,
-  // so it is written for speed — raw row pointers, branch-light):
-  //  * dist entries in [0, kInf], pred ids in [-1, m), pass in [-1, 3];
-  //  * pred acyclicity, which the non-cryptographic checksum cannot
-  //    guarantee for crafted input and whose violation would hang the §8
-  //    path walk. The builder's invariant makes this a local check: a
-  //    recorded predecessor lies strictly closer to the source (its hop
-  //    has positive L1 length), so dist(a, pred(b)) < dist(a, b) < kInf —
-  //    every pred chain then strictly descends and terminates.
-  for (size_t a = 0; a < data.m; ++a) {
-    const Length* dist_row = dist.data() + a * data.m;
-    const int32_t* pred_row = data.pred.data() + a * data.m;
-    for (size_t b = 0; b < data.m; ++b) {
-      const Length db = dist_row[b];
-      if (db < 0 || db > kInf) {
-        fail_corrupt("dist matrix entry out of range");
-      }
-      const int32_t p = pred_row[b];
-      if (p < 0) {
-        if (p < -1) fail_corrupt("pred table entry out of range");
-        continue;
-      }
-      if (static_cast<size_t>(p) >= data.m) {
-        fail_corrupt("pred table entry out of range");
-      }
-      if (db >= kInf || dist_row[p] >= db) {
-        fail_corrupt("pred table inconsistent with dist matrix");
-      }
-    }
-  }
-  for (size_t i = 0; i < mm; ++i) {
-    if (data.pass[i] > 3 || data.pass[i] < -1) {
-      fail_corrupt("pass table entry out of range");
-    }
-  }
+  validate_tables(dist.data(), data.pred.data(), data.pass.data(), data.m,
+                  data.m, /*descent=*/true);
   data.dist = Matrix(data.m, data.m, std::move(dist));
   return data;
 }
 
 // ---- Boundary-tree payload (SnapshotPayloadKind::kBoundaryTree) ----
 
-void write_points(Writer& w, const std::vector<Point>& pts) {
+template <class W>
+void write_points(W& w, const std::vector<Point>& pts) {
   w.u64(pts.size());
   for (const Point& p : pts) w.point(p);
 }
 
-void write_u32s(Writer& w, const std::vector<uint32_t>& v) {
+template <class W>
+void write_u32s(W& w, const std::vector<uint32_t>& v) {
   w.u64(v.size());
   for (uint32_t x : v) w.u32(x);
 }
 
-void write_tree(Writer& w, const DncTree& tree) {
+template <class W>
+void write_tree(W& w, const DncTree& tree, uint32_t version) {
   w.u64(tree.nodes.size());
   for (const DncNode& n : tree.nodes) {
     write_points(w, n.region.vertices());
@@ -494,12 +822,17 @@ void write_tree(Writer& w, const DncTree& tree) {
       write_u32s(w, p.mid_child);
       w.u64(p.reach.rows());
       w.u64(p.reach.cols());
-      // v3: a representation byte, then either the dense entries (0) or
+      // v3+: a representation byte, then either the dense entries (0) or
       // the breakpoint-compressed parts (1; see monge/compressed.h). The
       // builder's compress() is deterministic, so these bytes stay
-      // identical across scheduler widths.
+      // identical across scheduler widths. v2 fixtures (test matrix) have
+      // no representation byte — every reach is written dense.
       if (!p.reach.empty()) {
-        if (p.reach.compressed()) {
+        if (version < 3) {
+          const Matrix dense =
+              p.reach.compressed() ? p.reach.dense() : p.reach.dense_form();
+          for (Length d : dense.storage()) w.i64(d);
+        } else if (p.reach.compressed()) {
           w.u8(1);
           for (Length d : p.reach.row0()) w.i64(d);
           for (Length d : p.reach.col0()) w.i64(d);
@@ -709,24 +1042,23 @@ struct Header {
   uint32_t version;  // as read from the file, not the compiled-in constant
 };
 
-// Reads the fixed (non-checksummed) header.
-Header read_header(Reader& r) {
-  std::array<char, 8> magic;
-  r.raw(magic.data(), magic.size(), "magic");
-  if (magic != kMagic) fail_corrupt("bad magic: not an rsp snapshot");
-  unsigned char vbuf[4];
-  r.raw(vbuf, 4, "format version");
+constexpr size_t kHeaderBytes = 16;
+
+// Validates the fixed 16-byte header (shared by the stream reader and the
+// mmap adopter).
+Header parse_header_bytes(const unsigned char* b) {
+  if (std::memcmp(b, kMagic.data(), kMagic.size()) != 0) {
+    fail_corrupt("bad magic: not an rsp snapshot");
+  }
   uint32_t version = 0;
-  for (size_t i = 0; i < 4; ++i) version |= static_cast<uint32_t>(vbuf[i]) << (8 * i);
+  for (size_t i = 0; i < 4; ++i) version |= static_cast<uint32_t>(b[8 + i]) << (8 * i);
   if (version < kSnapshotMinReadVersion || version > kSnapshotFormatVersion) {
     std::ostringstream os;
     os << "snapshot format version " << version << " (this build speaks "
        << kSnapshotMinReadVersion << ".." << kSnapshotFormatVersion << ")";
     throw SnapshotError{Status::VersionMismatch(os.str())};
   }
-  unsigned char kind_and_reserved[4];
-  r.raw(kind_and_reserved, 4, "payload kind");
-  const uint8_t kind = kind_and_reserved[0];
+  const uint8_t kind = b[12];
   if (kind > static_cast<uint8_t>(SnapshotPayloadKind::kAllPairsShard)) {
     fail_corrupt("unknown payload kind");
   }
@@ -741,6 +1073,13 @@ Header read_header(Reader& r) {
   return Header{static_cast<SnapshotPayloadKind>(kind), version};
 }
 
+// Reads the fixed (non-checksummed) header.
+Header read_header(Reader& r) {
+  unsigned char hbuf[kHeaderBytes];
+  r.raw(hbuf, kHeaderBytes, "snapshot header");
+  return parse_header_bytes(hbuf);
+}
+
 // Returns the verified checksum (== stored == computed) so loads can
 // surface it (SnapshotPayload::payload_checksum).
 uint64_t check_footer(Reader& r) {
@@ -753,11 +1092,11 @@ uint64_t check_footer(Reader& r) {
   return stored;
 }
 
-void write_header(Writer& w, SnapshotPayloadKind kind) {
+void write_header(Writer& w, SnapshotPayloadKind kind, uint32_t version) {
   w.raw(kMagic.data(), kMagic.size());
   unsigned char vbuf[4];
   for (size_t i = 0; i < 4; ++i) {
-    vbuf[i] = static_cast<unsigned char>(kSnapshotFormatVersion >> (8 * i));
+    vbuf[i] = static_cast<unsigned char>(version >> (8 * i));
   }
   w.raw(vbuf, 4);
   const unsigned char kind_and_reserved[4] = {static_cast<unsigned char>(kind),
@@ -778,6 +1117,331 @@ Status write_footer(Writer& w, std::ostream& os,
   if (!os.good()) return Status::IoError("snapshot write failed (stream error)");
   if (checksum_out != nullptr) *checksum_out = checksum;
   return Status::Ok();
+}
+
+// ---- v5: section index + 64-byte-aligned bulk tables ----
+
+// Section ids, fixed per payload kind (the index lists exactly these, in
+// this order; a mismatch is corruption, not extensibility).
+constexpr uint32_t kSecSceneMeta = 1;
+constexpr uint32_t kSecDist = 2;
+constexpr uint32_t kSecPred = 3;
+constexpr uint32_t kSecPass = 4;
+constexpr uint32_t kSecTree = 5;
+
+constexpr uint32_t kFlagDistDelta = 1;
+
+constexpr size_t kIndexEntryBytes = 24;
+
+std::vector<uint32_t> expected_section_ids(SnapshotPayloadKind kind) {
+  switch (kind) {
+    case SnapshotPayloadKind::kSceneOnly:
+      return {kSecSceneMeta};
+    case SnapshotPayloadKind::kAllPairs:
+    case SnapshotPayloadKind::kAllPairsShard:
+      return {kSecSceneMeta, kSecDist, kSecPred, kSecPass};
+    case SnapshotPayloadKind::kBoundaryTree:
+      return {kSecSceneMeta, kSecTree};
+  }
+  fail_corrupt("unknown payload kind");
+}
+
+struct SecEntry {
+  uint32_t id = 0;
+  uint64_t off = 0;
+  uint64_t size = 0;
+};
+
+struct V5Index {
+  uint32_t flags = 0;
+  std::vector<SecEntry> secs;
+};
+
+// Validates ids against the kind and enforces the writer's canonical
+// offsets (each section 64-byte aligned, immediately after its
+// predecessor's padding) — which both pins the layout for zero-copy
+// adoption and makes padding consumption deterministic for the stream
+// reader. Sizes are only claims at this point; the stream reader fails on
+// truncation chunk by chunk, and the mmap adopter bounds-checks against
+// the real file size before touching anything.
+V5Index validate_v5_index(SnapshotPayloadKind kind, uint32_t flags,
+                          std::vector<SecEntry> secs) {
+  if ((flags & ~kFlagDistDelta) != 0) fail_corrupt("unknown snapshot flags");
+  const std::vector<uint32_t> expect = expected_section_ids(kind);
+  if (secs.size() != expect.size()) {
+    fail_corrupt("snapshot section table does not match payload kind");
+  }
+  uint64_t off = align64(kHeaderBytes + 8 + kIndexEntryBytes * secs.size());
+  for (size_t i = 0; i < secs.size(); ++i) {
+    if (secs[i].id != expect[i]) {
+      fail_corrupt("snapshot section table does not match payload kind");
+    }
+    if (secs[i].off != off) fail_corrupt("snapshot section offset out of place");
+    if (secs[i].size > (uint64_t{1} << 62) - off) {
+      fail_corrupt("snapshot section size out of range");
+    }
+    off = align64(secs[i].off + secs[i].size);
+  }
+  return V5Index{flags, std::move(secs)};
+}
+
+V5Index read_v5_index(Reader& r, SnapshotPayloadKind kind) {
+  const uint32_t nsec = r.u32("section count");
+  if (nsec == 0 || nsec > 8) fail_corrupt("snapshot section count out of range");
+  const uint32_t flags = r.u32("section flags");
+  std::vector<SecEntry> secs(nsec);
+  for (SecEntry& e : secs) {
+    e.id = r.u32("section id");
+    if (r.u32("section reserved") != 0) fail_corrupt("section reserved bits set");
+    e.off = r.u64("section offset");
+    e.size = r.u64("section size");
+  }
+  return validate_v5_index(kind, flags, std::move(secs));
+}
+
+// Consumes (and checksums) the zero padding up to a section's offset.
+void skip_padding(Reader& r, uint64_t target_off) {
+  const uint64_t cur = r.consumed();
+  if (target_off < cur || target_off - cur >= 64) {
+    fail_corrupt("snapshot section padding out of range");
+  }
+  char pad[64];
+  if (target_off > cur) {
+    r.bytes(pad, static_cast<size_t>(target_off - cur), "section padding");
+  }
+}
+
+// Scene+meta section contents (shared by the stream and mmap readers).
+struct SceneMeta {
+  Scene scene;
+  size_t m = 0;
+  size_t row_lo = 0, row_hi = 0;  // shard only; [0, m) otherwise
+};
+
+SceneMeta read_scene_meta(Reader& r, SnapshotPayloadKind kind) {
+  SceneMeta sm;
+  sm.scene = read_scene(r);
+  if (kind == SnapshotPayloadKind::kAllPairs ||
+      kind == SnapshotPayloadKind::kAllPairsShard) {
+    const uint64_t m = r.u64("vertex count m");
+    if (m != 4 * static_cast<uint64_t>(sm.scene.num_obstacles())) {
+      std::ostringstream os;
+      os << "all-pairs table size mismatch: m = " << m << " but scene has "
+         << sm.scene.num_obstacles() << " obstacles (expected m = "
+         << 4 * sm.scene.num_obstacles() << ")";
+      fail_corrupt(os.str());
+    }
+    sm.m = static_cast<size_t>(m);
+    sm.row_hi = sm.m;
+    if (kind == SnapshotPayloadKind::kAllPairsShard) {
+      const uint64_t row_lo = r.u64("shard row_lo");
+      const uint64_t row_hi = r.u64("shard row_hi");
+      if (row_lo >= row_hi || row_hi > m) {
+        fail_corrupt("shard source-row range out of order");
+      }
+      sm.row_lo = static_cast<size_t>(row_lo);
+      sm.row_hi = static_cast<size_t>(row_hi);
+    }
+  }
+  return sm;
+}
+
+// Eager v5 decode: sections in index order through the hashing Reader, so
+// the footer check downstream covers index, padding and sections alike.
+// Fills everything but the checksum.
+void read_v5_body(Reader& r, SnapshotPayloadKind kind,
+                  SnapshotPayload& payload) {
+  const V5Index idx = read_v5_index(r, kind);
+  const bool delta = (idx.flags & kFlagDistDelta) != 0;
+
+  skip_padding(r, idx.secs[0].off);
+  const size_t meta_start = r.consumed();
+  const SceneMeta sm = read_scene_meta(r, kind);
+  if (r.consumed() - meta_start != idx.secs[0].size) {
+    fail_corrupt("scene section size mismatch");
+  }
+  payload.scene = sm.scene;
+
+  if (kind == SnapshotPayloadKind::kSceneOnly) return;
+
+  if (kind == SnapshotPayloadKind::kBoundaryTree) {
+    skip_padding(r, idx.secs[1].off);
+    const size_t tree_start = r.consumed();
+    payload.tree = read_tree(r, payload.scene, /*version=*/5);
+    if (r.consumed() - tree_start != idx.secs[1].size) {
+      fail_corrupt("tree section size mismatch");
+    }
+    return;
+  }
+
+  const size_t rows = sm.row_hi - sm.row_lo;
+  const size_t count = rows * sm.m;
+  const SecEntry& sdist = idx.secs[1];
+  const SecEntry& spred = idx.secs[2];
+  const SecEntry& spass = idx.secs[3];
+  if (spred.size != count * sizeof(int32_t)) {
+    fail_corrupt("pred section size mismatch");
+  }
+  if (spass.size != count * sizeof(int8_t)) {
+    fail_corrupt("pass section size mismatch");
+  }
+
+  std::vector<Length> dist;
+  skip_padding(r, sdist.off);
+  if (delta) {
+    std::vector<uint8_t> blob;
+    read_blob(r, blob, static_cast<size_t>(sdist.size), "dist section");
+    decode_delta_dist(blob.data(), blob.size(), sm.row_lo, rows, sm.m,
+                      payload.scene.obstacle_vertices(), dist);
+  } else {
+    if (sdist.size != count * sizeof(Length)) {
+      fail_corrupt("dist section size mismatch");
+    }
+    read_pod_table(r, dist, count, "dist matrix");
+  }
+
+  std::vector<int32_t> pred;
+  skip_padding(r, spred.off);
+  read_pod_table(r, pred, count, "pred table");
+
+  std::vector<int8_t> pass;
+  skip_padding(r, spass.off);
+  read_pod_table(r, pass, count, "pass table");
+
+  validate_tables(dist.data(), pred.data(), pass.data(), rows, sm.m,
+                  /*descent=*/true);
+
+  if (kind == SnapshotPayloadKind::kAllPairs) {
+    AllPairsData data;
+    data.m = sm.m;
+    data.pred = std::move(pred);
+    data.pass = std::move(pass);
+    data.dist = Matrix(sm.m, sm.m, std::move(dist));
+    payload.data = std::move(data);
+  } else {
+    AllPairsShardData shard;
+    shard.m = sm.m;
+    shard.row_lo = sm.row_lo;
+    shard.row_hi = sm.row_hi;
+    shard.dist = std::move(dist);
+    shard.pred = std::move(pred);
+    shard.pass = std::move(pass);
+    payload.shard = std::move(shard);
+  }
+}
+
+// v5 writer: pre-serializes the variable-size sections to learn their
+// byte sizes (fixed-width tables are sized analytically), emits the index
+// with canonical 64-byte-aligned offsets, then streams sections with zero
+// padding — strictly sequential, no seeking, so it works on any ostream.
+Status save_v5(std::ostream& os, SnapshotPayloadKind kind, const Scene& scene,
+               const AllPairsData* data, const DncTree* tree,
+               const AllPairsShardView* shard, bool delta_encode,
+               uint64_t* checksum_out) {
+  BufWriter meta;
+  write_scene(meta, scene);
+  const Length* dist_ptr = nullptr;
+  const int32_t* pred_ptr = nullptr;
+  const int8_t* pass_ptr = nullptr;
+  size_t row0 = 0, rows = 0, m = 0;
+  if (kind == SnapshotPayloadKind::kAllPairs) {
+    m = data->m;
+    rows = m;
+    meta.u64(m);
+    dist_ptr = data->dist.data();
+    pred_ptr = data->pred_data();
+    pass_ptr = data->pass_data();
+  } else if (kind == SnapshotPayloadKind::kAllPairsShard) {
+    m = shard->m;
+    row0 = shard->row_lo;
+    rows = shard->row_hi - shard->row_lo;
+    meta.u64(m);
+    meta.u64(shard->row_lo);
+    meta.u64(shard->row_hi);
+    dist_ptr = shard->dist;
+    pred_ptr = shard->pred;
+    pass_ptr = shard->pass;
+  }
+  const size_t count = rows * m;
+  const bool has_tables = kind == SnapshotPayloadKind::kAllPairs ||
+                          kind == SnapshotPayloadKind::kAllPairsShard;
+
+  BufWriter tree_buf;
+  if (kind == SnapshotPayloadKind::kBoundaryTree) {
+    write_tree(tree_buf, *tree, /*version=*/5);
+  }
+
+  std::vector<uint8_t> delta_buf;
+  const bool delta = has_tables && delta_encode;
+  if (delta) {
+    encode_delta_dist(dist_ptr, row0, rows, m, scene.obstacle_vertices(),
+                      delta_buf);
+  }
+
+  std::vector<SecEntry> secs;
+  secs.push_back({kSecSceneMeta, 0, meta.buf.size()});
+  if (has_tables) {
+    secs.push_back(
+        {kSecDist, 0, delta ? delta_buf.size() : count * sizeof(Length)});
+    secs.push_back({kSecPred, 0, count * sizeof(int32_t)});
+    secs.push_back({kSecPass, 0, count * sizeof(int8_t)});
+  }
+  if (kind == SnapshotPayloadKind::kBoundaryTree) {
+    secs.push_back({kSecTree, 0, tree_buf.buf.size()});
+  }
+  uint64_t off = align64(kHeaderBytes + 8 + kIndexEntryBytes * secs.size());
+  for (SecEntry& e : secs) {
+    e.off = off;
+    off = align64(e.off + e.size);
+  }
+
+  Writer w(os);
+  w.use_v5_hash();
+  write_header(w, kind, /*version=*/5);
+  w.u32(static_cast<uint32_t>(secs.size()));
+  w.u32(delta ? kFlagDistDelta : 0);
+  for (const SecEntry& e : secs) {
+    w.u32(e.id);
+    w.u32(0);
+    w.u64(e.off);
+    w.u64(e.size);
+  }
+  static constexpr char kZeros[64] = {};
+  auto pad_to = [&](uint64_t target) {
+    RSP_CHECK(target >= w.position() && target - w.position() < 64);
+    w.bytes(kZeros, static_cast<size_t>(target - w.position()));
+  };
+  for (const SecEntry& e : secs) {
+    pad_to(e.off);
+    switch (e.id) {
+      case kSecSceneMeta:
+        w.bytes(meta.buf.data(), meta.buf.size());
+        break;
+      case kSecDist:
+        if (delta) {
+          w.bytes(delta_buf.data(), delta_buf.size());
+        } else if constexpr (kHostLittleEndian) {
+          w.bytes(dist_ptr, count * sizeof(Length));
+        } else {
+          for (size_t i = 0; i < count; ++i) w.i64(dist_ptr[i]);
+        }
+        break;
+      case kSecPred:
+        if constexpr (kHostLittleEndian) {
+          w.bytes(pred_ptr, count * sizeof(int32_t));
+        } else {
+          for (size_t i = 0; i < count; ++i) w.i32(pred_ptr[i]);
+        }
+        break;
+      case kSecPass:
+        w.bytes(pass_ptr, count * sizeof(int8_t));
+        break;
+      case kSecTree:
+        w.bytes(tree_buf.buf.data(), tree_buf.buf.size());
+        break;
+    }
+  }
+  return write_footer(w, os, checksum_out);
 }
 
 }  // namespace
@@ -803,44 +1467,89 @@ std::optional<SnapshotPayloadKind> payload_kind_from_name(
   return std::nullopt;
 }
 
+namespace {
+
+// Writer-side option validation: a version we cannot write, or a payload
+// kind the requested version does not know, is a programming error.
+Status check_save_options(const SnapshotSaveOptions& opt,
+                          SnapshotPayloadKind kind) {
+  if (opt.format_version < kSnapshotMinReadVersion ||
+      opt.format_version > kSnapshotFormatVersion) {
+    return Status::Internal("save_snapshot: unwritable format version");
+  }
+  if (kind == SnapshotPayloadKind::kBoundaryTree && opt.format_version < 2) {
+    return Status::Internal(
+        "save_snapshot: boundary-tree payloads need format version >= 2");
+  }
+  if (kind == SnapshotPayloadKind::kAllPairsShard && opt.format_version < 4) {
+    return Status::Internal(
+        "save_snapshot: shard payloads need format version >= 4");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 Status save_snapshot(std::ostream& os, const Scene& scene,
-                     const AllPairsData* data) {
+                     const AllPairsData* data, const SnapshotSaveOptions& opt) {
   if (data != nullptr && data->m != 4 * scene.num_obstacles()) {
     return Status::Internal("save_snapshot: AllPairsData does not belong to scene");
   }
+  const SnapshotPayloadKind kind =
+      data ? SnapshotPayloadKind::kAllPairs : SnapshotPayloadKind::kSceneOnly;
+  if (Status st = check_save_options(opt, kind); !st.ok()) return st;
+  if (opt.format_version >= 5) {
+    return save_v5(os, kind, scene, data, nullptr, nullptr, opt.delta_encode,
+                   nullptr);
+  }
   Writer w(os);
-  write_header(w, data ? SnapshotPayloadKind::kAllPairs
-                       : SnapshotPayloadKind::kSceneOnly);
+  write_header(w, kind, opt.format_version);
   write_scene(w, scene);
   if (data != nullptr) write_all_pairs(w, *data);
   return write_footer(w, os);
 }
 
 Status save_snapshot(std::ostream& os, const Scene& scene,
-                     const DncTree& tree) {
+                     const DncTree& tree, const SnapshotSaveOptions& opt) {
   if (tree.nodes.empty() ||
       tree.nodes[0].region.vertices() != scene.container().vertices()) {
     return Status::Internal(
         "save_snapshot: DncTree does not belong to scene");
   }
+  if (Status st = check_save_options(opt, SnapshotPayloadKind::kBoundaryTree);
+      !st.ok()) {
+    return st;
+  }
+  if (opt.format_version >= 5) {
+    return save_v5(os, SnapshotPayloadKind::kBoundaryTree, scene, nullptr,
+                   &tree, nullptr, opt.delta_encode, nullptr);
+  }
   Writer w(os);
-  write_header(w, SnapshotPayloadKind::kBoundaryTree);
+  write_header(w, SnapshotPayloadKind::kBoundaryTree, opt.format_version);
   write_scene(w, scene);
-  write_tree(w, tree);
+  write_tree(w, tree, opt.format_version);
   return write_footer(w, os);
 }
 
 Status save_snapshot(std::ostream& os, const Scene& scene,
-                     const AllPairsShardView& shard,
-                     uint64_t* payload_checksum) {
+                     const AllPairsShardView& shard, uint64_t* payload_checksum,
+                     const SnapshotSaveOptions& opt) {
   if (shard.m != 4 * scene.num_obstacles() || shard.row_lo >= shard.row_hi ||
       shard.row_hi > shard.m || shard.dist == nullptr ||
       shard.pred == nullptr || shard.pass == nullptr) {
     return Status::Internal(
         "save_snapshot: AllPairsShardView does not belong to scene");
   }
+  if (Status st = check_save_options(opt, SnapshotPayloadKind::kAllPairsShard);
+      !st.ok()) {
+    return st;
+  }
+  if (opt.format_version >= 5) {
+    return save_v5(os, SnapshotPayloadKind::kAllPairsShard, scene, nullptr,
+                   nullptr, &shard, opt.delta_encode, payload_checksum);
+  }
   Writer w(os);
-  write_header(w, SnapshotPayloadKind::kAllPairsShard);
+  write_header(w, SnapshotPayloadKind::kAllPairsShard, opt.format_version);
   write_scene(w, scene);
   write_shard(w, shard);
   return write_footer(w, os, payload_checksum);
@@ -852,16 +1561,290 @@ Result<SnapshotPayload> load_snapshot(std::istream& is) {
     SnapshotPayload payload;
     const Header h = read_header(r);
     payload.kind = h.kind;
-    payload.scene = read_scene(r);
-    if (payload.kind == SnapshotPayloadKind::kAllPairs) {
-      payload.data = read_all_pairs(r, payload.scene);
-    } else if (payload.kind == SnapshotPayloadKind::kBoundaryTree) {
-      payload.tree = read_tree(r, payload.scene, h.version);
-    } else if (payload.kind == SnapshotPayloadKind::kAllPairsShard) {
-      payload.shard = read_shard(r, payload.scene);
+    if (h.version >= 5) {
+      r.use_v5_hash();
+      read_v5_body(r, h.kind, payload);
+    } else {
+      payload.scene = read_scene(r);
+      if (payload.kind == SnapshotPayloadKind::kAllPairs) {
+        payload.data = read_all_pairs(r, payload.scene);
+      } else if (payload.kind == SnapshotPayloadKind::kBoundaryTree) {
+        payload.tree = read_tree(r, payload.scene, h.version);
+      } else if (payload.kind == SnapshotPayloadKind::kAllPairsShard) {
+        payload.shard = read_shard(r, payload.scene);
+      }
     }
     payload.payload_checksum = check_footer(r);
     r.return_unused_to_stream();
+    return payload;
+  } catch (const SnapshotError& e) {
+    return e.status;
+  } catch (const std::exception& e) {
+    return Status::CorruptSnapshot(std::string("snapshot load failed: ") + e.what());
+  }
+}
+
+Result<SnapshotPayload> load_snapshot_mapped(const std::string& path) {
+  auto map = std::make_shared<MappedFile>();
+  if (Status st = map->map(path); !st.ok()) return st;
+  const uint8_t* base = map->data();
+  const size_t fsize = map->size();
+  try {
+    if (fsize < kHeaderBytes + 8) {
+      fail_corrupt("truncated snapshot (smaller than header + footer)");
+    }
+    const Header h = parse_header_bytes(base);
+    if (h.version < 5 || h.kind == SnapshotPayloadKind::kBoundaryTree) {
+      // No flat aligned tables to adopt: decode eagerly, straight from the
+      // mapped bytes (still saves the read syscalls; the mapping dies with
+      // this scope since the eager payload owns copies of everything).
+      MemoryStreamBuf sb(base, fsize);
+      std::istream ms(&sb);
+      return load_snapshot(ms);
+    }
+
+    // Parse and bounds-check the index against the real file size BEFORE
+    // hashing, so truncation is reported precisely and nothing past the
+    // mapping is ever dereferenced.
+    auto le32 = [&](size_t off) {
+      uint32_t v = 0;
+      for (size_t i = 0; i < 4; ++i) v |= static_cast<uint32_t>(base[off + i]) << (8 * i);
+      return v;
+    };
+    auto le64 = [&](size_t off) {
+      uint64_t v = 0;
+      for (size_t i = 0; i < 8; ++i) v |= static_cast<uint64_t>(base[off + i]) << (8 * i);
+      return v;
+    };
+    const uint64_t region_end = fsize - 8;  // footer
+    const uint32_t nsec = le32(kHeaderBytes);
+    if (nsec == 0 || nsec > 8) fail_corrupt("snapshot section count out of range");
+    if (kHeaderBytes + 8 + kIndexEntryBytes * uint64_t{nsec} > region_end) {
+      fail_corrupt("truncated snapshot (section index past end of file)");
+    }
+    const uint32_t flags = le32(kHeaderBytes + 4);
+    std::vector<SecEntry> raw_secs(nsec);
+    for (size_t i = 0; i < nsec; ++i) {
+      const size_t e = kHeaderBytes + 8 + kIndexEntryBytes * i;
+      raw_secs[i].id = le32(e);
+      if (le32(e + 4) != 0) fail_corrupt("section reserved bits set");
+      raw_secs[i].off = le64(e + 8);
+      raw_secs[i].size = le64(e + 16);
+    }
+    const V5Index idx = validate_v5_index(h.kind, flags, std::move(raw_secs));
+    const SecEntry& last = idx.secs.back();
+    if (last.off + last.size > region_end) {
+      fail_corrupt("truncated snapshot (section past end of file)");
+    }
+    const bool delta = (idx.flags & kFlagDistDelta) != 0;
+
+    // One sequential pass verifies the whole checksummed region (index,
+    // padding, sections); everything after this trusts the artifact.
+    //
+    // The table range scans ride along in the same pass: hashing and
+    // validation each stream the full region, and at multi-gigabyte
+    // sizes the second DRAM sweep — not the arithmetic — is what a
+    // starting replica waits on. The sweep works in L2-sized chunks,
+    // hashing a chunk and then range-checking its table overlap while
+    // the bytes are still cache-resident. Checks against runtime bounds
+    // can't run yet (m is inside the still-unverified scene section),
+    // so the pred check accumulates max(entry + 1) and is compared
+    // against m after the scene decodes; dist (> kInf) and pass
+    // (outside [-1, 3]) check against constants inline.
+    StripeHash hash;
+    uint64_t bad = 0;
+    uint32_t pred_max = 0;
+    const bool fused =
+        kHostLittleEndian && h.kind != SnapshotPayloadKind::kSceneOnly;
+    if (fused) {
+      auto check_dist = [&](const uint8_t* p, size_t n) {
+        uint64_t acc = 0;
+        for (size_t i = 0; i + 8 <= n; i += 8) {
+          uint64_t w;
+          std::memcpy(&w, p + i, 8);
+          acc |= static_cast<uint64_t>(w > static_cast<uint64_t>(kInf));
+        }
+        bad |= acc;
+      };
+      auto check_pred = [&](const uint8_t* p, size_t n) {
+        uint32_t acc = 0;
+        for (size_t i = 0; i + 4 <= n; i += 4) {
+          uint32_t w;
+          std::memcpy(&w, p + i, 4);
+          acc = std::max(acc, w + 1);  // valid iff (entry + 1) <= m
+        }
+        pred_max = std::max(pred_max, acc);
+      };
+      auto check_pass = [&](const uint8_t* p, size_t n) {
+        constexpr uint64_t k01 = 0x0101010101010101ULL;
+        constexpr uint64_t k7B = k01 * 0x7B;
+        constexpr uint64_t k7F = k01 * 0x7F;
+        constexpr uint64_t k80 = k01 * 0x80;
+        uint64_t acc = 0;
+        size_t i = 0;
+        for (; i + 8 <= n; i += 8) {
+          uint64_t w;
+          std::memcpy(&w, p + i, 8);
+          // x = per-byte (v + 1), carry-free; a byte is bad iff x > 4.
+          const uint64_t x = ((w & k7F) + k01) ^ (w & k80);
+          acc |= (x | ((x & k7F) + k7B)) & k80;
+        }
+        for (; i < n; ++i) {
+          const int16_t v = static_cast<int8_t>(p[i]);
+          acc |= static_cast<uint64_t>(
+              static_cast<uint8_t>(static_cast<int16_t>(v + 1)) > 4);
+        }
+        bad |= acc;
+      };
+      const uint64_t dist_lo = idx.secs[1].off;
+      const uint64_t dist_hi = dist_lo + idx.secs[1].size;
+      const uint64_t pred_lo = idx.secs[2].off;
+      const uint64_t pred_hi = pred_lo + idx.secs[2].size;
+      const uint64_t pass_lo = idx.secs[3].off;
+      const uint64_t pass_hi = pass_lo + idx.secs[3].size;
+      constexpr uint64_t kChunk = uint64_t{256} << 10;
+      for (uint64_t pos = kHeaderBytes; pos < region_end;) {
+        const uint64_t end = std::min(pos + kChunk, region_end);
+        hash.update(base + pos, static_cast<size_t>(end - pos));
+        auto overlap = [&](uint64_t lo, uint64_t hi, auto&& chk) {
+          const uint64_t s = std::max(pos, lo), e = std::min(end, hi);
+          if (s < e) chk(base + s, static_cast<size_t>(e - s));
+        };
+        // Sections are 64-byte aligned and chunk edges stay 8-byte
+        // aligned, so no dist/pred entry straddles a chunk boundary.
+        if (!delta) overlap(dist_lo, dist_hi, check_dist);
+        overlap(pred_lo, pred_hi, check_pred);
+        overlap(pass_lo, pass_hi, check_pass);
+        pos = end;
+      }
+    } else {
+      hash.update(base + kHeaderBytes,
+                  static_cast<size_t>(region_end) - kHeaderBytes);
+    }
+    if (hash.finish() != le64(static_cast<size_t>(region_end))) {
+      fail_corrupt("payload checksum mismatch");
+    }
+
+    SnapshotPayload payload;
+    payload.kind = h.kind;
+    payload.payload_checksum = le64(static_cast<size_t>(region_end));
+
+    SceneMeta sm;
+    {
+      MemoryStreamBuf sb(base + idx.secs[0].off,
+                         static_cast<size_t>(idx.secs[0].size));
+      std::istream ms(&sb);
+      Reader sr(ms);
+      sm = read_scene_meta(sr, h.kind);
+      if (sr.consumed() != idx.secs[0].size) {
+        fail_corrupt("scene section size mismatch");
+      }
+    }
+    payload.scene = std::move(sm.scene);
+    if (h.kind == SnapshotPayloadKind::kSceneOnly) return payload;
+
+    const size_t rows = sm.row_hi - sm.row_lo;
+    const size_t count = rows * sm.m;
+    const SecEntry& sdist = idx.secs[1];
+    const SecEntry& spred = idx.secs[2];
+    const SecEntry& spass = idx.secs[3];
+    if (spred.size != count * sizeof(int32_t)) {
+      fail_corrupt("pred section size mismatch");
+    }
+    if (spass.size != count * sizeof(int8_t)) {
+      fail_corrupt("pass section size mismatch");
+    }
+    if (!delta && sdist.size != count * sizeof(Length)) {
+      fail_corrupt("dist section size mismatch");
+    }
+
+    // Adopt pred/pass (and raw dist) in place — the 64-byte section
+    // alignment plus the page-aligned mapping make the casts well-formed.
+    // The wire format is little-endian, so a big-endian host decodes
+    // copies instead. Range checks already ran fused into the checksum
+    // sweep above (they bound what any downstream indexing can touch);
+    // the O(m^2) descent recheck is the one check traded away on this
+    // path — see validate_tables.
+    const Length* dist_view = nullptr;
+    const int32_t* pred_view = nullptr;
+    const int8_t* pass_view = nullptr;
+    std::vector<Length> dist_own;
+    std::vector<int32_t> pred_own;
+    std::vector<int8_t> pass_own;
+    if (delta) {
+      decode_delta_dist(base + sdist.off, static_cast<size_t>(sdist.size),
+                        sm.row_lo, rows, sm.m,
+                        payload.scene.obstacle_vertices(), dist_own);
+    }
+    if constexpr (kHostLittleEndian) {
+      if (!delta) dist_view = reinterpret_cast<const Length*>(base + sdist.off);
+      pred_view = reinterpret_cast<const int32_t*>(base + spred.off);
+      pass_view = reinterpret_cast<const int8_t*>(base + spass.off);
+    } else {
+      if (!delta) {
+        MemoryStreamBuf sb(base + sdist.off, static_cast<size_t>(sdist.size));
+        std::istream ms(&sb);
+        Reader sr(ms);
+        read_pod_table(sr, dist_own, count, "dist matrix");
+      }
+      MemoryStreamBuf pb(base + spred.off, static_cast<size_t>(spred.size));
+      std::istream pms(&pb);
+      Reader pr(pms);
+      read_pod_table(pr, pred_own, count, "pred table");
+      pass_own.assign(reinterpret_cast<const int8_t*>(base + spass.off),
+                      reinterpret_cast<const int8_t*>(base + spass.off) + count);
+    }
+    const Length* dist_p = dist_view ? dist_view : dist_own.data();
+    const int32_t* pred_p = pred_view ? pred_view : pred_own.data();
+    const int8_t* pass_p = pass_view ? pass_view : pass_own.data();
+    if (!fused) {
+      // Big-endian host: the fused sweep didn't run; scan the decoded
+      // copies the portable way.
+      validate_tables(dist_p, pred_p, pass_p, rows, sm.m, /*descent=*/false);
+    } else if (bad != 0 || static_cast<uint64_t>(pred_max) > sm.m) {
+      // The fused sweep only accumulates a verdict; rescan per-table
+      // for the precise error message (throws on the offending entry).
+      validate_tables(dist_p, pred_p, pass_p, rows, sm.m, /*descent=*/false);
+      fail_corrupt("table entry out of range");
+    }
+
+    if (h.kind == SnapshotPayloadKind::kAllPairs) {
+      AllPairsData data;
+      data.m = sm.m;
+      if (dist_view != nullptr) {
+        data.dist = Matrix(sm.m, sm.m, dist_view, map);
+      } else {
+        data.dist = Matrix(sm.m, sm.m, std::move(dist_own));
+      }
+      if (pred_view != nullptr) {
+        data.pred_view = pred_view;
+        data.pass_view = pass_view;
+        data.arena = map;
+      } else {
+        data.pred = std::move(pred_own);
+        data.pass = std::move(pass_own);
+      }
+      payload.data = std::move(data);
+    } else {
+      AllPairsShardData shard;
+      shard.m = sm.m;
+      shard.row_lo = sm.row_lo;
+      shard.row_hi = sm.row_hi;
+      if (dist_view != nullptr) {
+        shard.dist_view = dist_view;
+      } else {
+        shard.dist = std::move(dist_own);
+      }
+      if (pred_view != nullptr) {
+        shard.pred_view = pred_view;
+        shard.pass_view = pass_view;
+      } else {
+        shard.pred = std::move(pred_own);
+        shard.pass = std::move(pass_own);
+      }
+      if (dist_view != nullptr || pred_view != nullptr) shard.arena = map;
+      payload.shard = std::move(shard);
+    }
     return payload;
   } catch (const SnapshotError& e) {
     return e.status;
@@ -878,17 +1861,41 @@ Result<SnapshotInfo> read_snapshot_info(std::istream& is) {
     const Header h = read_header(r);
     info.format_version = h.version;
     info.kind = h.kind;
-    Scene scene = read_scene(r);
-    info.num_obstacles = scene.num_obstacles();
-    info.num_container_vertices = scene.container().vertices().size();
-    if (info.kind == SnapshotPayloadKind::kAllPairs) {
-      info.num_vertices = static_cast<size_t>(r.u64("vertex count m"));
-    } else if (info.kind == SnapshotPayloadKind::kBoundaryTree) {
-      info.num_tree_nodes = static_cast<size_t>(r.u64("tree node count"));
-    } else if (info.kind == SnapshotPayloadKind::kAllPairsShard) {
-      info.num_vertices = static_cast<size_t>(r.u64("shard vertex count m"));
-      info.row_lo = static_cast<size_t>(r.u64("shard row_lo"));
-      info.row_hi = static_cast<size_t>(r.u64("shard row_hi"));
+    if (h.version >= 5) {
+      const V5Index idx = read_v5_index(r, h.kind);
+      for (const SecEntry& e : idx.secs) {
+        if (e.id == kSecDist) {
+          info.dist_section_bytes = e.size;
+          info.dist_delta_encoded = (idx.flags & kFlagDistDelta) != 0;
+        }
+      }
+      skip_padding(r, idx.secs[0].off);
+      const SceneMeta sm = read_scene_meta(r, h.kind);
+      info.num_obstacles = sm.scene.num_obstacles();
+      info.num_container_vertices = sm.scene.container().vertices().size();
+      info.num_vertices = sm.m;
+      if (h.kind == SnapshotPayloadKind::kAllPairsShard) {
+        info.row_lo = sm.row_lo;
+        info.row_hi = sm.row_hi;
+      }
+      if (h.kind == SnapshotPayloadKind::kBoundaryTree) {
+        // The node count leads the tree section.
+        skip_padding(r, idx.secs[1].off);
+        info.num_tree_nodes = static_cast<size_t>(r.u64("tree node count"));
+      }
+    } else {
+      Scene scene = read_scene(r);
+      info.num_obstacles = scene.num_obstacles();
+      info.num_container_vertices = scene.container().vertices().size();
+      if (info.kind == SnapshotPayloadKind::kAllPairs) {
+        info.num_vertices = static_cast<size_t>(r.u64("vertex count m"));
+      } else if (info.kind == SnapshotPayloadKind::kBoundaryTree) {
+        info.num_tree_nodes = static_cast<size_t>(r.u64("tree node count"));
+      } else if (info.kind == SnapshotPayloadKind::kAllPairsShard) {
+        info.num_vertices = static_cast<size_t>(r.u64("shard vertex count m"));
+        info.row_lo = static_cast<size_t>(r.u64("shard row_lo"));
+        info.row_hi = static_cast<size_t>(r.u64("shard row_hi"));
+      }
     }
     // Pure peek on a seekable stream: rewind to where the snapshot began
     // so the caller can hand the same stream straight to load_snapshot.

@@ -15,7 +15,27 @@
 //                              format version >= 2; 3 = scene + one
 //                              all-pairs row shard, requires version >= 4)
 //   [ 3] reserved         zero
-//   ---- checksummed payload ----
+//   ---- checksummed region (v5: index + padding + sections; v1..v4: the
+//        sequential payload) ----
+//   v5 layout:
+//   [ 4] section count    u32
+//   [ 4] flags            u32 (bit 0: dist section is delta-encoded)
+//   [24 x count] index    per section: id u32, reserved u32 (zero),
+//                         absolute file offset u64, byte size u64.
+//                         Section ids: 1 scene+meta, 2 dist, 3 pred,
+//                         4 pass, 5 boundary-tree blob. Offsets are
+//                         64-byte aligned and strictly increasing; the
+//                         gaps are zero padding (checksummed).
+//   [..] sections         scene+meta: the scene encoding, then (all-pairs)
+//                         u64 m, or (shard) u64 m, u64 row_lo, u64 row_hi.
+//                         dist: raw i64 entries, or — when flag bit 0 is
+//                         set — one zig-zag LEB128 varint per entry
+//                         holding dist(a,b) minus the L1 distance of the
+//                         endpoint vertices (the paper's lower bound, so
+//                         honest residuals are small non-negatives and
+//                         most entries take 1-2 bytes). pred: raw i32.
+//                         pass: raw i8. tree blob: the v3+ tree encoding.
+//   v1..v4 layout (sequential, no index):
 //   [..] scene            container vertex cycle, then obstacle rects
 //   [..] all-pairs state  (kind 1 only) m, dist (i64), pred (i32), pass (i8)
 //   [..] boundary tree    (kind 2 only) node count, then each node in
@@ -32,18 +52,25 @@
 //                         row-major slices of the three tables restricted
 //                         to source rows [row_lo, row_hi): dist (i64),
 //                         pred (i32), pass (i8), each (row_hi-row_lo) x m
-//   ---- end of payload ----
-//   [ 8] checksum         u64: 4-lane interleaved FNV-1a over the payload
-//                         64-bit LE words (word i -> lane i mod 4, final
-//                         partial word zero-padded, lanes FNV-folded)
+//   ---- end of checksummed region ----
+//   [ 8] checksum         u64 over the region's 64-bit LE words, final
+//                         partial word zero-padded, lanes FNV-folded at
+//                         finish. v1..v4: 4-lane interleaved FNV-1a
+//                         (word i -> lane i mod 4). v5: 8 rotate-XOR
+//                         lanes (word i -> lane i mod 8 as
+//                         h = rotl(h, 27) ^ w) — no multiply in the hot
+//                         loop, so the mmap open's single verification
+//                         pass runs at memory speed
 //
 // Version history: v1 wrote kinds 0 and 1 only; v2 added the boundary-tree
 // kind; v3 Monge-compresses the boundary-tree port matrices (dense v1/v2
-// snapshots still load — their ports are compressed on load by the same
-// deterministic encoder the builder runs); v4 adds the all-pairs row-shard
-// kind for fleet deployments (io/manifest.h names a shard set and
-// Engine::open mounts the union). This build writes v4 and reads v1..v4;
-// the payload encodings of the pre-existing kinds are unchanged.
+// snapshots still load); v4 adds the all-pairs row-shard kind for fleet
+// deployments (io/manifest.h names a shard set and Engine::open mounts the
+// union); v5 adds the section index + 64-byte alignment so
+// load_snapshot_mapped can mmap the file and adopt the bulk tables in
+// place, and delta-encodes the dominant dist table against the L1 lower
+// bound. This build writes v5 (SnapshotSaveOptions can pin an older
+// version for fixtures) and reads v1..v5.
 //
 // The all-pairs section is exactly the O(n^2) product of the §9 build
 // (AllPairsData: the V_R-to-V_R length matrix plus predecessor/pass
@@ -68,6 +95,7 @@
 #include <iosfwd>
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -78,7 +106,7 @@
 
 namespace rsp {
 
-inline constexpr uint32_t kSnapshotFormatVersion = 4;
+inline constexpr uint32_t kSnapshotFormatVersion = 5;
 // Oldest format version this build still reads.
 inline constexpr uint32_t kSnapshotMinReadVersion = 1;
 
@@ -97,10 +125,22 @@ const char* payload_kind_name(SnapshotPayloadKind kind);
 std::optional<SnapshotPayloadKind> payload_kind_from_name(
     std::string_view name);
 
+// Writer-side knobs. The defaults are what this build ships; tests pin
+// `format_version` to write fixtures for the cross-version load matrix.
+struct SnapshotSaveOptions {
+  // Delta-encode the dist table against the L1 lower bound (v5 only;
+  // ignored for older format versions, which have no delta encoding).
+  bool delta_encode = true;
+  // Format version to write, in [kSnapshotMinReadVersion,
+  // kSnapshotFormatVersion]. Each payload kind still needs the version
+  // that introduced it (tree >= 2, shard >= 4).
+  uint32_t format_version = kSnapshotFormatVersion;
+};
+
 // Save-side view of one all-pairs row shard: borrowed row-major slices of
 // the full tables, each spanning source rows [row_lo, row_hi) x all m
-// columns. Engine::save_sharded builds these over the resident tables so
-// the k shard writers never copy the O(m^2) state.
+// columns. Engine::save with .shards > 0 builds these over the resident
+// tables so the k shard writers never copy the O(m^2) state.
 struct AllPairsShardView {
   size_t m = 0;
   size_t row_lo = 0, row_hi = 0;
@@ -109,14 +149,23 @@ struct AllPairsShardView {
   const int8_t* pass = nullptr;   // (row_hi - row_lo) * m entries
 };
 
-// Load-side owning form of the same slice.
+// Load-side form of the same slice. Owning by default; a mapped load
+// leaves the vectors empty and points the views into the mapping kept
+// alive by `arena` (all readers go through the *_data() accessors).
 struct AllPairsShardData {
   size_t m = 0;
   size_t row_lo = 0, row_hi = 0;
   std::vector<Length> dist;
   std::vector<int32_t> pred;
   std::vector<int8_t> pass;
+  const Length* dist_view = nullptr;
+  const int32_t* pred_view = nullptr;
+  const int8_t* pass_view = nullptr;
+  std::shared_ptr<const void> arena;
   size_t rows() const { return row_hi - row_lo; }
+  const Length* dist_data() const { return dist_view ? dist_view : dist.data(); }
+  const int32_t* pred_data() const { return pred_view ? pred_view : pred.data(); }
+  const int8_t* pass_data() const { return pass_view ? pass_view : pass.data(); }
 };
 
 // What a snapshot restores to. `data` is engaged iff kind == kAllPairs;
@@ -144,6 +193,10 @@ struct SnapshotInfo {
   size_t num_vertices = 0;    // m (all-pairs and shard snapshots)
   size_t num_tree_nodes = 0;  // recursion nodes (boundary-tree only)
   size_t row_lo = 0, row_hi = 0;  // source-row range (shard snapshots only)
+  // v5 only (zero/false for older versions): on-disk size of the dist
+  // section and whether it is delta-encoded.
+  uint64_t dist_section_bytes = 0;
+  bool dist_delta_encoded = false;
 };
 
 // Writes a snapshot of `scene` (and, when non-null, the built all-pairs
@@ -151,13 +204,14 @@ struct SnapshotInfo {
 // (data->m == 4 * scene.num_obstacles()). Stream failures come back as
 // StatusCode::kIoError.
 Status save_snapshot(std::ostream& os, const Scene& scene,
-                     const AllPairsData* data);
+                     const AllPairsData* data,
+                     const SnapshotSaveOptions& opt = {});
 
 // Writes a boundary-tree snapshot (SnapshotPayloadKind::kBoundaryTree):
 // the scene plus the retained recursion tree. `tree` must have been built
 // for `scene` (load re-validates every structural invariant).
 Status save_snapshot(std::ostream& os, const Scene& scene,
-                     const DncTree& tree);
+                     const DncTree& tree, const SnapshotSaveOptions& opt = {});
 
 // Writes one all-pairs row shard (SnapshotPayloadKind::kAllPairsShard).
 // The view must belong to `scene` (m == 4 * obstacles, 0 <= row_lo <
@@ -167,7 +221,8 @@ Status save_snapshot(std::ostream& os, const Scene& scene,
 // file even when the file is internally consistent.
 Status save_snapshot(std::ostream& os, const Scene& scene,
                      const AllPairsShardView& shard,
-                     uint64_t* payload_checksum = nullptr);
+                     uint64_t* payload_checksum = nullptr,
+                     const SnapshotSaveOptions& opt = {});
 
 // Reads a snapshot back. Never throws: malformed input of any kind maps
 // to a non-OK Status as documented above. On success a seekable stream is
@@ -175,6 +230,20 @@ Status save_snapshot(std::ostream& os, const Scene& scene,
 // snapshots in one stream compose; on error (and for non-seekable
 // streams) the position is unspecified.
 Result<SnapshotPayload> load_snapshot(std::istream& is);
+
+// Replica fast path: maps `path` (MAP_PRIVATE, read-only) and adopts the
+// bulk tables in place — the index is bounds-checked against the actual
+// file size, the whole checksummed region is verified once, and then
+// pred/pass (and raw dist) become views into the mapping instead of
+// copies; a delta-encoded dist decodes into owned storage. The payload's
+// arena keeps the mapping alive for the tables' lifetime. Pre-v5 files
+// (and boundary-tree payloads, which have no flat tables to adopt) fall
+// back to the eager decoder reading from the mapped bytes. Integrity of
+// the adopted tables rests on the verified checksum plus linear range
+// scans; unlike the eager path the O(m^2) pred-descent recheck is skipped
+// here — the §8 walks bound their steps instead, so even a forged-footer
+// file degrades to an error, not a hang.
+Result<SnapshotPayload> load_snapshot_mapped(const std::string& path);
 
 // Header/scene introspection (see SnapshotInfo). On success a seekable
 // stream is rewound to where the snapshot began, so it composes with a

@@ -1,6 +1,8 @@
 #pragma once
 // Dense (min,+) length matrices.
 
+#include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "common.h"
@@ -18,21 +20,42 @@ class Matrix {
       : rows_(rows), cols_(cols), data_(std::move(data)) {
     RSP_CHECK(data_.size() == rows_ * cols_);
   }
+  // Borrows external row-major storage (mmap-adopted snapshot tables);
+  // keepalive owns the backing bytes for the matrix's lifetime. Borrowed
+  // matrices are read-only.
+  Matrix(size_t rows, size_t cols, const Length* view,
+         std::shared_ptr<const void> keepalive)
+      : rows_(rows), cols_(cols), view_(view), keep_(std::move(keepalive)) {
+    RSP_CHECK(view_ != nullptr || rows_ * cols_ == 0);
+  }
 
-  // Row-major backing store (serialization; treat as an implementation
-  // detail elsewhere).
-  const std::vector<Length>& storage() const { return data_; }
+  // Row-major backing store (serialization of owned matrices; treat as an
+  // implementation detail elsewhere). Borrowed matrices have no vector to
+  // expose — use data().
+  const std::vector<Length>& storage() const {
+    RSP_CHECK(view_ == nullptr);
+    return data_;
+  }
+
+  // Row-major element pointer, valid in both owned and borrowed mode.
+  const Length* data() const { return view_ ? view_ : data_.data(); }
+  bool borrowed() const { return view_ != nullptr; }
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
-  bool empty() const { return data_.empty(); }
+  bool empty() const { return rows_ * cols_ == 0; }
 
-  Length& operator()(size_t i, size_t j) { return data_[i * cols_ + j]; }
-  Length operator()(size_t i, size_t j) const { return data_[i * cols_ + j]; }
+  Length& operator()(size_t i, size_t j) {
+    RSP_CHECK(view_ == nullptr);
+    return data_[i * cols_ + j];
+  }
+  Length operator()(size_t i, size_t j) const {
+    return data()[i * cols_ + j];
+  }
 
   Length at(size_t i, size_t j) const {
     RSP_CHECK(i < rows_ && j < cols_);
-    return data_[i * cols_ + j];
+    return data()[i * cols_ + j];
   }
 
   Matrix transposed() const {
@@ -43,12 +66,15 @@ class Matrix {
   }
 
   friend bool operator==(const Matrix& a, const Matrix& b) {
-    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ &&
+           std::equal(a.data(), a.data() + a.rows_ * a.cols_, b.data());
   }
 
  private:
   size_t rows_ = 0, cols_ = 0;
   std::vector<Length> data_;
+  const Length* view_ = nullptr;
+  std::shared_ptr<const void> keep_;
 };
 
 }  // namespace rsp

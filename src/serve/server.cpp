@@ -492,6 +492,10 @@ std::string QueryServer::stats_line() const {
      << " payload=" << engine_payload_kind(engine_)
      << " mem_bytes=" << engine_.memory_usage();
   const Engine::MemoryBreakdown mb = engine_.memory_breakdown();
+  if (mb.mapped_bytes > 0) {
+    // mmap-opened engine: mem_bytes minus this is the true resident cost.
+    os << " mapped_bytes=" << mb.mapped_bytes;
+  }
   if (mb.port_matrix_dense_bytes > 0) {
     os << " port_bytes=" << mb.port_matrix_bytes
        << " port_dense_bytes=" << mb.port_matrix_dense_bytes;
@@ -524,6 +528,7 @@ std::string QueryServer::stats_json() const {
      << "    \"backend\": \"" << backend_name(engine_.backend()) << "\",\n"
      << "    \"payload\": \"" << engine_payload_kind(engine_) << "\",\n"
      << "    \"memory_bytes\": " << engine_.memory_usage() << ",\n"
+     << "    \"mapped_bytes\": " << mb.mapped_bytes << ",\n"
      << "    \"port_matrix_bytes\": " << mb.port_matrix_bytes << ",\n"
      << "    \"port_matrix_dense_bytes\": " << mb.port_matrix_dense_bytes
      << ",\n"

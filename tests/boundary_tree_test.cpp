@@ -148,10 +148,10 @@ TEST(BoundaryTreeBackend, DeterministicAcrossSchedulerWidths) {
   Scene scene = gen_clustered(48, 19);
   std::ostringstream seq, par;
   ASSERT_TRUE(
-      Engine(scene, {.backend = Backend::kBoundaryTree}).save(seq).ok());
+      Engine(scene, {.backend = Backend::kBoundaryTree}).save(seq, {}).ok());
   ASSERT_TRUE(Engine(scene, {.backend = Backend::kBoundaryTree,
                              .num_threads = 4})
-                  .save(par)
+                  .save(par, {})
                   .ok());
   EXPECT_EQ(seq.str(), par.str());
 }
@@ -175,14 +175,14 @@ TEST(BoundaryTreeBackend, LazyBuildDefersAndBatchForcesIt) {
 std::string bt_snapshot_bytes(const Scene& scene) {
   Engine eng(scene, {.backend = Backend::kBoundaryTree});
   std::ostringstream os;
-  Status st = eng.save(os);
+  Status st = eng.save(os, {});
   EXPECT_TRUE(st.ok()) << st;
   return os.str();
 }
 
 StatusCode open_code(const std::string& bytes, EngineOptions opt = {}) {
   std::istringstream is(bytes);
-  Result<Engine> r = Engine::open(is, opt);
+  Result<Engine> r = Engine::open(is, {.engine = opt});
   EXPECT_FALSE(r.ok());
   return r.ok() ? StatusCode::kOk : r.status().code();
 }
@@ -193,7 +193,7 @@ TEST_P(BoundaryTreeSnapshotTest, RoundTripBitIdenticalLengths) {
   Scene scene = GetParam().fn(20, 37);
   Engine built(scene, {.backend = Backend::kBoundaryTree});
   std::ostringstream os;
-  ASSERT_TRUE(built.save(os).ok());
+  ASSERT_TRUE(built.save(os, {}).ok());
   const std::string bytes = os.str();
 
   {
@@ -207,7 +207,7 @@ TEST_P(BoundaryTreeSnapshotTest, RoundTripBitIdenticalLengths) {
   }
 
   std::istringstream is(bytes);
-  Result<Engine> loaded = Engine::open(is);  // kAuto adopts the payload
+  Result<Engine> loaded = Engine::open(is, {});  // kAuto adopts the payload
   ASSERT_TRUE(loaded.ok()) << loaded.status();
   EXPECT_EQ(loaded->backend(), Backend::kBoundaryTree);
   EXPECT_TRUE(loaded->built());
@@ -225,7 +225,7 @@ TEST_P(BoundaryTreeSnapshotTest, RoundTripBitIdenticalLengths) {
   // A re-save of the loaded engine is byte-identical: nothing is lost or
   // reordered by the round trip.
   std::ostringstream os2;
-  ASSERT_TRUE(loaded->save(os2).ok());
+  ASSERT_TRUE(loaded->save(os2, {}).ok());
   EXPECT_EQ(bytes, os2.str());
 }
 
@@ -236,18 +236,18 @@ INSTANTIATE_TEST_SUITE_P(AllGens, BoundaryTreeSnapshotTest,
                          });
 
 TEST(BoundaryTreeSnapshot, V1SceneOnlySnapshotStillLoads) {
-  // The version field is outside the checksum, so we can age a freshly
-  // written scene-only snapshot down to format v1 — exactly the bytes a
-  // v1 build would have produced — and it must still open.
-  Engine dij(gen_uniform(8, 13), {.backend = Backend::kDijkstraBaseline});
+  // The writer can pin the legacy format, producing exactly the bytes a
+  // v1 build would have — and they must still open.
+  Scene s = gen_uniform(8, 13);
   std::ostringstream os;
-  ASSERT_TRUE(dij.save(os).ok());
+  ASSERT_TRUE(
+      save_snapshot(os, s, nullptr, SnapshotSaveOptions{.format_version = 1})
+          .ok());
   std::string bytes = os.str();
-  ASSERT_EQ(bytes[8], kSnapshotFormatVersion);  // version u32 LSB
-  bytes[8] = 1;
+  ASSERT_EQ(bytes[8], 1);  // version u32 LSB
   std::istringstream is(bytes);
   Result<Engine> r =
-      Engine::open(is, {.backend = Backend::kDijkstraBaseline});
+      Engine::open(is, {.engine = {.backend = Backend::kDijkstraBaseline}});
   ASSERT_TRUE(r.ok()) << r.status();
   std::istringstream is2(bytes);
   Result<SnapshotInfo> info = read_snapshot_info(is2);
@@ -290,7 +290,7 @@ TEST(BoundaryTreeSnapshot, KindMismatchBothDirections) {
   const std::string tree_bytes = bt_snapshot_bytes(scene);
   Engine ap(scene, {.backend = Backend::kAllPairsSeq});
   std::ostringstream os;
-  ASSERT_TRUE(ap.save(os).ok());
+  ASSERT_TRUE(ap.save(os, {}).ok());
   const std::string ap_bytes = os.str();
 
   // Explicit all-pairs backend over a boundary-tree payload, and vice
@@ -302,7 +302,7 @@ TEST(BoundaryTreeSnapshot, KindMismatchBothDirections) {
   // The structure-free baseline serves either payload.
   std::istringstream is(tree_bytes);
   Result<Engine> dij =
-      Engine::open(is, {.backend = Backend::kDijkstraBaseline});
+      Engine::open(is, {.engine = {.backend = Backend::kDijkstraBaseline}});
   ASSERT_TRUE(dij.ok()) << dij.status();
   // And a kAuto open of an all-pairs payload adopts all-pairs even above
   // the size threshold (the snapshot's structure wins over the heuristic).

@@ -281,7 +281,7 @@ RouterFuzzFixture& router_fuzz() {
         testutil::unique_fixture_dir(::testing::TempDir() + "/rsp_router_fuzz");
     std::filesystem::create_directories(dir);
     std::string path = dir + "/fuzz.man";
-    Status st = eng.save_sharded(path, 3);
+    Status st = eng.save(path, {.shards = 3});
     RSP_CHECK_MSG(st.ok(), st.to_string());
     Result<ShardManifest> man = load_manifest(path);
     RSP_CHECK_MSG(man.ok(), man.status().to_string());
@@ -395,7 +395,7 @@ std::string router_fuzz_script(uint64_t seed, size_t requests) {
 }
 
 std::string router_oracle(const std::string& script) {
-  Result<Engine> eng = Engine::open(router_fuzz().man_path);
+  Result<Engine> eng = Engine::open(router_fuzz().man_path, {});
   RSP_CHECK_MSG(eng.ok(), eng.status().to_string());
   QueryServer srv(std::move(*eng), {.coalesce_window_us = 0});
   std::istringstream in(script);

@@ -48,8 +48,8 @@ Fleet& fleet() {
                                                    "/rsp_router_stress");
     std::filesystem::create_directories(dir);
     std::string path = dir + "/fleet.man";
-    Status st = eng.save_sharded(path, 3);
-    RSP_CHECK_MSG(st.ok(), "fixture save_sharded: " + st.to_string());
+    Status st = eng.save(path, {.shards = 3});
+    RSP_CHECK_MSG(st.ok(), "fixture sharded save: " + st.to_string());
     Result<ShardManifest> man = load_manifest(path);
     RSP_CHECK_MSG(man.ok(), "fixture manifest: " + man.status().to_string());
     return new Fleet{path, std::move(*man), std::move(eng)};
@@ -81,7 +81,7 @@ std::string client_script(size_t c, size_t requests) {
 // The oracle transcript of a script, computed once per script on a
 // QueryServer mounted from the same manifest.
 std::string oracle_transcript(const std::string& script) {
-  Result<Engine> eng = Engine::open(fleet().man_path);
+  Result<Engine> eng = Engine::open(fleet().man_path, {});
   RSP_CHECK_MSG(eng.ok(), "oracle mount: " + eng.status().to_string());
   QueryServer srv(std::move(*eng), {.coalesce_window_us = 0});
   std::istringstream in(script);
@@ -191,7 +191,7 @@ TEST(RouterStressTest, TcpClientsConcurrentlyMatchOracle) {
   auto& f = fleet();
   constexpr size_t kClients = 4;
   constexpr size_t kRequests = 24;
-  Result<Engine> shard_eng = Engine::open(f.man_path);
+  Result<Engine> shard_eng = Engine::open(f.man_path, {});
   ASSERT_TRUE(shard_eng.ok());
   QueryServer shard(std::move(*shard_eng));
   std::promise<uint16_t> shard_ready;

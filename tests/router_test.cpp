@@ -60,8 +60,8 @@ Fleet& fleet() {
                                                    "/rsp_router_fleet");
     std::filesystem::create_directories(dir);
     std::string path = dir + "/fleet.man";
-    Status st = eng.save_sharded(path, 3);
-    RSP_CHECK_MSG(st.ok(), "fixture save_sharded: " + st.to_string());
+    Status st = eng.save(path, {.shards = 3});
+    RSP_CHECK_MSG(st.ok(), "fixture sharded save: " + st.to_string());
     Result<ShardManifest> man = load_manifest(path);
     RSP_CHECK_MSG(man.ok(), "fixture load_manifest: " + man.status().to_string());
     auto* fx = new Fleet{path, std::move(*man), std::move(eng), {}};
@@ -98,7 +98,7 @@ std::string route_session(Router& r, const std::string& script) {
 // from the very manifest the router serves (coalescing disabled — response
 // *content* is what is compared, and it is window-independent).
 std::string direct_session(const std::string& script) {
-  Result<Engine> eng = Engine::open(fleet().man_path);
+  Result<Engine> eng = Engine::open(fleet().man_path, {});
   RSP_CHECK_MSG(eng.ok(), "oracle mount: " + eng.status().to_string());
   QueryServer srv(std::move(*eng), {.coalesce_window_us = 0});
   std::istringstream in(script);
@@ -479,7 +479,7 @@ TEST(RouterTcpTest, LoopbackFleetServesAndSurvivesAShardKill) {
   std::vector<std::unique_ptr<LiveServer>> servers;
   std::vector<ShardEndpoint> eps;
   for (int i = 0; i < 3; ++i) {
-    Result<Engine> eng = Engine::open(f.man_path);
+    Result<Engine> eng = Engine::open(f.man_path, {});
     ASSERT_TRUE(eng.ok()) << eng.status();
     servers.push_back(std::make_unique<LiveServer>(std::move(*eng)));
     eps.push_back({"127.0.0.1", servers.back()->port});
@@ -516,7 +516,7 @@ TEST(RouterTcpTest, LoopbackFleetServesAndSurvivesAShardKill) {
 
 TEST(RouterTcpTest, RouterServePortSpeaksTheWireProtocol) {
   auto& f = fleet();
-  LiveServer shard(*Engine::open(f.man_path));
+  LiveServer shard(*Engine::open(f.man_path, {}));
   // A 1-shard manifest view pointing at the live server: the router's own
   // TCP front end must carry a full session (ephemeral port, rendezvous,
   // clean shutdown) just like QueryServer::serve_port.

@@ -32,7 +32,7 @@ std::vector<PointPair> make_pairs(const Scene& scene, size_t count,
 
 std::string snapshot_bytes(const Engine& eng) {
   std::ostringstream os;
-  Status st = eng.save(os);
+  Status st = eng.save(os, {});
   EXPECT_TRUE(st.ok()) << st;
   return os.str();
 }
@@ -50,7 +50,7 @@ TEST_P(SnapshotRoundTripTest, LengthsAndPathsBitIdentical) {
   std::string bytes = snapshot_bytes(built);
 
   std::istringstream is(bytes);
-  Result<Engine> loaded = Engine::open(is, {.backend = Backend::kAllPairsSeq});
+  Result<Engine> loaded = Engine::open(is, {.engine = {.backend = Backend::kAllPairsSeq}});
   ASSERT_TRUE(loaded.ok()) << loaded.status();
   EXPECT_TRUE(loaded->built());
   EXPECT_EQ(loaded->scene().num_obstacles(), s.num_obstacles());
@@ -86,7 +86,7 @@ TEST_P(SnapshotRoundTripTest, LoadedEngineServesBatchOverScheduler) {
   std::string bytes = snapshot_bytes(built);
 
   std::istringstream is(bytes);
-  Result<Engine> loaded = Engine::open(is, {.num_threads = 4});
+  Result<Engine> loaded = Engine::open(is, {.engine = {.num_threads = 4}});
   ASSERT_TRUE(loaded.ok()) << loaded.status();
   EXPECT_EQ(loaded->num_threads(), 4u);
 
@@ -111,9 +111,9 @@ TEST(SnapshotFileTest, SaveOpenThroughFilesystem) {
   Scene s = gen_uniform(8, 9);
   Engine built(s, {});
   std::string path = ::testing::TempDir() + "/rsp_snapshot_test.rsnap";
-  ASSERT_TRUE(built.save(path).ok());
+  ASSERT_TRUE(built.save(path, {}).ok());
 
-  Result<Engine> loaded = Engine::open(path);
+  Result<Engine> loaded = Engine::open(path, {});
   ASSERT_TRUE(loaded.ok()) << loaded.status();
   auto pairs = make_pairs(s, 4, 2);
   EXPECT_EQ(*built.lengths(pairs), *loaded->lengths(pairs));
@@ -121,14 +121,14 @@ TEST(SnapshotFileTest, SaveOpenThroughFilesystem) {
 }
 
 TEST(SnapshotFileTest, MissingFileIsIoError) {
-  Result<Engine> r = Engine::open("/nonexistent/dir/x.rsnap");
+  Result<Engine> r = Engine::open("/nonexistent/dir/x.rsnap", {});
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kIoError);
 }
 
 TEST(SnapshotFileTest, UnwritablePathIsIoError) {
   Engine eng(gen_uniform(6, 1), {});
-  Status st = eng.save("/nonexistent/dir/x.rsnap");
+  Status st = eng.save("/nonexistent/dir/x.rsnap", {});
   EXPECT_EQ(st.code(), StatusCode::kIoError);
 }
 
@@ -146,7 +146,7 @@ class SnapshotNegativeTest : public ::testing::Test {
 
   StatusCode open_code(const std::string& bytes) {
     std::istringstream is(bytes);
-    Result<Engine> r = Engine::open(is);
+    Result<Engine> r = Engine::open(is, {});
     EXPECT_FALSE(r.ok());
     return r.ok() ? StatusCode::kOk : r.status().code();
   }
@@ -212,7 +212,7 @@ TEST(SnapshotMismatchTest, SceneOnlySnapshotRejectsAllPairsBackend) {
   std::string bytes;
   {
     std::ostringstream os;
-    ASSERT_TRUE(dij.save(os).ok());
+    ASSERT_TRUE(dij.save(os, {}).ok());
     bytes = os.str();
   }
   {
@@ -224,7 +224,7 @@ TEST(SnapshotMismatchTest, SceneOnlySnapshotRejectsAllPairsBackend) {
   // ...which cannot serve an all-pairs backend without a rebuild...
   {
     std::istringstream is(bytes);
-    Result<Engine> r = Engine::open(is, {.backend = Backend::kAllPairsSeq});
+    Result<Engine> r = Engine::open(is, {.engine = {.backend = Backend::kAllPairsSeq}});
     ASSERT_FALSE(r.ok());
     EXPECT_EQ(r.status().code(), StatusCode::kSnapshotMismatch);
   }
@@ -232,7 +232,7 @@ TEST(SnapshotMismatchTest, SceneOnlySnapshotRejectsAllPairsBackend) {
   {
     std::istringstream is(bytes);
     Result<Engine> r =
-        Engine::open(is, {.backend = Backend::kDijkstraBaseline});
+        Engine::open(is, {.engine = {.backend = Backend::kDijkstraBaseline}});
     ASSERT_TRUE(r.ok()) << r.status();
     auto pairs = make_pairs(r->scene(), 2, 5);
     auto d = r->lengths(pairs);
@@ -245,7 +245,7 @@ TEST(SnapshotMismatchTest, AllPairsSnapshotServesDijkstraToo) {
   Engine built(gen_uniform(6, 13), {});
   std::string bytes = snapshot_bytes(built);
   std::istringstream is(bytes);
-  Result<Engine> r = Engine::open(is, {.backend = Backend::kDijkstraBaseline});
+  Result<Engine> r = Engine::open(is, {.engine = {.backend = Backend::kDijkstraBaseline}});
   ASSERT_TRUE(r.ok()) << r.status();
   auto pairs = make_pairs(built.scene(), 4, 19);
   EXPECT_EQ(*built.lengths(pairs), *r->lengths(pairs));
@@ -273,7 +273,7 @@ TEST(SnapshotSaveTest, LazyEngineSaveForcesTheBuild) {
   std::string bytes = snapshot_bytes(eng);  // save() must warm up first
   EXPECT_TRUE(eng.built());
   std::istringstream is(bytes);
-  Result<Engine> r = Engine::open(is);
+  Result<Engine> r = Engine::open(is, {});
   ASSERT_TRUE(r.ok()) << r.status();
   EXPECT_TRUE(r->built());
 }
@@ -283,10 +283,10 @@ TEST(SnapshotStreamTest, InfoThenLoadOnOneStreamComposes) {
   // stream then loads from the snapshot's start without rewinding by hand.
   Engine eng(gen_uniform(6, 13), {});
   std::stringstream ss;
-  ASSERT_TRUE(eng.save(ss).ok());
+  ASSERT_TRUE(eng.save(ss, {}).ok());
   Result<SnapshotInfo> info = read_snapshot_info(ss);
   ASSERT_TRUE(info.ok()) << info.status();
-  Result<Engine> r = Engine::open(ss);
+  Result<Engine> r = Engine::open(ss, {});
   ASSERT_TRUE(r.ok()) << r.status();
   EXPECT_EQ(r->scene().num_obstacles(), info->num_obstacles);
 }
@@ -297,11 +297,11 @@ TEST(SnapshotStreamTest, BackToBackSnapshotsInOneStreamCompose) {
   Engine a(gen_uniform(6, 13), {});
   Engine b(gen_grid(9, 5), {});
   std::stringstream ss;
-  ASSERT_TRUE(a.save(ss).ok());
-  ASSERT_TRUE(b.save(ss).ok());
-  Result<Engine> ra = Engine::open(ss);
+  ASSERT_TRUE(a.save(ss, {}).ok());
+  ASSERT_TRUE(b.save(ss, {}).ok());
+  Result<Engine> ra = Engine::open(ss, {});
   ASSERT_TRUE(ra.ok()) << ra.status();
-  Result<Engine> rb = Engine::open(ss);
+  Result<Engine> rb = Engine::open(ss, {});
   ASSERT_TRUE(rb.ok()) << rb.status();
   EXPECT_EQ(ra->scene().num_obstacles(), a.scene().num_obstacles());
   EXPECT_EQ(rb->scene().num_obstacles(), b.scene().num_obstacles());
@@ -333,7 +333,7 @@ TEST(SnapshotSaveTest, MismatchedDataIsRejectedBySaver) {
 }
 
 // ---------------------------------------------------------------------------
-// Sharded persistence (Engine::save_sharded + io/manifest.h): round-trips,
+// Sharded persistence (Engine::save with .shards + io/manifest.h): round-trips,
 // then the negative battery — every way a shard set can be wrong must map
 // to a precise StatusCode, and a failed mount never yields a partial
 // engine (Result is all-or-nothing by construction).
@@ -364,7 +364,7 @@ std::string saved_shard_set(const std::string& name, const Scene& scene,
                                                    : Backend::kAllPairsSeq,
                             .num_threads = threads});
   std::string path = dir + "/set.man";
-  Status st = eng.save_sharded(path, k);
+  Status st = eng.save(path, {.shards = k});
   EXPECT_TRUE(st.ok()) << st;
   return path;
 }
@@ -377,7 +377,7 @@ TEST(ShardedSnapshotTest, MountedUnionIsQueryIdenticalForEveryShardCount) {
   ASSERT_TRUE(want.ok());
   for (size_t k : {size_t{1}, size_t{2}, size_t{3}, size_t{7}}) {
     std::string path = saved_shard_set("k" + std::to_string(k), s, k);
-    Result<Engine> mounted = Engine::open(path);
+    Result<Engine> mounted = Engine::open(path, {});
     ASSERT_TRUE(mounted.ok()) << "k=" << k << ": " << mounted.status();
     Result<std::vector<Length>> got = mounted->lengths(pairs);
     ASSERT_TRUE(got.ok()) << got.status();
@@ -390,25 +390,30 @@ TEST(ShardedSnapshotTest, MountedUnionIsQueryIdenticalForEveryShardCount) {
   }
 }
 
-TEST(ShardedSnapshotTest, ShardCountClampsToRowsAndZeroIsInvalid) {
+TEST(ShardedSnapshotTest, ShardCountClampsToRowsAndZeroIsMonolithic) {
   Scene s = gen_uniform(2, 13);  // m = 8 source rows
   Engine eng(Scene{s}, {.backend = Backend::kAllPairsSeq});
   std::string dir = ::testing::TempDir() + "/rsp_shardset_clamp";
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
-  EXPECT_EQ(eng.save_sharded(dir + "/set.man", 0).code(),
-            StatusCode::kInvalidQuery);
-  ASSERT_TRUE(eng.save_sharded(dir + "/set.man", 64).ok());
+  // .shards = 0 writes one monolithic snapshot, not a shard set.
+  ASSERT_TRUE(eng.save(dir + "/mono.rsnap", {.shards = 0}).ok());
+  EXPECT_FALSE(is_manifest_file(dir + "/mono.rsnap"));
+  EXPECT_TRUE(Engine::open(dir + "/mono.rsnap", {}).ok());
+  // A sharded save writes multiple files: meaningless on a stream.
+  std::ostringstream os;
+  EXPECT_EQ(eng.save(os, {.shards = 2}).code(), StatusCode::kInvalidQuery);
+  ASSERT_TRUE(eng.save(dir + "/set.man", {.shards = 64}).ok());
   Result<ShardManifest> man = load_manifest(dir + "/set.man");
   ASSERT_TRUE(man.ok()) << man.status();
   EXPECT_EQ(man->shards.size(), 8u);  // clamped: no shard may be empty
-  EXPECT_TRUE(Engine::open(dir + "/set.man").ok());
+  EXPECT_TRUE(Engine::open(dir + "/set.man", {}).ok());
 }
 
 TEST(ShardedSnapshotTest, BoundaryTreeEngineCannotShard) {
   Engine bt(gen_uniform(6, 13), {.backend = Backend::kBoundaryTree});
   std::string dir = ::testing::TempDir();
-  EXPECT_EQ(bt.save_sharded(dir + "/rsp_bt.man", 2).code(),
+  EXPECT_EQ(bt.save(dir + "/rsp_bt.man", {.shards = 2}).code(),
             StatusCode::kSnapshotMismatch);
 }
 
@@ -432,7 +437,7 @@ TEST(ShardedSnapshotTest, MissingShardFileIsIoError) {
   Result<ShardManifest> man = load_manifest(path);
   ASSERT_TRUE(man.ok());
   std::filesystem::remove(shard_file_path(path, man->shards[1]));
-  Result<Engine> r = Engine::open(path);
+  Result<Engine> r = Engine::open(path, {});
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kIoError);
   EXPECT_NE(r.status().message().find("shard 1"), std::string::npos)
@@ -448,7 +453,7 @@ TEST(ShardedSnapshotTest, TamperedShardPayloadIsCorrupt) {
   std::string bytes = file_bytes(shard2);
   bytes[bytes.size() / 2] ^= 0x40;  // flip one payload bit
   put_file(shard2, bytes);
-  Result<Engine> r = Engine::open(path);
+  Result<Engine> r = Engine::open(path, {});
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kCorruptSnapshot);
 }
@@ -466,7 +471,7 @@ TEST(ShardedSnapshotTest, SwappedButInternallyValidShardFailsTheManifestChecksum
   ASSERT_TRUE(ma.ok() && mb.ok());
   put_file(shard_file_path(pa, ma->shards[0]),
            file_bytes(shard_file_path(pb, mb->shards[0])));
-  Result<Engine> r = Engine::open(pa);
+  Result<Engine> r = Engine::open(pa, {});
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kCorruptSnapshot);
   EXPECT_NE(r.status().message().find("shard 0"), std::string::npos)
@@ -545,7 +550,7 @@ TEST(ShardedManifestTest, TextNegativesMapToPreciseCodes) {
     digits[0] = digits[0] == 'f' ? '0' : 'f';
     txt.replace(line_at, eol - line_at, line.substr(0, sp + 1) + digits);
     put_file(path, txt);
-    Result<Engine> r = Engine::open(path);
+    Result<Engine> r = Engine::open(path, {});
     ASSERT_FALSE(r.ok());
     EXPECT_EQ(r.status().code(), StatusCode::kCorruptSnapshot);
     EXPECT_NE(r.status().message().find("shard 1"), std::string::npos)
@@ -559,11 +564,11 @@ TEST(ShardedSnapshotTest, BareShardFileRefusesDirectOpen) {
   Result<ShardManifest> man = load_manifest(path);
   ASSERT_TRUE(man.ok());
   const std::string shard0 = shard_file_path(path, man->shards[0]);
-  Result<Engine> by_path = Engine::open(shard0);
+  Result<Engine> by_path = Engine::open(shard0, {});
   ASSERT_FALSE(by_path.ok());
   EXPECT_EQ(by_path.status().code(), StatusCode::kSnapshotMismatch);
   std::ifstream is(shard0, std::ios::binary);
-  Result<Engine> by_stream = Engine::open(is);
+  Result<Engine> by_stream = Engine::open(is, {});
   ASSERT_FALSE(by_stream.ok());
   EXPECT_EQ(by_stream.status().code(), StatusCode::kSnapshotMismatch);
   EXPECT_NE(by_stream.status().message().find("manifest"), std::string::npos)
@@ -573,18 +578,18 @@ TEST(ShardedSnapshotTest, BareShardFileRefusesDirectOpen) {
 TEST(ShardedSnapshotTest, ManifestMountRejectsNonRowPartitionableBackends) {
   Scene s = gen_uniform(6, 13);
   std::string path = saved_shard_set("backend", s, 3);
-  EXPECT_EQ(Engine::open(path, {.backend = Backend::kBoundaryTree})
+  EXPECT_EQ(Engine::open(path, {.engine = {.backend = Backend::kBoundaryTree}})
                 .status()
                 .code(),
             StatusCode::kSnapshotMismatch);
-  EXPECT_EQ(Engine::open(path, {.backend = Backend::kDijkstraBaseline})
+  EXPECT_EQ(Engine::open(path, {.engine = {.backend = Backend::kDijkstraBaseline}})
                 .status()
                 .code(),
             StatusCode::kSnapshotMismatch);
   // The all-pairs backends (and kAuto) all mount.
-  EXPECT_TRUE(Engine::open(path, {.backend = Backend::kAllPairsSeq}).ok());
+  EXPECT_TRUE(Engine::open(path, {.engine = {.backend = Backend::kAllPairsSeq}}).ok());
   EXPECT_TRUE(
-      Engine::open(path, {.backend = Backend::kAllPairsParallel, .num_threads = 2})
+      Engine::open(path, {.engine = {.backend = Backend::kAllPairsParallel, .num_threads = 2}})
           .ok());
 }
 

@@ -1,0 +1,438 @@
+// Snapshot format v5 (io/snapshot.h): the mmap fast path and the
+// cross-version compatibility matrix.
+//
+//  - fixtures written at every format version v1..v5 (the writer can pin
+//    format_version) load and answer identically to the engine they were
+//    saved from, through both the eager decoder and load_snapshot_mapped
+//    (which falls back to eager decode for pre-v5 files);
+//  - an mmap-opened engine is query-for-query identical to an eager open
+//    over every generator, and reports its adopted tables as mapped bytes;
+//  - the delta dist encoding round-trips exactly, including kInf rows;
+//  - truncated and tampered v5 files are rejected with kCorruptSnapshot
+//    before any adopted table is served.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "backend/boundary_tree.h"
+#include "common.h"
+#include "core/query.h"
+#include "io/gen.h"
+#include "io/snapshot.h"
+
+namespace rsp {
+namespace {
+
+std::vector<PointPair> make_pairs(const Scene& scene, size_t count,
+                                  uint64_t seed) {
+  auto pts = random_free_points(scene, 2 * count, seed);
+  std::vector<PointPair> pairs;
+  for (size_t i = 0; i + 1 < pts.size(); i += 2) {
+    pairs.push_back({pts[i], pts[i + 1]});
+  }
+  return pairs;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/rsp_v5_" + name;
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(os.good()) << path;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-version load matrix: every version this build can write must load
+// through every read path and answer identically.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotV5Test, AllPairsFixturesLoadAtEveryVersion) {
+  Scene s = gen_uniform(10, 23);
+  Engine built(Scene{s}, {.backend = Backend::kAllPairsSeq});
+  const AllPairsSP* sp = built.all_pairs();
+  ASSERT_NE(sp, nullptr);
+  auto pairs = make_pairs(s, 10, 5);
+  auto want = built.lengths(pairs);
+  ASSERT_TRUE(want.ok());
+
+  struct Fixture {
+    uint32_t version;
+    bool delta;
+  };
+  for (const Fixture f : {Fixture{1, true}, Fixture{2, true}, Fixture{3, true},
+                          Fixture{4, true}, Fixture{5, true},
+                          Fixture{5, false}}) {
+    SCOPED_TRACE("v" + std::to_string(f.version) +
+                 (f.delta ? "/delta" : "/raw"));
+    std::ostringstream os;
+    ASSERT_TRUE(save_snapshot(os, s, &sp->data(),
+                              SnapshotSaveOptions{.delta_encode = f.delta,
+                                                  .format_version = f.version})
+                    .ok());
+    const std::string bytes = os.str();
+    ASSERT_EQ(static_cast<uint8_t>(bytes[8]), f.version);
+
+    // Stream (eager) open.
+    std::istringstream is(bytes);
+    Result<Engine> eager = Engine::open(is, {});
+    ASSERT_TRUE(eager.ok()) << eager.status();
+    EXPECT_EQ(*eager->lengths(pairs), *want);
+
+    // Path open, eager and mapped (pre-v5 maps fall back to eager decode).
+    const std::string path =
+        temp_path("matrix_v" + std::to_string(f.version) +
+                  (f.delta ? "d" : "r") + ".rsnap");
+    write_file(path, bytes);
+    for (MapMode mode : {MapMode::kEager, MapMode::kMmap}) {
+      Result<Engine> r = Engine::open(path, {.map = mode});
+      ASSERT_TRUE(r.ok()) << r.status();
+      EXPECT_EQ(*r->lengths(pairs), *want);
+      EXPECT_EQ(*r->paths(pairs), *built.paths(pairs));
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SnapshotV5Test, BoundaryTreeFixturesLoadAtEveryVersion) {
+  Scene s = gen_uniform(12, 31);
+  Engine built(Scene{s}, {.backend = Backend::kBoundaryTree});
+  const BoundaryTreeSP* bt = built.boundary_tree();
+  ASSERT_NE(bt, nullptr);
+  auto pairs = make_pairs(s, 8, 9);
+  auto want = built.lengths(pairs);
+  ASSERT_TRUE(want.ok());
+
+  // v2 writes dense port matrices, v3/v4 the Monge-compressed parts, v5
+  // the indexed layout; the tree blob has no flat tables, so the mapped
+  // open decodes eagerly from the mapping for every version.
+  for (uint32_t version : {2u, 3u, 4u, 5u}) {
+    SCOPED_TRACE("v" + std::to_string(version));
+    std::ostringstream os;
+    ASSERT_TRUE(save_snapshot(os, s, bt->tree(),
+                              SnapshotSaveOptions{.format_version = version})
+                    .ok());
+    const std::string path =
+        temp_path("tree_v" + std::to_string(version) + ".rsnap");
+    write_file(path, os.str());
+    for (MapMode mode : {MapMode::kEager, MapMode::kMmap}) {
+      Result<Engine> r =
+          Engine::open(path, {.engine = {.backend = Backend::kBoundaryTree},
+                              .map = mode});
+      ASSERT_TRUE(r.ok()) << r.status();
+      EXPECT_EQ(*r->lengths(pairs), *want);
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SnapshotV5Test, ShardFixtureAtV4MatchesV5) {
+  Scene s = gen_uniform(4, 7);
+  Engine built(Scene{s}, {.backend = Backend::kAllPairsSeq});
+  const AllPairsData& data = built.all_pairs()->data();
+  const size_t m = data.m;
+  AllPairsShardView v;
+  v.m = m;
+  v.row_lo = 2;
+  v.row_hi = 10;
+  v.dist = data.dist.data() + v.row_lo * m;
+  v.pred = data.pred_data() + v.row_lo * m;
+  v.pass = data.pass_data() + v.row_lo * m;
+
+  std::optional<AllPairsShardData> got[2];
+  uint32_t versions[2] = {4, 5};
+  for (int i = 0; i < 2; ++i) {
+    std::ostringstream os;
+    ASSERT_TRUE(save_snapshot(os, s, v, nullptr,
+                              SnapshotSaveOptions{.format_version =
+                                                      versions[i]})
+                    .ok());
+    std::istringstream is(os.str());
+    Result<SnapshotPayload> p = load_snapshot(is);
+    ASSERT_TRUE(p.ok()) << "v" << versions[i] << ": " << p.status();
+    ASSERT_TRUE(p->shard.has_value());
+    got[i] = std::move(*p->shard);
+  }
+  ASSERT_EQ(got[0]->rows(), got[1]->rows());
+  const size_t cnt = got[0]->rows() * m;
+  EXPECT_TRUE(std::equal(got[0]->dist_data(), got[0]->dist_data() + cnt,
+                         got[1]->dist_data()));
+  EXPECT_TRUE(std::equal(got[0]->pred_data(), got[0]->pred_data() + cnt,
+                         got[1]->pred_data()));
+  EXPECT_TRUE(std::equal(got[0]->pass_data(), got[0]->pass_data() + cnt,
+                         got[1]->pass_data()));
+}
+
+TEST(SnapshotV5Test, WriterRejectsVersionsBelowAKindsIntroduction) {
+  Scene s = gen_uniform(4, 7);
+  Engine ap(Scene{s}, {.backend = Backend::kAllPairsSeq});
+  Engine bt(Scene{s}, {.backend = Backend::kBoundaryTree});
+  std::ostringstream os;
+  EXPECT_FALSE(save_snapshot(os, s, bt.boundary_tree()->tree(),
+                             SnapshotSaveOptions{.format_version = 1})
+                   .ok());
+  const AllPairsData& data = ap.all_pairs()->data();
+  AllPairsShardView v;
+  v.m = data.m;
+  v.row_lo = 0;
+  v.row_hi = data.m;
+  v.dist = data.dist.data();
+  v.pred = data.pred_data();
+  v.pass = data.pass_data();
+  EXPECT_FALSE(save_snapshot(os, s, v, nullptr,
+                             SnapshotSaveOptions{.format_version = 3})
+                   .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Mapped open == eager open, over every generator.
+// ---------------------------------------------------------------------------
+
+class MmapVsEagerTest : public ::testing::TestWithParam<NamedGen> {};
+
+TEST_P(MmapVsEagerTest, QueriesAndTablesAreIdentical) {
+  Scene s = GetParam().fn(12, 17);
+  Engine built(Scene{s}, {.backend = Backend::kAllPairsSeq});
+  const std::string path =
+      temp_path(std::string("gen_") + GetParam().name + ".rsnap");
+  ASSERT_TRUE(built.save(path, {}).ok());
+
+  Result<Engine> eager = Engine::open(path, {});
+  Result<Engine> mapped = Engine::open(path, {.map = MapMode::kMmap});
+  ASSERT_TRUE(eager.ok()) << eager.status();
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+
+  // The adopted tables are bit-identical to the decoded ones.
+  const AllPairsData& de = eager->all_pairs()->data();
+  const AllPairsData& dm = mapped->all_pairs()->data();
+  ASSERT_EQ(de.m, dm.m);
+  EXPECT_TRUE(de.dist == dm.dist);
+  const size_t mm = de.m * de.m;
+  EXPECT_TRUE(std::equal(de.pred_data(), de.pred_data() + mm, dm.pred_data()));
+  EXPECT_TRUE(std::equal(de.pass_data(), de.pass_data() + mm, dm.pass_data()));
+
+  // Queries through the facade agree, lengths and full polylines.
+  auto pairs = make_pairs(s, 12, 3);
+  EXPECT_EQ(*eager->lengths(pairs), *mapped->lengths(pairs));
+  EXPECT_EQ(*eager->paths(pairs), *mapped->paths(pairs));
+
+  // The delta-encoded default adopts pred + pass in place (dist decodes
+  // into owned storage); the eager engine maps nothing.
+  EXPECT_EQ(eager->memory_breakdown().mapped_bytes, 0u);
+  EXPECT_EQ(mapped->memory_breakdown().mapped_bytes,
+            mm * (sizeof(int32_t) + sizeof(int8_t)));
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGens, MmapVsEagerTest, ::testing::ValuesIn(kAllGens),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST(SnapshotV5Test, RawSnapshotAdoptsAllThreeTables) {
+  Scene s = gen_uniform(8, 11);
+  Engine built(Scene{s}, {});
+  const std::string path = temp_path("raw_adopt.rsnap");
+  ASSERT_TRUE(built.save(path, {.delta_encode = false}).ok());
+  Result<Engine> mapped = Engine::open(path, {.map = MapMode::kMmap});
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  const size_t m = mapped->all_pairs()->data().m;
+  EXPECT_EQ(mapped->memory_breakdown().mapped_bytes,
+            m * m * (sizeof(Length) + sizeof(int32_t) + sizeof(int8_t)));
+  auto pairs = make_pairs(s, 6, 2);
+  EXPECT_EQ(*built.lengths(pairs), *mapped->lengths(pairs));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotV5Test, MmapOnAStreamIsInvalidQuery) {
+  Engine eng(gen_uniform(4, 3), {});
+  std::ostringstream os;
+  ASSERT_TRUE(eng.save(os, {}).ok());
+  std::istringstream is(os.str());
+  Result<Engine> r = Engine::open(is, {.map = MapMode::kMmap});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidQuery);
+}
+
+// An mmap-opened engine serving parallel batches from several user threads
+// (the replica deployment shape). TSan builds of the suite exercise the
+// adopted-table reads for races against the shared mapping.
+TEST(SnapshotV5Test, MmapEngineServesConcurrentBatches) {
+  Scene s = gen_uniform(10, 29);
+  Engine built(Scene{s}, {.backend = Backend::kAllPairsSeq});
+  const std::string path = temp_path("concurrent.rsnap");
+  ASSERT_TRUE(built.save(path, {}).ok());
+  Result<Engine> mapped =
+      Engine::open(path, {.engine = {.num_threads = 4}, .map = MapMode::kMmap});
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+
+  auto pairs = make_pairs(s, 24, 13);
+  auto want = built.lengths(pairs);
+  ASSERT_TRUE(want.ok());
+  std::vector<std::thread> threads;
+  std::vector<int> ok(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 8; ++round) {
+        auto got = mapped->lengths(pairs);
+        if (!got.ok() || *got != *want) return;
+      }
+      ok[t] = 1;
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ok, std::vector<int>({1, 1, 1, 1}));
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Delta codec: exact round trip, including saturated (kInf) rows.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotV5Test, DeltaRoundTripIsExactIncludingInfRows) {
+  Scene s = gen_uniform(6, 19);
+  Engine built(Scene{s}, {.backend = Backend::kAllPairsSeq});
+  AllPairsData data = built.all_pairs()->data();  // owned copy
+  const size_t m = data.m;
+  // Forge a disconnected source row: saturated distances, no predecessors.
+  // The residuals against the L1 lower bound are then huge (≈ kInf), the
+  // worst case for the varint encoder.
+  for (size_t b = 1; b < m; ++b) {
+    data.dist(0, b) = kInf;
+    data.pred[b] = -1;
+    data.pass[b] = -1;
+  }
+
+  std::ostringstream os;
+  ASSERT_TRUE(save_snapshot(os, s, &data, SnapshotSaveOptions{}).ok());
+  const std::string bytes = os.str();
+
+  // Eager decode.
+  std::istringstream is(bytes);
+  Result<SnapshotPayload> eager = load_snapshot(is);
+  ASSERT_TRUE(eager.ok()) << eager.status();
+  ASSERT_TRUE(eager->data.has_value());
+  EXPECT_TRUE(eager->data->dist == data.dist);
+
+  // Mapped decode (delta dist decodes into owned storage; views elsewhere).
+  const std::string path = temp_path("inf_rows.rsnap");
+  write_file(path, bytes);
+  Result<SnapshotPayload> mapped = load_snapshot_mapped(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  ASSERT_TRUE(mapped->data.has_value());
+  EXPECT_TRUE(mapped->data->dist == data.dist);
+  const size_t mm = m * m;
+  EXPECT_TRUE(std::equal(data.pred_data(), data.pred_data() + mm,
+                         mapped->data->pred_data()));
+  EXPECT_TRUE(std::equal(data.pass_data(), data.pass_data() + mm,
+                         mapped->data->pass_data()));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotV5Test, DeltaDistSectionIsSmallerThanRaw) {
+  Scene s = gen_uniform(12, 5);
+  Engine eng(Scene{s}, {});
+  std::ostringstream delta_os, raw_os;
+  ASSERT_TRUE(eng.save(delta_os, {}).ok());
+  ASSERT_TRUE(eng.save(raw_os, {.delta_encode = false}).ok());
+  std::istringstream is(delta_os.str());
+  Result<SnapshotInfo> info = read_snapshot_info(is);
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_TRUE(info->dist_delta_encoded);
+  const uint64_t raw_bytes =
+      static_cast<uint64_t>(info->num_vertices) * info->num_vertices *
+      sizeof(Length);
+  EXPECT_GT(info->dist_section_bytes, 0u);
+  // The acceptance bar is 2x; honest scenes land far beyond it.
+  EXPECT_LT(info->dist_section_bytes * 2, raw_bytes);
+  EXPECT_LT(delta_os.str().size(), raw_os.str().size());
+}
+
+// ---------------------------------------------------------------------------
+// Tampered v5 files: the mapped open must reject before serving anything.
+// ---------------------------------------------------------------------------
+
+class MappedNegativeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Engine eng(gen_uniform(6, 13), {});
+    std::ostringstream os;
+    ASSERT_TRUE(eng.save(os, {}).ok());
+    bytes_ = os.str();
+    path_ = temp_path("tamper.rsnap");
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  StatusCode mapped_code(const std::string& bytes) {
+    write_file(path_, bytes);
+    Result<SnapshotPayload> r = load_snapshot_mapped(path_);
+    EXPECT_FALSE(r.ok());
+    return r.ok() ? StatusCode::kOk : r.status().code();
+  }
+
+  std::string bytes_;
+  std::string path_;
+};
+
+TEST_F(MappedNegativeTest, TruncationAtEveryRegionIsCorrupt) {
+  // Inside the header, the section index, a table, and the footer. The
+  // index is bounds-checked against the real file size before the hash
+  // pass, so a cut never dereferences past the mapping.
+  for (size_t cut : {size_t{5}, size_t{20}, size_t{70}, bytes_.size() / 2,
+                     bytes_.size() - 9, bytes_.size() - 1}) {
+    ASSERT_LT(cut, bytes_.size());
+    EXPECT_EQ(mapped_code(bytes_.substr(0, cut)), StatusCode::kCorruptSnapshot)
+        << "cut at " << cut;
+  }
+}
+
+TEST_F(MappedNegativeTest, EmptyFileIsCorrupt) {
+  EXPECT_EQ(mapped_code(""), StatusCode::kCorruptSnapshot);
+}
+
+TEST_F(MappedNegativeTest, FlippedTableByteIsCorrupt) {
+  std::string b = bytes_;
+  b[b.size() / 2] ^= 0x5a;
+  EXPECT_EQ(mapped_code(b), StatusCode::kCorruptSnapshot);
+}
+
+TEST_F(MappedNegativeTest, FlippedFooterIsCorrupt) {
+  std::string b = bytes_;
+  b[b.size() - 1] ^= 0x01;
+  EXPECT_EQ(mapped_code(b), StatusCode::kCorruptSnapshot);
+}
+
+TEST_F(MappedNegativeTest, ForgedSectionOffsetIsCorrupt) {
+  // Entry 0 of the index lives at byte 24 (after count + flags); its
+  // offset field at +8. Point it past the end of the file: the canonical-
+  // layout check must reject before anything is adopted.
+  std::string b = bytes_;
+  ASSERT_GT(b.size(), 48u);
+  for (int i = 0; i < 8; ++i) b[24 + 8 + i] = '\x7f';
+  EXPECT_EQ(mapped_code(b), StatusCode::kCorruptSnapshot);
+}
+
+TEST_F(MappedNegativeTest, WrongVersionIsVersionMismatch) {
+  std::string b = bytes_;
+  b[8] = static_cast<char>(kSnapshotFormatVersion + 1);
+  EXPECT_EQ(mapped_code(b), StatusCode::kVersionMismatch);
+}
+
+TEST_F(MappedNegativeTest, MissingFileIsIoError) {
+  Result<SnapshotPayload> r = load_snapshot_mapped("/nonexistent/x.rsnap");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace rsp

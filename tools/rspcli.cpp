@@ -38,6 +38,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -65,16 +66,16 @@ int usage() {
   std::cerr <<
       "usage:\n"
       "  rspcli build --gen NAME --n N [--seed S] [--threads K]\n"
-      "               [--backend B] [--shards K] --out FILE\n"
+      "               [--backend B] [--shards K] [--no-delta] --out FILE\n"
       "  rspcli info  FILE\n"
-      "  rspcli query FILE [--threads K] [--backend B] (--pair X1,Y1,X2,Y2"
-      " ... | --random K [--seed S]) [--path]\n"
-      "  rspcli bench FILE [--threads K] [--backend B] [--queries Q]"
-      " [--seed S]\n"
+      "  rspcli query FILE [--threads K] [--backend B] [--map eager|mmap]"
+      " (--pair X1,Y1,X2,Y2 ... | --random K [--seed S]) [--path]\n"
+      "  rspcli bench FILE [--threads K] [--backend B] [--map eager|mmap]"
+      " [--queries Q] [--seed S]\n"
       "  rspcli serve --snapshot FILE (--stdio | --port N) [--threads K]\n"
-      "               [--backend B] [--window-us U] [--max-batch B]\n"
-      "               [--stats-json FILE] [--max-sessions M] [--max-queue Q]\n"
-      "               [--target-p95-us T]\n"
+      "               [--backend B] [--map eager|mmap] [--window-us U]\n"
+      "               [--max-batch B] [--stats-json FILE] [--max-sessions M]\n"
+      "               [--max-queue Q] [--target-p95-us T]\n"
       "  rspcli serve --router MANIFEST --shards HOST:PORT,HOST:PORT,...\n"
       "               (--stdio | --port N) [--timeout-ms T] [--retries R]\n"
       "               [--max-sessions M] [--stats-json FILE]\n"
@@ -87,6 +88,9 @@ int usage() {
       "manifest order); --timeout-ms bounds each shard exchange; --retries\n"
       "is the reconnect-and-resend budget after a failure (exhausted\n"
       "retries answer ERR SHARD_DOWN).\n"
+      "--map mmap maps the snapshot and adopts the tables in place (replica\n"
+      "fast start); --no-delta writes raw dist rows instead of the\n"
+      "delta-compressed v5 encoding.\n"
       "\n"
       "backends: ";
   for (Backend b : {Backend::kAuto, Backend::kAllPairsSeq,
@@ -134,7 +138,8 @@ bool parse_args(int argc, char** argv, int start, Args& out) {
     std::string a = argv[i];
     if (a.rfind("--", 0) == 0) {
       std::string name = a.substr(2);
-      if (name == "path" || name == "stdio") {  // boolean flags
+      if (name == "path" || name == "stdio" || name == "no-delta") {
+        // boolean flags
         out.flags.emplace_back(name, "1");
         continue;
       }
@@ -234,11 +239,26 @@ bool options_from(const Args& args, EngineOptions& opt) {
   return true;
 }
 
+// Reads --map into an OpenOptions map mode ("eager" default).
+bool map_mode_from(const Args& args, MapMode& out) {
+  const std::string m = args.get("map", "eager");
+  if (m == "eager") {
+    out = MapMode::kEager;
+    return true;
+  }
+  if (m == "mmap") {
+    out = MapMode::kMmap;
+    return true;
+  }
+  std::cerr << "bad value for --map: '" << m << "' (want eager or mmap)\n";
+  return false;
+}
+
 int cmd_build(const Args& args) {
   if (!args.positional.empty() ||
       !check_flags(args,
                    {"gen", "n", "seed", "threads", "backend", "out",
-                    "shards"})) {
+                    "shards", "no-delta"})) {
     return usage();
   }
   const std::string gen_name = args.get("gen", "uniform");
@@ -269,13 +289,11 @@ int cmd_build(const Args& args) {
   const double build_ms = ms_since(t0);
 
   t0 = Clock::now();
-  if (shards > 0) {
-    if (Status st = eng.save_sharded(out_path, static_cast<size_t>(shards));
-        !st.ok()) {
-      return fail_status(st);
-    }
-  } else {
-    if (Status st = eng.save(out_path); !st.ok()) return fail_status(st);
+  if (Status st = eng.save(out_path,
+                           {.shards = static_cast<size_t>(shards),
+                            .delta_encode = !args.has("no-delta")});
+      !st.ok()) {
+    return fail_status(st);
   }
   const double save_ms = ms_since(t0);
 
@@ -298,19 +316,35 @@ int cmd_info(const Args& args) {
   if (is_manifest_file(args.positional[0])) {
     Result<ShardManifest> man = load_manifest(args.positional[0]);
     if (!man.ok()) return fail_status(man.status());
+    uint64_t union_rows = 0;
+    for (const ShardEntry& e : man->shards) union_rows += e.row_hi - e.row_lo;
     std::cout << "manifest: " << args.positional[0] << "\n"
               << "  format version:     " << kManifestFormatVersion << "\n"
               << "  obstacles:          " << man->num_obstacles << "\n"
               << "  V_R vertices (m):   " << man->m << "\n"
-              << "  shards:             " << man->shards.size() << "\n";
+              << "  shards:             " << man->shards.size() << "\n"
+              << "  union rows:         " << union_rows << " of " << man->m
+              << "\n";
+    uint64_t total_bytes = 0;
     for (size_t i = 0; i < man->shards.size(); ++i) {
       const ShardEntry& e = man->shards[i];
+      std::error_code ec;
+      const uint64_t fsize = std::filesystem::file_size(
+          shard_file_path(args.positional[0], e), ec);
       std::cout << "  shard " << i << ": " << e.file << " rows [" << e.row_lo
                 << ", " << e.row_hi << ") slab x [" << e.x_lo << ", "
-                << e.x_hi << ") checksum " << std::hex << std::setw(16)
+                << e.x_hi << ") ";
+      if (ec) {
+        std::cout << "size unavailable (" << ec.message() << ")";
+      } else {
+        total_bytes += fsize;
+        std::cout << fsize << " bytes";
+      }
+      std::cout << " checksum " << std::hex << std::setw(16)
                 << std::setfill('0') << e.checksum << std::dec
                 << std::setfill(' ') << "\n";
     }
+    std::cout << "  shard bytes:        " << total_bytes << "\n";
     return 0;
   }
   std::ifstream is(args.positional[0], std::ios::binary);
@@ -332,7 +366,14 @@ int cmd_info(const Args& args) {
     std::cout << "  V_R vertices (m):   " << info->num_vertices << "\n"
               << "  source rows:        [" << info->row_lo << ", "
               << info->row_hi << ")\n";
-  } else if (info->kind == SnapshotPayloadKind::kBoundaryTree) {
+  }
+  if (info->dist_section_bytes > 0) {
+    std::cout << "  dist section:       " << info->dist_section_bytes
+              << " bytes ("
+              << (info->dist_delta_encoded ? "delta-encoded" : "raw")
+              << ")\n";
+  }
+  if (info->kind == SnapshotPayloadKind::kBoundaryTree) {
     std::cout << "  recursion nodes:    " << info->num_tree_nodes << "\n";
     // The tree is sublinear-space, so a full load is cheap here (unlike the
     // O(n^2) all-pairs payload, which info never materializes). Report the
@@ -356,8 +397,8 @@ int cmd_info(const Args& args) {
 
 int cmd_query(const Args& args) {
   if (args.positional.size() != 1 ||
-      !check_flags(args,
-                   {"threads", "backend", "pair", "random", "seed", "path"})) {
+      !check_flags(args, {"threads", "backend", "map", "pair", "random",
+                          "seed", "path"})) {
     return usage();
   }
   uint64_t random_k = 0, seed = 1;
@@ -365,11 +406,13 @@ int cmd_query(const Args& args) {
       !u64_flag(args, "seed", 1, seed)) {
     return usage();
   }
-  EngineOptions opt;
-  if (!options_from(args, opt)) return usage();
+  OpenOptions oopt;
+  if (!options_from(args, oopt.engine) || !map_mode_from(args, oopt.map)) {
+    return usage();
+  }
 
   auto t0 = Clock::now();
-  Result<Engine> eng = Engine::open(args.positional[0], opt);
+  Result<Engine> eng = Engine::open(args.positional[0], oopt);
   if (!eng.ok()) return fail_status(eng.status());
   const double load_ms = ms_since(t0);
 
@@ -417,7 +460,7 @@ int cmd_query(const Args& args) {
 
 int cmd_bench(const Args& args) {
   if (args.positional.size() != 1 ||
-      !check_flags(args, {"threads", "backend", "queries", "seed"})) {
+      !check_flags(args, {"threads", "backend", "map", "queries", "seed"})) {
     return usage();
   }
   uint64_t queries = 10000, seed = 1;
@@ -425,11 +468,13 @@ int cmd_bench(const Args& args) {
       !u64_flag(args, "seed", 1, seed)) {
     return usage();
   }
-  EngineOptions opt;
-  if (!options_from(args, opt)) return usage();
+  OpenOptions oopt;
+  if (!options_from(args, oopt.engine) || !map_mode_from(args, oopt.map)) {
+    return usage();
+  }
 
   auto t0 = Clock::now();
-  Result<Engine> eng = Engine::open(args.positional[0], opt);
+  Result<Engine> eng = Engine::open(args.positional[0], oopt);
   if (!eng.ok()) return fail_status(eng.status());
   const double load_ms = ms_since(t0);
 
@@ -562,7 +607,7 @@ int cmd_serve_router(const Args& args) {
 int cmd_serve(const Args& args) {
   if (!args.positional.empty() ||
       !check_flags(args, {"snapshot", "stdio", "port", "threads", "backend",
-                          "window-us", "max-batch", "stats-json",
+                          "map", "window-us", "max-batch", "stats-json",
                           "max-sessions", "max-queue", "target-p95-us",
                           "router", "shards", "timeout-ms", "retries"})) {
     return usage();
@@ -595,11 +640,13 @@ int cmd_serve(const Args& args) {
     std::cerr << "serve wants exactly one of --stdio or --port N\n";
     return usage();
   }
-  EngineOptions opt;
-  if (!options_from(args, opt)) return usage();
+  OpenOptions oopt;
+  if (!options_from(args, oopt.engine) || !map_mode_from(args, oopt.map)) {
+    return usage();
+  }
 
   auto t0 = Clock::now();
-  Result<Engine> eng = Engine::open(snap, opt);
+  Result<Engine> eng = Engine::open(snap, oopt);
   if (!eng.ok()) return fail_status(eng.status());
   // Session chatter goes to stderr: stdout carries only protocol
   // responses, so `rspcli serve --stdio < script` stays diffable.
