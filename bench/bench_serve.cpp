@@ -20,6 +20,11 @@
 //    against BM_ServeBatchRequest this is the router tax per batch.
 //  * BM_RouterHerd:       a 64-request LEN herd through the router — the
 //    per-request routing + exchange overhead, channels reused.
+//  * BM_RouterOwnedRows:  the same herd through an owned-rows fleet: every
+//    shard adopts only its [row_lo,row_hi) rows, so routing is load-bearing
+//    and a NOT_OWNER refusal walks to the true owner. Against BM_RouterHerd
+//    this is the ownership tax; max_shard_mem_fraction records each shard's
+//    resident bytes as a fraction of the union mount (≈ 1/k).
 //  * BM_ProtocolParse:    parser micro-cost of one LEN request line.
 //
 // All series run real QueryServer sessions over in-memory streams, so the
@@ -31,6 +36,7 @@
 #include <algorithm>
 #include <chrono>
 #include <deque>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -302,6 +308,65 @@ void BM_RouterHerd(benchmark::State& state) {
       64.0, benchmark::Counter::kIsIterationInvariantRate);
 }
 
+// The herd through an owned-rows fleet: a real sharded snapshot on disk,
+// each shard Engine adopting only its own row range, so a misrouted
+// request is refused with NOT_OWNER and the router's candidate walk has
+// to find the true owner. The delta vs BM_RouterHerd is the cost of
+// making routing load-bearing; max_shard_mem_fraction asserts the point
+// of the exercise — each shard holds ~1/k of the union mount's bytes.
+void BM_RouterOwnedRows(benchmark::State& state) {
+  struct OwnedFleet {
+    std::vector<Engine> shards;
+    std::unique_ptr<Router> router;
+    std::string script;
+    double max_shard_mem_fraction = 0.0;
+  };
+  static OwnedFleet* fleet = []() -> OwnedFleet* {
+    auto f = std::make_unique<OwnedFleet>();
+    Engine full(gen_uniform(48, 11), {.backend = Backend::kAllPairsSeq});
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / "rsp_bench_owned_rows";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::string man_path = (dir / "fleet.man").string();
+    if (!full.save(man_path, {.shards = 3}).ok()) return nullptr;
+    Result<ShardManifest> man = load_manifest(man_path);
+    if (!man.ok()) return nullptr;
+    Result<Engine> un = Engine::open(man_path, {});
+    if (!un.ok()) return nullptr;
+    const auto union_bytes =
+        static_cast<double>(un->memory_breakdown().total_bytes);
+    for (size_t i = 0; i < man->shards.size(); ++i) {
+      Result<Engine> sh = Engine::open(
+          man_path, {.mount = MountMode::kOwnedRows, .shard = i});
+      if (!sh.ok()) return nullptr;
+      f->max_shard_mem_fraction = std::max(
+          f->max_shard_mem_fraction,
+          static_cast<double>(sh->memory_breakdown().total_bytes) /
+              union_bytes);
+      f->shards.push_back(std::move(*sh));
+    }
+    OwnedFleet* raw = f.get();
+    f->router = std::make_unique<Router>(
+        *man, [raw](size_t shard) -> std::unique_ptr<ShardChannel> {
+          if (shard >= raw->shards.size()) return nullptr;
+          return std::make_unique<BenchShardChannel>(&raw->shards[shard]);
+        });
+    f->script = herd_script(full.scene(), 64, 7);
+    return f.release();
+  }();
+  if (fleet == nullptr) {
+    state.SkipWithError("owned-rows fleet setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    run_router_session(*fleet->router, fleet->script);
+  }
+  state.counters["requests_per_sec"] = benchmark::Counter(
+      64.0, benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["max_shard_mem_fraction"] = fleet->max_shard_mem_fraction;
+}
+
 // Parser micro-cost: one LEN line, no server.
 void BM_ProtocolParse(benchmark::State& state) {
   const std::string line = "LEN 123,-456 789,1011";
@@ -326,6 +391,7 @@ BENCHMARK(BM_ServeMultiClientHerd)->RangeMultiplier(2)->Range(1, 8)
 BENCHMARK(BM_RouterBatch)->RangeMultiplier(4)->Range(64, 1024)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RouterHerd)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RouterOwnedRows)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ProtocolParse);
 
 

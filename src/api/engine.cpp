@@ -79,17 +79,23 @@ class AllPairsBackend final : public QueryBackend {
   }
   const AllPairsSP* all_pairs() const override { return &sp_; }
   size_t memory_bytes() const override {
-    const size_t m = sp_.data().m;
-    // The dominant O(m^2) tables: dist (Length) + pred (i32) + pass (i8).
-    return m * m * (sizeof(Length) + sizeof(int32_t) + sizeof(int8_t));
+    const AllPairsData& d = sp_.data();
+    // The dominant tables: dist (Length) + pred (i32) + pass (i8). A
+    // partial (owned-rows) mount holds only its window's rows — that
+    // difference is the whole point of MountMode::kOwnedRows.
+    return d.rows() * d.m *
+           (sizeof(Length) + sizeof(int32_t) + sizeof(int8_t));
   }
   size_t mapped_bytes() const override {
     const AllPairsData& d = sp_.data();
-    const size_t mm = d.m * d.m;
+    // A segmented union mount spans k mappings; the load tallied their
+    // bytes per shard (summing, not last-shard-wins).
+    if (d.segmented()) return d.mapped_table_bytes;
+    const size_t sz = d.rows() * d.m;
     size_t b = 0;
-    if (d.dist.borrowed()) b += mm * sizeof(Length);
-    if (d.pred_view != nullptr) b += mm * sizeof(int32_t);
-    if (d.pass_view != nullptr) b += mm * sizeof(int8_t);
+    if (d.dist.borrowed()) b += sz * sizeof(Length);
+    if (d.pred_view != nullptr) b += sz * sizeof(int32_t);
+    if (d.pass_view != nullptr) b += sz * sizeof(int8_t);
     return b;
   }
 
@@ -182,6 +188,41 @@ size_t resolve_sched_width(const EngineOptions& opt, Backend resolved) {
     return std::max<size_t>(2, std::thread::hardware_concurrency());
   }
   return 0;
+}
+
+// The message is exactly "<row_lo> <row_hi>": the serve layer prepends
+// "ERR NOT_OWNER " and ships it verbatim, so the wire form the router
+// parses is fixed here.
+Status not_owner_status(const NotOwnerError& e) {
+  return Status::NotOwner(std::to_string(e.row_lo) + " " +
+                          std::to_string(e.row_hi));
+}
+
+// Copies a segmented (union-mmap) table set into flat owned storage; the
+// save paths need contiguous tables to slice and stream.
+AllPairsData flatten_segmented(const AllPairsData& d) {
+  AllPairsData flat;
+  flat.m = d.m;
+  std::vector<Length> dist(d.m * d.m);
+  flat.pred.resize(d.m * d.m);
+  flat.pass.resize(d.m * d.m);
+  for (size_t a = 0; a < d.m; ++a) {
+    std::copy(d.dist_rows[a], d.dist_rows[a] + d.m, dist.begin() + a * d.m);
+    std::copy(d.pred_rows[a], d.pred_rows[a] + d.m,
+              flat.pred.begin() + a * d.m);
+    std::copy(d.pass_rows[a], d.pass_rows[a] + d.m,
+              flat.pass.begin() + a * d.m);
+  }
+  flat.dist = Matrix(d.m, d.m, std::move(dist));
+  return flat;
+}
+
+Status partial_save_error(const AllPairsData& d) {
+  return Status::SnapshotMismatch(
+      "this engine is a partial (owned-rows) mount holding source rows [" +
+      std::to_string(d.row_lo) + ", " + std::to_string(d.row_hi) +
+      ") only; saving needs the full tables (open the manifest with "
+      "MountMode::kUnion)");
 }
 
 }  // namespace
@@ -316,6 +357,11 @@ struct Engine::Impl {
       } else {
         for (size_t i = 0; i < n; ++i) fn(i);
       }
+    } catch (const NotOwnerError& e) {
+      // Partial mount asked for a row it lacks: the whole batch fails with
+      // the owned window (never a partially-filled result), and the router
+      // re-routes it intact.
+      return not_owner_status(e);
     } catch (const std::exception& e) {
       return Status::Internal(e.what());
     }
@@ -398,7 +444,15 @@ Status Engine::save(std::ostream& os, const SaveOptions& opt) const {
   const SnapshotSaveOptions sopt{.delta_encode = opt.delta_encode};
   if (impl_->backend) {
     if (const AllPairsSP* sp = impl_->backend->all_pairs()) {
-      return save_snapshot(os, impl_->scene, &sp->data(), sopt);
+      const AllPairsData& d = sp->data();
+      if (d.partial()) return partial_save_error(d);
+      if (d.segmented()) {
+        // The writer streams flat tables; a segmented union mount copies
+        // them out of its k mappings once (the same bytes it is writing).
+        AllPairsData flat = flatten_segmented(d);
+        return save_snapshot(os, impl_->scene, &flat, sopt);
+      }
+      return save_snapshot(os, impl_->scene, &d, sopt);
     }
     if (const BoundaryTreeSP* bt = impl_->backend->boundary_tree()) {
       return save_snapshot(os, impl_->scene, bt->tree(), sopt);
@@ -437,37 +491,80 @@ Status Engine::save(const std::string& path, const SaveOptions& opt) const {
         "' holds no row-partitionable tables (save a monolithic snapshot "
         "instead)");
   }
-  const AllPairsData& data = sp->data();
+  const AllPairsData& orig = sp->data();
+  if (orig.partial()) return partial_save_error(orig);
+  // A segmented union mount has no flat tables to slice; copy them out of
+  // the k mappings once (the same bytes the shard writers stream anyway).
+  std::optional<AllPairsData> flat;
+  if (orig.segmented()) flat = flatten_segmented(orig);
+  const AllPairsData& data = flat ? *flat : orig;
   const size_t m = data.m;
-  // Clamp so no shard is empty; balanced contiguous row partition.
-  const size_t k = std::min(opt.shards, m);
+  const size_t n = impl_->scene.num_obstacles();
+  // Shard boundaries are 4-aligned — whole obstacles, never a split corner
+  // group. Every query reduces to source rows of one obstacle's corners
+  // (§6.4's backward ray hits a single obstacle; the two candidate rows
+  // are its corners), so obstacle-aligned rows give each query exactly one
+  // owning shard. MountMode::kOwnedRows + NOT_OWNER re-routing is sound
+  // only because of this alignment. Clamp so no shard is empty.
+  const size_t k = std::min(opt.shards, n);
   const std::string file_base =
       std::filesystem::path(path).filename().string();
-  // Routing slabs: the container's x-extent split evenly. Pure affinity
-  // metadata — every shard server mounts the union, so slab edges affect
-  // cache locality and load spread, never correctness.
-  const Rect& bb = impl_->scene.container().bbox();
-  const long double xspan = static_cast<long double>(bb.xmax) -
-                            static_cast<long double>(bb.xmin) + 1;
   ShardManifest man;
-  man.num_obstacles = impl_->scene.num_obstacles();
+  man.num_obstacles = n;
   man.m = m;
   for (size_t i = 0; i < k; ++i) {
     ShardEntry e;
     e.file = file_base + ".shard" + std::to_string(i);
     e.kind = SnapshotPayloadKind::kAllPairsShard;
-    e.row_lo = m * i / k;
-    e.row_hi = m * (i + 1) / k;
-    e.x_lo = i == 0 ? bb.xmin
-                    : bb.xmin + static_cast<Coord>(xspan *
-                                                   static_cast<long double>(i) /
-                                                   static_cast<long double>(k));
-    e.x_hi = i + 1 == k
-                 ? bb.xmax + 1
-                 : bb.xmin + static_cast<Coord>(
-                                 xspan * static_cast<long double>(i + 1) /
-                                 static_cast<long double>(k));
+    e.row_lo = 4 * (n * i / k);
+    e.row_hi = 4 * (n * (i + 1) / k);
     man.shards.push_back(std::move(e));
+  }
+  // Routing slabs: load-bearing under kOwnedRows fleets — the router sends
+  // a request to route_by_x(source.x) first and recovers misses through
+  // NOT_OWNER re-routing. When the shards' obstacle corner x-extents are
+  // disjoint (x-sorted scenes) the slab edges sit at the gaps, so routing
+  // a vertex source is exact; overlapping extents fall back to an even
+  // split of the container — still a total, deterministic, gap-free map,
+  // just with more re-routes.
+  const Rect& bb = impl_->scene.container().bbox();
+  const auto& verts = impl_->scene.obstacle_vertices();
+  std::vector<Coord> min_x(k), max_x(k);
+  for (size_t i = 0; i < k; ++i) {
+    Coord lo = verts[man.shards[i].row_lo].x;
+    Coord hi = lo;
+    for (size_t r = man.shards[i].row_lo; r < man.shards[i].row_hi; ++r) {
+      lo = std::min(lo, verts[r].x);
+      hi = std::max(hi, verts[r].x);
+    }
+    min_x[i] = lo;
+    max_x[i] = hi;
+  }
+  bool disjoint = true;
+  for (size_t i = 0; i + 1 < k; ++i) {
+    if (max_x[i] >= min_x[i + 1]) disjoint = false;
+  }
+  const long double xspan = static_cast<long double>(bb.xmax) -
+                            static_cast<long double>(bb.xmin) + 1;
+  for (size_t i = 0; i < k; ++i) {
+    ShardEntry& e = man.shards[i];
+    if (disjoint) {
+      // Boundary at the next shard's leftmost corner: x == boundary routes
+      // to the right shard (half-open slabs), so every owned corner routes
+      // home.
+      e.x_lo = i == 0 ? bb.xmin : min_x[i];
+      e.x_hi = i + 1 == k ? bb.xmax + 1 : min_x[i + 1];
+    } else {
+      e.x_lo = i == 0 ? bb.xmin
+                      : bb.xmin + static_cast<Coord>(
+                                      xspan * static_cast<long double>(i) /
+                                      static_cast<long double>(k));
+      e.x_hi = i + 1 == k
+                   ? bb.xmax + 1
+                   : bb.xmin + static_cast<Coord>(
+                                   xspan * static_cast<long double>(i + 1) /
+                                   static_cast<long double>(k));
+    }
   }
 
   // The per-source build makes row slices independent, so the k shard
@@ -623,14 +720,40 @@ Result<Engine> Engine::open_manifest(const std::string& path,
   const ShardManifest& man = *rman;
   const size_t m = man.m;
 
-  // Assemble the complete union *before* any engine state exists: a mount
-  // with a bad shard anywhere fails with nothing constructed — never a
-  // partially-filled table serving wrong answers for the missing rows.
+  const bool owned = opt.mount == MountMode::kOwnedRows;
+  if (owned && opt.shard >= man.shards.size()) {
+    std::ostringstream os;
+    os << "MountMode::kOwnedRows shard index " << opt.shard
+       << " is out of range: the manifest names " << man.shards.size()
+       << " shard(s)";
+    return Status::InvalidQuery(os.str());
+  }
+  // A zero-copy union over k mmapped shard files is necessarily segmented:
+  // no single flat view can span k distinct mappings.
+  const bool segmented = !owned && opt.map == MapMode::kMmap;
+
+  // Assemble the complete table set *before* any engine state exists: a
+  // mount with a bad shard anywhere fails with nothing constructed — never
+  // a partially-filled table serving wrong answers for the missing rows.
+  // (An owned mount's tables are intentionally partial; its accessors
+  // refuse the missing rows instead of answering them.)
   std::optional<Scene> scene;
-  std::vector<Length> dist(m * m);
-  std::vector<int32_t> pred(m * m);
-  std::vector<int8_t> pass(m * m);
+  AllPairsData data;
+  data.m = m;
+  std::vector<Length> dist;
+  std::vector<int32_t> pred;
+  std::vector<int8_t> pass;
+  if (segmented) {
+    data.dist_rows.resize(m);
+    data.pred_rows.resize(m);
+    data.pass_rows.resize(m);
+  } else if (!owned) {
+    dist.resize(m * m);
+    pred.resize(m * m);
+    pass.resize(m * m);
+  }
   for (size_t i = 0; i < man.shards.size(); ++i) {
+    if (owned && i != opt.shard) continue;
     const ShardEntry& e = man.shards[i];
     auto prefix = [&](const std::string& msg) {
       std::ostringstream os;
@@ -664,7 +787,7 @@ Result<Engine> Engine::open_manifest(const std::string& path,
           prefix("payload checksum does not match the manifest record "
                  "(shard file replaced after the manifest was written?)"));
     }
-    const AllPairsShardData& sh = *p.shard;
+    AllPairsShardData& sh = *p.shard;
     if (sh.m != m || sh.row_lo != e.row_lo || sh.row_hi != e.row_hi) {
       std::ostringstream os;
       os << "shard table geometry m=" << sh.m << " rows [" << sh.row_lo
@@ -682,20 +805,70 @@ Result<Engine> Engine::open_manifest(const std::string& path,
       return Status::CorruptSnapshot(
           prefix("shard scene differs from the other shards' scene"));
     }
-    const size_t cnt = sh.rows() * m;
-    std::copy(sh.dist_data(), sh.dist_data() + cnt,
-              dist.begin() + sh.row_lo * m);
-    std::copy(sh.pred_data(), sh.pred_data() + cnt,
-              pred.begin() + sh.row_lo * m);
-    std::copy(sh.pass_data(), sh.pass_data() + cnt,
-              pass.begin() + sh.row_lo * m);
+    if (owned) {
+      // Adopt exactly this shard's rows: ~1/k of the union's bytes,
+      // resident or mapped. The accessors rebase on row_lo and refuse
+      // rows outside [row_lo, row_hi) with NotOwnerError.
+      data.row_lo = sh.row_lo;
+      data.row_hi = sh.row_hi;
+      const size_t rows = sh.rows();
+      if (sh.dist_view != nullptr) {
+        data.dist = Matrix(rows, m, sh.dist_view, sh.arena);
+      } else {
+        data.dist = Matrix(rows, m, std::move(sh.dist));
+      }
+      if (sh.pred_view != nullptr) {
+        data.pred_view = sh.pred_view;
+      } else {
+        data.pred = std::move(sh.pred);
+      }
+      if (sh.pass_view != nullptr) {
+        data.pass_view = sh.pass_view;
+      } else {
+        data.pass = std::move(sh.pass);
+      }
+      data.arena = sh.arena;
+    } else if (segmented) {
+      // Zero-copy union: point each source row into this shard's tables
+      // (mapping-backed, or the owned decode of a delta dist) and keep
+      // the whole shard payload alive as the rows' arena.
+      auto holder = std::make_shared<AllPairsShardData>(std::move(sh));
+      const Length* d0 = holder->dist_data();
+      const int32_t* p0 = holder->pred_data();
+      const int8_t* q0 = holder->pass_data();
+      for (size_t a = holder->row_lo; a < holder->row_hi; ++a) {
+        const size_t off = (a - holder->row_lo) * m;
+        data.dist_rows[a] = d0 + off;
+        data.pred_rows[a] = p0 + off;
+        data.pass_rows[a] = q0 + off;
+      }
+      const size_t sz = holder->rows() * m;
+      if (holder->dist_view != nullptr) {
+        data.mapped_table_bytes += sz * sizeof(Length);
+      }
+      if (holder->pred_view != nullptr) {
+        data.mapped_table_bytes += sz * sizeof(int32_t);
+      }
+      if (holder->pass_view != nullptr) {
+        data.mapped_table_bytes += sz * sizeof(int8_t);
+      }
+      data.arenas.push_back(std::move(holder));
+    } else {
+      const size_t cnt = sh.rows() * m;
+      std::copy(sh.dist_data(), sh.dist_data() + cnt,
+                dist.begin() + sh.row_lo * m);
+      std::copy(sh.pred_data(), sh.pred_data() + cnt,
+                pred.begin() + sh.row_lo * m);
+      std::copy(sh.pass_data(), sh.pass_data() + cnt,
+                pass.begin() + sh.row_lo * m);
+    }
   }
 
-  AllPairsData data;
-  data.m = m;
-  data.dist = Matrix(m, m, std::move(dist));
-  data.pred = std::move(pred);
-  data.pass = std::move(pass);
+  if (!owned && !segmented) {
+    data.dist = Matrix(m, m, std::move(dist));
+    data.pred = std::move(pred);
+    data.pass = std::move(pass);
+  }
   try {
     auto impl = std::make_unique<Impl>(std::move(*scene), opt.engine);
     if (opt.engine.backend == Backend::kAuto) {
@@ -735,6 +908,8 @@ Result<Length> Engine::length(const Point& s, const Point& t) const {
   impl_->single_queries.fetch_add(1, std::memory_order_relaxed);
   try {
     return impl_->backend->length(s, t);
+  } catch (const NotOwnerError& e) {
+    return not_owner_status(e);
   } catch (const std::exception& e) {
     return Status::Internal(e.what());
   }
@@ -746,6 +921,8 @@ Result<std::vector<Point>> Engine::path(const Point& s, const Point& t) const {
   impl_->single_queries.fetch_add(1, std::memory_order_relaxed);
   try {
     return impl_->backend->path(s, t);
+  } catch (const NotOwnerError& e) {
+    return not_owner_status(e);
   } catch (const std::exception& e) {
     return Status::Internal(e.what());
   }
@@ -809,7 +986,23 @@ Engine::MemoryBreakdown Engine::memory_breakdown() const {
     mb.port_matrix_bytes = bt->port_matrix_bytes();
     mb.port_matrix_dense_bytes = bt->port_matrix_dense_bytes();
   }
+  const std::pair<size_t, size_t> window = owned_rows();
+  mb.owned_rows = window.second - window.first;
+  mb.total_rows = 4 * impl_->scene.num_obstacles();
   return mb;
+}
+
+std::pair<size_t, size_t> Engine::owned_rows() const {
+  if (!impl_->ready.load(std::memory_order_acquire) || !impl_->backend) {
+    return {0, 0};
+  }
+  if (const AllPairsSP* sp = impl_->backend->all_pairs()) {
+    const AllPairsData& d = sp->data();
+    if (d.partial()) return {d.row_lo, d.row_hi};
+    return {0, d.m};
+  }
+  // Structure-free and boundary-tree backends answer any source.
+  return {0, 4 * impl_->scene.num_obstacles()};
 }
 
 const AllPairsSP* Engine::all_pairs() const {

@@ -47,6 +47,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "api/status.h"
@@ -93,10 +94,15 @@ struct SaveOptions {
   // 0 writes one monolithic snapshot at `path`. k > 0 splits the built
   // all-pairs tables into k balanced contiguous source-row shard
   // snapshots (`path + ".shard<i>"`) plus a manifest at `path`
-  // (io/manifest.h), clamped to the row count so no shard is empty;
-  // requires a built all-pairs backend (kSnapshotMismatch otherwise — the
-  // boundary tree is not row-partitionable) and a real path (shards > 0
-  // on the stream overload is kInvalidQuery).
+  // (io/manifest.h), clamped to the obstacle count so no shard is empty.
+  // Shard boundaries are 4-aligned (whole obstacles: a query's candidate
+  // source rows are the corners of a single obstacle, so alignment gives
+  // every query exactly one owning shard — what makes
+  // MountMode::kOwnedRows sound). Requires a built all-pairs backend
+  // (kSnapshotMismatch otherwise — the boundary tree is not
+  // row-partitionable; so is saving from a partial kOwnedRows mount,
+  // which lacks most rows) and a real path (shards > 0 on the stream
+  // overload is kInvalidQuery).
   size_t shards = 0;
   // Delta-encode the dist table against the L1 lower bound (several-fold
   // smaller on disk; an mmap open then decodes dist but still adopts
@@ -114,11 +120,33 @@ enum class MapMode {
                //   stream overload).
 };
 
+// What a manifest mount materializes (plain snapshots ignore this).
+enum class MountMode {
+  kUnion = 0,  // every shard's rows: any query answerable (PR-8 behavior).
+               //   Under MapMode::kMmap the union is served zero-copy out
+               //   of the per-shard mappings (segmented rows), and
+               //   memory_breakdown().mapped_bytes sums every mapping.
+  kOwnedRows,  // adopt (or mmap) ONLY shard `OpenOptions::shard`'s
+               //   [row_lo, row_hi) dist/pred/pass rows — ~1/k of the
+               //   union's bytes. The engine records the owned range
+               //   (Engine::owned_rows); a query whose source row falls
+               //   outside it fails with StatusCode::kNotOwner instead of
+               //   a wrong answer, which the serve layer surfaces as
+               //   "ERR NOT_OWNER <row_lo> <row_hi>" and the fleet router
+               //   treats as a routing fault (re-route to the true owner).
+};
+
 // Knobs for Engine::open; wraps the engine configuration the restored
 // engine runs with.
 struct OpenOptions {
   EngineOptions engine;
   MapMode map = MapMode::kEager;
+  // Manifest mounts only: union vs owned-rows partial mount. kOwnedRows
+  // requires a manifest path and a valid `shard` index (kInvalidQuery /
+  // kSnapshotMismatch otherwise).
+  MountMode mount = MountMode::kUnion;
+  // Which manifest shard kOwnedRows adopts.
+  size_t shard = 0;
 };
 
 // A batch query item: shortest path requested from s to t.
@@ -240,13 +268,24 @@ class Engine {
   // mapped_bytes counts table bytes served from an mmap arena instead of
   // resident copies (zero for eager engines) — for an mmap-opened engine,
   // total_bytes - mapped_bytes approximates the true resident footprint.
+  // owned_rows/total_rows report the partial-mount window: for a
+  // MountMode::kOwnedRows engine owned_rows < total_rows and
+  // total/mapped bytes cover only that window; otherwise they are equal
+  // (0/0 before a build).
   struct MemoryBreakdown {
     size_t total_bytes = 0;
     size_t port_matrix_bytes = 0;
     size_t port_matrix_dense_bytes = 0;
     size_t mapped_bytes = 0;
+    size_t owned_rows = 0;
+    size_t total_rows = 0;
   };
   MemoryBreakdown memory_breakdown() const;
+
+  // The source-row window this engine owns: [first, second). A full
+  // engine owns [0, m); a MountMode::kOwnedRows mount owns its shard's
+  // manifest range. {0, 0} when nothing is built yet.
+  std::pair<size_t, size_t> owned_rows() const;
 
   // Escape hatch to the implementation layer (§8 chunked reporting demos,
   // benchmarks that reach for the matrix). Forces the lazy build; nullptr
@@ -259,11 +298,13 @@ class Engine {
 
  private:
   struct Impl;
-  // Mounts a shard-set manifest (io/manifest.h): loads every shard file
-  // (mmap-adopted under MapMode::kMmap), verifies it against its manifest
-  // record, assembles the full all-pairs union before any engine state
-  // exists — a mount either serves the whole table set or fails with
-  // nothing constructed.
+  // Mounts a shard-set manifest (io/manifest.h): loads the shard files
+  // MountMode selects (all of them for kUnion, exactly one for
+  // kOwnedRows; mmap-adopted under MapMode::kMmap), verifies each against
+  // its manifest record, and assembles the mount before any engine state
+  // exists — it either serves its whole advertised table set or fails
+  // with nothing constructed. A kMmap union is served zero-copy as
+  // segmented per-row views into the k mappings.
   static Result<Engine> open_manifest(const std::string& path,
                                       const OpenOptions& opt);
   explicit Engine(std::unique_ptr<Impl> impl);

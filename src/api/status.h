@@ -28,6 +28,7 @@ enum class StatusCode {
   kCorruptSnapshot,   // bad magic, truncation, checksum or table mismatch
   kVersionMismatch,   // snapshot written by an incompatible format version
   kSnapshotMismatch,  // requested backend incompatible with the payload
+  kNotOwner,          // partial mount: the query needs rows this shard lacks
 };
 
 inline const char* status_code_name(StatusCode code) {
@@ -40,6 +41,7 @@ inline const char* status_code_name(StatusCode code) {
     case StatusCode::kCorruptSnapshot: return "CORRUPT_SNAPSHOT";
     case StatusCode::kVersionMismatch: return "VERSION_MISMATCH";
     case StatusCode::kSnapshotMismatch: return "SNAPSHOT_MISMATCH";
+    case StatusCode::kNotOwner: return "NOT_OWNER";
   }
   return "UNKNOWN";
 }
@@ -71,6 +73,9 @@ class Status {
   }
   static Status SnapshotMismatch(std::string msg) {
     return Status(StatusCode::kSnapshotMismatch, std::move(msg));
+  }
+  static Status NotOwner(std::string msg) {
+    return Status(StatusCode::kNotOwner, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -51,14 +51,25 @@ AllPairsSP::AllPairsSP(Scene scene, AllPairsData data)
       trees_(scene_, tracer_, data_) {
   RSP_CHECK_MSG(data_.m == 4 * scene_.num_obstacles(),
                 "restored AllPairsData does not belong to this scene");
-  const size_t mm = data_.m * data_.m;
-  const bool pred_sized =
-      data_.pred_view != nullptr ? true : data_.pred.size() == mm;
-  const bool pass_sized =
-      data_.pass_view != nullptr ? true : data_.pass.size() == mm;
-  RSP_CHECK_MSG(pred_sized && pass_sized && data_.dist.rows() == data_.m &&
-                    data_.dist.cols() == data_.m,
-                "restored AllPairsData tables have inconsistent sizes");
+  if (data_.segmented()) {
+    RSP_CHECK_MSG(data_.dist_rows.size() == data_.m &&
+                      data_.pred_rows.size() == data_.m &&
+                      data_.pass_rows.size() == data_.m,
+                  "segmented AllPairsData must carry one pointer per row");
+  } else {
+    RSP_CHECK_MSG(!data_.partial() ||
+                      (data_.row_lo < data_.row_hi && data_.row_hi <= data_.m),
+                  "restored AllPairsData owned-row window is malformed");
+    const size_t sz = data_.rows() * data_.m;
+    const bool pred_sized =
+        data_.pred_view != nullptr ? true : data_.pred.size() == sz;
+    const bool pass_sized =
+        data_.pass_view != nullptr ? true : data_.pass.size() == sz;
+    RSP_CHECK_MSG(pred_sized && pass_sized &&
+                      data_.dist.rows() == data_.rows() &&
+                      data_.dist.cols() == data_.m,
+                  "restored AllPairsData tables have inconsistent sizes");
+  }
   init_vertex_ids();
 }
 
@@ -164,16 +175,16 @@ Length AllPairsSP::from_vertex(size_t v, const Point& tgt,
   }
   if (auto id = vertex_id(tgt)) {
     if (out_path) *out_path = trees_.path(v, *id);
-    return data_.dist(v, *id);
+    return data_.dist_of(v, *id);
   }
   Resolution r = resolve(pv, tgt);
   if (r.direct) {
     if (out_path) emit_direct(pv, r, tgt, *out_path);
     return dist1(pv, tgt);
   }
-  Length c1 = add_len(data_.dist(v, static_cast<size_t>(r.u1)),
+  Length c1 = add_len(data_.dist_of(v, static_cast<size_t>(r.u1)),
                       dist1(verts[r.u1], tgt));
-  Length c2 = add_len(data_.dist(v, static_cast<size_t>(r.u2)),
+  Length c2 = add_len(data_.dist_of(v, static_cast<size_t>(r.u2)),
                       dist1(verts[r.u2], tgt));
   size_t u = c1 <= c2 ? r.u1 : r.u2;
   if (out_path) {
@@ -204,7 +215,7 @@ Length AllPairsSP::length(const Point& s, const Point& t) const {
   if (s == t) return 0;
   auto sid = vertex_id(s);
   auto tid = vertex_id(t);
-  if (sid && tid) return data_.dist(*sid, *tid);
+  if (sid && tid) return data_.dist_of(*sid, *tid);
   if (sid) return from_vertex(*sid, t, nullptr);
   if (tid) return from_vertex(*tid, s, nullptr);
   // Both arbitrary: reduce t's side first (paper §6.4, two levels).

@@ -48,8 +48,10 @@ class AllPairsSP {
   // Restore path (io/snapshot.h): adopts precomputed all-pairs tables
   // instead of running the O(n^2) build; only the cheap derived structures
   // (ray shooter, escape-path forests) are reconstructed. `data` must
-  // belong to `scene` (data.m == 4 * scene.num_obstacles(), full tables) —
-  // checked, RSP_CHECK on violation.
+  // belong to `scene` (data.m == 4 * scene.num_obstacles(); tables sized
+  // for its full, partial [row_lo, row_hi) or segmented mode) — checked,
+  // RSP_CHECK on violation. Partial data answers only queries whose
+  // reduction stays inside the owned rows; others throw NotOwnerError.
   AllPairsSP(Scene scene, AllPairsData data);
 
   const Scene& scene() const { return scene_; }
@@ -59,7 +61,9 @@ class AllPairsSP {
   size_t num_vertices() const { return data_.m; }
 
   // O(1): length between obstacle vertices (ids per obstacle_vertices()).
-  Length vertex_length(size_t a, size_t b) const { return data_.dist(a, b); }
+  // Partial mounts throw NotOwnerError when row `a` is outside the owned
+  // window (the Engine facade maps it to StatusCode::kNotOwner).
+  Length vertex_length(size_t a, size_t b) const { return data_.dist_of(a, b); }
 
   // Vertex id of a point, if it is an obstacle vertex.
   std::optional<size_t> vertex_id(const Point& p) const;

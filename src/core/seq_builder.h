@@ -28,8 +28,10 @@
 // serializes exactly (scene, AllPairsData) and restores engines without
 // rebuilding.
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "core/trace.h"
@@ -38,9 +40,23 @@
 
 namespace rsp {
 
+// Thrown by table accessors when a partial mount (MountMode::kOwnedRows)
+// is asked for a source row outside its [row_lo, row_hi) window. The
+// Engine facade converts it to StatusCode::kNotOwner; it never escapes
+// the public API.
+struct NotOwnerError : std::runtime_error {
+  NotOwnerError(size_t lo, size_t hi)
+      : std::runtime_error("source row outside owned range"),
+        row_lo(lo),
+        row_hi(hi) {}
+  size_t row_lo, row_hi;
+};
+
 struct AllPairsData {
   // dist(a, b): length of a shortest obstacle-avoiding path between
   // obstacle vertices a and b (ids as in Scene::obstacle_vertices()).
+  // In partial/segmented modes only the stored rows are present; always
+  // read through dist_of().
   Matrix dist;
   // pred[a*m + b]: vertex preceding b on a shortest a-to-b path, or -1 when
   // the path reaches b directly off a's escape-path pair ("via curve").
@@ -56,13 +72,54 @@ struct AllPairsData {
   const int8_t* pass_view = nullptr;
   std::shared_ptr<const void> arena;
 
+  // Partial-mount mode (MountMode::kOwnedRows): the tables hold only
+  // source rows [row_lo, row_hi) — row_hi == 0 means all of [0, m).
+  // Accessors rebase `a` and throw NotOwnerError outside the window.
+  size_t row_lo = 0, row_hi = 0;
+
+  // Segmented mode (union mount over k mmapped shard files): one pointer
+  // per source row into whichever shard mapping holds it, every arena kept
+  // alive in `arenas`. A single flat view cannot span k mappings, so the
+  // per-row indirection is what makes the union zero-copy. Empty in every
+  // other mode. mapped_table_bytes records the bytes resident in those
+  // mappings for memory_breakdown().
+  std::vector<const Length*> dist_rows;
+  std::vector<const int32_t*> pred_rows;
+  std::vector<const int8_t*> pass_rows;
+  std::vector<std::shared_ptr<const void>> arenas;
+  size_t mapped_table_bytes = 0;
+
   size_t m = 0;  // number of vertices (4n)
+
+  bool segmented() const { return !dist_rows.empty(); }
+  bool partial() const { return row_hi != 0; }
+  size_t first_row() const { return partial() ? row_lo : 0; }
+  size_t rows() const { return partial() ? row_hi - row_lo : m; }
+  bool owns_row(size_t a) const {
+    return !partial() || (a >= row_lo && a < row_hi);
+  }
+  void check_row(size_t a) const {
+    if (!owns_row(a)) throw NotOwnerError(row_lo, row_hi);
+  }
 
   const int32_t* pred_data() const { return pred_view ? pred_view : pred.data(); }
   const int8_t* pass_data() const { return pass_view ? pass_view : pass.data(); }
 
-  int32_t pred_of(size_t a, size_t b) const { return pred_data()[a * m + b]; }
-  int8_t pass_of(size_t a, size_t b) const { return pass_data()[a * m + b]; }
+  Length dist_of(size_t a, size_t b) const {
+    if (segmented()) return dist_rows[a][b];
+    check_row(a);
+    return dist(a - first_row(), b);
+  }
+  int32_t pred_of(size_t a, size_t b) const {
+    if (segmented()) return pred_rows[a][b];
+    check_row(a);
+    return pred_data()[(a - first_row()) * m + b];
+  }
+  int8_t pass_of(size_t a, size_t b) const {
+    if (segmented()) return pass_rows[a][b];
+    check_row(a);
+    return pass_data()[(a - first_row()) * m + b];
+  }
 };
 
 // Geometry of one monotone case, shared with path reconstruction (§8).

@@ -117,9 +117,23 @@ Status validate_manifest(const ShardManifest& man) {
          << " the previous shard (expected row_lo = " << expect_lo << ")";
       return Status::CorruptSnapshot(os.str());
     }
-    if (e.x_lo > e.x_hi || (i > 0 && e.x_lo < man.shards[i - 1].x_hi)) {
-      return Status::CorruptSnapshot(shard_label(i) +
-                                     " routing slab out of order");
+    if (e.x_lo > e.x_hi) {
+      std::ostringstream os;
+      os << shard_label(i) << " routing slab [" << e.x_lo << ", " << e.x_hi
+         << ") is inverted";
+      return Status::CorruptSnapshot(os.str());
+    }
+    // Slabs must tile the x-axis with no gaps: route_by_x is load-bearing
+    // for owned-rows fleets, and a coordinate falling between slabs would
+    // have no deterministic first-try owner. (route_by_x clamps the two
+    // open ends, so contiguity here makes the map total.)
+    if (i > 0 && e.x_lo != man.shards[i - 1].x_hi) {
+      std::ostringstream os;
+      os << shard_label(i) << " routing slab [" << e.x_lo << ", " << e.x_hi
+         << ") "
+         << (e.x_lo < man.shards[i - 1].x_hi ? "overlaps" : "leaves a gap after")
+         << " the previous slab ending at " << man.shards[i - 1].x_hi;
+      return Status::CorruptSnapshot(os.str());
     }
   }
   if (man.shards.back().row_hi != man.m) {

@@ -4,10 +4,13 @@
 //
 // Engine::save(path, {.shards = k}) writes k shard snapshots — shard i
 // holds source rows [row_lo, row_hi) of the all-pairs tables, all m
-// columns — plus this manifest at `path`. Engine::open recognizes the magic,
-// loads every shard, verifies it against its manifest record, and serves
-// the union; `rspcli serve --router` reads the same manifest to route
-// requests to shard servers by source x-coordinate slab.
+// columns — plus this manifest at `path`. Engine::open recognizes the
+// magic, verifies each shard against its manifest record, and mounts
+// either the union (MountMode::kUnion: every row, any query answerable)
+// or one shard's rows (MountMode::kOwnedRows: ~1/k the memory; queries
+// needing other rows fail with NOT_OWNER and the router re-routes them).
+// `rspcli serve --router` reads the same manifest to route requests to
+// shard servers by source x-coordinate slab.
 //
 // Format (text, LF lines, fields separated by single spaces):
 //
@@ -22,7 +25,9 @@
 // one directory). <kind> is a payload_kind_name; version 1 manifests admit
 // only "all-pairs-shard". [row_lo, row_hi) ranges must partition [0, m)
 // contiguously in order; [x_lo, x_hi) are the router's source-coordinate
-// slabs, ascending and non-overlapping. <checksum> is the shard file's
+// slabs, which must tile the x-axis contiguously (ascending, gap-free —
+// see route_by_x below for why the map must be total). <checksum> is the
+// shard file's
 // payload checksum as 16 lowercase hex digits — recorded here so a mount
 // detects a swapped or regenerated shard file even when that file is
 // internally consistent.
@@ -64,10 +69,11 @@ struct ShardManifest {
 
 // Structural validation, shared by save and load: m == 4 * obstacles > 0,
 // at least one shard, row ranges a contiguous in-order partition of
-// [0, m), slabs ascending and non-overlapping, one uniform payload kind
-// admitted by this manifest version. Does not touch the file system — the
-// per-shard file checks (existence, checksum, range agreement) happen at
-// mount (Engine::open).
+// [0, m), slabs a contiguous ascending tiling (no gaps or overlaps — every
+// source coordinate must route to exactly one shard), one uniform payload
+// kind admitted by this manifest version. Does not touch the file system —
+// the per-shard file checks (existence, checksum, range agreement) happen
+// at mount (Engine::open).
 Status validate_manifest(const ShardManifest& man);
 
 Status save_manifest(std::ostream& os, const ShardManifest& man);
@@ -83,10 +89,17 @@ bool is_manifest_file(const std::string& path);
 std::string shard_file_path(const std::string& manifest_path,
                             const ShardEntry& entry);
 
-// The shard whose [x_lo, x_hi) slab contains `x` — the router's source
-// routing rule. Points left of every slab map to shard 0, right of every
-// slab to the last: routing is a pure affinity hint, every shard *server*
-// mounts the full union, so correctness never depends on the slab edges.
+// The shard whose [x_lo, x_hi) slab contains `x` — the router's first-try
+// source routing rule. Deterministic and total: slabs are half-open, so a
+// boundary coordinate x == x_hi[i] routes to shard i+1, never both; points
+// left of every slab map to shard 0, right of every slab to the last, and
+// validate_manifest rejects gaps between slabs. Under MountMode::kUnion
+// the pick is a pure affinity hint (every server holds all rows). Under
+// MountMode::kOwnedRows it is load-bearing: it must name the shard that
+// *probably* owns the query's source rows, and when the query's §6.4
+// reduction lands on rows another shard owns, that shard answers
+// "ERR NOT_OWNER <row_lo> <row_hi>" and the router re-routes — slab edges
+// affect the re-route rate, never correctness.
 size_t route_by_x(const ShardManifest& man, Coord x);
 
 }  // namespace rsp

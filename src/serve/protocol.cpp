@@ -197,4 +197,9 @@ std::string format_load_shed(size_t pending) {
                                        std::to_string(pending) + " pending)");
 }
 
+std::string format_not_owner(size_t row_lo, size_t row_hi) {
+  return format_error("NOT_OWNER", std::to_string(row_lo) + " " +
+                                       std::to_string(row_hi));
+}
+
 }  // namespace rsp

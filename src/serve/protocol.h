@@ -31,6 +31,16 @@
 //                                         ;   router exhausted its retries
 //                                         ;   against a shard server
 //                                         ;   (serve/router.h),
+//                                         ;   NOT_OWNER when an owned-rows
+//                                         ;   shard (MountMode::kOwnedRows)
+//                                         ;   lacks the query's source rows
+//                                         ;   — the message is exactly
+//                                         ;   "<row_lo> <row_hi>" (the
+//                                         ;   shard's owned window) and the
+//                                         ;   router re-routes instead of
+//                                         ;   relaying it (clients only see
+//                                         ;   it when talking to a shard
+//                                         ;   directly),
 //                                         ;   else a StatusCode name
 //                                         ;   (api/status.h)
 //
@@ -102,5 +112,11 @@ std::string format_error(std::string_view code, std::string_view message);
 // response (ServeOptions::max_queue_depth). The request was NOT executed;
 // the client should back off and retry.
 std::string format_load_shed(size_t pending);
+// "ERR NOT_OWNER <row_lo> <row_hi>" — an owned-rows shard refusing a query
+// whose source rows live on another shard. Identical to
+// format_error(Status::NotOwner(...)) because the engine encodes its owned
+// window as the status message; this formatter pins the wire form the
+// router's re-route parser (serve/router.cpp) depends on.
+std::string format_not_owner(size_t row_lo, size_t row_hi);
 
 }  // namespace rsp

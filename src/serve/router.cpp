@@ -80,6 +80,14 @@ bool err_line(const std::string& line) {
   return line.size() > 4 && line[4] != ' ';
 }
 
+// An owned-rows shard refusing a query it cannot answer
+// ("ERR NOT_OWNER <row_lo> <row_hi>", serve/protocol.h). Valid as a wire
+// response (the stream stays synchronized), but never relayed to a client:
+// the router treats it as a routing fault and walks the other shards.
+bool not_owner_line(const std::string& line) {
+  return line == "ERR NOT_OWNER" || line.rfind("ERR NOT_OWNER ", 0) == 0;
+}
+
 bool valid_len_response(const std::string& line) {
   if (!control_free(line)) return false;
   if (err_line(line)) return true;
@@ -134,6 +142,7 @@ struct Router::ShardState {
   uint64_t requests = 0;   // guarded by mu
   uint64_t failures = 0;   // guarded by mu
   uint64_t retries = 0;    // guarded by mu
+  uint64_t misroutes = 0;  // guarded by mu; NOT_OWNER refusals
   bool last_ok = true;     // guarded by mu
   LatencyHistogram latency;  // guarded by mu; successful exchanges only
 };
@@ -155,6 +164,16 @@ std::string Router::shard_down_line(size_t shard) const {
   os << "shard " << shard << " unreachable after " << (1 + opt_.shard_retries)
      << " attempt(s); the request was not answered";
   return format_error("SHARD_DOWN", os.str());
+}
+
+std::string Router::no_owner_line() const {
+  // Every reachable shard answered NOT_OWNER: the manifest's slabs and the
+  // fleet's actual row ownership disagree (stale manifest, mis-mounted
+  // shard). Same degradation class as an unreachable shard — the request
+  // was not answered and the client should treat the fleet as unhealthy.
+  return format_error("SHARD_DOWN",
+                      "no shard owns the source rows for this request; the "
+                      "request was not answered");
 }
 
 std::optional<std::string> Router::exchange(
@@ -210,9 +229,49 @@ std::optional<std::string> Router::exchange(
   return std::nullopt;
 }
 
+std::optional<std::string> Router::route_exchange(
+    Channels& chans, const PointPair& pp, const std::string& payload,
+    const std::function<bool(const std::string&)>& valid, size_t& fail_shard) {
+  // Candidate order mirrors where the query's §6.4 source rows can live:
+  // the backward ray from t hits one obstacle, whose corners sit near s's
+  // or t's slab in a well-partitioned scene — so source slab, target slab,
+  // then everything else ascending. Under kUnion the first candidate
+  // always answers, so this loop degenerates to the old single exchange.
+  std::vector<size_t> cands;
+  cands.reserve(man_.shards.size());
+  const auto add = [&cands](size_t sh) {
+    for (size_t c : cands) {
+      if (c == sh) return;
+    }
+    cands.push_back(sh);
+  };
+  add(route_by_x(man_, pp.s.x));
+  add(route_by_x(man_, pp.t.x));
+  for (size_t sh = 0; sh < man_.shards.size(); ++sh) add(sh);
+
+  for (size_t cand : cands) {
+    std::optional<std::string> line =
+        exchange(chans, cand, payload, valid, /*already_sent=*/false);
+    if (!line) {
+      // This candidate may be the true owner; without its answer the
+      // request cannot be served correctly, so degrade rather than guess.
+      fail_shard = cand;
+      return std::nullopt;
+    }
+    if (not_owner_line(*line)) {
+      ShardState& st = *shards_[cand];
+      std::lock_guard<std::mutex> lk(st.mu);
+      ++st.misroutes;
+      continue;
+    }
+    return line;
+  }
+  fail_shard = SIZE_MAX;
+  return std::nullopt;
+}
+
 std::string Router::handle_single(const Request& req, Channels& chans) {
   const PointPair& pp = req.pairs[0];
-  const size_t shard = route_by_x(man_, pp.s.x);
   // Canonical regeneration, not raw-line relay: the shard sees exactly the
   // grammar the parser accepted, never the client's whitespace quirks.
   std::ostringstream os;
@@ -221,9 +280,11 @@ std::string Router::handle_single(const Request& req, Channels& chans) {
   os << '\n';
   const auto valid = req.verb == Verb::kLen ? valid_len_response
                                             : valid_path_response;
+  size_t fail_shard = SIZE_MAX;
   std::optional<std::string> line =
-      exchange(chans, shard, os.str(), valid, /*already_sent=*/false);
-  return line ? *line : shard_down_line(shard);
+      route_exchange(chans, pp, os.str(), valid, fail_shard);
+  if (line) return *line;
+  return fail_shard == SIZE_MAX ? no_owner_line() : shard_down_line(fail_shard);
 }
 
 std::string Router::handle_batch(const Request& req, Channels& chans) {
@@ -285,32 +346,75 @@ std::string Router::handle_batch(const Request& req, Channels& chans) {
 
   // Merge rule: any down shard -> SHARD_DOWN (the failed shard owning the
   // smallest original pair index); else any shard ERR -> relay the ERR
-  // owning the smallest original index; else scatter and merge.
+  // owning the smallest original index; else scatter and merge. A
+  // NOT_OWNER sub-response is neither relayed nor fatal: the engine
+  // refuses a whole sub-batch when it lacks *any* pair's source rows, so
+  // each of that sub's pairs is re-routed individually through the
+  // candidate walk (the refusing shard included — it may own most of
+  // them). The merge stays all-or-nothing: one fully merged OK line, or a
+  // single ERR and no partial values.
   size_t down_shard = SIZE_MAX, down_idx = SIZE_MAX;
-  size_t err_sub = SIZE_MAX, err_idx = SIZE_MAX;
-  for (size_t si = 0; si < subs.size(); ++si) {
-    const size_t first = owned[subs[si].shard].front();
-    if (!subs[si].line) {
+  std::string err_best;
+  size_t err_idx = SIZE_MAX;
+  std::vector<std::string> values(req.pairs.size());
+  for (Sub& s : subs) {
+    const size_t first = owned[s.shard].front();
+    if (!s.line) {
       if (first < down_idx) {
         down_idx = first;
-        down_shard = subs[si].shard;
+        down_shard = s.shard;
       }
-    } else if (err_line(*subs[si].line)) {
+      continue;
+    }
+    if (not_owner_line(*s.line)) {
+      {
+        ShardState& st = *shards_[s.shard];
+        std::lock_guard<std::mutex> lk(st.mu);
+        ++st.misroutes;
+      }
+      for (size_t idx : owned[s.shard]) {
+        std::ostringstream ro;
+        ro << "BATCH 1\n";
+        append_pair(ro, req.pairs[idx]);
+        ro << '\n';
+        size_t fail_shard = SIZE_MAX;
+        std::optional<std::string> rl = route_exchange(
+            chans, req.pairs[idx], ro.str(),
+            [](const std::string& l) { return valid_batch_response(l, 1); },
+            fail_shard);
+        if (!rl) {
+          if (idx < down_idx) {
+            down_idx = idx;
+            down_shard = fail_shard;  // SIZE_MAX when every shard refused
+          }
+        } else if (err_line(*rl)) {
+          if (idx < err_idx) {
+            err_idx = idx;
+            err_best = *rl;
+          }
+        } else {
+          values[idx] = tokens_of(*rl)[2];  // "OK 1 v"
+        }
+      }
+      continue;
+    }
+    if (err_line(*s.line)) {
       if (first < err_idx) {
         err_idx = first;
-        err_sub = si;
+        err_best = *s.line;
       }
+      continue;
     }
-  }
-  if (down_shard != SIZE_MAX) return shard_down_line(down_shard);
-  if (err_sub != SIZE_MAX) return *subs[err_sub].line;
-
-  std::vector<std::string> values(req.pairs.size());
-  for (const Sub& s : subs) {
     const std::vector<std::string> t = tokens_of(*s.line);  // "OK n v1..vn"
     const std::vector<size_t>& idx = owned[s.shard];
     for (size_t j = 0; j < idx.size(); ++j) values[idx[j]] = t[2 + j];
   }
+  if (down_idx != SIZE_MAX) {
+    return down_shard == SIZE_MAX ? no_owner_line()
+                                  : shard_down_line(down_shard);
+  }
+  if (err_idx != SIZE_MAX) return err_best;
+
   std::ostringstream os;
   os << "OK " << values.size();
   for (const std::string& v : values) os << ' ' << v;
@@ -390,6 +494,7 @@ RouterStats Router::stats() const {
     s.shards[i].requests = st.requests;
     s.shards[i].failures = st.failures;
     s.shards[i].retries = st.retries;
+    s.shards[i].misroutes = st.misroutes;
     s.shards[i].last_ok = st.last_ok;
     s.shards[i].p50_us = st.latency.percentile(0.50);
     s.shards[i].p95_us = st.latency.percentile(0.95);
@@ -407,7 +512,8 @@ std::string Router::stats_line() const {
     const RouterShardStats& sh = s.shards[i];
     os << " shard" << i << '=' << (sh.last_ok ? "up" : "down")
        << ":req=" << sh.requests << ",fail=" << sh.failures
-       << ",retry=" << sh.retries << ",p95_us=" << sh.p95_us;
+       << ",retry=" << sh.retries << ",misroute=" << sh.misroutes
+       << ",p95_us=" << sh.p95_us;
   }
   return os.str();
 }
@@ -429,7 +535,8 @@ std::string Router::stats_json() const {
     const RouterShardStats& sh = s.shards[i];
     os << "    {\"shard\": " << i << ", \"up\": " << (sh.last_ok ? "true" : "false")
        << ", \"requests\": " << sh.requests << ", \"failures\": " << sh.failures
-       << ", \"retries\": " << sh.retries << ", \"latency_us\": {\"p50\": "
+       << ", \"retries\": " << sh.retries << ", \"misroutes\": " << sh.misroutes
+       << ", \"latency_us\": {\"p50\": "
        << sh.p50_us << ", \"p95\": " << sh.p95_us << ", \"max\": " << sh.max_us
        << "}}" << (i + 1 < s.shards.size() ? "," : "") << "\n";
   }

@@ -17,12 +17,21 @@
 //             never forwarded.
 //   QUIT      answered locally ("OK bye").
 //
-// Routing is an affinity hint only — every shard server mounts the full
-// union (see io/manifest.h), so any routing function is correct; the slabs
-// just keep a source's queries on one shard's warm cache. That independence
-// is what the fault-injection battery exploits: a router transcript must be
-// byte-identical to a direct single-engine transcript no matter how
-// responses interleave.
+// What routing means depends on how the shard servers mounted the
+// manifest (api/engine.h MountMode):
+//  - kUnion: every shard server holds all rows, so any routing function is
+//    correct; the slabs just keep a source's queries on one shard's warm
+//    cache, and the first-try shard always answers.
+//  - kOwnedRows: each shard holds only its [row_lo, row_hi) rows and
+//    refuses a query whose source rows it lacks with
+//    "ERR NOT_OWNER <row_lo> <row_hi>". The router treats that refusal as
+//    a routing fault, never a client error: it walks the candidate shards
+//    (source slab, then target slab, then the rest ascending) until one
+//    accepts, counting a misroute per refusal. Clients never see
+//    NOT_OWNER through a router.
+// Either way the fault-injection battery's contract holds: a router
+// transcript must be byte-identical to a direct single-engine transcript
+// no matter how responses interleave or how many re-routes happen.
 //
 // Failure semantics (the hard contract, tests/router_test.cpp):
 //  - Every client request gets exactly one response line, in request
@@ -33,10 +42,17 @@
 //    misalign every later response) and is retried once on a fresh
 //    connection (RouterOptions::shard_retries). Exhausted retries answer
 //    "ERR SHARD_DOWN shard <i> ..." for the requests that needed it.
+//  - A NOT_OWNER refusal advances the candidate walk. The walk degrades to
+//    SHARD_DOWN only when a candidate that may still own the rows is
+//    unreachable, or when every shard refused (a stale manifest whose
+//    slabs disagree with the fleet's actual row ownership).
 //  - A merged BATCH answers SHARD_DOWN if any involved shard was down
 //    (named: the failed shard owning the smallest original pair index);
 //    otherwise relays a shard's own ERR verbatim (the one owning the
-//    smallest original pair index); otherwise merges the OK values.
+//    smallest original pair index); otherwise merges the OK values. A
+//    NOT_OWNER sub-response re-routes each of its pairs individually
+//    (the engine refuses whole sub-batches, so some pairs may still
+//    belong to the refusing shard); the merge stays all-or-nothing.
 //
 // Transport is abstracted behind ShardChannel/ShardConnector so the fault
 // battery can interpose deterministic delay/truncation/corruption/kill
@@ -105,10 +121,11 @@ struct RouterOptions {
 
 // Per-shard health snapshot (see Router::stats).
 struct RouterShardStats {
-  uint64_t requests = 0;  // exchanges attempted against this shard
-  uint64_t failures = 0;  // exchanges exhausted (became SHARD_DOWN)
-  uint64_t retries = 0;   // reconnect-and-resend attempts
-  bool last_ok = true;    // most recent exchange outcome
+  uint64_t requests = 0;   // exchanges attempted against this shard
+  uint64_t failures = 0;   // exchanges exhausted (became SHARD_DOWN)
+  uint64_t retries = 0;    // reconnect-and-resend attempts
+  uint64_t misroutes = 0;  // NOT_OWNER refusals (owned-rows re-routes)
+  bool last_ok = true;     // most recent exchange outcome
   uint64_t p50_us = 0;    // successful-exchange latency percentiles
   uint64_t p95_us = 0;
   uint64_t max_us = 0;
@@ -151,7 +168,8 @@ class Router {
 
   RouterStats stats() const;
   // The STATS wire response: "OK router shards=<k> requests=... " plus one
-  // "shard<i>=up|down:req=..,fail=..,retry=..,p95_us=.." field per shard.
+  // "shard<i>=up|down:req=..,fail=..,retry=..,misroute=..,p95_us=.." field
+  // per shard.
   // Prefixed "OK router" so fleet transcripts can be diffed against
   // single-engine ones with STATS lines filtered by prefix.
   std::string stats_line() const;
@@ -176,9 +194,23 @@ class Router {
       const std::function<bool(const std::string&)>& valid,
       bool already_sent);
 
+  // Candidate-walk exchange for one pair: source-slab shard first (under
+  // kUnion that is the only shard ever asked), then the target-slab shard,
+  // then every remaining shard ascending, deduplicated. A NOT_OWNER
+  // refusal counts a misroute and advances the walk; any other response is
+  // definitive and returned as-is (never NOT_OWNER). Returns nullopt when
+  // a candidate that may still own the rows is unreachable (`fail_shard`
+  // names it; the caller answers SHARD_DOWN) or when every shard refused
+  // (`fail_shard` == SIZE_MAX: manifest and fleet ownership disagree).
+  std::optional<std::string> route_exchange(
+      Channels& chans, const PointPair& pp, const std::string& payload,
+      const std::function<bool(const std::string&)>& valid,
+      size_t& fail_shard);
+
   std::string handle_single(const Request& req, Channels& chans);
   std::string handle_batch(const Request& req, Channels& chans);
   std::string shard_down_line(size_t shard) const;
+  std::string no_owner_line() const;
   void count_response(const std::string& line);
 
   ShardManifest man_;

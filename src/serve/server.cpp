@@ -131,25 +131,75 @@ QueryServer::~QueryServer() {
   if (dispatcher_.joinable()) dispatcher_.join();
 }
 
-std::future<std::string> QueryServer::submit(Request req) {
+void QueryServer::dec_inflight_locked(uint64_t session) {
+  auto it = inflight_.find(session);
+  if (it != inflight_.end() && --it->second == 0) inflight_.erase(it);
+}
+
+std::future<std::string> QueryServer::submit(Request req, uint64_t session) {
   auto p = std::make_unique<Pending>();
   p->req = std::move(req);
+  p->session = session;
   p->admitted = Clock::now();
   std::future<std::string> fut = p->response.get_future();
   size_t pending = 0;
+  std::unique_ptr<Pending> evicted;
   {
     std::lock_guard<std::mutex> lk(queue_mu_);
     if (opt_.max_queue_depth > 0 && queue_.size() >= opt_.max_queue_depth) {
-      pending = queue_.size();  // full: shed below, outside the lock
+      pending = queue_.size();
+      // Fair shedding. A full queue used to refuse whichever request
+      // arrived next — so one hog session keeping the queue full shed
+      // every *other* session's requests while its own backlog executed.
+      // Instead: a session already at or over its fair share of the queue
+      // sheds its own arrival; a session within its share is admitted by
+      // evicting the newest queued request of the hoggiest over-quota
+      // session.
+      size_t mine = 0;
+      if (auto it = inflight_.find(session); it != inflight_.end()) {
+        mine = it->second;
+      }
+      const size_t sessions = inflight_.size() + (mine == 0 ? 1 : 0);
+      const size_t share =
+          std::max<size_t>(1, opt_.max_queue_depth / std::max<size_t>(1, sessions));
+      if (mine < share) {
+        uint64_t hog = session;
+        size_t hog_count = mine;
+        for (const auto& [sid, cnt] : inflight_) {
+          if (cnt > hog_count) {
+            hog = sid;
+            hog_count = cnt;
+          }
+        }
+        if (hog != session && hog_count > share) {
+          // Newest-first eviction: the hog's oldest requests keep their
+          // place (they waited longest), its most recent burst pays.
+          for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
+            if ((*it)->session == hog) {
+              evicted = std::move(*it);
+              queue_.erase(std::next(it).base());
+              break;
+            }
+          }
+          if (evicted) {
+            dec_inflight_locked(hog);
+            ++inflight_[session];
+            queue_.push_back(std::move(p));
+          }
+        }
+      }
+      // else: p survives the block and is shed below.
     } else {
+      ++inflight_[session];
       queue_.push_back(std::move(p));
     }
   }
-  if (p) {
-    // Bounded admission: the request never queues and never executes; the
-    // client gets an immediate LOAD_SHED line (in order, via its future).
-    // Deliberately not recorded in the latency histograms — a shed answer
-    // is near-instant, and folding it in would drag the adaptive p95 down
+  Pending* shed = p ? p.get() : evicted.get();
+  if (shed != nullptr) {
+    // Bounded admission: the shed request never executes; its client gets
+    // an immediate LOAD_SHED line (in order, via its future). Deliberately
+    // not recorded in the latency histograms — a shed answer is
+    // near-instant, and folding it in would drag the adaptive p95 down
     // exactly when the server is hottest.
     {
       std::lock_guard<std::mutex> slk(stats_mu_);
@@ -157,8 +207,8 @@ std::future<std::string> QueryServer::submit(Request req) {
       ++errors_;
       ++shed_;
     }
-    p->response.set_value(format_load_shed(pending));
-    return fut;
+    shed->response.set_value(format_load_shed(pending));
+    if (p) return fut;  // the arrival was shed; nothing was enqueued
   }
   queue_cv_.notify_all();
   return fut;
@@ -219,6 +269,7 @@ void QueryServer::dispatch_group(std::unique_lock<std::mutex>& lk) {
     pairs += next;
     group.push_back(std::move(queue_.front()));
     queue_.pop_front();
+    dec_inflight_locked(group.back()->session);
     if (kind == Kind::kStats) break;  // STATS dispatches alone
   }
 
@@ -373,6 +424,10 @@ void QueryServer::count_protocol_error() {
 // ---------------------------------------------------------------------------
 
 void QueryServer::serve(std::istream& in, std::ostream& out) {
+  // Session identity for fair admission: every serve() call is one
+  // session, and the fair-shedding logic in submit() charges queued
+  // requests to it.
+  const uint64_t session = next_session_.fetch_add(1, std::memory_order_relaxed);
   // Responses leave in request order: the reader appends one future per
   // request, the writer drains them FIFO. Computation overlaps input —
   // that pipelining is what gives the dispatcher batches to coalesce.
@@ -427,7 +482,7 @@ void QueryServer::serve(std::istream& in, std::ostream& out) {
       push_ready("OK bye");
       break;
     }
-    push(submit(std::move(pr.req)));
+    push(submit(std::move(pr.req), session));
   }
 
   {
@@ -492,6 +547,7 @@ std::string QueryServer::stats_line() const {
      << " payload=" << engine_payload_kind(engine_)
      << " mem_bytes=" << engine_.memory_usage();
   const Engine::MemoryBreakdown mb = engine_.memory_breakdown();
+  os << " owned_rows=" << mb.owned_rows << "/" << mb.total_rows;
   if (mb.mapped_bytes > 0) {
     // mmap-opened engine: mem_bytes minus this is the true resident cost.
     os << " mapped_bytes=" << mb.mapped_bytes;
@@ -529,6 +585,8 @@ std::string QueryServer::stats_json() const {
      << "    \"payload\": \"" << engine_payload_kind(engine_) << "\",\n"
      << "    \"memory_bytes\": " << engine_.memory_usage() << ",\n"
      << "    \"mapped_bytes\": " << mb.mapped_bytes << ",\n"
+     << "    \"owned_rows\": " << mb.owned_rows << ",\n"
+     << "    \"total_rows\": " << mb.total_rows << ",\n"
      << "    \"port_matrix_bytes\": " << mb.port_matrix_bytes << ",\n"
      << "    \"port_matrix_dense_bytes\": " << mb.port_matrix_dense_bytes
      << ",\n"

@@ -38,10 +38,17 @@
 // an Engine batch by design) falls back to per-request execution, so one
 // bad query degrades only its own response, never its batch neighbors'.
 //
-// Admission is bounded (ServeOptions::max_queue_depth): a request arriving
-// at a full queue is answered "ERR LOAD_SHED ..." immediately — it never
-// executes, never queues, and ticks the STATS/JSON-visible `shed` counter.
-// Backpressure therefore costs one response line, not unbounded memory.
+// Admission is bounded (ServeOptions::max_queue_depth) and *fair across
+// sessions*: the server tracks per-session queued counts, and when the
+// queue is full it sheds from whichever session is over its fair share
+// (max_queue_depth / active sessions). A request from a session within its
+// share evicts the newest queued request of the hoggiest over-quota
+// session instead of being refused — so one client flooding the queue
+// sheds only its own requests, never a polite client's. Every shed answer
+// is an immediate "ERR LOAD_SHED ..." line (the request never executes)
+// and ticks the STATS/JSON-visible `shed` counter. Backpressure therefore
+// costs one response line, not unbounded memory — and not another
+// session's throughput.
 //
 // The coalescing window is adaptive (ServeOptions::target_p95_us): the
 // dispatcher keeps an epoch latency histogram and, every few dozen
@@ -78,6 +85,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "api/engine.h"
 #include "serve/listener.h"
@@ -223,13 +231,18 @@ class QueryServer {
  private:
   struct Pending {
     Request req;
+    uint64_t session = 0;  // which serve() session admitted it
     std::chrono::steady_clock::time_point admitted;
     std::promise<std::string> response;
   };
 
-  // Admits a parsed request; the future resolves to its response line.
-  // A full admission queue resolves immediately to ERR LOAD_SHED.
-  std::future<std::string> submit(Request req);
+  // Admits a parsed request from `session`; the future resolves to its
+  // response line. A full admission queue sheds fairly: the arrival when
+  // its session is over its share, else the hoggiest session's newest
+  // queued request (see the class comment).
+  std::future<std::string> submit(Request req, uint64_t session);
+  // Drops `session`'s queued count by one. Caller holds queue_mu_.
+  void dec_inflight_locked(uint64_t session);
   void dispatcher_main();
   // Pops a maximal same-kind prefix (bounded by max_batch_pairs) and
   // answers it. Called with queue_mu_ held; releases it while computing.
@@ -259,6 +272,11 @@ class QueryServer {
   std::condition_variable queue_cv_;
   std::deque<std::unique_ptr<Pending>> queue_;  // guarded by queue_mu_
   bool stop_ = false;                           // guarded by queue_mu_
+  // Per-session queued-request counts (entries erased at zero, so size ==
+  // sessions with pending work); drives fair shedding. Guarded by
+  // queue_mu_.
+  std::unordered_map<uint64_t, size_t> inflight_;
+  std::atomic<uint64_t> next_session_{1};  // serve() session ids
 
   mutable std::mutex stats_mu_;
   uint64_t requests_ = 0;          // guarded by stats_mu_

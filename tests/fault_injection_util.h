@@ -313,4 +313,25 @@ inline ShardConnector engine_connector(const Engine* engine) {
   };
 }
 
+// Per-shard-engine connector: shard i answers from engines[i] — the
+// owned-rows fleet topology (MountMode::kOwnedRows), where each engine
+// holds only its own rows and refuses the rest with NOT_OWNER
+// (EngineShardChannel formats it via format_error, so the wire bytes match
+// a real QueryServer). Ownership faults are built by *mis-wiring* this
+// vector: a lying shard is an entry mounted with another shard's rows; a
+// stale manifest is a Router given slabs that disagree with the mounts.
+// Every channel still passes through `script`, so transport faults compose
+// with ownership faults.
+inline ShardConnector fleet_connector(std::vector<const Engine*> engines,
+                                      FaultScript* script) {
+  return [engines = std::move(engines),
+          script](size_t shard) -> std::unique_ptr<ShardChannel> {
+    script->note_connect(shard);
+    if (script->unreachable(shard)) return nullptr;
+    if (shard >= engines.size()) return nullptr;
+    return std::make_unique<FaultChannel>(
+        std::make_unique<EngineShardChannel>(engines[shard]), script, shard);
+  };
+}
+
 }  // namespace rsp::testutil

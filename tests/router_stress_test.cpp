@@ -183,6 +183,60 @@ TEST(RouterStressTest, MidStressShardKillDegradesOnlyAffectedLines) {
   EXPECT_GE(s.shards[1].failures, down_lines);
 }
 
+// The NOT_OWNER re-route path under concurrency: an owned-rows fleet whose
+// engine wiring is rotated against the manifest, so a large fraction of
+// exchanges refuse and re-route through the candidate walk — while many
+// sessions hammer the shared misroute counters and per-shard health stats.
+// Transcripts must stay byte-exact; this is the TSan coverage for the
+// ownership-fault machinery.
+TEST(RouterStressTest, ConcurrentRerouteSessionsAreByteExact) {
+  auto& f = fleet();
+  constexpr size_t kClients = 6;
+  constexpr size_t kRequests = 30;
+  std::vector<Engine> owned;
+  for (size_t i = 0; i < f.man.shards.size(); ++i) {
+    Result<Engine> sh = Engine::open(
+        f.man_path, {.mount = MountMode::kOwnedRows, .shard = i});
+    ASSERT_TRUE(sh.ok()) << "shard " << i << ": " << sh.status();
+    owned.push_back(std::move(*sh));
+  }
+  // Rotate: the manifest's shard i is actually serving shard (i+1)'s rows.
+  std::vector<const Engine*> rotated;
+  for (size_t i = 0; i < owned.size(); ++i) {
+    rotated.push_back(&owned[(i + 1) % owned.size()]);
+  }
+  FaultScript faults;
+  Router router(f.man, testutil::fleet_connector(rotated, &faults));
+
+  std::vector<std::string> scripts, expected;
+  for (size_t c = 0; c < kClients; ++c) {
+    scripts.push_back(client_script(200 + c, kRequests));
+    expected.push_back(oracle_transcript(scripts.back()));
+  }
+  std::vector<std::string> got(kClients);
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      std::istringstream in(scripts[c]);
+      std::ostringstream out;
+      router.serve(in, out);
+      got[c] = out.str();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (size_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(got[c], expected[c])
+        << "client " << c << " transcript diverged across re-routes";
+  }
+  RouterStats s = router.stats();
+  EXPECT_EQ(s.errors, 0u);
+  EXPECT_EQ(s.shard_down, 0u);
+  uint64_t misroutes = 0;
+  for (const auto& sh : s.shards) misroutes += sh.misroutes;
+  EXPECT_GT(misroutes, 0u) << "rotated fleet never exercised a re-route";
+}
+
 #ifdef RSP_TEST_SOCKETS
 
 // The same property over real sockets: concurrent TCP clients against the

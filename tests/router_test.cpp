@@ -410,6 +410,291 @@ TEST(RouterFaultTest, UnreachableShardIsShardDownThenRecoversWhenItReturns) {
 }
 
 // ---------------------------------------------------------------------------
+// Ownership battery: owned-rows mounts, NOT_OWNER re-routing
+// (MountMode::kOwnedRows — each shard server holds only its manifest rows)
+// ---------------------------------------------------------------------------
+
+// A 4-shard owned-rows fleet: one engine per shard mounted with
+// MountMode::kOwnedRows, plus the union mount as the oracle. Free points
+// are bucketed by routing slab as in Fleet.
+struct OwnedFleet {
+  std::string man_path;
+  ShardManifest man;
+  Engine oracle;              // union mount (all rows)
+  std::vector<Engine> owned;  // owned[i] holds only shard i's rows
+  std::map<size_t, std::vector<Point>> by_shard;
+};
+
+OwnedFleet& owned_fleet() {
+  static OwnedFleet* f = [] {
+    Scene s = gen_uniform(64, 11);
+    Engine build(Scene{s}, {.backend = Backend::kAllPairsSeq});
+    std::string dir = testutil::unique_fixture_dir(::testing::TempDir() +
+                                                   "/rsp_router_owned");
+    std::filesystem::create_directories(dir);
+    std::string path = dir + "/fleet.man";
+    Status st = build.save(path, {.shards = 4});
+    RSP_CHECK_MSG(st.ok(), "owned fixture save: " + st.to_string());
+    Result<ShardManifest> man = load_manifest(path);
+    RSP_CHECK_MSG(man.ok(), "owned fixture manifest: " + man.status().to_string());
+    Result<Engine> oracle = Engine::open(path, {});
+    RSP_CHECK_MSG(oracle.ok(), "owned fixture union: " + oracle.status().to_string());
+    auto* fx = new OwnedFleet{path, std::move(*man), std::move(*oracle), {}, {}};
+    for (size_t i = 0; i < fx->man.shards.size(); ++i) {
+      Result<Engine> sh =
+          Engine::open(path, {.mount = MountMode::kOwnedRows, .shard = i});
+      RSP_CHECK_MSG(sh.ok(), "owned fixture shard mount: " + sh.status().to_string());
+      fx->owned.push_back(std::move(*sh));
+    }
+    for (const Point& p : random_free_points(s, 128, 33)) {
+      fx->by_shard[route_by_x(fx->man, p.x)].push_back(p);
+    }
+    RSP_CHECK_MSG(fx->by_shard.size() >= 2,
+                  "owned fixture: free points missed every slab but one");
+    return fx;
+  }();
+  return *f;
+}
+
+std::vector<const Engine*> owned_engines() {
+  std::vector<const Engine*> v;
+  for (const Engine& e : owned_fleet().owned) v.push_back(&e);
+  return v;
+}
+
+// The oracle transcript for the owned fleet: the same script against one
+// QueryServer over the union mount.
+std::string owned_oracle_session(const std::string& script) {
+  Result<Engine> eng = Engine::open(owned_fleet().man_path, {});
+  RSP_CHECK_MSG(eng.ok(), "owned oracle mount: " + eng.status().to_string());
+  QueryServer srv(std::move(*eng), {.coalesce_window_us = 0});
+  std::istringstream in(script);
+  std::ostringstream out;
+  srv.serve(in, out);
+  return out.str();
+}
+
+// LEN + PATH per populated slab, then a BATCH whose sources cross slabs.
+std::string owned_spread_script() {
+  auto& f = owned_fleet();
+  std::vector<const std::vector<Point>*> buckets;
+  for (const auto& [sh, v] : f.by_shard) buckets.push_back(&v);
+  const size_t nb = buckets.size();
+  const auto pt = [&](size_t b, size_t i) {
+    const std::vector<Point>& v = *buckets[b % nb];
+    return v[i % v.size()];
+  };
+  std::ostringstream os;
+  for (size_t b = 0; b < nb; ++b) {
+    Point a = pt(b, 0), c = pt(b + 1, 1);
+    os << "LEN " << a.x << ',' << a.y << ' ' << c.x << ',' << c.y << '\n';
+    os << "PATH " << a.x << ',' << a.y << ' ' << c.x << ',' << c.y << '\n';
+  }
+  os << "BATCH 8\n";
+  for (size_t i = 0; i < 8; ++i) {
+    Point a = pt(i, i), c = pt(i + 1, i + 3);
+    os << a.x << ',' << a.y << ' ' << c.x << ',' << c.y << '\n';
+  }
+  os << "QUIT\n";
+  return os.str();
+}
+
+uint64_t total_misroutes(const RouterStats& s) {
+  uint64_t n = 0;
+  for (const auto& sh : s.shards) n += sh.misroutes;
+  return n;
+}
+
+// A free-point pair whose §6.4 source rows shard `j` owns — probed against
+// the owned mount itself (deterministic: fixed scene, fixed point set).
+// With `refused_by` set, the pair must additionally NOT be owned by that
+// shard (its mount answers kNotOwner).
+PointPair pair_owned_by(size_t j, size_t refused_by = SIZE_MAX) {
+  auto& f = owned_fleet();
+  std::vector<Point> pts;
+  for (const auto& [sh, v] : f.by_shard) pts.insert(pts.end(), v.begin(), v.end());
+  for (size_t a = 0; a < pts.size(); ++a) {
+    for (size_t b = 0; b < pts.size(); ++b) {
+      if (pts[a].x == pts[b].x && pts[a].y == pts[b].y) continue;
+      if (!f.owned[j].length(pts[a], pts[b]).ok()) continue;
+      if (refused_by != SIZE_MAX &&
+          f.owned[refused_by].length(pts[a], pts[b]).status().code() !=
+              StatusCode::kNotOwner) {
+        continue;
+      }
+      return {pts[a], pts[b]};
+    }
+  }
+  RSP_CHECK_MSG(false, "no probed pair owned by the requested shard");
+  return {};
+}
+
+TEST(RouterOwnedRowsTest, OwnedMountAnswersNotOwnerOnTheWireDirectly) {
+  auto& f = owned_fleet();
+  // Talking to an owned shard *without* a router: the refusal itself is
+  // the wire contract — exactly format_not_owner(row_lo, row_hi).
+  const PointPair pp = pair_owned_by(0, /*refused_by=*/1);
+  Result<Engine> shard1 =
+      Engine::open(f.man_path, {.mount = MountMode::kOwnedRows, .shard = 1});
+  ASSERT_TRUE(shard1.ok()) << shard1.status();
+  const std::pair<size_t, size_t> window = shard1->owned_rows();
+  EXPECT_EQ(window.first, f.man.shards[1].row_lo);
+  EXPECT_EQ(window.second, f.man.shards[1].row_hi);
+  QueryServer srv(std::move(*shard1), {.coalesce_window_us = 0});
+  std::istringstream in(len_line(pp.s, pp.t) + "STATS\nQUIT\n");
+  std::ostringstream out;
+  srv.serve(in, out);
+  std::istringstream is(out.str());
+  std::string refusal, stats;
+  std::getline(is, refusal);
+  std::getline(is, stats);
+  EXPECT_EQ(refusal, format_not_owner(window.first, window.second));
+  // STATS reports the owned window so fleet dashboards can see partial
+  // mounts: "owned_rows=<count>/<total>".
+  const std::string frag = " owned_rows=" +
+                           std::to_string(window.second - window.first) + "/" +
+                           std::to_string(f.man.m);
+  EXPECT_NE(stats.find(frag), std::string::npos) << stats;
+}
+
+TEST(RouterOwnedRowsTest, TranscriptMatchesUnionOracleByteForByte) {
+  auto& f = owned_fleet();
+  const std::string script = owned_spread_script();
+  FaultScript faults;
+  Router r(f.man, testutil::fleet_connector(owned_engines(), &faults));
+  EXPECT_EQ(route_session(r, script), owned_oracle_session(script));
+  RouterStats s = r.stats();
+  EXPECT_EQ(s.shard_down, 0u);
+  EXPECT_EQ(s.errors, 0u);
+}
+
+TEST(RouterOwnedRowsTest, StaleManifestReroutesViaNotOwnerAndStaysExact) {
+  auto& f = owned_fleet();
+  // Stale manifest: the router's slab map says shard i owns what shard
+  // (i+1) % k actually mounted. Every first-try exchange that needs the
+  // rotated rows comes back NOT_OWNER; the candidate walk must find the
+  // true owner and keep the transcript byte-identical to the oracle.
+  const size_t k = f.man.shards.size();
+  std::vector<const Engine*> rotated;
+  for (size_t i = 0; i < k; ++i) rotated.push_back(&f.owned[(i + 1) % k]);
+  const std::string script = owned_spread_script();
+  FaultScript faults;
+  Router r(f.man, testutil::fleet_connector(rotated, &faults));
+  EXPECT_EQ(route_session(r, script), owned_oracle_session(script));
+  RouterStats s = r.stats();
+  EXPECT_EQ(s.shard_down, 0u);
+  EXPECT_EQ(s.errors, 0u);
+  EXPECT_GT(total_misroutes(s), 0u) << "rotation never tripped a re-route";
+}
+
+TEST(RouterOwnedRowsTest, RerouteComposesWithTheTransportRetryLadder) {
+  auto& f = owned_fleet();
+  const size_t k = f.man.shards.size();
+  std::vector<const Engine*> rotated;
+  for (size_t i = 0; i < k; ++i) rotated.push_back(&f.owned[(i + 1) % k]);
+  // The pair's true owner (post-rotation position of shard 0's rows) eats
+  // one kill first: NOT_OWNER re-route lands on it, the in-exchange retry
+  // ladder reconnects, and the client still sees the oracle's bytes.
+  const PointPair pp = pair_owned_by(0, /*refused_by=*/1);
+  size_t owner_pos = SIZE_MAX;
+  for (size_t i = 0; i < k; ++i) {
+    if (rotated[i] == &f.owned[0]) owner_pos = i;
+  }
+  ASSERT_NE(owner_pos, SIZE_MAX);
+  FaultScript faults;
+  faults.push(owner_pos, {FaultKind::kKillAfterSend, nullptr, {}});
+  Router r(f.man, testutil::fleet_connector(rotated, &faults));
+  const std::string script = len_line(pp.s, pp.t) + "QUIT\n";
+  EXPECT_EQ(route_session(r, script), owned_oracle_session(script));
+  RouterStats s = r.stats();
+  EXPECT_EQ(s.shard_down, 0u);
+  EXPECT_GE(s.shards[owner_pos].retries, 1u);
+}
+
+TEST(RouterOwnedRowsTest, LyingFleetDegradesToShardDownNeverAWrongAnswer) {
+  auto& f = owned_fleet();
+  // Every endpoint lies: they all mounted shard 0's rows, whatever the
+  // manifest says they own. Queries shard 0's rows can answer still come
+  // back byte-exact (any liar holds the right data); queries needing any
+  // other shard's rows must degrade to SHARD_DOWN — never a wrong answer,
+  // never a relayed NOT_OWNER.
+  const size_t k = f.man.shards.size();
+  std::vector<const Engine*> liars(k, &f.owned[0]);
+  FaultScript faults;
+  Router r(f.man, testutil::fleet_connector(liars, &faults));
+
+  const PointPair good = pair_owned_by(0);
+  const std::string ok_script = len_line(good.s, good.t) + "QUIT\n";
+  EXPECT_EQ(route_session(r, ok_script), owned_oracle_session(ok_script));
+
+  const PointPair orphan = pair_owned_by(2, /*refused_by=*/0);
+  const std::string got =
+      route_session(r, len_line(orphan.s, orphan.t) + "QUIT\n");
+  std::istringstream is(got);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line,
+            "ERR SHARD_DOWN no shard owns the source rows for this request; "
+            "the request was not answered");
+  RouterStats s = r.stats();
+  EXPECT_EQ(s.shard_down, 1u);
+  EXPECT_EQ(total_misroutes(s), k) << "every liar should have refused once";
+}
+
+TEST(RouterOwnedRowsTest, OwnedMountsUseAFractionOfTheUnionMemory) {
+  auto& f = owned_fleet();
+  const size_t k = f.man.shards.size();
+  const Engine::MemoryBreakdown un = f.oracle.memory_breakdown();
+  ASSERT_GT(un.total_bytes, 0u);
+  EXPECT_EQ(un.owned_rows, un.total_rows);
+  for (size_t i = 0; i < k; ++i) {
+    const Engine::MemoryBreakdown mb = f.owned[i].memory_breakdown();
+    EXPECT_EQ(mb.owned_rows,
+              f.man.shards[i].row_hi - f.man.shards[i].row_lo);
+    EXPECT_EQ(mb.total_rows, f.man.m);
+    // ~(1/k + eps): the owned tables are exactly rows/m of the union's,
+    // plus per-engine fixed overhead (scene, port matrices) that does not
+    // scale with the mount — grant it union/8 of slack.
+    EXPECT_LE(mb.total_bytes, un.total_bytes / k + un.total_bytes / 8)
+        << "shard " << i << " resident bytes not fractional";
+  }
+}
+
+// Routing-slab boundary ties (satellite): route_by_x is deterministic and
+// total — x == x_hi[i] belongs to shard i+1 (half-open slabs), ends clamp.
+TEST(RouterRoutingTest, SlabBoundaryCoordinatesRouteDeterministically) {
+  ShardManifest man;
+  man.num_obstacles = 6;
+  man.m = 24;
+  man.shards = {{"s0", SnapshotPayloadKind::kAllPairsShard, 0, 8, 0, 10, 1},
+                {"s1", SnapshotPayloadKind::kAllPairsShard, 8, 16, 10, 20, 2},
+                {"s2", SnapshotPayloadKind::kAllPairsShard, 16, 24, 20, 30, 3}};
+  ASSERT_TRUE(validate_manifest(man).ok());
+  EXPECT_EQ(route_by_x(man, 9), 0u);
+  EXPECT_EQ(route_by_x(man, 10), 1u);  // x == x_hi[0]: the tie goes right
+  EXPECT_EQ(route_by_x(man, 19), 1u);
+  EXPECT_EQ(route_by_x(man, 20), 2u);  // x == x_hi[1]
+  EXPECT_EQ(route_by_x(man, -100), 0u);  // left of every slab: clamp
+  EXPECT_EQ(route_by_x(man, 29), 2u);
+  EXPECT_EQ(route_by_x(man, 30), 2u);   // x == x_hi[last]: clamp
+  EXPECT_EQ(route_by_x(man, 1000), 2u);
+
+  // The saved fixture's slabs obey the same tie rule at every interior
+  // boundary (skipping empty slabs, which own no coordinate at all).
+  auto& f = owned_fleet();
+  for (size_t i = 0; i + 1 < f.man.shards.size(); ++i) {
+    const Coord edge = f.man.shards[i].x_hi;
+    const size_t got = route_by_x(f.man, edge);
+    EXPECT_GT(got, i) << "boundary coordinate " << edge
+                      << " routed back into a closed slab";
+    EXPECT_EQ(f.man.shards[got].x_lo <= edge && edge < f.man.shards[got].x_hi,
+              true)
+        << "boundary coordinate " << edge << " routed to shard " << got
+        << " whose slab does not contain it";
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Telemetry
 // ---------------------------------------------------------------------------
 

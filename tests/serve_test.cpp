@@ -475,6 +475,62 @@ TEST(QueryServerTest, LoadShedCapsTheAdmissionQueue) {
       << srv.stats_json();
 }
 
+TEST(QueryServerTest, FairShedEvictsTheHogSessionNeverThePoliteOne) {
+  // Regression: a single hog session filling the bounded admission queue
+  // used to shed *every other* session's requests — arrival order, not
+  // fairness, decided who got backpressure. Admission now tracks per-
+  // session in-flight counts: an under-quota arrival evicts the hoggiest
+  // over-quota session's newest queued request instead of being shed.
+  Scene s = test_scene();
+  auto pts = random_free_points(s, 4, 23);
+  // Long window so nothing dispatches while both sessions contend for the
+  // 6-deep queue; the hog pipelines far past it.
+  QueryServer srv(Engine(Scene{s}, {.backend = Backend::kAllPairsSeq}),
+                  {.coalesce_window_us = 300000, .max_queue_depth = 6});
+  auto script_of = [&](int n, const Point& a, const Point& b) {
+    std::ostringstream os;
+    for (int i = 0; i < n; ++i) {
+      os << "LEN " << a.x << ',' << a.y << ' ' << b.x << ',' << b.y << "\n";
+    }
+    os << "QUIT\n";
+    return os.str();
+  };
+  const std::string hog_script = script_of(40, pts[0], pts[1]);
+  const std::string polite_script = script_of(3, pts[2], pts[3]);
+
+  std::vector<std::string> hog_lines;
+  std::thread hog([&] { hog_lines = run_session(srv, hog_script); });
+  // Let the hog saturate the queue first — the worst case for the polite
+  // session under the old first-come shedding.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const std::vector<std::string> polite_lines =
+      run_session(srv, polite_script);
+  hog.join();
+
+  // The polite session is under its share (queue/sessions) at every
+  // arrival, so none of its requests may ever be shed ("OK bye" is QUIT's).
+  ASSERT_EQ(polite_lines.size(), 4u);
+  for (const std::string& l : polite_lines) {
+    EXPECT_EQ(l.rfind("OK ", 0), 0u) << "polite request shed or failed: " << l;
+  }
+  // The hog observed the backpressure instead (arrival sheds past its
+  // share, plus evictions when the polite session claimed its slots).
+  ASSERT_EQ(hog_lines.size(), 41u);
+  size_t hog_ok = 0, hog_shed = 0;
+  for (size_t i = 0; i + 1 < hog_lines.size(); ++i) {
+    const std::string& l = hog_lines[i];
+    if (l.rfind("OK ", 0) == 0) {
+      ++hog_ok;
+    } else {
+      EXPECT_EQ(l.rfind("ERR LOAD_SHED", 0), 0u) << l;
+      ++hog_shed;
+    }
+  }
+  EXPECT_GE(hog_ok, 1u);    // the hog is throttled, not starved
+  EXPECT_GE(hog_shed, 1u);  // and it did absorb the shedding
+  EXPECT_EQ(srv.stats().shed, hog_shed);
+}
+
 TEST(QueryServerTest, AdaptiveWindowShrinksUnderLoadAndGrowsBackIdle) {
   Scene s = test_scene();
   auto pts = random_free_points(s, 2, 29);

@@ -406,7 +406,15 @@ TEST(ShardedSnapshotTest, ShardCountClampsToRowsAndZeroIsMonolithic) {
   ASSERT_TRUE(eng.save(dir + "/set.man", {.shards = 64}).ok());
   Result<ShardManifest> man = load_manifest(dir + "/set.man");
   ASSERT_TRUE(man.ok()) << man.status();
-  EXPECT_EQ(man->shards.size(), 8u);  // clamped: no shard may be empty
+  // Clamped to one shard per *obstacle*, not per row: boundaries stay
+  // 4-aligned so both candidate rows of any arbitrary-point query (two
+  // corners of one obstacle, core/query.h) live on a single shard — the
+  // invariant MountMode::kOwnedRows serving depends on.
+  EXPECT_EQ(man->shards.size(), 2u);
+  for (const ShardEntry& sh : man->shards) {
+    EXPECT_EQ(sh.row_lo % 4, 0u) << sh.file;
+    EXPECT_EQ(sh.row_hi % 4, 0u) << sh.file;
+  }
   EXPECT_TRUE(Engine::open(dir + "/set.man", {}).ok());
 }
 
@@ -508,6 +516,26 @@ TEST(ShardedManifestTest, RowOverlapGapAndMixedKindsAreRejected) {
   bad_slab.shards[1].x_lo = 25;  // slabs out of order
   bad_slab.shards[1].x_hi = 5;
   EXPECT_EQ(validate_manifest(bad_slab).code(), StatusCode::kCorruptSnapshot);
+
+  // Slabs must tile contiguously: a gap leaves source coordinates owned by
+  // no shard (route_by_x would silently skip them — load-bearing under
+  // MountMode::kOwnedRows), an overlap routes one coordinate two ways.
+  ShardManifest slab_gap = man;
+  slab_gap.shards[1].x_lo = 12;  // x in [10,12) routes nowhere
+  EXPECT_EQ(validate_manifest(slab_gap).code(), StatusCode::kCorruptSnapshot);
+
+  ShardManifest slab_overlap = man;
+  slab_overlap.shards[1].x_lo = 8;  // x in [8,10) claimed by shards 0 and 1
+  EXPECT_EQ(validate_manifest(slab_overlap).code(),
+            StatusCode::kCorruptSnapshot);
+
+  // Empty slabs stay legal (k shards over a tiny x-span): contiguity, not
+  // non-emptiness, is the requirement.
+  ShardManifest empty_slab = man;
+  empty_slab.shards[1].x_lo = 10;
+  empty_slab.shards[1].x_hi = 10;
+  empty_slab.shards[2].x_lo = 10;
+  EXPECT_TRUE(validate_manifest(empty_slab).ok());
 }
 
 TEST(ShardedManifestTest, TextNegativesMapToPreciseCodes) {
@@ -573,6 +601,58 @@ TEST(ShardedSnapshotTest, BareShardFileRefusesDirectOpen) {
   EXPECT_EQ(by_stream.status().code(), StatusCode::kSnapshotMismatch);
   EXPECT_NE(by_stream.status().message().find("manifest"), std::string::npos)
       << by_stream.status();
+}
+
+TEST(ShardedSnapshotTest, OwnedRowsMountAdoptsOneShardAndRefusesTheRest) {
+  Scene s = gen_uniform(8, 13);
+  std::string path = saved_shard_set("owned", s, 4);
+  Result<ShardManifest> man = load_manifest(path);
+  ASSERT_TRUE(man.ok());
+  Engine direct(Scene{s}, {.backend = Backend::kAllPairsSeq});
+  auto pairs = make_pairs(s, 24, 9);
+
+  // Out-of-range shard index is a usage error, not a corrupt file.
+  EXPECT_EQ(Engine::open(path, {.mount = MountMode::kOwnedRows,
+                                .shard = man->shards.size()})
+                .status()
+                .code(),
+            StatusCode::kInvalidQuery);
+
+  for (size_t i = 0; i < man->shards.size(); ++i) {
+    for (MapMode map : {MapMode::kEager, MapMode::kMmap}) {
+      Result<Engine> own = Engine::open(
+          path, {.map = map, .mount = MountMode::kOwnedRows, .shard = i});
+      ASSERT_TRUE(own.ok()) << "shard " << i << ": " << own.status();
+      const auto window = own->owned_rows();
+      EXPECT_EQ(window.first, man->shards[i].row_lo);
+      EXPECT_EQ(window.second, man->shards[i].row_hi);
+      // Every pair either matches the oracle exactly or refuses with
+      // kNotOwner naming the owned window — never a wrong value.
+      size_t answered = 0;
+      for (const PointPair& pp : pairs) {
+        Result<Length> got = own->length(pp.s, pp.t);
+        Result<Length> want = direct.length(pp.s, pp.t);
+        if (got.ok()) {
+          ASSERT_TRUE(want.ok());
+          EXPECT_EQ(*got, *want);
+          ++answered;
+        } else {
+          EXPECT_EQ(got.status().code(), StatusCode::kNotOwner)
+              << got.status();
+          EXPECT_EQ(got.status().message(),
+                    std::to_string(window.first) + " " +
+                        std::to_string(window.second));
+        }
+      }
+      // The partition is real: this shard answers some pairs, not all.
+      EXPECT_GT(answered, 0u) << "shard " << i << " (" << (map == MapMode::kMmap ? "mmap" : "eager") << ")";
+      EXPECT_LT(answered, pairs.size());
+      // A partial engine must refuse to save: a snapshot of a window would
+      // silently masquerade as the full table.
+      std::ostringstream os;
+      EXPECT_EQ(own->save(os, {}).code(), StatusCode::kSnapshotMismatch);
+    }
+  }
 }
 
 TEST(ShardedSnapshotTest, ManifestMountRejectsNonRowPartitionableBackends) {

@@ -254,6 +254,37 @@ TEST(SnapshotV5Test, RawSnapshotAdoptsAllThreeTables) {
   std::remove(path.c_str());
 }
 
+TEST(SnapshotV5Test, UnionMmapMountSumsMappedBytesAcrossShards) {
+  // Regression: a manifest union mount that mmaps each shard file used to
+  // report only the *last* shard's mapping in memory_breakdown() — the
+  // per-shard sums were overwritten, not accumulated, so a 3-shard fleet
+  // looked 3x cheaper than it was in STATS and the stats JSON.
+  Scene s = gen_uniform(9, 31);
+  Engine built(Scene{s}, {.backend = Backend::kAllPairsSeq});
+  const std::string dir = temp_path("union_mmap_set");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/set.man";
+  ASSERT_TRUE(built.save(path, {.shards = 3}).ok());
+
+  Result<Engine> eager = Engine::open(path, {});
+  Result<Engine> mapped = Engine::open(path, {.map = MapMode::kMmap});
+  ASSERT_TRUE(eager.ok()) << eager.status();
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  EXPECT_EQ(eager->memory_breakdown().mapped_bytes, 0u);
+
+  // Delta-encoded shards adopt pred + pass in place (dist decodes into
+  // owned storage): the union must map every shard's rows, all m of them —
+  // not just the rows of whichever shard loaded last.
+  const size_t m = 4 * s.num_obstacles();
+  EXPECT_EQ(mapped->memory_breakdown().mapped_bytes,
+            m * m * (sizeof(int32_t) + sizeof(int8_t)));
+
+  auto pairs = make_pairs(s, 12, 7);
+  EXPECT_EQ(*eager->lengths(pairs), *mapped->lengths(pairs));
+  EXPECT_EQ(*eager->paths(pairs), *mapped->paths(pairs));
+  std::filesystem::remove_all(dir);
+}
+
 TEST(SnapshotV5Test, MmapOnAStreamIsInvalidQuery) {
   Engine eng(gen_uniform(4, 3), {});
   std::ostringstream os;

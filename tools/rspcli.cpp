@@ -11,15 +11,19 @@
 // Fleet mode (io/manifest.h + serve/router.h):
 //
 //   rspcli build --gen uniform --n 256 --seed 7 --shards 3 --out fleet.man
-//   rspcli serve --snapshot fleet.man --port 7101        # one shard server
+//   rspcli serve --snapshot fleet.man --port 7101        # union shard server
+//   rspcli serve --snapshot fleet.man --port 7101 \
+//                --mount owned --shard 0                 # partial mount
 //   rspcli serve --router fleet.man \
 //                --shards 127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103 \
 //                --port 7100
 //
 // `build --shards K` writes K row-partitioned shard snapshots plus the
 // manifest; `serve --snapshot` on a manifest mounts the union (any shard
-// server can answer any query); `serve --router` fans each request to the
-// shard servers by source slab and merges the responses — same wire
+// server can answer any query) or, with `--mount owned --shard I`, just
+// shard I's rows (~1/k the memory; unowned queries answer ERR NOT_OWNER);
+// `serve --router` fans each request to the shard servers by source slab,
+// re-routes NOT_OWNER refusals, and merges the responses — same wire
 // grammar, so clients cannot tell a router from a single engine.
 //
 // `build` generates a scene (io/gen.h generators), runs the all-pairs
@@ -76,6 +80,7 @@ int usage() {
       "               [--backend B] [--map eager|mmap] [--window-us U]\n"
       "               [--max-batch B] [--stats-json FILE] [--max-sessions M]\n"
       "               [--max-queue Q] [--target-p95-us T]\n"
+      "               [--mount union|owned --shard I]\n"
       "  rspcli serve --router MANIFEST --shards HOST:PORT,HOST:PORT,...\n"
       "               (--stdio | --port N) [--timeout-ms T] [--retries R]\n"
       "               [--max-sessions M] [--stats-json FILE]\n"
@@ -84,6 +89,10 @@ int usage() {
       "cap); --max-queue caps pending admitted requests — excess requests\n"
       "answer ERR LOAD_SHED (0 = unbounded); --target-p95-us adapts the\n"
       "coalescing window from the live p95 (0 = fixed --window-us).\n"
+      "--mount owned --shard I mounts only shard I's rows of a manifest\n"
+      "(~1/k the memory); queries needing other rows answer ERR NOT_OWNER\n"
+      "and the fleet router re-routes them (--mount union, the default,\n"
+      "mounts every shard's rows so any query is answerable locally).\n"
       "router flags: --shards lists one endpoint per manifest shard (in\n"
       "manifest order); --timeout-ms bounds each shard exchange; --retries\n"
       "is the reconnect-and-resend budget after a failure (exhausted\n"
@@ -609,7 +618,8 @@ int cmd_serve(const Args& args) {
       !check_flags(args, {"snapshot", "stdio", "port", "threads", "backend",
                           "map", "window-us", "max-batch", "stats-json",
                           "max-sessions", "max-queue", "target-p95-us",
-                          "router", "shards", "timeout-ms", "retries"})) {
+                          "mount", "shard", "router", "shards", "timeout-ms",
+                          "retries"})) {
     return usage();
   }
   if (args.has("router")) {
@@ -642,6 +652,22 @@ int cmd_serve(const Args& args) {
   }
   OpenOptions oopt;
   if (!options_from(args, oopt.engine) || !map_mode_from(args, oopt.map)) {
+    return usage();
+  }
+  const std::string mount = args.get("mount", "union");
+  if (mount == "owned") {
+    uint64_t shard = 0;
+    if (!args.has("shard") || !u64_flag(args, "shard", 0, shard)) {
+      std::cerr << "--mount owned wants the shard to adopt: --shard I\n";
+      return usage();
+    }
+    oopt.mount = MountMode::kOwnedRows;
+    oopt.shard = static_cast<size_t>(shard);
+  } else if (mount != "union") {
+    std::cerr << "bad --mount '" << mount << "' (want union or owned)\n";
+    return usage();
+  } else if (args.has("shard")) {
+    std::cerr << "--shard only applies with --mount owned\n";
     return usage();
   }
 
